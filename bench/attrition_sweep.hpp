@@ -1,0 +1,126 @@
+// Shared driver for the attack-sweep figures (Figures 3–8).
+//
+// Each figure plots one §6.1 metric against attack duration, one series per
+// coverage level (plus a 600-AU series in the paper's full runs). The three
+// pipe-stoppage figures share a sweep, as do the three admission-control
+// figures; each bench binary re-runs its sweep and prints its own metric so
+// that every figure remains independently regenerable.
+#ifndef LOCKSS_BENCH_ATTRITION_SWEEP_HPP_
+#define LOCKSS_BENCH_ATTRITION_SWEEP_HPP_
+
+#include <string>
+#include <vector>
+
+#include "analysis/gnuplot.hpp"
+#include "experiment/aggregate.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/scenario.hpp"
+#include "experiment/table.hpp"
+
+namespace lockss::bench {
+
+enum class SweepMetric {
+  kAccessFailure,
+  kDelayRatio,
+  kFriction,
+};
+
+inline const char* sweep_metric_name(SweepMetric metric) {
+  switch (metric) {
+    case SweepMetric::kAccessFailure:
+      return "access_failure_probability";
+    case SweepMetric::kDelayRatio:
+      return "delay_ratio";
+    case SweepMetric::kFriction:
+      return "coefficient_of_friction";
+  }
+  return "?";
+}
+
+struct SweepSpec {
+  experiment::AdversarySpec::Kind adversary;
+  std::vector<double> durations_days;
+  std::vector<double> coverages_percent;
+  SweepMetric metric;
+  std::string figure_name;
+};
+
+// Runs the sweep and prints one row per duration with one column per
+// coverage. Baselines (no attack) are computed once per profile and shared
+// across the grid.
+inline void run_attack_sweep(const experiment::CliArgs& args,
+                             const experiment::BenchProfile& profile, const SweepSpec& spec) {
+  experiment::print_preamble(spec.figure_name, profile);
+
+  experiment::ScenarioConfig base = experiment::base_config(profile);
+  // Baseline (no attack), averaged over seeds.
+  const auto baseline_runs = experiment::run_replicated(base, profile.seeds);
+  const experiment::RunResult baseline = experiment::combine_results(baseline_runs);
+  std::printf("# baseline: afp=%.3e gap=%.1fd effort/success=%.0fs over %llu polls\n",
+              baseline.report.access_failure_probability, baseline.report.mean_success_gap_days,
+              baseline.report.effort_per_successful_poll,
+              static_cast<unsigned long long>(baseline.report.successful_polls));
+
+  std::vector<std::string> columns = {"duration_days"};
+  for (double coverage : spec.coverages_percent) {
+    columns.push_back(experiment::TableWriter::fixed(coverage, 0) + "%");
+  }
+  experiment::TableWriter table(columns, profile.csv);
+  table.header();
+
+  const std::vector<double> durations =
+      args.reals("durations", spec.durations_days);
+  const std::vector<double> coverages = args.reals("coverages", spec.coverages_percent);
+  for (double duration : durations) {
+    std::vector<std::string> row = {experiment::TableWriter::fixed(duration, 0)};
+    for (double coverage : coverages) {
+      experiment::ScenarioConfig config = base;
+      config.adversary.kind = spec.adversary;
+      config.adversary.cadence.attack_duration = sim::SimTime::days(duration);
+      config.adversary.cadence.recuperation = sim::SimTime::days(30);
+      config.adversary.cadence.coverage = coverage / 100.0;
+      const auto runs = experiment::run_replicated(config, profile.seeds);
+      const experiment::RunResult combined = experiment::combine_results(runs);
+      const experiment::RelativeMetrics rel =
+          experiment::relative_metrics(combined, baseline);
+      double value = 0.0;
+      switch (spec.metric) {
+        case SweepMetric::kAccessFailure:
+          value = rel.access_failure;
+          break;
+        case SweepMetric::kDelayRatio:
+          value = rel.delay_ratio;
+          break;
+        case SweepMetric::kFriction:
+          value = rel.friction;
+          break;
+      }
+      row.push_back(spec.metric == SweepMetric::kAccessFailure
+                        ? experiment::TableWriter::scientific(value, 2)
+                        : experiment::TableWriter::fixed(value, 2));
+    }
+    table.row(row);
+  }
+
+  if (!profile.csv.empty()) {
+    // Companion gnuplot script: redraws this figure from the CSV with the
+    // paper's axes (both sweeps use log x; access failure also uses log y).
+    analysis::GnuplotSpec plot;
+    plot.title = spec.figure_name;
+    plot.csv_path = profile.csv;
+    plot.x_label = "Attack duration (days)";
+    plot.y_label = sweep_metric_name(spec.metric);
+    plot.log_x = true;
+    plot.log_y = true;
+    for (double coverage : coverages) {
+      plot.series.push_back(experiment::TableWriter::fixed(coverage, 0) + "% coverage");
+    }
+    if (analysis::write_gnuplot(plot, profile.csv + ".gp")) {
+      std::printf("# gnuplot script: %s.gp\n", profile.csv.c_str());
+    }
+  }
+}
+
+}  // namespace lockss::bench
+
+#endif  // LOCKSS_BENCH_ATTRITION_SWEEP_HPP_

@@ -1,0 +1,68 @@
+// Figure 2 (§7.1): baseline access failure probability (no attack) vs
+// inter-poll interval (2–12 months), one series per storage MTTDF (1–5
+// disk-years per block), for 50-AU and (with --paper) layered 600-AU
+// collections.
+//
+// Paper shape: AFP rises with the inter-poll interval (damage lingers
+// longer before detection) and falls with the damage MTTF; ~4.8e-4 at the
+// operating point (3-month polls, 5-year damage, 50 AUs), with the 600-AU
+// collection tracking the 50-AU one closely.
+#include <cstdio>
+#include <vector>
+
+#include "experiment/aggregate.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/scenario.hpp"
+#include "experiment/table.hpp"
+
+using namespace lockss;
+
+int main(int argc, char** argv) {
+  experiment::CliArgs args(argc, argv);
+  const auto profile = experiment::resolve_profile(args, /*peers=*/60, /*aus=*/6,
+                                                   /*years=*/2.0, /*seeds=*/1);
+  experiment::print_preamble(
+      "Figure 2: baseline access failure probability vs inter-poll interval", profile);
+
+  const std::vector<double> intervals_months =
+      args.reals("intervals", profile.paper ? std::vector<double>{2, 3, 4, 6, 8, 10, 12}
+                                            : std::vector<double>{2, 3, 6, 12});
+  const std::vector<double> mttf_years =
+      args.reals("mttf", profile.paper ? std::vector<double>{1, 2, 3, 4, 5}
+                                       : std::vector<double>{1, 5});
+  const uint32_t layers = static_cast<uint32_t>(args.integer("layers", profile.paper ? 12 : 0));
+
+  std::vector<std::string> columns = {"interval_months"};
+  for (double mttf : mttf_years) {
+    columns.push_back(experiment::TableWriter::fixed(mttf, 0) + "y_mttf");
+  }
+  if (layers > 0) {
+    columns.push_back("5y_mttf_layered");
+  }
+  experiment::TableWriter table(columns, profile.csv);
+  table.header();
+
+  for (double months : intervals_months) {
+    std::vector<std::string> row = {experiment::TableWriter::fixed(months, 0)};
+    for (double mttf : mttf_years) {
+      experiment::ScenarioConfig config = experiment::base_config(profile);
+      config.params.inter_poll_interval = sim::SimTime::months(months);
+      config.damage.mean_disk_years_between_failures = mttf;
+      const auto runs = experiment::run_replicated(config, profile.seeds);
+      const auto combined = experiment::combine_results(runs);
+      row.push_back(
+          experiment::TableWriter::scientific(combined.report.access_failure_probability, 2));
+    }
+    if (layers > 0) {
+      experiment::ScenarioConfig config = experiment::base_config(profile);
+      config.params.inter_poll_interval = sim::SimTime::months(months);
+      config.damage.mean_disk_years_between_failures = 5.0;
+      const auto layer_runs = experiment::run_layered(config, layers);
+      const auto combined = experiment::combine_results(layer_runs);
+      row.push_back(
+          experiment::TableWriter::scientific(combined.report.access_failure_probability, 2));
+    }
+    table.row(row);
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 5 (§7.2): coefficient of friction vs pipe-stoppage attack duration.
+//
+// Paper shape: friction is negligible for attacks of a few days and can
+// reach ~10 for the longest attacks (wasted solicitations and reputation
+// churn during blackouts).
+#include "attrition_sweep.hpp"
+
+int main(int argc, char** argv) {
+  lockss::experiment::CliArgs args(argc, argv);
+  const auto profile = lockss::experiment::resolve_profile(args, /*peers=*/60, /*aus=*/6,
+                                                           /*years=*/2.0, /*seeds=*/1);
+  lockss::bench::SweepSpec spec;
+  spec.adversary = lockss::experiment::AdversarySpec::Kind::kPipeStoppage;
+  spec.durations_days = profile.paper ? std::vector<double>{1, 5, 10, 30, 60, 90, 180}
+                                      : std::vector<double>{5, 30, 90, 180};
+  spec.coverages_percent = profile.paper ? std::vector<double>{10, 40, 70, 100}
+                                         : std::vector<double>{10, 40, 100};
+  spec.metric = lockss::bench::SweepMetric::kFriction;
+  spec.figure_name = "Figure 5: coefficient of friction under repeated pipe-stoppage attacks";
+  lockss::bench::run_attack_sweep(args, profile, spec);
+  return 0;
+}

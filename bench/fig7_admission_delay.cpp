@@ -1,0 +1,21 @@
+// Figure 7 (§7.3): delay ratio vs admission-control attack duration.
+//
+// Paper shape: essentially flat — audits between peers that already know
+// each other are unaffected by the unknown-identity flood.
+#include "attrition_sweep.hpp"
+
+int main(int argc, char** argv) {
+  lockss::experiment::CliArgs args(argc, argv);
+  const auto profile = lockss::experiment::resolve_profile(args, /*peers=*/60, /*aus=*/6,
+                                                           /*years=*/2.0, /*seeds=*/1);
+  lockss::bench::SweepSpec spec;
+  spec.adversary = lockss::experiment::AdversarySpec::Kind::kAdmissionFlood;
+  spec.durations_days = profile.paper ? std::vector<double>{1, 5, 10, 30, 90, 180, 720}
+                                      : std::vector<double>{10, 90, 700};
+  spec.coverages_percent = profile.paper ? std::vector<double>{10, 40, 70, 100}
+                                         : std::vector<double>{10, 40, 100};
+  spec.metric = lockss::bench::SweepMetric::kDelayRatio;
+  spec.figure_name = "Figure 7: delay ratio under admission-control attacks";
+  lockss::bench::run_attack_sweep(args, profile, spec);
+  return 0;
+}

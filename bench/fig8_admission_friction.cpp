@@ -1,0 +1,23 @@
+// Figure 8 (§7.3): coefficient of friction vs admission-control attack
+// duration.
+//
+// Paper shape: sustained full-coverage attacks raise the cost of every
+// successful poll by up to ~33% — loyal peers waste introductory effort
+// proofs on victims whose refractory periods the garbage flood keeps hot.
+#include "attrition_sweep.hpp"
+
+int main(int argc, char** argv) {
+  lockss::experiment::CliArgs args(argc, argv);
+  const auto profile = lockss::experiment::resolve_profile(args, /*peers=*/60, /*aus=*/6,
+                                                           /*years=*/2.0, /*seeds=*/1);
+  lockss::bench::SweepSpec spec;
+  spec.adversary = lockss::experiment::AdversarySpec::Kind::kAdmissionFlood;
+  spec.durations_days = profile.paper ? std::vector<double>{1, 5, 10, 30, 90, 180, 720}
+                                      : std::vector<double>{10, 90, 700};
+  spec.coverages_percent = profile.paper ? std::vector<double>{10, 40, 70, 100}
+                                         : std::vector<double>{10, 40, 100};
+  spec.metric = lockss::bench::SweepMetric::kFriction;
+  spec.figure_name = "Figure 8: coefficient of friction under admission-control attacks";
+  lockss::bench::run_attack_sweep(args, profile, spec);
+  return 0;
+}

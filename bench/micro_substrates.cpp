@@ -1,0 +1,161 @@
+// Micro-benchmarks for the simulation substrates (google-benchmark).
+//
+// These are engineering benchmarks for this repository (event-queue and
+// protocol-primitive throughput), not reproductions of paper results; they
+// bound the cost of scaling scenarios up to the paper's full §6.3 grids.
+#include <benchmark/benchmark.h>
+
+#include "crypto/digest.hpp"
+#include "crypto/mbf.hpp"
+#include "net/network.hpp"
+#include "protocol/tally.hpp"
+#include "reputation/known_peers.hpp"
+#include "sched/task_schedule.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "storage/replica.hpp"
+
+namespace {
+
+using namespace lockss;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::Rng rng(1);
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      queue.push(sim::SimTime::nanoseconds(rng.uniform_int(0, 1000000)), [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int remaining = static_cast<int>(state.range(0));
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) {
+        simulator.schedule_in(sim::SimTime::microseconds(1), chain);
+      }
+    };
+    simulator.schedule_in(sim::SimTime::microseconds(1), chain);
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventChain)->Arg(10000);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_Digest64Chain(benchmark::State& state) {
+  crypto::Digest64 digest{1};
+  uint64_t word = 0;
+  for (auto _ : state) {
+    digest = crypto::running_block_hash(digest, ++word);
+    benchmark::DoNotOptimize(digest);
+  }
+}
+BENCHMARK(BM_Digest64Chain);
+
+void BM_VoteHashes(benchmark::State& state) {
+  storage::AuSpec spec;
+  spec.block_count = static_cast<uint32_t>(state.range(0));
+  storage::AuReplica replica(storage::AuId{1}, spec);
+  uint64_t nonce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replica.vote_hashes(crypto::Digest64{++nonce}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VoteHashes)->Arg(128)->Arg(1024);
+
+void BM_TallyTenVotes(benchmark::State& state) {
+  storage::AuSpec spec;
+  spec.block_count = 128;
+  storage::AuReplica replica(storage::AuId{1}, spec);
+  std::vector<std::vector<crypto::Digest64>> votes;
+  for (uint32_t v = 0; v < 10; ++v) {
+    votes.push_back(replica.vote_hashes(crypto::Digest64{1000 + v}));
+  }
+  for (auto _ : state) {
+    protocol::Tally tally(replica, 10, 3);
+    for (uint32_t v = 0; v < 10; ++v) {
+      tally.add_vote(net::NodeId{v}, crypto::Digest64{1000 + v}, votes[v], true);
+    }
+    benchmark::DoNotOptimize(tally.advance());
+  }
+}
+BENCHMARK(BM_TallyTenVotes);
+
+void BM_TaskScheduleReserveCancel(benchmark::State& state) {
+  sched::TaskSchedule schedule;
+  sim::Rng rng(3);
+  std::vector<sched::ReservationId> held;
+  for (auto _ : state) {
+    auto r = schedule.reserve(sim::SimTime::seconds(10),
+                              sim::SimTime::seconds(rng.uniform() * 100000),
+                              sim::SimTime::seconds(200000));
+    if (r) {
+      held.push_back(r->id);
+    }
+    if (held.size() > 256) {
+      schedule.cancel(held.front());
+      held.erase(held.begin());
+    }
+  }
+}
+BENCHMARK(BM_TaskScheduleReserveCancel);
+
+void BM_MbfGenerateVerify(benchmark::State& state) {
+  crypto::CostModel costs;
+  crypto::MbfService mbf(costs, sim::Rng(5));
+  for (auto _ : state) {
+    const auto proof = mbf.generate(4.5);
+    benchmark::DoNotOptimize(mbf.verify(proof, 4.5));
+  }
+}
+BENCHMARK(BM_MbfGenerateVerify);
+
+void BM_ReputationUpdateAndQuery(benchmark::State& state) {
+  reputation::KnownPeers known(sim::SimTime::months(6));
+  sim::Rng rng(9);
+  for (auto _ : state) {
+    const net::NodeId peer{static_cast<uint32_t>(rng.index(200))};
+    known.record_service_supplied(peer, sim::SimTime::days(1));
+    benchmark::DoNotOptimize(known.standing(peer, sim::SimTime::days(100)));
+  }
+}
+BENCHMARK(BM_ReputationUpdateAndQuery);
+
+void BM_NetworkDeliveryDelay(benchmark::State& state) {
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(11));
+  class Sink : public net::MessageHandler {
+   public:
+    void handle_message(net::MessagePtr) override {}
+  } sink;
+  network.register_node(net::NodeId{1}, &sink);
+  network.register_node(net::NodeId{2}, &sink);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network.delivery_delay(net::NodeId{1}, net::NodeId{2}, 4096));
+  }
+}
+BENCHMARK(BM_NetworkDeliveryDelay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Table 1 (§7.4): the brute-force effortful adversary defecting at INTRO,
+// REMAINING, or NONE — coefficient of friction, cost ratio, delay ratio, and
+// access failure probability, for the base collection and (with --paper) a
+// layered large collection.
+//
+// Paper shape: the lowest *cost ratio* (cheapest harm per attacker dollar)
+// comes from full participation (NONE ≈ 1.02), whose friction is ~2.6; the
+// INTRO deserter has the worst cost ratio (1.93) and the least friction
+// (1.40). Access failure stays within ~1.3x of baseline everywhere: rate
+// limits deny the adversary's resource advantage any real purchase.
+#include <cstdio>
+#include <vector>
+
+#include "experiment/aggregate.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/scenario.hpp"
+#include "experiment/table.hpp"
+
+using namespace lockss;
+
+int main(int argc, char** argv) {
+  experiment::CliArgs args(argc, argv);
+  const auto profile = experiment::resolve_profile(args, /*peers=*/60, /*aus=*/4,
+                                                   /*years=*/1.0, /*seeds=*/1);
+  experiment::print_preamble("Table 1: brute-force adversary defection points", profile);
+  const uint32_t layers = static_cast<uint32_t>(args.integer("layers", profile.paper ? 12 : 0));
+
+  experiment::ScenarioConfig base = experiment::base_config(profile);
+  const auto baseline =
+      experiment::combine_results(experiment::run_replicated(base, profile.seeds));
+  std::printf("# baseline: afp=%.3e gap=%.1fd effort/success=%.0fs\n",
+              baseline.report.access_failure_probability, baseline.report.mean_success_gap_days,
+              baseline.report.effort_per_successful_poll);
+
+  experiment::TableWriter table(
+      {"defection", "collection", "coeff_friction", "cost_ratio", "delay_ratio",
+       "access_failure"},
+      profile.csv);
+  table.header();
+
+  for (adversary::DefectionPoint defection :
+       {adversary::DefectionPoint::kIntro, adversary::DefectionPoint::kRemaining,
+        adversary::DefectionPoint::kNone}) {
+    experiment::ScenarioConfig config = base;
+    config.adversary.kind = experiment::AdversarySpec::Kind::kBruteForce;
+    config.adversary.defection = defection;
+    const auto attacked =
+        experiment::combine_results(experiment::run_replicated(config, profile.seeds));
+    const auto rel = experiment::relative_metrics(attacked, baseline);
+    table.row({adversary::defection_point_name(defection),
+               std::to_string(profile.aus) + " AUs",
+               experiment::TableWriter::fixed(rel.friction, 2),
+               experiment::TableWriter::fixed(rel.cost_ratio, 2),
+               experiment::TableWriter::fixed(rel.delay_ratio, 2),
+               experiment::TableWriter::scientific(rel.access_failure, 2)});
+    if (layers > 0) {
+      const auto layered_attack =
+          experiment::combine_results(experiment::run_layered(config, layers));
+      const auto layered_baseline =
+          experiment::combine_results(experiment::run_layered(base, layers));
+      const auto lrel = experiment::relative_metrics(layered_attack, layered_baseline);
+      table.row({adversary::defection_point_name(defection),
+                 std::to_string(profile.aus * layers) + " AUs (layered)",
+                 experiment::TableWriter::fixed(lrel.friction, 2),
+                 experiment::TableWriter::fixed(lrel.cost_ratio, 2),
+                 experiment::TableWriter::fixed(lrel.delay_ratio, 2),
+                 experiment::TableWriter::scientific(lrel.access_failure, 2)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Library-consortium scenario: admission control and first-hand reputation
+// in action (§5.1).
+//
+// A 25-library consortium preserves two journals. We watch one peer's view
+// of the world: how grades evolve with vote exchanges, how the garbage
+// flood of an admission-control adversary is shed by the filter pipeline,
+// and what each admission stage costs.
+//
+//   $ ./build/examples/library_consortium
+#include <cstdio>
+
+#include "experiment/scenario.hpp"
+#include "protocol/voter_session.hpp"
+#include "sched/effort_meter.hpp"
+
+using namespace lockss;
+
+int main() {
+  experiment::ScenarioConfig config;
+  config.peer_count = 25;
+  config.au_count = 2;
+  config.duration = sim::SimTime::years(1);
+  config.seed = 11;
+  config.enable_damage = false;
+  // A year-long garbage-invitation flood against the whole consortium.
+  config.adversary.kind = experiment::AdversarySpec::Kind::kAdmissionFlood;
+  config.adversary.cadence.coverage = 1.0;
+  config.adversary.cadence.attack_duration = sim::SimTime::days(360);
+  config.adversary.cadence.recuperation = sim::SimTime::days(30);
+
+  std::printf("Library consortium: 25 libraries, 2 journals, 1 simulated year\n");
+  std::printf("Background: a Sybil adversary floods everyone with garbage invitations\n\n");
+
+  const experiment::RunResult result = experiment::run_scenario(config);
+
+  std::printf("Admission-control filter pipeline, consortium-wide:\n");
+  static const char* kExplanation[] = {
+      "accepted            (vote computation scheduled)",
+      "no_replica          (AU not preserved here)",
+      "refractory_reject   (free: one unknown/debt admission per AU-day)",
+      "random_drop         (free: 0.90 unknown / 0.80 in-debt coin)",
+      "rate_limited        (free: 4x self-clocked consideration budget)",
+      "peer_allowance_used (cheap: known peer already admitted this period)",
+      "bad_intro_effort    (costed: garbage proof caught at verification)",
+      "schedule_full       (cheap: no slot for the vote computation)",
+  };
+  for (size_t v = 0; v < result.admission_verdicts.size(); ++v) {
+    std::printf("  %-52s %8llu\n", kExplanation[v],
+                static_cast<unsigned long long>(result.admission_verdicts[v]));
+  }
+
+  const uint64_t garbage = result.adversary_invitations;
+  const uint64_t caught = result.admission_verdicts[static_cast<size_t>(
+      protocol::AdmissionVerdict::kBadIntroEffort)];
+  std::printf("\nAdversary sent %llu garbage invitations; only %llu (%.1f%%) reached the\n"
+              "costed verification stage — everything else died in free/cheap filters.\n",
+              static_cast<unsigned long long>(garbage), static_cast<unsigned long long>(caught),
+              garbage > 0 ? 100.0 * static_cast<double>(caught) / static_cast<double>(garbage)
+                          : 0.0);
+  std::printf("\nPreservation continued regardless: %llu successful polls, %llu inquorate,\n"
+              "%llu alarms (§7.3: audits among peers that know each other are unaffected).\n",
+              static_cast<unsigned long long>(result.report.successful_polls),
+              static_cast<unsigned long long>(result.report.inquorate_polls),
+              static_cast<unsigned long long>(result.report.alarms));
+  return 0;
+}

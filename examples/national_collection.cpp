@@ -1,0 +1,57 @@
+// A national-library-scale collection via the §6.3 layering methodology.
+//
+// The paper simulates 600-AU collections by layering 50-AU runs: "layer n is
+// a simulation of 50 AUs on peers already running a realistic workload of
+// 50(n-1) AUs". This example runs a scaled-down version (4 layers of 8 AUs),
+// prints how each layer's metrics respond to the accumulated background
+// load, and combines the layers into one deployment-level report — the same
+// machinery the 600-AU series in Figures 2-8 uses.
+//
+//   $ ./build/examples/national_collection
+#include <cstdio>
+
+#include "experiment/aggregate.hpp"
+#include "experiment/scenario.hpp"
+
+using namespace lockss;
+
+int main() {
+  experiment::ScenarioConfig config;
+  config.peer_count = 30;
+  config.au_count = 8;  // per layer
+  config.duration = sim::SimTime::years(1);
+  config.seed = 9;
+  // §7.1 damage rates scaled to the demo's collection: one block per
+  // 0.5 disk-years at 8 AUs/disk keeps repairs visible within a year.
+  config.damage.mean_disk_years_between_failures = 0.5;
+  config.damage.aus_per_disk = 8.0;
+
+  constexpr uint32_t kLayers = 4;
+  std::printf("national_collection: %u peers, %u layers x %u AUs (%.0f days each)\n\n",
+              config.peer_count, kLayers, config.au_count, config.duration.to_days());
+  std::printf("%-7s %-12s %-12s %-14s %-12s\n", "layer", "successes", "inquorate",
+              "afp", "effort/success");
+
+  const auto layers = experiment::run_layered(config, kLayers);
+  for (size_t i = 0; i < layers.size(); ++i) {
+    std::printf("%-7zu %-12llu %-12llu %-14.3e %-12.0f\n", i + 1,
+                static_cast<unsigned long long>(layers[i].report.successful_polls),
+                static_cast<unsigned long long>(layers[i].report.inquorate_polls),
+                layers[i].report.access_failure_probability,
+                layers[i].report.effort_per_successful_poll);
+  }
+
+  const experiment::RunResult combined = experiment::combine_results(layers);
+  std::printf("\ncombined %u-AU collection:\n", kLayers * config.au_count);
+  std::printf("  successful polls: %llu\n",
+              static_cast<unsigned long long>(combined.report.successful_polls));
+  std::printf("  access failure:   %.3e\n", combined.report.access_failure_probability);
+  std::printf("  repairs served:   %llu (of %llu damage events)\n",
+              static_cast<unsigned long long>(combined.report.repairs),
+              static_cast<unsigned long long>(combined.report.damage_events));
+  std::printf(
+      "\nHigher layers see slightly busier peers (the accumulated task schedules of\n"
+      "lower layers), reproducing the paper's observation that the 600-AU series\n"
+      "tracks the 50-AU series 'albeit at a slight disadvantage' (§7.2).\n");
+  return 0;
+}

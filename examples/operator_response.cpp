@@ -1,0 +1,98 @@
+// Alarms and the human operator (§4.3).
+//
+// When a poll finds no landslide either way, the poller raises an alarm for
+// a human operator. This example manufactures that situation — eight of
+// twenty replicas corrupted in different blocks, so tallies split — and
+// shows OperatorModel closing the loop: each alarm schedules a manual audit
+// that re-fetches the publisher's copy and restores the damaged blocks,
+// charged to the peer's effort meter.
+//
+//   $ ./build/examples/operator_response
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "net/network.hpp"
+#include "peer/operator.hpp"
+#include "peer/peer.hpp"
+#include "sim/simulator.hpp"
+
+using namespace lockss;
+
+int main() {
+  constexpr uint32_t kPeers = 20;
+  const storage::AuId kAu{0};
+
+  sim::Simulator simulator;
+  sim::Rng root(61);
+  net::Network network(simulator, root.split());
+  metrics::MetricsCollector collector;
+  collector.set_total_replicas(kPeers);
+
+  peer::OperatorConfig on_call;
+  on_call.response_delay = sim::SimTime::days(3);  // the operator checks in twice a week
+  peer::OperatorModel operators(simulator, on_call);
+
+  peer::PeerEnvironment env;
+  env.simulator = &simulator;
+  env.network = &network;
+  env.metrics = &collector;
+  env.enable_damage = false;  // damage is injected by hand below
+  env.poll_observer = operators.observer([](net::NodeId poller,
+                                            const protocol::PollOutcome& outcome) {
+    if (outcome.kind == protocol::PollOutcomeKind::kAlarm) {
+      std::printf("  [%6.1f d] ALARM at %s: poll on %s inconclusive — operator paged\n",
+                  outcome.concluded.to_days(), poller.to_string().c_str(),
+                  outcome.au.to_string().c_str());
+    }
+  });
+
+  std::vector<std::unique_ptr<peer::Peer>> peers;
+  for (uint32_t p = 0; p < kPeers; ++p) {
+    peers.push_back(std::make_unique<peer::Peer>(env, net::NodeId{p}, root.split()));
+    peers.back()->join_au(kAu);
+    operators.attend(peers.back().get());
+  }
+  for (uint32_t p = 0; p < kPeers; ++p) {
+    std::vector<net::NodeId> others;
+    for (uint32_t q = 0; q < kPeers; ++q) {
+      if (q != p) {
+        others.push_back(net::NodeId{q});
+      }
+    }
+    peers[p]->seed_reference_list(kAu, others);
+    for (net::NodeId other : others) {
+      peers[p]->seed_grade(kAu, other, reputation::Grade::kEven);
+    }
+  }
+
+  // A bad firmware batch: eight replicas corrupted, each in its own block.
+  for (uint32_t p = 0; p < 8; ++p) {
+    peers[p]->replica(kAu).corrupt_block(p, 0x5EED + p);
+  }
+  std::printf("operator_response: %u peers; replicas 0-7 corrupted in distinct blocks\n\n",
+              kPeers);
+
+  for (auto& p : peers) {
+    p->start();
+  }
+  simulator.run_until(sim::SimTime::years(1));
+
+  uint32_t still_damaged = 0;
+  for (auto& p : peers) {
+    still_damaged += p->replica(kAu).damaged() ? 1 : 0;
+  }
+  std::printf("\nAfter one simulated year:\n");
+  std::printf("  alarms raised:            %llu\n",
+              static_cast<unsigned long long>(operators.alarms_seen()));
+  std::printf("  operator audits:          %llu (%llu blocks restored from publisher)\n",
+              static_cast<unsigned long long>(operators.audits_performed()),
+              static_cast<unsigned long long>(operators.blocks_restored()));
+  std::printf("  successful polls:         %llu\n",
+              static_cast<unsigned long long>(collector.successful_polls()));
+  std::printf("  replicas still damaged:   %u of %u\n", still_damaged, kPeers);
+  std::printf("\nMost damage heals through ordinary polls; the operator handles only the\n"
+              "inconclusive residue — exactly the division of labour §4.3 intends.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "adversary/admission_flood.hpp"
+
+#include <algorithm>
+
+#include "protocol/effort_schedule.hpp"
+#include "protocol/messages.hpp"
+
+namespace lockss::adversary {
+
+AdmissionFloodAdversary::AdmissionFloodAdversary(sim::Simulator& simulator, net::Network& network,
+                                                 sim::Rng rng, AdmissionFloodConfig config,
+                                                 std::vector<peer::Peer*> victims,
+                                                 std::vector<storage::AuId> aus,
+                                                 const protocol::Params& params)
+    : simulator_(simulator),
+      network_(network),
+      rng_(rng),
+      config_(config),
+      all_victims_(std::move(victims)),
+      aus_(std::move(aus)),
+      params_(params),
+      schedule_(
+          simulator, rng_.split(), config.cadence,
+          [&] {
+            std::vector<net::NodeId> ids;
+            ids.reserve(all_victims_.size());
+            for (const peer::Peer* victim : all_victims_) {
+              ids.push_back(victim->id());
+            }
+            return ids;
+          }(),
+          [this](const std::vector<net::NodeId>& victim_ids) { arm_lanes(victim_ids); },
+          [this] { disarm_lanes(); }) {}
+
+void AdmissionFloodAdversary::start() { schedule_.start(); }
+
+void AdmissionFloodAdversary::arm_lanes(const std::vector<net::NodeId>& victim_ids) {
+  disarm_lanes();
+  for (peer::Peer* victim : all_victims_) {
+    if (std::find(victim_ids.begin(), victim_ids.end(), victim->id()) == victim_ids.end()) {
+      continue;
+    }
+    for (storage::AuId au : aus_) {
+      if (!victim->has_replica(au)) {
+        continue;
+      }
+      lanes_.push_back(Lane{victim, au, {}});
+      const size_t index = lanes_.size() - 1;
+      // Small stagger so 60 x 50 lanes do not tick in lockstep.
+      lanes_.back().timer = simulator_.schedule_in(
+          rng_.uniform_time(sim::SimTime::zero(), config_.recheck_gap),
+          [this, index] { lane_tick(index); });
+    }
+  }
+}
+
+void AdmissionFloodAdversary::disarm_lanes() {
+  for (Lane& lane : lanes_) {
+    lane.timer.cancel();
+  }
+  lanes_.clear();
+}
+
+void AdmissionFloodAdversary::lane_tick(size_t lane_index) {
+  Lane& lane = lanes_[lane_index];
+  // Insider information (§3.1): consult the victim's refractory state
+  // directly instead of burning probes against a hot period.
+  if (lane.victim->refractory().in_refractory(lane.au, simulator_.now())) {
+    lane.timer = simulator_.schedule_in(
+        config_.recheck_gap + rng_.uniform_time(sim::SimTime::zero(), sim::SimTime::minutes(10)),
+        [this, lane_index] { lane_tick(lane_index); });
+    return;
+  }
+  // Cold: send one free garbage invitation from a fresh unknown identity.
+  auto poll = std::make_unique<protocol::PollMsg>();
+  poll->from = net::NodeId{config_.spoofed_id_base + next_spoofed_++};
+  poll->to = lane.victim->id();
+  poll->poll_id = protocol::make_poll_id(poll->from, 0);
+  poll->au = lane.au;
+  // Claims exactly the required effort, cost nothing to make, and fails
+  // verification — after burning the admission.
+  const protocol::EffortSchedule efforts(params_, crypto::CostModel{});
+  poll->introductory_effort = crypto::MbfProof::garbage(efforts.introductory_effort());
+  poll->vote_deadline = simulator_.now() + params_.vote_window;
+  network_.send(std::move(poll));
+  ++probes_sent_;
+  lane.timer = simulator_.schedule_in(
+      config_.probe_gap + rng_.uniform_time(sim::SimTime::zero(), sim::SimTime::minutes(5)),
+      [this, lane_index] { lane_tick(lane_index); });
+}
+
+}  // namespace lockss::adversary

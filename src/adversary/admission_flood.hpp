@@ -1,0 +1,87 @@
+// The admission-control adversary (§7.3, Figures 6–8).
+//
+// "The admission control adversary aims to reduce the likelihood of a victim
+// admitting a loyal poll request by triggering that victim's refractory
+// period as often as possible. This adversary sends cheap garbage
+// invitations to varying fractions of the peer population for varying
+// periods of time separated by a fixed recuperation period of 30 days. The
+// adversary sends his invitations using poller addresses that are unknown to
+// the victims."
+//
+// Garbage invitations carry a *claimed* introductory effort but no genuine
+// proof, so they cost the adversary nothing (effortless attack) while each
+// admitted one burns the victim's per-AU refractory admission and its
+// verification effort. Fresh spoofed NodeIds keep the sender in the
+// "unknown" standing forever.
+//
+// Per §3.1 the adversary has total information awareness and insider
+// information: each (victim, AU) attack lane watches the victim's refractory
+// state through an oracle and probes only while the period is cold, so the
+// refractory stays lit with near-perfect duty cycle at minimal probe volume.
+#ifndef LOCKSS_ADVERSARY_ADMISSION_FLOOD_HPP_
+#define LOCKSS_ADVERSARY_ADMISSION_FLOOD_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/attack_schedule.hpp"
+#include "net/network.hpp"
+#include "peer/peer.hpp"
+#include "protocol/params.hpp"
+#include "storage/au.hpp"
+
+namespace lockss::adversary {
+
+struct AdmissionFloodConfig {
+  AttackCadence cadence;
+  // Pause between probes while the victim's refractory period is cold (the
+  // next probe has a ~10% chance of being admitted and re-arming it).
+  sim::SimTime probe_gap = sim::SimTime::minutes(15);
+  // How often a lane re-checks a hot refractory period for expiry.
+  sim::SimTime recheck_gap = sim::SimTime::hours(2);
+  // First spoofed identity; the space above it is reserved for the attack.
+  uint32_t spoofed_id_base = 1u << 24;
+};
+
+class AdmissionFloodAdversary {
+ public:
+  // `victims` are the attackable peers; each lane targets one AU of one
+  // victim. The Peer pointers double as the §3.1 insider-information oracle
+  // (read-only).
+  AdmissionFloodAdversary(sim::Simulator& simulator, net::Network& network, sim::Rng rng,
+                          AdmissionFloodConfig config, std::vector<peer::Peer*> victims,
+                          std::vector<storage::AuId> aus, const protocol::Params& params);
+
+  void start();
+
+  uint64_t probes_sent() const { return probes_sent_; }
+  bool attacking() const { return schedule_.attacking(); }
+
+ private:
+  struct Lane {
+    peer::Peer* victim = nullptr;
+    storage::AuId au;
+    sim::EventHandle timer;
+  };
+
+  void arm_lanes(const std::vector<net::NodeId>& victim_ids);
+  void disarm_lanes();
+  void lane_tick(size_t lane_index);
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  sim::Rng rng_;
+  AdmissionFloodConfig config_;
+  std::vector<peer::Peer*> all_victims_;
+  std::vector<storage::AuId> aus_;
+  const protocol::Params& params_;
+
+  std::vector<Lane> lanes_;
+  AttackSchedule schedule_;
+  uint32_t next_spoofed_ = 0;
+  uint64_t probes_sent_ = 0;
+};
+
+}  // namespace lockss::adversary
+
+#endif  // LOCKSS_ADVERSARY_ADMISSION_FLOOD_HPP_

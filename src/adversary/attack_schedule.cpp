@@ -1,0 +1,43 @@
+#include "adversary/attack_schedule.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lockss::adversary {
+
+AttackSchedule::AttackSchedule(sim::Simulator& simulator, sim::Rng rng, AttackCadence cadence,
+                               std::vector<net::NodeId> population, PhaseStart on_start,
+                               PhaseEnd on_end)
+    : simulator_(simulator),
+      rng_(rng),
+      cadence_(cadence),
+      population_(std::move(population)),
+      on_start_(std::move(on_start)),
+      on_end_(std::move(on_end)) {
+  assert(cadence_.coverage >= 0.0 && cadence_.coverage <= 1.0);
+}
+
+void AttackSchedule::start() { begin_phase(); }
+
+void AttackSchedule::begin_phase() {
+  const size_t count = static_cast<size_t>(
+      std::lround(cadence_.coverage * static_cast<double>(population_.size())));
+  victims_ = rng_.sample(population_, count);
+  attacking_ = true;
+  ++iterations_;
+  if (on_start_) {
+    on_start_(victims_);
+  }
+  simulator_.schedule_in(cadence_.attack_duration, [this] { end_phase(); });
+}
+
+void AttackSchedule::end_phase() {
+  attacking_ = false;
+  victims_.clear();
+  if (on_end_) {
+    on_end_();
+  }
+  simulator_.schedule_in(cadence_.recuperation, [this] { begin_phase(); });
+}
+
+}  // namespace lockss::adversary

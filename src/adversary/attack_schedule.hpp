@@ -1,0 +1,63 @@
+// Shared attack cadence (§7.2, §7.3).
+//
+// "Each attack consists of a period of pipe stoppage, which lasts between 1
+// and 180 days, followed by a 30-day recuperation period during which all
+// communication is restored; this pattern is repeated for the entire
+// experiment, affecting a different random subset of the population in each
+// iteration." The admission-control adversary uses the same on/off pattern
+// with its own duration sweep.
+#ifndef LOCKSS_ADVERSARY_ATTACK_SCHEDULE_HPP_
+#define LOCKSS_ADVERSARY_ATTACK_SCHEDULE_HPP_
+
+#include <functional>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace lockss::adversary {
+
+struct AttackCadence {
+  sim::SimTime attack_duration = sim::SimTime::days(30);
+  sim::SimTime recuperation = sim::SimTime::days(30);
+  // Fraction of the loyal population targeted each iteration (§7.2 sweeps
+  // 0.10 to 1.00).
+  double coverage = 1.0;
+};
+
+// Drives repeated on/off attack phases, re-sampling the victim subset each
+// iteration. The owner supplies callbacks that install/remove the attack.
+class AttackSchedule {
+ public:
+  using PhaseStart = std::function<void(const std::vector<net::NodeId>& victims)>;
+  using PhaseEnd = std::function<void()>;
+
+  AttackSchedule(sim::Simulator& simulator, sim::Rng rng, AttackCadence cadence,
+                 std::vector<net::NodeId> population, PhaseStart on_start, PhaseEnd on_end);
+
+  // Begins the first attack phase immediately.
+  void start();
+
+  bool attacking() const { return attacking_; }
+  uint64_t iterations() const { return iterations_; }
+  const std::vector<net::NodeId>& current_victims() const { return victims_; }
+
+ private:
+  void begin_phase();
+  void end_phase();
+
+  sim::Simulator& simulator_;
+  sim::Rng rng_;
+  AttackCadence cadence_;
+  std::vector<net::NodeId> population_;
+  PhaseStart on_start_;
+  PhaseEnd on_end_;
+  std::vector<net::NodeId> victims_;
+  bool attacking_ = false;
+  uint64_t iterations_ = 0;
+};
+
+}  // namespace lockss::adversary
+
+#endif  // LOCKSS_ADVERSARY_ATTACK_SCHEDULE_HPP_

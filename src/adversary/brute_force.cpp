@@ -1,0 +1,253 @@
+#include "adversary/brute_force.hpp"
+
+#include <cassert>
+
+namespace lockss::adversary {
+
+const char* defection_point_name(DefectionPoint point) {
+  switch (point) {
+    case DefectionPoint::kIntro:
+      return "INTRO";
+    case DefectionPoint::kRemaining:
+      return "REMAINING";
+    case DefectionPoint::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+BruteForceAdversary::BruteForceAdversary(sim::Simulator& simulator, net::Network& network,
+                                         sim::Rng rng, BruteForceConfig config,
+                                         std::vector<peer::Peer*> victims,
+                                         std::vector<storage::AuId> aus,
+                                         const protocol::Params& params,
+                                         const crypto::CostModel& costs)
+    : simulator_(simulator),
+      network_(network),
+      rng_(rng),
+      config_(config),
+      victims_(std::move(victims)),
+      aus_(std::move(aus)),
+      params_(params),
+      costs_(costs),
+      efforts_(params, costs),
+      mbf_(costs, rng_.split()) {
+  // All minion identities share this handler.
+  for (uint32_t m = 0; m < config_.minion_count; ++m) {
+    network_.register_node(net::NodeId{config_.minion_id_base + m}, this);
+  }
+}
+
+BruteForceAdversary::~BruteForceAdversary() {
+  for (uint32_t m = 0; m < config_.minion_count; ++m) {
+    network_.unregister_node(net::NodeId{config_.minion_id_base + m});
+  }
+}
+
+net::NodeId BruteForceAdversary::next_minion() {
+  const net::NodeId id{config_.minion_id_base + (next_minion_ % config_.minion_count)};
+  ++next_minion_;
+  return id;
+}
+
+void BruteForceAdversary::start() {
+  // "We conservatively initialize all adversary addresses with a debt grade
+  // at all loyal peers" (§7.4).
+  for (peer::Peer* victim : victims_) {
+    for (storage::AuId au : aus_) {
+      if (!victim->has_replica(au)) {
+        continue;
+      }
+      for (uint32_t m = 0; m < config_.minion_count; ++m) {
+        victim->seed_grade(au, net::NodeId{config_.minion_id_base + m},
+                           reputation::Grade::kDebt);
+      }
+    }
+  }
+  // One attack lane per (victim, AU), started with a small random stagger.
+  for (peer::Peer* victim : victims_) {
+    for (storage::AuId au : aus_) {
+      if (!victim->has_replica(au)) {
+        continue;
+      }
+      fronts_.push_back(Front{victim, au, 0, {}, {}});
+      schedule_attempt(fronts_.size() - 1,
+                       rng_.uniform_time(sim::SimTime::zero(), params_.refractory_period));
+    }
+  }
+}
+
+void BruteForceAdversary::schedule_attempt(size_t front_index, sim::SimTime delay) {
+  Front& front = fronts_[front_index];
+  front.timer.cancel();
+  front.timer = simulator_.schedule_in(delay, [this, front_index] { attempt(front_index); });
+}
+
+void BruteForceAdversary::attempt(size_t front_index) {
+  Front& front = fronts_[front_index];
+  const sim::SimTime now = simulator_.now();
+
+  // Insider information: wait out the victim's refractory period instead of
+  // wasting introductory proofs on automatic rejections.
+  if (front.victim->refractory().in_refractory(front.au, now)) {
+    schedule_attempt(front_index, params_.refractory_period * 0.1 + config_.refractory_slack);
+    return;
+  }
+  // Schedule oracle (§7.4): skip victims that would refuse for lack of a
+  // vote-computation slot.
+  const sim::SimTime vote_task = sim::SimTime::seconds(
+      efforts_.vote_computation_effort() + efforts_.vote_proof_effort());
+  if (!front.victim->schedule().can_reserve(vote_task, now + params_.poll_proof_timeout * 0.5,
+                                            now + params_.vote_window)) {
+    schedule_attempt(front_index, sim::SimTime::hours(1));
+    return;
+  }
+
+  // Drop bookkeeping for a previous unanswered invitation on this front.
+  if (front.live_poll != 0) {
+    front_by_poll_.erase(front.live_poll);
+    front.live_poll = 0;
+  }
+
+  // Send a Poll with a *genuine* introductory proof from an in-debt minion.
+  // Unlimited parallel compute: the effort is accounted, not scheduled.
+  const double intro = efforts_.introductory_effort();
+  meter_.charge(sched::EffortCategory::kMbfGeneration, intro);
+  meter_.charge(sched::EffortCategory::kHandshake, costs_.session_handshake_seconds);
+
+  const net::NodeId minion = next_minion();
+  const protocol::PollId poll_id = protocol::make_poll_id(minion, poll_sequence_++);
+  auto poll = std::make_unique<protocol::PollMsg>();
+  poll->from = minion;
+  poll->to = front.victim->id();
+  poll->poll_id = poll_id;
+  poll->au = front.au;
+  poll->introductory_effort = mbf_.generate(intro);
+  poll->vote_deadline = now + params_.vote_window;
+  network_.send(std::move(poll));
+  ++invitations_sent_;
+
+  front.live_poll = poll_id;
+  front_by_poll_[poll_id] = front_index;
+  // Silent drop detection: if no PollAck arrives promptly, try again with the
+  // next minion (the 0.8 random drop ate the invitation).
+  schedule_attempt(front_index, config_.retry_gap);
+}
+
+void BruteForceAdversary::handle_message(net::MessagePtr message) {
+  if (auto* ack = dynamic_cast<protocol::PollAckMsg*>(message.get())) {
+    auto it = front_by_poll_.find(ack->poll_id);
+    if (it != front_by_poll_.end() && fronts_[it->second].live_poll == ack->poll_id) {
+      on_ack(it->second, *ack);
+    }
+    return;
+  }
+  if (auto* vote = dynamic_cast<protocol::VoteMsg*>(message.get())) {
+    auto it = front_by_poll_.find(vote->poll_id);
+    if (it != front_by_poll_.end() && fronts_[it->second].live_poll == vote->poll_id) {
+      on_vote(it->second, *vote);
+    }
+    return;
+  }
+  // Anything else (repairs we never request, stray receipts) is ignored.
+}
+
+void BruteForceAdversary::on_ack(size_t front_index, const protocol::PollAckMsg& ack) {
+  Front& front = fronts_[front_index];
+  front.timer.cancel();
+  front_by_poll_.erase(ack.poll_id);
+  if (!ack.accept) {
+    // Refused (schedule race); try again shortly.
+    front.live_poll = 0;
+    schedule_attempt(front_index, config_.retry_gap);
+    return;
+  }
+  ++admissions_;
+  // Our invitation was admitted; the victim's refractory period is hot now,
+  // so the next attempt on this front waits it out regardless of defection.
+  if (config_.defection == DefectionPoint::kIntro) {
+    // Desert: never send the PollProof. The victim holds its reservation
+    // until the proof timeout, then frees it and grades the minion down.
+    front.live_poll = 0;
+    schedule_attempt(front_index, params_.refractory_period + config_.refractory_slack);
+    return;
+  }
+  // REMAINING / NONE: follow up with a genuine PollProof.
+  const double remaining = efforts_.remaining_effort();
+  meter_.charge(sched::EffortCategory::kMbfGeneration, remaining);
+  auto proof = std::make_unique<protocol::PollProofMsg>();
+  proof->from = ack.to;  // reply from the same minion identity
+  proof->to = front.victim->id();
+  proof->poll_id = ack.poll_id;
+  proof->au = front.au;
+  proof->remaining_effort = mbf_.generate(remaining);
+  proof->vote_nonce = crypto::Digest64{rng_.next_u64() | 1};
+  front.nonce = proof->vote_nonce;
+  front.live_poll = ack.poll_id;
+  front_by_poll_[ack.poll_id] = front_index;
+  network_.send(std::move(proof));
+  // Await the vote; if it never comes, move on after the vote window.
+  schedule_attempt(front_index, params_.vote_window + params_.vote_slack);
+}
+
+void BruteForceAdversary::on_vote(size_t front_index, const protocol::VoteMsg& vote) {
+  Front& front = fronts_[front_index];
+  front.timer.cancel();
+  front_by_poll_.erase(vote.poll_id);
+  front.live_poll = 0;
+  if (config_.defection == DefectionPoint::kRemaining) {
+    // Desert: discard the vote unevaluated (wasteful strategy); the victim's
+    // receipt timeout will penalize the minion.
+    schedule_attempt(front_index, params_.refractory_period + config_.refractory_slack);
+    return;
+  }
+  // NONE: behave exactly like a legitimate poller as far as the victim can
+  // tell — but no further. Total information awareness (§3.1) tells the
+  // adversary the honest victim's vote is valid, so it skips the loyal
+  // poller's block-by-block evaluation hashing entirely; verifying the
+  // vote's effort proof is all it needs to recover the receipt byproduct.
+  // This is what makes NONE the *cheapest per unit of harm* (Table 1): the
+  // victim does full vote-computation work, the attacker only MBF work.
+  const auto verification = mbf_.verify(vote.vote_effort, efforts_.vote_proof_effort());
+  meter_.charge(sched::EffortCategory::kMbfVerification, verification.verify_effort);
+  // Mimic the frivolous repairs of a loyal poller (§4.3); requests are
+  // nearly free to send, but each one charges the victim a repair service.
+  const net::NodeId minion = vote.to;
+  for (uint32_t r = 0; r < config_.repairs_per_poll; ++r) {
+    auto request = std::make_unique<protocol::RepairRequestMsg>();
+    request->from = minion;
+    request->to = front.victim->id();
+    request->poll_id = vote.poll_id;
+    request->au = front.au;
+    request->block = static_cast<uint32_t>(rng_.index(params_.au_spec.block_count));
+    meter_.charge(sched::EffortCategory::kOverhead, costs_.message_overhead_seconds);
+    network_.send(std::move(request));
+  }
+  // Let the repairs arrive and be served before the receipt closes the
+  // victim's session.
+  front.live_poll = vote.poll_id;
+  front_by_poll_[vote.poll_id] = front_index;
+  front.timer = simulator_.schedule_in(
+      config_.receipt_delay,
+      [this, front_index, poll_id = vote.poll_id, minion, byproduct = verification.byproduct] {
+        send_receipt(front_index, poll_id, minion, byproduct);
+      });
+}
+
+void BruteForceAdversary::send_receipt(size_t front_index, protocol::PollId poll_id,
+                                       net::NodeId minion, crypto::Digest64 receipt_byproduct) {
+  Front& front = fronts_[front_index];
+  front_by_poll_.erase(poll_id);
+  front.live_poll = 0;
+  auto receipt = std::make_unique<protocol::EvaluationReceiptMsg>();
+  receipt->from = minion;
+  receipt->to = front.victim->id();
+  receipt->poll_id = poll_id;
+  receipt->au = front.au;
+  receipt->receipt = receipt_byproduct;
+  meter_.charge(sched::EffortCategory::kOverhead, costs_.message_overhead_seconds);
+  network_.send(std::move(receipt));
+  schedule_attempt(front_index, params_.refractory_period + config_.refractory_slack);
+}
+
+}  // namespace lockss::adversary

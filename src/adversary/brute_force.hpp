@@ -1,0 +1,135 @@
+// The brute-force effortful adversary (§7.4, Table 1).
+//
+// "We consider an attack by a 'brute force' adversary who continuously sends
+// enough poll invitations with valid introductory efforts to get past the
+// random drops; ... the adversary launches attacks from in-debt addresses.
+// We conservatively initialize all adversary addresses with a debt grade at
+// all loyal peers. We also give the adversary an oracle that allows him to
+// inspect all the loyal peers' schedules."
+//
+// Once admitted, the adversary defects at a configurable point:
+//   INTRO     — never follows the affirmative PollAck with a PollProof;
+//   REMAINING — sends a genuine PollProof, receives the vote, but never
+//               evaluates it / sends a receipt;
+//   NONE      — participates fully *as the strongest adversary would*: it
+//               verifies the vote's effort proof (recovering the receipt
+//               byproduct), requests a few repairs the way an ostensibly
+//               legitimate poller does (§4.3), and returns a valid receipt.
+//               It does NOT hash its AU copy to compare votes: total
+//               information awareness (§3.1) already tells it that honest
+//               victims' votes are valid, so the block-by-block evaluation a
+//               loyal poller performs would be pure waste for it. This is
+//               why full participation is the adversary's most
+//               *cost-effective* strategy (Table 1): the defender-visible
+//               behaviour is identical to a loyal poller's, but the attacker
+//               skips the single most expensive evaluation-phase cost.
+//
+// The adversary has unlimited *parallel* compute (§3.1), so its effort is
+// accounted (for the cost-ratio metric) but never scheduled: it can mint any
+// number of proofs concurrently. Total information awareness lets it time
+// retries to the victims' refractory expirations and skip victims whose
+// schedules cannot accommodate a vote.
+#ifndef LOCKSS_ADVERSARY_BRUTE_FORCE_HPP_
+#define LOCKSS_ADVERSARY_BRUTE_FORCE_HPP_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/mbf.hpp"
+#include "net/network.hpp"
+#include "peer/peer.hpp"
+#include "protocol/effort_schedule.hpp"
+#include "protocol/messages.hpp"
+#include "sched/effort_meter.hpp"
+#include "storage/au.hpp"
+
+namespace lockss::adversary {
+
+enum class DefectionPoint {
+  kIntro,      // desert after the Poll message
+  kRemaining,  // desert after the PollProof message
+  kNone,       // full participation (receipt included)
+};
+
+const char* defection_point_name(DefectionPoint point);
+
+struct BruteForceConfig {
+  DefectionPoint defection = DefectionPoint::kNone;
+  // Size of the minion identity pool (all seeded in-debt at the victims).
+  uint32_t minion_count = 256;
+  uint32_t minion_id_base = 1u << 22;
+  // Pause between an unadmitted try and the next one (the adversary detects
+  // silent drops via total information awareness).
+  sim::SimTime retry_gap = sim::SimTime::minutes(5);
+  // Extra slack after a victim's refractory period expires before probing.
+  sim::SimTime refractory_slack = sim::SimTime::minutes(1);
+  // NONE only: repair blocks requested per completed poll, mimicking the
+  // frivolous-repair behaviour of a loyal poller (§4.3) while charging the
+  // victim a repair-service disk fetch per block.
+  uint32_t repairs_per_poll = 2;
+  // NONE only: pause between the repair requests and the receipt, so the
+  // victim's session is still alive to serve them.
+  sim::SimTime receipt_delay = sim::SimTime::minutes(10);
+};
+
+class BruteForceAdversary : public net::MessageHandler {
+ public:
+  BruteForceAdversary(sim::Simulator& simulator, net::Network& network, sim::Rng rng,
+                      BruteForceConfig config, std::vector<peer::Peer*> victims,
+                      std::vector<storage::AuId> aus, const protocol::Params& params,
+                      const crypto::CostModel& costs);
+  ~BruteForceAdversary() override;
+
+  // Seeds the debt grades at the victims and begins the per-(victim, AU)
+  // attack loops.
+  void start();
+
+  // Minion message reception (PollAck / Vote routed to the shared handler).
+  void handle_message(net::MessagePtr message) override;
+
+  const sched::EffortMeter& meter() const { return meter_; }
+  uint64_t invitations_sent() const { return invitations_sent_; }
+  uint64_t admissions() const { return admissions_; }
+
+ private:
+  struct Front {  // one (victim, AU) attack lane
+    peer::Peer* victim = nullptr;
+    storage::AuId au;
+    protocol::PollId live_poll = 0;  // poll id awaiting ack/vote, 0 if idle
+    crypto::Digest64 nonce;
+    sim::EventHandle timer;
+  };
+
+  void attempt(size_t front_index);
+  void schedule_attempt(size_t front_index, sim::SimTime delay);
+  void on_ack(size_t front_index, const protocol::PollAckMsg& ack);
+  void on_vote(size_t front_index, const protocol::VoteMsg& vote);
+  void send_receipt(size_t front_index, protocol::PollId poll_id, net::NodeId minion,
+                    crypto::Digest64 receipt);
+  net::NodeId next_minion();
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  sim::Rng rng_;
+  BruteForceConfig config_;
+  std::vector<peer::Peer*> victims_;
+  std::vector<storage::AuId> aus_;
+  const protocol::Params& params_;
+  crypto::CostModel costs_;
+  protocol::EffortSchedule efforts_;
+  crypto::MbfService mbf_;
+  sched::EffortMeter meter_;
+
+  std::vector<Front> fronts_;
+  std::map<protocol::PollId, size_t> front_by_poll_;
+  uint32_t next_minion_ = 0;
+  uint32_t poll_sequence_ = 0;
+  uint64_t invitations_sent_ = 0;
+  uint64_t admissions_ = 0;
+};
+
+}  // namespace lockss::adversary
+
+#endif  // LOCKSS_ADVERSARY_BRUTE_FORCE_HPP_

@@ -1,0 +1,169 @@
+#include "adversary/grade_recovery.hpp"
+
+#include <cassert>
+
+namespace lockss::adversary {
+
+GradeRecoveryAdversary::GradeRecoveryAdversary(sim::Simulator& simulator, net::Network& network,
+                                               sim::Rng rng, GradeRecoveryConfig config,
+                                               std::vector<peer::Peer*> victims,
+                                               std::vector<storage::AuId> aus,
+                                               const protocol::Params& params,
+                                               const crypto::CostModel& costs)
+    : simulator_(simulator),
+      network_(network),
+      rng_(rng),
+      config_(config),
+      victims_(std::move(victims)),
+      aus_(std::move(aus)),
+      params_(params),
+      costs_(costs),
+      efforts_(params, costs),
+      mbf_(costs, rng_.split()) {
+  for (uint32_t m = 0; m < config_.minion_count; ++m) {
+    network_.register_node(net::NodeId{config_.minion_id_base + m}, this);
+  }
+}
+
+GradeRecoveryAdversary::~GradeRecoveryAdversary() {
+  for (uint32_t m = 0; m < config_.minion_count; ++m) {
+    network_.unregister_node(net::NodeId{config_.minion_id_base + m});
+  }
+}
+
+peer::Peer* GradeRecoveryAdversary::victim_by_id(net::NodeId id) {
+  for (peer::Peer* victim : victims_) {
+    if (victim->id() == id) {
+      return victim;
+    }
+  }
+  return nullptr;
+}
+
+void GradeRecoveryAdversary::start() {
+  // Long-term infiltration: minions sit in the victims' reference lists with
+  // an even grade, indistinguishable from loyal peers (masquerading, §3.1).
+  for (peer::Peer* victim : victims_) {
+    for (storage::AuId au : aus_) {
+      if (!victim->has_replica(au)) {
+        continue;
+      }
+      std::vector<net::NodeId> minions;
+      for (uint32_t m = 0; m < config_.minion_count; ++m) {
+        const net::NodeId minion{config_.minion_id_base + m};
+        victim->seed_grade(au, minion, reputation::Grade::kEven);
+        minions.push_back(minion);
+      }
+      victim->seed_reference_list(au, minions);
+    }
+  }
+}
+
+void GradeRecoveryAdversary::handle_message(net::MessagePtr message) {
+  if (auto* poll = dynamic_cast<protocol::PollMsg*>(message.get())) {
+    on_poll(*poll);
+  } else if (auto* proof = dynamic_cast<protocol::PollProofMsg*>(message.get())) {
+    on_poll_proof(*proof);
+  } else if (auto* request = dynamic_cast<protocol::RepairRequestMsg*>(message.get())) {
+    on_repair_request(*request);
+  }
+  // PollAcks for defecting polls need no action (INTRO defection: silence);
+  // receipts for supplied votes likewise.
+}
+
+void GradeRecoveryAdversary::on_poll(const protocol::PollMsg& poll) {
+  peer::Peer* victim = victim_by_id(poll.from);
+  if (victim == nullptr) {
+    return;  // only victims' invitations are honored
+  }
+  // Model voter: always accept (unlimited parallel compute).
+  voter_lanes_[poll.poll_id] = VoterLane{poll.to, poll.from, poll.au};
+  auto ack = std::make_unique<protocol::PollAckMsg>();
+  ack->from = poll.to;
+  ack->to = poll.from;
+  ack->poll_id = poll.poll_id;
+  ack->au = poll.au;
+  ack->accept = true;
+  network_.send(std::move(ack));
+}
+
+void GradeRecoveryAdversary::on_poll_proof(const protocol::PollProofMsg& proof) {
+  auto it = voter_lanes_.find(proof.poll_id);
+  if (it == voter_lanes_.end()) {
+    return;
+  }
+  const VoterLane lane = it->second;
+  // Compute a *valid* vote from the magically incorruptible AU copy (§6.2):
+  // canonical content, genuine effort proof, minion-only nominations (the
+  // discovery channel is how new minions are introduced).
+  meter_.charge(sched::EffortCategory::kMbfVerification,
+                costs_.mbf_verify_effort(efforts_.remaining_effort()));
+  meter_.charge(sched::EffortCategory::kVoteComputation, efforts_.vote_computation_effort());
+  meter_.charge(sched::EffortCategory::kMbfGeneration, efforts_.vote_proof_effort());
+  auto vote = std::make_unique<protocol::VoteMsg>();
+  vote->from = lane.minion;
+  vote->to = lane.victim;
+  vote->poll_id = proof.poll_id;
+  vote->au = lane.au;
+  crypto::Digest64 running = crypto::vote_chain_seed(proof.vote_nonce);
+  vote->block_hashes.reserve(params_.au_spec.block_count);
+  for (uint32_t b = 0; b < params_.au_spec.block_count; ++b) {
+    running = crypto::running_block_hash(running, storage::canonical_content(lane.au, b));
+    vote->block_hashes.push_back(running);
+  }
+  vote->vote_effort = mbf_.generate(efforts_.vote_proof_effort());
+  for (uint32_t n = 0; n < params_.nominations_per_vote; ++n) {
+    vote->nominations.push_back(
+        net::NodeId{config_.minion_id_base + static_cast<uint32_t>(rng_.index(
+                                                 config_.minion_count))});
+  }
+  network_.send(std::move(vote));
+  ++votes_supplied_;
+
+  auto key = std::make_tuple(lane.minion, lane.victim, lane.au);
+  if (++supplied_[key] >= config_.votes_before_defection) {
+    supplied_[key] = 0;
+    maybe_defect(lane.minion, lane.victim, lane.au);
+  }
+  voter_lanes_.erase(proof.poll_id);
+}
+
+void GradeRecoveryAdversary::on_repair_request(const protocol::RepairRequestMsg& request) {
+  // Serve valid repairs: staying ostensibly legitimate preserves standing.
+  peer::Peer* victim = victim_by_id(request.from);
+  if (victim == nullptr || request.block >= params_.au_spec.block_count) {
+    return;
+  }
+  meter_.charge(sched::EffortCategory::kRepairService, efforts_.block_hash_effort());
+  auto repair = std::make_unique<protocol::RepairMsg>();
+  repair->from = request.to;
+  repair->to = request.from;
+  repair->poll_id = request.poll_id;
+  repair->au = request.au;
+  repair->block = request.block;
+  repair->content = storage::canonical_content(request.au, request.block);
+  repair->wire_block_bytes = params_.au_spec.block_size_bytes();
+  network_.send(std::move(repair));
+}
+
+void GradeRecoveryAdversary::maybe_defect(net::NodeId minion, net::NodeId victim,
+                                          storage::AuId au) {
+  // Spend the earned standing: a poll invitation that will desert after the
+  // victim commits (INTRO-style defection maximizes victim waste per earned
+  // admission). The invitation uses the even/credit channel, bypassing
+  // random drops — the whole point of the grade recovery.
+  const double intro = efforts_.introductory_effort();
+  meter_.charge(sched::EffortCategory::kMbfGeneration, intro);
+  meter_.charge(sched::EffortCategory::kHandshake, costs_.session_handshake_seconds);
+  auto poll = std::make_unique<protocol::PollMsg>();
+  poll->from = minion;
+  poll->to = victim;
+  poll->poll_id = protocol::make_poll_id(minion, poll_sequence_++);
+  poll->au = au;
+  poll->introductory_effort = mbf_.generate(intro);
+  poll->vote_deadline = simulator_.now() + params_.vote_window;
+  network_.send(std::move(poll));
+  ++defecting_polls_;
+}
+
+}  // namespace lockss::adversary

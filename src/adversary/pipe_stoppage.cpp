@@ -1,0 +1,30 @@
+#include "adversary/pipe_stoppage.hpp"
+
+namespace lockss::adversary {
+
+PipeStoppageAdversary::PipeStoppageAdversary(sim::Simulator& simulator, net::Network& network,
+                                             sim::Rng rng, AttackCadence cadence,
+                                             std::vector<net::NodeId> population)
+    : network_(network),
+      schedule_(
+          simulator, rng, cadence, std::move(population),
+          [this](const std::vector<net::NodeId>& victims) {
+            victims_.clear();
+            victims_.insert(victims.begin(), victims.end());
+          },
+          [this] { victims_.clear(); }) {
+  network_.add_filter(this);
+}
+
+PipeStoppageAdversary::~PipeStoppageAdversary() { network_.remove_filter(this); }
+
+void PipeStoppageAdversary::start() { schedule_.start(); }
+
+bool PipeStoppageAdversary::allow(net::NodeId from, net::NodeId to) const {
+  if (victims_.empty()) {
+    return true;
+  }
+  return !victims_.contains(from) && !victims_.contains(to);
+}
+
+}  // namespace lockss::adversary

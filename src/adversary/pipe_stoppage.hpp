@@ -1,0 +1,47 @@
+// The effortless network-level attrition adversary (§7.2).
+//
+// "The 'pipe stoppage' adversary models packet flooding or more
+// sophisticated attacks. This adversary suppresses all communication between
+// some proportion of the total peer population (its coverage) and other
+// LOCKSS peers." Implemented as a net::LinkFilter that vetoes every message
+// to or from a victim while an attack phase is active; the AttackSchedule
+// re-randomizes victims each iteration and inserts the 30-day recuperation.
+//
+// The attack is *effortless* (§3.1): nothing is charged to any effort meter.
+#ifndef LOCKSS_ADVERSARY_PIPE_STOPPAGE_HPP_
+#define LOCKSS_ADVERSARY_PIPE_STOPPAGE_HPP_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "adversary/attack_schedule.hpp"
+#include "net/network.hpp"
+
+namespace lockss::adversary {
+
+class PipeStoppageAdversary : public net::LinkFilter {
+ public:
+  PipeStoppageAdversary(sim::Simulator& simulator, net::Network& network, sim::Rng rng,
+                        AttackCadence cadence, std::vector<net::NodeId> population);
+  ~PipeStoppageAdversary() override;
+
+  // Launches the first stoppage immediately.
+  void start();
+
+  // net::LinkFilter: drop anything touching a current victim.
+  bool allow(net::NodeId from, net::NodeId to) const override;
+
+  bool attacking() const { return schedule_.attacking(); }
+  size_t victim_count() const { return victims_.size(); }
+  uint64_t iterations() const { return schedule_.iterations(); }
+
+ private:
+  net::Network& network_;
+  std::set<net::NodeId> victims_;
+  AttackSchedule schedule_;
+};
+
+}  // namespace lockss::adversary
+
+#endif  // LOCKSS_ADVERSARY_PIPE_STOPPAGE_HPP_

@@ -1,0 +1,74 @@
+#include "adversary/vote_flood.hpp"
+
+namespace lockss::adversary {
+
+VoteFloodAdversary::VoteFloodAdversary(sim::Simulator& simulator, net::Network& network,
+                                       sim::Rng rng, VoteFloodConfig config,
+                                       std::vector<peer::Peer*> victims,
+                                       std::vector<storage::AuId> aus)
+    : simulator_(simulator),
+      network_(network),
+      rng_(rng),
+      config_(config),
+      victims_(std::move(victims)),
+      aus_(std::move(aus)) {
+  for (uint32_t m = 0; m < config_.minion_count; ++m) {
+    network_.register_node(net::NodeId{config_.minion_id_base + m}, this);
+  }
+}
+
+VoteFloodAdversary::~VoteFloodAdversary() {
+  for (sim::EventHandle& timer : timers_) {
+    timer.cancel();
+  }
+  for (uint32_t m = 0; m < config_.minion_count; ++m) {
+    network_.unregister_node(net::NodeId{config_.minion_id_base + m});
+  }
+}
+
+void VoteFloodAdversary::start() {
+  timers_.resize(victims_.size());
+  for (size_t v = 0; v < victims_.size(); ++v) {
+    timers_[v] = simulator_.schedule_in(
+        rng_.uniform_time(sim::SimTime::zero(), config_.burst_gap), [this, v] { burst(v); });
+  }
+}
+
+protocol::PollId VoteFloodAdversary::forge_poll_id(const peer::Peer& victim) {
+  if (rng_.bernoulli(config_.replay_fraction)) {
+    // Replay oracle: pick a poll the victim is genuinely running right now.
+    // The vote still dies because its sender was never solicited for it —
+    // the poller session tracks exactly whom it invited.
+    const auto live = victim.live_poller_poll_ids();
+    if (!live.empty()) {
+      return live[rng_.index(live.size())];
+    }
+  }
+  // Forge an id in the victim's own id space with a plausible sequence
+  // number, or (rarely) pure noise.
+  if (rng_.bernoulli(0.9)) {
+    return protocol::make_poll_id(victim.id(), static_cast<uint32_t>(rng_.index(1u << 16)));
+  }
+  return rng_.next_u64();
+}
+
+void VoteFloodAdversary::burst(size_t victim_index) {
+  peer::Peer* victim = victims_[victim_index];
+  for (uint32_t i = 0; i < config_.votes_per_burst; ++i) {
+    auto vote = std::make_unique<protocol::VoteMsg>();
+    vote->from = net::NodeId{config_.minion_id_base + (next_minion_++ % config_.minion_count)};
+    vote->to = victim->id();
+    vote->poll_id = forge_poll_id(*victim);
+    vote->au = aus_[rng_.index(aus_.size())];
+    vote->block_hashes.assign(config_.blocks_per_vote, crypto::Digest64{rng_.next_u64()});
+    vote->vote_effort = crypto::MbfProof::garbage(1.0);
+    network_.send(std::move(vote));
+    ++votes_sent_;
+  }
+  timers_[victim_index] = simulator_.schedule_in(
+      config_.burst_gap +
+          rng_.uniform_time(sim::SimTime::zero(), sim::SimTime::seconds(30)),
+      [this, victim_index] { burst(victim_index); });
+}
+
+}  // namespace lockss::adversary

@@ -1,0 +1,47 @@
+// Gnuplot script emission for the figure benches.
+//
+// Every fig* bench can mirror its rows to CSV (--csv); this helper emits a
+// companion .gp script that re-draws the paper's figure from that CSV with
+// the paper's axes (log-scale y for access-failure plots, log-scale x for
+// the duration sweeps). Usage from a bench:
+//
+//   analysis::GnuplotSpec spec;
+//   spec.title = "Figure 3: access failure under pipe stoppage";
+//   spec.csv_path = profile.csv;
+//   spec.x_label = "Attack duration (days)";  spec.log_x = true;
+//   spec.y_label = "Access failure probability"; spec.log_y = true;
+//   spec.series = {"10%", "40%", "70%", "100%"};
+//   analysis::write_gnuplot(spec, profile.csv + ".gp");
+//
+// The scripts run offline with stock gnuplot: `gnuplot fig3.csv.gp`.
+#ifndef LOCKSS_ANALYSIS_GNUPLOT_HPP_
+#define LOCKSS_ANALYSIS_GNUPLOT_HPP_
+
+#include <string>
+#include <vector>
+
+namespace lockss::analysis {
+
+struct GnuplotSpec {
+  std::string title;
+  std::string csv_path;    // data file the script plots (CSV with header)
+  std::string x_label;
+  std::string y_label;
+  bool log_x = false;
+  bool log_y = false;
+  // Column labels for series 2..N+1 of the CSV (column 1 is x).
+  std::vector<std::string> series;
+  // Output image name inside the script (png); defaults to csv_path + ".png".
+  std::string output_png;
+};
+
+// Renders the script text.
+std::string gnuplot_script(const GnuplotSpec& spec);
+
+// Writes the script next to the CSV; returns false (and does nothing) if
+// spec.csv_path is empty or the file cannot be created.
+bool write_gnuplot(const GnuplotSpec& spec, const std::string& path);
+
+}  // namespace lockss::analysis
+
+#endif  // LOCKSS_ANALYSIS_GNUPLOT_HPP_

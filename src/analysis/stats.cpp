@@ -1,0 +1,145 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lockss::analysis {
+
+void RunningStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_half_width() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, uint32_t bins)
+    : lo_(lo), width_((hi - lo) / std::max(1u, bins)), counts_(std::max(1u, bins), 0) {}
+
+void Histogram::add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<uint64_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<size_t>(bin)];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) {
+    return lo_;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double running = static_cast<double>(underflow_);
+  if (target <= running) {
+    return lo_;
+  }
+  for (uint32_t b = 0; b < bins(); ++b) {
+    const auto in_bin = static_cast<double>(counts_[b]);
+    if (running + in_bin >= target && in_bin > 0) {
+      const double frac = (target - running) / in_bin;
+      return bin_lo(b) + frac * width_;
+    }
+    running += in_bin;
+  }
+  return bin_hi(bins() - 1);
+}
+
+std::string Histogram::render(uint32_t width) const {
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  char line[160];
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof line, "%12s < %-9.3g %8llu\n", "", lo_,
+                  static_cast<unsigned long long>(underflow_));
+    out += line;
+  }
+  for (uint32_t b = 0; b < bins(); ++b) {
+    if (counts_[b] == 0) {
+      continue;
+    }
+    const auto bar = static_cast<uint32_t>(counts_[b] * width / peak);
+    std::snprintf(line, sizeof line, "[%9.3g, %9.3g) %8llu %s\n", bin_lo(b), bin_hi(b),
+                  static_cast<unsigned long long>(counts_[b]),
+                  std::string(std::max(1u, bar), '#').c_str());
+    out += line;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof line, "%12s >= %-8.3g %8llu\n", "", bin_hi(bins() - 1),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+void TimeWeighted::set(sim::SimTime now, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ = now;
+  } else if (now > last_) {
+    integral_ += value_ * (now - last_).to_seconds();
+  }
+  last_ = now;
+  value_ = value;
+}
+
+double TimeWeighted::mean(sim::SimTime end) const {
+  if (!started_ || end <= start_) {
+    return 0.0;
+  }
+  double integral = integral_;
+  if (end > last_) {
+    integral += value_ * (end - last_).to_seconds();
+  }
+  return integral / (end - start_).to_seconds();
+}
+
+}  // namespace lockss::analysis

@@ -1,0 +1,109 @@
+// Streaming statistics for experiment post-processing.
+//
+// The experiment harness reports §6.1 metrics per run; these helpers support
+// aggregation across runs and within time series without storing samples:
+//
+//   * RunningStats — Welford-style streaming mean/variance/min/max;
+//   * Histogram   — fixed-width bins with underflow/overflow, quantile
+//                   estimates, and text rendering for bench output;
+//   * TimeWeighted — time-weighted mean of a step function (the same
+//                   integral the metrics collector uses for the
+//                   access-failure probability, reusable by callers).
+//
+// All of it is exact, deterministic, and allocation-free after construction
+// (Histogram allocates its bins once).
+#ifndef LOCKSS_ANALYSIS_STATS_HPP_
+#define LOCKSS_ANALYSIS_STATS_HPP_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace lockss::analysis {
+
+// Welford's online algorithm: numerically stable single-pass mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  // Half-width of the normal-approximation 95% confidence interval for the
+  // mean (1.96 sigma / sqrt(n)); 0 with fewer than two samples.
+  double ci95_half_width() const;
+
+  // Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width histogram over [lo, hi) with `bins` bins plus underflow and
+// overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, uint32_t bins);
+
+  void add(double x);
+
+  uint64_t count() const { return count_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t bin_count(uint32_t bin) const { return counts_.at(bin); }
+  uint32_t bins() const { return static_cast<uint32_t>(counts_.size()); }
+  double bin_lo(uint32_t bin) const { return lo_ + width_ * bin; }
+  double bin_hi(uint32_t bin) const { return lo_ + width_ * (bin + 1); }
+
+  // Quantile estimate by linear interpolation within the containing bin.
+  // q in [0, 1]; underflow/overflow samples clamp to the range edges.
+  double quantile(double q) const;
+
+  // Multi-line text rendering (one row per non-empty bin, `#` bars scaled to
+  // `width` characters), for bench/tool output.
+  std::string render(uint32_t width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+};
+
+// Time-weighted mean of a right-continuous step function: call set(t, v) at
+// each change; value(t_end) integrates up to t_end.
+class TimeWeighted {
+ public:
+  void set(sim::SimTime now, double value);
+  // Time-weighted mean over [first set, end].
+  double mean(sim::SimTime end) const;
+  double current() const { return value_; }
+
+ private:
+  bool started_ = false;
+  sim::SimTime last_;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  sim::SimTime start_;
+};
+
+}  // namespace lockss::analysis
+
+#endif  // LOCKSS_ANALYSIS_STATS_HPP_

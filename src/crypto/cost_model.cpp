@@ -1,0 +1,4 @@
+#include "crypto/cost_model.hpp"
+
+// CostModel is header-only today; this translation unit anchors the library
+// and reserves a home for future non-inline cost tables.

@@ -1,0 +1,64 @@
+// Cost model for "a low-cost PC" circa the paper's deployment (§6.3: "We set
+// all costs of primitive operations (hashing, encryption, L1 cache and RAM
+// accesses, etc.) to match the capabilities of such a low-cost PC").
+//
+// Effort is measured in *effort-seconds*: one unit equals one second of the
+// reference machine's fully-utilized pipeline. The scheduler (`sched/`) books
+// effort-seconds as wall-clock seconds on the simulated CPU, and the metrics
+// module sums them for the friction and cost-ratio metrics.
+#ifndef LOCKSS_CRYPTO_COST_MODEL_HPP_
+#define LOCKSS_CRYPTO_COST_MODEL_HPP_
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace lockss::crypto {
+
+struct CostModel {
+  // Disk-read + SHA-1 pipeline throughput for hashing AU content. 50 MB/s is
+  // representative of a 2005 commodity PC with a single IDE disk.
+  double hash_bytes_per_second = 50.0 * 1024 * 1024;
+
+  // Memory-bound-function asymmetry: verifying a proof costs 1/gamma of
+  // generating it (Dwork et al. report one to two orders of magnitude; we use
+  // a conservative 20x).
+  double mbf_verify_asymmetry = 20.0;
+
+  // CPU cost of the anonymous Diffie-Hellman TLS handshake that fronts every
+  // poller/voter exchange (§4.1), per endpoint.
+  double session_handshake_seconds = 0.05;
+
+  // Fixed per-message processing overhead (parse, dispatch, schedule check).
+  double message_overhead_seconds = 0.001;
+
+  // --- Derived helpers ---------------------------------------------------
+
+  sim::SimTime hash_time(uint64_t bytes) const {
+    return sim::SimTime::seconds(static_cast<double>(bytes) / hash_bytes_per_second);
+  }
+
+  // Generating `effort_seconds` of provable MBF effort takes exactly that
+  // long on the reference machine.
+  sim::SimTime mbf_generate_time(double effort_seconds) const {
+    return sim::SimTime::seconds(effort_seconds);
+  }
+
+  // Verifying is cheaper by the asymmetry factor.
+  sim::SimTime mbf_verify_time(double effort_seconds) const {
+    return sim::SimTime::seconds(effort_seconds / mbf_verify_asymmetry);
+  }
+
+  double mbf_verify_effort(double effort_seconds) const {
+    return effort_seconds / mbf_verify_asymmetry;
+  }
+
+  sim::SimTime handshake_time() const { return sim::SimTime::seconds(session_handshake_seconds); }
+  sim::SimTime message_overhead_time() const {
+    return sim::SimTime::seconds(message_overhead_seconds);
+  }
+};
+
+}  // namespace lockss::crypto
+
+#endif  // LOCKSS_CRYPTO_COST_MODEL_HPP_

@@ -1,0 +1,13 @@
+#include "crypto/digest.hpp"
+
+#include <cstdio>
+
+namespace lockss::crypto {
+
+std::string Digest64::to_hex() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace lockss::crypto

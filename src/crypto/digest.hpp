@@ -1,0 +1,68 @@
+// Simulated cryptographic digests.
+//
+// The production LOCKSS daemon hashes AU content with SHA-1. For the
+// simulation the only properties that matter are (a) equal inputs hash equal,
+// (b) different inputs collide with negligible probability, and (c) hashing
+// costs simulated time (charged via crypto::CostModel, not here). A 64-bit
+// mixed value provides (a) and (b) at simulation scale; the *time* cost of
+// "real" SHA-1 over 0.5 GB is modelled separately.
+#ifndef LOCKSS_CRYPTO_DIGEST_HPP_
+#define LOCKSS_CRYPTO_DIGEST_HPP_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace lockss::crypto {
+
+struct Digest64 {
+  uint64_t value = 0;
+
+  friend constexpr auto operator<=>(const Digest64&, const Digest64&) = default;
+  std::string to_hex() const;
+};
+
+// Strong 64-bit mixer (splitmix64 finalizer); the basis of all simulated
+// hashing in the repository.
+constexpr uint64_t mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Combines a running digest with one more 64-bit word.
+constexpr Digest64 digest_combine(Digest64 acc, uint64_t word) {
+  return Digest64{mix64(acc.value * 0x9E3779B97F4A7C15ull + word + 0xD1B54A32D192ED03ull)};
+}
+
+// Digest of a (nonce, word) pair; used where the protocol hashes a nonce
+// followed by content.
+constexpr Digest64 keyed_digest(Digest64 nonce, uint64_t word) {
+  return digest_combine(digest_combine(Digest64{0x243F6A8885A308D3ull}, nonce.value), word);
+}
+
+// Running block-hash chain: the voter hashes the poller-supplied nonce, then
+// the AU block by block, emitting the running digest at each block boundary
+// (§4.1). `prev` is the running digest before this block (the nonce digest
+// for block 0).
+constexpr Digest64 running_block_hash(Digest64 prev, uint64_t block_content) {
+  return digest_combine(prev, block_content);
+}
+
+// The digest a vote chain starts from for a given nonce.
+constexpr Digest64 vote_chain_seed(Digest64 nonce) {
+  return keyed_digest(nonce, 0x5648F9A3C1E0D2B7ull);
+}
+
+}  // namespace lockss::crypto
+
+// Hash support so digests can key unordered containers.
+template <>
+struct std::hash<lockss::crypto::Digest64> {
+  size_t operator()(const lockss::crypto::Digest64& d) const noexcept {
+    return static_cast<size_t>(d.value);
+  }
+};
+
+#endif  // LOCKSS_CRYPTO_DIGEST_HPP_

@@ -1,0 +1,3 @@
+#include "crypto/mbf.hpp"
+
+// MbfService is header-only today; this translation unit anchors the library.

@@ -1,0 +1,107 @@
+#include "experiment/aggregate.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lockss::experiment {
+
+Aggregate aggregate(const std::vector<double>& values) {
+  Aggregate out;
+  if (values.empty()) {
+    return out;
+  }
+  out.n = values.size();
+  out.min = *std::min_element(values.begin(), values.end());
+  out.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  out.mean = sum / static_cast<double>(values.size());
+  return out;
+}
+
+std::vector<RunResult> run_replicated(const ScenarioConfig& config, uint32_t seeds) {
+  std::vector<RunResult> runs;
+  runs.reserve(seeds);
+  for (uint32_t s = 0; s < seeds; ++s) {
+    ScenarioConfig c = config;
+    c.seed = config.seed + s;
+    runs.push_back(run_scenario(c));
+  }
+  return runs;
+}
+
+RunResult combine_results(const std::vector<RunResult>& parts) {
+  assert(!parts.empty());
+  RunResult out;
+  out.report.duration = parts.front().report.duration;
+  double afp_sum = 0.0;
+  double gap_weighted = 0.0;
+  double gap_weight = 0.0;
+  for (const RunResult& part : parts) {
+    const metrics::MetricsReport& r = part.report;
+    afp_sum += r.access_failure_probability;
+    out.report.successful_polls += r.successful_polls;
+    out.report.inquorate_polls += r.inquorate_polls;
+    out.report.alarms += r.alarms;
+    out.report.repairs += r.repairs;
+    out.report.damage_events += r.damage_events;
+    out.report.loyal_effort_seconds += r.loyal_effort_seconds;
+    out.report.adversary_effort_seconds += r.adversary_effort_seconds;
+    // mean_success_gap is duration*replicas/successes per part, so the
+    // success-weighted mean reconstructs duration*total_replicas/total_successes.
+    const double w = static_cast<double>(r.successful_polls);
+    gap_weighted += r.mean_success_gap_days * w;
+    gap_weight += w;
+    out.polls_started += part.polls_started;
+    out.solicitations_sent += part.solicitations_sent;
+    out.messages_delivered += part.messages_delivered;
+    out.messages_filtered += part.messages_filtered;
+    out.adversary_invitations += part.adversary_invitations;
+    out.adversary_admissions += part.adversary_admissions;
+  }
+  out.report.access_failure_probability = afp_sum / static_cast<double>(parts.size());
+  out.report.mean_success_gap_days = gap_weight > 0.0 ? gap_weighted / gap_weight : 0.0;
+  out.report.effort_per_successful_poll =
+      out.report.successful_polls > 0
+          ? out.report.loyal_effort_seconds / static_cast<double>(out.report.successful_polls)
+          : 0.0;
+  out.report.cost_ratio = out.report.loyal_effort_seconds > 0.0
+                              ? out.report.adversary_effort_seconds /
+                                    out.report.loyal_effort_seconds
+                              : 0.0;
+  return out;
+}
+
+Aggregate aggregate_metric(const std::vector<RunResult>& runs,
+                           const std::function<double(const RunResult&)>& metric) {
+  std::vector<double> values;
+  values.reserve(runs.size());
+  for (const RunResult& run : runs) {
+    values.push_back(metric(run));
+  }
+  return aggregate(values);
+}
+
+RelativeMetrics relative_metrics(const RunResult& attack, const RunResult& baseline) {
+  RelativeMetrics out;
+  out.access_failure = attack.report.access_failure_probability;
+  if (baseline.report.mean_success_gap_days > 0.0 && attack.report.mean_success_gap_days > 0.0) {
+    out.delay_ratio =
+        attack.report.mean_success_gap_days / baseline.report.mean_success_gap_days;
+  } else if (attack.report.successful_polls == 0 && baseline.report.successful_polls > 0) {
+    // Nothing ever succeeded under attack: the delay is unbounded; report
+    // the ratio as if exactly one poll had succeeded (a lower bound).
+    out.delay_ratio = static_cast<double>(baseline.report.successful_polls);
+  }
+  if (baseline.report.effort_per_successful_poll > 0.0 &&
+      attack.report.effort_per_successful_poll > 0.0) {
+    out.friction =
+        attack.report.effort_per_successful_poll / baseline.report.effort_per_successful_poll;
+  }
+  out.cost_ratio = attack.report.cost_ratio;
+  return out;
+}
+
+}  // namespace lockss::experiment

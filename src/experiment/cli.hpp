@@ -1,0 +1,66 @@
+// Minimal command-line parsing shared by the bench binaries.
+//
+// Conventions: `--flag` (boolean), `--key value`. Every figure/table binary
+// supports:
+//   --paper          full §6.3 parameters (100 peers, 50/600 AUs, 2 years,
+//                    3 seeds, full sweep grids) — CPU-hours of work;
+//   --peers/--aus/--years/--seeds  individual overrides;
+//   --csv PATH       mirror rows to a CSV file.
+// The default is a reduced grid that preserves every *rate* in §6.3 (poll
+// interval, damage rate, refractory period, drop probabilities) and shrinks
+// only population/collection/duration, so the reported shapes match the
+// paper at a fraction of the cost.
+#ifndef LOCKSS_EXPERIMENT_CLI_HPP_
+#define LOCKSS_EXPERIMENT_CLI_HPP_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+
+namespace lockss::experiment {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool flag(const std::string& name) const;
+  int64_t integer(const std::string& name, int64_t fallback) const;
+  double real(const std::string& name, double fallback) const;
+  std::string text(const std::string& name, const std::string& fallback) const;
+  // Comma-separated doubles, e.g. "--coverages 10,40,70,100".
+  std::vector<double> reals(const std::string& name, std::vector<double> fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// The common experiment profile derived from the standard flags.
+struct BenchProfile {
+  uint32_t peers = 0;
+  uint32_t aus = 0;
+  double years = 0.0;
+  uint32_t seeds = 0;
+  bool paper = false;
+  std::string csv;
+};
+
+// Resolves the profile: defaults scale down unless --paper is given.
+BenchProfile resolve_profile(const CliArgs& args, uint32_t quick_peers, uint32_t quick_aus,
+                             double quick_years, uint32_t quick_seeds);
+
+// Base scenario config from a profile (§6.3 parameters otherwise).
+ScenarioConfig base_config(const BenchProfile& profile);
+
+// How much the reduced profile inflates the per-AU damage rate relative to
+// §7.1 (1.0 under --paper).
+double damage_rate_inflation(const BenchProfile& profile);
+
+// Standard preamble print: what this binary reproduces and at what scale.
+void print_preamble(const std::string& what, const BenchProfile& profile);
+
+}  // namespace lockss::experiment
+
+#endif  // LOCKSS_EXPERIMENT_CLI_HPP_

@@ -1,0 +1,284 @@
+#include "experiment/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "adversary/admission_flood.hpp"
+#include "adversary/grade_recovery.hpp"
+#include "adversary/pipe_stoppage.hpp"
+#include "adversary/vote_flood.hpp"
+#include "net/network.hpp"
+#include "peer/peer.hpp"
+#include "sim/simulator.hpp"
+
+namespace lockss::experiment {
+
+RunResult run_scenario(const ScenarioConfig& config) {
+  sim::Simulator simulator;
+  sim::Rng root(config.seed);
+  net::Network network(simulator, root.split());
+  metrics::MetricsCollector collector;
+
+  peer::PeerEnvironment env;
+  env.simulator = &simulator;
+  env.network = &network;
+  env.metrics = &collector;
+  env.params = config.params;
+  env.costs = config.costs;
+  env.damage = config.damage;
+  env.enable_damage = config.enable_damage;
+  env.retain_schedule_history = config.collect_schedule_history;
+  env.poll_observer = config.poll_observer;
+
+  // --- Loyal population ------------------------------------------------------
+  std::vector<std::unique_ptr<peer::Peer>> peers;
+  std::vector<net::NodeId> ids;
+  peers.reserve(config.peer_count);
+  for (uint32_t p = 0; p < config.peer_count; ++p) {
+    const net::NodeId id{p};
+    ids.push_back(id);
+    peers.push_back(std::make_unique<peer::Peer>(env, id, root.split()));
+  }
+  std::vector<storage::AuId> aus;
+  for (uint32_t a = 0; a < config.au_count; ++a) {
+    aus.push_back(storage::AuId{a});
+  }
+  // Collection membership. At au_coverage = 1.0 every peer holds every AU
+  // (the paper's setting); below it, each peer joins each AU independently,
+  // with a floor of 2x quorum holders per AU so polls remain feasible.
+  sim::Rng membership = root.split();
+  std::vector<std::vector<net::NodeId>> holders(config.au_count);
+  uint64_t total_replicas = 0;
+  for (uint32_t a = 0; a < config.au_count; ++a) {
+    for (uint32_t p = 0; p < config.peer_count; ++p) {
+      if (config.au_coverage >= 1.0 || membership.bernoulli(config.au_coverage)) {
+        holders[a].push_back(ids[p]);
+      }
+    }
+    const uint32_t floor = std::min(config.peer_count, 2 * config.params.quorum);
+    if (holders[a].size() < floor) {
+      // Top up deterministically with the lowest-id non-holders.
+      for (uint32_t p = 0; p < config.peer_count && holders[a].size() < floor; ++p) {
+        if (std::find(holders[a].begin(), holders[a].end(), ids[p]) == holders[a].end()) {
+          holders[a].push_back(ids[p]);
+        }
+      }
+    }
+    for (net::NodeId id : holders[a]) {
+      peers[id.value]->join_au(aus[a]);
+    }
+    total_replicas += holders[a].size();
+  }
+  collector.set_total_replicas(total_replicas);
+
+  // Friends lists (operator-maintained, §4.1): a few random fellow peers.
+  sim::Rng bootstrap = root.split();
+  for (uint32_t p = 0; p < config.peer_count; ++p) {
+    std::vector<net::NodeId> others;
+    for (net::NodeId id : ids) {
+      if (id != ids[p]) {
+        others.push_back(id);
+      }
+    }
+    peers[p]->set_friends(bootstrap.sample(others, config.params.friends_list_size));
+  }
+
+  // Initial reference lists with mutual familiarity: the deployed beta
+  // network bootstraps peers from the publisher and prior contact, so both
+  // directions start at an `even` grade. Reference lists draw only from the
+  // AU's actual holders — a peer cannot vote on an AU it does not preserve.
+  for (uint32_t a = 0; a < config.au_count; ++a) {
+    for (net::NodeId holder : holders[a]) {
+      std::vector<net::NodeId> others;
+      for (net::NodeId id : holders[a]) {
+        if (id != holder) {
+          others.push_back(id);
+        }
+      }
+      const auto seeds = bootstrap.sample(others, config.params.reference_list_target);
+      peers[holder.value]->seed_reference_list(aus[a], seeds);
+      for (net::NodeId other : seeds) {
+        peers[holder.value]->seed_grade(aus[a], other, reputation::Grade::kEven);
+        peers[other.value]->seed_grade(aus[a], holder, reputation::Grade::kEven);
+      }
+    }
+  }
+
+  // Newcomers (§9 extension): constructed now so the network knows their
+  // addresses, but started only at their join time. They hold correct
+  // publisher replicas of every AU they join and know a bootstrap sample of
+  // established holders; no established peer knows them.
+  std::vector<std::unique_ptr<peer::Peer>> newcomers;
+  sim::Rng churn = root.split();
+  for (uint32_t n = 0; n < config.newcomer_count; ++n) {
+    const net::NodeId id{config.peer_count + n};
+    newcomers.push_back(std::make_unique<peer::Peer>(env, id, root.split()));
+    peer::Peer* newcomer = newcomers.back().get();
+    for (uint32_t a = 0; a < config.au_count; ++a) {
+      newcomer->join_au(aus[a]);
+      const auto seeds = churn.sample(holders[a], config.params.reference_list_target);
+      newcomer->seed_reference_list(aus[a], seeds);
+    }
+    newcomer->set_friends(churn.sample(ids, config.params.friends_list_size));
+    const sim::SimTime join_at =
+        churn.uniform_time(sim::SimTime::zero(), config.newcomer_join_window);
+    simulator.schedule_at(join_at, [newcomer] { newcomer->start(); });
+  }
+  if (config.newcomer_count > 0) {
+    collector.set_total_replicas(total_replicas +
+                                 static_cast<uint64_t>(config.newcomer_count) * config.au_count);
+  }
+
+  // Background load from previous layers (§6.3 layering).
+  if (config.background != nullptr) {
+    assert(config.background->size() == peers.size());
+    for (size_t p = 0; p < peers.size(); ++p) {
+      for (const sched::Reservation& r : (*config.background)[p]) {
+        peers[p]->schedule().inject_busy(r.start, r.end);
+      }
+    }
+  }
+
+  for (auto& p : peers) {
+    p->start();
+  }
+
+  // --- Adversary --------------------------------------------------------------
+  std::unique_ptr<adversary::PipeStoppageAdversary> pipe_stoppage;
+  std::unique_ptr<adversary::AdmissionFloodAdversary> admission_flood;
+  std::unique_ptr<adversary::BruteForceAdversary> brute_force;
+  std::unique_ptr<adversary::GradeRecoveryAdversary> grade_recovery;
+  std::unique_ptr<adversary::VoteFloodAdversary> vote_flood;
+  std::vector<peer::Peer*> victim_ptrs;
+  for (auto& p : peers) {
+    victim_ptrs.push_back(p.get());
+  }
+  const auto start_pipe_stoppage = [&] {
+    pipe_stoppage = std::make_unique<adversary::PipeStoppageAdversary>(
+        simulator, network, root.split(), config.adversary.cadence, ids);
+    pipe_stoppage->start();
+  };
+  const auto start_brute_force = [&] {
+    adversary::BruteForceConfig bf;
+    bf.defection = config.adversary.defection;
+    brute_force = std::make_unique<adversary::BruteForceAdversary>(
+        simulator, network, root.split(), bf, victim_ptrs, aus, config.params, config.costs);
+    brute_force->start();
+  };
+  switch (config.adversary.kind) {
+    case AdversarySpec::Kind::kNone:
+      break;
+    case AdversarySpec::Kind::kPipeStoppage:
+      start_pipe_stoppage();
+      break;
+    case AdversarySpec::Kind::kAdmissionFlood: {
+      adversary::AdmissionFloodConfig flood;
+      flood.cadence = config.adversary.cadence;
+      admission_flood = std::make_unique<adversary::AdmissionFloodAdversary>(
+          simulator, network, root.split(), flood, victim_ptrs, aus, config.params);
+      admission_flood->start();
+      break;
+    }
+    case AdversarySpec::Kind::kBruteForce:
+      start_brute_force();
+      break;
+    case AdversarySpec::Kind::kGradeRecovery: {
+      grade_recovery = std::make_unique<adversary::GradeRecoveryAdversary>(
+          simulator, network, root.split(), adversary::GradeRecoveryConfig{}, victim_ptrs, aus,
+          config.params, config.costs);
+      grade_recovery->start();
+      break;
+    }
+    case AdversarySpec::Kind::kVoteFlood: {
+      vote_flood = std::make_unique<adversary::VoteFloodAdversary>(
+          simulator, network, root.split(), adversary::VoteFloodConfig{}, victim_ptrs, aus);
+      vote_flood->start();
+      break;
+    }
+    case AdversarySpec::Kind::kCombined:
+      // §9 combined strategy: a network-level blackout over part of the
+      // population while the brute-force adversary drains the remainder at
+      // the application level. The blackout also severs the brute-force
+      // lanes into covered victims, so the effortful attack concentrates on
+      // whoever can still communicate.
+      start_pipe_stoppage();
+      start_brute_force();
+      break;
+  }
+
+  // --- Run ---------------------------------------------------------------------
+  simulator.run_until(config.duration);
+
+  // --- Harvest -------------------------------------------------------------------
+  RunResult result;
+  double loyal_effort = 0.0;
+  const auto harvest_peer = [&](const peer::Peer& p) {
+    loyal_effort += p.meter().total();
+    result.polls_started += p.polls_started();
+    result.solicitations_sent += p.solicitations_sent();
+    for (size_t v = 0; v < result.admission_verdicts.size(); ++v) {
+      result.admission_verdicts[v] += p.admission_verdicts()[v];
+    }
+  };
+  for (auto& p : peers) {
+    harvest_peer(*p);
+  }
+  for (auto& p : newcomers) {
+    harvest_peer(*p);
+  }
+  double adversary_effort = 0.0;
+  if (brute_force) {
+    adversary_effort = brute_force->meter().total();
+  } else if (grade_recovery) {
+    adversary_effort = grade_recovery->meter().total();
+  } else if (vote_flood) {
+    adversary_effort = vote_flood->meter().total();
+  }
+  collector.set_effort_totals(loyal_effort, adversary_effort);
+  result.report = collector.finalize(config.duration);
+  result.messages_delivered = network.stats().messages_delivered;
+  result.messages_filtered = network.stats().messages_filtered;
+  if (brute_force) {
+    result.adversary_invitations = brute_force->invitations_sent();
+    result.adversary_admissions = brute_force->admissions();
+  } else if (admission_flood) {
+    result.adversary_invitations = admission_flood->probes_sent();
+  } else if (grade_recovery) {
+    result.adversary_invitations = grade_recovery->defecting_polls();
+    result.adversary_admissions = grade_recovery->votes_supplied();
+  } else if (vote_flood) {
+    result.adversary_invitations = vote_flood->votes_sent();
+  }
+  if (config.collect_schedule_history) {
+    result.schedules.reserve(peers.size());
+    for (auto& p : peers) {
+      result.schedules.push_back(p->schedule().intervals_after(sim::SimTime::zero()));
+    }
+  }
+  return result;
+}
+
+std::vector<RunResult> run_layered(const ScenarioConfig& config, uint32_t layers) {
+  std::vector<RunResult> results;
+  // Accumulated busy intervals per peer across layers.
+  std::vector<std::vector<sched::Reservation>> background(config.peer_count);
+  for (uint32_t layer = 0; layer < layers; ++layer) {
+    ScenarioConfig layer_config = config;
+    layer_config.seed = config.seed + 7919 * layer;  // distinct stream per layer
+    layer_config.collect_schedule_history = true;
+    layer_config.background = layer > 0 ? &background : nullptr;
+    RunResult r = run_scenario(layer_config);
+    // Fold this layer's *new* busy time into the accumulated background.
+    // intervals_after() returns the merged schedule (old injected + new), so
+    // simply replacing the background with the export keeps the union.
+    for (uint32_t p = 0; p < config.peer_count; ++p) {
+      background[p] = r.schedules[p];
+    }
+    r.schedules.clear();  // not useful to callers; keep results lean
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace lockss::experiment

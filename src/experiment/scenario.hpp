@@ -1,0 +1,105 @@
+// Whole-deployment scenario construction and execution.
+//
+// A ScenarioConfig describes one simulated deployment (§6.3): a population
+// of loyal peers preserving a collection of AUs for a simulated span, plus
+// at most one adversary. run_scenario() builds everything, runs the
+// discrete-event simulation, and returns the §6.1 metrics together with raw
+// counters.
+//
+// The 600-AU collections of §6.3 are simulated with the paper's *layering*
+// methodology: "We simulate 600 AU collections by layering 50 AUs/peer runs,
+// adding the tasks caused by this layer's 50 AUs to the task schedule for
+// each peer accumulated during the preceding layers." run_layered() exports
+// every peer's busy intervals after each layer and injects them as
+// background load into the next.
+#ifndef LOCKSS_EXPERIMENT_SCENARIO_HPP_
+#define LOCKSS_EXPERIMENT_SCENARIO_HPP_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "adversary/attack_schedule.hpp"
+#include "adversary/brute_force.hpp"
+#include "crypto/cost_model.hpp"
+#include "metrics/collector.hpp"
+#include "protocol/params.hpp"
+#include "sched/task_schedule.hpp"
+#include "storage/damage.hpp"
+
+namespace lockss::experiment {
+
+struct AdversarySpec {
+  enum class Kind {
+    kNone,
+    kPipeStoppage,    // §7.2 (Figures 3–5)
+    kAdmissionFlood,  // §7.3 (Figures 6–8)
+    kBruteForce,      // §7.4 (Table 1)
+    kGradeRecovery,   // §7.4 closing variant (extension)
+    kVoteFlood,       // §5.1 rate-limitation adversary (extension)
+    kCombined,        // §9 combined strategy: pipe stoppage + brute force
+  };
+  Kind kind = Kind::kNone;
+  adversary::AttackCadence cadence;  // pipe stoppage / admission flood / combined
+  adversary::DefectionPoint defection = adversary::DefectionPoint::kNone;  // brute force/combined
+};
+
+struct ScenarioConfig {
+  uint32_t peer_count = 100;   // §6.3: "a constant loyal peer population of 100"
+  uint32_t au_count = 50;      // one layer's collection
+  // Fraction of the AU collection each peer holds (extension; §6.3 notes the
+  // paper does "not yet simulate the diversity of local collections"). At
+  // 1.0 every peer holds every AU, the paper's setting. Below 1.0 each peer
+  // joins each AU independently with this probability; reference lists and
+  // reputation seeds are then drawn from the AU's actual holders, and the
+  // metrics denominators count actual replicas.
+  double au_coverage = 1.0;
+  // Extension (§9): a dynamic population. `newcomer_count` additional peers
+  // (node ids peer_count .. peer_count+newcomer_count-1) join the running
+  // system at uniform-random times within [0, newcomer_join_window]. Each
+  // bootstraps the way a freshly installed peer does: it holds correct
+  // publisher replicas and knows a sample of established holders, but nobody
+  // knows it — its first solicitations run through the unknown-peer
+  // admission channel and the discovery/introduction machinery.
+  uint32_t newcomer_count = 0;
+  sim::SimTime newcomer_join_window = sim::SimTime::years(1);
+  sim::SimTime duration = sim::SimTime::years(2);  // §6.3: two simulated years
+  uint64_t seed = 1;
+  protocol::Params params;
+  crypto::CostModel costs;
+  storage::DamageConfig damage;
+  bool enable_damage = true;
+  AdversarySpec adversary;
+  // Layering support: per-peer busy intervals injected before the run, and
+  // whether to retain full schedule history for export.
+  const std::vector<std::vector<sched::Reservation>>* background = nullptr;
+  bool collect_schedule_history = false;
+  // Optional per-poll observer (diagnostics / examples).
+  std::function<void(net::NodeId, const protocol::PollOutcome&)> poll_observer;
+};
+
+struct RunResult {
+  metrics::MetricsReport report;
+  uint64_t polls_started = 0;
+  uint64_t solicitations_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_filtered = 0;
+  uint64_t adversary_invitations = 0;
+  uint64_t adversary_admissions = 0;
+  // Population-wide admission-verdict histogram (protocol::AdmissionVerdict).
+  std::array<uint64_t, 8> admission_verdicts{};
+  // Per-peer busy history (only when collect_schedule_history).
+  std::vector<std::vector<sched::Reservation>> schedules;
+};
+
+// Builds and runs one scenario to completion.
+RunResult run_scenario(const ScenarioConfig& config);
+
+// Runs `layers` scenarios, threading accumulated schedule load through, and
+// returns the per-layer results (combine with combine_results()).
+std::vector<RunResult> run_layered(const ScenarioConfig& config, uint32_t layers);
+
+}  // namespace lockss::experiment
+
+#endif  // LOCKSS_EXPERIMENT_SCENARIO_HPP_

@@ -1,0 +1,75 @@
+#include "experiment/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <iostream>
+
+namespace lockss::experiment {
+
+TableWriter::TableWriter(std::vector<std::string> columns, const std::string& csv_path)
+    : columns_(std::move(columns)) {
+  widths_.reserve(columns_.size());
+  for (const std::string& c : columns_) {
+    widths_.push_back(std::max<size_t>(c.size() + 2, 12));
+  }
+  if (!csv_path.empty()) {
+    csv_.open(csv_path);
+    csv_open_ = csv_.is_open();
+  }
+}
+
+void TableWriter::header() {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::cout << columns_[i];
+    if (i + 1 < columns_.size()) {
+      std::cout << std::string(widths_[i] - columns_[i].size(), ' ');
+    }
+  }
+  std::cout << "\n";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::cout << std::string(std::min(widths_[i] - 2, columns_[i].size() + 4), '-');
+    if (i + 1 < columns_.size()) {
+      std::cout << std::string(widths_[i] - std::min(widths_[i] - 2, columns_[i].size() + 4), ' ');
+    }
+  }
+  std::cout << "\n";
+  if (csv_open_) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      csv_ << columns_[i] << (i + 1 < columns_.size() ? "," : "\n");
+    }
+  }
+}
+
+void TableWriter::row(const std::vector<std::string>& cells) {
+  assert(cells.size() == columns_.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::cout << cells[i];
+    if (i + 1 < cells.size() && cells[i].size() < widths_[i]) {
+      std::cout << std::string(widths_[i] - cells[i].size(), ' ');
+    } else if (i + 1 < cells.size()) {
+      std::cout << "  ";
+    }
+  }
+  std::cout << "\n" << std::flush;
+  if (csv_open_) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      csv_ << cells[i] << (i + 1 < cells.size() ? "," : "\n");
+    }
+    csv_.flush();
+  }
+}
+
+std::string TableWriter::fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TableWriter::scientific(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+}  // namespace lockss::experiment

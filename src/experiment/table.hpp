@@ -1,0 +1,37 @@
+// Console / CSV table output for the bench harnesses.
+//
+// Every figure/table binary prints aligned columns to stdout (the "same
+// rows/series the paper reports") and optionally mirrors them to a CSV file
+// for plotting.
+#ifndef LOCKSS_EXPERIMENT_TABLE_HPP_
+#define LOCKSS_EXPERIMENT_TABLE_HPP_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lockss::experiment {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> columns, const std::string& csv_path = "");
+
+  // Prints (and mirrors) the header row.
+  void header();
+  // Prints one row; cells must match the column count.
+  void row(const std::vector<std::string>& cells);
+
+  // Formatting helpers.
+  static std::string fixed(double value, int precision);
+  static std::string scientific(double value, int precision);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<size_t> widths_;
+  std::ofstream csv_;
+  bool csv_open_ = false;
+};
+
+}  // namespace lockss::experiment
+
+#endif  // LOCKSS_EXPERIMENT_TABLE_HPP_

@@ -1,0 +1,107 @@
+// Evaluation metrics (§6.1).
+//
+//   * access failure probability — "the fraction of all replicas in the
+//     system that are damaged, averaged over all time points": a
+//     time-weighted integral of the damaged-replica fraction;
+//   * delay ratio — "mean time between successful polls at loyal peers with
+//     the system under attack divided by the same measurement without the
+//     attack": this collector reports the mean gap; the experiment harness
+//     divides attack by baseline;
+//   * coefficient of friction — "average effort expended by loyal peers per
+//     successful poll during an attack divided by their average per-poll
+//     effort absent an attack": the collector reports effort-per-success
+//     (effort totals are pushed in at finalize time from the peers' effort
+//     meters); the harness forms the ratio;
+//   * cost ratio — attacker total effort over defender total effort.
+#ifndef LOCKSS_METRICS_COLLECTOR_HPP_
+#define LOCKSS_METRICS_COLLECTOR_HPP_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "net/node_id.hpp"
+#include "protocol/host.hpp"
+#include "sim/time.hpp"
+#include "storage/au.hpp"
+
+namespace lockss::metrics {
+
+struct MetricsReport {
+  double access_failure_probability = 0.0;
+  // Mean time between successful polls per (peer, AU), censoring-robust:
+  // total observation time across all replicas divided by total successes.
+  // Pairs that never succeed lengthen this mean instead of vanishing from
+  // it (survivor bias would otherwise hide severe attacks).
+  double mean_success_gap_days = 0.0;
+  // Mean of the directly observed gaps between consecutive successes of the
+  // same (peer, AU) — the naive estimator, kept for diagnostics.
+  double mean_observed_gap_days = 0.0;
+  uint64_t successful_polls = 0;
+  uint64_t inquorate_polls = 0;
+  uint64_t alarms = 0;
+  uint64_t repairs = 0;
+  uint64_t damage_events = 0;
+  double loyal_effort_seconds = 0.0;
+  double adversary_effort_seconds = 0.0;
+  // Loyal effort per successful poll (friction numerator before dividing by
+  // the baseline's value).
+  double effort_per_successful_poll = 0.0;
+  // Attacker / defender effort.
+  double cost_ratio = 0.0;
+  sim::SimTime duration;
+};
+
+class MetricsCollector {
+ public:
+  // Total number of (peer, AU) replicas in the deployment; the denominator
+  // of the damaged fraction.
+  void set_total_replicas(uint64_t n) { total_replicas_ = n; }
+
+  // A replica flipped between damaged and clean. `delta` is +1 (damaged) or
+  // -1 (repaired).
+  void on_damage_state_change(sim::SimTime now, int64_t delta);
+
+  // A bit-rot injection occurred (rate bookkeeping).
+  void on_damage_event() { ++damage_events_; }
+
+  // Poll lifecycle.
+  void record_poll(net::NodeId poller, const protocol::PollOutcome& outcome);
+
+  // Effort totals, pushed by the scenario runner at the end of a run.
+  void set_effort_totals(double loyal_seconds, double adversary_seconds);
+
+  // Closes the damage integral and computes the report.
+  MetricsReport finalize(sim::SimTime end);
+
+  // Instantaneous view (examples / debugging).
+  uint64_t damaged_replicas_now() const { return damaged_now_; }
+  uint64_t successful_polls() const { return successful_polls_; }
+  uint64_t alarms() const { return alarms_; }
+
+ private:
+  void accumulate(sim::SimTime now);
+
+  uint64_t total_replicas_ = 0;
+  uint64_t damaged_now_ = 0;
+  sim::SimTime last_change_;
+  double damaged_replica_seconds_ = 0.0;
+
+  uint64_t successful_polls_ = 0;
+  uint64_t inquorate_polls_ = 0;
+  uint64_t alarms_ = 0;
+  uint64_t repairs_ = 0;
+  uint64_t damage_events_ = 0;
+
+  // Per-(peer, AU) success gap accounting.
+  std::map<std::pair<net::NodeId, storage::AuId>, sim::SimTime> last_success_;
+  double gap_seconds_sum_ = 0.0;
+  uint64_t gap_count_ = 0;
+
+  double loyal_effort_seconds_ = 0.0;
+  double adversary_effort_seconds_ = 0.0;
+};
+
+}  // namespace lockss::metrics
+
+#endif  // LOCKSS_METRICS_COLLECTOR_HPP_

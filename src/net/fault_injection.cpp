@@ -1,0 +1,28 @@
+#include "net/fault_injection.hpp"
+
+namespace lockss::net {
+
+bool LossLinkFilter::allow(NodeId from, NodeId to) const {
+  if (!victims_.empty() && !victims_.contains(from) && !victims_.contains(to)) {
+    return true;
+  }
+  if (rng_.bernoulli(loss_probability_)) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+bool OutageLinkFilter::active() const {
+  const sim::SimTime now = simulator_.now();
+  return now >= start_ && now < end_;
+}
+
+bool OutageLinkFilter::allow(NodeId from, NodeId to) const {
+  if (from != node_ && to != node_) {
+    return true;
+  }
+  return !active();
+}
+
+}  // namespace lockss::net

@@ -1,0 +1,75 @@
+// Non-adversarial network fault injection.
+//
+// The paper's adversaries suppress traffic deliberately; real deployments
+// additionally lose messages to congestion, reboots, and flaky links. These
+// filters let tests and experiments inject such faults independently of any
+// adversary, to verify that the protocol's retry and desynchronization
+// machinery absorbs them (§5.2: a poll is "a sequence of two-party
+// interactions" precisely so sporadic unavailability cannot stall it).
+//
+//   * LossLinkFilter    — drops each message with a fixed probability,
+//                         optionally only for a chosen victim set;
+//   * OutageLinkFilter  — takes one node fully offline between two
+//                         instants (a crash-and-reboot, or an operator
+//                         unplugging a peer), without re-randomizing like
+//                         the pipe-stoppage adversary does.
+//
+// Both are plain net::LinkFilters: install with Network::add_filter() and
+// keep alive until removed.
+#ifndef LOCKSS_NET_FAULT_INJECTION_HPP_
+#define LOCKSS_NET_FAULT_INJECTION_HPP_
+
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace lockss::net {
+
+// Drops each message with probability `loss`. With an empty victim set the
+// loss applies to every message; otherwise only to messages whose sender or
+// receiver is a victim.
+class LossLinkFilter : public LinkFilter {
+ public:
+  LossLinkFilter(sim::Rng rng, double loss_probability)
+      : rng_(rng), loss_probability_(loss_probability) {}
+  LossLinkFilter(sim::Rng rng, double loss_probability, std::vector<NodeId> victims)
+      : rng_(rng), loss_probability_(loss_probability), victims_(victims.begin(), victims.end()) {}
+
+  bool allow(NodeId from, NodeId to) const override;
+
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  // allow() is const in the LinkFilter contract; the filter's own dice and
+  // counters are bookkeeping, not observable link state.
+  mutable sim::Rng rng_;
+  double loss_probability_;
+  std::set<NodeId> victims_;
+  mutable uint64_t dropped_ = 0;
+};
+
+// Silences one node during [start, end): nothing is delivered to or from it.
+// The node's timers keep running (a crashed peer loses its in-flight
+// sessions to timeouts, exactly as the protocol expects).
+class OutageLinkFilter : public LinkFilter {
+ public:
+  OutageLinkFilter(sim::Simulator& simulator, NodeId node, sim::SimTime start, sim::SimTime end)
+      : simulator_(simulator), node_(node), start_(start), end_(end) {}
+
+  bool allow(NodeId from, NodeId to) const override;
+
+  bool active() const;
+
+ private:
+  sim::Simulator& simulator_;
+  NodeId node_;
+  sim::SimTime start_;
+  sim::SimTime end_;
+};
+
+}  // namespace lockss::net
+
+#endif  // LOCKSS_NET_FAULT_INJECTION_HPP_

@@ -1,0 +1,3 @@
+#include "net/message.hpp"
+
+// Message is an abstract base; this translation unit anchors its vtable.

@@ -1,0 +1,41 @@
+// Base class for protocol messages carried by the simulated network.
+//
+// Concrete message types live in `protocol/messages.hpp`; the network layer
+// needs only addressing and a wire-size estimate (used to model transfer
+// time over the sender's and receiver's access links).
+#ifndef LOCKSS_NET_MESSAGE_HPP_
+#define LOCKSS_NET_MESSAGE_HPP_
+
+#include <cstdint>
+#include <memory>
+
+#include "net/node_id.hpp"
+
+namespace lockss::net {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  // Serialized size in bytes, including framing; drives transfer-time cost.
+  virtual uint64_t size_bytes() const = 0;
+
+  // Stable name for logging and statistics ("Poll", "Vote", ...).
+  virtual const char* type_name() const = 0;
+
+  NodeId from;
+  NodeId to;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+// Receiver interface; one per registered node.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void handle_message(MessagePtr message) = 0;
+};
+
+}  // namespace lockss::net
+
+#endif  // LOCKSS_NET_MESSAGE_HPP_

@@ -1,0 +1,100 @@
+// Simulated network fabric (the paper's Narses network model, §6.2).
+//
+// The evaluation deliberately uses the simplest Narses model: per-message
+// delivery time = propagation latency + transfer time, with no queueing or
+// congestion, "except for the side-effects of artificial congestion used by
+// a pipe stoppage adversary". We reproduce that:
+//
+//   * every node gets an access-link bandwidth drawn uniformly from
+//     {1.5, 10, 100} Mbps (§6.2);
+//   * every ordered pair gets a fixed latency drawn uniformly from
+//     [1, 30] ms (§6.2);
+//   * transfer time uses the bottleneck of the two access links;
+//   * `LinkFilter`s model pipe stoppage: any installed filter may veto
+//     delivery (the message is silently dropped, as a flooded link would).
+#ifndef LOCKSS_NET_NETWORK_HPP_
+#define LOCKSS_NET_NETWORK_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/node_id.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace lockss::net {
+
+// Veto-based delivery filter; pipe-stoppage adversaries install one.
+class LinkFilter {
+ public:
+  virtual ~LinkFilter() = default;
+  // Return false to drop traffic from `from` to `to`.
+  virtual bool allow(NodeId from, NodeId to) const = 0;
+};
+
+struct NetworkConfig {
+  // §6.2: "link bandwidths ... are uniformly distributed among three
+  // choices: 1.5, 10, and 100 Mbps."
+  std::vector<double> bandwidth_choices_bps = {1.5e6, 10e6, 100e6};
+  // §6.2: "Link latencies are uniformly distributed between 1 and 30 ms."
+  sim::SimTime min_latency = sim::SimTime::milliseconds(1);
+  sim::SimTime max_latency = sim::SimTime::milliseconds(30);
+};
+
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_filtered = 0;
+  uint64_t messages_no_handler = 0;
+  uint64_t bytes_delivered = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, sim::Rng rng, NetworkConfig config = {});
+
+  // Registers `handler` as the endpoint for `id`. Re-registering an id
+  // replaces the handler (used when a peer restarts); link characteristics
+  // are a pure function of the id, so they stay stable.
+  void register_node(NodeId id, MessageHandler* handler);
+  void unregister_node(NodeId id);
+
+  // Sends `message` (whose from/to must be set). Delivery is scheduled at
+  // now + latency(from,to) + size / bottleneck_bandwidth unless a filter
+  // vetoes the pair at *send* time.
+  void send(MessagePtr message);
+
+  // Filters are not owned; callers keep them alive while installed.
+  void add_filter(const LinkFilter* filter);
+  void remove_filter(const LinkFilter* filter);
+
+  // Deterministic per-pair latency (symmetric) and per-node bandwidth.
+  // Both are pure functions of the ids and the run's salt, so an adversary
+  // with unconstrained identities (§3.1) costs no simulator state.
+  sim::SimTime latency(NodeId a, NodeId b) const;
+  double bandwidth_bps(NodeId id) const;
+
+  // Transfer delay for a message of `bytes` between two registered nodes.
+  sim::SimTime delivery_delay(NodeId from, NodeId to, uint64_t bytes) const;
+
+  const NetworkStats& stats() const { return stats_; }
+  sim::Simulator& simulator() { return simulator_; }
+
+ private:
+  bool allowed(NodeId from, NodeId to) const;
+
+  sim::Simulator& simulator_;
+  sim::Rng rng_;
+  NetworkConfig config_;
+  uint64_t latency_salt_;
+  uint64_t bandwidth_salt_;
+  std::unordered_map<NodeId, MessageHandler*> handlers_;
+  std::vector<const LinkFilter*> filters_;
+  NetworkStats stats_;
+};
+
+}  // namespace lockss::net
+
+#endif  // LOCKSS_NET_NETWORK_HPP_

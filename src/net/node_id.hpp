@@ -1,0 +1,35 @@
+// Strongly-typed node identity.
+//
+// A NodeId names one network endpoint — a loyal peer or one adversary minion
+// identity. The attrition adversary has "unconstrained identities" (§3.1), so
+// minions may own many NodeIds; the id space is flat and cheap.
+#ifndef LOCKSS_NET_NODE_ID_HPP_
+#define LOCKSS_NET_NODE_ID_HPP_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace lockss::net {
+
+struct NodeId {
+  uint32_t value = UINT32_MAX;
+
+  static constexpr NodeId invalid() { return NodeId{UINT32_MAX}; }
+  constexpr bool valid() const { return value != UINT32_MAX; }
+
+  friend constexpr auto operator<=>(const NodeId&, const NodeId&) = default;
+  std::string to_string() const { return "n" + std::to_string(value); }
+};
+
+}  // namespace lockss::net
+
+template <>
+struct std::hash<lockss::net::NodeId> {
+  size_t operator()(const lockss::net::NodeId& id) const noexcept {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};
+
+#endif  // LOCKSS_NET_NODE_ID_HPP_

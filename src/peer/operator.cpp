@@ -1,0 +1,57 @@
+#include "peer/operator.hpp"
+
+namespace lockss::peer {
+
+OperatorModel::OperatorModel(sim::Simulator& simulator, OperatorConfig config)
+    : simulator_(simulator), config_(config) {}
+
+void OperatorModel::attend(Peer* peer_ptr) { peers_[peer_ptr->id()] = peer_ptr; }
+
+std::function<void(net::NodeId, const protocol::PollOutcome&)> OperatorModel::observer(
+    std::function<void(net::NodeId, const protocol::PollOutcome&)> next) {
+  return [this, next = std::move(next)](net::NodeId poller, const protocol::PollOutcome& outcome) {
+    on_outcome(poller, outcome);
+    if (next) {
+      next(poller, outcome);
+    }
+  };
+}
+
+void OperatorModel::on_outcome(net::NodeId poller, const protocol::PollOutcome& outcome) {
+  if (outcome.kind != protocol::PollOutcomeKind::kAlarm) {
+    return;
+  }
+  ++alarms_seen_;
+  if (!peers_.contains(poller)) {
+    return;  // an unattended peer (e.g. a custom host in tests)
+  }
+  simulator_.schedule_in(config_.response_delay,
+                         [this, poller, au = outcome.au] { audit(poller, au); });
+}
+
+void OperatorModel::audit(net::NodeId poller, storage::AuId au) {
+  auto it = peers_.find(poller);
+  if (it == peers_.end() || !it->second->has_replica(au)) {
+    return;
+  }
+  Peer& peer = *it->second;
+  ++audits_performed_;
+  // Fetch from the publisher and verify against the local replica; restore
+  // whatever differs. Charged at the configured multiple of one full replica
+  // hash.
+  storage::AuReplica& replica = peer.replica(au);
+  uint32_t restored = 0;
+  for (uint32_t b = 0; b < replica.spec().block_count; ++b) {
+    if (replica.block_damaged(b)) {
+      replica.restore_block(b);
+      ++restored;
+    }
+  }
+  blocks_restored_ += restored;
+  peer.charge_operator_audit(config_.audit_cost_factor);
+  if (restored > 0) {
+    peer.on_replica_state_changed(au);
+  }
+}
+
+}  // namespace lockss::peer

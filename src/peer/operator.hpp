@@ -1,0 +1,72 @@
+// Human-operator response to poll alarms.
+//
+// §4.3: when a poll finds no landslide either way, the poller "deems the
+// poll inconclusive, raising an alarm that requires attention from a human
+// operator." The paper treats what happens next as out of band; a deployed
+// archive needs the loop closed, and the LOCKSS design closes it by letting
+// the operator re-fetch damaged content from the publisher (each peer's
+// original replica source, §2) or adjudicate by hand.
+//
+// OperatorModel simulates that response: it watches poll outcomes, and for
+// every alarm schedules a manual audit `response_delay` later (operators are
+// not on call around the clock). The audit compares the replica block by
+// block against the publisher's canonical content and restores any damaged
+// blocks. Repair via operator costs the peer a full replica fetch, charged
+// to its effort meter, so alarm handling is never free — the alarm-rate
+// economics of §7 stay visible in the friction metrics.
+//
+// Install by chaining: the model wraps any existing poll observer and must
+// be constructed before the peers (the environment is copied into each
+// Peer).
+#ifndef LOCKSS_PEER_OPERATOR_HPP_
+#define LOCKSS_PEER_OPERATOR_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "peer/peer.hpp"
+
+namespace lockss::peer {
+
+struct OperatorConfig {
+  // Time between the alarm and the operator's manual audit.
+  sim::SimTime response_delay = sim::SimTime::days(3);
+  // Effort charged for the manual audit, as a multiple of one full replica
+  // hash (fetch from publisher + verify + rewrite).
+  double audit_cost_factor = 2.0;
+};
+
+class OperatorModel {
+ public:
+  OperatorModel(sim::Simulator& simulator, OperatorConfig config);
+
+  // Registers `peer_ptr` for alarm service. Call for every peer before
+  // start().
+  void attend(Peer* peer_ptr);
+
+  // Returns the observer to install in PeerEnvironment::poll_observer;
+  // chains to `next` (which may be empty).
+  std::function<void(net::NodeId, const protocol::PollOutcome&)> observer(
+      std::function<void(net::NodeId, const protocol::PollOutcome&)> next = nullptr);
+
+  uint64_t alarms_seen() const { return alarms_seen_; }
+  uint64_t audits_performed() const { return audits_performed_; }
+  uint64_t blocks_restored() const { return blocks_restored_; }
+
+ private:
+  void on_outcome(net::NodeId poller, const protocol::PollOutcome& outcome);
+  void audit(net::NodeId poller, storage::AuId au);
+
+  sim::Simulator& simulator_;
+  OperatorConfig config_;
+  std::map<net::NodeId, Peer*> peers_;
+  uint64_t alarms_seen_ = 0;
+  uint64_t audits_performed_ = 0;
+  uint64_t blocks_restored_ = 0;
+};
+
+}  // namespace lockss::peer
+
+#endif  // LOCKSS_PEER_OPERATOR_HPP_

@@ -1,0 +1,246 @@
+#include "peer/peer.hpp"
+
+#include <cassert>
+
+namespace lockss::peer {
+namespace {
+// Periodic housekeeping cadence (schedule/refractory pruning).
+constexpr sim::SimTime kMaintenanceInterval = sim::SimTime::days(30);
+// Deferred session destruction delay; must be > 0 so a session is never
+// deleted while one of its member functions is on the stack.
+constexpr sim::SimTime kRetireDelay = sim::SimTime::milliseconds(1);
+}  // namespace
+
+Peer::Peer(const PeerEnvironment& env, net::NodeId id, sim::Rng rng)
+    : env_(env),
+      id_(id),
+      rng_(rng),
+      mbf_(env.costs, rng_.split()),
+      efforts_(env.params, env.costs),
+      limiter_(0.0, 8.0),
+      refractory_(env.params.refractory_period),
+      admission_(reputation::AdmissionPolicyConfig{env.params.unknown_drop_probability,
+                                                   env.params.debt_drop_probability},
+                 rng_.split()) {
+  assert(env_.simulator != nullptr && env_.network != nullptr);
+  env_.network->register_node(id_, this);
+}
+
+Peer::~Peer() { env_.network->unregister_node(id_); }
+
+Peer::AuState& Peer::au_state(storage::AuId au) {
+  auto it = au_states_.find(au);
+  assert(it != au_states_.end() && "AU not joined");
+  return it->second;
+}
+
+void Peer::join_au(storage::AuId au) {
+  storage_.add_replica(au, env_.params.au_spec);
+  AuState state;
+  state.known_peers =
+      std::make_unique<reputation::KnownPeers>(env_.params.grade_decay_interval);
+  state.introductions = std::make_unique<reputation::IntroductionTable>(
+      env_.params.max_outstanding_introductions);
+  state.reference_list = std::make_unique<protocol::ReferenceList>(id_);
+  au_states_.emplace(au, std::move(state));
+  damaged_cache_[au] = false;
+}
+
+void Peer::seed_reference_list(storage::AuId au, const std::vector<net::NodeId>& peers) {
+  auto& ref = *au_state(au).reference_list;
+  for (net::NodeId peer : peers) {
+    ref.insert(peer);
+  }
+}
+
+void Peer::seed_grade(storage::AuId au, net::NodeId peer, reputation::Grade grade) {
+  au_state(au).known_peers->ensure_known(peer, grade, env_.simulator->now());
+}
+
+double Peer::expected_invitation_rate_per_second() const {
+  // Self-clocking (§5.1): we expect to *receive* invitations at roughly the
+  // rate we send them — expected solicitations per poll, per AU, per
+  // interval. The §6.3 budget is `consideration_rate_multiplier` times that.
+  const double per_au_per_second = env_.params.expected_solicitations_per_poll() /
+                                   env_.params.inter_poll_interval.to_seconds();
+  return per_au_per_second * static_cast<double>(storage_.replica_count());
+}
+
+void Peer::start() {
+  assert(!started_);
+  started_ = true;
+  limiter_.update_rate(expected_invitation_rate_per_second(),
+                       env_.params.consideration_rate_multiplier);
+  if (env_.enable_damage && storage_.replica_count() > 0) {
+    damage_ = std::make_unique<storage::DamageProcess>(
+        *env_.simulator, rng_.split(), env_.damage, storage_,
+        [this](storage::AuId au, uint32_t block) { on_damage_injected(au, block); });
+  }
+  // Fixed-rate poll cycle per AU with a random initial phase: peers (and
+  // AUs) spread their polls across the interval instead of synchronizing.
+  for (storage::AuId au : storage_.au_ids()) {
+    const sim::SimTime phase =
+        rng_.uniform_time(sim::SimTime::zero(), env_.params.inter_poll_interval);
+    env_.simulator->schedule_in(phase, [this, au] { start_poll(au); });
+  }
+  env_.simulator->schedule_in(kMaintenanceInterval, [this] { maintenance(); });
+}
+
+void Peer::start_poll(storage::AuId au) {
+  // Schedule the next cycle first: the poll rate never adapts (§5.1).
+  env_.simulator->schedule_in(env_.params.inter_poll_interval, [this, au] { start_poll(au); });
+  const protocol::PollId id = protocol::make_poll_id(id_, poll_sequence_++);
+  auto session = std::make_unique<protocol::PollerSession>(*this, au, id);
+  auto* raw = session.get();
+  pollers_.emplace(id, std::move(session));
+  ++polls_started_;
+  raw->start();
+}
+
+void Peer::maintenance() {
+  const sim::SimTime now = env_.simulator->now();
+  if (!env_.retain_schedule_history) {
+    schedule_.prune(now);
+  }
+  refractory_.prune(now);
+  env_.simulator->schedule_in(kMaintenanceInterval, [this] { maintenance(); });
+}
+
+void Peer::handle_message(net::MessagePtr message) {
+  auto* base = dynamic_cast<protocol::ProtocolMessage*>(message.get());
+  if (base == nullptr) {
+    return;  // not a protocol message; ignore
+  }
+  if (auto* poll = dynamic_cast<protocol::PollMsg*>(base)) {
+    if (voters_.contains(poll->poll_id)) {
+      return;  // duplicate invitation for a live session
+    }
+    protocol::AdmissionVerdict verdict;
+    auto session = protocol::VoterSession::consider_invitation(*this, *poll, &verdict);
+    ++admission_verdicts_[static_cast<size_t>(verdict)];
+    if (session != nullptr) {
+      voters_.emplace(poll->poll_id, std::move(session));
+    }
+    return;
+  }
+  if (auto* ack = dynamic_cast<protocol::PollAckMsg*>(base)) {
+    if (auto* s = find_poller_session(ack->poll_id)) {
+      s->on_poll_ack(*ack);
+    }
+    return;
+  }
+  if (auto* proof = dynamic_cast<protocol::PollProofMsg*>(base)) {
+    if (auto* s = find_voter_session(proof->poll_id)) {
+      s->on_poll_proof(*proof);
+    }
+    return;
+  }
+  if (auto* vote = dynamic_cast<protocol::VoteMsg*>(base)) {
+    if (auto* s = find_poller_session(vote->poll_id)) {
+      s->on_vote(*vote);
+    }
+    return;
+  }
+  if (auto* request = dynamic_cast<protocol::RepairRequestMsg*>(base)) {
+    if (auto* s = find_voter_session(request->poll_id)) {
+      s->on_repair_request(*request);
+    }
+    return;
+  }
+  if (auto* repair = dynamic_cast<protocol::RepairMsg*>(base)) {
+    if (auto* s = find_poller_session(repair->poll_id)) {
+      s->on_repair(*repair);
+    }
+    return;
+  }
+  if (auto* receipt = dynamic_cast<protocol::EvaluationReceiptMsg*>(base)) {
+    if (auto* s = find_voter_session(receipt->poll_id)) {
+      s->on_receipt(*receipt);
+    }
+    return;
+  }
+}
+
+reputation::KnownPeers& Peer::known_peers(storage::AuId au) { return *au_state(au).known_peers; }
+
+reputation::IntroductionTable& Peer::introductions(storage::AuId au) {
+  return *au_state(au).introductions;
+}
+
+protocol::ReferenceList& Peer::reference_list(storage::AuId au) {
+  return *au_state(au).reference_list;
+}
+
+void Peer::send(net::NodeId to, std::unique_ptr<protocol::ProtocolMessage> message) {
+  message->from = id_;
+  message->to = to;
+  // Fixed per-message processing cost on the sender.
+  meter_.charge(sched::EffortCategory::kOverhead, env_.costs.message_overhead_seconds);
+  env_.network->send(std::move(message));
+}
+
+protocol::PollerSession* Peer::find_poller_session(protocol::PollId id) {
+  auto it = pollers_.find(id);
+  return it == pollers_.end() ? nullptr : it->second.get();
+}
+
+void Peer::charge_operator_audit(double cost_factor) {
+  const double replica_hash_seconds =
+      env_.costs.hash_time(env_.params.au_spec.size_bytes).to_seconds();
+  meter_.charge(sched::EffortCategory::kRepairService, cost_factor * replica_hash_seconds);
+}
+
+std::vector<protocol::PollId> Peer::live_poller_poll_ids() const {
+  std::vector<protocol::PollId> ids;
+  ids.reserve(pollers_.size());
+  for (const auto& [id, session] : pollers_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+protocol::VoterSession* Peer::find_voter_session(protocol::PollId id) {
+  auto it = voters_.find(id);
+  return it == voters_.end() ? nullptr : it->second.get();
+}
+
+void Peer::retire_poller_session(protocol::PollId id) {
+  env_.simulator->schedule_in(kRetireDelay, [this, id] { pollers_.erase(id); });
+}
+
+void Peer::retire_voter_session(protocol::PollId id) {
+  env_.simulator->schedule_in(kRetireDelay, [this, id] { voters_.erase(id); });
+}
+
+void Peer::on_poll_concluded(const protocol::PollOutcome& outcome) {
+  if (env_.metrics != nullptr) {
+    env_.metrics->record_poll(id_, outcome);
+  }
+  if (env_.poll_observer) {
+    env_.poll_observer(id_, outcome);
+  }
+}
+
+void Peer::on_damage_injected(storage::AuId au, uint32_t block) {
+  (void)block;
+  if (env_.metrics != nullptr) {
+    env_.metrics->on_damage_event();
+  }
+  refresh_damage_state(au);
+}
+
+void Peer::on_replica_state_changed(storage::AuId au) { refresh_damage_state(au); }
+
+void Peer::refresh_damage_state(storage::AuId au) {
+  const bool now_damaged = storage_.replica(au).damaged();
+  bool& cached = damaged_cache_[au];
+  if (cached == now_damaged) {
+    return;
+  }
+  cached = now_damaged;
+  if (env_.metrics != nullptr) {
+    env_.metrics->on_damage_state_change(env_.simulator->now(), now_damaged ? 1 : -1);
+  }
+}
+
+}  // namespace lockss::peer

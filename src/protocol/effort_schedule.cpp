@@ -1,0 +1,29 @@
+#include "protocol/effort_schedule.hpp"
+
+#include <cassert>
+
+namespace lockss::protocol {
+
+EffortSchedule::EffortSchedule(const Params& params, const crypto::CostModel& costs) {
+  const double gamma = costs.mbf_verify_asymmetry;
+  assert(gamma > 1.0);
+
+  vote_effort_ = costs.hash_time(params.au_spec.size_bytes).to_seconds();
+  block_effort_ = vote_effort_ / params.au_spec.block_count;
+
+  // g_v >= h_b * gamma / (gamma - 1), inflated by the margin.
+  vote_proof_effort_ = params.effort_margin * block_effort_ * gamma / (gamma - 1.0);
+
+  // S >= (V + g_v) * gamma / (gamma - 1), inflated by the margin.
+  solicitation_effort_ =
+      params.effort_margin * (vote_effort_ + vote_proof_effort_) * gamma / (gamma - 1.0);
+
+  // intro = fraction of the poller's total per-voter effort (§6.3).
+  introductory_effort_ =
+      params.introductory_effort_fraction * (solicitation_effort_ + vote_effort_);
+  // The remaining effort must stay positive; with the default parameters
+  // intro ≈ 0.2 * 22.8s ≈ 4.6s out of S ≈ 12.0s.
+  assert(introductory_effort_ < solicitation_effort_);
+}
+
+}  // namespace lockss::protocol

@@ -1,0 +1,67 @@
+// Effort sizing for the effort-balancing filters (§5.1).
+//
+// The paper's invariants, with V = effort to produce a vote (fetch + hash an
+// AU replica), h_b = effort to hash one block, gamma = MBF verify asymmetry:
+//
+//   * vote proof  g_v: the voter's Vote must carry provable effort covering
+//     the poller's cost "of hashing a single block and of verifying this
+//     effort":                       g_v >= h_b + g_v / gamma
+//   * solicitation effort S (split across Poll and PollProof): must exceed
+//     the voter's cost of verifying it plus producing the vote (including
+//     generating g_v):               S >= S / gamma + V + g_v
+//   * introductory effort (the Poll share of S, §6.3): 20% of the *total*
+//     effort of a well-behaved poller per voter, sized so that ~5 retries
+//     against the 0.2 in-debt admission probability cost the adversary 100%
+//     of honest participation:       intro = 0.2 * (S + V)
+//
+// All quantities are effort-seconds on the reference machine (crypto::
+// CostModel). `EffortSchedule` solves the inequalities once per (Params,
+// CostModel) pair, with a configurable safety margin.
+#ifndef LOCKSS_PROTOCOL_EFFORT_SCHEDULE_HPP_
+#define LOCKSS_PROTOCOL_EFFORT_SCHEDULE_HPP_
+
+#include "crypto/cost_model.hpp"
+#include "protocol/params.hpp"
+
+namespace lockss::protocol {
+
+class EffortSchedule {
+ public:
+  EffortSchedule(const Params& params, const crypto::CostModel& costs);
+
+  // V: voter's effort to compute one vote (hash the whole AU).
+  double vote_computation_effort() const { return vote_effort_; }
+  // h_b: effort to hash a single block.
+  double block_hash_effort() const { return block_effort_; }
+  // g_v: provable effort the voter embeds in its Vote.
+  double vote_proof_effort() const { return vote_proof_effort_; }
+  // S: total solicitation effort (intro + remaining).
+  double solicitation_effort() const { return solicitation_effort_; }
+  // Poll-message share of S (the introductory effort).
+  double introductory_effort() const { return introductory_effort_; }
+  // PollProof-message share of S.
+  double remaining_effort() const { return solicitation_effort_ - introductory_effort_; }
+  // Poller's total per-voter effort when everyone behaves: S plus the
+  // evaluation hashing of one vote.
+  double poller_total_per_voter() const { return solicitation_effort_ + vote_effort_; }
+
+  // The §5.1 inequalities as predicates (also exercised by tests).
+  bool vote_proof_covers_block_check(double gamma) const {
+    return vote_proof_effort_ >= block_effort_ + vote_proof_effort_ / gamma;
+  }
+  bool solicitation_covers_vote(double gamma) const {
+    return solicitation_effort_ >=
+           solicitation_effort_ / gamma + vote_effort_ + vote_proof_effort_;
+  }
+
+ private:
+  double vote_effort_;
+  double block_effort_;
+  double vote_proof_effort_;
+  double solicitation_effort_;
+  double introductory_effort_;
+};
+
+}  // namespace lockss::protocol
+
+#endif  // LOCKSS_PROTOCOL_EFFORT_SCHEDULE_HPP_

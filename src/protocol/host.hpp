@@ -1,0 +1,120 @@
+// The environment a protocol session runs in.
+//
+// PollerSession and VoterSession are written against this interface instead
+// of the concrete peer::Peer so the protocol layer depends only on the
+// substrates (clean bottom-up layering) and so tests/adversaries can provide
+// purpose-built hosts.
+//
+// Lifetime rule: sessions schedule simulator events that resolve themselves
+// through find_poller_session()/find_voter_session() by PollId — never by
+// captured session pointers — so a host may destroy a retired session at any
+// time without dangling callbacks.
+#ifndef LOCKSS_PROTOCOL_HOST_HPP_
+#define LOCKSS_PROTOCOL_HOST_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "crypto/cost_model.hpp"
+#include "crypto/mbf.hpp"
+#include "net/message.hpp"
+#include "net/node_id.hpp"
+#include "protocol/effort_schedule.hpp"
+#include "protocol/messages.hpp"
+#include "protocol/params.hpp"
+#include "protocol/reference_list.hpp"
+#include "reputation/introductions.hpp"
+#include "reputation/known_peers.hpp"
+#include "sched/effort_meter.hpp"
+#include "sched/rate_limiter.hpp"
+#include "sched/refractory.hpp"
+#include "sched/task_schedule.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "storage/replica.hpp"
+
+namespace lockss::protocol {
+
+class PollerSession;
+class VoterSession;
+
+enum class PollOutcomeKind {
+  kSuccess,    // landslide agreement on every block (after repairs)
+  kInquorate,  // fewer than quorum inner votes could be evaluated
+  kAlarm,      // some block was inconclusive — operator attention (§4.3)
+};
+
+const char* poll_outcome_name(PollOutcomeKind kind);
+
+struct PollOutcome {
+  PollOutcomeKind kind = PollOutcomeKind::kInquorate;
+  storage::AuId au;
+  PollId poll_id = 0;
+  size_t inner_votes = 0;
+  size_t outer_votes = 0;
+  size_t repairs = 0;
+  bool replica_was_repaired = false;
+  sim::SimTime started;
+  sim::SimTime concluded;
+  // Solicitation diagnostics.
+  size_t invited = 0;        // distinct voters solicited
+  size_t accepted = 0;       // affirmative PollAcks
+  size_t refusals = 0;       // negative PollAcks
+  size_t ack_timeouts = 0;   // silent drops / lost invitations
+  size_t vote_timeouts = 0;  // committed voters that never delivered
+};
+
+class PeerHost {
+ public:
+  virtual ~PeerHost() = default;
+
+  // --- Identity & environment ---------------------------------------------
+  virtual net::NodeId id() const = 0;
+  virtual const Params& params() const = 0;
+  virtual const EffortSchedule& efforts() const = 0;
+  virtual const crypto::CostModel& costs() const = 0;
+  virtual sim::Simulator& simulator() = 0;
+  virtual sim::Rng& rng() = 0;
+  virtual crypto::MbfService& mbf() = 0;
+
+  // --- State owned by the peer ---------------------------------------------
+  virtual storage::AuReplica& replica(storage::AuId au) = 0;
+  virtual bool has_replica(storage::AuId au) const = 0;
+  virtual sched::TaskSchedule& schedule() = 0;
+  virtual sched::EffortMeter& meter() = 0;
+  virtual sched::InvitationRateLimiter& consideration_limiter() = 0;
+  virtual sched::RefractoryTracker& refractory() = 0;
+  virtual reputation::KnownPeers& known_peers(storage::AuId au) = 0;
+  virtual reputation::IntroductionTable& introductions(storage::AuId au) = 0;
+  virtual ReferenceList& reference_list(storage::AuId au) = 0;
+  virtual std::vector<net::NodeId> friends() const = 0;
+
+  // --- Reputation-aware admission helper -----------------------------------
+  // The random-drop stage; implemented by the host so adversarial hosts can
+  // observe/override it.
+  virtual bool pass_random_drop(reputation::Standing standing) = 0;
+  // A drop with an explicit probability (adaptive acceptance, §9).
+  virtual bool pass_random_drop_with(double drop_probability) = 0;
+
+  // --- Messaging ------------------------------------------------------------
+  // Stamps `from` with id() and hands the message to the network.
+  virtual void send(net::NodeId to, std::unique_ptr<ProtocolMessage> message) = 0;
+
+  // --- Session registry ------------------------------------------------------
+  virtual PollerSession* find_poller_session(PollId id) = 0;
+  virtual VoterSession* find_voter_session(PollId id) = 0;
+  // Asks the host to destroy the session (deferred; never reentrant).
+  virtual void retire_poller_session(PollId id) = 0;
+  virtual void retire_voter_session(PollId id) = 0;
+
+  // --- Notifications ----------------------------------------------------------
+  virtual void on_poll_concluded(const PollOutcome& outcome) = 0;
+  // A repair changed the replica's damaged state (metrics hook).
+  virtual void on_replica_state_changed(storage::AuId au) = 0;
+  // Outbound solicitation sent (self-clocking input for the rate limiter).
+  virtual void note_solicitation_sent() = 0;
+};
+
+}  // namespace lockss::protocol
+
+#endif  // LOCKSS_PROTOCOL_HOST_HPP_

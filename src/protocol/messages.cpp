@@ -1,0 +1,3 @@
+#include "protocol/messages.hpp"
+
+// Message classes are header-only; this translation unit anchors vtables.

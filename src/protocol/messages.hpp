@@ -1,0 +1,118 @@
+// The seven LOCKSS protocol messages (Figure 1, §4).
+//
+//   Poll ──▶ PollAck ──▶ PollProof ──▶ Vote ──▶ [RepairRequest ──▶ Repair]*
+//   ──▶ EvaluationReceipt
+//
+// Wire sizes are estimates of the production encoding and drive transfer
+// times; Repair messages carry a whole content block (megabytes), everything
+// else is small.
+#ifndef LOCKSS_PROTOCOL_MESSAGES_HPP_
+#define LOCKSS_PROTOCOL_MESSAGES_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "crypto/mbf.hpp"
+#include "net/message.hpp"
+#include "storage/au.hpp"
+
+namespace lockss::protocol {
+
+// Globally unique poll identifier: poller node id in the high 32 bits.
+using PollId = uint64_t;
+
+constexpr PollId make_poll_id(net::NodeId poller, uint32_t sequence) {
+  return (static_cast<uint64_t>(poller.value) << 32) | sequence;
+}
+constexpr net::NodeId poll_id_owner(PollId id) {
+  return net::NodeId{static_cast<uint32_t>(id >> 32)};
+}
+
+// Base for all protocol messages; carries the poll and AU being discussed.
+class ProtocolMessage : public net::Message {
+ public:
+  PollId poll_id = 0;
+  storage::AuId au;
+};
+
+// Poll: invitation to vote, carrying the introductory effort proof (§5.1).
+class PollMsg : public ProtocolMessage {
+ public:
+  crypto::MbfProof introductory_effort;
+  // Deadline by which the poller needs the vote (end of its solicitation
+  // window); the voter schedules its computation before this.
+  sim::SimTime vote_deadline;
+
+  uint64_t size_bytes() const override { return 1024; }
+  const char* type_name() const override { return "Poll"; }
+};
+
+// PollAck: acceptance or refusal of the invitation (§4.1).
+class PollAckMsg : public ProtocolMessage {
+ public:
+  bool accept = false;
+
+  uint64_t size_bytes() const override { return 256; }
+  const char* type_name() const override { return "PollAck"; }
+};
+
+// PollProof: the balance of the solicitation effort plus the vote nonce.
+class PollProofMsg : public ProtocolMessage {
+ public:
+  crypto::MbfProof remaining_effort;
+  crypto::Digest64 vote_nonce;
+
+  uint64_t size_bytes() const override { return 1280; }
+  const char* type_name() const override { return "PollProof"; }
+};
+
+// Vote: running block hashes over (nonce, replica), the vote's own effort
+// proof (whose byproduct becomes the evaluation receipt), and discovery
+// payload (nominations; the poller partitions them into outer-circle
+// candidates and introductions, §4.2/§5.1).
+class VoteMsg : public ProtocolMessage {
+ public:
+  std::vector<crypto::Digest64> block_hashes;
+  crypto::MbfProof vote_effort;
+  std::vector<net::NodeId> nominations;
+
+  uint64_t size_bytes() const override {
+    return 1024 + 20 * block_hashes.size() + 8 * nominations.size();
+  }
+  const char* type_name() const override { return "Vote"; }
+};
+
+// RepairRequest: the poller asks a disagreeing voter for one block (§4.3).
+class RepairRequestMsg : public ProtocolMessage {
+ public:
+  uint32_t block = 0;
+
+  uint64_t size_bytes() const override { return 256; }
+  const char* type_name() const override { return "RepairRequest"; }
+};
+
+// Repair: the block content. Dominates wire cost (megabytes).
+class RepairMsg : public ProtocolMessage {
+ public:
+  uint32_t block = 0;
+  uint64_t content = 0;
+  uint64_t wire_block_bytes = 0;  // logical block size for transfer time
+
+  uint64_t size_bytes() const override { return 512 + wire_block_bytes; }
+  const char* type_name() const override { return "Repair"; }
+};
+
+// EvaluationReceipt: unforgeable proof the poller evaluated the vote —
+// the byproduct of the vote's MBF proof (§5.1 wasteful-strategy defense).
+class EvaluationReceiptMsg : public ProtocolMessage {
+ public:
+  crypto::Digest64 receipt;
+
+  uint64_t size_bytes() const override { return 256; }
+  const char* type_name() const override { return "EvaluationReceipt"; }
+};
+
+}  // namespace lockss::protocol
+
+#endif  // LOCKSS_PROTOCOL_MESSAGES_HPP_

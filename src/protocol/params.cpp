@@ -1,0 +1,3 @@
+#include "protocol/params.hpp"
+
+// Params is header-only; this translation unit anchors the library.

@@ -1,0 +1,122 @@
+// Protocol parameters, defaulted to the paper's evaluation settings (§6.3).
+//
+// Every constant that §4–§6 pins down appears here with a citation; the
+// experiment harness overrides only what a given figure sweeps.
+#ifndef LOCKSS_PROTOCOL_PARAMS_HPP_
+#define LOCKSS_PROTOCOL_PARAMS_HPP_
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "storage/au.hpp"
+
+namespace lockss::protocol {
+
+struct Params {
+  // --- Poll structure ------------------------------------------------------
+  // §6.3: "Each poll uses a quorum of 10 peers".
+  uint32_t quorum = 10;
+  // §4.1: "a poller invites into its poll a larger inner circle than the
+  // quorum (typically, twice as large)".
+  uint32_t inner_circle_factor = 2;
+  // §6.3: "landslide agreement as having a maximum of three disagreeing
+  // votes".
+  uint32_t max_disagreeing = 3;
+  // §6.3: "Each peer runs a poll on each of its AUs on average every 3
+  // months."
+  sim::SimTime inter_poll_interval = sim::SimTime::months(3);
+  // Fraction of the interval devoted to (desynchronized) vote solicitation;
+  // the remainder hosts evaluation, repairs, and receipts.
+  double solicitation_window_fraction = 0.75;
+  // Point within the solicitation window where outer-circle solicitation
+  // begins ("When it concludes its inner circle solicitations", §4.2).
+  double outer_circle_start_fraction = 0.55;
+
+  // --- Discovery (§4.2) ----------------------------------------------------
+  // Peers a voter nominates from its reference list per Vote.
+  uint32_t nominations_per_vote = 8;
+  // Outer-circle sample size per poll.
+  uint32_t outer_circle_size = 10;
+  // Probability that a nominated identity is used as an introduction rather
+  // than an outer-circle nomination (the poller "randomly partitions",
+  // §5.1).
+  double introduction_fraction = 0.5;
+  // §5.1: "the maximum number of outstanding introductions is capped."
+  uint32_t max_outstanding_introductions = 40;
+
+  // --- Reference list ------------------------------------------------------
+  // Initial/target reference list size (≈3x quorum, following [29]).
+  uint32_t reference_list_target = 30;
+  // Friends inserted at poll conclusion (friend bias, §4.3/[29]).
+  uint32_t friends_per_poll = 2;
+  uint32_t friends_list_size = 5;
+
+  // --- Admission control (§5.1, §6.3) --------------------------------------
+  double unknown_drop_probability = 0.90;
+  double debt_drop_probability = 0.80;
+  // §6.3: "The refractory period of one day".
+  sim::SimTime refractory_period = sim::SimTime::days(1);
+  // §6.3: "we allow up to a total of four times the rate of poll invitations
+  // that should be expected in the absence of attacks."
+  double consideration_rate_multiplier = 4.0;
+  // Grade decay interval: one step toward debt per interval without
+  // exchanges (§5.1: grades "decay ... toward the debt grade").
+  sim::SimTime grade_decay_interval = sim::SimTime::months(6);
+
+  // --- Effort balancing (§5.1, §6.3) ---------------------------------------
+  // §6.3: "we set the introductory effort to be 20% of the total effort
+  // required of a poller".
+  double introductory_effort_fraction = 0.20;
+  // Safety margin by which provable effort exceeds the strict minimum the
+  // inequalities of §5.1 require.
+  double effort_margin = 1.10;
+
+  // --- Adaptive acceptance (§9 future work, off by default) -----------------
+  // "Loyal peers could modulate the probability of acceptance of a poll
+  // request according to their recent busyness. The effect would be to raise
+  // the marginal effort required to increase the loyal peer's busyness as
+  // the attack effort increases." When enabled, unknown/in-debt invitations
+  // face an *additional* drop probability equal to the voter's committed
+  // busy fraction over the upcoming adaptive window, scaled by the factor.
+  bool adaptive_acceptance = false;
+  sim::SimTime adaptive_window = sim::SimTime::days(7);
+  double adaptive_scale = 1.0;
+
+  // --- Repairs (§4.3) ------------------------------------------------------
+  // Probability of one frivolous repair per concluded poll.
+  double frivolous_repair_probability = 0.05;
+  // Repairs a voter honors per poll before regarding the poller as abusive.
+  uint32_t max_repairs_served_per_poll = 16;
+
+  // --- Timeouts -------------------------------------------------------------
+  sim::SimTime poll_ack_timeout = sim::SimTime::minutes(10);
+  // Voter-side wait for PollProof after an affirmative PollAck; the
+  // introductory effort is sized against this hold (§5.1 reservation
+  // defense).
+  sim::SimTime poll_proof_timeout = sim::SimTime::minutes(30);
+  // Window the voter is given to fit the vote-computation task.
+  sim::SimTime vote_window = sim::SimTime::days(3);
+  // Extra slack the poller allows beyond the vote window before giving up
+  // on a committed voter.
+  sim::SimTime vote_slack = sim::SimTime::days(1);
+  // Minimum spacing between re-invitations of a reluctant voter.
+  sim::SimTime min_retry_gap = sim::SimTime::days(2);
+
+  // --- Storage --------------------------------------------------------------
+  storage::AuSpec au_spec;
+
+  // Derived helpers ----------------------------------------------------------
+  uint32_t inner_circle_size() const { return quorum * inner_circle_factor; }
+  sim::SimTime solicitation_window() const {
+    return inter_poll_interval * solicitation_window_fraction;
+  }
+  // Expected solicitations per poll (inner + outer), the self-clocking basis
+  // for the consideration rate limiter.
+  double expected_solicitations_per_poll() const {
+    return static_cast<double>(inner_circle_size() + outer_circle_size);
+  }
+};
+
+}  // namespace lockss::protocol
+
+#endif  // LOCKSS_PROTOCOL_PARAMS_HPP_

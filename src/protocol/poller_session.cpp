@@ -1,0 +1,626 @@
+#include "protocol/poller_session.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace lockss::protocol {
+namespace {
+
+// Grace period after the solicitation window before evaluation begins, to
+// absorb in-flight votes.
+constexpr sim::SimTime kEvaluationGrace = sim::SimTime::hours(1);
+// Time allowed for a requested repair block to arrive (transfer of a few MB
+// plus scheduling slack at the voter).
+constexpr sim::SimTime kRepairTimeout = sim::SimTime::hours(6);
+// Fraction of the inter-poll interval by which everything (evaluation,
+// repairs, receipts) must be finished.
+constexpr double kPollEndFraction = 0.97;
+
+}  // namespace
+
+const char* poll_outcome_name(PollOutcomeKind kind) {
+  switch (kind) {
+    case PollOutcomeKind::kSuccess:
+      return "success";
+    case PollOutcomeKind::kInquorate:
+      return "inquorate";
+    case PollOutcomeKind::kAlarm:
+      return "alarm";
+  }
+  return "?";
+}
+
+PollerSession::PollerSession(PeerHost& host, storage::AuId au, PollId poll_id)
+    : host_(host), au_(au), poll_id_(poll_id) {}
+
+PollerSession::~PollerSession() {
+  for (auto& handle : pending_events_) {
+    handle.cancel();
+  }
+  for (auto& [voter, invitee] : invitees_) {
+    invitee.timeout.cancel();
+  }
+  repair_timeout_handle_.cancel();
+}
+
+void PollerSession::start() {
+  const Params& params = host_.params();
+  started_ = host_.simulator().now();
+  solicitation_end_ = started_ + params.solicitation_window();
+  poll_end_ = started_ + params.inter_poll_interval * kPollEndFraction;
+
+  // Desynchronization (§5.2): each inner-circle invitee gets an independent
+  // uniform-random solicitation time; a poll is a sequence of two-party
+  // exchanges, never a synchronous multi-party step.
+  const sim::SimTime inner_window_end =
+      started_ + params.solicitation_window() * params.outer_circle_start_fraction;
+  const auto inner = host_.reference_list(au_).sample(params.inner_circle_size(), host_.rng());
+  for (net::NodeId voter : inner) {
+    invitees_[voter].inner = true;
+    schedule_solicitation(voter, host_.rng().uniform_time(started_, inner_window_end));
+  }
+
+  pending_events_.push_back(host_.simulator().schedule_at(
+      started_ + params.solicitation_window() * params.outer_circle_start_fraction,
+      [&host = host_, id = poll_id_] {
+        if (auto* s = host.find_poller_session(id)) {
+          s->begin_outer_circle();
+        }
+      }));
+  pending_events_.push_back(host_.simulator().schedule_at(
+      solicitation_end_ + kEvaluationGrace, [&host = host_, id = poll_id_] {
+        if (auto* s = host.find_poller_session(id)) {
+          s->begin_evaluation();
+        }
+      }));
+}
+
+void PollerSession::schedule_solicitation(net::NodeId voter, sim::SimTime at) {
+  pending_events_.push_back(
+      host_.simulator().schedule_at(at, [&host = host_, id = poll_id_, voter] {
+        if (auto* s = host.find_poller_session(id)) {
+          s->solicit(voter);
+        }
+      }));
+}
+
+void PollerSession::solicit(net::NodeId voter) {
+  if (concluded_) {
+    return;
+  }
+  auto it = invitees_.find(voter);
+  if (it == invitees_.end() || it->second.phase == InviteePhase::kFailed ||
+      it->second.phase == InviteePhase::kVoted) {
+    return;
+  }
+  const sim::SimTime now = host_.simulator().now();
+  if (now >= solicitation_end_) {
+    fail_invitee(voter, /*misbehaved=*/false);
+    return;
+  }
+  ++it->second.attempts;
+  // TLS session establishment for this exchange (§4.1).
+  host_.meter().charge(sched::EffortCategory::kHandshake, host_.costs().session_handshake_seconds);
+
+  // Mint the introductory effort proof; this occupies the local CPU for the
+  // proof's full effort (§5.1), so it is booked on the task schedule.
+  const double intro = host_.efforts().introductory_effort();
+  const sim::SimTime gen_deadline = std::min(now + sim::SimTime::days(2), solicitation_end_);
+  run_task(host_.costs().mbf_generate_time(intro), sched::EffortCategory::kMbfGeneration,
+           gen_deadline, [this, voter, intro](bool ok) {
+             if (concluded_) {
+               return;
+             }
+             if (!ok) {
+               retry_later(voter);
+               return;
+             }
+             auto inv = invitees_.find(voter);
+             if (inv == invitees_.end()) {
+               return;
+             }
+             auto poll = std::make_unique<PollMsg>();
+             poll->poll_id = poll_id_;
+             poll->au = au_;
+             poll->introductory_effort = host_.mbf().generate(intro);
+             poll->vote_deadline = solicitation_end_;
+             host_.send(voter, std::move(poll));
+             host_.note_solicitation_sent();
+             inv->second.phase = InviteePhase::kAwaitingAck;
+             inv->second.timeout = host_.simulator().schedule_in(
+                 host_.params().poll_ack_timeout, [&host = host_, id = poll_id_, voter] {
+                   if (auto* s = host.find_poller_session(id)) {
+                     s->ack_timeout(voter);
+                   }
+                 });
+           });
+}
+
+void PollerSession::retry_later(net::NodeId voter) {
+  auto it = invitees_.find(voter);
+  if (it == invitees_.end()) {
+    return;
+  }
+  // "Re-trying the reluctant peer later in the same vote solicitation phase"
+  // (§4.1): periodic retries one jittered gap apart, until the window ends.
+  // Against unknown/in-debt standings (0.10/0.20 admission probability) a
+  // poller therefore expends several introductory proofs per eventual
+  // admission — the waste the §7.3 attack amplifies.
+  const sim::SimTime now = host_.simulator().now();
+  const sim::SimTime earliest = now + host_.params().min_retry_gap;
+  if (earliest >= solicitation_end_) {
+    fail_invitee(voter, /*misbehaved=*/false);
+    return;
+  }
+  const sim::SimTime latest =
+      std::min(earliest + host_.params().min_retry_gap, solicitation_end_);
+  it->second.phase = InviteePhase::kScheduled;
+  schedule_solicitation(voter, host_.rng().uniform_time(earliest, latest));
+}
+
+void PollerSession::fail_invitee(net::NodeId voter, bool misbehaved) {
+  auto it = invitees_.find(voter);
+  if (it == invitees_.end()) {
+    return;
+  }
+  it->second.timeout.cancel();
+  it->second.phase = InviteePhase::kFailed;
+  if (misbehaved) {
+    // The voter committed (affirmative PollAck) but never delivered (§5.1).
+    host_.known_peers(au_).record_misbehavior(voter, host_.simulator().now());
+  }
+}
+
+void PollerSession::ack_timeout(net::NodeId voter) {
+  auto it = invitees_.find(voter);
+  if (it == invitees_.end() || it->second.phase != InviteePhase::kAwaitingAck) {
+    return;
+  }
+  // Silence is normal: admission control drops invitations without reply
+  // (§5.1), and pipe stoppage eats packets. Not misbehavior — retry later.
+  ++ack_timeouts_;
+  retry_later(voter);
+}
+
+void PollerSession::vote_timeout(net::NodeId voter) {
+  auto it = invitees_.find(voter);
+  if (it == invitees_.end() || it->second.phase != InviteePhase::kAwaitingVote) {
+    return;
+  }
+  ++vote_timeouts_;
+  fail_invitee(voter, /*misbehaved=*/true);
+}
+
+void PollerSession::on_poll_ack(const PollAckMsg& ack) {
+  if (concluded_) {
+    return;
+  }
+  auto it = invitees_.find(ack.from);
+  if (it == invitees_.end() || it->second.phase != InviteePhase::kAwaitingAck) {
+    return;  // unsolicited or stale
+  }
+  it->second.timeout.cancel();
+  if (!ack.accept) {
+    ++refusals_;
+    retry_later(ack.from);
+    return;
+  }
+  ++acks_received_;
+  it->second.phase = InviteePhase::kPreparingProof;
+  // "Upon receiving the affirmative PollAck, the poller performs the balance
+  // of the provable effort" (§5.1). The voter's PollProof hold is short, so
+  // the proof must be produced promptly or the slot is lost.
+  const double remaining = host_.efforts().remaining_effort();
+  const sim::SimTime deadline =
+      host_.simulator().now() + host_.params().poll_proof_timeout * 0.8;
+  const net::NodeId voter = ack.from;
+  run_task(host_.costs().mbf_generate_time(remaining), sched::EffortCategory::kMbfGeneration,
+           deadline, [this, voter, remaining](bool ok) {
+             if (concluded_) {
+               return;
+             }
+             auto inv = invitees_.find(voter);
+             if (inv == invitees_.end() || inv->second.phase != InviteePhase::kPreparingProof) {
+               return;
+             }
+             if (!ok) {
+               // Could not produce the proof in time; the voter will time
+               // out and penalize us. Try again later in the window.
+               retry_later(voter);
+               return;
+             }
+             auto proof = std::make_unique<PollProofMsg>();
+             proof->poll_id = poll_id_;
+             proof->au = au_;
+             proof->remaining_effort = host_.mbf().generate(remaining);
+             proof->vote_nonce = crypto::Digest64{host_.rng().next_u64() | 1};
+             inv->second.nonce = proof->vote_nonce;
+             host_.send(voter, std::move(proof));
+             inv->second.phase = InviteePhase::kAwaitingVote;
+             inv->second.timeout = host_.simulator().schedule_in(
+                 host_.params().vote_window + host_.params().vote_slack,
+                 [&host = host_, id = poll_id_, voter] {
+                   if (auto* s = host.find_poller_session(id)) {
+                     s->vote_timeout(voter);
+                   }
+                 });
+           });
+}
+
+void PollerSession::on_vote(const VoteMsg& vote) {
+  if (concluded_) {
+    return;
+  }
+  auto it = invitees_.find(vote.from);
+  if (it == invitees_.end() || it->second.phase != InviteePhase::kAwaitingVote) {
+    return;  // "Unsolicited votes are ignored." (§5.1)
+  }
+  it->second.timeout.cancel();
+  it->second.phase = InviteePhase::kVoted;
+  votes_.push_back(StoredVote{vote.from, it->second.nonce, vote.block_hashes, vote.vote_effort,
+                              it->second.inner});
+  // Discovery (§4.2/§5.1): the poller randomly partitions the vote's peer
+  // identities into outer-circle nominations and introductions.
+  for (net::NodeId nominee : vote.nominations) {
+    if (nominee == host_.id() || !nominee.valid()) {
+      continue;
+    }
+    if (host_.rng().bernoulli(host_.params().introduction_fraction)) {
+      host_.introductions(au_).add(vote.from, nominee);
+    } else {
+      nomination_pool_.push_back(nominee);
+    }
+  }
+}
+
+void PollerSession::begin_outer_circle() {
+  if (concluded_ || outer_circle_started_) {
+    return;
+  }
+  outer_circle_started_ = true;
+  // Candidates: nominated identities that are genuinely new — not us, not
+  // already invited, not already in the reference list.
+  std::set<net::NodeId> candidates;
+  for (net::NodeId nominee : nomination_pool_) {
+    if (nominee != host_.id() && !invitees_.contains(nominee) &&
+        !host_.reference_list(au_).contains(nominee)) {
+      candidates.insert(nominee);
+    }
+  }
+  std::vector<net::NodeId> pool(candidates.begin(), candidates.end());
+  const auto outer = host_.rng().sample(pool, host_.params().outer_circle_size);
+  const sim::SimTime now = host_.simulator().now();
+  for (net::NodeId voter : outer) {
+    invitees_[voter].inner = false;
+    schedule_solicitation(voter, host_.rng().uniform_time(now, solicitation_end_));
+  }
+}
+
+void PollerSession::begin_evaluation() {
+  if (concluded_) {
+    return;
+  }
+  // Give up on anything still in flight; votes can no longer be used.
+  for (auto& [voter, invitee] : invitees_) {
+    if (invitee.phase == InviteePhase::kAwaitingAck ||
+        invitee.phase == InviteePhase::kScheduled) {
+      invitee.timeout.cancel();
+      invitee.phase = InviteePhase::kFailed;
+    } else if (invitee.phase == InviteePhase::kPreparingProof ||
+               invitee.phase == InviteePhase::kAwaitingVote) {
+      // Committed exchanges that never completed — the voter may have been
+      // cut off (or deserted); it takes the reputation consequence.
+      fail_invitee(voter, /*misbehaved=*/true);
+    }
+  }
+
+  const size_t inner_votes =
+      static_cast<size_t>(std::count_if(votes_.begin(), votes_.end(),
+                                        [](const StoredVote& v) { return v.inner; }));
+  if (inner_votes < host_.params().quorum) {
+    conclude(PollOutcomeKind::kInquorate);
+    return;
+  }
+
+  // Book the evaluation effort: hashing the replica once per vote (each vote
+  // has its own nonce) plus verifying each vote's effort proof. If the full
+  // set cannot be accommodated, shed outer votes first, then inner votes
+  // down to the quorum.
+  const double per_vote =
+      host_.efforts().vote_computation_effort() +
+      host_.costs().mbf_verify_effort(host_.efforts().vote_proof_effort());
+  // Order votes inner-first so shedding drops outer votes first.
+  std::stable_sort(votes_.begin(), votes_.end(),
+                   [](const StoredVote& a, const StoredVote& b) { return a.inner > b.inner; });
+  const sim::SimTime now = host_.simulator().now();
+  size_t keep = votes_.size();
+  while (keep >= host_.params().quorum) {
+    const sim::SimTime duration =
+        sim::SimTime::seconds(per_vote * static_cast<double>(keep));
+    if (host_.schedule().can_reserve(duration, now, poll_end_)) {
+      break;
+    }
+    --keep;
+  }
+  if (keep < host_.params().quorum) {
+    conclude(PollOutcomeKind::kInquorate);
+    return;
+  }
+  votes_.resize(keep);
+  const sim::SimTime duration = sim::SimTime::seconds(per_vote * static_cast<double>(keep));
+  run_task(duration, sched::EffortCategory::kVoteEvaluation, poll_end_, [this](bool ok) {
+    if (concluded_) {
+      return;
+    }
+    if (!ok) {
+      conclude(PollOutcomeKind::kInquorate);
+      return;
+    }
+    run_tally();
+  });
+}
+
+void PollerSession::run_tally() {
+  // Verify each vote's effort proof; bogus votes are discarded and their
+  // senders penalized (§5.1 vote-desertion defense). Verification effort was
+  // charged as part of the evaluation task.
+  std::vector<StoredVote> valid;
+  valid.reserve(votes_.size());
+  for (StoredVote& vote : votes_) {
+    const auto verification =
+        host_.mbf().verify(vote.proof, host_.efforts().vote_proof_effort());
+    if (!verification.ok) {
+      host_.known_peers(au_).record_misbehavior(vote.voter, host_.simulator().now());
+      continue;
+    }
+    valid.push_back(std::move(vote));
+  }
+  votes_ = std::move(valid);
+
+  tally_ = std::make_unique<Tally>(host_.replica(au_), host_.params().quorum,
+                                   host_.params().max_disagreeing);
+  for (const StoredVote& vote : votes_) {
+    tally_->add_vote(vote.voter, vote.nonce, vote.hashes, vote.inner);
+  }
+  if (!tally_->quorate()) {
+    conclude(PollOutcomeKind::kInquorate);
+    return;
+  }
+  continue_tally();
+}
+
+void PollerSession::continue_tally() {
+  if (concluded_) {
+    return;
+  }
+  const Tally::Step step = tally_->advance();
+  switch (step.kind) {
+    case Tally::Step::Kind::kDone:
+      maybe_frivolous_repair_then_receipts();
+      return;
+    case Tally::Step::Kind::kNeedRepair:
+      if (repairs_requested_ >= host_.params().max_repairs_served_per_poll) {
+        conclude(PollOutcomeKind::kAlarm);
+        return;
+      }
+      request_repair(step.block, step.disagreeing);
+      return;
+    case Tally::Step::Kind::kAlarm:
+      conclude(PollOutcomeKind::kAlarm);
+      return;
+  }
+}
+
+void PollerSession::request_repair(uint32_t block, std::vector<net::NodeId> candidates) {
+  if (pending_repair_block_.has_value() && *pending_repair_block_ == block) {
+    // Re-entry after a failed repair of the same block: keep the remaining
+    // candidate list so we do not retry a source that already failed us.
+    candidates = pending_repair_candidates_;
+  }
+  if (candidates.empty()) {
+    conclude(PollOutcomeKind::kAlarm);
+    return;
+  }
+  const size_t pick = host_.rng().index(candidates.size());
+  const net::NodeId source = candidates[pick];
+  candidates.erase(candidates.begin() + static_cast<ptrdiff_t>(pick));
+  pending_repair_block_ = block;
+  pending_repair_candidates_ = std::move(candidates);
+
+  auto request = std::make_unique<RepairRequestMsg>();
+  request->poll_id = poll_id_;
+  request->au = au_;
+  request->block = block;
+  host_.send(source, std::move(request));
+  ++repairs_requested_;
+  repair_timeout_handle_.cancel();
+  repair_timeout_handle_ =
+      host_.simulator().schedule_in(kRepairTimeout, [&host = host_, id = poll_id_] {
+        if (auto* s = host.find_poller_session(id)) {
+          s->repair_timeout();
+        }
+      });
+}
+
+void PollerSession::repair_timeout() {
+  if (concluded_ || !pending_repair_block_.has_value()) {
+    return;
+  }
+  if (frivolous_phase_) {
+    // Frivolous repair went unanswered; proceed to receipts regardless.
+    pending_repair_block_.reset();
+    send_receipts_and_conclude();
+    return;
+  }
+  request_repair(*pending_repair_block_, pending_repair_candidates_);
+}
+
+void PollerSession::on_repair(const RepairMsg& repair) {
+  if (concluded_ || !pending_repair_block_.has_value() || repair.block != *pending_repair_block_) {
+    return;
+  }
+  repair_timeout_handle_.cancel();
+  // Re-hash the repaired block (§4.3 re-evaluation cost).
+  host_.meter().charge(sched::EffortCategory::kVoteEvaluation,
+                       host_.efforts().block_hash_effort());
+  if (frivolous_phase_) {
+    // The content is discarded; the request existed only to probe the
+    // voter's willingness to serve repairs (§4.3).
+    pending_repair_block_.reset();
+    send_receipts_and_conclude();
+    return;
+  }
+  storage::AuReplica& replica = host_.replica(au_);
+  replica.set_block_content(repair.block, repair.content);
+  replica_was_repaired_ = true;
+  host_.on_replica_state_changed(au_);
+  pending_repair_block_.reset();
+  continue_tally();
+}
+
+void PollerSession::maybe_frivolous_repair_then_receipts() {
+  if (!votes_.empty() && host_.rng().bernoulli(host_.params().frivolous_repair_probability)) {
+    frivolous_phase_ = true;
+    const StoredVote& victim = votes_[host_.rng().index(votes_.size())];
+    const uint32_t block = static_cast<uint32_t>(
+        host_.rng().index(host_.params().au_spec.block_count));
+    pending_repair_block_ = block;
+    pending_repair_candidates_.clear();
+    auto request = std::make_unique<RepairRequestMsg>();
+    request->poll_id = poll_id_;
+    request->au = au_;
+    request->block = block;
+    host_.send(victim.voter, std::move(request));
+    ++repairs_requested_;
+    repair_timeout_handle_ =
+        host_.simulator().schedule_in(kRepairTimeout, [&host = host_, id = poll_id_] {
+          if (auto* s = host.find_poller_session(id)) {
+            s->repair_timeout();
+          }
+        });
+    return;
+  }
+  send_receipts_and_conclude();
+}
+
+void PollerSession::send_receipts_and_conclude() {
+  const sim::SimTime now = host_.simulator().now();
+  // Receipts: the byproduct of each vote's effort proof, recovered during
+  // evaluation (§5.1 wasteful-strategy defense).
+  for (const StoredVote& vote : votes_) {
+    auto receipt = std::make_unique<EvaluationReceiptMsg>();
+    receipt->poll_id = poll_id_;
+    receipt->au = au_;
+    receipt->receipt = vote.proof.byproduct;
+    host_.send(vote.voter, std::move(receipt));
+    // The voter supplied us a valid vote: its grade climbs (§5.1).
+    host_.known_peers(au_).record_service_supplied(vote.voter, now);
+  }
+
+  // Reference list update (§4.3): drop the inner voters whose votes
+  // determined the outcome, insert agreeing outer-circle voters and a few
+  // friends.
+  ReferenceList& ref = host_.reference_list(au_);
+  for (const StoredVote& vote : votes_) {
+    if (vote.inner) {
+      ref.remove(vote.voter);
+      host_.introductions(au_).remove_introducer(vote.voter);
+    } else if (tally_ && tally_->voter_agreed_throughout(vote.voter)) {
+      ref.insert(vote.voter);
+    }
+  }
+  auto friend_ids = host_.friends();
+  const auto chosen = host_.rng().sample(friend_ids, host_.params().friends_per_poll);
+  for (net::NodeId f : chosen) {
+    ref.insert(f);
+  }
+  // Keep the list near its target size ("the reference list contains mostly
+  // peers that have agreed with the poller in recent polls", §4.1): when
+  // outer-circle discovery cannot replace the removed voters — small
+  // populations, attack-throttled discovery — top up from known peers in
+  // good standing, i.e. peers with a history of valid votes.
+  if (ref.size() < host_.params().reference_list_target) {
+    const sim::SimTime now = host_.simulator().now();
+    const reputation::KnownPeers& known = host_.known_peers(au_);
+    std::vector<net::NodeId> pool;
+    for (reputation::Standing standing :
+         {reputation::Standing::kCredit, reputation::Standing::kEven}) {
+      for (net::NodeId peer : known.peers_with_standing(standing, now)) {
+        if (peer != host_.id() && !ref.contains(peer)) {
+          pool.push_back(peer);
+        }
+      }
+    }
+    host_.rng().shuffle(pool);
+    for (net::NodeId peer : pool) {
+      if (ref.size() >= host_.params().reference_list_target) {
+        break;
+      }
+      ref.insert(peer);
+    }
+  }
+  conclude(PollOutcomeKind::kSuccess);
+}
+
+void PollerSession::conclude(PollOutcomeKind kind) {
+  if (concluded_) {
+    return;
+  }
+  concluded_ = true;
+  for (auto& handle : pending_events_) {
+    handle.cancel();
+  }
+  for (auto& [voter, invitee] : invitees_) {
+    invitee.timeout.cancel();
+  }
+  repair_timeout_handle_.cancel();
+  // Release any still-booked future slots.
+  for (sched::ReservationId rid : active_reservations_) {
+    host_.schedule().cancel(rid);
+  }
+  active_reservations_.clear();
+
+  PollOutcome outcome;
+  outcome.kind = kind;
+  outcome.au = au_;
+  outcome.poll_id = poll_id_;
+  outcome.inner_votes = static_cast<size_t>(
+      std::count_if(votes_.begin(), votes_.end(), [](const StoredVote& v) { return v.inner; }));
+  outcome.outer_votes = votes_.size() - outcome.inner_votes;
+  outcome.repairs = repairs_requested_;
+  outcome.replica_was_repaired = replica_was_repaired_;
+  outcome.started = started_;
+  outcome.concluded = host_.simulator().now();
+  outcome.invited = invitees_.size();
+  outcome.accepted = acks_received_;
+  outcome.refusals = refusals_;
+  outcome.ack_timeouts = ack_timeouts_;
+  outcome.vote_timeouts = vote_timeouts_;
+  host_.on_poll_concluded(outcome);
+  host_.retire_poller_session(poll_id_);
+}
+
+void PollerSession::run_task(sim::SimTime duration, sched::EffortCategory category,
+                             sim::SimTime deadline, std::function<void(bool)> done) {
+  const sim::SimTime now = host_.simulator().now();
+  auto reservation = host_.schedule().reserve(duration, now, deadline);
+  if (!reservation) {
+    done(false);
+    return;
+  }
+  active_reservations_.push_back(reservation->id);
+  pending_events_.push_back(host_.simulator().schedule_at(
+      reservation->end, [&host = host_, id = poll_id_, rid = reservation->id, category, duration,
+                         done = std::move(done)] {
+        PollerSession* session = host.find_poller_session(id);
+        if (session == nullptr || session->concluded_) {
+          return;
+        }
+        std::erase(session->active_reservations_, rid);
+        host.meter().charge(category, duration.to_seconds());
+        done(true);
+      }));
+}
+
+}  // namespace lockss::protocol

@@ -1,0 +1,146 @@
+// Poller-side poll state machine (§4.1–§4.3).
+//
+// One PollerSession drives one poll on one AU through:
+//
+//   1. *Vote solicitation* — the inner circle (2x quorum, sampled from the
+//      reference list) is invited at independent random times spread across
+//      the solicitation window (the desynchronization defense, §5.2);
+//      refusals and timeouts are retried later in the same window.
+//   2. *Outer circle* — once inner solicitation concludes, a sample of the
+//      nominations accumulated from votes is solicited identically (§4.2).
+//   3. *Evaluation* — a block-at-a-time tally (protocol/tally.hpp); landslide
+//      disagreement triggers block repairs from disagreeing voters; an
+//      occasional frivolous repair penalizes repair free-riding (§4.3).
+//   4. *Receipts & reference list update* — evaluation receipts (the MBF
+//      byproducts of the vote proofs) go to every evaluated voter; used
+//      inner voters leave the reference list, agreeing outer voters and a
+//      few friends enter (§4.3).
+//
+// The session never slows down or speeds up in response to adversity: the
+// next poll is scheduled exactly one inter-poll interval after this poll
+// started, whatever happened (§5.1 rate limitation).
+#ifndef LOCKSS_PROTOCOL_POLLER_SESSION_HPP_
+#define LOCKSS_PROTOCOL_POLLER_SESSION_HPP_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "protocol/host.hpp"
+#include "protocol/messages.hpp"
+#include "protocol/tally.hpp"
+
+namespace lockss::protocol {
+
+class PollerSession {
+ public:
+  PollerSession(PeerHost& host, storage::AuId au, PollId poll_id);
+  ~PollerSession();
+
+  PollerSession(const PollerSession&) = delete;
+  PollerSession& operator=(const PollerSession&) = delete;
+
+  // Samples the inner circle and schedules its solicitations. Call once.
+  void start();
+
+  // Message entry points (dispatched by the host).
+  void on_poll_ack(const PollAckMsg& ack);
+  void on_vote(const VoteMsg& vote);
+  void on_repair(const RepairMsg& repair);
+
+  PollId poll_id() const { return poll_id_; }
+  storage::AuId au() const { return au_; }
+  bool concluded() const { return concluded_; }
+
+  // Visible for tests and diagnostics.
+  size_t votes_received() const { return votes_.size(); }
+  size_t invitees() const { return invitees_.size(); }
+
+ private:
+  enum class InviteePhase : uint8_t {
+    kScheduled,      // solicitation event queued
+    kAwaitingAck,    // Poll sent
+    kPreparingProof, // affirmative ack received, generating remaining effort
+    kAwaitingVote,   // PollProof sent
+    kVoted,          // vote stored
+    kFailed,         // gave up on this voter for this poll
+  };
+
+  struct Invitee {
+    bool inner = false;
+    InviteePhase phase = InviteePhase::kScheduled;
+    crypto::Digest64 nonce;
+    sim::EventHandle timeout;
+    uint32_t attempts = 0;
+  };
+
+  struct StoredVote {
+    net::NodeId voter;
+    crypto::Digest64 nonce;
+    std::vector<crypto::Digest64> hashes;
+    crypto::MbfProof proof;
+    bool inner = false;
+  };
+
+  // --- Solicitation ---------------------------------------------------------
+  void schedule_solicitation(net::NodeId voter, sim::SimTime at);
+  void solicit(net::NodeId voter);
+  void retry_later(net::NodeId voter);
+  void fail_invitee(net::NodeId voter, bool misbehaved);
+  void ack_timeout(net::NodeId voter);
+  void vote_timeout(net::NodeId voter);
+  void begin_outer_circle();
+
+  // --- Evaluation -----------------------------------------------------------
+  void begin_evaluation();
+  void run_tally();
+  void continue_tally();
+  void request_repair(uint32_t block, std::vector<net::NodeId> candidates);
+  void repair_timeout();
+  void maybe_frivolous_repair_then_receipts();
+  void send_receipts_and_conclude();
+  void conclude(PollOutcomeKind kind);
+
+  // Books an effort task on the local schedule; invokes `done(true)` at the
+  // task's end (charging `category`) or `done(false)` if no slot fits before
+  // `deadline`.
+  void run_task(sim::SimTime duration, sched::EffortCategory category, sim::SimTime deadline,
+                std::function<void(bool)> done);
+
+  PeerHost& host_;
+  storage::AuId au_;
+  PollId poll_id_;
+
+  sim::SimTime started_;
+  sim::SimTime solicitation_end_;
+  sim::SimTime poll_end_;
+
+  std::map<net::NodeId, Invitee> invitees_;
+  std::vector<StoredVote> votes_;
+  std::vector<net::NodeId> nomination_pool_;  // outer-circle candidates
+  bool outer_circle_started_ = false;
+
+  std::unique_ptr<Tally> tally_;
+  size_t acks_received_ = 0;
+  size_t refusals_ = 0;
+  size_t ack_timeouts_ = 0;
+  size_t vote_timeouts_ = 0;
+  size_t repairs_requested_ = 0;
+  bool replica_was_repaired_ = false;
+  std::optional<uint32_t> pending_repair_block_;
+  std::vector<net::NodeId> pending_repair_candidates_;
+  sim::EventHandle repair_timeout_handle_;
+  bool frivolous_phase_ = false;
+
+  bool concluded_ = false;
+  std::vector<sim::EventHandle> pending_events_;
+  // Future schedule slots booked by run_task; released if the poll concludes
+  // before they run (completed tasks remove themselves).
+  std::vector<sched::ReservationId> active_reservations_;
+};
+
+}  // namespace lockss::protocol
+
+#endif  // LOCKSS_PROTOCOL_POLLER_SESSION_HPP_

@@ -1,0 +1,18 @@
+#include "protocol/reference_list.hpp"
+
+namespace lockss::protocol {
+
+void ReferenceList::insert(net::NodeId peer) {
+  if (peer != self_ && peer.valid()) {
+    members_.insert(peer);
+  }
+}
+
+void ReferenceList::remove(net::NodeId peer) { members_.erase(peer); }
+
+std::vector<net::NodeId> ReferenceList::sample(size_t k, sim::Rng& rng) const {
+  std::vector<net::NodeId> pool(members_.begin(), members_.end());
+  return rng.sample(pool, k);
+}
+
+}  // namespace lockss::protocol

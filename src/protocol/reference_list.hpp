@@ -1,0 +1,44 @@
+// Per-AU reference list (§4.1, §4.3).
+//
+// "The reference list contains mostly peers that have agreed with the poller
+// in recent polls on the AU, and a few peers from its static friends list."
+// At poll conclusion the poller "updates its reference list by removing all
+// voters whose votes determined the poll outcome and by inserting all
+// agreeing outer-circle voters and some peers from the friends list."
+#ifndef LOCKSS_PROTOCOL_REFERENCE_LIST_HPP_
+#define LOCKSS_PROTOCOL_REFERENCE_LIST_HPP_
+
+#include <set>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/rng.hpp"
+
+namespace lockss::protocol {
+
+class ReferenceList {
+ public:
+  explicit ReferenceList(net::NodeId self) : self_(self) {}
+
+  // Insert/remove keep the list duplicate-free and never admit `self`.
+  void insert(net::NodeId peer);
+  void remove(net::NodeId peer);
+  bool contains(net::NodeId peer) const { return members_.contains(peer); }
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  // Uniform random sample of up to `k` distinct members.
+  std::vector<net::NodeId> sample(size_t k, sim::Rng& rng) const;
+
+  std::vector<net::NodeId> members() const {
+    return std::vector<net::NodeId>(members_.begin(), members_.end());
+  }
+
+ private:
+  net::NodeId self_;
+  std::set<net::NodeId> members_;  // ordered for deterministic iteration
+};
+
+}  // namespace lockss::protocol
+
+#endif  // LOCKSS_PROTOCOL_REFERENCE_LIST_HPP_

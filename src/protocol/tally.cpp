@@ -1,0 +1,95 @@
+#include "protocol/tally.hpp"
+
+#include <cassert>
+
+namespace lockss::protocol {
+
+Tally::Tally(const storage::AuReplica& replica, uint32_t quorum, uint32_t max_disagreeing)
+    : replica_(replica), quorum_(quorum), max_disagreeing_(max_disagreeing) {}
+
+void Tally::add_vote(net::NodeId voter, crypto::Digest64 nonce,
+                     std::vector<crypto::Digest64> block_hashes, bool inner) {
+  assert(block_ == 0 && "votes must be registered before evaluation starts");
+  VoterState state;
+  state.hashes = std::move(block_hashes);
+  state.expected_prev = crypto::vote_chain_seed(nonce);
+  state.inner = inner;
+  auto [it, inserted] = voters_.emplace(voter, std::move(state));
+  (void)it;
+  if (inserted && inner) {
+    ++inner_count_;
+  }
+}
+
+Tally::Step Tally::advance() {
+  const uint32_t blocks = replica_.spec().block_count;
+  while (block_ < blocks) {
+    // Evaluate the current block against every vote.
+    uint32_t inner_agree = 0;
+    uint32_t inner_disagree = 0;
+    std::vector<net::NodeId> disagreeing;
+    for (auto& [voter, state] : voters_) {
+      const crypto::Digest64 expected = replica_.expected_block_hash(state.expected_prev, block_);
+      const bool vote_long_enough = state.hashes.size() > block_;
+      const bool agree = vote_long_enough && state.hashes[block_] == expected;
+      if (state.inner) {
+        if (agree) {
+          ++inner_agree;
+        } else {
+          ++inner_disagree;
+          disagreeing.push_back(voter);
+        }
+      }
+    }
+    if (inner_disagree <= max_disagreeing_) {
+      // Landslide agreement: commit the block and move on.
+      for (auto& [voter, state] : voters_) {
+        const crypto::Digest64 expected =
+            replica_.expected_block_hash(state.expected_prev, block_);
+        const bool agree = state.hashes.size() > block_ && state.hashes[block_] == expected;
+        if (!agree) {
+          state.agreed_throughout = false;
+        }
+        state.expected_prev = expected;
+      }
+      ++block_;
+      continue;
+    }
+    if (inner_agree <= max_disagreeing_) {
+      // Landslide disagreement: the poller's replica is presumed damaged at
+      // this block (§4.3); caller must repair and re-advance.
+      return Step{Step::Kind::kNeedRepair, block_, std::move(disagreeing)};
+    }
+    // No landslide either way: inconclusive.
+    return Step{Step::Kind::kAlarm, block_, std::move(disagreeing)};
+  }
+  done_ = true;
+  return Step{Step::Kind::kDone, blocks, {}};
+}
+
+std::vector<net::NodeId> Tally::agreeing_voters() const {
+  std::vector<net::NodeId> out;
+  for (const auto& [voter, state] : voters_) {
+    if (state.agreed_throughout) {
+      out.push_back(voter);
+    }
+  }
+  return out;
+}
+
+std::vector<net::NodeId> Tally::disagreeing_voters() const {
+  std::vector<net::NodeId> out;
+  for (const auto& [voter, state] : voters_) {
+    if (!state.agreed_throughout) {
+      out.push_back(voter);
+    }
+  }
+  return out;
+}
+
+bool Tally::voter_agreed_throughout(net::NodeId voter) const {
+  auto it = voters_.find(voter);
+  return it != voters_.end() && it->second.agreed_throughout;
+}
+
+}  // namespace lockss::protocol

@@ -1,0 +1,94 @@
+// Block-at-a-time vote evaluation with landslide outcomes (§4.3).
+//
+// The poller walks the AU block by block. For each voter it maintains the
+// running hash chain that the voter *should* have produced had its replica
+// matched the poller's (each voter gets its own nonce, so chains differ per
+// voter). At each block:
+//
+//   * landslide agreement (≤ max_disagreeing inner votes disagree): advance;
+//   * landslide disagreement (≤ max_disagreeing inner votes agree): the
+//     poller's own block is presumed damaged — the caller fetches a repair
+//     from a disagreeing voter, applies it, and re-evaluates the block;
+//   * anything else: inconclusive — raise an alarm for the operator.
+//
+// Tally is a pure in-memory state machine; messaging (RepairRequest/Repair)
+// is the PollerSession's job. Outer-circle votes are evaluated for agreement
+// (they feed discovery) but never counted toward the outcome ("the outcome
+// of the poll is computed only from inner-circle votes", §4.2).
+#ifndef LOCKSS_PROTOCOL_TALLY_HPP_
+#define LOCKSS_PROTOCOL_TALLY_HPP_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "net/node_id.hpp"
+#include "storage/replica.hpp"
+
+namespace lockss::protocol {
+
+class Tally {
+ public:
+  // `replica` must outlive the tally and reflects repairs as they land.
+  Tally(const storage::AuReplica& replica, uint32_t quorum, uint32_t max_disagreeing);
+
+  // Registers a vote. `inner` marks inner-circle votes (outcome-determining).
+  void add_vote(net::NodeId voter, crypto::Digest64 nonce,
+                std::vector<crypto::Digest64> block_hashes, bool inner);
+
+  size_t inner_votes() const { return inner_count_; }
+  size_t total_votes() const { return voters_.size(); }
+  bool quorate() const { return inner_count_ >= quorum_; }
+
+  struct Step {
+    enum class Kind {
+      kDone,        // every block landslide-agreed
+      kNeedRepair,  // current block landslide-disagrees with the poller
+      kAlarm,       // current block inconclusive
+    };
+    Kind kind = Kind::kDone;
+    uint32_t block = 0;
+    // For kNeedRepair: inner-circle voters disagreeing on this block
+    // (repair candidates, §4.3).
+    std::vector<net::NodeId> disagreeing;
+  };
+
+  // Evaluates blocks from the current position until a repair is needed, an
+  // alarm fires, or the AU is exhausted. Idempotent when already finished.
+  Step advance();
+
+  // Re-evaluates the current block after the caller repaired the replica.
+  // Equivalent to calling advance() again: chains before the current block
+  // are unaffected by a repair at the current block.
+  Step resume_after_repair() { return advance(); }
+
+  // Voters that were in the agreeing set at every block the tally has
+  // passed. Valid once advance() returned kDone.
+  std::vector<net::NodeId> agreeing_voters() const;
+  std::vector<net::NodeId> disagreeing_voters() const;
+  bool voter_agreed_throughout(net::NodeId voter) const;
+
+  uint32_t current_block() const { return block_; }
+
+ private:
+  struct VoterState {
+    std::vector<crypto::Digest64> hashes;  // the vote as received
+    crypto::Digest64 expected_prev;        // poller-side chain before current block
+    bool inner = false;
+    bool agreed_throughout = true;
+  };
+
+  const storage::AuReplica& replica_;
+  uint32_t quorum_;
+  uint32_t max_disagreeing_;
+  // std::map for deterministic iteration.
+  std::map<net::NodeId, VoterState> voters_;
+  size_t inner_count_ = 0;
+  uint32_t block_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace lockss::protocol
+
+#endif  // LOCKSS_PROTOCOL_TALLY_HPP_

@@ -1,0 +1,337 @@
+#include "protocol/voter_session.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace lockss::protocol {
+namespace {
+
+// How long after sending the vote the voter waits for the evaluation
+// receipt, expressed as the evaluation share of the poll plus slack. The
+// poller evaluates after its solicitation window closes, so the wait is
+// anchored at the poll's vote deadline rather than at the vote send time.
+sim::SimTime receipt_deadline(const Params& params, sim::SimTime vote_deadline) {
+  return vote_deadline + params.inter_poll_interval * (1.0 - params.solicitation_window_fraction);
+}
+
+}  // namespace
+
+const char* admission_verdict_name(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::kAccepted:
+      return "accepted";
+    case AdmissionVerdict::kNoReplica:
+      return "no_replica";
+    case AdmissionVerdict::kRefractoryReject:
+      return "refractory_reject";
+    case AdmissionVerdict::kRandomDrop:
+      return "random_drop";
+    case AdmissionVerdict::kRateLimited:
+      return "rate_limited";
+    case AdmissionVerdict::kPeerAllowanceUsed:
+      return "peer_allowance_used";
+    case AdmissionVerdict::kBadIntroEffort:
+      return "bad_intro_effort";
+    case AdmissionVerdict::kScheduleFull:
+      return "schedule_full";
+  }
+  return "?";
+}
+
+std::unique_ptr<VoterSession> VoterSession::consider_invitation(PeerHost& host,
+                                                                const PollMsg& poll,
+                                                                AdmissionVerdict* verdict_out) {
+  auto verdict = [&](AdmissionVerdict v) {
+    if (verdict_out != nullptr) {
+      *verdict_out = v;
+    }
+  };
+  const sim::SimTime now = host.simulator().now();
+  const Params& params = host.params();
+
+  if (!host.has_replica(poll.au)) {
+    verdict(AdmissionVerdict::kNoReplica);
+    return nullptr;  // silent: we cannot vote on an AU we do not hold
+  }
+
+  // 1. Reputation standing, with the introduction bypass (§5.1).
+  reputation::KnownPeers& reputation = host.known_peers(poll.au);
+  reputation::Standing standing = reputation.standing(poll.from, now);
+  const bool introduced = (standing == reputation::Standing::kUnknown ||
+                           standing == reputation::Standing::kDebt) &&
+                          host.introductions(poll.au).introduced(poll.from);
+  if (introduced) {
+    // "A poll invitation from an introduced peer is treated as if coming
+    // from a known peer with an even grade."
+    standing = reputation::Standing::kEven;
+  }
+
+  const bool privileged = standing == reputation::Standing::kEven ||
+                          standing == reputation::Standing::kCredit;
+  if (!privileged) {
+    // 2a. Unknown / in-debt channel: refractory auto-reject (free), random
+    // drop (free), then the consideration rate limit.
+    if (host.refractory().in_refractory(poll.au, now)) {
+      verdict(AdmissionVerdict::kRefractoryReject);
+      return nullptr;
+    }
+    if (!host.pass_random_drop(standing)) {
+      verdict(AdmissionVerdict::kRandomDrop);
+      return nullptr;
+    }
+    if (params.adaptive_acceptance) {
+      // §9 (future work): the busier we already are, the less likely we are
+      // to accept work from strangers — attackers must spend ever more to
+      // push a victim's busyness higher.
+      const double busyness =
+          host.schedule().busy_fraction(now, now + params.adaptive_window);
+      const double extra_drop = std::min(1.0, busyness * params.adaptive_scale);
+      if (extra_drop > 0.0 && !host.pass_random_drop_with(extra_drop)) {
+        verdict(AdmissionVerdict::kRandomDrop);
+        return nullptr;
+      }
+    }
+    if (!host.consideration_limiter().try_admit(now)) {
+      verdict(AdmissionVerdict::kRateLimited);
+      return nullptr;
+    }
+    // Admitted for consideration: the refractory period starts *now*, before
+    // any verification — a garbage proof still burns the day's admission
+    // (the §7.3 attack).
+    host.refractory().record_admission(poll.au, now);
+  } else {
+    // 2b. Known even/credit channel: one admission per peer per period.
+    if (!host.refractory().peer_admission_allowed(poll.au, poll.from, now)) {
+      auto ack = std::make_unique<PollAckMsg>();
+      ack->poll_id = poll.poll_id;
+      ack->au = poll.au;
+      ack->accept = false;
+      host.send(poll.from, std::move(ack));
+      verdict(AdmissionVerdict::kPeerAllowanceUsed);
+      return nullptr;
+    }
+    host.refractory().record_peer_admission(poll.au, poll.from, now);
+  }
+
+  // 3. Costed consideration: TLS handshake + introductory effort check.
+  host.meter().charge(sched::EffortCategory::kHandshake, host.costs().session_handshake_seconds);
+  host.meter().charge(sched::EffortCategory::kOverhead, host.costs().message_overhead_seconds);
+  const auto verification =
+      host.mbf().verify(poll.introductory_effort, host.efforts().introductory_effort());
+  host.meter().charge(sched::EffortCategory::kMbfVerification, verification.verify_effort);
+  if (!verification.ok) {
+    reputation.record_misbehavior(poll.from, now);
+    verdict(AdmissionVerdict::kBadIntroEffort);
+    return nullptr;  // silent drop; the sender already spent its admission
+  }
+
+  // 4. Poll-flood defense: the vote computation must fit in the schedule.
+  const sim::SimTime vote_task = sim::SimTime::seconds(
+      host.efforts().vote_computation_effort() + host.efforts().vote_proof_effort());
+  const sim::SimTime window_end = std::min(now + params.vote_window, poll.vote_deadline);
+  auto slot = host.schedule().reserve(vote_task, now + params.poll_proof_timeout * 0.5,
+                                      window_end);
+  if (!slot) {
+    auto ack = std::make_unique<PollAckMsg>();
+    ack->poll_id = poll.poll_id;
+    ack->au = poll.au;
+    ack->accept = false;
+    host.send(poll.from, std::move(ack));
+    verdict(AdmissionVerdict::kScheduleFull);
+    return nullptr;
+  }
+
+  if (introduced) {
+    // Consume the introduction only once it has actually opened a door.
+    host.introductions(poll.au).consume(poll.from);
+  }
+
+  auto ack = std::make_unique<PollAckMsg>();
+  ack->poll_id = poll.poll_id;
+  ack->au = poll.au;
+  ack->accept = true;
+  host.send(poll.from, std::move(ack));
+  verdict(AdmissionVerdict::kAccepted);
+  return std::unique_ptr<VoterSession>(new VoterSession(host, poll, *slot));
+}
+
+VoterSession::VoterSession(PeerHost& host, const PollMsg& poll, sched::Reservation slot)
+    : host_(host),
+      poll_id_(poll.poll_id),
+      au_(poll.au),
+      poller_(poll.from),
+      vote_deadline_(poll.vote_deadline),
+      slot_(slot) {
+  proof_timeout_ = host_.simulator().schedule_in(
+      host_.params().poll_proof_timeout, [&h = host_, id = poll_id_] {
+        if (auto* s = h.find_voter_session(id)) {
+          s->poll_proof_timeout();
+        }
+      });
+}
+
+VoterSession::~VoterSession() {
+  proof_timeout_.cancel();
+  compute_event_.cancel();
+  receipt_timeout_.cancel();
+  if (slot_active_) {
+    host_.schedule().cancel(slot_.id);
+  }
+}
+
+void VoterSession::poll_proof_timeout() {
+  if (finished_ || proof_received_) {
+    return;
+  }
+  // Reservation attack (§5.1): the poller committed us and deserted. Free
+  // the slot and grade the poller down.
+  host_.known_peers(au_).record_misbehavior(poller_, host_.simulator().now());
+  finish();
+}
+
+void VoterSession::on_poll_proof(const PollProofMsg& proof) {
+  if (finished_ || proof_received_ || proof.from != poller_) {
+    return;
+  }
+  proof_received_ = true;
+  proof_timeout_.cancel();
+  const sim::SimTime now = host_.simulator().now();
+
+  const auto verification =
+      host_.mbf().verify(proof.remaining_effort, host_.efforts().remaining_effort());
+  host_.meter().charge(sched::EffortCategory::kMbfVerification, verification.verify_effort);
+  if (!verification.ok) {
+    host_.known_peers(au_).record_misbehavior(poller_, now);
+    finish();
+    return;
+  }
+  nonce_ = proof.vote_nonce;
+
+  sim::SimTime compute_done = slot_.end;
+  if (now > slot_.start) {
+    // The proof arrived after the reserved slot began (slow generation at
+    // the poller or network delay); try to move the work later.
+    host_.schedule().cancel(slot_.id);
+    slot_active_ = false;
+    const sim::SimTime vote_task = sim::SimTime::seconds(
+        host_.efforts().vote_computation_effort() + host_.efforts().vote_proof_effort());
+    auto moved = host_.schedule().reserve(
+        vote_task, now, std::min(now + host_.params().vote_window, vote_deadline_));
+    if (!moved) {
+      // We committed but can no longer deliver; the poller will grade us
+      // down when its vote timeout fires.
+      finish();
+      return;
+    }
+    slot_ = *moved;
+    slot_active_ = true;
+    compute_done = slot_.end;
+  }
+  compute_event_ = host_.simulator().schedule_at(compute_done, [&h = host_, id = poll_id_] {
+    if (auto* s = h.find_voter_session(id)) {
+      s->compute_and_send_vote();
+    }
+  });
+}
+
+void VoterSession::compute_and_send_vote() {
+  if (finished_) {
+    return;
+  }
+  slot_active_ = false;  // the slot has now been consumed as real work
+  // Hash the replica block by block under the poller's nonce and mint the
+  // vote's effort proof, remembering its byproduct as the expected receipt.
+  host_.meter().charge(sched::EffortCategory::kVoteComputation,
+                       host_.efforts().vote_computation_effort());
+  host_.meter().charge(sched::EffortCategory::kMbfGeneration,
+                       host_.efforts().vote_proof_effort());
+  const storage::AuReplica& replica = host_.replica(au_);
+  auto vote = std::make_unique<VoteMsg>();
+  vote->poll_id = poll_id_;
+  vote->au = au_;
+  vote->block_hashes = replica.vote_hashes(nonce_);
+  vote->vote_effort = host_.mbf().generate(host_.efforts().vote_proof_effort());
+  expected_receipt_ = vote->vote_effort.byproduct;
+  // Discovery payload (§4.2): a random subset of our reference list.
+  vote->nominations =
+      host_.reference_list(au_).sample(host_.params().nominations_per_vote, host_.rng());
+  host_.send(poller_, std::move(vote));
+  vote_sent_ = true;
+
+  const sim::SimTime deadline = receipt_deadline(host_.params(), vote_deadline_);
+  const sim::SimTime now = host_.simulator().now();
+  const sim::SimTime wait = deadline > now ? deadline - now : sim::SimTime::hours(1);
+  receipt_timeout_ = host_.simulator().schedule_in(wait, [&h = host_, id = poll_id_] {
+    if (auto* s = h.find_voter_session(id)) {
+      s->receipt_timeout();
+    }
+  });
+}
+
+void VoterSession::on_repair_request(const RepairRequestMsg& request) {
+  if (finished_ || request.from != poller_ || !vote_sent_) {
+    return;
+  }
+  if (request.block >= host_.params().au_spec.block_count) {
+    return;
+  }
+  if (repairs_served_ >= host_.params().max_repairs_served_per_poll) {
+    return;  // abusive poller; it can penalize us, we protect our resources
+  }
+  ++repairs_served_;
+  // Read + ship the block (§4.3). Voters committed to a poll supply "a small
+  // number of repairs".
+  host_.meter().charge(sched::EffortCategory::kRepairService,
+                       host_.efforts().block_hash_effort());
+  auto repair = std::make_unique<RepairMsg>();
+  repair->poll_id = poll_id_;
+  repair->au = au_;
+  repair->block = request.block;
+  repair->content = host_.replica(au_).block_content(request.block);
+  repair->wire_block_bytes = host_.params().au_spec.block_size_bytes();
+  host_.send(poller_, std::move(repair));
+}
+
+void VoterSession::on_receipt(const EvaluationReceiptMsg& receipt) {
+  if (finished_ || receipt.from != poller_ || !vote_sent_) {
+    return;
+  }
+  const sim::SimTime now = host_.simulator().now();
+  if (receipt.receipt == expected_receipt_) {
+    // The poller provably evaluated our vote; the exchange is complete. The
+    // poller consumed our service, so its grade steps down (§5.1) — it owes
+    // us a vote.
+    host_.known_peers(au_).record_service_consumed(poller_, now);
+  } else {
+    host_.known_peers(au_).record_misbehavior(poller_, now);
+  }
+  finish();
+}
+
+void VoterSession::receipt_timeout() {
+  if (finished_) {
+    return;
+  }
+  // Wasteful strategy (§5.1): our vote was solicited but never provably
+  // evaluated.
+  host_.known_peers(au_).record_misbehavior(poller_, host_.simulator().now());
+  finish();
+}
+
+void VoterSession::finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  proof_timeout_.cancel();
+  compute_event_.cancel();
+  receipt_timeout_.cancel();
+  if (slot_active_) {
+    host_.schedule().cancel(slot_.id);
+    slot_active_ = false;
+  }
+  host_.retire_voter_session(poll_id_);
+}
+
+}  // namespace lockss::protocol

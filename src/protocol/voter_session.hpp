@@ -1,0 +1,104 @@
+// Voter-side poll participation (§4.1, §5.1).
+//
+// `consider_invitation` is the admission-control filter pipeline of §3.3 and
+// §5.1, applied to an incoming Poll message in this order (cheapest first):
+//
+//   1. reputation lookup + introduction bypass (introduced ⇒ even grade);
+//   2. for unknown/in-debt pollers: per-AU refractory auto-reject, then the
+//      random drop (0.90 unknown / 0.80 debt), then the self-clocked
+//      consideration rate limit — all free of charge for the voter;
+//      for even/credit pollers: the one-admission-per-peer-per-period
+//      allowance (bounded liability), no random drop;
+//   3. session handshake + verification of the introductory effort proof
+//      (the first *costed* step — garbage proofs are detected here, after
+//      they have already burned a refractory admission, which is exactly
+//      the §7.3 attack surface);
+//   4. task-schedule reservation for the vote computation — no slot means a
+//      polite refusal (§5.1 poll-flood defense).
+//
+// An accepted invitation becomes a VoterSession that awaits the PollProof,
+// computes and ships the vote at its reserved slot, serves block repairs,
+// and finally checks the evaluation receipt against the remembered MBF
+// byproduct, adjusting the poller's grade accordingly.
+#ifndef LOCKSS_PROTOCOL_VOTER_SESSION_HPP_
+#define LOCKSS_PROTOCOL_VOTER_SESSION_HPP_
+
+#include <cstdint>
+#include <memory>
+
+#include "protocol/host.hpp"
+#include "protocol/messages.hpp"
+
+namespace lockss::protocol {
+
+// Why an invitation did not produce a session (statistics / tests).
+enum class AdmissionVerdict {
+  kAccepted,
+  kNoReplica,          // we do not preserve this AU
+  kRefractoryReject,   // automatic reject during refractory period
+  kRandomDrop,         // lost the 0.90/0.80 coin flip
+  kRateLimited,        // consideration budget exhausted
+  kPeerAllowanceUsed,  // known peer already admitted this period (refused)
+  kBadIntroEffort,     // introductory effort proof failed verification
+  kScheduleFull,       // no slot for the vote computation (refused)
+};
+
+const char* admission_verdict_name(AdmissionVerdict verdict);
+
+class VoterSession {
+ public:
+  // Runs the admission pipeline. On acceptance returns a new session (the
+  // host must register it under `poll.poll_id`) and sends the affirmative
+  // PollAck; on refusal sends a PollAck refusal where the protocol calls for
+  // one (silent drops stay silent). `verdict_out` (optional) reports the
+  // decision.
+  static std::unique_ptr<VoterSession> consider_invitation(PeerHost& host, const PollMsg& poll,
+                                                           AdmissionVerdict* verdict_out = nullptr);
+
+  ~VoterSession();
+  VoterSession(const VoterSession&) = delete;
+  VoterSession& operator=(const VoterSession&) = delete;
+
+  // Message entry points.
+  void on_poll_proof(const PollProofMsg& proof);
+  void on_repair_request(const RepairRequestMsg& request);
+  void on_receipt(const EvaluationReceiptMsg& receipt);
+
+  PollId poll_id() const { return poll_id_; }
+  storage::AuId au() const { return au_; }
+  net::NodeId poller() const { return poller_; }
+  bool finished() const { return finished_; }
+  bool vote_sent() const { return vote_sent_; }
+
+ private:
+  VoterSession(PeerHost& host, const PollMsg& poll, sched::Reservation slot);
+
+  void poll_proof_timeout();
+  void compute_and_send_vote();
+  void receipt_timeout();
+  void finish();
+
+  PeerHost& host_;
+  PollId poll_id_;
+  storage::AuId au_;
+  net::NodeId poller_;
+  sim::SimTime vote_deadline_;
+
+  sched::Reservation slot_;
+  bool slot_active_ = true;
+
+  crypto::Digest64 nonce_;
+  crypto::Digest64 expected_receipt_;
+  bool proof_received_ = false;
+  bool vote_sent_ = false;
+  uint32_t repairs_served_ = 0;
+  bool finished_ = false;
+
+  sim::EventHandle proof_timeout_;
+  sim::EventHandle compute_event_;
+  sim::EventHandle receipt_timeout_;
+};
+
+}  // namespace lockss::protocol
+
+#endif  // LOCKSS_PROTOCOL_VOTER_SESSION_HPP_

@@ -1,0 +1,22 @@
+#include "reputation/admission_policy.hpp"
+
+namespace lockss::reputation {
+
+double AdmissionPolicy::drop_probability(Standing standing) const {
+  switch (standing) {
+    case Standing::kUnknown:
+      return config_.unknown_drop_probability;
+    case Standing::kDebt:
+      return config_.debt_drop_probability;
+    case Standing::kEven:
+    case Standing::kCredit:
+      return 0.0;
+  }
+  return 1.0;
+}
+
+bool AdmissionPolicy::pass_random_drop(Standing standing) {
+  return !rng_.bernoulli(drop_probability(standing));
+}
+
+}  // namespace lockss::reputation

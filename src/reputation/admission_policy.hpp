@@ -1,0 +1,41 @@
+// Random-drop admission policy by reputation standing (§5.1, §6.3).
+//
+// "Peers randomly drop some poll invitations arriving from previously
+// unknown peers and from pollers with a debt grade. Invitations from pollers
+// with an even or credit grade are not dropped. ... the drop probability
+// imposed on unknown pollers is higher than that imposed on known in-debt
+// pollers." §6.3 fixes the probabilities at 0.90 (unknown) and 0.80 (debt).
+#ifndef LOCKSS_REPUTATION_ADMISSION_POLICY_HPP_
+#define LOCKSS_REPUTATION_ADMISSION_POLICY_HPP_
+
+#include "reputation/known_peers.hpp"
+#include "sim/rng.hpp"
+
+namespace lockss::reputation {
+
+struct AdmissionPolicyConfig {
+  double unknown_drop_probability = 0.90;
+  double debt_drop_probability = 0.80;
+};
+
+class AdmissionPolicy {
+ public:
+  AdmissionPolicy(AdmissionPolicyConfig config, sim::Rng rng) : config_(config), rng_(rng) {}
+
+  // Applies the random-drop stage for a poller with the given standing.
+  // Introduced pollers must be mapped to Standing::kEven by the caller
+  // *before* this check (introductions bypass drops).
+  bool pass_random_drop(Standing standing);
+
+  double drop_probability(Standing standing) const;
+
+  const AdmissionPolicyConfig& config() const { return config_; }
+
+ private:
+  AdmissionPolicyConfig config_;
+  sim::Rng rng_;
+};
+
+}  // namespace lockss::reputation
+
+#endif  // LOCKSS_REPUTATION_ADMISSION_POLICY_HPP_

@@ -1,0 +1,55 @@
+#include "reputation/introductions.hpp"
+
+#include <algorithm>
+
+namespace lockss::reputation {
+
+void IntroductionTable::add(net::NodeId introducer, net::NodeId introducee) {
+  if (introducer == introducee) {
+    return;
+  }
+  if (pairs_.size() >= max_outstanding_ && !pairs_.contains({introducer, introducee})) {
+    return;
+  }
+  pairs_.insert({introducer, introducee});
+}
+
+bool IntroductionTable::introduced(net::NodeId introducee) const {
+  return std::any_of(pairs_.begin(), pairs_.end(),
+                     [&](const Pair& p) { return p.introducee == introducee; });
+}
+
+std::vector<net::NodeId> IntroductionTable::introducers_of(net::NodeId introducee) const {
+  std::vector<net::NodeId> out;
+  for (const Pair& p : pairs_) {
+    if (p.introducee == introducee) {
+      out.push_back(p.introducer);
+    }
+  }
+  return out;
+}
+
+bool IntroductionTable::consume(net::NodeId introducee) {
+  const std::vector<net::NodeId> introducers = introducers_of(introducee);
+  if (introducers.empty()) {
+    return false;
+  }
+  for (auto it = pairs_.begin(); it != pairs_.end();) {
+    const bool by_consumed_introducer =
+        std::find(introducers.begin(), introducers.end(), it->introducer) != introducers.end();
+    if (it->introducee == introducee || by_consumed_introducer) {
+      it = pairs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return true;
+}
+
+void IntroductionTable::remove_introducer(net::NodeId introducer) {
+  for (auto it = pairs_.begin(); it != pairs_.end();) {
+    it = (it->introducer == introducer) ? pairs_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace lockss::reputation

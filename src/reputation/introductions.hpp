@@ -1,0 +1,65 @@
+// Peer introductions (§5.1).
+//
+// Voters bundle introductions with nominations; an introduced peer's poll
+// invitation "is treated as if coming from a known peer with an even grade",
+// bypassing random drops and refractory periods. Consumption semantics are
+// deliberately aggressive to prevent stockpiling:
+//
+//   "at most one introduction is honored per (validly voting) introducer,
+//    and unused introductions do not accumulate. Specifically, when
+//    consuming the introduction of peer B by peer A for AU X, all other
+//    introductions of other introducees by peer A for AU X are 'forgotten,'
+//    as are all introductions of peer B for X by other introducers.
+//    Furthermore, introductions by peers who have entered and left the
+//    reference list are also removed, and the maximum number of outstanding
+//    introductions is capped."
+//
+// One IntroductionTable instance covers a single AU.
+#ifndef LOCKSS_REPUTATION_INTRODUCTIONS_HPP_
+#define LOCKSS_REPUTATION_INTRODUCTIONS_HPP_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/node_id.hpp"
+
+namespace lockss::reputation {
+
+class IntroductionTable {
+ public:
+  explicit IntroductionTable(size_t max_outstanding) : max_outstanding_(max_outstanding) {}
+
+  // Records that `introducer` vouched for `introducee`. Ignored when the cap
+  // is reached or the pair already exists. Self-introductions are invalid.
+  void add(net::NodeId introducer, net::NodeId introducee);
+
+  // Whether some live introduction vouches for `introducee`.
+  bool introduced(net::NodeId introducee) const;
+
+  // Consumes the introduction of `introducee`: removes every introduction of
+  // `introducee` (any introducer) and every other introduction made by each
+  // of its introducers. Returns true if any introduction was consumed.
+  bool consume(net::NodeId introducee);
+
+  // A former introducer left the reference list: its introductions lapse.
+  void remove_introducer(net::NodeId introducer);
+
+  size_t outstanding() const { return pairs_.size(); }
+  std::vector<net::NodeId> introducers_of(net::NodeId introducee) const;
+
+ private:
+  struct Pair {
+    net::NodeId introducer;
+    net::NodeId introducee;
+    friend auto operator<=>(const Pair&, const Pair&) = default;
+  };
+
+  size_t max_outstanding_;
+  std::set<Pair> pairs_;
+};
+
+}  // namespace lockss::reputation
+
+#endif  // LOCKSS_REPUTATION_INTRODUCTIONS_HPP_

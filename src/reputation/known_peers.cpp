@@ -1,0 +1,105 @@
+#include "reputation/known_peers.hpp"
+
+#include <algorithm>
+
+namespace lockss::reputation {
+
+const char* grade_name(Grade grade) {
+  switch (grade) {
+    case Grade::kDebt:
+      return "debt";
+    case Grade::kEven:
+      return "even";
+    case Grade::kCredit:
+      return "credit";
+  }
+  return "?";
+}
+
+const char* standing_name(Standing standing) {
+  switch (standing) {
+    case Standing::kUnknown:
+      return "unknown";
+    case Standing::kDebt:
+      return "debt";
+    case Standing::kEven:
+      return "even";
+    case Standing::kCredit:
+      return "credit";
+  }
+  return "?";
+}
+
+KnownPeers::KnownPeers(sim::SimTime decay_interval) : decay_interval_(decay_interval) {}
+
+Grade KnownPeers::decayed_grade(const Entry& entry, sim::SimTime now) const {
+  if (decay_interval_ <= sim::SimTime::zero()) {
+    return entry.grade;
+  }
+  const int64_t steps = (now - entry.last_update).ns() / decay_interval_.ns();
+  int level = static_cast<int>(entry.grade) - static_cast<int>(std::min<int64_t>(steps, 2));
+  return static_cast<Grade>(std::max(level, 0));
+}
+
+void KnownPeers::materialize_decay(Entry& entry, sim::SimTime now) const {
+  entry.grade = decayed_grade(entry, now);
+}
+
+Standing KnownPeers::standing(net::NodeId peer, sim::SimTime now) const {
+  auto it = entries_.find(peer);
+  if (it == entries_.end()) {
+    return Standing::kUnknown;
+  }
+  switch (decayed_grade(it->second, now)) {
+    case Grade::kDebt:
+      return Standing::kDebt;
+    case Grade::kEven:
+      return Standing::kEven;
+    case Grade::kCredit:
+      return Standing::kCredit;
+  }
+  return Standing::kUnknown;
+}
+
+void KnownPeers::record_service_supplied(net::NodeId peer, sim::SimTime now) {
+  auto [it, inserted] = entries_.try_emplace(peer, Entry{Grade::kDebt, now});
+  if (!inserted) {
+    materialize_decay(it->second, now);
+    // debt -> even -> credit -> credit (§5.1).
+    it->second.grade = static_cast<Grade>(std::min(static_cast<int>(it->second.grade) + 1, 2));
+  } else {
+    // First encounter: a peer that just supplied us service starts at even.
+    it->second.grade = Grade::kEven;
+  }
+  it->second.last_update = now;
+}
+
+void KnownPeers::record_service_consumed(net::NodeId peer, sim::SimTime now) {
+  auto [it, inserted] = entries_.try_emplace(peer, Entry{Grade::kDebt, now});
+  if (!inserted) {
+    materialize_decay(it->second, now);
+    // credit -> even -> debt -> debt.
+    it->second.grade = static_cast<Grade>(std::max(static_cast<int>(it->second.grade) - 1, 0));
+  }
+  it->second.last_update = now;
+}
+
+void KnownPeers::record_misbehavior(net::NodeId peer, sim::SimTime now) {
+  entries_[peer] = Entry{Grade::kDebt, now};
+}
+
+void KnownPeers::ensure_known(net::NodeId peer, Grade grade, sim::SimTime now) {
+  entries_.try_emplace(peer, Entry{grade, now});
+}
+
+std::vector<net::NodeId> KnownPeers::peers_with_standing(Standing target, sim::SimTime now) const {
+  std::vector<net::NodeId> out;
+  for (const auto& [peer, entry] : entries_) {
+    if (standing(peer, now) == target) {
+      out.push_back(peer);
+    }
+  }
+  return out;
+}
+
+}  // namespace lockss::reputation

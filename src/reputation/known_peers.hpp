@@ -1,0 +1,90 @@
+// First-hand reputation (§5.1).
+//
+// Per AU, a peer grades every peer it has exchanged votes with:
+//   debt   — "the peer has supplied P with fewer votes than P has supplied it"
+//   even   — recent exchanges balanced
+//   credit — "P has supplied the peer with fewer votes than the peer has
+//             supplied P"
+// Grades move one step up when the counterparty behaves (supplies a valid
+// vote / evaluates ours), one step down when we consume its service, and
+// crash to debt on misbehavior. Entries decay toward debt with time, so
+// standing liability is bounded.
+#ifndef LOCKSS_REPUTATION_KNOWN_PEERS_HPP_
+#define LOCKSS_REPUTATION_KNOWN_PEERS_HPP_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace lockss::reputation {
+
+enum class Grade : uint8_t {
+  kDebt = 0,
+  kEven = 1,
+  kCredit = 2,
+};
+
+const char* grade_name(Grade grade);
+
+// Reputation standing including "never heard of them".
+enum class Standing : uint8_t {
+  kUnknown,
+  kDebt,
+  kEven,
+  kCredit,
+};
+
+const char* standing_name(Standing standing);
+
+class KnownPeers {
+ public:
+  // `decay_interval`: a grade drops one level toward debt for every full
+  // interval since its last update ("entries ... 'decay' with time toward
+  // the debt grade").
+  explicit KnownPeers(sim::SimTime decay_interval);
+
+  // Standing of `peer` at `now`, with decay applied.
+  Standing standing(net::NodeId peer, sim::SimTime now) const;
+
+  // The counterparty supplied us a valid service (vote + repairs as voter,
+  // or a valid evaluation receipt as poller): move its grade one step up.
+  void record_service_supplied(net::NodeId peer, sim::SimTime now);
+
+  // We consumed the counterparty's service: move its grade one step down
+  // ("the voter correspondingly decreases the grade it has assigned to the
+  // poller").
+  void record_service_consumed(net::NodeId peer, sim::SimTime now);
+
+  // Misbehavior (deserted poll, bogus proof, missing receipt): crash to debt.
+  void record_misbehavior(net::NodeId peer, sim::SimTime now);
+
+  // Inserts `peer` at `grade` if absent (used to seed initial reference
+  // lists and for the §7.4 adversary whose minions start in-debt).
+  void ensure_known(net::NodeId peer, Grade grade, sim::SimTime now);
+
+  bool known(net::NodeId peer) const { return entries_.contains(peer); }
+  size_t size() const { return entries_.size(); }
+  std::vector<net::NodeId> peers_with_standing(Standing standing, sim::SimTime now) const;
+
+ private:
+  struct Entry {
+    Grade grade;
+    sim::SimTime last_update;
+  };
+
+  Grade decayed_grade(const Entry& entry, sim::SimTime now) const;
+  // Applies pending decay to the stored entry before mutating it, so decay
+  // and explicit transitions compose in timestamp order.
+  void materialize_decay(Entry& entry, sim::SimTime now) const;
+
+  sim::SimTime decay_interval_;
+  std::map<net::NodeId, Entry> entries_;
+};
+
+}  // namespace lockss::reputation
+
+#endif  // LOCKSS_REPUTATION_KNOWN_PEERS_HPP_

@@ -1,0 +1,60 @@
+#include "sched/effort_meter.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace lockss::sched {
+
+const char* effort_category_name(EffortCategory category) {
+  switch (category) {
+    case EffortCategory::kMbfGeneration:
+      return "mbf_generation";
+    case EffortCategory::kMbfVerification:
+      return "mbf_verification";
+    case EffortCategory::kVoteComputation:
+      return "vote_computation";
+    case EffortCategory::kVoteEvaluation:
+      return "vote_evaluation";
+    case EffortCategory::kRepairService:
+      return "repair_service";
+    case EffortCategory::kHandshake:
+      return "handshake";
+    case EffortCategory::kOverhead:
+      return "overhead";
+    case EffortCategory::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+void EffortMeter::charge(EffortCategory category, double effort_seconds) {
+  assert(effort_seconds >= 0.0);
+  charged_[static_cast<size_t>(category)] += effort_seconds;
+}
+
+double EffortMeter::total() const {
+  return std::accumulate(charged_.begin(), charged_.end(), 0.0);
+}
+
+double EffortMeter::by_category(EffortCategory category) const {
+  return charged_[static_cast<size_t>(category)];
+}
+
+EffortMeter::Snapshot EffortMeter::snapshot() const { return Snapshot{charged_}; }
+
+double EffortMeter::Snapshot::total() const {
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+std::string EffortMeter::to_string() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < charged_.size(); ++i) {
+    if (charged_[i] > 0.0) {
+      out << effort_category_name(static_cast<EffortCategory>(i)) << "=" << charged_[i] << "s ";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace lockss::sched

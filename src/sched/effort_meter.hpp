@@ -1,0 +1,51 @@
+// Effort accounting for the friction and cost-ratio metrics (§6.1).
+//
+// Every expensive operation a node performs — hashing, MBF generation and
+// verification, handshakes, repairs — is charged here in effort-seconds.
+// The metrics module divides loyal effort by successful polls (coefficient
+// of friction) and compares attacker vs defender totals (cost ratio).
+#ifndef LOCKSS_SCHED_EFFORT_METER_HPP_
+#define LOCKSS_SCHED_EFFORT_METER_HPP_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace lockss::sched {
+
+enum class EffortCategory : uint8_t {
+  kMbfGeneration = 0,   // minting introductory / remaining / vote proofs
+  kMbfVerification,     // checking received proofs
+  kVoteComputation,     // hashing own replica to produce a vote
+  kVoteEvaluation,      // poller-side hashing to evaluate received votes
+  kRepairService,       // reading + shipping repair blocks
+  kHandshake,           // TLS anonymous-DH session setup
+  kOverhead,            // per-message fixed costs
+  kCount,
+};
+
+const char* effort_category_name(EffortCategory category);
+
+class EffortMeter {
+ public:
+  void charge(EffortCategory category, double effort_seconds);
+
+  double total() const;
+  double by_category(EffortCategory category) const;
+
+  // Snapshot/delta support: metrics snapshots the meter at poll boundaries.
+  struct Snapshot {
+    std::array<double, static_cast<size_t>(EffortCategory::kCount)> values{};
+    double total() const;
+  };
+  Snapshot snapshot() const;
+
+  std::string to_string() const;
+
+ private:
+  std::array<double, static_cast<size_t>(EffortCategory::kCount)> charged_{};
+};
+
+}  // namespace lockss::sched
+
+#endif  // LOCKSS_SCHED_EFFORT_METER_HPP_

@@ -1,0 +1,41 @@
+#include "sched/rate_limiter.hpp"
+
+#include <algorithm>
+
+namespace lockss::sched {
+namespace {
+// A peer that has never solicited still considers a trickle of invitations,
+// or the network could never bootstrap.
+constexpr double kMinRatePerSecond = 1.0 / 3600.0;  // one per hour
+}  // namespace
+
+InvitationRateLimiter::InvitationRateLimiter(double tokens_per_second, double burst)
+    : rate_(std::max(tokens_per_second, kMinRatePerSecond)),
+      burst_(std::max(burst, 1.0)),
+      tokens_(burst_),
+      last_(sim::SimTime::zero()) {}
+
+double InvitationRateLimiter::refill(sim::SimTime now) const {
+  const double elapsed = (now - last_).to_seconds();
+  return std::min(burst_, tokens_ + elapsed * rate_);
+}
+
+bool InvitationRateLimiter::try_admit(sim::SimTime now) {
+  tokens_ = refill(now);
+  last_ = now;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    ++admitted_;
+    return true;
+  }
+  ++rejected_;
+  return false;
+}
+
+void InvitationRateLimiter::update_rate(double own_solicitations_per_second, double multiplier) {
+  rate_ = std::max(own_solicitations_per_second * multiplier, kMinRatePerSecond);
+}
+
+double InvitationRateLimiter::available_tokens(sim::SimTime now) const { return refill(now); }
+
+}  // namespace lockss::sched

@@ -1,0 +1,56 @@
+// Self-clocked invitation-consideration rate limit (§5.1).
+//
+// "Peers limit the rate at which they even consider poll invitations (i.e.,
+// establishing a secure session, checking their schedule, etc.). A peer sets
+// this rate limit for considering poll invitations according to the rate of
+// poll invitations it sends out to others; this is essentially a
+// self-clocking mechanism." §6.3 sizes the budget at 4x the legitimate
+// expectation ("we allow up to a total of four times the rate of poll
+// invitations that should be expected in the absence of attacks").
+//
+// Implemented as a token bucket: capacity = burst, refill = rate tokens/sec.
+// The rate is updated from the peer's own outbound solicitation counter, so
+// it tracks actual legitimate traffic rather than a static constant.
+#ifndef LOCKSS_SCHED_RATE_LIMITER_HPP_
+#define LOCKSS_SCHED_RATE_LIMITER_HPP_
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace lockss::sched {
+
+class InvitationRateLimiter {
+ public:
+  // `tokens_per_second` may be zero initially (nothing sent yet); a small
+  // floor keeps a freshly-booted peer able to consider some invitations.
+  InvitationRateLimiter(double tokens_per_second, double burst);
+
+  // Attempts to consume one token at simulated time `now`. Returns false if
+  // the bucket is empty (invitation dropped unconsidered, negligible cost).
+  bool try_admit(sim::SimTime now);
+
+  // Self-clocking input: the peer reports its own outbound solicitation
+  // rate; the limiter allows `multiplier` times that.
+  void update_rate(double own_solicitations_per_second, double multiplier);
+
+  double rate_per_second() const { return rate_; }
+  double available_tokens(sim::SimTime now) const;
+
+  uint64_t admitted() const { return admitted_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  double refill(sim::SimTime now) const;
+
+  double rate_;   // tokens per second
+  double burst_;  // bucket capacity
+  double tokens_;
+  sim::SimTime last_;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace lockss::sched
+
+#endif  // LOCKSS_SCHED_RATE_LIMITER_HPP_

@@ -1,0 +1,34 @@
+#include "sched/refractory.hpp"
+
+namespace lockss::sched {
+
+bool RefractoryTracker::in_refractory(storage::AuId au, sim::SimTime now) const {
+  auto it = last_admission_.find(au);
+  return it != last_admission_.end() && now - it->second < period_;
+}
+
+void RefractoryTracker::record_admission(storage::AuId au, sim::SimTime now) {
+  last_admission_[au] = now;
+}
+
+bool RefractoryTracker::peer_admission_allowed(storage::AuId au, net::NodeId peer,
+                                               sim::SimTime now) const {
+  auto it = last_peer_admission_.find({au, peer});
+  return it == last_peer_admission_.end() || now - it->second >= period_;
+}
+
+void RefractoryTracker::record_peer_admission(storage::AuId au, net::NodeId peer,
+                                              sim::SimTime now) {
+  last_peer_admission_[{au, peer}] = now;
+}
+
+void RefractoryTracker::prune(sim::SimTime now) {
+  for (auto it = last_admission_.begin(); it != last_admission_.end();) {
+    it = (now - it->second >= period_) ? last_admission_.erase(it) : std::next(it);
+  }
+  for (auto it = last_peer_admission_.begin(); it != last_peer_admission_.end();) {
+    it = (now - it->second >= period_) ? last_peer_admission_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace lockss::sched

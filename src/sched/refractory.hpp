@@ -1,0 +1,47 @@
+// Refractory periods for unknown / in-debt pollers (§5.1).
+//
+// "After it admits one such invitation for consideration, a voter enters a
+// refractory period during which it automatically rejects all invitations
+// from unknown or in-debt pollers. Like the known-peers list, refractory
+// periods are maintained on a per AU basis. Consequently, during every
+// refractory period, a voter admits at most one invitation from unknown or
+// in-debt peers, plus at most one invitation from each of its fellow peers
+// with a credit or even grade."
+#ifndef LOCKSS_SCHED_REFRACTORY_HPP_
+#define LOCKSS_SCHED_REFRACTORY_HPP_
+
+#include <map>
+#include <utility>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+#include "storage/au.hpp"
+
+namespace lockss::sched {
+
+class RefractoryTracker {
+ public:
+  explicit RefractoryTracker(sim::SimTime period) : period_(period) {}
+
+  sim::SimTime period() const { return period_; }
+
+  // --- Unknown / in-debt pollers: one admission per AU per period. --------
+  bool in_refractory(storage::AuId au, sim::SimTime now) const;
+  void record_admission(storage::AuId au, sim::SimTime now);
+
+  // --- Known even/credit pollers: one admission per (peer, AU) per period.
+  bool peer_admission_allowed(storage::AuId au, net::NodeId peer, sim::SimTime now) const;
+  void record_peer_admission(storage::AuId au, net::NodeId peer, sim::SimTime now);
+
+  // Drops stale state (anything whose period has long passed).
+  void prune(sim::SimTime now);
+
+ private:
+  sim::SimTime period_;
+  std::map<storage::AuId, sim::SimTime> last_admission_;
+  std::map<std::pair<storage::AuId, net::NodeId>, sim::SimTime> last_peer_admission_;
+};
+
+}  // namespace lockss::sched
+
+#endif  // LOCKSS_SCHED_REFRACTORY_HPP_

@@ -1,0 +1,181 @@
+#include "sched/task_schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lockss::sched {
+
+bool TaskSchedule::fits(sim::SimTime start, sim::SimTime end) const {
+  if (start >= end) {
+    return false;
+  }
+  // The first interval at-or-after `start` must not begin before `end`.
+  auto after = by_start_.lower_bound(start);
+  if (after != by_start_.end() && after->first < end) {
+    return false;
+  }
+  // The interval before `start` must have ended by `start`.
+  if (after != by_start_.begin()) {
+    auto before = std::prev(after);
+    if (before->second.end > start) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Reservation> TaskSchedule::reserve(sim::SimTime duration, sim::SimTime not_before,
+                                                 sim::SimTime deadline) {
+  if (duration <= sim::SimTime::zero() || not_before + duration > deadline) {
+    return std::nullopt;
+  }
+  // Candidate starts: `not_before`, then the end of each busy interval that
+  // finishes after `not_before`.
+  sim::SimTime candidate = not_before;
+  auto it = by_start_.lower_bound(not_before);
+  if (it != by_start_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > candidate) {
+      candidate = prev->second.end;
+    }
+  }
+  while (candidate + duration <= deadline) {
+    if (fits(candidate, candidate + duration)) {
+      const ReservationId id = next_id_++;
+      by_start_.emplace(candidate, Interval{candidate + duration, id});
+      start_by_id_.emplace(id, candidate);
+      return Reservation{id, candidate, candidate + duration};
+    }
+    // Jump to the end of the interval blocking the candidate.
+    auto blocker = by_start_.lower_bound(candidate + duration);
+    if (blocker == by_start_.begin()) {
+      break;  // nothing blocks yet candidate failed: defensive
+    }
+    candidate = std::prev(blocker)->second.end;
+  }
+  return std::nullopt;
+}
+
+bool TaskSchedule::can_reserve(sim::SimTime duration, sim::SimTime not_before,
+                               sim::SimTime deadline) const {
+  if (duration <= sim::SimTime::zero() || not_before + duration > deadline) {
+    return false;
+  }
+  sim::SimTime candidate = not_before;
+  auto it = by_start_.lower_bound(not_before);
+  if (it != by_start_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > candidate) {
+      candidate = prev->second.end;
+    }
+  }
+  while (candidate + duration <= deadline) {
+    if (fits(candidate, candidate + duration)) {
+      return true;
+    }
+    auto blocker = by_start_.lower_bound(candidate + duration);
+    if (blocker == by_start_.begin()) {
+      break;
+    }
+    candidate = std::prev(blocker)->second.end;
+  }
+  return false;
+}
+
+void TaskSchedule::cancel(ReservationId id) {
+  auto it = start_by_id_.find(id);
+  if (it == start_by_id_.end()) {
+    return;
+  }
+  by_start_.erase(it->second);
+  start_by_id_.erase(it);
+}
+
+bool TaskSchedule::extend(ReservationId id, sim::SimTime new_end) {
+  auto it = start_by_id_.find(id);
+  if (it == start_by_id_.end()) {
+    return false;
+  }
+  auto interval_it = by_start_.find(it->second);
+  assert(interval_it != by_start_.end());
+  if (new_end <= interval_it->first) {
+    return false;
+  }
+  auto next = std::next(interval_it);
+  if (next != by_start_.end() && next->first < new_end) {
+    return false;
+  }
+  interval_it->second.end = new_end;
+  return true;
+}
+
+void TaskSchedule::prune(sim::SimTime now) {
+  for (auto it = by_start_.begin(); it != by_start_.end();) {
+    if (it->second.end <= now) {
+      start_by_id_.erase(it->second.id);
+      it = by_start_.erase(it);
+    } else {
+      // Intervals are non-overlapping and sorted by start; the first one
+      // that ends after `now` may still be followed by ended ones only if
+      // starts are increasing, so we must scan on. Starts increase and ends
+      // increase too (non-overlap), so we can stop here.
+      break;
+    }
+  }
+}
+
+double TaskSchedule::busy_fraction(sim::SimTime from, sim::SimTime to) const {
+  if (from >= to) {
+    return 0.0;
+  }
+  int64_t busy_ns = 0;
+  for (const auto& [start, interval] : by_start_) {
+    const sim::SimTime s = std::max(start, from);
+    const sim::SimTime e = std::min(interval.end, to);
+    if (s < e) {
+      busy_ns += (e - s).ns();
+    }
+  }
+  return static_cast<double>(busy_ns) / static_cast<double>((to - from).ns());
+}
+
+void TaskSchedule::inject_busy(sim::SimTime start, sim::SimTime end) {
+  // Clip the injected interval around existing commitments, inserting the
+  // free fragments as anonymous busy time.
+  sim::SimTime cursor = start;
+  while (cursor < end) {
+    auto after = by_start_.lower_bound(cursor);
+    if (after != by_start_.begin()) {
+      auto before = std::prev(after);
+      if (before->second.end > cursor) {
+        cursor = before->second.end;
+        continue;
+      }
+    }
+    if (after != by_start_.end() && after->first == cursor) {
+      // An existing commitment starts exactly here; skip past it.
+      cursor = after->second.end;
+      continue;
+    }
+    sim::SimTime fragment_end = end;
+    if (after != by_start_.end() && after->first < fragment_end) {
+      fragment_end = after->first;
+    }
+    const ReservationId id = next_id_++;
+    by_start_.emplace(cursor, Interval{fragment_end, id});
+    start_by_id_.emplace(id, cursor);
+    cursor = fragment_end;
+  }
+}
+
+std::vector<Reservation> TaskSchedule::intervals_after(sim::SimTime from) const {
+  std::vector<Reservation> out;
+  for (const auto& [start, interval] : by_start_) {
+    if (interval.end > from) {
+      out.push_back(Reservation{interval.id, start, interval.end});
+    }
+  }
+  return out;
+}
+
+}  // namespace lockss::sched

@@ -1,0 +1,88 @@
+// Per-peer CPU commitment calendar (§5.1, "poll flood" defense).
+//
+// "To prevent over-commitment, peers maintain a task schedule of their
+// promises to perform effort, both to generate votes for others and to call
+// their own polls. If the effort of computing the vote solicited by an
+// incoming Poll message cannot be accommodated in the schedule, the
+// invitation is refused."
+//
+// The schedule models one CPU as a set of non-overlapping busy intervals.
+// Reservations use earliest-fit within a [not_before, deadline] window and
+// can be cancelled (poller never followed up) or consumed (work performed).
+// Only future intervals are retained; history is pruned as time advances.
+#ifndef LOCKSS_SCHED_TASK_SCHEDULE_HPP_
+#define LOCKSS_SCHED_TASK_SCHEDULE_HPP_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace lockss::sched {
+
+using ReservationId = uint64_t;
+
+struct Reservation {
+  ReservationId id = 0;
+  sim::SimTime start;
+  sim::SimTime end;
+};
+
+class TaskSchedule {
+ public:
+  // Earliest-fit reservation of `duration` with start >= not_before and
+  // end <= deadline. Returns nullopt when no gap fits (the §5.1 refusal).
+  std::optional<Reservation> reserve(sim::SimTime duration, sim::SimTime not_before,
+                                     sim::SimTime deadline);
+
+  // Whether a reservation would succeed, without making it. Used by the
+  // brute-force adversary's schedule oracle (§7.4) as well as by peers that
+  // probe before committing.
+  bool can_reserve(sim::SimTime duration, sim::SimTime not_before, sim::SimTime deadline) const;
+
+  // Releases a pending reservation (e.g. the poller deserted before
+  // PollProof and the slot's hold expired). Unknown ids are ignored —
+  // the reservation may have been pruned after completing.
+  void cancel(ReservationId id);
+
+  // Extends (or shrinks) an existing reservation's end time in place, e.g.
+  // when actual work runs longer than the original estimate. Returns false
+  // if the extension would overlap the next busy interval.
+  bool extend(ReservationId id, sim::SimTime new_end);
+
+  // Drops intervals that end at or before `now`; keeps the calendar small.
+  void prune(sim::SimTime now);
+
+  // Fraction of [from, to) covered by busy intervals (diagnostics/tests).
+  double busy_fraction(sim::SimTime from, sim::SimTime to) const;
+
+  // Injects an opaque busy interval (background load). Used by the 600-AU
+  // layering methodology of §6.3: layer n sees the accumulated busy time of
+  // layers 1..n-1 as pre-existing commitments. Overlapping injections are
+  // clipped to fit free space.
+  void inject_busy(sim::SimTime start, sim::SimTime end);
+
+  // Exports all intervals ending after `from` (for layering hand-off).
+  std::vector<Reservation> intervals_after(sim::SimTime from) const;
+
+  size_t interval_count() const { return by_start_.size(); }
+
+ private:
+  struct Interval {
+    sim::SimTime end;
+    ReservationId id;
+  };
+
+  bool fits(sim::SimTime start, sim::SimTime end) const;
+
+  // Busy intervals keyed by start time; values carry end + id.
+  std::map<sim::SimTime, Interval> by_start_;
+  std::map<ReservationId, sim::SimTime> start_by_id_;
+  ReservationId next_id_ = 1;
+};
+
+}  // namespace lockss::sched
+
+#endif  // LOCKSS_SCHED_TASK_SCHEDULE_HPP_

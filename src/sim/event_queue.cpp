@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace lockss::sim {
+
+EventHandle EventQueue::push(SimTime at, EventFn fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  auto fired = std::make_shared<bool>(false);
+  EventHandle handle(cancelled, fired);
+  heap_.push(Entry{at, next_seq_++, std::move(cancelled), std::move(fired), std::move(fn)});
+  return handle;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the entry must be copied out before pop.
+  Entry entry = heap_.top();
+  heap_.pop();
+  *entry.fired = true;
+  return Popped{entry.at, std::move(entry.fn)};
+}
+
+}  // namespace lockss::sim

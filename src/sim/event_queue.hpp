@@ -1,0 +1,95 @@
+// Pending-event set for the discrete-event engine.
+//
+// Events are (time, sequence, callback) triples kept in a binary heap.
+// Sequence numbers break time ties in scheduling order, which makes runs
+// fully deterministic. Cancellation is lazy: `EventHandle::cancel()` marks a
+// shared flag and the queue skips the entry when it surfaces.
+#ifndef LOCKSS_SIM_EVENT_QUEUE_HPP_
+#define LOCKSS_SIM_EVENT_QUEUE_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace lockss::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle to a scheduled event. Default-constructed handles are inert.
+// Copyable; all copies refer to the same scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (cancelled_) {
+      *cancelled_ = true;
+    }
+  }
+
+  // True if the handle refers to an event that is still pending.
+  bool pending() const { return cancelled_ && !*cancelled_ && !*fired_; }
+
+ private:
+  friend class EventQueue;
+  EventHandle(std::shared_ptr<bool> cancelled, std::shared_ptr<bool> fired)
+      : cancelled_(std::move(cancelled)), fired_(std::move(fired)) {}
+
+  std::shared_ptr<bool> cancelled_;
+  std::shared_ptr<bool> fired_;
+};
+
+class EventQueue {
+ public:
+  // Adds an event at absolute time `at`. Returns a cancellation handle.
+  EventHandle push(SimTime at, EventFn fn);
+
+  // True when no uncancelled events remain. May discard cancelled heads.
+  bool empty();
+
+  // Timestamp of the earliest pending event. Requires !empty().
+  SimTime next_time();
+
+  // Removes and runs nothing: pops the earliest pending event and returns it
+  // so the simulator can advance its clock before invoking the callback.
+  struct Popped {
+    SimTime at;
+    EventFn fn;
+  };
+  Popped pop();
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime at;
+    uint64_t seq;
+    // shared_ptr keeps cancellation flags alive as long as either the queue
+    // or an outstanding handle needs them.
+    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<bool> fired;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace lockss::sim
+
+#endif  // LOCKSS_SIM_EVENT_QUEUE_HPP_

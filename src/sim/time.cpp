@@ -1,0 +1,27 @@
+#include "sim/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lockss::sim {
+
+std::string SimTime::to_string() const {
+  int64_t total_ns = ns_;
+  const char* sign = "";
+  if (total_ns < 0) {
+    sign = "-";
+    total_ns = -total_ns;
+  }
+  const int64_t total_secs = total_ns / 1000000000;
+  const int64_t frac_ms = (total_ns % 1000000000) / 1000000;
+  const int64_t d = total_secs / 86400;
+  const int64_t h = (total_secs % 86400) / 3600;
+  const int64_t m = (total_secs % 3600) / 60;
+  const int64_t s = total_secs % 60;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%" PRId64 "d %02" PRId64 ":%02" PRId64 ":%02" PRId64 ".%03" PRId64,
+                sign, d, h, m, s, frac_ms);
+  return buf;
+}
+
+}  // namespace lockss::sim

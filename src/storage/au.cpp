@@ -1,0 +1,3 @@
+#include "storage/au.hpp"
+
+// AuId/AuSpec are header-only; this translation unit anchors the library.

@@ -1,0 +1,57 @@
+// Archival Units (AUs) — the unit of preservation (§2: "a year's run of an
+// on-line journal, in our target application").
+//
+// Every peer preserving an AU holds a full replica. Block content is
+// synthetic: the canonical content of block i of AU a is a fixed function of
+// (a, i), so any two undamaged replicas agree bit-for-bit, and a damaged
+// block (bit rot, §3.2) is any other value. Hashing costs are charged against
+// the AU's *logical* size (0.5 GB in §6.3), not the simulation's compact
+// representation.
+#ifndef LOCKSS_STORAGE_AU_HPP_
+#define LOCKSS_STORAGE_AU_HPP_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "crypto/digest.hpp"
+
+namespace lockss::storage {
+
+struct AuId {
+  uint32_t value = UINT32_MAX;
+
+  static constexpr AuId invalid() { return AuId{UINT32_MAX}; }
+  constexpr bool valid() const { return value != UINT32_MAX; }
+  friend constexpr auto operator<=>(const AuId&, const AuId&) = default;
+  std::string to_string() const { return "au" + std::to_string(value); }
+};
+
+struct AuSpec {
+  // §6.3: "we assume that each AU contains 0.5 GBytes (a large AU in
+  // practice)".
+  uint64_t size_bytes = 512ull * 1024 * 1024;
+  // Number of content blocks; votes carry one running hash per block and
+  // repairs are block-granular (§4.3). 128 blocks of 4 MiB keeps vote
+  // messages and tally work realistic without per-byte simulation.
+  uint32_t block_count = 128;
+
+  uint64_t block_size_bytes() const { return size_bytes / block_count; }
+};
+
+// Canonical (publisher-correct) content word of one block.
+constexpr uint64_t canonical_content(AuId au, uint32_t block) {
+  return crypto::mix64(0xA0C597B3D6E1F845ull ^ (static_cast<uint64_t>(au.value) << 32) ^ block);
+}
+
+}  // namespace lockss::storage
+
+template <>
+struct std::hash<lockss::storage::AuId> {
+  size_t operator()(const lockss::storage::AuId& id) const noexcept {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};
+
+#endif  // LOCKSS_STORAGE_AU_HPP_

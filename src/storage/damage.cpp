@@ -1,0 +1,51 @@
+#include "storage/damage.hpp"
+
+#include <cassert>
+
+namespace lockss::storage {
+
+DamageProcess::DamageProcess(sim::Simulator& simulator, sim::Rng rng, DamageConfig config,
+                             StorageNode& node, DamageCallback on_damage)
+    : simulator_(simulator),
+      rng_(rng),
+      config_(config),
+      node_(node),
+      on_damage_(std::move(on_damage)) {
+  schedule_next();
+}
+
+sim::SimTime DamageProcess::mean_interarrival() const {
+  const double disks =
+      static_cast<double>(node_.replica_count()) / config_.aus_per_disk;
+  if (disks <= 0.0) {
+    return sim::SimTime::max();
+  }
+  return sim::SimTime::years(config_.mean_disk_years_between_failures / disks);
+}
+
+void DamageProcess::schedule_next() {
+  const sim::SimTime mean = mean_interarrival();
+  if (mean == sim::SimTime::max()) {
+    // Empty collection: re-check for replicas periodically (cheap).
+    simulator_.schedule_in(sim::SimTime::days(30), [this] { schedule_next(); });
+    return;
+  }
+  simulator_.schedule_in(rng_.exponential_time(mean), [this] { inject(); });
+}
+
+void DamageProcess::inject() {
+  if (node_.replica_count() > 0) {
+    const auto ids = node_.au_ids();
+    const AuId au = ids[rng_.index(ids.size())];
+    AuReplica& replica = node_.replica(au);
+    const uint32_t block = static_cast<uint32_t>(rng_.index(replica.spec().block_count));
+    replica.corrupt_block(block, rng_.next_u64());
+    ++damage_events_;
+    if (on_damage_) {
+      on_damage_(au, block);
+    }
+  }
+  schedule_next();
+}
+
+}  // namespace lockss::storage

@@ -1,0 +1,58 @@
+// Undetected storage-failure injection ("bit rot", §3.2, §7.1).
+//
+// §7.1: "Our simulated peers suffer random storage damage at rates of one
+// block in 1 to 5 disk years (50 AUs per disk)." DamageProcess turns that
+// into a per-peer Poisson process whose rate scales with the number of disks
+// the peer's collection occupies, corrupting one uniformly-random block of a
+// uniformly-random AU at each arrival.
+#ifndef LOCKSS_STORAGE_DAMAGE_HPP_
+#define LOCKSS_STORAGE_DAMAGE_HPP_
+
+#include <functional>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "storage/storage_node.hpp"
+
+namespace lockss::storage {
+
+struct DamageConfig {
+  // Mean time between block-damage events per disk, in disk-years. §7.1
+  // sweeps 1..5; the attack experiments pin 5.
+  double mean_disk_years_between_failures = 5.0;
+  // §6.3 / §7.1: 50 AUs per disk.
+  double aus_per_disk = 50.0;
+};
+
+// Notification invoked after a block has been corrupted; the peer/metrics
+// layers use it to account damaged replicas. Arguments: AU and block index.
+using DamageCallback = std::function<void(AuId, uint32_t)>;
+
+class DamageProcess {
+ public:
+  // Starts injecting damage into `node` immediately; the process lives for
+  // the whole simulation (damage never stops, attacks or not).
+  DamageProcess(sim::Simulator& simulator, sim::Rng rng, DamageConfig config, StorageNode& node,
+                DamageCallback on_damage = {});
+
+  // Events injected so far.
+  uint64_t damage_events() const { return damage_events_; }
+
+  // Mean time between damage events for this node's collection size.
+  sim::SimTime mean_interarrival() const;
+
+ private:
+  void schedule_next();
+  void inject();
+
+  sim::Simulator& simulator_;
+  sim::Rng rng_;
+  DamageConfig config_;
+  StorageNode& node_;
+  DamageCallback on_damage_;
+  uint64_t damage_events_ = 0;
+};
+
+}  // namespace lockss::storage
+
+#endif  // LOCKSS_STORAGE_DAMAGE_HPP_

@@ -1,0 +1,52 @@
+#include "storage/replica.hpp"
+
+#include <cassert>
+
+namespace lockss::storage {
+
+AuReplica::AuReplica(AuId au, AuSpec spec) : au_(au), spec_(spec) {
+  blocks_.reserve(spec_.block_count);
+  for (uint32_t b = 0; b < spec_.block_count; ++b) {
+    blocks_.push_back(canonical_content(au_, b));
+  }
+}
+
+void AuReplica::set_block_content(uint32_t block, uint64_t content) {
+  assert(block < spec_.block_count);
+  const bool was_damaged = block_damaged(block);
+  blocks_[block] = content;
+  const bool now_damaged = block_damaged(block);
+  if (was_damaged && !now_damaged) {
+    --damaged_blocks_;
+  } else if (!was_damaged && now_damaged) {
+    ++damaged_blocks_;
+  }
+}
+
+bool AuReplica::corrupt_block(uint32_t block, uint64_t entropy) {
+  assert(block < spec_.block_count);
+  const bool was_damaged = block_damaged(block);
+  uint64_t corrupt = crypto::mix64(entropy ^ blocks_[block]);
+  if (corrupt == canonical_content(au_, block)) {
+    ++corrupt;  // never corrupt *to* the canonical word
+  }
+  set_block_content(block, corrupt);
+  return !was_damaged;
+}
+
+void AuReplica::restore_block(uint32_t block) {
+  set_block_content(block, canonical_content(au_, block));
+}
+
+std::vector<crypto::Digest64> AuReplica::vote_hashes(crypto::Digest64 nonce) const {
+  std::vector<crypto::Digest64> hashes;
+  hashes.reserve(spec_.block_count);
+  crypto::Digest64 running = crypto::vote_chain_seed(nonce);
+  for (uint32_t b = 0; b < spec_.block_count; ++b) {
+    running = crypto::running_block_hash(running, blocks_[b]);
+    hashes.push_back(running);
+  }
+  return hashes;
+}
+
+}  // namespace lockss::storage

@@ -1,0 +1,64 @@
+// One peer's replica of one AU.
+//
+// Stores a content word per block. Undamaged blocks hold the canonical
+// content; storage failures overwrite a block with a corrupt word. Repair
+// (§4.3) copies a block from another replica. The replica also computes the
+// running block-hash chains that make up votes (§4.1).
+#ifndef LOCKSS_STORAGE_REPLICA_HPP_
+#define LOCKSS_STORAGE_REPLICA_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "storage/au.hpp"
+
+namespace lockss::storage {
+
+class AuReplica {
+ public:
+  AuReplica(AuId au, AuSpec spec);
+
+  AuId au() const { return au_; }
+  const AuSpec& spec() const { return spec_; }
+
+  uint64_t block_content(uint32_t block) const { return blocks_[block]; }
+  void set_block_content(uint32_t block, uint64_t content);
+
+  // Damage helpers ---------------------------------------------------------
+  bool block_damaged(uint32_t block) const {
+    return blocks_[block] != canonical_content(au_, block);
+  }
+  // A replica is "damaged" for the access-failure metric if any block
+  // differs from the canonical content (§6.1: a reader fetching it would
+  // obtain a damaged AU).
+  bool damaged() const { return damaged_blocks_ != 0; }
+  uint32_t damaged_block_count() const { return damaged_blocks_; }
+
+  // Overwrites `block` with a corrupt word derived from `entropy` (never the
+  // canonical word). Returns true if the block changed from good to damaged.
+  bool corrupt_block(uint32_t block, uint64_t entropy);
+
+  // Restores the canonical content (used by tests and by publisher reload).
+  void restore_block(uint32_t block);
+
+  // Vote computation (§4.1): hash the nonce, then the AU block by block,
+  // emitting the running digest at each block boundary.
+  std::vector<crypto::Digest64> vote_hashes(crypto::Digest64 nonce) const;
+
+  // The running hash the poller expects for a single block, given the chain
+  // digest before the block. Used by block-at-a-time evaluation (§4.3).
+  crypto::Digest64 expected_block_hash(crypto::Digest64 prev, uint32_t block) const {
+    return crypto::running_block_hash(prev, blocks_[block]);
+  }
+
+ private:
+  AuId au_;
+  AuSpec spec_;
+  std::vector<uint64_t> blocks_;
+  uint32_t damaged_blocks_ = 0;
+};
+
+}  // namespace lockss::storage
+
+#endif  // LOCKSS_STORAGE_REPLICA_HPP_

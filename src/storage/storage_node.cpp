@@ -1,0 +1,45 @@
+#include "storage/storage_node.hpp"
+
+#include <cassert>
+
+namespace lockss::storage {
+
+AuReplica& StorageNode::add_replica(AuId au, AuSpec spec) {
+  auto [it, inserted] = replicas_.try_emplace(au, au, spec);
+  assert(inserted && "replica already present");
+  (void)inserted;
+  return it->second;
+}
+
+AuReplica& StorageNode::replica(AuId au) {
+  auto it = replicas_.find(au);
+  assert(it != replicas_.end());
+  return it->second;
+}
+
+const AuReplica& StorageNode::replica(AuId au) const {
+  auto it = replicas_.find(au);
+  assert(it != replicas_.end());
+  return it->second;
+}
+
+std::vector<AuId> StorageNode::au_ids() const {
+  std::vector<AuId> ids;
+  ids.reserve(replicas_.size());
+  for (const auto& [id, replica] : replicas_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+size_t StorageNode::damaged_replica_count() const {
+  size_t count = 0;
+  for (const auto& [id, replica] : replicas_) {
+    if (replica.damaged()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace lockss::storage

@@ -1,0 +1,41 @@
+// A peer's storage subsystem: the set of AU replicas it preserves.
+//
+// §6.3 models 50 AUs per disk; a peer preserving N AUs therefore owns N/50
+// disks, and storage failures arrive per disk. StorageNode exposes the
+// replica map plus aggregate damage queries used by the metrics module.
+#ifndef LOCKSS_STORAGE_STORAGE_NODE_HPP_
+#define LOCKSS_STORAGE_STORAGE_NODE_HPP_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "storage/au.hpp"
+#include "storage/replica.hpp"
+
+namespace lockss::storage {
+
+class StorageNode {
+ public:
+  // Adds a fresh (publisher-correct) replica. Returns a stable reference.
+  AuReplica& add_replica(AuId au, AuSpec spec);
+
+  bool has_replica(AuId au) const { return replicas_.contains(au); }
+  AuReplica& replica(AuId au);
+  const AuReplica& replica(AuId au) const;
+
+  size_t replica_count() const { return replicas_.size(); }
+  std::vector<AuId> au_ids() const;
+
+  // Number of replicas currently damaged (any block differing from
+  // canonical); the numerator of the instantaneous access-failure fraction.
+  size_t damaged_replica_count() const;
+
+ private:
+  // std::map keeps iteration order deterministic across runs.
+  std::map<AuId, AuReplica> replicas_;
+};
+
+}  // namespace lockss::storage
+
+#endif  // LOCKSS_STORAGE_STORAGE_NODE_HPP_

@@ -1,0 +1,192 @@
+// Unit and property tests for the analysis helpers (streaming statistics,
+// histograms, time-weighted means, gnuplot emission).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/gnuplot.hpp"
+#include "analysis/stats.hpp"
+#include "sim/rng.hpp"
+
+namespace lockss::analysis {
+namespace {
+
+// --- RunningStats ------------------------------------------------------------
+
+TEST(RunningStatsTest, EmptyIsAllZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSinglePass) {
+  sim::Rng rng(5);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100.0 - 50.0;
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(3.0);
+  a.merge(b);  // empty <- nonempty
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStats c;
+  a.merge(c);  // nonempty <- empty
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(RunningStatsTest, ConfidenceIntervalShrinksWithSamples) {
+  sim::Rng rng(6);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    if (i < 100) {
+      small.add(x);
+    }
+    large.add(x);
+  }
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+  // For U(0,1): sigma = sqrt(1/12) ~ 0.2887; ci95 with n=10000 ~ 0.00566.
+  EXPECT_NEAR(large.ci95_half_width(), 1.96 * std::sqrt(1.0 / 12.0) / 100.0, 5e-4);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(HistogramTest, BinsAndOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(HistogramTest, QuantilesOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  sim::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    h.add(rng.uniform());
+  }
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(HistogramTest, RenderShowsNonEmptyBinsOnly) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(3.5);
+  const std::string text = h.render(10);
+  // Two populated bins -> two rows, each with a bar.
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+// --- TimeWeighted ------------------------------------------------------------
+
+TEST(TimeWeightedTest, StepFunctionMean) {
+  TimeWeighted tw;
+  tw.set(sim::SimTime::seconds(0), 0.0);
+  tw.set(sim::SimTime::seconds(10), 1.0);  // 0 for 10s
+  tw.set(sim::SimTime::seconds(30), 0.0);  // 1 for 20s
+  // 0*(10) + 1*(20) + 0*(10) over 40s = 0.5
+  EXPECT_NEAR(tw.mean(sim::SimTime::seconds(40)), 0.5, 1e-12);
+}
+
+TEST(TimeWeightedTest, TailExtendsLastValue) {
+  TimeWeighted tw;
+  tw.set(sim::SimTime::seconds(0), 2.0);
+  EXPECT_NEAR(tw.mean(sim::SimTime::seconds(50)), 2.0, 1e-12);
+}
+
+TEST(TimeWeightedTest, BeforeStartIsZero) {
+  TimeWeighted tw;
+  EXPECT_EQ(tw.mean(sim::SimTime::seconds(10)), 0.0);
+  tw.set(sim::SimTime::seconds(5), 1.0);
+  EXPECT_EQ(tw.mean(sim::SimTime::seconds(5)), 0.0);
+}
+
+// --- Gnuplot -----------------------------------------------------------------
+
+TEST(GnuplotTest, ScriptReferencesCsvAndSeries) {
+  GnuplotSpec spec;
+  spec.title = "Figure 3";
+  spec.csv_path = "fig3.csv";
+  spec.x_label = "Attack duration (days)";
+  spec.y_label = "Access failure probability";
+  spec.log_x = true;
+  spec.log_y = true;
+  spec.series = {"10%", "40%", "100%"};
+  const std::string script = gnuplot_script(spec);
+  EXPECT_NE(script.find("set logscale x"), std::string::npos);
+  EXPECT_NE(script.find("set logscale y"), std::string::npos);
+  EXPECT_NE(script.find("'fig3.csv' using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:4"), std::string::npos);
+  EXPECT_NE(script.find("title '100%'"), std::string::npos);
+}
+
+TEST(GnuplotTest, LinearAxesOmitLogscale) {
+  GnuplotSpec spec;
+  spec.csv_path = "t.csv";
+  spec.series = {"a"};
+  const std::string script = gnuplot_script(spec);
+  EXPECT_EQ(script.find("logscale"), std::string::npos);
+}
+
+TEST(GnuplotTest, EmptyCsvPathRefusesToWrite) {
+  GnuplotSpec spec;
+  EXPECT_FALSE(write_gnuplot(spec, "/tmp/should_not_exist.gp"));
+}
+
+}  // namespace
+}  // namespace lockss::analysis

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/cost_model.hpp"
+#include "crypto/digest.hpp"
+#include "crypto/mbf.hpp"
+
+namespace lockss::crypto {
+namespace {
+
+TEST(DigestTest, CombineIsDeterministic) {
+  const Digest64 a = digest_combine(Digest64{1}, 42);
+  const Digest64 b = digest_combine(Digest64{1}, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DigestTest, CombineSensitiveToBothInputs) {
+  EXPECT_NE(digest_combine(Digest64{1}, 42), digest_combine(Digest64{2}, 42));
+  EXPECT_NE(digest_combine(Digest64{1}, 42), digest_combine(Digest64{1}, 43));
+}
+
+TEST(DigestTest, RunningChainsDivergeAndReconverge) {
+  // Two chains over the same content agree; a one-block difference changes
+  // every subsequent running hash (the vote-evaluation property of §4.3).
+  const Digest64 nonce{777};
+  Digest64 x = vote_chain_seed(nonce);
+  Digest64 y = vote_chain_seed(nonce);
+  for (int i = 0; i < 10; ++i) {
+    x = running_block_hash(x, 100 + static_cast<uint64_t>(i));
+    y = running_block_hash(y, 100 + static_cast<uint64_t>(i));
+    EXPECT_EQ(x, y);
+  }
+  Digest64 z = running_block_hash(x, 9999);  // damaged block
+  Digest64 w = running_block_hash(x, 10);    // good block
+  EXPECT_NE(z, w);
+  // Chains never re-converge after divergence.
+  for (int i = 0; i < 10; ++i) {
+    z = running_block_hash(z, 200 + static_cast<uint64_t>(i));
+    w = running_block_hash(w, 200 + static_cast<uint64_t>(i));
+    EXPECT_NE(z, w);
+  }
+}
+
+TEST(DigestTest, DifferentNoncesGiveDifferentChains) {
+  // The per-poll nonce prevents vote replay (§4.1).
+  Digest64 x = vote_chain_seed(Digest64{1});
+  Digest64 y = vote_chain_seed(Digest64{2});
+  x = running_block_hash(x, 42);
+  y = running_block_hash(y, 42);
+  EXPECT_NE(x, y);
+}
+
+TEST(DigestTest, NoObviousCollisions) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    seen.insert(keyed_digest(Digest64{i}, i * 3).value);
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(DigestTest, HexRendering) {
+  EXPECT_EQ(Digest64{0}.to_hex(), "0000000000000000");
+  EXPECT_EQ(Digest64{0xdeadbeefull}.to_hex(), "00000000deadbeef");
+}
+
+TEST(CostModelTest, HashTimeScalesLinearly) {
+  CostModel costs;
+  const auto t1 = costs.hash_time(1024 * 1024);
+  const auto t2 = costs.hash_time(2 * 1024 * 1024);
+  EXPECT_NEAR(t2.to_seconds(), 2 * t1.to_seconds(), 1e-9);
+}
+
+TEST(CostModelTest, HalfGigAuTakesSeconds) {
+  // 0.5 GB at 50 MB/s -> ~10.24 s; the vote-computation cost that drives the
+  // whole effort-balancing arithmetic.
+  CostModel costs;
+  const auto t = costs.hash_time(512ull * 1024 * 1024);
+  EXPECT_NEAR(t.to_seconds(), 10.24, 0.01);
+}
+
+TEST(CostModelTest, VerifyCheaperThanGenerateByGamma) {
+  CostModel costs;
+  const double effort = 8.0;
+  EXPECT_NEAR(costs.mbf_generate_time(effort).to_seconds(), 8.0, 1e-9);
+  EXPECT_NEAR(costs.mbf_verify_time(effort).to_seconds(), 8.0 / costs.mbf_verify_asymmetry, 1e-9);
+}
+
+TEST(MbfTest, GenuineProofVerifies) {
+  CostModel costs;
+  MbfService mbf(costs, sim::Rng(5));
+  const MbfProof proof = mbf.generate(4.0);
+  const MbfVerification v = mbf.verify(proof, 4.0);
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.byproduct, proof.byproduct);
+  EXPECT_NEAR(v.verify_effort, 4.0 / costs.mbf_verify_asymmetry, 1e-9);
+}
+
+TEST(MbfTest, GarbageProofFailsButStillCostsVerifier) {
+  CostModel costs;
+  MbfService mbf(costs, sim::Rng(6));
+  const MbfProof proof = MbfProof::garbage(4.0);
+  const MbfVerification v = mbf.verify(proof, 4.0);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.byproduct, Digest64{0});
+  EXPECT_GT(v.verify_effort, 0.0);
+}
+
+TEST(MbfTest, UndersizedProofRejected) {
+  CostModel costs;
+  MbfService mbf(costs, sim::Rng(7));
+  const MbfProof proof = mbf.generate(2.0);
+  EXPECT_FALSE(mbf.verify(proof, 4.0).ok);
+  EXPECT_TRUE(mbf.verify(proof, 2.0).ok);
+}
+
+TEST(MbfTest, ByproductsAreUniqueAndNonzero) {
+  CostModel costs;
+  MbfService mbf(costs, sim::Rng(8));
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const MbfProof p = mbf.generate(1.0);
+    EXPECT_NE(p.byproduct.value, 0u);
+    seen.insert(p.byproduct.value);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace lockss::crypto

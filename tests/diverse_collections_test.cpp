@@ -1,0 +1,80 @@
+// Extension: diversity of local collections (§6.3 notes the paper does "not
+// yet simulate the diversity of local collections that we expect will evolve
+// over time"). With au_coverage < 1 each peer preserves a random subset of
+// the collection; audits must keep working among each AU's actual holders.
+#include <gtest/gtest.h>
+
+#include "experiment/scenario.hpp"
+
+namespace lockss::experiment {
+namespace {
+
+ScenarioConfig diverse_config() {
+  ScenarioConfig config;
+  config.peer_count = 40;
+  config.au_count = 4;
+  config.duration = sim::SimTime::years(1);
+  config.seed = 51;
+  config.enable_damage = false;
+  return config;
+}
+
+TEST(DiverseCollectionsTest, FullCoverageMatchesLegacyBehavior) {
+  ScenarioConfig config = diverse_config();
+  config.au_coverage = 1.0;
+  const RunResult full = run_scenario(config);
+  // Every peer holds every AU: the expected ~4 polls per (peer, AU) appear.
+  EXPECT_GT(full.report.successful_polls, 40u * 4u * 2u);
+}
+
+TEST(DiverseCollectionsTest, PartialCoverageStillAudits) {
+  ScenarioConfig config = diverse_config();
+  config.au_coverage = 0.6;
+  const RunResult partial = run_scenario(config);
+  // Roughly 60% of the replicas exist, and those are audited at the same
+  // per-replica rate: successes land well above half of the full-coverage
+  // floor but below the full-coverage count.
+  EXPECT_GT(partial.report.successful_polls, 40u * 4u);
+  ScenarioConfig full_config = diverse_config();
+  const RunResult full = run_scenario(full_config);
+  EXPECT_LT(partial.report.successful_polls, full.report.successful_polls);
+  EXPECT_EQ(partial.report.alarms, 0u);
+}
+
+TEST(DiverseCollectionsTest, DamageIsRepairedWithinHolderSet) {
+  ScenarioConfig config = diverse_config();
+  config.au_coverage = 0.6;
+  config.enable_damage = true;
+  config.damage.mean_disk_years_between_failures = 0.25;
+  config.damage.aus_per_disk = 4.0;
+  const RunResult result = run_scenario(config);
+  EXPECT_GT(result.report.damage_events, 20u);
+  EXPECT_GT(result.report.repairs, 0u);
+  // Repairs keep the time-averaged damaged fraction far below the
+  // no-repair regime even though only ~60% of peers hold each AU.
+  EXPECT_LT(result.report.access_failure_probability, 0.5);
+}
+
+TEST(DiverseCollectionsTest, QuorumFloorGuaranteesViability) {
+  // Even at an absurdly low coverage the runner tops each AU up to 2x quorum
+  // holders, so polls remain quorate rather than dying silently.
+  ScenarioConfig config = diverse_config();
+  config.au_coverage = 0.05;
+  const RunResult result = run_scenario(config);
+  EXPECT_GT(result.report.successful_polls, 0u);
+  // With ~20 holders per AU (the floor), expect on the order of
+  // 4 AUs x 20 holders x ~3 polls.
+  EXPECT_GT(result.report.successful_polls, 4u * 20u);
+}
+
+TEST(DiverseCollectionsTest, DeterministicForSeed) {
+  ScenarioConfig config = diverse_config();
+  config.au_coverage = 0.5;
+  const RunResult a = run_scenario(config);
+  const RunResult b = run_scenario(config);
+  EXPECT_EQ(a.report.successful_polls, b.report.successful_polls);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+}
+
+}  // namespace
+}  // namespace lockss::experiment

@@ -1,0 +1,160 @@
+// Unit tests for the experiment harness plumbing: CLI parsing, aggregation
+// math, relative metrics, and table rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "experiment/aggregate.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/table.hpp"
+
+namespace lockss::experiment {
+namespace {
+
+CliArgs make_args(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()), const_cast<char**>(argv.data()));
+}
+
+TEST(CliArgsTest, FlagsAndValues) {
+  const CliArgs args = make_args({"--paper", "--peers", "42", "--csv", "out.csv"});
+  EXPECT_TRUE(args.flag("paper"));
+  EXPECT_FALSE(args.flag("quick"));
+  EXPECT_EQ(args.integer("peers", 7), 42);
+  EXPECT_EQ(args.integer("aus", 7), 7);
+  EXPECT_EQ(args.text("csv", ""), "out.csv");
+}
+
+TEST(CliArgsTest, RealListsParse) {
+  const CliArgs args = make_args({"--coverages", "10,40,70,100"});
+  const auto values = args.reals("coverages", {});
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_DOUBLE_EQ(values[0], 10);
+  EXPECT_DOUBLE_EQ(values[3], 100);
+  // Fallback applies when absent.
+  EXPECT_EQ(args.reals("durations", {1, 2}).size(), 2u);
+}
+
+TEST(CliArgsTest, ProfileDefaultsAndPaperMode) {
+  const CliArgs quick = make_args({});
+  const BenchProfile qp = resolve_profile(quick, 60, 6, 2.0, 1);
+  EXPECT_EQ(qp.peers, 60u);
+  EXPECT_EQ(qp.aus, 6u);
+  EXPECT_FALSE(qp.paper);
+
+  const CliArgs paper = make_args({"--paper"});
+  const BenchProfile pp = resolve_profile(paper, 60, 6, 2.0, 1);
+  EXPECT_EQ(pp.peers, 100u);   // §6.3 population
+  EXPECT_EQ(pp.aus, 50u);      // §6.3 collection
+  EXPECT_EQ(pp.seeds, 3u);     // §6.3 "3 runs per data point"
+  EXPECT_DOUBLE_EQ(pp.years, 2.0);
+  EXPECT_TRUE(pp.paper);
+}
+
+TEST(CliArgsTest, ExplicitOverridesBeatPaperMode) {
+  const CliArgs args = make_args({"--paper", "--peers", "10"});
+  const BenchProfile profile = resolve_profile(args, 60, 6, 2.0, 1);
+  EXPECT_EQ(profile.peers, 10u);
+  EXPECT_EQ(profile.aus, 50u);
+}
+
+TEST(BaseConfigTest, PaperDamageRatesExact) {
+  CliArgs args = make_args({"--paper"});
+  const BenchProfile profile = resolve_profile(args, 60, 6, 2.0, 1);
+  const ScenarioConfig config = base_config(profile);
+  EXPECT_DOUBLE_EQ(config.damage.mean_disk_years_between_failures, 5.0);
+  EXPECT_DOUBLE_EQ(config.damage.aus_per_disk, 50.0);
+  EXPECT_DOUBLE_EQ(damage_rate_inflation(profile), 1.0);
+}
+
+TEST(BaseConfigTest, QuickDamageInflationReported) {
+  CliArgs args = make_args({});
+  const BenchProfile profile = resolve_profile(args, 60, 6, 2.0, 1);
+  const double inflation = damage_rate_inflation(profile);
+  EXPECT_GT(inflation, 1.0);
+  // Rate per AU-year: quick = 1/(0.6*6); paper = 1/250.
+  EXPECT_NEAR(inflation, (1.0 / (0.6 * 6)) * 250.0, 1e-9);
+}
+
+TEST(AggregateTest, MeanMinMax) {
+  const Aggregate agg = aggregate({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(agg.mean, 2.0);
+  EXPECT_DOUBLE_EQ(agg.min, 1.0);
+  EXPECT_DOUBLE_EQ(agg.max, 3.0);
+  EXPECT_EQ(agg.n, 3u);
+  EXPECT_EQ(aggregate({}).n, 0u);
+}
+
+RunResult result_with(uint64_t successes, double gap_days, double effort, double adv_effort) {
+  RunResult r;
+  r.report.successful_polls = successes;
+  r.report.mean_success_gap_days = gap_days;
+  r.report.loyal_effort_seconds = effort;
+  r.report.adversary_effort_seconds = adv_effort;
+  r.report.effort_per_successful_poll =
+      successes > 0 ? effort / static_cast<double>(successes) : 0.0;
+  r.report.cost_ratio = effort > 0 ? adv_effort / effort : 0.0;
+  return r;
+}
+
+TEST(RelativeMetricsTest, RatiosAgainstBaseline) {
+  const RunResult baseline = result_with(100, 90.0, 100000.0, 0.0);
+  const RunResult attack = result_with(50, 180.0, 120000.0, 240000.0);
+  const RelativeMetrics rel = relative_metrics(attack, baseline);
+  EXPECT_NEAR(rel.delay_ratio, 2.0, 1e-9);
+  // friction: (120000/50) / (100000/100) = 2400/1000.
+  EXPECT_NEAR(rel.friction, 2.4, 1e-9);
+  EXPECT_NEAR(rel.cost_ratio, 2.0, 1e-9);
+}
+
+TEST(RelativeMetricsTest, TotalBlackoutGivesBoundedDelay) {
+  const RunResult baseline = result_with(100, 90.0, 100000.0, 0.0);
+  RunResult attack = result_with(0, 0.0, 50000.0, 0.0);
+  const RelativeMetrics rel = relative_metrics(attack, baseline);
+  EXPECT_DOUBLE_EQ(rel.delay_ratio, 100.0);  // lower bound: as if 1 success
+}
+
+TEST(CombineResultsTest, SumsAndWeights) {
+  RunResult a = result_with(100, 90.0, 100000.0, 0.0);
+  RunResult b = result_with(50, 180.0, 80000.0, 0.0);
+  a.report.alarms = 1;
+  b.report.alarms = 2;
+  a.polls_started = 110;
+  b.polls_started = 60;
+  const RunResult combined = combine_results({a, b});
+  EXPECT_EQ(combined.report.successful_polls, 150u);
+  EXPECT_EQ(combined.report.alarms, 3u);
+  EXPECT_EQ(combined.polls_started, 170u);
+  // Success-weighted gap: (90*100 + 180*50) / 150 = 120.
+  EXPECT_NEAR(combined.report.mean_success_gap_days, 120.0, 1e-9);
+  // Pooled friction numerator: 180000 / 150 = 1200.
+  EXPECT_NEAR(combined.report.effort_per_successful_poll, 1200.0, 1e-9);
+}
+
+TEST(TableWriterTest, FormattingHelpers) {
+  EXPECT_EQ(TableWriter::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(TableWriter::fixed(10.0, 0), "10");
+  EXPECT_EQ(TableWriter::scientific(0.000123, 2), "1.23e-04");
+}
+
+TEST(TableWriterTest, CsvMirror) {
+  const std::string path = "/tmp/lockss_table_test.csv";
+  {
+    TableWriter table({"a", "b"}, path);
+    table.header();
+    table.row({"1", "x"});
+    table.row({"2", "y"});
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  EXPECT_STREQ(buf, "a,b\n");
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  EXPECT_STREQ(buf, "1,x\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lockss::experiment

@@ -1,0 +1,110 @@
+// End-to-end scenario tests without an adversary (§7.1 baseline behaviour).
+#include <gtest/gtest.h>
+
+#include "experiment/aggregate.hpp"
+#include "experiment/scenario.hpp"
+
+namespace lockss::experiment {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig config;
+  config.peer_count = 30;
+  config.au_count = 2;
+  config.duration = sim::SimTime::years(1);
+  config.seed = 42;
+  return config;
+}
+
+TEST(BaselineIntegrationTest, PollsSucceedWithoutAdversary) {
+  ScenarioConfig config = small_config();
+  config.enable_damage = false;
+  const RunResult result = run_scenario(config);
+  // 30 peers x 2 AUs x ~4 polls/year; the first poll of each cycle starts at
+  // a random phase, so expect at least 2 concluded polls per (peer, AU).
+  EXPECT_GT(result.report.successful_polls, 30u * 2u * 2u);
+  // The overwhelming majority of polls must succeed absent an attack.
+  EXPECT_GT(result.report.successful_polls,
+            20 * (result.report.inquorate_polls + result.report.alarms + 1));
+  EXPECT_EQ(result.report.alarms, 0u);
+  EXPECT_EQ(result.report.access_failure_probability, 0.0);
+}
+
+TEST(BaselineIntegrationTest, DamageGetsRepaired) {
+  ScenarioConfig config = small_config();
+  // Aggressive damage so the 1-year run sees plenty of events: one block per
+  // 0.25 disk-years with 2 AUs/disk -> 2 events per AU-year, 120 expected
+  // over 30 peers x 2 AUs x 1 year.
+  config.damage.mean_disk_years_between_failures = 0.25;
+  config.damage.aus_per_disk = 2.0;
+  const RunResult result = run_scenario(config);
+  EXPECT_GT(result.report.damage_events, 100u);
+  // Repairs must actually happen.
+  EXPECT_GT(result.report.repairs, 0u);
+  // With detection latency bounded by one poll cycle (~3 months of
+  // solicitation plus evaluation), lambda*L stays near 2 x 0.3 = 0.6, so the
+  // time-averaged damaged fraction must sit well below the no-repair level
+  // (which approaches 1 as every replica is damaged ~twice a year and stays
+  // damaged forever).
+  EXPECT_LT(result.report.access_failure_probability, 0.5);
+  EXPECT_GT(result.report.access_failure_probability, 0.0);
+}
+
+TEST(BaselineIntegrationTest, DeterministicForSeed) {
+  ScenarioConfig config = small_config();
+  config.duration = sim::SimTime::months(6);
+  const RunResult a = run_scenario(config);
+  const RunResult b = run_scenario(config);
+  EXPECT_EQ(a.report.successful_polls, b.report.successful_polls);
+  EXPECT_EQ(a.report.damage_events, b.report.damage_events);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_DOUBLE_EQ(a.report.loyal_effort_seconds, b.report.loyal_effort_seconds);
+}
+
+TEST(BaselineIntegrationTest, DifferentSeedsDiffer) {
+  ScenarioConfig config = small_config();
+  config.duration = sim::SimTime::months(6);
+  const RunResult a = run_scenario(config);
+  config.seed = 43;
+  const RunResult b = run_scenario(config);
+  EXPECT_NE(a.messages_delivered, b.messages_delivered);
+}
+
+TEST(BaselineIntegrationTest, MeanSuccessGapTracksPollInterval) {
+  ScenarioConfig config = small_config();
+  config.enable_damage = false;
+  config.duration = sim::SimTime::years(2);
+  const RunResult result = run_scenario(config);
+  // Successive successful polls on one AU are one inter-poll interval apart
+  // (~90 days); allow slack for occasional failures.
+  EXPECT_GT(result.report.mean_success_gap_days, 80.0);
+  EXPECT_LT(result.report.mean_success_gap_days, 130.0);
+}
+
+TEST(BaselineIntegrationTest, EffortPerPollIsPlausible) {
+  ScenarioConfig config = small_config();
+  config.enable_damage = false;
+  const RunResult result = run_scenario(config);
+  // A successful poll costs the poller ~30 x (solicitation + evaluation)
+  // ≈ 30 x 23s ≈ 700s plus the voters' ~11s each. Expect hundreds to a few
+  // thousand effort-seconds per successful poll system-wide.
+  EXPECT_GT(result.report.effort_per_successful_poll, 200.0);
+  EXPECT_LT(result.report.effort_per_successful_poll, 5000.0);
+}
+
+TEST(BaselineIntegrationTest, ReplicatedRunsAggregate) {
+  ScenarioConfig config = small_config();
+  config.duration = sim::SimTime::months(6);
+  config.enable_damage = false;
+  const auto runs = run_replicated(config, 2);
+  ASSERT_EQ(runs.size(), 2u);
+  const auto agg = aggregate_metric(
+      runs, [](const RunResult& r) { return static_cast<double>(r.report.successful_polls); });
+  EXPECT_EQ(agg.n, 2u);
+  EXPECT_GE(agg.max, agg.mean);
+  EXPECT_GE(agg.mean, agg.min);
+  EXPECT_GT(agg.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace lockss::experiment

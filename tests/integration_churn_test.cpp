@@ -1,0 +1,127 @@
+// §9 dynamic-environment scenario: "we need to understand how our defenses
+// against attrition work in a more dynamic environment, where new loyal
+// peers continually join the system over time."
+//
+// Newcomers start with a publisher-bootstrap reference list (they know a few
+// peers; nobody knows them), so their first solicitations run through the
+// unknown-peer admission channel and discovery — exactly the paths the
+// introduction machinery exists to keep open.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "metrics/collector.hpp"
+#include "net/network.hpp"
+#include "peer/peer.hpp"
+#include "sim/simulator.hpp"
+
+namespace lockss {
+namespace {
+
+class ChurnDeployment {
+ public:
+  static constexpr uint32_t kEstablished = 25;
+  static constexpr uint32_t kNewcomers = 5;
+  static constexpr storage::AuId kAu{0};
+
+  ChurnDeployment() : network_(simulator_, sim::Rng(21)) {
+    env_.simulator = &simulator_;
+    env_.network = &network_;
+    env_.metrics = &collector_;
+    env_.enable_damage = false;
+    env_.params.quorum = 8;
+    env_.params.max_disagreeing = 2;
+    env_.params.reference_list_target = 20;
+    collector_.set_total_replicas(kEstablished + kNewcomers);
+
+    sim::Rng root(2024);
+    for (uint32_t p = 0; p < kEstablished + kNewcomers; ++p) {
+      ids_.push_back(net::NodeId{p});
+      peers_.push_back(std::make_unique<peer::Peer>(env_, net::NodeId{p}, root.split()));
+      peers_.back()->join_au(kAu);
+    }
+    // Established peers: mutual familiarity.
+    sim::Rng boot = root.split();
+    for (uint32_t p = 0; p < kEstablished; ++p) {
+      std::vector<net::NodeId> others;
+      for (uint32_t q = 0; q < kEstablished; ++q) {
+        if (q != p) {
+          others.push_back(ids_[q]);
+        }
+      }
+      peers_[p]->set_friends(boot.sample(others, 4));
+      const auto seeds = boot.sample(others, env_.params.reference_list_target);
+      peers_[p]->seed_reference_list(kAu, seeds);
+      for (net::NodeId o : seeds) {
+        peers_[p]->seed_grade(kAu, o, reputation::Grade::kEven);
+        peers_[o.value]->seed_grade(kAu, ids_[p], reputation::Grade::kEven);
+      }
+      peers_[p]->start();
+    }
+    // Newcomers: staggered joins with one-directional bootstrap knowledge.
+    sim::Rng late = root.split();
+    for (uint32_t n = 0; n < kNewcomers; ++n) {
+      const uint32_t index = kEstablished + n;
+      std::vector<net::NodeId> bootstrap_pool(ids_.begin(), ids_.begin() + kEstablished);
+      const auto bootstrap = late.sample(bootstrap_pool, env_.params.reference_list_target);
+      peers_[index]->seed_reference_list(kAu, bootstrap);
+      peers_[index]->set_friends(late.sample(bootstrap_pool, 3));
+      // The newcomer knows them (publisher's peer directory); they do NOT
+      // know the newcomer.
+      for (net::NodeId o : bootstrap) {
+        peers_[index]->seed_grade(kAu, o, reputation::Grade::kEven);
+      }
+      simulator_.schedule_at(sim::SimTime::months(2 + n), [this, index] {
+        peers_[static_cast<size_t>(index)]->start();
+      });
+    }
+  }
+
+  sim::Simulator simulator_;
+  net::Network network_;
+  metrics::MetricsCollector collector_;
+  peer::PeerEnvironment env_;
+  std::vector<std::unique_ptr<peer::Peer>> peers_;
+  std::vector<net::NodeId> ids_;
+};
+
+TEST(ChurnIntegrationTest, NewcomersIntegrateAndPollSuccessfully) {
+  ChurnDeployment deployment;
+  deployment.simulator_.run_until(sim::SimTime::years(2));
+  const auto report = deployment.collector_.finalize(sim::SimTime::years(2));
+
+  // The established population polls normally...
+  EXPECT_GT(report.successful_polls, 100u);
+  // ...and the whole deployment's polls overwhelmingly succeed, newcomers
+  // included (their invitations pass through unknown-channel admission and
+  // they become known via the votes they supply).
+  EXPECT_GT(report.successful_polls, 10 * report.inquorate_polls);
+  EXPECT_EQ(report.alarms, 0u);
+}
+
+TEST(ChurnIntegrationTest, NewcomersBecomeKnownToEstablishedPeers) {
+  ChurnDeployment deployment;
+  deployment.simulator_.run_until(sim::SimTime::years(2));
+  // After two years, most established peers have first-hand history for the
+  // first newcomer (it voted for them or polled them).
+  const net::NodeId newcomer = deployment.ids_[ChurnDeployment::kEstablished];
+  int know_it = 0;
+  for (uint32_t p = 0; p < ChurnDeployment::kEstablished; ++p) {
+    if (deployment.peers_[p]->known_peers(ChurnDeployment::kAu).known(newcomer)) {
+      ++know_it;
+    }
+  }
+  EXPECT_GT(know_it, static_cast<int>(ChurnDeployment::kEstablished) / 3);
+}
+
+TEST(ChurnIntegrationTest, NewcomerReferenceListGrowsBeyondBootstrap) {
+  ChurnDeployment deployment;
+  deployment.simulator_.run_until(sim::SimTime::years(2));
+  const size_t index = ChurnDeployment::kEstablished;
+  // Discovery (nominations -> outer circle) keeps the list at target size
+  // even though every concluded poll strips the voters that were used.
+  EXPECT_GE(deployment.peers_[index]->reference_list(ChurnDeployment::kAu).size(), 10u);
+}
+
+}  // namespace
+}  // namespace lockss

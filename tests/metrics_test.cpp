@@ -1,0 +1,136 @@
+#include "metrics/collector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lockss::metrics {
+namespace {
+
+using sim::SimTime;
+
+protocol::PollOutcome outcome(protocol::PollOutcomeKind kind, storage::AuId au,
+                              SimTime concluded) {
+  protocol::PollOutcome o;
+  o.kind = kind;
+  o.au = au;
+  o.concluded = concluded;
+  return o;
+}
+
+TEST(MetricsTest, NoDamageMeansZeroAccessFailure) {
+  MetricsCollector collector;
+  collector.set_total_replicas(100);
+  const auto report = collector.finalize(SimTime::years(1));
+  EXPECT_EQ(report.access_failure_probability, 0.0);
+}
+
+TEST(MetricsTest, AccessFailureIsTimeWeighted) {
+  MetricsCollector collector;
+  collector.set_total_replicas(10);
+  // One replica damaged for half the run: AFP = (1/10) * (1/2) = 0.05.
+  collector.on_damage_state_change(SimTime::days(100), +1);
+  collector.on_damage_state_change(SimTime::days(300), -1);
+  const auto report = collector.finalize(SimTime::days(400));
+  EXPECT_NEAR(report.access_failure_probability, 0.1 * 200.0 / 400.0, 1e-12);
+}
+
+TEST(MetricsTest, MultipleDamagedReplicasAccumulate) {
+  MetricsCollector collector;
+  collector.set_total_replicas(10);
+  collector.on_damage_state_change(SimTime::days(0), +1);
+  collector.on_damage_state_change(SimTime::days(0), +1);
+  const auto report = collector.finalize(SimTime::days(100));
+  EXPECT_NEAR(report.access_failure_probability, 0.2, 1e-12);
+  EXPECT_EQ(collector.damaged_replicas_now(), 2u);
+}
+
+TEST(MetricsTest, ObservedGapsPerPeerAu) {
+  MetricsCollector collector;
+  collector.set_total_replicas(4);
+  const net::NodeId p1{1}, p2{2};
+  const storage::AuId au{0};
+  // p1: successes at day 10 and day 100 -> gap 90.
+  collector.record_poll(p1, outcome(protocol::PollOutcomeKind::kSuccess, au, SimTime::days(10)));
+  collector.record_poll(p1, outcome(protocol::PollOutcomeKind::kSuccess, au, SimTime::days(100)));
+  // p2: successes at day 20 and day 130 -> gap 110.
+  collector.record_poll(p2, outcome(protocol::PollOutcomeKind::kSuccess, au, SimTime::days(20)));
+  collector.record_poll(p2, outcome(protocol::PollOutcomeKind::kSuccess, au, SimTime::days(130)));
+  const auto report = collector.finalize(SimTime::days(365));
+  EXPECT_EQ(report.successful_polls, 4u);
+  EXPECT_NEAR(report.mean_observed_gap_days, 100.0, 1e-9);
+  // Censoring-robust gap: 365 days x 4 replicas / 4 successes.
+  EXPECT_NEAR(report.mean_success_gap_days, 365.0, 1e-9);
+}
+
+TEST(MetricsTest, CensoringRobustGapSeesSilentPairs) {
+  // Two replicas; only one of them ever succeeds. The observed-gap
+  // estimator would report ~90 days as if everything were fine; the robust
+  // estimator doubles it because half the replicas are silent.
+  MetricsCollector collector;
+  collector.set_total_replicas(2);
+  const net::NodeId p{1};
+  const storage::AuId au{0};
+  collector.record_poll(p, outcome(protocol::PollOutcomeKind::kSuccess, au, SimTime::days(90)));
+  collector.record_poll(p, outcome(protocol::PollOutcomeKind::kSuccess, au, SimTime::days(180)));
+  const auto report = collector.finalize(SimTime::days(180));
+  EXPECT_NEAR(report.mean_observed_gap_days, 90.0, 1e-9);
+  EXPECT_NEAR(report.mean_success_gap_days, 180.0 * 2 / 2, 1e-9);
+}
+
+TEST(MetricsTest, GapsSeparatedByAu) {
+  MetricsCollector collector;
+  const net::NodeId p{1};
+  collector.record_poll(p, outcome(protocol::PollOutcomeKind::kSuccess, storage::AuId{0},
+                                   SimTime::days(10)));
+  collector.record_poll(p, outcome(protocol::PollOutcomeKind::kSuccess, storage::AuId{1},
+                                   SimTime::days(50)));
+  const auto report = collector.finalize(SimTime::days(365));
+  // Different AUs never form an observed gap.
+  EXPECT_EQ(report.mean_observed_gap_days, 0.0);
+}
+
+TEST(MetricsTest, OutcomeCounters) {
+  MetricsCollector collector;
+  const net::NodeId p{1};
+  const storage::AuId au{0};
+  collector.record_poll(p, outcome(protocol::PollOutcomeKind::kSuccess, au, SimTime::days(1)));
+  collector.record_poll(p, outcome(protocol::PollOutcomeKind::kInquorate, au, SimTime::days(2)));
+  collector.record_poll(p, outcome(protocol::PollOutcomeKind::kAlarm, au, SimTime::days(3)));
+  const auto report = collector.finalize(SimTime::days(10));
+  EXPECT_EQ(report.successful_polls, 1u);
+  EXPECT_EQ(report.inquorate_polls, 1u);
+  EXPECT_EQ(report.alarms, 1u);
+}
+
+TEST(MetricsTest, EffortAndCostRatio) {
+  MetricsCollector collector;
+  const net::NodeId p{1};
+  const storage::AuId au{0};
+  collector.record_poll(p, outcome(protocol::PollOutcomeKind::kSuccess, au, SimTime::days(1)));
+  collector.record_poll(p, outcome(protocol::PollOutcomeKind::kSuccess, au, SimTime::days(90)));
+  collector.set_effort_totals(1000.0, 1500.0);
+  const auto report = collector.finalize(SimTime::days(100));
+  EXPECT_NEAR(report.effort_per_successful_poll, 500.0, 1e-12);
+  EXPECT_NEAR(report.cost_ratio, 1.5, 1e-12);
+}
+
+TEST(MetricsTest, RepairsSummed) {
+  MetricsCollector collector;
+  const net::NodeId p{1};
+  auto o = outcome(protocol::PollOutcomeKind::kSuccess, storage::AuId{0}, SimTime::days(1));
+  o.repairs = 3;
+  collector.record_poll(p, o);
+  o.repairs = 2;
+  o.concluded = SimTime::days(2);
+  collector.record_poll(p, o);
+  EXPECT_EQ(collector.finalize(SimTime::days(10)).repairs, 5u);
+}
+
+TEST(MetricsTest, DamageEventsCounted) {
+  MetricsCollector collector;
+  collector.on_damage_event();
+  collector.on_damage_event();
+  EXPECT_EQ(collector.finalize(SimTime::days(1)).damage_events, 2u);
+}
+
+}  // namespace
+}  // namespace lockss::metrics

@@ -1,0 +1,192 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/node_id.hpp"
+#include "sim/simulator.hpp"
+
+namespace lockss::net {
+namespace {
+
+class TestMessage : public Message {
+ public:
+  explicit TestMessage(uint64_t bytes = 100) : bytes_(bytes) {}
+  uint64_t size_bytes() const override { return bytes_; }
+  const char* type_name() const override { return "Test"; }
+
+ private:
+  uint64_t bytes_;
+};
+
+class Recorder : public MessageHandler {
+ public:
+  void handle_message(MessagePtr message) override { received.push_back(std::move(message)); }
+  std::vector<MessagePtr> received;
+};
+
+MessagePtr make_message(NodeId from, NodeId to, uint64_t bytes = 100) {
+  auto m = std::make_unique<TestMessage>(bytes);
+  m->from = from;
+  m->to = to;
+  return m;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(sim_, sim::Rng(1234)) {
+    net_.register_node(a_, &ra_);
+    net_.register_node(b_, &rb_);
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+  NodeId a_{1}, b_{2};
+  Recorder ra_, rb_;
+};
+
+TEST_F(NetworkTest, DeliversMessage) {
+  net_.send(make_message(a_, b_));
+  sim_.run();
+  ASSERT_EQ(rb_.received.size(), 1u);
+  EXPECT_EQ(rb_.received[0]->from, a_);
+  EXPECT_EQ(rb_.received[0]->to, b_);
+  EXPECT_EQ(net_.stats().messages_delivered, 1u);
+}
+
+TEST_F(NetworkTest, DeliveryTakesLatencyPlusTransfer) {
+  const uint64_t bytes = 1000000;
+  const sim::SimTime expected = net_.delivery_delay(a_, b_, bytes);
+  sim::SimTime delivered_at;
+  class TimeRecorder : public MessageHandler {
+   public:
+    TimeRecorder(sim::Simulator& s, sim::SimTime& out) : sim_(s), out_(out) {}
+    void handle_message(MessagePtr) override { out_ = sim_.now(); }
+
+   private:
+    sim::Simulator& sim_;
+    sim::SimTime& out_;
+  } tr(sim_, delivered_at);
+  NodeId c{3};
+  net_.register_node(c, &tr);
+  net_.send(make_message(a_, c, bytes));
+  sim_.run();
+  EXPECT_EQ(delivered_at, net_.delivery_delay(a_, c, bytes));
+  // Sanity: latency alone is 1..30 ms; 1 MB over at most 100 Mbps adds
+  // >= 80 ms of transfer time.
+  EXPECT_GE(expected, sim::SimTime::milliseconds(80));
+}
+
+TEST_F(NetworkTest, LatencyIsSymmetricDeterministicAndBounded) {
+  for (uint32_t i = 0; i < 40; ++i) {
+    NodeId x{100 + i}, y{200 + i};
+    const sim::SimTime l1 = net_.latency(x, y);
+    EXPECT_EQ(l1, net_.latency(y, x));
+    EXPECT_EQ(l1, net_.latency(x, y));  // stable across calls
+    EXPECT_GE(l1, sim::SimTime::milliseconds(1));
+    EXPECT_LE(l1, sim::SimTime::milliseconds(30));
+  }
+}
+
+TEST_F(NetworkTest, BandwidthsComeFromConfiguredTiers) {
+  std::set<double> seen;
+  for (uint32_t i = 0; i < 60; ++i) {
+    NodeId id{1000 + i};
+    Recorder r;
+    net_.register_node(id, &r);
+    seen.insert(net_.bandwidth_bps(id));
+    net_.unregister_node(id);
+  }
+  for (double bw : seen) {
+    EXPECT_TRUE(bw == 1.5e6 || bw == 10e6 || bw == 100e6);
+  }
+  // With 60 draws all three tiers should appear.
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST_F(NetworkTest, BandwidthStableAcrossReRegistration) {
+  const double bw = net_.bandwidth_bps(a_);
+  net_.unregister_node(a_);
+  net_.register_node(a_, &ra_);
+  EXPECT_EQ(net_.bandwidth_bps(a_), bw);
+}
+
+TEST_F(NetworkTest, TransferUsesBottleneckBandwidth) {
+  const double bw_a = net_.bandwidth_bps(a_);
+  const double bw_b = net_.bandwidth_bps(b_);
+  const uint64_t bytes = 10000000;
+  const sim::SimTime d = net_.delivery_delay(a_, b_, bytes);
+  const double expected_transfer = static_cast<double>(bytes) * 8.0 / std::min(bw_a, bw_b);
+  const double latency_s = net_.latency(a_, b_).to_seconds();
+  EXPECT_NEAR(d.to_seconds(), latency_s + expected_transfer, 1e-6);
+}
+
+class BlockAll : public LinkFilter {
+ public:
+  bool allow(NodeId, NodeId) const override { return false; }
+};
+
+class BlockTo : public LinkFilter {
+ public:
+  explicit BlockTo(NodeId victim) : victim_(victim) {}
+  bool allow(NodeId, NodeId to) const override { return to != victim_; }
+
+ private:
+  NodeId victim_;
+};
+
+TEST_F(NetworkTest, FilterDropsAtSendTime) {
+  BlockAll filter;
+  net_.add_filter(&filter);
+  net_.send(make_message(a_, b_));
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());
+  EXPECT_EQ(net_.stats().messages_filtered, 1u);
+}
+
+TEST_F(NetworkTest, FilterInstalledMidFlightDropsAtDelivery) {
+  BlockAll filter;
+  net_.send(make_message(a_, b_));
+  // Install the filter before the delivery event fires.
+  sim_.schedule_in(sim::SimTime::microseconds(1), [&] { net_.add_filter(&filter); });
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());
+  EXPECT_EQ(net_.stats().messages_filtered, 1u);
+}
+
+TEST_F(NetworkTest, RemoveFilterRestoresDelivery) {
+  BlockAll filter;
+  net_.add_filter(&filter);
+  net_.remove_filter(&filter);
+  net_.send(make_message(a_, b_));
+  sim_.run();
+  EXPECT_EQ(rb_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, TargetedFilterOnlyAffectsVictim) {
+  BlockTo filter(b_);
+  net_.add_filter(&filter);
+  NodeId c{3};
+  Recorder rc;
+  net_.register_node(c, &rc);
+  net_.send(make_message(a_, b_));
+  net_.send(make_message(a_, c));
+  sim_.run();
+  EXPECT_TRUE(rb_.received.empty());
+  EXPECT_EQ(rc.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, UnregisteredDestinationCounted) {
+  net_.send(make_message(a_, NodeId{77}));
+  sim_.run();
+  EXPECT_EQ(net_.stats().messages_no_handler, 1u);
+}
+
+TEST_F(NetworkTest, SelfLatencyIsZero) { EXPECT_EQ(net_.latency(a_, a_), sim::SimTime::zero()); }
+
+}  // namespace
+}  // namespace lockss::net

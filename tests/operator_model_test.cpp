@@ -1,0 +1,127 @@
+// The human-operator alarm response (§4.3: an inconclusive poll raises "an
+// alarm that requires attention from a human operator"). OperatorModel
+// closes the loop: it audits the alarming replica against the publisher's
+// copy after a response delay and restores damaged blocks.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "net/network.hpp"
+#include "peer/operator.hpp"
+#include "peer/peer.hpp"
+#include "sim/simulator.hpp"
+
+namespace lockss::peer {
+namespace {
+
+// A deployment small and damaged enough to raise genuine alarms: with most
+// replicas corrupted in different blocks, polls find no landslide.
+struct AlarmProneDeployment {
+  explicit AlarmProneDeployment(uint64_t seed, uint32_t peer_count)
+      : root(seed), network(simulator, root.split()), operators(simulator, OperatorConfig{}) {
+    env.simulator = &simulator;
+    env.network = &network;
+    env.metrics = &collector;
+    env.enable_damage = false;  // we corrupt by hand, deterministically
+    env.poll_observer = operators.observer();
+    collector.set_total_replicas(peer_count);
+    for (uint32_t p = 0; p < peer_count; ++p) {
+      peers.push_back(std::make_unique<Peer>(env, net::NodeId{p}, root.split()));
+      peers.back()->join_au(kAu);
+      operators.attend(peers.back().get());
+    }
+    for (uint32_t p = 0; p < peer_count; ++p) {
+      std::vector<net::NodeId> others;
+      for (uint32_t q = 0; q < peer_count; ++q) {
+        if (q != p) {
+          others.push_back(net::NodeId{q});
+        }
+      }
+      peers[p]->seed_reference_list(kAu, others);
+      for (net::NodeId o : others) {
+        peers[p]->seed_grade(kAu, o, reputation::Grade::kEven);
+      }
+    }
+  }
+
+  void start() {
+    for (auto& p : peers) {
+      p->start();
+    }
+  }
+
+  static constexpr storage::AuId kAu{0};
+  sim::Simulator simulator;
+  sim::Rng root;
+  net::Network network;
+  metrics::MetricsCollector collector;
+  PeerEnvironment env;
+  OperatorModel operators{simulator, OperatorConfig{}};
+  std::vector<std::unique_ptr<Peer>> peers;
+};
+
+TEST(OperatorModelTest, AlarmTriggersAuditAndRestoration) {
+  AlarmProneDeployment d(61, 20);
+  // Corrupt a different block on 8 of 20 replicas: pollers with damage see
+  // mixed votes (12 agree with canonical on their block, but a damaged
+  // poller's own block disagrees with everyone while other damaged peers'
+  // blocks disagree elsewhere) — enough spread to make some polls
+  // inconclusive and others repair.
+  for (uint32_t p = 0; p < 8; ++p) {
+    d.peers[p]->replica(AlarmProneDeployment::kAu).corrupt_block(p, 0x1234 + p);
+  }
+  d.start();
+  d.simulator.run_until(sim::SimTime::years(1));
+  // The corruption spread really does make polls inconclusive (with seed 61:
+  // 21 alarms, 4 operator restorations alongside ordinary poll repairs).
+  EXPECT_GT(d.operators.alarms_seen(), 0u);
+  // Every alarm seen must have produced an audit (same count: all attended).
+  EXPECT_EQ(d.operators.alarms_seen(), d.operators.audits_performed());
+  // Whether via poll repair or operator audit, the population must converge
+  // to fully clean replicas.
+  for (auto& p : d.peers) {
+    EXPECT_FALSE(p->replica(AlarmProneDeployment::kAu).damaged())
+        << "replica at " << p->id().to_string() << " still damaged";
+  }
+}
+
+TEST(OperatorModelTest, NoAlarmsMeansNoAudits) {
+  AlarmProneDeployment d(62, 15);
+  d.start();
+  d.simulator.run_until(sim::SimTime::months(9));
+  EXPECT_EQ(d.collector.alarms(), 0u);
+  EXPECT_EQ(d.operators.audits_performed(), 0u);
+  EXPECT_EQ(d.operators.blocks_restored(), 0u);
+}
+
+TEST(OperatorModelTest, ObserverChainsToNext) {
+  sim::Simulator simulator;
+  OperatorModel operators(simulator, OperatorConfig{});
+  uint64_t chained = 0;
+  auto observer = operators.observer(
+      [&chained](net::NodeId, const protocol::PollOutcome&) { ++chained; });
+  protocol::PollOutcome outcome;
+  outcome.kind = protocol::PollOutcomeKind::kSuccess;
+  observer(net::NodeId{1}, outcome);
+  EXPECT_EQ(chained, 1u);
+  EXPECT_EQ(operators.alarms_seen(), 0u);
+  outcome.kind = protocol::PollOutcomeKind::kAlarm;
+  observer(net::NodeId{1}, outcome);
+  EXPECT_EQ(chained, 2u);
+  EXPECT_EQ(operators.alarms_seen(), 1u);
+}
+
+TEST(OperatorModelTest, AuditChargesEffort) {
+  AlarmProneDeployment d(63, 12);
+  const double before = d.peers[3]->meter().total();
+  d.peers[3]->replica(AlarmProneDeployment::kAu).corrupt_block(5, 99);
+  d.peers[3]->charge_operator_audit(2.0);
+  // One audit at factor 2 costs two full replica hashes (~21s for 0.5 GB at
+  // 50 MB/s).
+  EXPECT_GT(d.peers[3]->meter().total(), before + 20.0);
+}
+
+}  // namespace
+}  // namespace lockss::peer

@@ -1,0 +1,158 @@
+#include "protocol/effort_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "protocol/messages.hpp"
+#include "protocol/reference_list.hpp"
+
+namespace lockss::protocol {
+namespace {
+
+TEST(EffortScheduleTest, DefaultInequalitiesHold) {
+  Params params;
+  crypto::CostModel costs;
+  EffortSchedule efforts(params, costs);
+  const double gamma = costs.mbf_verify_asymmetry;
+  // §5.1: the vote proof covers hashing one block + verifying itself.
+  EXPECT_TRUE(efforts.vote_proof_covers_block_check(gamma));
+  // §5.1: solicitation effort covers verification + vote production.
+  EXPECT_TRUE(efforts.solicitation_covers_vote(gamma));
+}
+
+TEST(EffortScheduleTest, IntroductoryEffortIsTwentyPercentOfTotal) {
+  Params params;
+  crypto::CostModel costs;
+  EffortSchedule efforts(params, costs);
+  EXPECT_NEAR(efforts.introductory_effort(),
+              0.20 * (efforts.solicitation_effort() + efforts.vote_computation_effort()), 1e-9);
+}
+
+TEST(EffortScheduleTest, FiveRetriesCostHonestParticipation) {
+  // §6.3: "by the time the adversary has gotten his poll invitation admitted
+  // [5 tries at 0.2 admission probability], even if he defects for the rest
+  // of the poll, he has already expended on average 100% of the effort he
+  // would have, had he behaved well in the first place."
+  Params params;
+  crypto::CostModel costs;
+  EffortSchedule efforts(params, costs);
+  const double five_intros = 5.0 * efforts.introductory_effort();
+  const double honest_total = efforts.poller_total_per_voter();
+  EXPECT_NEAR(five_intros / honest_total, 1.0, 1e-9);
+}
+
+TEST(EffortScheduleTest, VoteEffortMatchesAuHashTime) {
+  Params params;
+  crypto::CostModel costs;
+  EffortSchedule efforts(params, costs);
+  EXPECT_NEAR(efforts.vote_computation_effort(),
+              costs.hash_time(params.au_spec.size_bytes).to_seconds(), 1e-9);
+  EXPECT_NEAR(efforts.block_hash_effort() * params.au_spec.block_count,
+              efforts.vote_computation_effort(), 1e-9);
+}
+
+TEST(EffortScheduleTest, RemainingPlusIntroIsSolicitation) {
+  Params params;
+  crypto::CostModel costs;
+  EffortSchedule efforts(params, costs);
+  EXPECT_NEAR(efforts.introductory_effort() + efforts.remaining_effort(),
+              efforts.solicitation_effort(), 1e-9);
+  EXPECT_GT(efforts.remaining_effort(), 0.0);
+}
+
+TEST(EffortScheduleTest, ScalesWithAuSize) {
+  Params big;
+  big.au_spec.size_bytes = 1024ull * 1024 * 1024;
+  Params small;
+  small.au_spec.size_bytes = 256ull * 1024 * 1024;
+  crypto::CostModel costs;
+  EffortSchedule be(big, costs), se(small, costs);
+  EXPECT_NEAR(be.vote_computation_effort() / se.vote_computation_effort(), 4.0, 1e-9);
+  EXPECT_GT(be.solicitation_effort(), se.solicitation_effort());
+}
+
+TEST(EffortScheduleTest, HoldsAcrossAsymmetries) {
+  // Property sweep: the §5.1 inequalities must hold for any plausible MBF
+  // asymmetry.
+  Params params;
+  for (double gamma : {2.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
+    crypto::CostModel costs;
+    costs.mbf_verify_asymmetry = gamma;
+    EffortSchedule efforts(params, costs);
+    EXPECT_TRUE(efforts.vote_proof_covers_block_check(gamma)) << "gamma=" << gamma;
+    EXPECT_TRUE(efforts.solicitation_covers_vote(gamma)) << "gamma=" << gamma;
+    EXPECT_LT(efforts.introductory_effort(), efforts.solicitation_effort()) << "gamma=" << gamma;
+  }
+}
+
+TEST(PollIdTest, RoundTrip) {
+  const net::NodeId poller{0xABCD};
+  const PollId id = make_poll_id(poller, 42);
+  EXPECT_EQ(poll_id_owner(id), poller);
+  EXPECT_NE(make_poll_id(poller, 43), id);
+  EXPECT_NE(make_poll_id(net::NodeId{1}, 42), id);
+}
+
+TEST(MessagesTest, WireSizes) {
+  VoteMsg vote;
+  vote.block_hashes.resize(128);
+  vote.nominations.resize(8);
+  // 1 KB framing + 20 B per running hash + 8 B per nomination.
+  EXPECT_EQ(vote.size_bytes(), 1024u + 20u * 128u + 8u * 8u);
+  RepairMsg repair;
+  repair.wire_block_bytes = 4 * 1024 * 1024;
+  EXPECT_GT(repair.size_bytes(), 4u * 1024 * 1024);
+  EXPECT_EQ(PollMsg{}.size_bytes(), 1024u);
+  EXPECT_EQ(PollAckMsg{}.size_bytes(), 256u);
+}
+
+TEST(ReferenceListTest, InsertRemoveContains) {
+  ReferenceList list(net::NodeId{1});
+  list.insert(net::NodeId{2});
+  list.insert(net::NodeId{3});
+  EXPECT_TRUE(list.contains(net::NodeId{2}));
+  EXPECT_EQ(list.size(), 2u);
+  list.remove(net::NodeId{2});
+  EXPECT_FALSE(list.contains(net::NodeId{2}));
+}
+
+TEST(ReferenceListTest, NeverContainsSelfOrInvalid) {
+  ReferenceList list(net::NodeId{1});
+  list.insert(net::NodeId{1});
+  list.insert(net::NodeId::invalid());
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(ReferenceListTest, DuplicateInsertIdempotent) {
+  ReferenceList list(net::NodeId{1});
+  list.insert(net::NodeId{2});
+  list.insert(net::NodeId{2});
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(ReferenceListTest, SampleIsDistinctSubset) {
+  ReferenceList list(net::NodeId{0});
+  for (uint32_t i = 1; i <= 50; ++i) {
+    list.insert(net::NodeId{i});
+  }
+  sim::Rng rng(7);
+  const auto sample = list.sample(20, rng);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<net::NodeId> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (net::NodeId id : sample) {
+    EXPECT_TRUE(list.contains(id));
+  }
+}
+
+TEST(ReferenceListTest, SampleLargerThanListReturnsAll) {
+  ReferenceList list(net::NodeId{0});
+  list.insert(net::NodeId{1});
+  list.insert(net::NodeId{2});
+  sim::Rng rng(7);
+  EXPECT_EQ(list.sample(10, rng).size(), 2u);
+}
+
+}  // namespace
+}  // namespace lockss::protocol

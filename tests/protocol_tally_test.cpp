@@ -1,0 +1,193 @@
+#include "protocol/tally.hpp"
+
+#include <gtest/gtest.h>
+
+#include "storage/replica.hpp"
+
+namespace lockss::protocol {
+namespace {
+
+constexpr storage::AuId kAu{1};
+constexpr storage::AuSpec kSpec{.size_bytes = 1024 * 1024, .block_count = 16};
+constexpr uint32_t kQuorum = 10;
+constexpr uint32_t kMaxDisagree = 3;
+
+// Builds a vote for `voter_replica` under `nonce`.
+std::vector<crypto::Digest64> vote_for(const storage::AuReplica& replica, uint64_t nonce) {
+  return replica.vote_hashes(crypto::Digest64{nonce});
+}
+
+class TallyTest : public ::testing::Test {
+ protected:
+  TallyTest() : poller_replica_(kAu, kSpec) {}
+
+  // Adds `n` inner votes from undamaged replicas.
+  void add_good_votes(Tally& tally, uint32_t n, bool inner = true, uint32_t id_base = 100) {
+    storage::AuReplica good(kAu, kSpec);
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t nonce = 1000 + i + id_base;
+      tally.add_vote(net::NodeId{id_base + i}, crypto::Digest64{nonce},
+                     vote_for(good, nonce), inner);
+    }
+  }
+
+  storage::AuReplica poller_replica_;
+};
+
+TEST_F(TallyTest, AllAgreeingVotesComplete) {
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 10);
+  EXPECT_TRUE(tally.quorate());
+  const auto step = tally.advance();
+  EXPECT_EQ(step.kind, Tally::Step::Kind::kDone);
+  EXPECT_EQ(tally.agreeing_voters().size(), 10u);
+  EXPECT_TRUE(tally.disagreeing_voters().empty());
+}
+
+TEST_F(TallyTest, QuorumAccounting) {
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 9);
+  EXPECT_FALSE(tally.quorate());
+  add_good_votes(tally, 1, true, 300);
+  EXPECT_TRUE(tally.quorate());
+  EXPECT_EQ(tally.inner_votes(), 10u);
+}
+
+TEST_F(TallyTest, OuterVotesDoNotCountTowardOutcome) {
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 9, /*inner=*/true);
+  add_good_votes(tally, 5, /*inner=*/false, 300);
+  EXPECT_FALSE(tally.quorate());  // only 9 inner
+  EXPECT_EQ(tally.total_votes(), 14u);
+}
+
+TEST_F(TallyTest, FewDisagreeingVotesStillLandslide) {
+  // Up to kMaxDisagree damaged voters leave the poll in landslide agreement.
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 10);
+  storage::AuReplica damaged(kAu, kSpec);
+  damaged.corrupt_block(4, 99);
+  for (uint32_t i = 0; i < kMaxDisagree; ++i) {
+    const uint64_t nonce = 5000 + i;
+    tally.add_vote(net::NodeId{200 + i}, crypto::Digest64{nonce}, vote_for(damaged, nonce), true);
+  }
+  const auto step = tally.advance();
+  EXPECT_EQ(step.kind, Tally::Step::Kind::kDone);
+  EXPECT_EQ(tally.disagreeing_voters().size(), kMaxDisagree);
+  EXPECT_FALSE(tally.voter_agreed_throughout(net::NodeId{200}));
+  EXPECT_TRUE(tally.voter_agreed_throughout(net::NodeId{100}));
+}
+
+TEST_F(TallyTest, DamagedPollerTriggersRepairAtDamagedBlock) {
+  poller_replica_.corrupt_block(7, 42);
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 10);
+  const auto step = tally.advance();
+  ASSERT_EQ(step.kind, Tally::Step::Kind::kNeedRepair);
+  EXPECT_EQ(step.block, 7u);
+  EXPECT_EQ(step.disagreeing.size(), 10u);
+}
+
+TEST_F(TallyTest, RepairThenResumeCompletes) {
+  poller_replica_.corrupt_block(7, 42);
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 10);
+  auto step = tally.advance();
+  ASSERT_EQ(step.kind, Tally::Step::Kind::kNeedRepair);
+  // Apply the repair (canonical content from a good voter).
+  poller_replica_.restore_block(7);
+  step = tally.resume_after_repair();
+  EXPECT_EQ(step.kind, Tally::Step::Kind::kDone);
+  // After the repair the poller agrees with everyone.
+  EXPECT_EQ(tally.agreeing_voters().size(), 10u);
+}
+
+TEST_F(TallyTest, MultipleDamagedBlocksRepairedSequentially) {
+  poller_replica_.corrupt_block(3, 1);
+  poller_replica_.corrupt_block(12, 2);
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 10);
+  auto step = tally.advance();
+  ASSERT_EQ(step.kind, Tally::Step::Kind::kNeedRepair);
+  EXPECT_EQ(step.block, 3u);
+  poller_replica_.restore_block(3);
+  step = tally.resume_after_repair();
+  ASSERT_EQ(step.kind, Tally::Step::Kind::kNeedRepair);
+  EXPECT_EQ(step.block, 12u);
+  poller_replica_.restore_block(12);
+  EXPECT_EQ(tally.resume_after_repair().kind, Tally::Step::Kind::kDone);
+}
+
+TEST_F(TallyTest, BadRepairKeepsBlockDisagreeing) {
+  poller_replica_.corrupt_block(7, 42);
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 10);
+  auto step = tally.advance();
+  ASSERT_EQ(step.kind, Tally::Step::Kind::kNeedRepair);
+  // A "repair" carrying damaged content does not help.
+  poller_replica_.corrupt_block(7, 43);
+  step = tally.resume_after_repair();
+  EXPECT_EQ(step.kind, Tally::Step::Kind::kNeedRepair);
+  EXPECT_EQ(step.block, 7u);
+}
+
+TEST_F(TallyTest, NoLandslideEitherWayIsAlarm) {
+  // 5 votes match the poller, 5 match a damaged replica: inconclusive.
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 5);
+  storage::AuReplica damaged(kAu, kSpec);
+  damaged.corrupt_block(0, 7);
+  for (uint32_t i = 0; i < 5; ++i) {
+    const uint64_t nonce = 7000 + i;
+    tally.add_vote(net::NodeId{400 + i}, crypto::Digest64{nonce}, vote_for(damaged, nonce), true);
+  }
+  const auto step = tally.advance();
+  EXPECT_EQ(step.kind, Tally::Step::Kind::kAlarm);
+  EXPECT_EQ(step.block, 0u);
+}
+
+TEST_F(TallyTest, GarbageVoteDisagreesEverywhereButCannotBlockLandslide) {
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 10);
+  std::vector<crypto::Digest64> garbage(kSpec.block_count, crypto::Digest64{0xDEAD});
+  tally.add_vote(net::NodeId{500}, crypto::Digest64{1}, garbage, true);
+  const auto step = tally.advance();
+  EXPECT_EQ(step.kind, Tally::Step::Kind::kDone);
+  EXPECT_FALSE(tally.voter_agreed_throughout(net::NodeId{500}));
+}
+
+TEST_F(TallyTest, ShortVoteTreatedAsDisagreeing) {
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 10);
+  storage::AuReplica good(kAu, kSpec);
+  auto hashes = vote_for(good, 9999);
+  hashes.resize(4);  // truncated vote
+  tally.add_vote(net::NodeId{600}, crypto::Digest64{9999}, hashes, true);
+  EXPECT_EQ(tally.advance().kind, Tally::Step::Kind::kDone);
+  EXPECT_FALSE(tally.voter_agreed_throughout(net::NodeId{600}));
+}
+
+TEST_F(TallyTest, VoterDamageAfterPollerDamageBlock) {
+  // Voter damaged at block 2, poller damaged at block 9: the voter's chain
+  // diverges from block 2 on, so at block 9 all ten voters disagree and the
+  // damaged voter remains a repair candidate (its block 9 is fine).
+  poller_replica_.corrupt_block(9, 17);
+  Tally tally(poller_replica_, kQuorum, kMaxDisagree);
+  add_good_votes(tally, 9);
+  storage::AuReplica early_damage(kAu, kSpec);
+  early_damage.corrupt_block(2, 5);
+  tally.add_vote(net::NodeId{700}, crypto::Digest64{123}, vote_for(early_damage, 123), true);
+  auto step = tally.advance();
+  // Block 2: only one disagreeing voter -> landslide agree, advance.
+  // Block 9: poller damaged -> all voters disagree.
+  ASSERT_EQ(step.kind, Tally::Step::Kind::kNeedRepair);
+  EXPECT_EQ(step.block, 9u);
+  EXPECT_EQ(step.disagreeing.size(), 10u);
+  poller_replica_.restore_block(9);
+  EXPECT_EQ(tally.resume_after_repair().kind, Tally::Step::Kind::kDone);
+  // The early-damaged voter never recovers agreement (running hashes).
+  EXPECT_FALSE(tally.voter_agreed_throughout(net::NodeId{700}));
+}
+
+}  // namespace
+}  // namespace lockss::protocol

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "reputation/admission_policy.hpp"
+#include "reputation/introductions.hpp"
+#include "reputation/known_peers.hpp"
+
+namespace lockss::reputation {
+namespace {
+
+using sim::SimTime;
+constexpr net::NodeId kA{1};
+constexpr net::NodeId kB{2};
+constexpr net::NodeId kC{3};
+constexpr net::NodeId kD{4};
+
+SimTime months(double m) { return SimTime::months(m); }
+
+TEST(KnownPeersTest, UnknownByDefault) {
+  KnownPeers kp(months(6));
+  EXPECT_EQ(kp.standing(kA, SimTime::zero()), Standing::kUnknown);
+  EXPECT_FALSE(kp.known(kA));
+}
+
+TEST(KnownPeersTest, FirstServiceSuppliedYieldsEven) {
+  KnownPeers kp(months(6));
+  kp.record_service_supplied(kA, SimTime::zero());
+  EXPECT_EQ(kp.standing(kA, SimTime::zero()), Standing::kEven);
+}
+
+TEST(KnownPeersTest, GradeClimbsToCreditAndSaturates) {
+  KnownPeers kp(months(6));
+  kp.record_service_supplied(kA, SimTime::zero());
+  kp.record_service_supplied(kA, SimTime::zero());
+  EXPECT_EQ(kp.standing(kA, SimTime::zero()), Standing::kCredit);
+  kp.record_service_supplied(kA, SimTime::zero());
+  EXPECT_EQ(kp.standing(kA, SimTime::zero()), Standing::kCredit);  // credit -> credit
+}
+
+TEST(KnownPeersTest, ConsumptionStepsDownAndSaturatesAtDebt) {
+  KnownPeers kp(months(6));
+  kp.record_service_supplied(kA, SimTime::zero());
+  kp.record_service_supplied(kA, SimTime::zero());  // credit
+  kp.record_service_consumed(kA, SimTime::zero());
+  EXPECT_EQ(kp.standing(kA, SimTime::zero()), Standing::kEven);
+  kp.record_service_consumed(kA, SimTime::zero());
+  EXPECT_EQ(kp.standing(kA, SimTime::zero()), Standing::kDebt);
+  kp.record_service_consumed(kA, SimTime::zero());
+  EXPECT_EQ(kp.standing(kA, SimTime::zero()), Standing::kDebt);
+}
+
+TEST(KnownPeersTest, MisbehaviorCrashesToDebt) {
+  KnownPeers kp(months(6));
+  kp.record_service_supplied(kA, SimTime::zero());
+  kp.record_service_supplied(kA, SimTime::zero());  // credit
+  kp.record_misbehavior(kA, SimTime::zero());
+  EXPECT_EQ(kp.standing(kA, SimTime::zero()), Standing::kDebt);
+}
+
+TEST(KnownPeersTest, GradesDecayTowardDebt) {
+  // §5.1: "Entries in the known-peers list 'decay' with time toward the debt
+  // grade."
+  KnownPeers kp(months(6));
+  kp.record_service_supplied(kA, SimTime::zero());
+  kp.record_service_supplied(kA, SimTime::zero());  // credit at t=0
+  EXPECT_EQ(kp.standing(kA, months(5)), Standing::kCredit);
+  EXPECT_EQ(kp.standing(kA, months(7)), Standing::kEven);
+  EXPECT_EQ(kp.standing(kA, months(13)), Standing::kDebt);
+  EXPECT_EQ(kp.standing(kA, months(600)), Standing::kDebt);  // never unknown
+}
+
+TEST(KnownPeersTest, ActivityResetsDecayClock) {
+  KnownPeers kp(months(6));
+  kp.record_service_supplied(kA, SimTime::zero());
+  kp.record_service_supplied(kA, months(5));  // refresh at credit
+  EXPECT_EQ(kp.standing(kA, months(10)), Standing::kCredit);
+}
+
+TEST(KnownPeersTest, DecayAppliesBeforeTransition) {
+  KnownPeers kp(months(6));
+  kp.record_service_supplied(kA, SimTime::zero());
+  kp.record_service_supplied(kA, SimTime::zero());  // credit
+  // After 7 months the stored credit has decayed to even; one more supplied
+  // service takes it back to credit, not beyond.
+  kp.record_service_supplied(kA, months(7));
+  EXPECT_EQ(kp.standing(kA, months(7)), Standing::kCredit);
+  // After 13 months from t=0 the grade decayed twice (debt); consumption
+  // saturates at debt.
+  kp.record_service_consumed(kB, SimTime::zero());
+  EXPECT_EQ(kp.standing(kB, SimTime::zero()), Standing::kDebt);
+}
+
+TEST(KnownPeersTest, EnsureKnownSeedsWithoutOverwriting) {
+  KnownPeers kp(months(6));
+  kp.ensure_known(kA, Grade::kEven, SimTime::zero());
+  EXPECT_EQ(kp.standing(kA, SimTime::zero()), Standing::kEven);
+  kp.record_service_supplied(kA, SimTime::zero());  // even -> credit
+  kp.ensure_known(kA, Grade::kDebt, SimTime::zero());
+  EXPECT_EQ(kp.standing(kA, SimTime::zero()), Standing::kCredit);
+}
+
+TEST(KnownPeersTest, PeersWithStandingFilter) {
+  KnownPeers kp(months(6));
+  kp.ensure_known(kA, Grade::kCredit, SimTime::zero());
+  kp.ensure_known(kB, Grade::kDebt, SimTime::zero());
+  kp.ensure_known(kC, Grade::kCredit, SimTime::zero());
+  const auto credit = kp.peers_with_standing(Standing::kCredit, SimTime::zero());
+  EXPECT_EQ(credit.size(), 2u);
+}
+
+TEST(AdmissionPolicyTest, DropProbabilitiesMatchPaper) {
+  AdmissionPolicy policy({}, sim::Rng(1));
+  EXPECT_DOUBLE_EQ(policy.drop_probability(Standing::kUnknown), 0.90);
+  EXPECT_DOUBLE_EQ(policy.drop_probability(Standing::kDebt), 0.80);
+  EXPECT_DOUBLE_EQ(policy.drop_probability(Standing::kEven), 0.0);
+  EXPECT_DOUBLE_EQ(policy.drop_probability(Standing::kCredit), 0.0);
+}
+
+TEST(AdmissionPolicyTest, EvenAndCreditNeverDropped) {
+  AdmissionPolicy policy({}, sim::Rng(2));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(policy.pass_random_drop(Standing::kEven));
+    EXPECT_TRUE(policy.pass_random_drop(Standing::kCredit));
+  }
+}
+
+TEST(AdmissionPolicyTest, UnknownAdmittedAboutTenPercent) {
+  AdmissionPolicy policy({}, sim::Rng(3));
+  int admitted = 0;
+  for (int i = 0; i < 20000; ++i) {
+    admitted += policy.pass_random_drop(Standing::kUnknown) ? 1 : 0;
+  }
+  EXPECT_NEAR(admitted / 20000.0, 0.10, 0.01);
+}
+
+TEST(AdmissionPolicyTest, DebtAdmittedAboutTwentyPercent) {
+  // The §6.3 arithmetic relies on 1-in-5 admission for in-debt identities.
+  AdmissionPolicy policy({}, sim::Rng(4));
+  int admitted = 0;
+  for (int i = 0; i < 20000; ++i) {
+    admitted += policy.pass_random_drop(Standing::kDebt) ? 1 : 0;
+  }
+  EXPECT_NEAR(admitted / 20000.0, 0.20, 0.01);
+}
+
+TEST(IntroductionsTest, AddAndQuery) {
+  IntroductionTable t(100);
+  t.add(kA, kB);
+  EXPECT_TRUE(t.introduced(kB));
+  EXPECT_FALSE(t.introduced(kA));
+  EXPECT_EQ(t.outstanding(), 1u);
+}
+
+TEST(IntroductionsTest, SelfIntroductionIgnored) {
+  IntroductionTable t(100);
+  t.add(kA, kA);
+  EXPECT_FALSE(t.introduced(kA));
+}
+
+TEST(IntroductionsTest, ConsumeRemovesIntroduceeEverywhere) {
+  IntroductionTable t(100);
+  t.add(kA, kB);
+  t.add(kC, kB);  // second introducer for B
+  EXPECT_TRUE(t.consume(kB));
+  EXPECT_FALSE(t.introduced(kB));
+}
+
+TEST(IntroductionsTest, ConsumeForgetsIntroducersOtherIntroductions) {
+  // §5.1: "all other introductions of other introducees by peer A ... are
+  // forgotten."
+  IntroductionTable t(100);
+  t.add(kA, kB);
+  t.add(kA, kC);
+  t.add(kD, kC);  // C also introduced by D
+  EXPECT_TRUE(t.consume(kB));
+  // A's introduction of C is gone; D's introduction of C survives? No: D is
+  // not an introducer of B, so D->C remains.
+  EXPECT_TRUE(t.introduced(kC));
+  EXPECT_EQ(t.introducers_of(kC).size(), 1u);
+  EXPECT_EQ(t.introducers_of(kC)[0], kD);
+}
+
+TEST(IntroductionsTest, ConsumeUnknownReturnsFalse) {
+  IntroductionTable t(100);
+  EXPECT_FALSE(t.consume(kB));
+}
+
+TEST(IntroductionsTest, RemoveIntroducerDropsItsVouches) {
+  // §5.1: "introductions by peers who have entered and left the reference
+  // list are also removed."
+  IntroductionTable t(100);
+  t.add(kA, kB);
+  t.add(kA, kC);
+  t.add(kD, kC);
+  t.remove_introducer(kA);
+  EXPECT_FALSE(t.introduced(kB));
+  EXPECT_TRUE(t.introduced(kC));
+}
+
+TEST(IntroductionsTest, CapBoundsOutstanding) {
+  // §5.1: "the maximum number of outstanding introductions is capped."
+  IntroductionTable t(3);
+  t.add(kA, kB);
+  t.add(kA, kC);
+  t.add(kA, kD);
+  t.add(kB, kC);  // over cap: dropped
+  EXPECT_EQ(t.outstanding(), 3u);
+  EXPECT_FALSE(t.introduced(kA));
+}
+
+TEST(IntroductionsTest, DuplicateAddIsIdempotent) {
+  IntroductionTable t(10);
+  t.add(kA, kB);
+  t.add(kA, kB);
+  EXPECT_EQ(t.outstanding(), 1u);
+}
+
+}  // namespace
+}  // namespace lockss::reputation

@@ -1,0 +1,72 @@
+#include "sched/rate_limiter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lockss::sched {
+namespace {
+
+using sim::SimTime;
+
+TEST(RateLimiterTest, BurstThenThrottle) {
+  InvitationRateLimiter limiter(1.0, 3.0);  // 1 token/s, burst 3
+  const SimTime t0 = SimTime::seconds(100);
+  EXPECT_TRUE(limiter.try_admit(t0));
+  EXPECT_TRUE(limiter.try_admit(t0));
+  EXPECT_TRUE(limiter.try_admit(t0));
+  EXPECT_FALSE(limiter.try_admit(t0));
+  EXPECT_EQ(limiter.admitted(), 3u);
+  EXPECT_EQ(limiter.rejected(), 1u);
+}
+
+TEST(RateLimiterTest, TokensRefillOverTime) {
+  InvitationRateLimiter limiter(1.0, 1.0);
+  EXPECT_TRUE(limiter.try_admit(SimTime::seconds(0)));
+  EXPECT_FALSE(limiter.try_admit(SimTime::seconds(0)));
+  EXPECT_FALSE(limiter.try_admit(SimTime::milliseconds(500)));
+  EXPECT_TRUE(limiter.try_admit(SimTime::seconds(2)));
+}
+
+TEST(RateLimiterTest, RefillCappedAtBurst) {
+  InvitationRateLimiter limiter(10.0, 2.0);
+  EXPECT_TRUE(limiter.try_admit(SimTime::seconds(0)));
+  // A long quiet period must not bank more than `burst` tokens.
+  EXPECT_TRUE(limiter.try_admit(SimTime::seconds(1000)));
+  EXPECT_TRUE(limiter.try_admit(SimTime::seconds(1000)));
+  EXPECT_FALSE(limiter.try_admit(SimTime::seconds(1000)));
+}
+
+TEST(RateLimiterTest, SelfClockingUpdatesRate) {
+  InvitationRateLimiter limiter(0.0, 4.0);
+  // §6.3: consider at most 4x the legitimate solicitation rate.
+  limiter.update_rate(0.5, 4.0);
+  EXPECT_NEAR(limiter.rate_per_second(), 2.0, 1e-12);
+}
+
+TEST(RateLimiterTest, ZeroRateFallsBackToFloor) {
+  InvitationRateLimiter limiter(0.0, 1.0);
+  EXPECT_GT(limiter.rate_per_second(), 0.0);
+  limiter.update_rate(0.0, 4.0);
+  EXPECT_GT(limiter.rate_per_second(), 0.0);
+}
+
+TEST(RateLimiterTest, LongRunAdmissionRateMatchesConfiguredRate) {
+  InvitationRateLimiter limiter(2.0, 1.0);  // 2 admissions per second
+  uint64_t admitted = 0;
+  // Offer 10 invitations per second for 100 s.
+  for (int i = 0; i < 1000; ++i) {
+    if (limiter.try_admit(SimTime::milliseconds(i * 100))) {
+      ++admitted;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(admitted), 200.0, 5.0);
+}
+
+TEST(RateLimiterTest, AvailableTokensIsNonMutating) {
+  InvitationRateLimiter limiter(1.0, 5.0);
+  const double before = limiter.available_tokens(SimTime::seconds(1));
+  EXPECT_EQ(limiter.available_tokens(SimTime::seconds(1)), before);
+  EXPECT_TRUE(limiter.try_admit(SimTime::seconds(1)));
+}
+
+}  // namespace
+}  // namespace lockss::sched

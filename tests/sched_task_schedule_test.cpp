@@ -1,0 +1,179 @@
+#include "sched/task_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace lockss::sched {
+namespace {
+
+using sim::SimTime;
+
+TEST(TaskScheduleTest, ReserveOnEmptySchedule) {
+  TaskSchedule s;
+  auto r = s.reserve(SimTime::seconds(10), SimTime::seconds(5), SimTime::seconds(100));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->start, SimTime::seconds(5));
+  EXPECT_EQ(r->end, SimTime::seconds(15));
+}
+
+TEST(TaskScheduleTest, SecondReservationPacksAfterFirst) {
+  TaskSchedule s;
+  auto r1 = s.reserve(SimTime::seconds(10), SimTime::zero(), SimTime::seconds(100));
+  auto r2 = s.reserve(SimTime::seconds(10), SimTime::zero(), SimTime::seconds(100));
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r2->start, r1->end);
+}
+
+TEST(TaskScheduleTest, RefusesWhenWindowFull) {
+  TaskSchedule s;
+  ASSERT_TRUE(s.reserve(SimTime::seconds(50), SimTime::zero(), SimTime::seconds(60)));
+  // Only 10 s of slack remain before the deadline.
+  EXPECT_FALSE(s.reserve(SimTime::seconds(20), SimTime::zero(), SimTime::seconds(60)));
+  EXPECT_TRUE(s.can_reserve(SimTime::seconds(10), SimTime::zero(), SimTime::seconds(60)));
+}
+
+TEST(TaskScheduleTest, FindsGapBetweenReservations) {
+  TaskSchedule s;
+  auto r1 = s.reserve(SimTime::seconds(10), SimTime::zero(), SimTime::seconds(1000));
+  ASSERT_TRUE(r1);
+  auto r3 = s.reserve(SimTime::seconds(10), SimTime::seconds(50), SimTime::seconds(1000));
+  ASSERT_TRUE(r3);
+  // A 40 s gap exists between 10 and 50.
+  auto r2 = s.reserve(SimTime::seconds(30), SimTime::zero(), SimTime::seconds(1000));
+  ASSERT_TRUE(r2);
+  EXPECT_EQ(r2->start, SimTime::seconds(10));
+  EXPECT_EQ(r2->end, SimTime::seconds(40));
+}
+
+TEST(TaskScheduleTest, GapTooSmallIsSkipped) {
+  TaskSchedule s;
+  ASSERT_TRUE(s.reserve(SimTime::seconds(10), SimTime::zero(), SimTime::seconds(1000)));
+  ASSERT_TRUE(s.reserve(SimTime::seconds(10), SimTime::seconds(15), SimTime::seconds(1000)));
+  // 5 s gap at [10,15) cannot hold 8 s; lands after the second interval.
+  auto r = s.reserve(SimTime::seconds(8), SimTime::zero(), SimTime::seconds(1000));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->start, SimTime::seconds(25));
+}
+
+TEST(TaskScheduleTest, CancelFreesTheSlot) {
+  TaskSchedule s;
+  auto r1 = s.reserve(SimTime::seconds(10), SimTime::zero(), SimTime::seconds(30));
+  ASSERT_TRUE(r1);
+  EXPECT_FALSE(s.reserve(SimTime::seconds(25), SimTime::zero(), SimTime::seconds(30)));
+  s.cancel(r1->id);
+  EXPECT_TRUE(s.reserve(SimTime::seconds(25), SimTime::zero(), SimTime::seconds(30)));
+}
+
+TEST(TaskScheduleTest, CancelUnknownIdIsNoop) {
+  TaskSchedule s;
+  s.cancel(987654);  // must not crash
+  EXPECT_EQ(s.interval_count(), 0u);
+}
+
+TEST(TaskScheduleTest, ExtendWithinFreeSpace) {
+  TaskSchedule s;
+  auto r = s.reserve(SimTime::seconds(10), SimTime::zero(), SimTime::seconds(100));
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(s.extend(r->id, SimTime::seconds(20)));
+  // Extension occupied [0,20): a new reservation starts at 20.
+  auto r2 = s.reserve(SimTime::seconds(5), SimTime::zero(), SimTime::seconds(100));
+  ASSERT_TRUE(r2);
+  EXPECT_EQ(r2->start, SimTime::seconds(20));
+}
+
+TEST(TaskScheduleTest, ExtendBlockedByNeighbor) {
+  TaskSchedule s;
+  auto r1 = s.reserve(SimTime::seconds(10), SimTime::zero(), SimTime::seconds(100));
+  auto r2 = s.reserve(SimTime::seconds(10), SimTime::zero(), SimTime::seconds(100));
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_FALSE(s.extend(r1->id, SimTime::seconds(15)));
+}
+
+TEST(TaskScheduleTest, PruneDropsPastIntervals) {
+  TaskSchedule s;
+  ASSERT_TRUE(s.reserve(SimTime::seconds(10), SimTime::zero(), SimTime::seconds(100)));
+  ASSERT_TRUE(s.reserve(SimTime::seconds(10), SimTime::seconds(50), SimTime::seconds(100)));
+  EXPECT_EQ(s.interval_count(), 2u);
+  s.prune(SimTime::seconds(20));
+  EXPECT_EQ(s.interval_count(), 1u);
+  s.prune(SimTime::seconds(200));
+  EXPECT_EQ(s.interval_count(), 0u);
+}
+
+TEST(TaskScheduleTest, BusyFraction) {
+  TaskSchedule s;
+  ASSERT_TRUE(s.reserve(SimTime::seconds(25), SimTime::zero(), SimTime::seconds(100)));
+  EXPECT_NEAR(s.busy_fraction(SimTime::zero(), SimTime::seconds(100)), 0.25, 1e-9);
+  EXPECT_NEAR(s.busy_fraction(SimTime::seconds(50), SimTime::seconds(100)), 0.0, 1e-9);
+}
+
+TEST(TaskScheduleTest, InjectBusyClipsAroundExisting) {
+  TaskSchedule s;
+  auto r = s.reserve(SimTime::seconds(10), SimTime::seconds(10), SimTime::seconds(100));
+  ASSERT_TRUE(r);
+  // Inject [0, 40): fragments [0,10) and [20,40) are claimed.
+  s.inject_busy(SimTime::zero(), SimTime::seconds(40));
+  EXPECT_NEAR(s.busy_fraction(SimTime::zero(), SimTime::seconds(40)), 1.0, 1e-9);
+  // Non-overlap invariant: no double booking detectable through fraction > 1.
+  EXPECT_LE(s.busy_fraction(SimTime::zero(), SimTime::seconds(100)), 1.0);
+}
+
+TEST(TaskScheduleTest, IntervalsAfterExport) {
+  TaskSchedule s;
+  ASSERT_TRUE(s.reserve(SimTime::seconds(10), SimTime::zero(), SimTime::seconds(100)));
+  ASSERT_TRUE(s.reserve(SimTime::seconds(10), SimTime::seconds(50), SimTime::seconds(100)));
+  EXPECT_EQ(s.intervals_after(SimTime::zero()).size(), 2u);
+  EXPECT_EQ(s.intervals_after(SimTime::seconds(30)).size(), 1u);
+}
+
+TEST(TaskScheduleTest, ZeroDurationRejected) {
+  TaskSchedule s;
+  EXPECT_FALSE(s.reserve(SimTime::zero(), SimTime::zero(), SimTime::seconds(10)));
+}
+
+TEST(TaskScheduleTest, DeadlineBeforeWindowRejected) {
+  TaskSchedule s;
+  EXPECT_FALSE(s.reserve(SimTime::seconds(10), SimTime::seconds(95), SimTime::seconds(100)));
+}
+
+// Property sweep: many random reservations never overlap.
+class TaskSchedulePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TaskSchedulePropertyTest, ReservationsNeverOverlap) {
+  sim::Rng rng(GetParam());
+  TaskSchedule s;
+  std::vector<Reservation> held;
+  for (int i = 0; i < 300; ++i) {
+    const SimTime duration = SimTime::seconds(rng.uniform() * 20 + 1);
+    const SimTime not_before = SimTime::seconds(rng.uniform() * 500);
+    const SimTime deadline = not_before + SimTime::seconds(rng.uniform() * 100 + 1);
+    auto r = s.reserve(duration, not_before, deadline);
+    if (r) {
+      EXPECT_GE(r->start, not_before);
+      EXPECT_LE(r->end, deadline);
+      held.push_back(*r);
+    }
+    if (!held.empty() && rng.bernoulli(0.2)) {
+      const size_t victim = rng.index(held.size());
+      s.cancel(held[victim].id);
+      held.erase(held.begin() + static_cast<ptrdiff_t>(victim));
+    }
+  }
+  // Pairwise non-overlap of everything still held.
+  for (size_t i = 0; i < held.size(); ++i) {
+    for (size_t j = i + 1; j < held.size(); ++j) {
+      const bool disjoint = held[i].end <= held[j].start || held[j].end <= held[i].start;
+      EXPECT_TRUE(disjoint) << "overlap between reservation " << i << " and " << j;
+    }
+  }
+  EXPECT_LE(s.busy_fraction(SimTime::zero(), SimTime::seconds(700)), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaskSchedulePropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace lockss::sched

@@ -1,0 +1,99 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lockss::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime::seconds(3), [&] { order.push_back(3); });
+  q.push(SimTime::seconds(1), [&] { order.push_back(1); });
+  q.push(SimTime::seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TieBrokenByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(SimTime::seconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, CancelledEventSkipped) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.push(SimTime::seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime::seconds(1), [&] { order.push_back(1); });
+  EventHandle h = q.push(SimTime::seconds(2), [&] { order.push_back(2); });
+  q.push(SimTime::seconds(3), [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  int runs = 0;
+  EventHandle h = q.push(SimTime::seconds(1), [&] { ++runs; });
+  q.pop().fn();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or affect anything
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliestPending) {
+  EventQueue q;
+  EventHandle h = q.push(SimTime::seconds(1), [] {});
+  q.push(SimTime::seconds(5), [] {});
+  EXPECT_EQ(q.next_time(), SimTime::seconds(1));
+  h.cancel();
+  EXPECT_EQ(q.next_time(), SimTime::seconds(5));
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+TEST(EventQueueTest, PopReturnsTimestamp) {
+  EventQueue q;
+  q.push(SimTime::days(2), [] {});
+  auto popped = q.pop();
+  EXPECT_EQ(popped.at, SimTime::days(2));
+}
+
+}  // namespace
+}  // namespace lockss::sim

@@ -1,0 +1,159 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace lockss::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.bernoulli(0.2) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.2, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.exponential(3.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000, 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialTimePositive) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GT(rng.exponential_time(SimTime::days(10)), SimTime::zero());
+  }
+}
+
+TEST(RngTest, UniformTimeWithinBounds) {
+  Rng rng(29);
+  const SimTime lo = SimTime::seconds(5);
+  const SimTime hi = SimTime::seconds(6);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = rng.uniform_time(lo, hi);
+    ASSERT_GE(t, lo);
+    ASSERT_LE(t, hi);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SampleSizeAndDistinctness) {
+  Rng rng(37);
+  std::vector<int> pool;
+  for (int i = 0; i < 50; ++i) {
+    pool.push_back(i);
+  }
+  const auto sampled = rng.sample(pool, 10);
+  EXPECT_EQ(sampled.size(), 10u);
+  std::set<int> distinct(sampled.begin(), sampled.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(RngTest, SampleLargerThanPoolReturnsAll) {
+  Rng rng(41);
+  std::vector<int> pool = {1, 2, 3};
+  const auto sampled = rng.sample(pool, 10);
+  EXPECT_EQ(sampled.size(), 3u);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentlyDeterministic) {
+  Rng parent1(99);
+  Rng parent2(99);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  }
+  // And children differ from parents.
+  Rng parent3(99);
+  Rng child3 = parent3.split();
+  EXPECT_NE(child3.next_u64(), parent3.next_u64());
+}
+
+TEST(RngTest, IndexBounds) {
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(17), 17u);
+  }
+}
+
+}  // namespace
+}  // namespace lockss::sim

@@ -1,0 +1,112 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lockss::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+TEST(SimulatorTest, RunAdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.schedule_in(SimTime::seconds(5), [&] { seen.push_back(sim.now()); });
+  sim.schedule_in(SimTime::seconds(1), [&] { seen.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], SimTime::seconds(1));
+  EXPECT_EQ(seen[1], SimTime::seconds(5));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      sim.schedule_in(SimTime::seconds(1), chain);
+    }
+  };
+  sim.schedule_in(SimTime::seconds(1), chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_in(SimTime::seconds(1), [&] { ++ran; });
+  sim.schedule_in(SimTime::seconds(10), [&] { ++ran; });
+  sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+  // The remaining event still fires on a later run.
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, EventExactlyAtHorizonDoesNotRun) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_in(SimTime::seconds(5), [&] { ran = true; });
+  sim.run_until(SimTime::seconds(5));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulator sim;
+  sim.schedule_in(SimTime::seconds(1), [] {});
+  sim.run_until(SimTime::days(3));
+  EXPECT_EQ(sim.now(), SimTime::days(3));
+}
+
+TEST(SimulatorTest, StopBreaksRun) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_in(SimTime::seconds(1), [&] {
+    ++ran;
+    sim.stop();
+  });
+  sim.schedule_in(SimTime::seconds(2), [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), SimTime::seconds(1));
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime fired;
+  sim.schedule_at(SimTime::days(7), [&] { fired = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired, SimTime::days(7));
+}
+
+TEST(SimulatorTest, CancelledEventsDontRun) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle h = sim.schedule_in(SimTime::seconds(1), [&] { ran = true; });
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, SimultaneousEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_in(SimTime::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace lockss::sim

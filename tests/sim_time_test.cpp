@@ -1,0 +1,66 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lockss::sim {
+namespace {
+
+TEST(SimTimeTest, FactoriesAgree) {
+  EXPECT_EQ(SimTime::microseconds(1).ns(), 1000);
+  EXPECT_EQ(SimTime::milliseconds(1).ns(), 1000000);
+  EXPECT_EQ(SimTime::seconds(1).ns(), 1000000000);
+  EXPECT_EQ(SimTime::minutes(1), SimTime::seconds(60));
+  EXPECT_EQ(SimTime::hours(1), SimTime::minutes(60));
+  EXPECT_EQ(SimTime::days(1), SimTime::hours(24));
+  EXPECT_EQ(SimTime::months(1), SimTime::days(30));
+  EXPECT_EQ(SimTime::years(1), SimTime::days(365));
+}
+
+TEST(SimTimeTest, TwoSimulatedYearsFit) {
+  const SimTime two_years = SimTime::years(2);
+  EXPECT_GT(two_years.ns(), 0);
+  EXPECT_NEAR(two_years.to_years(), 2.0, 1e-12);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::seconds(10);
+  const SimTime b = SimTime::seconds(4);
+  EXPECT_EQ((a + b).to_seconds(), 14.0);
+  EXPECT_EQ((a - b).to_seconds(), 6.0);
+  EXPECT_EQ((a * 2.5).to_seconds(), 25.0);
+  EXPECT_EQ(a / b, 2.5);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::seconds(14));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::seconds(1), SimTime::seconds(2));
+  EXPECT_GE(SimTime::days(1), SimTime::hours(24));
+  EXPECT_TRUE(SimTime::zero().is_zero());
+  EXPECT_TRUE((SimTime::zero() - SimTime::seconds(1)).is_negative());
+}
+
+TEST(SimTimeTest, FractionalFactoriesRound) {
+  EXPECT_EQ(SimTime::seconds(0.5).ns(), 500000000);
+  EXPECT_EQ(SimTime::seconds(1e-9).ns(), 1);
+  EXPECT_EQ(SimTime::seconds(0.4e-9).ns(), 0);
+}
+
+TEST(SimTimeTest, ToStringFormat) {
+  EXPECT_EQ(SimTime::zero().to_string(), "0d 00:00:00.000");
+  const SimTime t = SimTime::days(12) + SimTime::hours(3) + SimTime::minutes(25) +
+                    SimTime::seconds(11) + SimTime::milliseconds(500);
+  EXPECT_EQ(t.to_string(), "12d 03:25:11.500");
+  EXPECT_EQ((SimTime::zero() - SimTime::seconds(90)).to_string(), "-0d 00:01:30.000");
+}
+
+TEST(SimTimeTest, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(SimTime::days(3).to_days(), 3.0);
+  EXPECT_DOUBLE_EQ(SimTime::hours(36).to_days(), 1.5);
+}
+
+}  // namespace
+}  // namespace lockss::sim

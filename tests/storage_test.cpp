@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "storage/au.hpp"
+#include "storage/damage.hpp"
+#include "storage/replica.hpp"
+#include "storage/storage_node.hpp"
+
+namespace lockss::storage {
+namespace {
+
+constexpr AuId kAu{7};
+constexpr AuSpec kSmallSpec{.size_bytes = 1024 * 1024, .block_count = 16};
+
+TEST(AuSpecTest, DefaultMatchesPaper) {
+  AuSpec spec;
+  EXPECT_EQ(spec.size_bytes, 512ull * 1024 * 1024);  // 0.5 GB (§6.3)
+  EXPECT_EQ(spec.block_size_bytes() * spec.block_count, spec.size_bytes);
+}
+
+TEST(CanonicalContentTest, DistinctAcrossAusAndBlocks) {
+  EXPECT_NE(canonical_content(AuId{1}, 0), canonical_content(AuId{2}, 0));
+  EXPECT_NE(canonical_content(AuId{1}, 0), canonical_content(AuId{1}, 1));
+  EXPECT_EQ(canonical_content(AuId{1}, 0), canonical_content(AuId{1}, 0));
+}
+
+TEST(ReplicaTest, FreshReplicaIsUndamaged) {
+  AuReplica r(kAu, kSmallSpec);
+  EXPECT_FALSE(r.damaged());
+  EXPECT_EQ(r.damaged_block_count(), 0u);
+  for (uint32_t b = 0; b < kSmallSpec.block_count; ++b) {
+    EXPECT_FALSE(r.block_damaged(b));
+  }
+}
+
+TEST(ReplicaTest, CorruptAndRestoreRoundTrip) {
+  AuReplica r(kAu, kSmallSpec);
+  EXPECT_TRUE(r.corrupt_block(3, 0x1234));
+  EXPECT_TRUE(r.damaged());
+  EXPECT_TRUE(r.block_damaged(3));
+  EXPECT_EQ(r.damaged_block_count(), 1u);
+  r.restore_block(3);
+  EXPECT_FALSE(r.damaged());
+}
+
+TEST(ReplicaTest, DoubleCorruptionCountsOnce) {
+  AuReplica r(kAu, kSmallSpec);
+  EXPECT_TRUE(r.corrupt_block(3, 1));
+  EXPECT_FALSE(r.corrupt_block(3, 2));  // already damaged
+  EXPECT_EQ(r.damaged_block_count(), 1u);
+}
+
+TEST(ReplicaTest, CorruptionNeverProducesCanonicalWord) {
+  AuReplica r(kAu, kSmallSpec);
+  for (uint64_t entropy = 0; entropy < 200; ++entropy) {
+    r.corrupt_block(5, entropy);
+    EXPECT_TRUE(r.block_damaged(5));
+  }
+}
+
+TEST(ReplicaTest, RepairViaSetBlockContent) {
+  AuReplica good(kAu, kSmallSpec);
+  AuReplica bad(kAu, kSmallSpec);
+  bad.corrupt_block(9, 42);
+  // §4.3 repair: fetch the block from a disagreeing (correct) voter.
+  bad.set_block_content(9, good.block_content(9));
+  EXPECT_FALSE(bad.damaged());
+}
+
+TEST(ReplicaTest, VoteHashesAgreeForIdenticalReplicas) {
+  AuReplica a(kAu, kSmallSpec);
+  AuReplica b(kAu, kSmallSpec);
+  const crypto::Digest64 nonce{999};
+  EXPECT_EQ(a.vote_hashes(nonce), b.vote_hashes(nonce));
+}
+
+TEST(ReplicaTest, VoteHashesDivergeFromDamagedBlockOn) {
+  AuReplica a(kAu, kSmallSpec);
+  AuReplica b(kAu, kSmallSpec);
+  b.corrupt_block(6, 1);
+  const crypto::Digest64 nonce{999};
+  const auto ha = a.vote_hashes(nonce);
+  const auto hb = b.vote_hashes(nonce);
+  for (uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(ha[i], hb[i]) << "block " << i;
+  }
+  for (uint32_t i = 6; i < kSmallSpec.block_count; ++i) {
+    EXPECT_NE(ha[i], hb[i]) << "block " << i;
+  }
+}
+
+TEST(ReplicaTest, VoteHashesDependOnNonce) {
+  AuReplica a(kAu, kSmallSpec);
+  EXPECT_NE(a.vote_hashes(crypto::Digest64{1}), a.vote_hashes(crypto::Digest64{2}));
+}
+
+TEST(ReplicaTest, ExpectedBlockHashMatchesVoteChain) {
+  AuReplica a(kAu, kSmallSpec);
+  const crypto::Digest64 nonce{4242};
+  const auto hashes = a.vote_hashes(nonce);
+  crypto::Digest64 running = crypto::vote_chain_seed(nonce);
+  for (uint32_t b = 0; b < kSmallSpec.block_count; ++b) {
+    running = a.expected_block_hash(running, b);
+    EXPECT_EQ(running, hashes[b]);
+  }
+}
+
+TEST(StorageNodeTest, AddAndQueryReplicas) {
+  StorageNode node;
+  node.add_replica(AuId{1}, kSmallSpec);
+  node.add_replica(AuId{2}, kSmallSpec);
+  EXPECT_EQ(node.replica_count(), 2u);
+  EXPECT_TRUE(node.has_replica(AuId{1}));
+  EXPECT_FALSE(node.has_replica(AuId{3}));
+  EXPECT_EQ(node.au_ids().size(), 2u);
+}
+
+TEST(StorageNodeTest, DamagedReplicaCount) {
+  StorageNode node;
+  node.add_replica(AuId{1}, kSmallSpec);
+  node.add_replica(AuId{2}, kSmallSpec);
+  node.add_replica(AuId{3}, kSmallSpec);
+  EXPECT_EQ(node.damaged_replica_count(), 0u);
+  node.replica(AuId{2}).corrupt_block(0, 5);
+  EXPECT_EQ(node.damaged_replica_count(), 1u);
+}
+
+TEST(DamageProcessTest, MeanInterarrivalScalesWithCollection) {
+  sim::Simulator sim;
+  StorageNode node;
+  for (uint32_t i = 0; i < 50; ++i) {
+    node.add_replica(AuId{i}, kSmallSpec);
+  }
+  DamageConfig config{.mean_disk_years_between_failures = 5.0, .aus_per_disk = 50.0};
+  DamageProcess process(sim, sim::Rng(3), config, node);
+  // 50 AUs = exactly one disk -> one event per 5 years.
+  EXPECT_NEAR(process.mean_interarrival().to_years(), 5.0, 1e-9);
+}
+
+TEST(DamageProcessTest, InjectsAtApproximatelyConfiguredRate) {
+  sim::Simulator sim;
+  StorageNode node;
+  for (uint32_t i = 0; i < 50; ++i) {
+    node.add_replica(AuId{i}, kSmallSpec);
+  }
+  // Speed the clock: 0.05 disk-years between failures -> ~20/yr/disk.
+  DamageConfig config{.mean_disk_years_between_failures = 0.05, .aus_per_disk = 50.0};
+  uint64_t callbacks = 0;
+  DamageProcess process(sim, sim::Rng(17), config, node,
+                        [&](AuId, uint32_t) { ++callbacks; });
+  sim.run_until(sim::SimTime::years(2));
+  EXPECT_EQ(callbacks, process.damage_events());
+  // Expectation: 40 events over 2 years; Poisson sd ~6.3.
+  EXPECT_GT(process.damage_events(), 15u);
+  EXPECT_LT(process.damage_events(), 80u);
+  EXPECT_GT(node.damaged_replica_count(), 0u);
+}
+
+TEST(DamageProcessTest, EmptyCollectionInjectsNothing) {
+  sim::Simulator sim;
+  StorageNode node;
+  DamageProcess process(sim, sim::Rng(19), {}, node);
+  sim.run_until(sim::SimTime::years(1));
+  EXPECT_EQ(process.damage_events(), 0u);
+}
+
+TEST(DamageProcessTest, DeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    sim::Simulator sim;
+    StorageNode node;
+    for (uint32_t i = 0; i < 50; ++i) {
+      node.add_replica(AuId{i}, kSmallSpec);
+    }
+    DamageConfig config{.mean_disk_years_between_failures = 0.1, .aus_per_disk = 50.0};
+    DamageProcess process(sim, sim::Rng(seed), config, node);
+    sim.run_until(sim::SimTime::years(1));
+    return process.damage_events();
+  };
+  EXPECT_EQ(run(123), run(123));
+}
+
+}  // namespace
+}  // namespace lockss::storage

@@ -1,0 +1,352 @@
+// Voter-side admission pipeline and session behaviour (§5.1), exercised by a
+// scripted fake poller against a real Peer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "crypto/mbf.hpp"
+#include "net/network.hpp"
+#include "peer/peer.hpp"
+#include "protocol/effort_schedule.hpp"
+#include "protocol/messages.hpp"
+#include "protocol/voter_session.hpp"
+#include "sim/simulator.hpp"
+
+namespace lockss {
+namespace {
+
+using protocol::AdmissionVerdict;
+
+// Captures everything the victim sends back to the scripted poller.
+class Recorder : public net::MessageHandler {
+ public:
+  void handle_message(net::MessagePtr message) override { inbox.push_back(std::move(message)); }
+
+  template <typename T>
+  T* last_of() {
+    for (auto it = inbox.rbegin(); it != inbox.rend(); ++it) {
+      if (auto* typed = dynamic_cast<T*>(it->get())) {
+        return typed;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<net::MessagePtr> inbox;
+};
+
+class VoterAdmissionTest : public ::testing::Test {
+ protected:
+  static constexpr net::NodeId kPoller{500};
+  static constexpr storage::AuId kAu{0};
+
+  VoterAdmissionTest()
+      : network_(simulator_, sim::Rng(77)), efforts_(params(), costs_), mbf_(costs_, sim::Rng(3)) {
+    env_.simulator = &simulator_;
+    env_.network = &network_;
+    env_.enable_damage = false;
+    // Small AU so vote tasks are short; deterministic admission by default.
+    env_.params.au_spec = storage::AuSpec{.size_bytes = 64 * 1024 * 1024, .block_count = 16};
+    env_.params.unknown_drop_probability = 0.0;
+    env_.params.debt_drop_probability = 0.0;
+    env_.costs = costs_;
+    voter_ = std::make_unique<peer::Peer>(env_, net::NodeId{1}, sim::Rng(5));
+    voter_->join_au(kAu);
+    network_.register_node(kPoller, &recorder_);
+    efforts_ = protocol::EffortSchedule(env_.params, costs_);
+  }
+
+  const protocol::Params& params() const { return env_.params; }
+
+  std::unique_ptr<protocol::PollMsg> make_poll(net::NodeId from, uint32_t seq,
+                                               bool genuine = true) {
+    auto poll = std::make_unique<protocol::PollMsg>();
+    poll->from = from;
+    poll->to = voter_->id();
+    poll->poll_id = protocol::make_poll_id(from, seq);
+    poll->au = kAu;
+    poll->introductory_effort = genuine
+                                    ? mbf_.generate(efforts_.introductory_effort())
+                                    : crypto::MbfProof::garbage(efforts_.introductory_effort());
+    poll->vote_deadline = simulator_.now() + sim::SimTime::days(30);
+    return poll;
+  }
+
+  uint64_t verdict_count(AdmissionVerdict verdict) const {
+    return voter_->admission_verdicts()[static_cast<size_t>(verdict)];
+  }
+
+  sim::Simulator simulator_;
+  net::Network network_;
+  crypto::CostModel costs_;
+  peer::PeerEnvironment env_;
+  protocol::EffortSchedule efforts_;
+  crypto::MbfService mbf_;
+  std::unique_ptr<peer::Peer> voter_;
+  Recorder recorder_;
+};
+
+TEST_F(VoterAdmissionTest, UnknownPollerAdmittedWhenDropsDisabled) {
+  network_.send(make_poll(kPoller, 0));
+  simulator_.run_until(sim::SimTime::minutes(5));
+  EXPECT_EQ(verdict_count(AdmissionVerdict::kAccepted), 1u);
+  auto* ack = recorder_.last_of<protocol::PollAckMsg>();
+  ASSERT_NE(ack, nullptr);
+  EXPECT_TRUE(ack->accept);
+}
+
+TEST_F(VoterAdmissionTest, SecondUnknownInvitationHitsRefractory) {
+  network_.send(make_poll(kPoller, 0));
+  simulator_.run_until(sim::SimTime::minutes(5));
+  network_.send(make_poll(net::NodeId{501}, 1));
+  simulator_.run_until(sim::SimTime::minutes(10));
+  EXPECT_EQ(verdict_count(AdmissionVerdict::kRefractoryReject), 1u);
+  // After the refractory period a new unknown invitation is admitted again.
+  simulator_.schedule_at(sim::SimTime::days(1) + sim::SimTime::hours(1),
+                         [&] { network_.send(make_poll(net::NodeId{502}, 2)); });
+  simulator_.run_until(sim::SimTime::days(2));
+  EXPECT_EQ(verdict_count(AdmissionVerdict::kAccepted), 2u);
+}
+
+TEST_F(VoterAdmissionTest, KnownEvenPollerBypassesRefractory) {
+  // Trigger the unknown-channel refractory first.
+  network_.send(make_poll(net::NodeId{900}, 0));
+  simulator_.run_until(sim::SimTime::minutes(5));
+  // A known even-grade poller is admitted regardless.
+  voter_->seed_grade(kAu, kPoller, reputation::Grade::kEven);
+  network_.send(make_poll(kPoller, 1));
+  simulator_.run_until(sim::SimTime::minutes(10));
+  EXPECT_EQ(verdict_count(AdmissionVerdict::kAccepted), 2u);
+}
+
+TEST_F(VoterAdmissionTest, KnownPeerLimitedToOneAdmissionPerPeriod) {
+  voter_->seed_grade(kAu, kPoller, reputation::Grade::kCredit);
+  network_.send(make_poll(kPoller, 0));
+  simulator_.run_until(sim::SimTime::minutes(5));
+  network_.send(make_poll(kPoller, 1));
+  simulator_.run_until(sim::SimTime::minutes(10));
+  EXPECT_EQ(verdict_count(AdmissionVerdict::kAccepted), 1u);
+  EXPECT_EQ(verdict_count(AdmissionVerdict::kPeerAllowanceUsed), 1u);
+  // The refusal is polite: a negative PollAck, so the poller can retry later.
+  auto* ack = recorder_.last_of<protocol::PollAckMsg>();
+  ASSERT_NE(ack, nullptr);
+  EXPECT_FALSE(ack->accept);
+}
+
+TEST_F(VoterAdmissionTest, GarbageIntroEffortCaughtAndPenalized) {
+  network_.send(make_poll(kPoller, 0, /*genuine=*/false));
+  simulator_.run_until(sim::SimTime::minutes(5));
+  EXPECT_EQ(verdict_count(AdmissionVerdict::kBadIntroEffort), 1u);
+  // The sender is now known — in debt.
+  EXPECT_EQ(voter_->known_peers(kAu).standing(kPoller, simulator_.now()),
+            reputation::Standing::kDebt);
+  // And the admission was burned: the next unknown invitation is refractory.
+  network_.send(make_poll(net::NodeId{501}, 1));
+  simulator_.run_until(sim::SimTime::minutes(10));
+  EXPECT_EQ(verdict_count(AdmissionVerdict::kRefractoryReject), 1u);
+}
+
+TEST_F(VoterAdmissionTest, ScheduleFullRefusesPolitely) {
+  // Jam the voter's calendar for a month.
+  voter_->schedule().inject_busy(simulator_.now(), simulator_.now() + sim::SimTime::days(30));
+  network_.send(make_poll(kPoller, 0));
+  simulator_.run_until(sim::SimTime::minutes(10));
+  EXPECT_EQ(verdict_count(AdmissionVerdict::kScheduleFull), 1u);
+  auto* ack = recorder_.last_of<protocol::PollAckMsg>();
+  ASSERT_NE(ack, nullptr);
+  EXPECT_FALSE(ack->accept);
+}
+
+TEST_F(VoterAdmissionTest, RandomDropsApplyToUnknownPollers) {
+  env_.params.unknown_drop_probability = 0.9;
+  auto dropping_peer = std::make_unique<peer::Peer>(env_, net::NodeId{2}, sim::Rng(11));
+  dropping_peer->join_au(kAu);
+  // Send 200 invitations on distinct days (fresh ids, no refractory overlap).
+  for (uint32_t i = 0; i < 200; ++i) {
+    simulator_.schedule_at(sim::SimTime::days(i * 2), [&, i] {
+      auto poll = make_poll(net::NodeId{600 + i}, i);
+      poll->to = net::NodeId{2};
+      network_.send(std::move(poll));
+    });
+  }
+  simulator_.run_until(sim::SimTime::days(500));
+  const auto& verdicts = dropping_peer->admission_verdicts();
+  const uint64_t dropped = verdicts[static_cast<size_t>(AdmissionVerdict::kRandomDrop)];
+  const uint64_t accepted = verdicts[static_cast<size_t>(AdmissionVerdict::kAccepted)];
+  // ~90% dropped.
+  EXPECT_GT(dropped, 150u);
+  EXPECT_LT(accepted, 50u);
+  EXPECT_GT(accepted, 2u);
+}
+
+TEST_F(VoterAdmissionTest, DesertedCommitmentPenalizesPollerAndFreesSlot) {
+  voter_->seed_grade(kAu, kPoller, reputation::Grade::kCredit);
+  network_.send(make_poll(kPoller, 0));
+  // Never send the PollProof.
+  simulator_.run_until(sim::SimTime::hours(2));
+  EXPECT_EQ(voter_->known_peers(kAu).standing(kPoller, simulator_.now()),
+            reputation::Standing::kDebt);
+  EXPECT_EQ(voter_->active_voter_sessions(), 0u);
+  // The reserved slot was released: a huge reservation fits again.
+  EXPECT_TRUE(voter_->schedule().can_reserve(sim::SimTime::days(20), simulator_.now(),
+                                             simulator_.now() + sim::SimTime::days(21)));
+}
+
+TEST_F(VoterAdmissionTest, FullExchangeProducesValidVoteAndRepairs) {
+  voter_->seed_grade(kAu, kPoller, reputation::Grade::kEven);
+  network_.send(make_poll(kPoller, 0));
+  simulator_.run_until(sim::SimTime::minutes(5));
+  auto* ack = recorder_.last_of<protocol::PollAckMsg>();
+  ASSERT_NE(ack, nullptr);
+  ASSERT_TRUE(ack->accept);
+
+  // Send the PollProof with a genuine remaining-effort proof.
+  const crypto::Digest64 nonce{0xC0FFEE};
+  auto proof = std::make_unique<protocol::PollProofMsg>();
+  proof->from = kPoller;
+  proof->to = voter_->id();
+  proof->poll_id = ack->poll_id;
+  proof->au = kAu;
+  proof->remaining_effort = mbf_.generate(efforts_.remaining_effort());
+  proof->vote_nonce = nonce;
+  network_.send(std::move(proof));
+
+  simulator_.run_until(sim::SimTime::days(4));
+  auto* vote = recorder_.last_of<protocol::VoteMsg>();
+  ASSERT_NE(vote, nullptr);
+  EXPECT_EQ(vote->block_hashes, voter_->replica(kAu).vote_hashes(nonce));
+  EXPECT_TRUE(vote->vote_effort.genuine);
+
+  // Request a repair; the voter serves its replica's block content.
+  auto request = std::make_unique<protocol::RepairRequestMsg>();
+  request->from = kPoller;
+  request->to = voter_->id();
+  request->poll_id = vote->poll_id;
+  request->au = kAu;
+  request->block = 3;
+  network_.send(std::move(request));
+  simulator_.run_until(simulator_.now() + sim::SimTime::hours(1));
+  auto* repair = recorder_.last_of<protocol::RepairMsg>();
+  ASSERT_NE(repair, nullptr);
+  EXPECT_EQ(repair->block, 3u);
+  EXPECT_EQ(repair->content, voter_->replica(kAu).block_content(3));
+
+  // A valid receipt (the vote proof's byproduct) completes the exchange and
+  // steps the poller's grade down (it consumed our vote).
+  auto receipt = std::make_unique<protocol::EvaluationReceiptMsg>();
+  receipt->from = kPoller;
+  receipt->to = voter_->id();
+  receipt->poll_id = vote->poll_id;
+  receipt->au = kAu;
+  receipt->receipt = vote->vote_effort.byproduct;
+  network_.send(std::move(receipt));
+  simulator_.run_until(simulator_.now() + sim::SimTime::hours(1));
+  EXPECT_EQ(voter_->known_peers(kAu).standing(kPoller, simulator_.now()),
+            reputation::Standing::kDebt);  // even -> debt (one step down)
+  EXPECT_EQ(voter_->active_voter_sessions(), 0u);
+}
+
+TEST_F(VoterAdmissionTest, ForgedReceiptIsMisbehavior) {
+  voter_->seed_grade(kAu, kPoller, reputation::Grade::kCredit);
+  network_.send(make_poll(kPoller, 0));
+  simulator_.run_until(sim::SimTime::minutes(5));
+  auto* ack = recorder_.last_of<protocol::PollAckMsg>();
+  ASSERT_NE(ack, nullptr);
+  auto proof = std::make_unique<protocol::PollProofMsg>();
+  proof->from = kPoller;
+  proof->to = voter_->id();
+  proof->poll_id = ack->poll_id;
+  proof->au = kAu;
+  proof->remaining_effort = mbf_.generate(efforts_.remaining_effort());
+  proof->vote_nonce = crypto::Digest64{1};
+  network_.send(std::move(proof));
+  simulator_.run_until(sim::SimTime::days(4));
+  ASSERT_NE(recorder_.last_of<protocol::VoteMsg>(), nullptr);
+
+  auto receipt = std::make_unique<protocol::EvaluationReceiptMsg>();
+  receipt->from = kPoller;
+  receipt->to = voter_->id();
+  receipt->poll_id = ack->poll_id;
+  receipt->au = kAu;
+  receipt->receipt = crypto::Digest64{0xF0F0};  // forged
+  network_.send(std::move(receipt));
+  simulator_.run_until(simulator_.now() + sim::SimTime::hours(1));
+  EXPECT_EQ(voter_->known_peers(kAu).standing(kPoller, simulator_.now()),
+            reputation::Standing::kDebt);
+}
+
+TEST_F(VoterAdmissionTest, BogusRemainingEffortKillsSession) {
+  voter_->seed_grade(kAu, kPoller, reputation::Grade::kCredit);
+  network_.send(make_poll(kPoller, 0));
+  simulator_.run_until(sim::SimTime::minutes(5));
+  auto* ack = recorder_.last_of<protocol::PollAckMsg>();
+  ASSERT_NE(ack, nullptr);
+  auto proof = std::make_unique<protocol::PollProofMsg>();
+  proof->from = kPoller;
+  proof->to = voter_->id();
+  proof->poll_id = ack->poll_id;
+  proof->au = kAu;
+  proof->remaining_effort = crypto::MbfProof::garbage(efforts_.remaining_effort());
+  proof->vote_nonce = crypto::Digest64{1};
+  network_.send(std::move(proof));
+  simulator_.run_until(sim::SimTime::days(4));
+  EXPECT_EQ(recorder_.last_of<protocol::VoteMsg>(), nullptr);
+  EXPECT_EQ(voter_->known_peers(kAu).standing(kPoller, simulator_.now()),
+            reputation::Standing::kDebt);
+}
+
+TEST_F(VoterAdmissionTest, UnsolicitedProtocolMessagesIgnored) {
+  // No session exists for any of these; nothing must crash or be answered.
+  auto proof = std::make_unique<protocol::PollProofMsg>();
+  proof->from = kPoller;
+  proof->to = voter_->id();
+  proof->poll_id = protocol::make_poll_id(kPoller, 9);
+  proof->au = kAu;
+  network_.send(std::move(proof));
+  auto request = std::make_unique<protocol::RepairRequestMsg>();
+  request->from = kPoller;
+  request->to = voter_->id();
+  request->poll_id = protocol::make_poll_id(kPoller, 10);
+  request->au = kAu;
+  request->block = 1;
+  network_.send(std::move(request));
+  simulator_.run_until(sim::SimTime::hours(1));
+  EXPECT_TRUE(recorder_.inbox.empty());
+}
+
+TEST_F(VoterAdmissionTest, InvitationForUnknownAuSilentlyDropped) {
+  auto poll = make_poll(kPoller, 0);
+  poll->au = storage::AuId{77};
+  network_.send(std::move(poll));
+  simulator_.run_until(sim::SimTime::hours(1));
+  EXPECT_EQ(verdict_count(AdmissionVerdict::kNoReplica), 1u);
+  EXPECT_TRUE(recorder_.inbox.empty());
+}
+
+TEST_F(VoterAdmissionTest, IntroducedPeerBypassesDropsAndConsumesIntroduction) {
+  env_.params.unknown_drop_probability = 1.0;  // unknowns always dropped
+  auto strict_peer = std::make_unique<peer::Peer>(env_, net::NodeId{3}, sim::Rng(13));
+  strict_peer->join_au(kAu);
+  // Without introduction: always dropped.
+  auto poll = make_poll(kPoller, 0);
+  poll->to = net::NodeId{3};
+  network_.send(std::move(poll));
+  simulator_.run_until(sim::SimTime::minutes(5));
+  EXPECT_EQ(strict_peer->admission_verdicts()[static_cast<size_t>(
+                AdmissionVerdict::kRandomDrop)],
+            1u);
+  // Introduce the poller; the next invitation is treated as even-grade.
+  strict_peer->introductions(kAu).add(net::NodeId{44}, kPoller);
+  auto poll2 = make_poll(kPoller, 1);
+  poll2->to = net::NodeId{3};
+  network_.send(std::move(poll2));
+  simulator_.run_until(sim::SimTime::minutes(10));
+  EXPECT_EQ(strict_peer->admission_verdicts()[static_cast<size_t>(AdmissionVerdict::kAccepted)],
+            1u);
+  // Consumed: the introduction is gone.
+  EXPECT_FALSE(strict_peer->introductions(kAu).introduced(kPoller));
+}
+
+}  // namespace
+}  // namespace lockss

@@ -1,0 +1,36 @@
+// Diagnostic: baseline run with per-poll breakdown of inquorate conclusions.
+#include <cstdio>
+
+#include "experiment/scenario.hpp"
+#include "protocol/voter_session.hpp"
+
+using namespace lockss;
+
+int main() {
+  experiment::ScenarioConfig config;
+  config.peer_count = 30;
+  config.au_count = 2;
+  config.duration = sim::SimTime::years(1);
+  config.seed = 42;
+  config.enable_damage = false;
+  config.poll_observer = [](net::NodeId poller, const protocol::PollOutcome& o) {
+    if (o.kind != protocol::PollOutcomeKind::kSuccess) {
+      std::printf(
+          "[%s] poll by %s on %s: %s inner=%zu outer=%zu invited=%zu accepted=%zu "
+          "refused=%zu ack_to=%zu vote_to=%zu\n",
+          o.concluded.to_string().c_str(), poller.to_string().c_str(), o.au.to_string().c_str(),
+          protocol::poll_outcome_name(o.kind), o.inner_votes, o.outer_votes, o.invited,
+          o.accepted, o.refusals, o.ack_timeouts, o.vote_timeouts);
+    }
+  };
+  auto r = experiment::run_scenario(config);
+  std::printf("success=%llu inquorate=%llu alarms=%llu\n",
+              (unsigned long long)r.report.successful_polls,
+              (unsigned long long)r.report.inquorate_polls, (unsigned long long)r.report.alarms);
+  for (size_t v = 0; v < r.admission_verdicts.size(); ++v) {
+    std::printf("verdict %-20s %llu\n",
+                protocol::admission_verdict_name(static_cast<protocol::AdmissionVerdict>(v)),
+                (unsigned long long)r.admission_verdicts[v]);
+  }
+  return 0;
+}

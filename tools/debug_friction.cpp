@@ -1,0 +1,92 @@
+// Per-category loyal effort under the admission-control flood vs baseline.
+#include <cstdio>
+
+#include "experiment/scenario.hpp"
+#include "sched/effort_meter.hpp"
+
+using namespace lockss;
+
+// run_scenario doesn't expose per-category meters; rebuild a scenario here.
+#include <memory>
+#include "net/network.hpp"
+#include "peer/peer.hpp"
+#include "adversary/admission_flood.hpp"
+#include "sim/simulator.hpp"
+
+static void run(bool attack) {
+  sim::Simulator simulator;
+  sim::Rng root(1);
+  net::Network network(simulator, root.split());
+  metrics::MetricsCollector collector;
+  const uint32_t N = 60, A = 6;
+  collector.set_total_replicas(N * A);
+  peer::PeerEnvironment env;
+  env.simulator = &simulator;
+  env.network = &network;
+  env.metrics = &collector;
+  env.damage.mean_disk_years_between_failures = 0.6;
+  env.damage.aus_per_disk = A;
+  std::vector<std::unique_ptr<peer::Peer>> peers;
+  std::vector<net::NodeId> ids;
+  std::vector<storage::AuId> aus;
+  for (uint32_t a = 0; a < A; ++a) aus.push_back(storage::AuId{a});
+  for (uint32_t p = 0; p < N; ++p) {
+    ids.push_back(net::NodeId{p});
+    peers.push_back(std::make_unique<peer::Peer>(env, net::NodeId{p}, root.split()));
+    for (auto au : aus) peers.back()->join_au(au);
+  }
+  sim::Rng boot = root.split();
+  for (uint32_t p = 0; p < N; ++p) {
+    std::vector<net::NodeId> others;
+    for (auto id : ids) if (id.value != p) others.push_back(id);
+    peers[p]->set_friends(boot.sample(others, 5));
+    for (auto au : aus) {
+      auto seeds = boot.sample(others, 30);
+      peers[p]->seed_reference_list(au, seeds);
+      for (auto o : seeds) {
+        peers[p]->seed_grade(au, o, reputation::Grade::kEven);
+        peers[o.value]->seed_grade(au, ids[p], reputation::Grade::kEven);
+      }
+    }
+  }
+  for (auto& p : peers) p->start();
+  std::vector<peer::Peer*> victims;
+  for (auto& p : peers) victims.push_back(p.get());
+  std::unique_ptr<adversary::AdmissionFloodAdversary> adv;
+  if (attack) {
+    adversary::AdmissionFloodConfig cfg;
+    cfg.cadence.coverage = 1.0;
+    cfg.cadence.attack_duration = sim::SimTime::days(700);
+    cfg.cadence.recuperation = sim::SimTime::days(30);
+    adv = std::make_unique<adversary::AdmissionFloodAdversary>(
+        simulator, network, root.split(), cfg, victims, aus, env.params);
+    adv->start();
+  }
+  simulator.run_until(sim::SimTime::years(2));
+  sched::EffortMeter total;
+  for (auto& p : peers) {
+    for (size_t c = 0; c < (size_t)sched::EffortCategory::kCount; ++c) {
+      total.charge((sched::EffortCategory)c,
+                   p->meter().by_category((sched::EffortCategory)c));
+    }
+  }
+  auto report = collector.finalize(sim::SimTime::years(2));
+  std::printf("%s: success=%llu effort=%s\n  => total=%.0f per_success=%.0f\n",
+              attack ? "ATTACK " : "BASELINE", (unsigned long long)report.successful_polls,
+              total.to_string().c_str(), total.total(),
+              total.total() / (double)report.successful_polls);
+  uint64_t refractory = 0, drops = 0, bad = 0, accepted = 0;
+  for (auto& p : peers) {
+    const auto& v = p->admission_verdicts();
+    refractory += v[2]; drops += v[3]; bad += v[6]; accepted += v[0];
+  }
+  std::printf("  verdicts: accepted=%llu refractory=%llu drops=%llu bad_intro=%llu\n",
+              (unsigned long long)accepted, (unsigned long long)refractory,
+              (unsigned long long)drops, (unsigned long long)bad);
+}
+
+int main() {
+  run(false);
+  run(true);
+  return 0;
+}

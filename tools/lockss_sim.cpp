@@ -1,0 +1,159 @@
+// lockss_sim: run any single scenario from the command line.
+//
+// The bench binaries each regenerate one figure or table; this driver is the
+// general-purpose front end for everything else — exploring parameters,
+// reproducing a single data point, or scripting custom studies.
+//
+//   lockss_sim --peers 100 --aus 50 --years 2 --seeds 3
+//   lockss_sim --adversary pipe_stoppage --coverage 70 --attack-days 60
+//   lockss_sim --adversary brute_force --defection remaining
+//   lockss_sim --adversary combined --coverage 40 --attack-days 30
+//   lockss_sim --interval-months 6 --damage-disk-years 1
+//
+// Prints the §6.1 metrics for the run and, when an adversary is active, the
+// same metrics relative to a no-attack baseline under identical seeds.
+#include <cstdio>
+#include <string>
+
+#include "experiment/aggregate.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/scenario.hpp"
+
+namespace {
+
+using lockss::experiment::AdversarySpec;
+
+AdversarySpec::Kind parse_adversary(const std::string& name) {
+  if (name == "none") {
+    return AdversarySpec::Kind::kNone;
+  }
+  if (name == "pipe_stoppage") {
+    return AdversarySpec::Kind::kPipeStoppage;
+  }
+  if (name == "admission_flood") {
+    return AdversarySpec::Kind::kAdmissionFlood;
+  }
+  if (name == "brute_force") {
+    return AdversarySpec::Kind::kBruteForce;
+  }
+  if (name == "grade_recovery") {
+    return AdversarySpec::Kind::kGradeRecovery;
+  }
+  if (name == "vote_flood") {
+    return AdversarySpec::Kind::kVoteFlood;
+  }
+  if (name == "combined") {
+    return AdversarySpec::Kind::kCombined;
+  }
+  std::fprintf(stderr, "unknown adversary '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+lockss::adversary::DefectionPoint parse_defection(const std::string& name) {
+  if (name == "intro") {
+    return lockss::adversary::DefectionPoint::kIntro;
+  }
+  if (name == "remaining") {
+    return lockss::adversary::DefectionPoint::kRemaining;
+  }
+  if (name == "none") {
+    return lockss::adversary::DefectionPoint::kNone;
+  }
+  std::fprintf(stderr, "unknown defection point '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+void print_report(const char* label, const lockss::experiment::RunResult& r) {
+  std::printf("%s\n", label);
+  std::printf("  access failure probability  %.4e\n", r.report.access_failure_probability);
+  std::printf("  mean success gap            %.1f days\n", r.report.mean_success_gap_days);
+  std::printf("  successful polls            %llu\n",
+              static_cast<unsigned long long>(r.report.successful_polls));
+  std::printf("  inquorate polls             %llu\n",
+              static_cast<unsigned long long>(r.report.inquorate_polls));
+  std::printf("  alarms                      %llu\n",
+              static_cast<unsigned long long>(r.report.alarms));
+  std::printf("  damage events / repairs     %llu / %llu\n",
+              static_cast<unsigned long long>(r.report.damage_events),
+              static_cast<unsigned long long>(r.report.repairs));
+  std::printf("  loyal effort                %.0f effort-seconds\n", r.report.loyal_effort_seconds);
+  std::printf("  effort per successful poll  %.1f effort-seconds\n",
+              r.report.effort_per_successful_poll);
+  if (r.report.adversary_effort_seconds > 0.0) {
+    std::printf("  adversary effort            %.0f effort-seconds (cost ratio %.2f)\n",
+                r.report.adversary_effort_seconds, r.report.cost_ratio);
+  }
+  if (r.adversary_invitations > 0) {
+    std::printf("  adversary invitations       %llu (%llu admitted)\n",
+                static_cast<unsigned long long>(r.adversary_invitations),
+                static_cast<unsigned long long>(r.adversary_admissions));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lockss::experiment::CliArgs args(argc, argv);
+  if (args.flag("help")) {
+    std::printf(
+        "usage: lockss_sim [options]\n"
+        "  --peers N              loyal peer population (default 100, §6.3)\n"
+        "  --aus N                archival units per peer (default 50)\n"
+        "  --years X              simulated years (default 2)\n"
+        "  --seeds N              replications, seed..seed+N-1 (default 1)\n"
+        "  --seed N               base RNG seed (default 1)\n"
+        "  --interval-months X    inter-poll interval (default 3)\n"
+        "  --damage-disk-years X  mean disk-years between block failures (default 5)\n"
+        "  --no-damage            disable storage damage\n"
+        "  --adversary KIND       none | pipe_stoppage | admission_flood |\n"
+        "                         brute_force | grade_recovery | vote_flood | combined\n"
+        "  --coverage PCT         population coverage per attack phase (default 100)\n"
+        "  --attack-days X        attack phase duration (default 30)\n"
+        "  --recuperation-days X  pause between phases (default 30)\n"
+        "  --defection POINT      intro | remaining | none (brute force/combined)\n"
+        "  --baseline             also run the no-attack baseline and print ratios\n");
+    return 0;
+  }
+
+  lockss::experiment::ScenarioConfig config;
+  config.peer_count = static_cast<uint32_t>(args.integer("peers", 100));
+  config.au_count = static_cast<uint32_t>(args.integer("aus", 50));
+  config.duration = lockss::sim::SimTime::years(args.real("years", 2.0));
+  config.seed = static_cast<uint64_t>(args.integer("seed", 1));
+  config.params.inter_poll_interval =
+      lockss::sim::SimTime::months(args.real("interval-months", 3.0));
+  config.damage.mean_disk_years_between_failures = args.real("damage-disk-years", 5.0);
+  config.enable_damage = !args.flag("no-damage");
+
+  config.adversary.kind = parse_adversary(args.text("adversary", "none"));
+  config.adversary.cadence.coverage = args.real("coverage", 100.0) / 100.0;
+  config.adversary.cadence.attack_duration =
+      lockss::sim::SimTime::days(args.real("attack-days", 30.0));
+  config.adversary.cadence.recuperation =
+      lockss::sim::SimTime::days(args.real("recuperation-days", 30.0));
+  config.adversary.defection = parse_defection(args.text("defection", "none"));
+
+  const uint32_t seeds = static_cast<uint32_t>(args.integer("seeds", 1));
+  std::printf("lockss_sim: %u peers x %u AUs, %.2f years, %u seed(s)\n", config.peer_count,
+              config.au_count, config.duration.to_seconds() / (365.25 * 86400.0), seeds);
+
+  const auto runs = lockss::experiment::run_replicated(config, seeds);
+  const auto combined = lockss::experiment::combine_results(runs);
+  print_report("scenario:", combined);
+
+  const bool want_baseline =
+      args.flag("baseline") && config.adversary.kind != AdversarySpec::Kind::kNone;
+  if (want_baseline) {
+    lockss::experiment::ScenarioConfig base = config;
+    base.adversary.kind = AdversarySpec::Kind::kNone;
+    const auto base_runs = lockss::experiment::run_replicated(base, seeds);
+    const auto base_combined = lockss::experiment::combine_results(base_runs);
+    print_report("baseline (no attack):", base_combined);
+    const auto rel = lockss::experiment::relative_metrics(combined, base_combined);
+    std::printf("relative (§6.1):\n");
+    std::printf("  delay ratio                 %.2f\n", rel.delay_ratio);
+    std::printf("  coefficient of friction     %.2f\n", rel.friction);
+    std::printf("  cost ratio                  %.2f\n", rel.cost_ratio);
+  }
+  return 0;
+}

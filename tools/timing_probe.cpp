@@ -1,0 +1,38 @@
+// Wall-clock timing probe for bench calibration.
+#include <chrono>
+#include <cstdio>
+
+#include "experiment/scenario.hpp"
+
+using namespace lockss;
+
+static void probe(uint32_t peers, uint32_t aus, double years,
+                  experiment::AdversarySpec::Kind kind) {
+  experiment::ScenarioConfig config;
+  config.peer_count = peers;
+  config.au_count = aus;
+  config.duration = sim::SimTime::years(years);
+  config.seed = 1;
+  config.adversary.kind = kind;
+  config.adversary.cadence.coverage = 1.0;
+  config.adversary.cadence.attack_duration = sim::SimTime::days(30);
+  config.adversary.cadence.recuperation = sim::SimTime::days(30);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = experiment::run_scenario(config);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::printf("peers=%u aus=%u years=%.1f adv=%d: %.0f ms, polls=%llu ok=%llu afp=%.2e\n", peers,
+              aus, years, (int)kind, ms, (unsigned long long)r.polls_started,
+              (unsigned long long)r.report.successful_polls,
+              r.report.access_failure_probability);
+}
+
+int main() {
+  probe(100, 5, 2.0, experiment::AdversarySpec::Kind::kNone);
+  probe(100, 10, 2.0, experiment::AdversarySpec::Kind::kNone);
+  probe(100, 25, 2.0, experiment::AdversarySpec::Kind::kNone);
+  probe(100, 10, 2.0, experiment::AdversarySpec::Kind::kPipeStoppage);
+  probe(100, 10, 2.0, experiment::AdversarySpec::Kind::kAdmissionFlood);
+  probe(100, 10, 1.0, experiment::AdversarySpec::Kind::kBruteForce);
+  return 0;
+}
