@@ -18,12 +18,15 @@
 //
 // Expected shape: each ablation raises friction (or, for sync_solicit,
 // inquorate polls) relative to the full defense stack.
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "experiment/aggregate.hpp"
 #include "experiment/cli.hpp"
+#include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "experiment/table.hpp"
 
@@ -72,21 +75,36 @@ int main(int argc, char** argv) {
                                 profile.csv);
   table.header();
 
+  const std::vector<experiment::AdversarySpec::Kind> kinds = {
+      experiment::AdversarySpec::Kind::kAdmissionFlood,
+      experiment::AdversarySpec::Kind::kBruteForce};
+
+  // Flatten the whole study — per ablation: one baseline (with the same
+  // ablation, so friction isolates the attack) plus one campaign per attack
+  // kind — into a single parallel grid; run_replicated_grid replicates each
+  // config over the profile's seeds.
+  std::vector<experiment::ScenarioConfig> grid;
   for (const Ablation& ablation : kAblations) {
-    for (auto kind : {experiment::AdversarySpec::Kind::kAdmissionFlood,
-                      experiment::AdversarySpec::Kind::kBruteForce}) {
-      experiment::ScenarioConfig config = experiment::base_config(profile);
-      ablation.apply(config);
-      // Baseline with the same ablation, so friction isolates the attack.
-      const auto baseline =
-          experiment::combine_results(experiment::run_replicated(config, profile.seeds));
-      config.adversary.kind = kind;
-      config.adversary.defection = adversary::DefectionPoint::kNone;
-      config.adversary.cadence.coverage = 1.0;
-      config.adversary.cadence.attack_duration = config.duration;
-      config.adversary.cadence.recuperation = sim::SimTime::days(30);
-      const auto attacked =
-          experiment::combine_results(experiment::run_replicated(config, profile.seeds));
+    experiment::ScenarioConfig config = experiment::base_config(profile);
+    ablation.apply(config);
+    grid.push_back(config);
+    for (auto kind : kinds) {
+      experiment::ScenarioConfig attack = config;
+      attack.adversary.kind = kind;
+      attack.adversary.defection = adversary::DefectionPoint::kNone;
+      attack.adversary.cadence.coverage = 1.0;
+      attack.adversary.cadence.attack_duration = attack.duration;
+      attack.adversary.cadence.recuperation = sim::SimTime::days(30);
+      grid.push_back(attack);
+    }
+  }
+  const auto combined_results = experiment::run_replicated_grid(grid, profile.seeds);
+
+  size_t block = 0;
+  for (const Ablation& ablation : kAblations) {
+    const experiment::RunResult& baseline = combined_results[block++];
+    for (auto kind : kinds) {
+      const experiment::RunResult& attacked = combined_results[block++];
       const auto rel = experiment::relative_metrics(attacked, baseline);
       table.row({ablation.name,
                  kind == experiment::AdversarySpec::Kind::kAdmissionFlood ? "admission_flood"

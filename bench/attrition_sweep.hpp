@@ -8,12 +8,15 @@
 #ifndef LOCKSS_BENCH_ATTRITION_SWEEP_HPP_
 #define LOCKSS_BENCH_ATTRITION_SWEEP_HPP_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "analysis/gnuplot.hpp"
 #include "experiment/aggregate.hpp"
 #include "experiment/cli.hpp"
+#include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "experiment/table.hpp"
 
@@ -71,16 +74,31 @@ inline void run_attack_sweep(const experiment::CliArgs& args,
   const std::vector<double> durations =
       args.reals("durations", spec.durations_days);
   const std::vector<double> coverages = args.reals("coverages", spec.coverages_percent);
+
+  // The whole duration × coverage × seed grid is independent; flatten it
+  // into one job list so the parallel runner keeps every core busy across
+  // cell boundaries instead of joining at each cell.
+  std::vector<experiment::ScenarioConfig> grid;
+  grid.reserve(durations.size() * coverages.size());
   for (double duration : durations) {
-    std::vector<std::string> row = {experiment::TableWriter::fixed(duration, 0)};
     for (double coverage : coverages) {
       experiment::ScenarioConfig config = base;
       config.adversary.kind = spec.adversary;
       config.adversary.cadence.attack_duration = sim::SimTime::days(duration);
       config.adversary.cadence.recuperation = sim::SimTime::days(30);
       config.adversary.cadence.coverage = coverage / 100.0;
-      const auto runs = experiment::run_replicated(config, profile.seeds);
-      const experiment::RunResult combined = experiment::combine_results(runs);
+      grid.push_back(config);
+    }
+  }
+  const std::vector<experiment::RunResult> cells =
+      experiment::run_replicated_grid(grid, profile.seeds);
+
+  size_t cell = 0;
+  for (double duration : durations) {
+    std::vector<std::string> row = {experiment::TableWriter::fixed(duration, 0)};
+    for (double coverage : coverages) {
+      (void)coverage;
+      const experiment::RunResult& combined = cells[cell++];
       const experiment::RelativeMetrics rel =
           experiment::relative_metrics(combined, baseline);
       double value = 0.0;

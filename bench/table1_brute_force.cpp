@@ -8,11 +8,14 @@
 // INTRO deserter has the worst cost ratio (1.93) and the least friction
 // (1.40). Access failure stays within ~1.3x of baseline everywhere: rate
 // limits deny the adversary's resource advantage any real purchase.
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
 #include "experiment/aggregate.hpp"
 #include "experiment/cli.hpp"
+#include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "experiment/table.hpp"
 
@@ -38,15 +41,26 @@ int main(int argc, char** argv) {
       profile.csv);
   table.header();
 
-  for (adversary::DefectionPoint defection :
-       {adversary::DefectionPoint::kIntro, adversary::DefectionPoint::kRemaining,
-        adversary::DefectionPoint::kNone}) {
+  // All three defection-point campaigns are independent: build each attack
+  // config once (reused verbatim by the layered runs below), then batch the
+  // full (defection × seed) grid through the parallel runner in one shot.
+  const std::vector<adversary::DefectionPoint> defections = {
+      adversary::DefectionPoint::kIntro, adversary::DefectionPoint::kRemaining,
+      adversary::DefectionPoint::kNone};
+  std::vector<experiment::ScenarioConfig> attacks;
+  for (adversary::DefectionPoint defection : defections) {
     experiment::ScenarioConfig config = base;
     config.adversary.kind = experiment::AdversarySpec::Kind::kBruteForce;
     config.adversary.defection = defection;
-    const auto attacked =
-        experiment::combine_results(experiment::run_replicated(config, profile.seeds));
+    attacks.push_back(config);
+  }
+  const auto attacked_results = experiment::run_replicated_grid(attacks, profile.seeds);
+
+  for (size_t d = 0; d < defections.size(); ++d) {
+    const adversary::DefectionPoint defection = defections[d];
+    const experiment::RunResult& attacked = attacked_results[d];
     const auto rel = experiment::relative_metrics(attacked, baseline);
+    const experiment::ScenarioConfig& config = attacks[d];
     table.row({adversary::defection_point_name(defection),
                std::to_string(profile.aus) + " AUs",
                experiment::TableWriter::fixed(rel.friction, 2),

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "experiment/runner.hpp"
+
 namespace lockss::experiment {
 
 Aggregate aggregate(const std::vector<double>& values) {
@@ -22,24 +24,29 @@ Aggregate aggregate(const std::vector<double>& values) {
 }
 
 std::vector<RunResult> run_replicated(const ScenarioConfig& config, uint32_t seeds) {
-  std::vector<RunResult> runs;
-  runs.reserve(seeds);
+  // Replicated runs are independent; fan them out across the default worker
+  // pool. Results come back in seed order whatever the completion order.
+  std::vector<ScenarioConfig> jobs;
+  jobs.reserve(seeds);
   for (uint32_t s = 0; s < seeds; ++s) {
     ScenarioConfig c = config;
     c.seed = config.seed + s;
-    runs.push_back(run_scenario(c));
+    jobs.push_back(c);
   }
-  return runs;
+  return run_grid(jobs);
 }
 
-RunResult combine_results(const std::vector<RunResult>& parts) {
-  assert(!parts.empty());
+namespace {
+
+RunResult combine_range(const RunResult* parts, size_t count) {
+  assert(count > 0);
   RunResult out;
-  out.report.duration = parts.front().report.duration;
+  out.report.duration = parts[0].report.duration;
   double afp_sum = 0.0;
   double gap_weighted = 0.0;
   double gap_weight = 0.0;
-  for (const RunResult& part : parts) {
+  for (size_t i = 0; i < count; ++i) {
+    const RunResult& part = parts[i];
     const metrics::MetricsReport& r = part.report;
     afp_sum += r.access_failure_probability;
     out.report.successful_polls += r.successful_polls;
@@ -60,8 +67,10 @@ RunResult combine_results(const std::vector<RunResult>& parts) {
     out.messages_filtered += part.messages_filtered;
     out.adversary_invitations += part.adversary_invitations;
     out.adversary_admissions += part.adversary_admissions;
+    out.events_processed += part.events_processed;
+    out.peak_queue_depth = std::max(out.peak_queue_depth, part.peak_queue_depth);
   }
-  out.report.access_failure_probability = afp_sum / static_cast<double>(parts.size());
+  out.report.access_failure_probability = afp_sum / static_cast<double>(count);
   out.report.mean_success_gap_days = gap_weight > 0.0 ? gap_weighted / gap_weight : 0.0;
   out.report.effort_per_successful_poll =
       out.report.successful_polls > 0
@@ -72,6 +81,39 @@ RunResult combine_results(const std::vector<RunResult>& parts) {
                                     out.report.loyal_effort_seconds
                               : 0.0;
   return out;
+}
+
+}  // namespace
+
+RunResult combine_results(const std::vector<RunResult>& parts) {
+  return combine_range(parts.data(), parts.size());
+}
+
+RunResult combine_block(const std::vector<RunResult>& grid_runs, size_t block,
+                        uint32_t per_block) {
+  assert((block + 1) * per_block <= grid_runs.size());
+  return combine_range(grid_runs.data() + block * per_block, per_block);
+}
+
+std::vector<RunResult> run_replicated_grid(const std::vector<ScenarioConfig>& configs,
+                                           uint32_t seeds) {
+  assert(seeds > 0);
+  std::vector<ScenarioConfig> jobs;
+  jobs.reserve(configs.size() * seeds);
+  for (const ScenarioConfig& config : configs) {
+    for (uint32_t s = 0; s < seeds; ++s) {
+      ScenarioConfig c = config;
+      c.seed = config.seed + s;
+      jobs.push_back(c);
+    }
+  }
+  const std::vector<RunResult> runs = run_grid(jobs);
+  std::vector<RunResult> combined;
+  combined.reserve(configs.size());
+  for (size_t block = 0; block < configs.size(); ++block) {
+    combined.push_back(combine_block(runs, block, seeds));
+  }
+  return combined;
 }
 
 Aggregate aggregate_metric(const std::vector<RunResult>& runs,

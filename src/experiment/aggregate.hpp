@@ -28,6 +28,21 @@ std::vector<RunResult> run_replicated(const ScenarioConfig& config, uint32_t see
 // counts and efforts sum; success gaps pool weighted by gap count.
 RunResult combine_results(const std::vector<RunResult>& parts);
 
+// Combines the `block`-th group of `per_block` consecutive results from a
+// flattened grid (as produced by run_grid over a job list built in blocks of
+// `per_block` seed-replicas). Shared by the sweep/table drivers so the
+// slicing arithmetic lives in one place and results are not copied.
+RunResult combine_block(const std::vector<RunResult>& grid_runs, size_t block,
+                        uint32_t per_block);
+
+// Runs every config `seeds` times (seed, seed+1, ...) as one flat parallel
+// grid and returns one seed-combined result per config, in config order.
+// The workhorse of the figure/table drivers: the seed replication and the
+// block slicing live here, so a driver's build loop and consume loop only
+// have to agree on config order.
+std::vector<RunResult> run_replicated_grid(const std::vector<ScenarioConfig>& configs,
+                                           uint32_t seeds);
+
 // Extracts a metric across runs.
 Aggregate aggregate_metric(const std::vector<RunResult>& runs,
                            const std::function<double(const RunResult&)>& metric);

@@ -1,0 +1,81 @@
+#include "experiment/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace lockss::experiment {
+
+namespace {
+std::atomic<unsigned> g_default_workers_override{0};
+}  // namespace
+
+ParallelRunner::ParallelRunner(unsigned workers)
+    : workers_(workers > 0 ? workers : default_workers()) {}
+
+unsigned ParallelRunner::default_workers() {
+  const unsigned override = g_default_workers_override.load(std::memory_order_relaxed);
+  if (override > 0) {
+    return override;
+  }
+  if (const char* env = std::getenv("LOCKSS_WORKERS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) {
+      return static_cast<unsigned>(n);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ParallelRunner::set_default_workers(unsigned n) {
+  g_default_workers_override.store(n, std::memory_order_relaxed);
+}
+
+std::vector<RunResult> ParallelRunner::run(const std::vector<ScenarioConfig>& jobs) const {
+  std::vector<RunResult> results(jobs.size());
+  // A caller-supplied poll_observer is a shared std::function with no
+  // thread-safety contract (established callers mutate captured probes);
+  // degrade to serial execution rather than race it. Results are identical
+  // either way — that is the runner's determinism contract.
+  const bool has_observer =
+      std::any_of(jobs.begin(), jobs.end(),
+                  [](const ScenarioConfig& job) { return job.poll_observer != nullptr; });
+  const unsigned workers =
+      has_observer ? 1u : static_cast<unsigned>(std::min<size_t>(workers_, jobs.size()));
+  if (workers <= 1) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = run_scenario(jobs[i]);
+    }
+    return results;
+  }
+  // Each job index is claimed exactly once and each result slot written
+  // exactly once, so the only synchronization needed is the counter and the
+  // joins. Result order is job order by construction.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size()) {
+          return;
+        }
+        results[i] = run_scenario(jobs[i]);
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return results;
+}
+
+std::vector<RunResult> run_grid(const std::vector<ScenarioConfig>& jobs, unsigned workers) {
+  return ParallelRunner(workers).run(jobs);
+}
+
+}  // namespace lockss::experiment

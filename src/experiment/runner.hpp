@@ -1,0 +1,52 @@
+// Parallel scenario execution.
+//
+// Every figure and table in the paper is a grid of *independent* runs —
+// durations × coverage levels × seeds (§6.3) — and each run owns its entire
+// world (Simulator, Rng, Network, peers), so runs parallelize with no shared
+// state. ParallelRunner fans a job list out across a fixed set of worker
+// threads and writes each result into the slot matching its job index, so
+// the output order is the job order regardless of completion order.
+//
+// Determinism contract: run_scenario(config) is a pure function of its
+// config (all randomness flows from config.seed). Therefore the result
+// vector is bit-identical for any worker count, including 1; the tier-1
+// suite enforces this. There is no work stealing and no cross-run
+// communication — scheduling only decides *when* a job runs, never *what*
+// it computes.
+#ifndef LOCKSS_EXPERIMENT_RUNNER_HPP_
+#define LOCKSS_EXPERIMENT_RUNNER_HPP_
+
+#include <vector>
+
+#include "experiment/scenario.hpp"
+
+namespace lockss::experiment {
+
+class ParallelRunner {
+ public:
+  // `workers` = 0 picks default_workers().
+  explicit ParallelRunner(unsigned workers = 0);
+
+  unsigned workers() const { return workers_; }
+
+  // Runs every config and returns results in job order. Jobs carrying a
+  // poll_observer run serially: the observer is a shared callback with no
+  // thread-safety contract, and results are identical either way.
+  std::vector<RunResult> run(const std::vector<ScenarioConfig>& jobs) const;
+
+  // Worker count used when none is given: the LOCKSS_WORKERS environment
+  // variable if set (>= 1), else std::thread::hardware_concurrency().
+  static unsigned default_workers();
+  // Process-wide override (tests, benches); 0 restores automatic selection.
+  static void set_default_workers(unsigned n);
+
+ private:
+  unsigned workers_;
+};
+
+// Convenience: one-shot grid execution with the default (or given) workers.
+std::vector<RunResult> run_grid(const std::vector<ScenarioConfig>& jobs, unsigned workers = 0);
+
+}  // namespace lockss::experiment
+
+#endif  // LOCKSS_EXPERIMENT_RUNNER_HPP_

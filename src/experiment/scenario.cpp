@@ -239,6 +239,8 @@ RunResult run_scenario(const ScenarioConfig& config) {
   result.report = collector.finalize(config.duration);
   result.messages_delivered = network.stats().messages_delivered;
   result.messages_filtered = network.stats().messages_filtered;
+  result.events_processed = simulator.events_processed();
+  result.peak_queue_depth = simulator.peak_queue_depth();
   if (brute_force) {
     result.adversary_invitations = brute_force->invitations_sent();
     result.adversary_admissions = brute_force->admissions();

@@ -89,6 +89,9 @@ struct RunResult {
   uint64_t adversary_admissions = 0;
   // Population-wide admission-verdict histogram (protocol::AdmissionVerdict).
   std::array<uint64_t, 8> admission_verdicts{};
+  // Simulation-engine counters (deterministic; tracked for the perf reports).
+  uint64_t events_processed = 0;
+  uint64_t peak_queue_depth = 0;
   // Per-peer busy history (only when collect_schedule_history).
   std::vector<std::vector<sched::Reservation>> schedules;
 };

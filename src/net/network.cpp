@@ -66,11 +66,9 @@ void Network::send(MessagePtr message) {
     return;
   }
   const sim::SimTime delay = delivery_delay(message->from, message->to, message->size_bytes());
-  // std::function requires copyable callables, so the unique_ptr travels in a
-  // shared box and is moved out exactly once at delivery time.
-  auto box = std::make_shared<MessagePtr>(std::move(message));
-  simulator_.schedule_in(delay, [this, box]() {
-    MessagePtr msg = std::move(*box);
+  // EventFn supports move-only callables, so the unique_ptr rides in the
+  // capture directly — no shared box, no allocation beyond the message.
+  simulator_.schedule_in(delay, [this, msg = std::move(message)]() mutable {
     assert(msg != nullptr);
     // Deliver through a fresh handler lookup: the recipient may unregister
     // (or be replaced) while the message is in flight.

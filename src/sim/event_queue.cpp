@@ -1,43 +1,138 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace lockss::sim {
 
-EventHandle EventQueue::push(SimTime at, EventFn fn) {
-  auto cancelled = std::make_shared<bool>(false);
-  auto fired = std::make_shared<bool>(false);
-  EventHandle handle(cancelled, fired);
-  heap_.push(Entry{at, next_seq_++, std::move(cancelled), std::move(fired), std::move(fn)});
-  return handle;
-}
+namespace {
+constexpr size_t kArity = 4;
+}  // namespace
 
-void EventQueue::drop_cancelled_head() {
-  while (!heap_.empty() && *heap_.top().cancelled) {
-    heap_.pop();
+void EventHandle::cancel() {
+  if (queue_ != nullptr) {
+    queue_->cancel_slot(index_, generation_);
   }
 }
 
-bool EventQueue::empty() {
-  drop_cancelled_head();
-  return heap_.empty();
+bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->slot_pending(index_, generation_);
+}
+
+EventHandle EventQueue::push(SimTime at, EventFn fn) {
+  uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    if (slot_count_ == chunks_.size() * kChunkSize) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+    index = slot_count_++;
+  }
+  Slot& s = slot(index);
+  s.at = at;
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+  s.cancelled = false;
+
+  heap_.push_back(HeapEntry{at, s.seq, index});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  if (heap_.size() > peak_depth_) {
+    peak_depth_ = heap_.size();
+  }
+  return EventHandle(this, index, s.generation);
+}
+
+void EventQueue::cancel_slot(uint32_t index, uint64_t generation) {
+  if (!slot_pending(index, generation)) {
+    return;
+  }
+  Slot& s = slot(index);
+  s.cancelled = true;
+  // Release the callback now so cancelled events do not pin captured
+  // resources until the record surfaces at the heap root.
+  s.fn.reset();
+  --live_;
+}
+
+void EventQueue::sift_up(size_t pos) {
+  const HeapEntry moving = heap_[pos];
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / kArity;
+    if (!before(moving, heap_[parent])) {
+      break;
+    }
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = moving;
+}
+
+void EventQueue::sift_down(size_t pos) {
+  const size_t n = heap_.size();
+  const HeapEntry moving = heap_[pos];
+  while (true) {
+    const size_t first_child = pos * kArity + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t best = first_child;
+    const size_t last_child = std::min(first_child + kArity, n);
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!before(heap_[best], moving)) {
+      break;
+    }
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = moving;
+}
+
+void EventQueue::remove_root() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    sift_down(0);
+  }
+}
+
+void EventQueue::release(uint32_t index) {
+  Slot& s = slot(index);
+  ++s.generation;  // invalidates every outstanding handle to this record
+  s.fn.reset();
+  free_.push_back(index);
+}
+
+void EventQueue::prune_cancelled_root() {
+  while (!heap_.empty() && slot(heap_[0].index).cancelled) {
+    release(heap_[0].index);
+    remove_root();
+  }
 }
 
 SimTime EventQueue::next_time() {
-  drop_cancelled_head();
+  prune_cancelled_root();
   assert(!heap_.empty());
-  return heap_.top().at;
+  return heap_[0].at;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled_head();
+  prune_cancelled_root();
   assert(!heap_.empty());
-  // priority_queue::top() is const; the entry must be copied out before pop.
-  Entry entry = heap_.top();
-  heap_.pop();
-  *entry.fired = true;
-  return Popped{entry.at, std::move(entry.fn)};
+  const uint32_t index = heap_[0].index;
+  Slot& s = slot(index);
+  Popped popped{s.at, std::move(s.fn)};
+  release(index);
+  remove_root();
+  --live_;
+  return popped;
 }
 
 }  // namespace lockss::sim

@@ -1,23 +1,35 @@
 // Pending-event set for the discrete-event engine.
 //
-// Events are (time, sequence, callback) triples kept in a binary heap.
-// Sequence numbers break time ties in scheduling order, which makes runs
-// fully deterministic. Cancellation is lazy: `EventHandle::cancel()` marks a
-// shared flag and the queue skips the entry when it surfaces.
+// Events live in a slab of pooled records addressed by a generation-checked
+// (index, generation) pair; a 4-ary implicit min-heap of slot indices orders
+// them by (time, sequence). Sequence numbers break time ties in scheduling
+// order, which keeps runs fully deterministic. Scheduling a small-capture
+// callback performs no heap allocation (see sim/inline_fn.hpp); freed slots
+// are recycled through a free list, so a steady-state simulation reaches a
+// fixed memory footprint and never allocates on the hot path.
+//
+// Cancellation is O(1) and lazy: `EventHandle::cancel()` flips a bit in the
+// slab record (releasing the callback's captures immediately) and the heap
+// entry is discarded when it surfaces. Handles are POD-sized {queue, index,
+// generation} triples: copies are free, stale handles — fired, cancelled, or
+// outliving a recycled slot — are detected by generation mismatch and become
+// inert. A handle must not be used after its EventQueue is destroyed.
 #ifndef LOCKSS_SIM_EVENT_QUEUE_HPP_
 #define LOCKSS_SIM_EVENT_QUEUE_HPP_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace lockss::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
+
+class EventQueue;
 
 // Handle to a scheduled event. Default-constructed handles are inert.
 // Copyable; all copies refer to the same scheduled event.
@@ -25,23 +37,24 @@ class EventHandle {
  public:
   EventHandle() = default;
 
-  // Cancels the event if it has not fired yet. Idempotent.
-  void cancel() {
-    if (cancelled_) {
-      *cancelled_ = true;
-    }
-  }
+  // Cancels the event if it has not fired yet. Idempotent; safe on
+  // default-constructed and stale handles.
+  void cancel();
 
   // True if the handle refers to an event that is still pending.
-  bool pending() const { return cancelled_ && !*cancelled_ && !*fired_; }
+  bool pending() const;
 
  private:
   friend class EventQueue;
-  EventHandle(std::shared_ptr<bool> cancelled, std::shared_ptr<bool> fired)
-      : cancelled_(std::move(cancelled)), fired_(std::move(fired)) {}
+  EventHandle(EventQueue* queue, uint32_t index, uint64_t generation)
+      : queue_(queue), index_(index), generation_(generation) {}
 
-  std::shared_ptr<bool> cancelled_;
-  std::shared_ptr<bool> fired_;
+  EventQueue* queue_ = nullptr;
+  uint32_t index_ = 0;
+  // 64-bit so a long-held stale handle can never alias a recycled slot:
+  // the LIFO free list concentrates reuse on few slots, and a 32-bit
+  // counter would wrap within ~4.3e9 events on one slot.
+  uint64_t generation_ = 0;
 };
 
 class EventQueue {
@@ -49,45 +62,87 @@ class EventQueue {
   // Adds an event at absolute time `at`. Returns a cancellation handle.
   EventHandle push(SimTime at, EventFn fn);
 
-  // True when no uncancelled events remain. May discard cancelled heads.
-  bool empty();
+  // True when no uncancelled events remain. Const: backed by a live-event
+  // count, not by pruning the heap.
+  bool empty() const { return live_ == 0; }
 
-  // Timestamp of the earliest pending event. Requires !empty().
+  // Number of pending (uncancelled, unfired) events.
+  size_t size() const { return live_; }
+
+  // Timestamp of the earliest pending event. Requires !empty(). Prunes
+  // cancelled records that have surfaced at the heap root.
   SimTime next_time();
 
-  // Removes and runs nothing: pops the earliest pending event and returns it
-  // so the simulator can advance its clock before invoking the callback.
+  // Pops the earliest pending event and returns it so the simulator can
+  // advance its clock before invoking the callback.
   struct Popped {
     SimTime at;
     EventFn fn;
   };
   Popped pop();
 
-  size_t size() const { return heap_.size(); }
+  // High-water mark of heap entries (pending + not-yet-pruned cancelled),
+  // tracked for the perf reports.
+  size_t peak_depth() const { return peak_depth_; }
 
  private:
-  struct Entry {
+  friend class EventHandle;
+
+  struct Slot {
+    SimTime at;
+    uint64_t seq = 0;
+    EventFn fn;
+    uint64_t generation = 0;
+    bool cancelled = false;
+  };
+
+  // Heap entries carry the full (time, seq) ordering key so sift operations
+  // compare and move 24-byte PODs without dereferencing the slab — the slab
+  // is only touched at push, cancel, and pop, never per comparison.
+  struct HeapEntry {
     SimTime at;
     uint64_t seq;
-    // shared_ptr keeps cancellation flags alive as long as either the queue
-    // or an outstanding handle needs them.
-    std::shared_ptr<bool> cancelled;
-    std::shared_ptr<bool> fired;
-    EventFn fn;
+    uint32_t index;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
+
+  // The slab is chunked so records never move: growing it allocates one
+  // fixed-size chunk (amortized over kChunkSize events) instead of
+  // relocating every live callback the way a flat vector would.
+  static constexpr size_t kChunkShift = 12;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+
+  Slot& slot(uint32_t index) { return chunks_[index >> kChunkShift][index & (kChunkSize - 1)]; }
+  const Slot& slot(uint32_t index) const {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  bool slot_pending(uint32_t index, uint64_t generation) const {
+    return index < slot_count_ && slot(index).generation == generation &&
+           !slot(index).cancelled;
+  }
+  void cancel_slot(uint32_t index, uint64_t generation);
+
+  // Heap order: earlier time first, scheduling order among ties.
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
     }
-  };
+    return a.seq < b.seq;
+  }
+  void sift_up(size_t pos);
+  void sift_down(size_t pos);
+  void remove_root();
+  // Returns the slot to the free list and invalidates outstanding handles.
+  void release(uint32_t index);
+  void prune_cancelled_root();
 
-  void drop_cancelled_head();
-
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  uint32_t slot_count_ = 0;
+  std::vector<uint32_t> free_;
+  std::vector<HeapEntry> heap_;
   uint64_t next_seq_ = 0;
+  size_t live_ = 0;
+  size_t peak_depth_ = 0;
 };
 
 }  // namespace lockss::sim

@@ -1,0 +1,163 @@
+// Small-buffer-optimized `void()` callable for the event hot path.
+//
+// Every scheduled event in the simulator carries a callback. The common case
+// is a lambda capturing `this` plus a couple of scalars — a few dozen bytes —
+// yet `std::function` routes many such captures through the heap. `InlineFn`
+// stores callables up to `kInlineBytes` directly inside the object (no
+// allocation on construct, move, invoke, or destroy) and falls back to the
+// heap only for oversized or potentially-throwing-move captures. Heap
+// fallbacks are counted so tests and benches can assert the hot path stays
+// allocation-free.
+//
+// InlineFn is move-only, which lets callbacks own move-only resources
+// (e.g. a `unique_ptr` message in flight) without the shared_ptr boxing that
+// `std::function`'s copyability requirement forces.
+#ifndef LOCKSS_SIM_INLINE_FN_HPP_
+#define LOCKSS_SIM_INLINE_FN_HPP_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lockss::sim {
+
+class InlineFn {
+ public:
+  // Sized for the repo's largest common capture set (a reference + a message
+  // pointer + a handful of ids) with headroom; a 64-byte slot also keeps one
+  // event record within two cache lines.
+  static constexpr size_t kInlineBytes = 64;
+
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for EventFn
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      // The pointer travels in/out of the raw buffer via memcpy: plain
+      // assignment through a reinterpret_cast would access a pointer object
+      // whose lifetime never began in storage_.
+      Fn* heap = new Fn(std::forward<F>(f));
+      std::memcpy(storage_, &heap, sizeof(heap));
+      ops_ = &kHeapOps<Fn>;
+      heap_allocations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      relocate_from(other);
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        relocate_from(other);
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  // Releases the stored callable (and any resources its captures own).
+  void reset() {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial) {
+        ops_->destroy(storage_);
+      }
+      ops_ = nullptr;
+    }
+  }
+
+  // Invokes the stored callable. Requires engaged (operator bool).
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // Test/bench hook: number of callables that did not fit inline and were
+  // heap-allocated since process start (or the last reset).
+  static uint64_t heap_allocations() {
+    return heap_allocations_.load(std::memory_order_relaxed);
+  }
+  static void reset_heap_allocations() {
+    heap_allocations_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs into `to`'s raw storage and destroys the source.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void* storage);
+    // Trivially copyable + destructible: relocation is a memcpy done at the
+    // call site (no indirect call) and destruction is a no-op.
+    bool trivial;
+  };
+
+  void relocate_from(InlineFn& other) noexcept {
+    if (ops_->trivial) {
+      std::memcpy(storage_, other.storage_, kInlineBytes);
+    } else {
+      ops_->relocate(other.storage_, storage_);
+    }
+    other.ops_ = nullptr;
+  }
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* from, void* to) {
+        Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+      std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>,
+  };
+
+  template <typename Fn>
+  static Fn* heap_ptr(void* storage) {
+    Fn* p;
+    std::memcpy(&p, storage, sizeof(p));
+    return p;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (*heap_ptr<Fn>(s))(); },
+      [](void* from, void* to) { std::memcpy(to, from, sizeof(Fn*)); },
+      [](void* s) { delete heap_ptr<Fn>(s); },
+      false,
+  };
+
+  inline static std::atomic<uint64_t> heap_allocations_{0};
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace lockss::sim
+
+#endif  // LOCKSS_SIM_INLINE_FN_HPP_

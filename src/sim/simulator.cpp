@@ -6,7 +6,11 @@ namespace lockss::sim {
 
 EventHandle Simulator::schedule_in(SimTime delay, EventFn fn) {
   assert(!delay.is_negative());
-  return queue_.push(now_ + delay, std::move(fn));
+  // Saturating add: a delay at (or near) SimTime::max() means "effectively
+  // never" and must not wrap past the end of representable time.
+  const SimTime at =
+      delay < SimTime::max() - now_ ? now_ + delay : SimTime::max();
+  return queue_.push(at, std::move(fn));
 }
 
 EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {

@@ -46,7 +46,11 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   uint64_t events_processed() const { return events_processed_; }
-  size_t events_pending() { return queue_.empty() ? 0 : queue_.size(); }
+  // Number of pending (uncancelled, unfired) events. Const: the queue keeps
+  // a live count, so no lazy cleanup happens on this query path.
+  size_t events_pending() const { return queue_.size(); }
+  // High-water mark of the event queue, for the perf reports.
+  size_t peak_queue_depth() const { return queue_.peak_depth(); }
 
  private:
   EventQueue queue_;

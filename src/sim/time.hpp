@@ -25,8 +25,19 @@ class SimTime {
   static constexpr SimTime nanoseconds(int64_t n) { return SimTime(n); }
   static constexpr SimTime microseconds(int64_t us) { return SimTime(us * 1000); }
   static constexpr SimTime milliseconds(int64_t ms) { return SimTime(ms * 1000000); }
+  // Saturates at the representable range: exponential waiting-time draws
+  // with century-scale means (small collections under §7.1 damage rates)
+  // can exceed INT64_MAX nanoseconds, and "effectively never" must stay
+  // positive rather than wrap negative.
   static constexpr SimTime seconds(double s) {
-    return SimTime(static_cast<int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+    const double ns = s * 1e9;
+    if (ns >= static_cast<double>(INT64_MAX)) {
+      return SimTime(INT64_MAX);
+    }
+    if (ns <= static_cast<double>(INT64_MIN)) {
+      return SimTime(INT64_MIN);
+    }
+    return SimTime(static_cast<int64_t>(ns + (s >= 0 ? 0.5 : -0.5)));
   }
   static constexpr SimTime minutes(double m) { return seconds(m * 60.0); }
   static constexpr SimTime hours(double h) { return seconds(h * 3600.0); }

@@ -1,0 +1,125 @@
+// Determinism under parallelism: the same (config, seed) grid must produce
+// bit-identical RunResult vectors whatever the worker count, because each
+// run is a pure function of its config and the runner only reorders *when*
+// jobs execute, never *what* they compute. Doubles are compared with exact
+// equality on purpose — any tolerance would hide cross-thread contamination.
+#include "experiment/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "experiment/aggregate.hpp"
+#include "experiment/scenario.hpp"
+
+namespace lockss::experiment {
+namespace {
+
+ScenarioConfig small_config(uint64_t seed) {
+  ScenarioConfig config;
+  config.peer_count = 12;
+  config.au_count = 2;
+  // Long enough for several poll cycles (inter_poll_interval is 3 months),
+  // so polls, votes, repairs, and damage all actually happen.
+  config.duration = sim::SimTime::days(400);
+  config.seed = seed;
+  return config;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.report.access_failure_probability, b.report.access_failure_probability);
+  EXPECT_EQ(a.report.mean_success_gap_days, b.report.mean_success_gap_days);
+  EXPECT_EQ(a.report.mean_observed_gap_days, b.report.mean_observed_gap_days);
+  EXPECT_EQ(a.report.successful_polls, b.report.successful_polls);
+  EXPECT_EQ(a.report.inquorate_polls, b.report.inquorate_polls);
+  EXPECT_EQ(a.report.alarms, b.report.alarms);
+  EXPECT_EQ(a.report.repairs, b.report.repairs);
+  EXPECT_EQ(a.report.damage_events, b.report.damage_events);
+  EXPECT_EQ(a.report.loyal_effort_seconds, b.report.loyal_effort_seconds);
+  EXPECT_EQ(a.report.adversary_effort_seconds, b.report.adversary_effort_seconds);
+  EXPECT_EQ(a.report.effort_per_successful_poll, b.report.effort_per_successful_poll);
+  EXPECT_EQ(a.report.cost_ratio, b.report.cost_ratio);
+  EXPECT_EQ(a.polls_started, b.polls_started);
+  EXPECT_EQ(a.solicitations_sent, b.solicitations_sent);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_EQ(a.messages_filtered, b.messages_filtered);
+  EXPECT_EQ(a.adversary_invitations, b.adversary_invitations);
+  EXPECT_EQ(a.adversary_admissions, b.adversary_admissions);
+  EXPECT_EQ(a.admission_verdicts, b.admission_verdicts);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.peak_queue_depth, b.peak_queue_depth);
+}
+
+TEST(ParallelRunnerTest, OneWorkerMatchesManyWorkersBitExactly) {
+  // A mixed grid: baseline, pipe stoppage, and brute force, across seeds.
+  std::vector<ScenarioConfig> grid;
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    grid.push_back(small_config(seed));
+    ScenarioConfig pipe = small_config(seed);
+    pipe.adversary.kind = AdversarySpec::Kind::kPipeStoppage;
+    pipe.adversary.cadence.attack_duration = sim::SimTime::days(10);
+    pipe.adversary.cadence.recuperation = sim::SimTime::days(5);
+    pipe.adversary.cadence.coverage = 0.5;
+    grid.push_back(pipe);
+    ScenarioConfig brute = small_config(seed);
+    brute.adversary.kind = AdversarySpec::Kind::kBruteForce;
+    grid.push_back(brute);
+  }
+
+  const auto serial = ParallelRunner(1).run(grid);
+  const auto parallel = ParallelRunner(4).run(grid);
+  ASSERT_EQ(serial.size(), grid.size());
+  ASSERT_EQ(parallel.size(), grid.size());
+  // Guard against a vacuous pass: the scenarios must have done real work.
+  EXPECT_GT(serial[0].polls_started, 0u);
+  EXPECT_GT(serial[0].events_processed, 0u);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelRunnerTest, ResultsComeBackInJobOrder) {
+  // Different seeds give different poll counts; job order must survive any
+  // completion order, so results[i] must match a dedicated serial run of
+  // jobs[i].
+  std::vector<ScenarioConfig> grid;
+  for (uint64_t seed = 10; seed < 16; ++seed) {
+    grid.push_back(small_config(seed));
+  }
+  const auto results = ParallelRunner(3).run(grid);
+  ASSERT_EQ(results.size(), grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(results[i], run_scenario(grid[i]));
+  }
+}
+
+TEST(ParallelRunnerTest, RunReplicatedUsesSeedOrder) {
+  const ScenarioConfig base = small_config(7);
+  const auto runs = run_replicated(base, 3);
+  ASSERT_EQ(runs.size(), 3u);
+  for (uint32_t s = 0; s < 3; ++s) {
+    SCOPED_TRACE(s);
+    ScenarioConfig c = base;
+    c.seed = base.seed + s;
+    expect_identical(runs[s], run_scenario(c));
+  }
+}
+
+TEST(ParallelRunnerTest, WorkerCountSelection) {
+  EXPECT_GE(ParallelRunner::default_workers(), 1u);
+  ParallelRunner::set_default_workers(3);
+  EXPECT_EQ(ParallelRunner::default_workers(), 3u);
+  EXPECT_EQ(ParallelRunner().workers(), 3u);
+  ParallelRunner::set_default_workers(0);
+  EXPECT_GE(ParallelRunner::default_workers(), 1u);
+  EXPECT_EQ(ParallelRunner(5).workers(), 5u);
+}
+
+TEST(ParallelRunnerTest, EmptyGridIsFine) {
+  EXPECT_TRUE(ParallelRunner(4).run({}).empty());
+}
+
+}  // namespace
+}  // namespace lockss::experiment

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <random>
+#include <utility>
 #include <vector>
 
 namespace lockss::sim {
@@ -93,6 +97,157 @@ TEST(EventQueueTest, PopReturnsTimestamp) {
   q.push(SimTime::days(2), [] {});
   auto popped = q.pop();
   EXPECT_EQ(popped.at, SimTime::days(2));
+}
+
+// Regression (carried over from the shared_ptr design, where a
+// default-constructed handle dereferenced a null `fired_`): handles must be
+// inert not only when default-constructed but also when they outlive their
+// event through slot recycling.
+TEST(EventQueueTest, StaleHandleToRecycledSlotIsInert) {
+  EventQueue q;
+  EventHandle first = q.push(SimTime::seconds(1), [] {});
+  q.pop();  // fires the event; its slot returns to the free list
+  EXPECT_FALSE(first.pending());
+
+  // The next push reuses the slot under a new generation.
+  bool ran = false;
+  EventHandle second = q.push(SimTime::seconds(2), [&] { ran = true; });
+  EXPECT_TRUE(second.pending());
+  EXPECT_FALSE(first.pending());
+  first.cancel();  // stale handle must not touch the new occupant
+  EXPECT_TRUE(second.pending());
+  q.pop().fn();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, CancelledSlotRecycledAfterSurfacing) {
+  EventQueue q;
+  EventHandle h = q.push(SimTime::seconds(1), [] {});
+  q.push(SimTime::seconds(2), [] {});
+  h.cancel();
+  EXPECT_EQ(q.size(), 1u);
+  // The cancelled record surfaces and is skipped; its handle stays inert.
+  EXPECT_EQ(q.next_time(), SimTime::seconds(2));
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // idempotent on a released slot
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, SizeIsLiveCountAndEmptyIsConst) {
+  EventQueue q;
+  EventHandle a = q.push(SimTime::seconds(1), [] {});
+  q.push(SimTime::seconds(2), [] {});
+  const EventQueue& cq = q;
+  EXPECT_EQ(cq.size(), 2u);
+  a.cancel();
+  // Cancellation updates the live count immediately, no pruning required.
+  EXPECT_EQ(cq.size(), 1u);
+  EXPECT_FALSE(cq.empty());
+}
+
+TEST(EventQueueTest, PeakDepthTracksHighWaterMark) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) {
+    q.push(SimTime::seconds(i + 1), [] {});
+  }
+  while (!q.empty()) {
+    q.pop();
+  }
+  EXPECT_EQ(q.peak_depth(), 5u);
+}
+
+// The zero-allocation contract: callbacks whose captures fit the inline
+// buffer must never touch the heap on schedule or cancel. The hook counts
+// InlineFn's heap fallbacks process-wide.
+TEST(EventQueueTest, SmallCallbacksNeverAllocate) {
+  EventQueue q;
+  uint64_t sink = 0;
+  InlineFn::reset_heap_allocations();
+  std::vector<EventHandle> handles;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    handles.push_back(q.push(SimTime::seconds(static_cast<double>(i)), [&sink, i] { sink += i; }));
+  }
+  for (size_t i = 0; i < handles.size(); i += 2) {
+    handles[i].cancel();
+  }
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  EXPECT_EQ(InlineFn::heap_allocations(), 0u);
+  EXPECT_GT(sink, 0u);
+}
+
+TEST(EventQueueTest, OversizedCallbacksFallBackToHeapAndStillRun) {
+  EventQueue q;
+  struct Big {
+    char payload[128];
+  };
+  Big big{};
+  big.payload[0] = 7;
+  char out = 0;
+  InlineFn::reset_heap_allocations();
+  q.push(SimTime::seconds(1), [big, &out] { out = big.payload[0]; });
+  EXPECT_EQ(InlineFn::heap_allocations(), 1u);
+  q.pop().fn();
+  EXPECT_EQ(out, 7);
+  InlineFn::reset_heap_allocations();
+}
+
+// Randomized stress against a reference model: a std::multimap keyed by
+// (time, seq) reproduces the queue's contract (time order, FIFO among ties,
+// lazy cancellation) with none of its machinery.
+TEST(EventQueueStressTest, MatchesMultimapModel) {
+  EventQueue q;
+  std::multimap<std::pair<int64_t, uint64_t>, int> model;
+  std::map<int, EventHandle> handles;  // id -> handle for live model events
+  std::mt19937_64 rng(20260730);
+  int next_id = 0;
+  int last_fired = -1;
+  uint64_t seq = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t op = rng() % 10;
+    if (op < 5 || model.empty()) {
+      // Push at a random time; ties with live events are common on purpose.
+      const int64_t t = static_cast<int64_t>(rng() % 512);
+      const int id = next_id++;
+      handles[id] = q.push(SimTime::seconds(static_cast<double>(t)),
+                           [id, &last_fired] { last_fired = id; });
+      model.emplace(std::make_pair(t * int64_t{1000000000}, seq++), id);
+      EXPECT_TRUE(handles[id].pending());
+    } else if (op < 7) {
+      // Cancel a uniformly random live event.
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng() % model.size()));
+      const int id = it->second;
+      handles[id].cancel();
+      EXPECT_FALSE(handles[id].pending());
+      handles.erase(id);
+      model.erase(it);
+    } else {
+      // Pop: must match the model's earliest (time, seq).
+      ASSERT_FALSE(q.empty());
+      EXPECT_EQ(q.next_time().ns(), model.begin()->first.first);
+      auto popped = q.pop();
+      popped.fn();
+      EXPECT_EQ(popped.at.ns(), model.begin()->first.first);
+      EXPECT_EQ(last_fired, model.begin()->second);
+      handles.erase(model.begin()->second);
+      model.erase(model.begin());
+    }
+    ASSERT_EQ(q.size(), model.size());
+  }
+
+  // Drain what is left and verify full order.
+  while (!model.empty()) {
+    ASSERT_FALSE(q.empty());
+    auto popped = q.pop();
+    popped.fn();
+    EXPECT_EQ(popped.at.ns(), model.begin()->first.first);
+    EXPECT_EQ(last_fired, model.begin()->second);
+    model.erase(model.begin());
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

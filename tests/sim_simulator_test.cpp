@@ -98,6 +98,36 @@ TEST(SimulatorTest, CancelledEventsDontRun) {
   EXPECT_EQ(sim.events_processed(), 0u);
 }
 
+// Regression: century-scale exponential waiting times used to overflow
+// SimTime and trip the negative-delay assert (or silently wind the clock
+// backwards with NDEBUG). Saturated delays park the event at the end of
+// representable time instead.
+TEST(SimulatorTest, HugeDelaySaturatesInsteadOfWrapping) {
+  Simulator sim;
+  sim.schedule_in(SimTime::seconds(1), [] {});
+  sim.run();  // now() > 0, so an unsaturated max-delay add would wrap
+  bool ran = false;
+  EventHandle h = sim.schedule_in(SimTime::max(), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  sim.run_until(SimTime::years(1000));
+  EXPECT_FALSE(ran);  // "effectively never" within any realistic horizon
+  EXPECT_EQ(sim.now(), SimTime::years(1000));
+}
+
+TEST(SimulatorTest, EventsPendingIsConstAndCountsLiveEvents) {
+  Simulator sim;
+  EventHandle h = sim.schedule_in(SimTime::seconds(1), [] {});
+  sim.schedule_in(SimTime::seconds(2), [] {});
+  // Callable through a const reference: the query must not mutate the queue.
+  const Simulator& csim = sim;
+  EXPECT_EQ(csim.events_pending(), 2u);
+  h.cancel();
+  EXPECT_EQ(csim.events_pending(), 1u);
+  sim.run();
+  EXPECT_EQ(csim.events_pending(), 0u);
+  EXPECT_GE(csim.peak_queue_depth(), 2u);
+}
+
 TEST(SimulatorTest, SimultaneousEventsRunInScheduleOrder) {
   Simulator sim;
   std::vector<int> order;

@@ -62,5 +62,17 @@ TEST(SimTimeTest, ConversionHelpers) {
   EXPECT_DOUBLE_EQ(SimTime::hours(36).to_days(), 1.5);
 }
 
+// Regression: double-valued factories must saturate, not wrap. ~292.5 years
+// of nanoseconds exhausts int64; exponential damage inter-arrival draws on
+// small collections routinely exceed that.
+TEST(SimTimeTest, FactoriesSaturateAtRepresentableRange) {
+  EXPECT_EQ(SimTime::years(1e6), SimTime::max());
+  EXPECT_EQ(SimTime::seconds(1e30), SimTime::max());
+  EXPECT_FALSE(SimTime::years(1e6).is_negative());
+  EXPECT_EQ(SimTime::seconds(-1e30).ns(), INT64_MIN);
+  // In-range values are untouched by the clamp.
+  EXPECT_EQ(SimTime::years(200.0).to_years(), 200.0);
+}
+
 }  // namespace
 }  // namespace lockss::sim

@@ -1,0 +1,186 @@
+// Performance-trajectory emitter: runs the figure-sweep grids serially and
+// in parallel, checks that both produce bit-identical metrics (the parallel
+// runner's determinism contract), and writes BENCH_sweep.json so every PR
+// from here on can track wall-clock, events/sec, and queue depth.
+//
+//   bench_report [--peers N] [--aus N] [--years Y] [--seeds N]
+//                [--workers N] [--out PATH]
+//
+// Two sweeps are timed, matching the two attack families the paper plots:
+// the pipe-stoppage grid behind Figures 3-5 and the admission-flood grid
+// behind Figures 6-8. Each grid is duration × coverage × seeds plus a
+// replicated baseline, exactly as bench/attrition_sweep.hpp builds it.
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiment/aggregate.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+
+using namespace lockss;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Exact equality over every deterministic field of a run. Doubles compare
+// bitwise-equal because a run is a pure function of its config; any drift
+// here means the parallel runner changed *what* was computed, not just when.
+bool identical(const experiment::RunResult& a, const experiment::RunResult& b) {
+  return a.report.access_failure_probability == b.report.access_failure_probability &&
+         a.report.mean_success_gap_days == b.report.mean_success_gap_days &&
+         a.report.mean_observed_gap_days == b.report.mean_observed_gap_days &&
+         a.report.successful_polls == b.report.successful_polls &&
+         a.report.inquorate_polls == b.report.inquorate_polls &&
+         a.report.alarms == b.report.alarms && a.report.repairs == b.report.repairs &&
+         a.report.damage_events == b.report.damage_events &&
+         a.report.loyal_effort_seconds == b.report.loyal_effort_seconds &&
+         a.report.adversary_effort_seconds == b.report.adversary_effort_seconds &&
+         a.polls_started == b.polls_started && a.solicitations_sent == b.solicitations_sent &&
+         a.messages_delivered == b.messages_delivered &&
+         a.messages_filtered == b.messages_filtered &&
+         a.adversary_invitations == b.adversary_invitations &&
+         a.adversary_admissions == b.adversary_admissions &&
+         a.admission_verdicts == b.admission_verdicts &&
+         a.events_processed == b.events_processed && a.peak_queue_depth == b.peak_queue_depth;
+}
+
+struct SweepReport {
+  std::string name;
+  size_t runs = 0;
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  uint64_t events_processed = 0;
+  uint64_t peak_queue_depth = 0;
+  bool identical_metrics = false;
+};
+
+SweepReport time_sweep(const std::string& name, experiment::AdversarySpec::Kind adversary,
+                       const experiment::BenchProfile& profile,
+                       const experiment::ScenarioConfig& base, unsigned workers) {
+  const std::vector<double> durations = {5, 30, 90, 180};
+  const std::vector<double> coverages = {10, 40, 100};
+
+  std::vector<experiment::ScenarioConfig> grid;
+  for (uint32_t s = 0; s < profile.seeds; ++s) {  // baseline replicas
+    experiment::ScenarioConfig config = base;
+    config.seed = base.seed + s;
+    grid.push_back(config);
+  }
+  for (double duration : durations) {
+    for (double coverage : coverages) {
+      experiment::ScenarioConfig config = base;
+      config.adversary.kind = adversary;
+      config.adversary.cadence.attack_duration = sim::SimTime::days(duration);
+      config.adversary.cadence.recuperation = sim::SimTime::days(30);
+      config.adversary.cadence.coverage = coverage / 100.0;
+      for (uint32_t s = 0; s < profile.seeds; ++s) {
+        config.seed = base.seed + s;
+        grid.push_back(config);
+      }
+    }
+  }
+
+  SweepReport out;
+  out.name = name;
+  out.runs = grid.size();
+
+  double start = now_seconds();
+  const auto serial = experiment::run_grid(grid, /*workers=*/1);
+  out.serial_seconds = now_seconds() - start;
+
+  start = now_seconds();
+  const auto parallel = experiment::run_grid(grid, workers);
+  out.parallel_seconds = now_seconds() - start;
+
+  out.identical_metrics = serial.size() == parallel.size();
+  for (size_t i = 0; out.identical_metrics && i < serial.size(); ++i) {
+    out.identical_metrics = identical(serial[i], parallel[i]);
+  }
+  for (const experiment::RunResult& r : serial) {
+    out.events_processed += r.events_processed;
+    out.peak_queue_depth = std::max(out.peak_queue_depth, r.peak_queue_depth);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiment::CliArgs args(argc, argv);
+  const auto profile = experiment::resolve_profile(args, /*peers=*/40, /*aus=*/4,
+                                                   /*years=*/1.0, /*seeds=*/1);
+  const unsigned workers = static_cast<unsigned>(
+      args.integer("workers", experiment::ParallelRunner::default_workers()));
+  const std::string out_path = args.text("out", "BENCH_sweep.json");
+
+  experiment::print_preamble("bench_report: sweep wall-clock + event-queue throughput", profile);
+  std::printf("# workers: %u (serial pass uses 1)\n", workers);
+
+  experiment::ScenarioConfig base = experiment::base_config(profile);
+  std::vector<SweepReport> sweeps;
+  sweeps.push_back(time_sweep("fig3_pipe_stoppage_afp",
+                              experiment::AdversarySpec::Kind::kPipeStoppage, profile, base,
+                              workers));
+  sweeps.push_back(time_sweep("fig6_admission_afp",
+                              experiment::AdversarySpec::Kind::kAdmissionFlood, profile, base,
+                              workers));
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"generated_by\": \"tools/bench_report\",\n");
+  std::fprintf(f, "  \"scale\": {\"peers\": %u, \"aus\": %u, \"years\": %.3f, \"seeds\": %u},\n",
+               profile.peers, profile.aus, profile.years, profile.seeds);
+  std::fprintf(f, "  \"workers\": %u,\n", workers);
+  std::fprintf(f, "  \"sweeps\": [\n");
+  bool all_identical = true;
+  for (size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepReport& s = sweeps[i];
+    all_identical = all_identical && s.identical_metrics;
+    const double events = static_cast<double>(s.events_processed);
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"runs\": %zu,\n"
+                 "     \"serial_seconds\": %.3f, \"parallel_seconds\": %.3f, "
+                 "\"speedup\": %.2f,\n"
+                 "     \"events_processed\": %" PRIu64
+                 ", \"events_per_second_serial\": %.0f, "
+                 "\"events_per_second_parallel\": %.0f,\n"
+                 "     \"peak_queue_depth\": %" PRIu64 ", \"identical_metrics\": %s}%s\n",
+                 s.name.c_str(), s.runs, s.serial_seconds, s.parallel_seconds,
+                 s.serial_seconds / s.parallel_seconds, s.events_processed,
+                 events / s.serial_seconds, events / s.parallel_seconds, s.peak_queue_depth,
+                 s.identical_metrics ? "true" : "false", i + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  for (const SweepReport& s : sweeps) {
+    std::printf("%-24s runs=%-3zu serial=%.2fs parallel=%.2fs speedup=%.2fx "
+                "events=%.2e ev/s=%.0f peak_depth=%" PRIu64 " identical=%s\n",
+                s.name.c_str(), s.runs, s.serial_seconds, s.parallel_seconds,
+                s.serial_seconds / s.parallel_seconds,
+                static_cast<double>(s.events_processed),
+                static_cast<double>(s.events_processed) / s.parallel_seconds,
+                s.peak_queue_depth, s.identical_metrics ? "yes" : "NO");
+  }
+  std::printf("# wrote %s\n", out_path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr, "DETERMINISM VIOLATION: serial and parallel metrics differ\n");
+    return 1;
+  }
+  return 0;
+}
