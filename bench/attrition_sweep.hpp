@@ -10,7 +10,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/gnuplot.hpp"
@@ -56,6 +58,12 @@ inline void run_attack_sweep(const experiment::CliArgs& args,
   experiment::print_preamble(spec.figure_name, profile);
 
   experiment::ScenarioConfig base = experiment::base_config(profile);
+  // Metric time series ride along whenever a CSV is requested: every cell
+  // samples on a fixed grid (--trace-days, 0 disables) and the combined
+  // traces land in <csv>.trace.csv next to the figure grid.
+  if (!profile.csv.empty()) {
+    base.trace_interval = sim::SimTime::days(args.real("trace-days", 7.0));
+  }
   // Baseline (no attack), averaged over seeds.
   const auto baseline_runs = experiment::run_replicated(base, profile.seeds);
   const experiment::RunResult baseline = experiment::combine_results(baseline_runs);
@@ -64,16 +72,18 @@ inline void run_attack_sweep(const experiment::CliArgs& args,
               baseline.report.effort_per_successful_poll,
               static_cast<unsigned long long>(baseline.report.successful_polls));
 
+  // Resolve overrides before building the header: the column set must
+  // follow --coverages, not the spec's defaults.
+  const std::vector<double> durations =
+      args.reals("durations", spec.durations_days);
+  const std::vector<double> coverages = args.reals("coverages", spec.coverages_percent);
+
   std::vector<std::string> columns = {"duration_days"};
-  for (double coverage : spec.coverages_percent) {
+  for (double coverage : coverages) {
     columns.push_back(experiment::TableWriter::fixed(coverage, 0) + "%");
   }
   experiment::TableWriter table(columns, profile.csv);
   table.header();
-
-  const std::vector<double> durations =
-      args.reals("durations", spec.durations_days);
-  const std::vector<double> coverages = args.reals("coverages", spec.coverages_percent);
 
   // The whole duration × coverage × seed grid is independent; flatten it
   // into one job list so the parallel runner keeps every core busy across
@@ -121,6 +131,21 @@ inline void run_attack_sweep(const experiment::CliArgs& args,
   }
 
   if (!profile.csv.empty()) {
+    // Companion trace CSV: one series per grid cell plus the baseline, in
+    // long form for direct plotting of the §6.1 metrics over time.
+    std::vector<std::pair<std::string, const metrics::RunTrace*>> traces;
+    traces.emplace_back("baseline", &baseline.trace);
+    size_t k = 0;
+    for (double duration : durations) {
+      for (double coverage : coverages) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "d%.0f_c%.0f", duration, coverage);
+        traces.emplace_back(label, &cells[k++].trace);
+      }
+    }
+    if (experiment::write_trace_csv(profile.csv + ".trace.csv", traces)) {
+      std::printf("# trace csv: %s.trace.csv\n", profile.csv.c_str());
+    }
     // Companion gnuplot script: redraws this figure from the CSV with the
     // paper's axes (both sweeps use log x; access failure also uses log y).
     analysis::GnuplotSpec plot;

@@ -42,6 +42,15 @@ RunResult combine_range(const RunResult* parts, size_t count) {
   assert(count > 0);
   RunResult out;
   out.report.duration = parts[0].report.duration;
+  {
+    // Pointwise trace merge (disabled unless every part carries one).
+    std::vector<const metrics::RunTrace*> traces;
+    traces.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      traces.push_back(&parts[i].trace);
+    }
+    out.trace = metrics::merge_traces(traces);
+  }
   double afp_sum = 0.0;
   double gap_weighted = 0.0;
   double gap_weight = 0.0;

@@ -25,7 +25,8 @@ std::vector<RunResult> run_replicated(const ScenarioConfig& config, uint32_t see
 
 // Combines per-layer (or per-seed) results into one deployment-level result:
 // access-failure probabilities average (equal replica counts per part);
-// counts and efforts sum; success gaps pool weighted by gap count.
+// counts and efforts sum; success gaps pool weighted by gap count. Traces
+// merge pointwise (metrics::merge_traces) when every part carries one.
 RunResult combine_results(const std::vector<RunResult>& parts);
 
 // Combines the `block`-th group of `per_block` consecutive results from a

@@ -44,6 +44,12 @@ RunResult run_scenario(const ScenarioConfig& config) {
   for (uint32_t a = 0; a < config.au_count; ++a) {
     aus.push_back(storage::AuId{a});
   }
+  // Fix the slot registry's row stride up front by registering every AU in
+  // id order; the peers (and newcomers) register themselves in join_au
+  // below, so after setup nothing on the poll path registers lazily.
+  for (storage::AuId au : aus) {
+    collector.register_au(au);
+  }
   // Collection membership. At au_coverage = 1.0 every peer holds every AU
   // (the paper's setting); below it, each peer joins each AU independently,
   // with a floor of 2x quorum holders per AU so polls remain feasible.
@@ -207,14 +213,72 @@ RunResult run_scenario(const ScenarioConfig& config) {
       break;
   }
 
+  // --- Trace sampling ----------------------------------------------------------
+  // Fixed-interval §6.1 time series. Every sampled quantity is a pure read
+  // (afp_to_date peeks the damage integral without advancing it; efforts
+  // come straight off the live meters), so a traced run computes the exact
+  // same report as an untraced one; the ticks are ordinary simulator
+  // events and therefore deterministic.
+  metrics::TraceRecorder recorder(config.trace_interval);
+  const auto loyal_effort_now = [&] {
+    double total = 0.0;
+    for (const auto& p : peers) {
+      total += p->meter().total();
+    }
+    for (const auto& p : newcomers) {
+      total += p->meter().total();
+    }
+    return total;
+  };
+  const auto adversary_effort_now = [&]() -> double {
+    if (brute_force) {
+      return brute_force->meter().total();
+    }
+    if (grade_recovery) {
+      return grade_recovery->meter().total();
+    }
+    if (vote_flood) {
+      return vote_flood->meter().total();
+    }
+    return 0.0;
+  };
+  const auto sample_trace = [&](sim::SimTime t) {
+    metrics::TracePoint point;
+    point.t = t;
+    point.damaged_fraction = collector.damaged_fraction_now();
+    point.afp_to_date = collector.afp_to_date(t);
+    point.successful_polls = collector.successful_polls();
+    point.inquorate_polls = collector.inquorate_polls();
+    point.alarms = collector.alarms();
+    point.repairs = collector.repairs();
+    point.loyal_effort_seconds = loyal_effort_now();
+    point.adversary_effort_seconds = adversary_effort_now();
+    recorder.record(point);
+  };
+  std::function<void()> trace_tick;  // self-rescheduling; outlives run_until
+  if (recorder.enabled()) {
+    trace_tick = [&] {
+      sample_trace(simulator.now());
+      if (simulator.now() + config.trace_interval < config.duration) {
+        simulator.schedule_in(config.trace_interval, [&trace_tick] { trace_tick(); });
+      }
+    };
+    if (config.trace_interval < config.duration) {
+      simulator.schedule_in(config.trace_interval, [&trace_tick] { trace_tick(); });
+    }
+  }
+
   // --- Run ---------------------------------------------------------------------
   simulator.run_until(config.duration);
 
   // --- Harvest -------------------------------------------------------------------
   RunResult result;
-  double loyal_effort = 0.0;
+  if (recorder.enabled()) {
+    // Closing sample at end-of-run (in-run ticks stop strictly before it).
+    sample_trace(config.duration);
+  }
+  result.trace = recorder.close(config.duration);
   const auto harvest_peer = [&](const peer::Peer& p) {
-    loyal_effort += p.meter().total();
     result.polls_started += p.polls_started();
     result.solicitations_sent += p.solicitations_sent();
     for (size_t v = 0; v < result.admission_verdicts.size(); ++v) {
@@ -227,15 +291,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
   for (auto& p : newcomers) {
     harvest_peer(*p);
   }
-  double adversary_effort = 0.0;
-  if (brute_force) {
-    adversary_effort = brute_force->meter().total();
-  } else if (grade_recovery) {
-    adversary_effort = grade_recovery->meter().total();
-  } else if (vote_flood) {
-    adversary_effort = vote_flood->meter().total();
-  }
-  collector.set_effort_totals(loyal_effort, adversary_effort);
+  collector.set_effort_totals(loyal_effort_now(), adversary_effort_now());
   result.report = collector.finalize(config.duration);
   result.messages_delivered = network.stats().messages_delivered;
   result.messages_filtered = network.stats().messages_filtered;

@@ -24,6 +24,7 @@
 #include "adversary/brute_force.hpp"
 #include "crypto/cost_model.hpp"
 #include "metrics/collector.hpp"
+#include "metrics/trace.hpp"
 #include "protocol/params.hpp"
 #include "sched/task_schedule.hpp"
 #include "storage/damage.hpp"
@@ -77,10 +78,17 @@ struct ScenarioConfig {
   bool collect_schedule_history = false;
   // Optional per-poll observer (diagnostics / examples).
   std::function<void(net::NodeId, const protocol::PollOutcome&)> poll_observer;
+  // Metric time-series sampling cadence (metrics::TraceRecorder); zero
+  // disables tracing. Samples are scheduled as ordinary simulator events,
+  // so traces obey the same bit-identical determinism contract as the
+  // scalar report.
+  sim::SimTime trace_interval = sim::SimTime::zero();
 };
 
 struct RunResult {
   metrics::MetricsReport report;
+  // Fixed-interval §6.1 time series (empty unless config.trace_interval set).
+  metrics::RunTrace trace;
   uint64_t polls_started = 0;
   uint64_t solicitations_sent = 0;
   uint64_t messages_delivered = 0;

@@ -72,4 +72,39 @@ std::string TableWriter::scientific(double value, int precision) {
   return buf;
 }
 
+bool write_trace_csv(const std::string& path,
+                     const std::vector<std::pair<std::string, const metrics::RunTrace*>>& series) {
+  bool any = false;
+  for (const auto& [label, trace] : series) {
+    any = any || (trace != nullptr && trace->enabled());
+  }
+  if (!any) {
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f,
+               "series,t_days,damaged_fraction,afp_to_date,successful_polls,"
+               "inquorate_polls,alarms,repairs,loyal_effort_s,adversary_effort_s\n");
+  for (const auto& [label, trace] : series) {
+    if (trace == nullptr || !trace->enabled()) {
+      continue;
+    }
+    for (const metrics::TracePoint& p : trace->points) {
+      std::fprintf(f,
+                   "%s,%.6f,%.9g,%.9g,%llu,%llu,%llu,%llu,%.9g,%.9g\n",
+                   label.c_str(), p.t.to_days(), p.damaged_fraction, p.afp_to_date,
+                   static_cast<unsigned long long>(p.successful_polls),
+                   static_cast<unsigned long long>(p.inquorate_polls),
+                   static_cast<unsigned long long>(p.alarms),
+                   static_cast<unsigned long long>(p.repairs), p.loyal_effort_seconds,
+                   p.adversary_effort_seconds);
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace lockss::experiment

@@ -8,7 +8,10 @@
 
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "metrics/trace.hpp"
 
 namespace lockss::experiment {
 
@@ -31,6 +34,14 @@ class TableWriter {
   std::ofstream csv_;
   bool csv_open_ = false;
 };
+
+// Writes labelled metric time series in long form — one row per (series,
+// sample): series,t_days,damaged_fraction,afp_to_date,successful_polls,
+// inquorate_polls,alarms,repairs,loyal_effort_s,adversary_effort_s.
+// Disabled traces are skipped. Returns false if the file cannot be opened
+// or every series was disabled (no file is left behind with a bare header).
+bool write_trace_csv(const std::string& path,
+                     const std::vector<std::pair<std::string, const metrics::RunTrace*>>& series);
 
 }  // namespace lockss::experiment
 

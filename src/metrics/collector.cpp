@@ -4,11 +4,64 @@
 
 namespace lockss::metrics {
 
+void MetricsCollector::register_peer(net::NodeId id) {
+  const uint32_t rows_before = slots_.peer_count();
+  slots_.register_peer(id);
+  if (slots_.peer_count() != rows_before) {
+    // Peer-major layout: a new peer is a fresh row at the end.
+    last_success_.resize(slots_.slot_count(), kNever);
+  }
+}
+
+void MetricsCollector::register_au(storage::AuId au) {
+  const uint32_t stride_before = slots_.au_count();
+  slots_.register_au(au);
+  if (slots_.au_count() == stride_before) {
+    return;
+  }
+  // The row stride grew: re-lay the grid out. Registration is setup-time
+  // (or a lazy one-off), so the O(peers x aus) copy is off the poll path.
+  std::vector<sim::SimTime> grid(slots_.slot_count(), kNever);
+  const uint32_t stride_after = slots_.au_count();
+  for (uint32_t p = 0; p < slots_.peer_count(); ++p) {
+    for (uint32_t a = 0; a < stride_before; ++a) {
+      grid[static_cast<size_t>(p) * stride_after + a] =
+          last_success_[static_cast<size_t>(p) * stride_before + a];
+    }
+  }
+  last_success_ = std::move(grid);
+}
+
+size_t MetricsCollector::success_slot(net::NodeId poller, storage::AuId au) {
+  uint32_t p = slots_.peer_index(poller);
+  if (p == SlotRegistry::kUnassigned) {
+    register_peer(poller);
+    p = slots_.peer_index(poller);
+  }
+  uint32_t a = slots_.au_index(au);
+  if (a == SlotRegistry::kUnassigned) {
+    register_au(au);
+    a = slots_.au_index(au);
+  }
+  return slots_.slot(p, a);
+}
+
 void MetricsCollector::accumulate(sim::SimTime now) {
   assert(now >= last_change_);
   damaged_replica_seconds_ +=
       static_cast<double>(damaged_now_) * (now - last_change_).to_seconds();
   last_change_ = now;
+}
+
+double MetricsCollector::afp_to_date(sim::SimTime now) const {
+  assert(now >= last_change_);
+  if (total_replicas_ == 0 || now <= sim::SimTime::zero()) {
+    return 0.0;
+  }
+  const double integral =
+      damaged_replica_seconds_ +
+      static_cast<double>(damaged_now_) * (now - last_change_).to_seconds();
+  return integral / (static_cast<double>(total_replicas_) * now.to_seconds());
 }
 
 void MetricsCollector::on_damage_state_change(sim::SimTime now, int64_t delta) {
@@ -22,15 +75,12 @@ void MetricsCollector::record_poll(net::NodeId poller, const protocol::PollOutco
   switch (outcome.kind) {
     case protocol::PollOutcomeKind::kSuccess: {
       ++successful_polls_;
-      const auto key = std::make_pair(poller, outcome.au);
-      auto it = last_success_.find(key);
-      if (it != last_success_.end()) {
-        gap_seconds_sum_ += (outcome.concluded - it->second).to_seconds();
+      sim::SimTime& last = last_success_[success_slot(poller, outcome.au)];
+      if (last != kNever) {
+        gap_seconds_sum_ += (outcome.concluded - last).to_seconds();
         ++gap_count_;
-        it->second = outcome.concluded;
-      } else {
-        last_success_.emplace(key, outcome.concluded);
       }
+      last = outcome.concluded;
       break;
     }
     case protocol::PollOutcomeKind::kInquorate:
@@ -48,6 +98,8 @@ void MetricsCollector::set_effort_totals(double loyal_seconds, double adversary_
 }
 
 MetricsReport MetricsCollector::finalize(sim::SimTime end) {
+  assert(!finalized_ && "MetricsCollector::finalize() called twice");
+  finalized_ = true;
   accumulate(end);
   MetricsReport report;
   report.duration = end;

@@ -1,0 +1,123 @@
+// Reference (seed) metrics accounting — TEST AND BENCH USE ONLY.
+//
+// This is the pre-dense MetricsCollector, preserved verbatim: per-(peer, AU)
+// last-success times in a std::map keyed by the pair. It exists so that
+//   * tests/metrics_equivalence_test.cpp can property-check that the dense
+//     slot-array collector reports byte-identical MetricsReport values over
+//     randomized poll/damage sequences, and
+//   * bench/micro_metrics can measure the map→dense win on a synthetic
+//     workload.
+// Nothing in the simulator links against it; keep it that way.
+#ifndef LOCKSS_METRICS_MAP_REFERENCE_HPP_
+#define LOCKSS_METRICS_MAP_REFERENCE_HPP_
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "metrics/collector.hpp"
+
+namespace lockss::metrics {
+
+class MapReferenceCollector {
+ public:
+  void set_total_replicas(uint64_t n) { total_replicas_ = n; }
+
+  void on_damage_state_change(sim::SimTime now, int64_t delta) {
+    accumulate(now);
+    assert(delta >= 0 || damaged_now_ >= static_cast<uint64_t>(-delta));
+    damaged_now_ = static_cast<uint64_t>(static_cast<int64_t>(damaged_now_) + delta);
+  }
+
+  void on_damage_event() { ++damage_events_; }
+
+  void record_poll(net::NodeId poller, const protocol::PollOutcome& outcome) {
+    repairs_ += outcome.repairs;
+    switch (outcome.kind) {
+      case protocol::PollOutcomeKind::kSuccess: {
+        ++successful_polls_;
+        const auto key = std::make_pair(poller, outcome.au);
+        auto it = last_success_.find(key);
+        if (it != last_success_.end()) {
+          gap_seconds_sum_ += (outcome.concluded - it->second).to_seconds();
+          ++gap_count_;
+          it->second = outcome.concluded;
+        } else {
+          last_success_.emplace(key, outcome.concluded);
+        }
+        break;
+      }
+      case protocol::PollOutcomeKind::kInquorate:
+        ++inquorate_polls_;
+        break;
+      case protocol::PollOutcomeKind::kAlarm:
+        ++alarms_;
+        break;
+    }
+  }
+
+  void set_effort_totals(double loyal_seconds, double adversary_seconds) {
+    loyal_effort_seconds_ = loyal_seconds;
+    adversary_effort_seconds_ = adversary_seconds;
+  }
+
+  MetricsReport finalize(sim::SimTime end) {
+    accumulate(end);
+    MetricsReport report;
+    report.duration = end;
+    if (total_replicas_ > 0 && end > sim::SimTime::zero()) {
+      report.access_failure_probability =
+          damaged_replica_seconds_ / (static_cast<double>(total_replicas_) * end.to_seconds());
+    }
+    report.successful_polls = successful_polls_;
+    report.inquorate_polls = inquorate_polls_;
+    report.alarms = alarms_;
+    report.repairs = repairs_;
+    report.damage_events = damage_events_;
+    report.mean_observed_gap_days =
+        gap_count_ > 0 ? gap_seconds_sum_ / static_cast<double>(gap_count_) / 86400.0 : 0.0;
+    if (successful_polls_ > 0 && total_replicas_ > 0) {
+      report.mean_success_gap_days = end.to_days() * static_cast<double>(total_replicas_) /
+                                     static_cast<double>(successful_polls_);
+    }
+    report.loyal_effort_seconds = loyal_effort_seconds_;
+    report.adversary_effort_seconds = adversary_effort_seconds_;
+    report.effort_per_successful_poll =
+        successful_polls_ > 0 ? loyal_effort_seconds_ / static_cast<double>(successful_polls_)
+                              : 0.0;
+    report.cost_ratio =
+        loyal_effort_seconds_ > 0.0 ? adversary_effort_seconds_ / loyal_effort_seconds_ : 0.0;
+    return report;
+  }
+
+ private:
+  void accumulate(sim::SimTime now) {
+    assert(now >= last_change_);
+    damaged_replica_seconds_ +=
+        static_cast<double>(damaged_now_) * (now - last_change_).to_seconds();
+    last_change_ = now;
+  }
+
+  uint64_t total_replicas_ = 0;
+  uint64_t damaged_now_ = 0;
+  sim::SimTime last_change_;
+  double damaged_replica_seconds_ = 0.0;
+
+  uint64_t successful_polls_ = 0;
+  uint64_t inquorate_polls_ = 0;
+  uint64_t alarms_ = 0;
+  uint64_t repairs_ = 0;
+  uint64_t damage_events_ = 0;
+
+  std::map<std::pair<net::NodeId, storage::AuId>, sim::SimTime> last_success_;
+  double gap_seconds_sum_ = 0.0;
+  uint64_t gap_count_ = 0;
+
+  double loyal_effort_seconds_ = 0.0;
+  double adversary_effort_seconds_ = 0.0;
+};
+
+}  // namespace lockss::metrics
+
+#endif  // LOCKSS_METRICS_MAP_REFERENCE_HPP_

@@ -1,0 +1,72 @@
+// Dense (peer, AU) slot indexing for the metrics hot path.
+//
+// The §6.1 metrics need per-(peer, AU) state (last successful poll time).
+// The seed kept it in a std::map keyed by the pair, which allocates a node
+// on every first success and pays an ordered lookup on every poll — the
+// next hot-path allocation source after the PR 1 event-queue overhaul
+// (ROADMAP). Peers and AUs are known at scenario setup, so the registry
+// assigns each a dense index once; a (peer, AU) pair then maps to the slot
+// `peer_index * au_count + au_index` of a flat array and the poll path is
+// two vector reads, no allocation, no ordering comparisons.
+//
+// NodeId/AuId values are near-dense small integers in every deployment
+// (scenario.cpp hands them out sequentially), so the id→index tables are
+// direct-indexed vectors rather than hash maps.
+#ifndef LOCKSS_METRICS_SLOT_REGISTRY_HPP_
+#define LOCKSS_METRICS_SLOT_REGISTRY_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "storage/au.hpp"
+
+namespace lockss::metrics {
+
+class SlotRegistry {
+ public:
+  static constexpr uint32_t kUnassigned = UINT32_MAX;
+
+  // Idempotent; returns the dense index. Registration is setup-time work
+  // and may allocate; lookups never do.
+  uint32_t register_peer(net::NodeId id) { return register_id(peer_index_by_id_, id.value, peer_count_); }
+  uint32_t register_au(storage::AuId au) { return register_id(au_index_by_id_, au.value, au_count_); }
+
+  // kUnassigned when the id was never registered.
+  uint32_t peer_index(net::NodeId id) const { return index_of(peer_index_by_id_, id.value); }
+  uint32_t au_index(storage::AuId au) const { return index_of(au_index_by_id_, au.value); }
+
+  uint32_t peer_count() const { return peer_count_; }
+  uint32_t au_count() const { return au_count_; }
+  size_t slot_count() const {
+    return static_cast<size_t>(peer_count_) * static_cast<size_t>(au_count_);
+  }
+  // Peer-major layout: registering a peer appends a row, registering an AU
+  // widens the stride (the owner of the slot array re-lays it out).
+  size_t slot(uint32_t peer_idx, uint32_t au_idx) const {
+    return static_cast<size_t>(peer_idx) * au_count_ + au_idx;
+  }
+
+ private:
+  static uint32_t register_id(std::vector<uint32_t>& table, uint32_t raw, uint32_t& count) {
+    if (raw >= table.size()) {
+      table.resize(raw + 1, kUnassigned);
+    }
+    if (table[raw] == kUnassigned) {
+      table[raw] = count++;
+    }
+    return table[raw];
+  }
+  static uint32_t index_of(const std::vector<uint32_t>& table, uint32_t raw) {
+    return raw < table.size() ? table[raw] : kUnassigned;
+  }
+
+  std::vector<uint32_t> peer_index_by_id_;
+  std::vector<uint32_t> au_index_by_id_;
+  uint32_t peer_count_ = 0;
+  uint32_t au_count_ = 0;
+};
+
+}  // namespace lockss::metrics
+
+#endif  // LOCKSS_METRICS_SLOT_REGISTRY_HPP_

@@ -1,0 +1,65 @@
+#include "metrics/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace lockss::metrics {
+
+TraceRecorder::TraceRecorder(sim::SimTime interval) { trace_.interval = interval; }
+
+void TraceRecorder::record(const TracePoint& point) {
+  assert(enabled() && "record() on a disabled TraceRecorder");
+  assert(!closed_ && "record() after close()");
+  assert((trace_.points.empty() || point.t > trace_.points.back().t) &&
+         "trace samples must be strictly increasing in time");
+  trace_.points.push_back(point);
+}
+
+RunTrace TraceRecorder::close(sim::SimTime end) {
+  assert(!closed_ && "TraceRecorder::close() called twice");
+  assert((trace_.points.empty() || trace_.points.back().t <= end) &&
+         "trace extends past end-of-run");
+  closed_ = true;
+  return std::move(trace_);
+}
+
+RunTrace merge_traces(const std::vector<const RunTrace*>& parts) {
+  RunTrace out;
+  if (parts.empty()) {
+    return out;
+  }
+  size_t min_points = SIZE_MAX;
+  for (const RunTrace* part : parts) {
+    if (!part->enabled()) {
+      return out;  // disabled
+    }
+    assert(part->interval == parts[0]->interval && "mergeable traces share one interval");
+    min_points = std::min(min_points, part->points.size());
+  }
+  out.interval = parts[0]->interval;
+  out.points.reserve(min_points);
+  const double inv_n = 1.0 / static_cast<double>(parts.size());
+  for (size_t k = 0; k < min_points; ++k) {
+    TracePoint merged;
+    merged.t = parts[0]->points[k].t;
+    for (const RunTrace* part : parts) {
+      const TracePoint& p = part->points[k];
+      assert(p.t == merged.t && "mergeable traces share the sampling grid");
+      merged.damaged_fraction += p.damaged_fraction;
+      merged.afp_to_date += p.afp_to_date;
+      merged.successful_polls += p.successful_polls;
+      merged.inquorate_polls += p.inquorate_polls;
+      merged.alarms += p.alarms;
+      merged.repairs += p.repairs;
+      merged.loyal_effort_seconds += p.loyal_effort_seconds;
+      merged.adversary_effort_seconds += p.adversary_effort_seconds;
+    }
+    merged.damaged_fraction *= inv_n;
+    merged.afp_to_date *= inv_n;
+    out.points.push_back(merged);
+  }
+  return out;
+}
+
+}  // namespace lockss::metrics

@@ -29,21 +29,27 @@ Peer::Peer(const PeerEnvironment& env, net::NodeId id, sim::Rng rng)
 Peer::~Peer() { env_.network->unregister_node(id_); }
 
 Peer::AuState& Peer::au_state(storage::AuId au) {
-  auto it = au_states_.find(au);
-  assert(it != au_states_.end() && "AU not joined");
-  return it->second;
+  assert(au.value < au_states_.size() && au_states_[au.value].joined() && "AU not joined");
+  return au_states_[au.value];
 }
 
 void Peer::join_au(storage::AuId au) {
   storage_.add_replica(au, env_.params.au_spec);
-  AuState state;
+  if (au.value >= au_states_.size()) {
+    au_states_.resize(au.value + 1);
+  }
+  AuState& state = au_states_[au.value];
   state.known_peers =
       std::make_unique<reputation::KnownPeers>(env_.params.grade_decay_interval);
   state.introductions = std::make_unique<reputation::IntroductionTable>(
       env_.params.max_outstanding_introductions);
   state.reference_list = std::make_unique<protocol::ReferenceList>(id_);
-  au_states_.emplace(au, std::move(state));
-  damaged_cache_[au] = false;
+  if (env_.metrics != nullptr) {
+    // Claim dense metric slots at setup time so the poll path never has to
+    // register lazily (which would allocate).
+    env_.metrics->register_peer(id_);
+    env_.metrics->register_au(au);
+  }
 }
 
 void Peer::seed_reference_list(storage::AuId au, const std::vector<net::NodeId>& peers) {
@@ -213,9 +219,8 @@ void Peer::retire_voter_session(protocol::PollId id) {
 }
 
 void Peer::on_poll_concluded(const protocol::PollOutcome& outcome) {
-  if (env_.metrics != nullptr) {
-    env_.metrics->record_poll(id_, outcome);
-  }
+  // Metrics recording happens in PollerSession::conclude() via metrics();
+  // this hook only carries host-side reactions.
   if (env_.poll_observer) {
     env_.poll_observer(id_, outcome);
   }
@@ -233,7 +238,7 @@ void Peer::on_replica_state_changed(storage::AuId au) { refresh_damage_state(au)
 
 void Peer::refresh_damage_state(storage::AuId au) {
   const bool now_damaged = storage_.replica(au).damaged();
-  bool& cached = damaged_cache_[au];
+  bool& cached = au_state(au).damaged_cached;
   if (cached == now_damaged) {
     return;
   }

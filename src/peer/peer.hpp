@@ -89,6 +89,7 @@ class Peer : public protocol::PeerHost, public net::MessageHandler {
   reputation::IntroductionTable& introductions(storage::AuId au) override;
   protocol::ReferenceList& reference_list(storage::AuId au) override;
   std::vector<net::NodeId> friends() const override { return friends_; }
+  metrics::MetricsCollector* metrics() override { return env_.metrics; }
   bool pass_random_drop(reputation::Standing standing) override {
     return admission_.pass_random_drop(standing);
   }
@@ -128,6 +129,10 @@ class Peer : public protocol::PeerHost, public net::MessageHandler {
     std::unique_ptr<reputation::KnownPeers> known_peers;
     std::unique_ptr<reputation::IntroductionTable> introductions;
     std::unique_ptr<protocol::ReferenceList> reference_list;
+    // Last damaged-state reported to the metrics collector for this AU.
+    bool damaged_cached = false;
+
+    bool joined() const { return reference_list != nullptr; }
   };
 
   AuState& au_state(storage::AuId au);
@@ -151,8 +156,10 @@ class Peer : public protocol::PeerHost, public net::MessageHandler {
   sched::RefractoryTracker refractory_;
   reputation::AdmissionPolicy admission_;
 
-  std::map<storage::AuId, AuState> au_states_;
-  std::map<storage::AuId, bool> damaged_cache_;
+  // Dense per-AU state, indexed by AuId.value (AU ids are small sequential
+  // integers in every deployment); unjoined slots hold empty AuStates. The
+  // per-message au_state() lookup is one vector index instead of a map walk.
+  std::vector<AuState> au_states_;
   std::vector<net::NodeId> friends_;
 
   std::map<protocol::PollId, std::unique_ptr<protocol::PollerSession>> pollers_;

@@ -33,6 +33,10 @@
 #include "sim/simulator.hpp"
 #include "storage/replica.hpp"
 
+namespace lockss::metrics {
+class MetricsCollector;
+}  // namespace lockss::metrics
+
 namespace lockss::protocol {
 
 class PollerSession;
@@ -106,6 +110,14 @@ class PeerHost {
   // Asks the host to destroy the session (deferred; never reentrant).
   virtual void retire_poller_session(PollId id) = 0;
   virtual void retire_voter_session(PollId id) = 0;
+
+  // --- Metrics ----------------------------------------------------------------
+  // The deployment-wide metrics sink, or nullptr when this host runs
+  // uninstrumented (unit tests, hand-built examples). Sessions record poll
+  // outcomes straight into the collector's dense (peer, AU) slot arrays;
+  // on_poll_concluded below stays the host-side notification hook (observer
+  // callbacks, host bookkeeping), not a metrics path.
+  virtual metrics::MetricsCollector* metrics() = 0;
 
   // --- Notifications ----------------------------------------------------------
   virtual void on_poll_concluded(const PollOutcome& outcome) = 0;

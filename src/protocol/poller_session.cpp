@@ -4,6 +4,8 @@
 #include <cassert>
 #include <set>
 
+#include "metrics/collector.hpp"
+
 namespace lockss::protocol {
 namespace {
 
@@ -597,6 +599,9 @@ void PollerSession::conclude(PollOutcomeKind kind) {
   outcome.refusals = refusals_;
   outcome.ack_timeouts = ack_timeouts_;
   outcome.vote_timeouts = vote_timeouts_;
+  if (metrics::MetricsCollector* collector = host_.metrics()) {
+    collector->record_poll(host_.id(), outcome);
+  }
   host_.on_poll_concluded(outcome);
   host_.retire_poller_session(poll_id_);
 }

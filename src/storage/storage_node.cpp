@@ -5,37 +5,41 @@
 namespace lockss::storage {
 
 AuReplica& StorageNode::add_replica(AuId au, AuSpec spec) {
-  auto [it, inserted] = replicas_.try_emplace(au, au, spec);
-  assert(inserted && "replica already present");
-  (void)inserted;
-  return it->second;
+  assert(au.valid());
+  if (au.value >= replicas_.size()) {
+    replicas_.resize(au.value + 1);
+  }
+  assert(replicas_[au.value] == nullptr && "replica already present");
+  replicas_[au.value] = std::make_unique<AuReplica>(au, spec);
+  ++replica_count_;
+  return *replicas_[au.value];
 }
 
 AuReplica& StorageNode::replica(AuId au) {
-  auto it = replicas_.find(au);
-  assert(it != replicas_.end());
-  return it->second;
+  assert(has_replica(au));
+  return *replicas_[au.value];
 }
 
 const AuReplica& StorageNode::replica(AuId au) const {
-  auto it = replicas_.find(au);
-  assert(it != replicas_.end());
-  return it->second;
+  assert(has_replica(au));
+  return *replicas_[au.value];
 }
 
 std::vector<AuId> StorageNode::au_ids() const {
   std::vector<AuId> ids;
-  ids.reserve(replicas_.size());
-  for (const auto& [id, replica] : replicas_) {
-    ids.push_back(id);
+  ids.reserve(replica_count_);
+  for (const auto& replica : replicas_) {
+    if (replica != nullptr) {
+      ids.push_back(replica->au());
+    }
   }
   return ids;
 }
 
 size_t StorageNode::damaged_replica_count() const {
   size_t count = 0;
-  for (const auto& [id, replica] : replicas_) {
-    if (replica.damaged()) {
+  for (const auto& replica : replicas_) {
+    if (replica != nullptr && replica->damaged()) {
       ++count;
     }
   }

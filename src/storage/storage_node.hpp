@@ -7,7 +7,7 @@
 #define LOCKSS_STORAGE_STORAGE_NODE_HPP_
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <vector>
 
 #include "storage/au.hpp"
@@ -20,11 +20,13 @@ class StorageNode {
   // Adds a fresh (publisher-correct) replica. Returns a stable reference.
   AuReplica& add_replica(AuId au, AuSpec spec);
 
-  bool has_replica(AuId au) const { return replicas_.contains(au); }
+  bool has_replica(AuId au) const {
+    return au.value < replicas_.size() && replicas_[au.value] != nullptr;
+  }
   AuReplica& replica(AuId au);
   const AuReplica& replica(AuId au) const;
 
-  size_t replica_count() const { return replicas_.size(); }
+  size_t replica_count() const { return replica_count_; }
   std::vector<AuId> au_ids() const;
 
   // Number of replicas currently damaged (any block differing from
@@ -32,8 +34,14 @@ class StorageNode {
   size_t damaged_replica_count() const;
 
  private:
-  // std::map keeps iteration order deterministic across runs.
-  std::map<AuId, AuReplica> replicas_;
+  // Dense by AuId.value (AU ids are small sequential integers in every
+  // deployment): replica(au) — on the hot path of every vote hash and
+  // damage refresh — is one vector index instead of a map walk. Entries
+  // are heap-boxed so references stay stable across add_replica growth;
+  // unjoined slots are null. Index order doubles as the deterministic
+  // iteration order the old std::map provided.
+  std::vector<std::unique_ptr<AuReplica>> replicas_;
+  size_t replica_count_ = 0;
 };
 
 }  // namespace lockss::storage

@@ -1,0 +1,132 @@
+// Map-vs-dense equivalence: the dense slot-array MetricsCollector must
+// report byte-identical MetricsReport values to the seed's map-based
+// accounting (metrics::MapReferenceCollector, kept verbatim for this test)
+// over randomized poll/damage sequences. Both implementations perform the
+// same floating-point operations in the same order, so comparisons are
+// exact — any tolerance would hide an accounting divergence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "metrics/map_reference.hpp"
+#include "sim/rng.hpp"
+
+namespace lockss::metrics {
+namespace {
+
+using sim::SimTime;
+
+void expect_identical(const MetricsReport& a, const MetricsReport& b) {
+  EXPECT_EQ(a.access_failure_probability, b.access_failure_probability);
+  EXPECT_EQ(a.mean_success_gap_days, b.mean_success_gap_days);
+  EXPECT_EQ(a.mean_observed_gap_days, b.mean_observed_gap_days);
+  EXPECT_EQ(a.successful_polls, b.successful_polls);
+  EXPECT_EQ(a.inquorate_polls, b.inquorate_polls);
+  EXPECT_EQ(a.alarms, b.alarms);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.damage_events, b.damage_events);
+  EXPECT_EQ(a.loyal_effort_seconds, b.loyal_effort_seconds);
+  EXPECT_EQ(a.adversary_effort_seconds, b.adversary_effort_seconds);
+  EXPECT_EQ(a.effort_per_successful_poll, b.effort_per_successful_poll);
+  EXPECT_EQ(a.cost_ratio, b.cost_ratio);
+  EXPECT_EQ(a.duration, b.duration);
+}
+
+// One randomized recording session applied to both collectors. Exercises
+// every recording entry point: success/inquorate/alarm polls with repairs,
+// damage flips (bounded below by zero), damage events, effort totals.
+template <typename Collector>
+MetricsReport drive(uint64_t seed, uint32_t peers, uint32_t aus, uint32_t ops,
+                    Collector& collector) {
+  sim::Rng rng(seed);
+  const SimTime duration = SimTime::days(400);
+  collector.set_total_replicas(static_cast<uint64_t>(peers) * aus);
+  uint64_t damaged = 0;
+  for (uint32_t i = 0; i < ops; ++i) {
+    // Weakly increasing times; repeated timestamps are legal and exercised.
+    const SimTime t = duration * (static_cast<double>(i / 2) * 2.0 / ops);
+    const size_t action = rng.index(10);
+    if (action < 7) {
+      protocol::PollOutcome outcome;
+      const size_t kind = rng.index(10);
+      outcome.kind = kind < 7   ? protocol::PollOutcomeKind::kSuccess
+                     : kind < 9 ? protocol::PollOutcomeKind::kInquorate
+                                : protocol::PollOutcomeKind::kAlarm;
+      outcome.au = storage::AuId{static_cast<uint32_t>(rng.index(aus))};
+      outcome.repairs = rng.index(20) == 0 ? rng.index(3) : 0;
+      outcome.concluded = t;
+      collector.record_poll(net::NodeId{static_cast<uint32_t>(rng.index(peers))}, outcome);
+    } else if (action < 9) {
+      const bool damage = damaged == 0 || rng.index(2) == 0;
+      collector.on_damage_state_change(t, damage ? +1 : -1);
+      damaged += damage ? 1 : -1;
+    } else {
+      collector.on_damage_event();
+    }
+  }
+  collector.set_effort_totals(rng.uniform() * 1e6, rng.uniform() * 1e6);
+  return collector.finalize(duration);
+}
+
+TEST(MetricsEquivalenceTest, RandomizedSequencesMatchMapReference) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE(seed);
+    // Mix of shapes: tall (many peers), wide (many AUs), tiny.
+    const uint32_t peers = 1 + static_cast<uint32_t>(seed * 7 % 40);
+    const uint32_t aus = 1 + static_cast<uint32_t>(seed * 3 % 17);
+    MapReferenceCollector reference;
+    MetricsCollector dense;
+    const MetricsReport expected = drive(seed, peers, aus, 5000, reference);
+    const MetricsReport actual = drive(seed, peers, aus, 5000, dense);
+    expect_identical(actual, expected);
+  }
+}
+
+TEST(MetricsEquivalenceTest, PreRegistrationDoesNotChangeReports) {
+  // Registering every (peer, AU) up front (the scenario path, zero
+  // allocations while polling) must give the same report as relying on
+  // lazy registration (the hand-built-collector path).
+  const uint32_t peers = 9, aus = 5;
+  MetricsCollector lazy;
+  MetricsCollector eager;
+  for (uint32_t a = 0; a < aus; ++a) {
+    eager.register_au(storage::AuId{a});
+  }
+  for (uint32_t p = 0; p < peers; ++p) {
+    eager.register_peer(net::NodeId{p});
+  }
+  const MetricsReport lazy_report = drive(99, peers, aus, 4000, lazy);
+  const MetricsReport eager_report = drive(99, peers, aus, 4000, eager);
+  expect_identical(lazy_report, eager_report);
+}
+
+TEST(MetricsEquivalenceTest, InterleavedRegistrationKeepsSlots) {
+  // AU registration after polls have been recorded widens the row stride;
+  // the re-layout must preserve every pair's last-success time. Interleave
+  // registrations with polls and compare against the map reference.
+  MapReferenceCollector reference;
+  MetricsCollector dense;
+  const auto success = [](uint32_t peer, uint32_t au, double day) {
+    protocol::PollOutcome o;
+    o.kind = protocol::PollOutcomeKind::kSuccess;
+    o.au = storage::AuId{au};
+    o.concluded = SimTime::days(day);
+    return std::make_pair(net::NodeId{peer}, o);
+  };
+  std::vector<std::pair<net::NodeId, protocol::PollOutcome>> polls;
+  polls.push_back(success(0, 0, 1));
+  polls.push_back(success(0, 3, 2));   // new AU mid-stream (stride 1 -> 2)
+  polls.push_back(success(2, 1, 3));   // new peer and AU (stride 2 -> 3)
+  polls.push_back(success(0, 0, 10));  // gap 9d against slot kept across re-layouts
+  polls.push_back(success(0, 3, 12));  // gap 10d
+  polls.push_back(success(2, 1, 23));  // gap 20d
+  for (const auto& [peer, outcome] : polls) {
+    reference.record_poll(peer, outcome);
+    dense.record_poll(peer, outcome);
+  }
+  expect_identical(dense.finalize(SimTime::days(30)), reference.finalize(SimTime::days(30)));
+}
+
+}  // namespace
+}  // namespace lockss::metrics

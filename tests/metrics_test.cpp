@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "metrics/trace.hpp"
+
 namespace lockss::metrics {
 namespace {
 
@@ -130,6 +132,104 @@ TEST(MetricsTest, DamageEventsCounted) {
   collector.on_damage_event();
   collector.on_damage_event();
   EXPECT_EQ(collector.finalize(SimTime::days(1)).damage_events, 2u);
+}
+
+TEST(MetricsTest, FinalizeTwiceAsserts) {
+  // finalize() closes the damage integral and retires the collector; a
+  // second call (e.g. a scenario that also closes its trace recorder at
+  // end-of-run) would double-count observation time, so it must die loudly
+  // rather than corrupt the report.
+  MetricsCollector collector;
+  collector.set_total_replicas(4);
+  collector.finalize(SimTime::days(10));
+  EXPECT_DEATH(collector.finalize(SimTime::days(10)), "finalize");
+}
+
+TEST(MetricsTest, AfpToDateTracksTheIntegral) {
+  MetricsCollector collector;
+  collector.set_total_replicas(10);
+  EXPECT_EQ(collector.afp_to_date(SimTime::days(50)), 0.0);
+  collector.on_damage_state_change(SimTime::days(100), +1);
+  // At day 200: one of 10 replicas damaged for 100 of 200 days.
+  EXPECT_NEAR(collector.afp_to_date(SimTime::days(200)), 0.1 * 100.0 / 200.0, 1e-12);
+  // Sampling must not perturb the final report.
+  collector.on_damage_state_change(SimTime::days(300), -1);
+  const auto report = collector.finalize(SimTime::days(400));
+  EXPECT_NEAR(report.access_failure_probability, 0.1 * 200.0 / 400.0, 1e-12);
+}
+
+TEST(MetricsTest, DamagedFractionNow) {
+  MetricsCollector collector;
+  EXPECT_EQ(collector.damaged_fraction_now(), 0.0);  // no replicas: no division
+  collector.set_total_replicas(8);
+  collector.on_damage_state_change(SimTime::days(1), +1);
+  collector.on_damage_state_change(SimTime::days(2), +1);
+  EXPECT_NEAR(collector.damaged_fraction_now(), 0.25, 1e-12);
+}
+
+TEST(TraceRecorderTest, RecordsFixedIntervalSeries) {
+  TraceRecorder recorder(SimTime::days(10));
+  ASSERT_TRUE(recorder.enabled());
+  for (int day = 10; day <= 30; day += 10) {
+    TracePoint point;
+    point.t = SimTime::days(day);
+    point.damaged_fraction = 0.1 * day;
+    point.successful_polls = static_cast<uint64_t>(day);
+    recorder.record(point);
+  }
+  const RunTrace trace = recorder.close(SimTime::days(30));
+  ASSERT_TRUE(trace.enabled());
+  EXPECT_EQ(trace.interval, SimTime::days(10));
+  ASSERT_EQ(trace.points.size(), 3u);
+  EXPECT_EQ(trace.points[1].t, SimTime::days(20));
+  EXPECT_EQ(trace.points[2].successful_polls, 30u);
+}
+
+TEST(TraceRecorderTest, DisabledRecorderClosesToDisabledTrace) {
+  TraceRecorder recorder(SimTime::zero());
+  EXPECT_FALSE(recorder.enabled());
+  const RunTrace trace = recorder.close(SimTime::days(1));
+  EXPECT_FALSE(trace.enabled());
+  EXPECT_TRUE(trace.points.empty());
+}
+
+TEST(TraceRecorderTest, CloseTwiceAsserts) {
+  TraceRecorder recorder(SimTime::days(1));
+  recorder.close(SimTime::days(1));
+  EXPECT_DEATH(recorder.close(SimTime::days(1)), "close");
+}
+
+TEST(TraceMergeTest, PointwiseMeanAndSum) {
+  RunTrace a, b;
+  a.interval = b.interval = SimTime::days(5);
+  for (int day = 5; day <= 10; day += 5) {
+    TracePoint pa, pb;
+    pa.t = pb.t = SimTime::days(day);
+    pa.damaged_fraction = 0.2;
+    pb.damaged_fraction = 0.4;
+    pa.successful_polls = 10;
+    pb.successful_polls = 30;
+    pa.loyal_effort_seconds = 100.0;
+    pb.loyal_effort_seconds = 50.0;
+    a.points.push_back(pa);
+    b.points.push_back(pb);
+  }
+  b.points.pop_back();  // shorter part truncates the merge
+  const RunTrace merged = merge_traces({&a, &b});
+  ASSERT_TRUE(merged.enabled());
+  ASSERT_EQ(merged.points.size(), 1u);
+  EXPECT_NEAR(merged.points[0].damaged_fraction, 0.3, 1e-12);
+  EXPECT_EQ(merged.points[0].successful_polls, 40u);
+  EXPECT_NEAR(merged.points[0].loyal_effort_seconds, 150.0, 1e-12);
+}
+
+TEST(TraceMergeTest, AnyDisabledPartDisablesTheMerge) {
+  RunTrace enabled, disabled;
+  enabled.interval = SimTime::days(1);
+  TracePoint p;
+  p.t = SimTime::days(1);
+  enabled.points.push_back(p);
+  EXPECT_FALSE(merge_traces({&enabled, &disabled}).enabled());
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include "experiment/cli.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
+#include "experiment/table.hpp"
 
 using namespace lockss;
 
@@ -37,7 +38,9 @@ double now_seconds() {
 // bitwise-equal because a run is a pure function of its config; any drift
 // here means the parallel runner changed *what* was computed, not just when.
 bool identical(const experiment::RunResult& a, const experiment::RunResult& b) {
-  return a.report.access_failure_probability == b.report.access_failure_probability &&
+  // RunTrace's defaulted operator== covers every trace field exactly.
+  return a.trace == b.trace &&
+         a.report.access_failure_probability == b.report.access_failure_probability &&
          a.report.mean_success_gap_days == b.report.mean_success_gap_days &&
          a.report.mean_observed_gap_days == b.report.mean_observed_gap_days &&
          a.report.successful_polls == b.report.successful_polls &&
@@ -63,6 +66,8 @@ struct SweepReport {
   uint64_t events_processed = 0;
   uint64_t peak_queue_depth = 0;
   bool identical_metrics = false;
+  // Labelled per-run traces from the serial pass, for BENCH_trace.csv.
+  std::vector<std::pair<std::string, metrics::RunTrace>> traces;
 };
 
 SweepReport time_sweep(const std::string& name, experiment::AdversarySpec::Kind adversary,
@@ -72,10 +77,12 @@ SweepReport time_sweep(const std::string& name, experiment::AdversarySpec::Kind 
   const std::vector<double> coverages = {10, 40, 100};
 
   std::vector<experiment::ScenarioConfig> grid;
+  std::vector<std::string> labels;
   for (uint32_t s = 0; s < profile.seeds; ++s) {  // baseline replicas
     experiment::ScenarioConfig config = base;
     config.seed = base.seed + s;
     grid.push_back(config);
+    labels.push_back(name + "/baseline_s" + std::to_string(s));
   }
   for (double duration : durations) {
     for (double coverage : coverages) {
@@ -87,6 +94,10 @@ SweepReport time_sweep(const std::string& name, experiment::AdversarySpec::Kind 
       for (uint32_t s = 0; s < profile.seeds; ++s) {
         config.seed = base.seed + s;
         grid.push_back(config);
+        char label[96];
+        std::snprintf(label, sizeof(label), "%s/d%.0f_c%.0f_s%u", name.c_str(), duration,
+                      coverage, s);
+        labels.push_back(label);
       }
     }
   }
@@ -98,6 +109,11 @@ SweepReport time_sweep(const std::string& name, experiment::AdversarySpec::Kind 
   double start = now_seconds();
   const auto serial = experiment::run_grid(grid, /*workers=*/1);
   out.serial_seconds = now_seconds() - start;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    if (serial[i].trace.enabled()) {
+      out.traces.emplace_back(labels[i], serial[i].trace);
+    }
+  }
 
   start = now_seconds();
   const auto parallel = experiment::run_grid(grid, workers);
@@ -123,11 +139,17 @@ int main(int argc, char** argv) {
   const unsigned workers = static_cast<unsigned>(
       args.integer("workers", experiment::ParallelRunner::default_workers()));
   const std::string out_path = args.text("out", "BENCH_sweep.json");
+  const std::string trace_path = args.text("trace-out", "BENCH_trace.csv");
+  const double trace_days = args.real("trace-days", 7.0);
 
   experiment::print_preamble("bench_report: sweep wall-clock + event-queue throughput", profile);
   std::printf("# workers: %u (serial pass uses 1)\n", workers);
 
   experiment::ScenarioConfig base = experiment::base_config(profile);
+  // Every grid run samples a metric time series; the serial/parallel
+  // identity check then also pins trace determinism, and the serial pass's
+  // traces are emitted as CSV for the §6.1 time-series figures.
+  base.trace_interval = sim::SimTime::days(trace_days);
   std::vector<SweepReport> sweeps;
   sweeps.push_back(time_sweep("fig3_pipe_stoppage_afp",
                               experiment::AdversarySpec::Kind::kPipeStoppage, profile, base,
@@ -178,6 +200,15 @@ int main(int argc, char** argv) {
                 s.peak_queue_depth, s.identical_metrics ? "yes" : "NO");
   }
   std::printf("# wrote %s\n", out_path.c_str());
+  std::vector<std::pair<std::string, const metrics::RunTrace*>> trace_series;
+  for (const SweepReport& s : sweeps) {
+    for (const auto& [label, trace] : s.traces) {
+      trace_series.emplace_back(label, &trace);
+    }
+  }
+  if (experiment::write_trace_csv(trace_path, trace_series)) {
+    std::printf("# wrote %s (%zu trace series)\n", trace_path.c_str(), trace_series.size());
+  }
   if (!all_identical) {
     std::fprintf(stderr, "DETERMINISM VIOLATION: serial and parallel metrics differ\n");
     return 1;
