@@ -42,6 +42,24 @@ int main(int argc, char** argv) {
   experiment::TableWriter table(columns, profile.csv);
   table.header();
 
+  // Layered campaigns (one per interval × seed) are independent of each
+  // other — only the layers inside each are ordered. Batch them all through
+  // the parallel runner up front; the row loop then just consumes.
+  std::vector<experiment::RunResult> layered_by_interval;
+  if (layers > 0) {
+    std::vector<experiment::ScenarioConfig> configs;
+    configs.reserve(intervals_months.size());
+    for (double months : intervals_months) {
+      experiment::ScenarioConfig config = experiment::base_config(profile);
+      config.params.inter_poll_interval = sim::SimTime::months(months);
+      config.damage.mean_disk_years_between_failures = 5.0;
+      configs.push_back(config);
+    }
+    layered_by_interval =
+        experiment::run_layered_replicated_grid(configs, layers, profile.seeds);
+  }
+
+  size_t interval_index = 0;
   for (double months : intervals_months) {
     std::vector<std::string> row = {experiment::TableWriter::fixed(months, 0)};
     for (double mttf : mttf_years) {
@@ -54,14 +72,11 @@ int main(int argc, char** argv) {
           experiment::TableWriter::scientific(combined.report.access_failure_probability, 2));
     }
     if (layers > 0) {
-      experiment::ScenarioConfig config = experiment::base_config(profile);
-      config.params.inter_poll_interval = sim::SimTime::months(months);
-      config.damage.mean_disk_years_between_failures = 5.0;
-      const auto layer_runs = experiment::run_layered(config, layers);
-      const auto combined = experiment::combine_results(layer_runs);
+      const experiment::RunResult& combined = layered_by_interval[interval_index];
       row.push_back(
           experiment::TableWriter::scientific(combined.report.access_failure_probability, 2));
     }
+    ++interval_index;
     table.row(row);
   }
   return 0;

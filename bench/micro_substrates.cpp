@@ -5,11 +5,19 @@
 // bound the cost of scaling scenarios up to the paper's full §6.3 grids.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "bench_support/substrate_workloads.hpp"
 #include "crypto/digest.hpp"
 #include "crypto/mbf.hpp"
 #include "net/network.hpp"
+#include "net/node_slot_registry.hpp"
+#include "protocol/reference_list.hpp"
+#include "protocol/reference_tables.hpp"
+#include "protocol/session_table.hpp"
 #include "protocol/tally.hpp"
 #include "reputation/known_peers.hpp"
+#include "reputation/reference_tables.hpp"
 #include "sched/task_schedule.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -140,6 +148,217 @@ void BM_ReputationUpdateAndQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReputationUpdateAndQuery);
+
+// --- PR 3 before/after: dense substrates vs the preserved seed containers ---
+//
+// Each pair drives the reference (seed std::map/std::set) implementation and
+// the dense NodeSlotRegistry-backed one through an identical op stream; the
+// dense side must win (acceptance bar: ≥ 2x on KnownPeers::standing and on
+// session-table lookup). Population shape matches the paper's deployment
+// (~100 peers + a minion block).
+
+net::NodeSlotRegistry& bench_registry(uint32_t peers) {
+  static net::NodeSlotRegistry registry;
+  for (uint32_t p = registry.count(); p < peers; ++p) {
+    registry.register_node(net::NodeId{p});
+  }
+  return registry;
+}
+
+template <typename KnownPeersT>
+void known_peers_standing_loop(benchmark::State& state, KnownPeersT& known, uint32_t peers) {
+  // Random query order, as on the real path (standing checks arrive with
+  // whatever invitation lands next, not in id order). The population and
+  // query stream are shared with tools/bench_report so the two harnesses'
+  // numbers stay comparable.
+  bench_support::populate_graded(known, peers);
+  const auto queries = bench_support::standing_queries(peers);
+  uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench_support::standing_probe(known, queries, q));
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_KnownPeersStandingReference(benchmark::State& state) {
+  reputation::KnownPeersReference known(sim::SimTime::months(6));
+  known_peers_standing_loop(state, known, static_cast<uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_KnownPeersStandingReference)->Arg(100)->Arg(1000);
+
+void BM_KnownPeersStandingDense(benchmark::State& state) {
+  const uint32_t peers = static_cast<uint32_t>(state.range(0));
+  reputation::KnownPeers known(sim::SimTime::months(6), &bench_registry(peers));
+  known_peers_standing_loop(state, known, peers);
+}
+BENCHMARK(BM_KnownPeersStandingDense)->Arg(100)->Arg(1000);
+
+template <typename KnownPeersT>
+void known_peers_transitions_loop(benchmark::State& state, KnownPeersT& known, uint32_t peers) {
+  sim::Rng rng(bench_support::kTransitionRngSeed);
+  int64_t day = 0;
+  for (auto _ : state) {
+    bench_support::transition_op(known, rng, peers, day);
+    ++day;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_KnownPeersTransitionsReference(benchmark::State& state) {
+  reputation::KnownPeersReference known(sim::SimTime::months(6));
+  known_peers_transitions_loop(state, known, 200);
+}
+BENCHMARK(BM_KnownPeersTransitionsReference);
+
+void BM_KnownPeersTransitionsDense(benchmark::State& state) {
+  reputation::KnownPeers known(sim::SimTime::months(6), &bench_registry(200));
+  known_peers_transitions_loop(state, known, 200);
+}
+BENCHMARK(BM_KnownPeersTransitionsDense);
+
+template <typename ListT>
+void reference_list_sample_loop(benchmark::State& state, ListT& list) {
+  // Target-size list (§4.1: ~reference_list_target members), sampled at the
+  // inner-circle size every poll start and the nomination size every vote.
+  for (uint32_t p = 1; p <= 30; ++p) {
+    list.insert(net::NodeId{p});
+  }
+  sim::Rng rng(29);
+  std::vector<net::NodeId> out;
+  for (auto _ : state) {
+    if constexpr (requires { list.sample_into(out, size_t{20}, rng); }) {
+      list.sample_into(out, 20, rng);
+      benchmark::DoNotOptimize(out.data());
+    } else {
+      benchmark::DoNotOptimize(list.sample(20, rng));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ReferenceListSampleReference(benchmark::State& state) {
+  protocol::ReferenceListReference list(net::NodeId{0});
+  reference_list_sample_loop(state, list);
+}
+BENCHMARK(BM_ReferenceListSampleReference);
+
+void BM_ReferenceListSampleDense(benchmark::State& state) {
+  protocol::ReferenceList list(net::NodeId{0}, &bench_registry(200));
+  reference_list_sample_loop(state, list);
+}
+BENCHMARK(BM_ReferenceListSampleDense);
+
+template <typename TallyT, typename MakeTally>
+void tally_ingest_conclude_loop(benchmark::State& state, const MakeTally& make_tally) {
+  storage::AuSpec spec;
+  spec.block_count = 128;
+  storage::AuReplica replica(storage::AuId{1}, spec);
+  constexpr uint32_t kVoters = 20;
+  std::vector<std::vector<crypto::Digest64>> votes;
+  for (uint32_t v = 0; v < kVoters; ++v) {
+    votes.push_back(replica.vote_hashes(crypto::Digest64{1000 + v}));
+  }
+  // Arrival order differs from NodeId order, as on the wire.
+  std::vector<uint32_t> arrival;
+  for (uint32_t v = 0; v < kVoters; ++v) {
+    arrival.push_back((v * 7) % kVoters);
+  }
+  for (auto _ : state) {
+    TallyT tally = make_tally(replica);
+    for (uint32_t v : arrival) {
+      tally.add_vote(net::NodeId{v}, crypto::Digest64{1000 + v}, votes[v], v % 3 != 0);
+    }
+    benchmark::DoNotOptimize(tally.advance());
+    benchmark::DoNotOptimize(tally.agreeing_voters());
+  }
+  state.SetItemsProcessed(state.iterations() * kVoters);
+}
+
+void BM_TallyIngestConcludeReference(benchmark::State& state) {
+  tally_ingest_conclude_loop<protocol::TallyReference>(
+      state, [](const storage::AuReplica& replica) {
+        return protocol::TallyReference(replica, 10, 3);
+      });
+}
+BENCHMARK(BM_TallyIngestConcludeReference);
+
+void BM_TallyIngestConcludeDense(benchmark::State& state) {
+  tally_ingest_conclude_loop<protocol::Tally>(state, [](const storage::AuReplica& replica) {
+    return protocol::Tally(replica, 10, 3, &bench_registry(200));
+  });
+}
+BENCHMARK(BM_TallyIngestConcludeDense);
+
+struct BenchSession {
+  uint64_t payload[4] = {};
+};
+
+template <typename TableT>
+void session_lookup_loop(benchmark::State& state, TableT& table) {
+  // Random dispatch order over a live-session census (see bench_support for
+  // the stream's shape; shared with tools/bench_report).
+  const auto ids =
+      bench_support::populate_sessions(table, [] { return std::make_unique<BenchSession>(); });
+  const auto queries = bench_support::session_queries(ids);
+  uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench_support::lookup_probe(table, queries, q));
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SessionLookupReference(benchmark::State& state) {
+  protocol::SessionTableReference<BenchSession> table;
+  session_lookup_loop(state, table);
+}
+BENCHMARK(BM_SessionLookupReference);
+
+void BM_SessionLookupDense(benchmark::State& state) {
+  protocol::SessionTable<BenchSession> table;
+  session_lookup_loop(state, table);
+}
+BENCHMARK(BM_SessionLookupDense);
+
+template <typename TableT>
+void session_churn_loop(benchmark::State& state, TableT& table) {
+  // Full session lifecycle: insert, a burst of dispatch lookups, erase —
+  // the shape of one poll's lifetime on the poller side.
+  sim::Rng rng(37);
+  std::vector<uint32_t> offsets;
+  for (uint32_t q = 0; q < 4096; ++q) {
+    offsets.push_back(static_cast<uint32_t>(rng.next_u64() & 0xffffffffu));
+  }
+  uint32_t seq = 0;
+  std::vector<protocol::PollId> live;
+  for (auto _ : state) {
+    const protocol::PollId id = protocol::make_poll_id(net::NodeId{1}, seq++);
+    table.insert(id, std::make_unique<BenchSession>());
+    live.push_back(id);
+    for (int hit = 0; hit < 8; ++hit) {
+      const uint32_t at = offsets[(seq * 8 + hit) & 4095] % live.size();
+      benchmark::DoNotOptimize(table.find(live[at]));
+    }
+    if (live.size() > 12) {
+      table.erase(live.front());
+      live.erase(live.begin());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SessionChurnReference(benchmark::State& state) {
+  protocol::SessionTableReference<BenchSession> table;
+  session_churn_loop(state, table);
+}
+BENCHMARK(BM_SessionChurnReference);
+
+void BM_SessionChurnDense(benchmark::State& state) {
+  protocol::SessionTable<BenchSession> table;
+  session_churn_loop(state, table);
+}
+BENCHMARK(BM_SessionChurnDense);
 
 void BM_NetworkDeliveryDelay(benchmark::State& state) {
   sim::Simulator simulator;

@@ -56,11 +56,24 @@ int main(int argc, char** argv) {
   }
   const auto attacked_results = experiment::run_replicated_grid(attacks, profile.seeds);
 
+  // Layered campaigns (§6.3 methodology): layers within one campaign are
+  // sequentially dependent, but the (config × seed) campaigns are
+  // independent — fan them all out across the parallel runner in one shot
+  // (baseline first, then the three defection points), instead of running
+  // each campaign serially inside the row loop.
+  std::vector<experiment::RunResult> layered_combined;
+  if (layers > 0) {
+    std::vector<experiment::ScenarioConfig> campaigns;
+    campaigns.push_back(base);
+    campaigns.insert(campaigns.end(), attacks.begin(), attacks.end());
+    layered_combined =
+        experiment::run_layered_replicated_grid(campaigns, layers, profile.seeds);
+  }
+
   for (size_t d = 0; d < defections.size(); ++d) {
     const adversary::DefectionPoint defection = defections[d];
     const experiment::RunResult& attacked = attacked_results[d];
     const auto rel = experiment::relative_metrics(attacked, baseline);
-    const experiment::ScenarioConfig& config = attacks[d];
     table.row({adversary::defection_point_name(defection),
                std::to_string(profile.aus) + " AUs",
                experiment::TableWriter::fixed(rel.friction, 2),
@@ -68,10 +81,8 @@ int main(int argc, char** argv) {
                experiment::TableWriter::fixed(rel.delay_ratio, 2),
                experiment::TableWriter::scientific(rel.access_failure, 2)});
     if (layers > 0) {
-      const auto layered_attack =
-          experiment::combine_results(experiment::run_layered(config, layers));
-      const auto layered_baseline =
-          experiment::combine_results(experiment::run_layered(base, layers));
+      const auto& layered_baseline = layered_combined[0];
+      const auto& layered_attack = layered_combined[1 + d];
       const auto lrel = experiment::relative_metrics(layered_attack, layered_baseline);
       table.row({adversary::defection_point_name(defection),
                  std::to_string(profile.aus * layers) + " AUs (layered)",

@@ -1,0 +1,120 @@
+// Shared op streams for the substrate before/after benchmarks.
+//
+// bench/micro_substrates.cpp (google-benchmark, per-op timing) and
+// tools/bench_report.cpp (fixed-ops timing recorded in BENCH_sweep.json)
+// both measure the dense containers against their preserved *Reference
+// seeds. The numbers are only comparable across the two harnesses — and
+// across PRs — while the workloads are *identical*: same population
+// shapes, same RNG seeds, same query tables, same per-op probes. Those
+// live here, templated over the container type, so neither harness can
+// drift on its own.
+//
+// Access patterns are deliberately randomized: sequential probes are
+// branch-predictable and flatter the ordered seed containers (a map walk
+// whose comparisons always predict is nearly free); real dispatch arrives
+// in whatever order the network delivers.
+#ifndef LOCKSS_BENCH_SUPPORT_SUBSTRATE_WORKLOADS_HPP_
+#define LOCKSS_BENCH_SUPPORT_SUBSTRATE_WORKLOADS_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "protocol/messages.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace lockss::bench_support {
+
+// Precomputed query tables; probe loops index with `i & kQueryMask`.
+constexpr uint32_t kQueryTableSize = 4096;
+constexpr uint32_t kQueryMask = kQueryTableSize - 1;
+
+// --- KnownPeers::standing ----------------------------------------------------
+
+template <typename KnownPeersT>
+void populate_graded(KnownPeersT& known, uint32_t peers) {
+  for (uint32_t p = 0; p < peers; ++p) {
+    known.record_service_supplied(net::NodeId{p}, sim::SimTime::days(p % 90));
+  }
+}
+
+inline std::vector<net::NodeId> standing_queries(uint32_t peers) {
+  sim::Rng rng(17);
+  std::vector<net::NodeId> queries;
+  queries.reserve(kQueryTableSize);
+  for (uint32_t q = 0; q < kQueryTableSize; ++q) {
+    queries.push_back(net::NodeId{static_cast<uint32_t>(rng.index(peers))});
+  }
+  return queries;
+}
+
+template <typename KnownPeersT>
+auto standing_probe(const KnownPeersT& known, const std::vector<net::NodeId>& queries,
+                    uint64_t i) {
+  return known.standing(queries[i & kQueryMask],
+                        sim::SimTime::days(100 + static_cast<double>(i & 255)));
+}
+
+// --- KnownPeers grade transitions -------------------------------------------
+// Caller owns the rng (seed 23) and passes a monotonically increasing day.
+
+constexpr uint64_t kTransitionRngSeed = 23;
+
+template <typename KnownPeersT>
+void transition_op(KnownPeersT& known, sim::Rng& rng, uint32_t peers, int64_t day) {
+  const net::NodeId peer{static_cast<uint32_t>(rng.index(peers))};
+  switch (rng.index(3)) {
+    case 0:
+      known.record_service_supplied(peer, sim::SimTime::days(static_cast<double>(day)));
+      break;
+    case 1:
+      known.record_service_consumed(peer, sim::SimTime::days(static_cast<double>(day)));
+      break;
+    case 2:
+      known.record_misbehavior(peer, sim::SimTime::days(static_cast<double>(day)));
+      break;
+  }
+}
+
+// --- Session-table lookup ----------------------------------------------------
+// A peer's live-session census: a handful of overlapping polls, hammered by
+// message dispatch — the find-by-PollId rate dwarfs insert/erase by orders
+// of magnitude. ~7/8 hits on live sessions, 1/8 misses (retired polls,
+// flood forgeries).
+
+constexpr uint32_t kLiveSessions = 12;
+
+template <typename TableT, typename MakeSession>
+std::vector<protocol::PollId> populate_sessions(TableT& table, const MakeSession& make) {
+  std::vector<protocol::PollId> ids;
+  for (uint32_t s = 0; s < kLiveSessions; ++s) {
+    const protocol::PollId id = protocol::make_poll_id(net::NodeId{40 + s}, 7000 + s);
+    ids.push_back(id);
+    table.insert(id, make());
+  }
+  return ids;
+}
+
+inline std::vector<protocol::PollId> session_queries(
+    const std::vector<protocol::PollId>& live) {
+  sim::Rng rng(31);
+  std::vector<protocol::PollId> queries;
+  queries.reserve(kQueryTableSize);
+  for (uint32_t q = 0; q < kQueryTableSize; ++q) {
+    queries.push_back(rng.bernoulli(0.125) ? protocol::make_poll_id(net::NodeId{9999}, q)
+                                           : live[rng.index(live.size())]);
+  }
+  return queries;
+}
+
+template <typename TableT>
+auto lookup_probe(const TableT& table, const std::vector<protocol::PollId>& queries,
+                  uint64_t i) {
+  return table.find(queries[i & kQueryMask]);
+}
+
+}  // namespace lockss::bench_support
+
+#endif  // LOCKSS_BENCH_SUPPORT_SUBSTRATE_WORKLOADS_HPP_

@@ -44,6 +44,16 @@ RunResult combine_block(const std::vector<RunResult>& grid_runs, size_t block,
 std::vector<RunResult> run_replicated_grid(const std::vector<ScenarioConfig>& configs,
                                            uint32_t seeds);
 
+// The layered counterpart: every config becomes `seeds` independent §6.3
+// layered campaigns (seed, seed+1, ...) of `layers` layers each, fanned out
+// across the parallel runner (campaigns parallel, layers sequential inside
+// each — run_layered_grid); returns one result per config combining all of
+// its seeds × layers parts, in config order. Like run_replicated_grid, the
+// seed expansion and block slicing live here so the layered drivers
+// (table1_brute_force, fig2_baseline) cannot drift apart.
+std::vector<RunResult> run_layered_replicated_grid(const std::vector<ScenarioConfig>& configs,
+                                                   uint32_t layers, uint32_t seeds);
+
 // Extracts a metric across runs.
 Aggregate aggregate_metric(const std::vector<RunResult>& runs,
                            const std::function<double(const RunResult&)>& metric);

@@ -10,6 +10,42 @@ namespace lockss::experiment {
 
 namespace {
 std::atomic<unsigned> g_default_workers_override{0};
+
+// Shared fan-out: each index is claimed exactly once off an atomic counter
+// and each result slot written exactly once, so the only synchronization is
+// the counter and the joins. `fn(i)` must be a pure function of i.
+template <typename Fn>
+void parallel_for_index(unsigned workers, size_t count, const Fn& fn) {
+  if (workers <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) {
+          return;
+        }
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+bool any_observer(const std::vector<ScenarioConfig>& jobs) {
+  return std::any_of(jobs.begin(), jobs.end(),
+                     [](const ScenarioConfig& job) { return job.poll_observer != nullptr; });
+}
+
 }  // namespace
 
 ParallelRunner::ParallelRunner(unsigned workers)
@@ -40,42 +76,30 @@ std::vector<RunResult> ParallelRunner::run(const std::vector<ScenarioConfig>& jo
   // thread-safety contract (established callers mutate captured probes);
   // degrade to serial execution rather than race it. Results are identical
   // either way — that is the runner's determinism contract.
-  const bool has_observer =
-      std::any_of(jobs.begin(), jobs.end(),
-                  [](const ScenarioConfig& job) { return job.poll_observer != nullptr; });
   const unsigned workers =
-      has_observer ? 1u : static_cast<unsigned>(std::min<size_t>(workers_, jobs.size()));
-  if (workers <= 1) {
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      results[i] = run_scenario(jobs[i]);
-    }
-    return results;
-  }
-  // Each job index is claimed exactly once and each result slot written
-  // exactly once, so the only synchronization needed is the counter and the
-  // joins. Result order is job order by construction.
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      while (true) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= jobs.size()) {
-          return;
-        }
-        results[i] = run_scenario(jobs[i]);
-      }
-    });
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
+      any_observer(jobs) ? 1u : static_cast<unsigned>(std::min<size_t>(workers_, jobs.size()));
+  parallel_for_index(workers, jobs.size(),
+                     [&](size_t i) { results[i] = run_scenario(jobs[i]); });
+  return results;
+}
+
+std::vector<std::vector<RunResult>> ParallelRunner::run_layered_grid(
+    const std::vector<ScenarioConfig>& jobs, uint32_t layers) const {
+  std::vector<std::vector<RunResult>> results(jobs.size());
+  const unsigned workers =
+      any_observer(jobs) ? 1u : static_cast<unsigned>(std::min<size_t>(workers_, jobs.size()));
+  parallel_for_index(workers, jobs.size(),
+                     [&](size_t i) { results[i] = run_layered(jobs[i], layers); });
   return results;
 }
 
 std::vector<RunResult> run_grid(const std::vector<ScenarioConfig>& jobs, unsigned workers) {
   return ParallelRunner(workers).run(jobs);
+}
+
+std::vector<std::vector<RunResult>> run_layered_grid(const std::vector<ScenarioConfig>& jobs,
+                                                     uint32_t layers, unsigned workers) {
+  return ParallelRunner(workers).run_layered_grid(jobs, layers);
 }
 
 }  // namespace lockss::experiment

@@ -34,6 +34,16 @@ class ParallelRunner {
   // thread-safety contract, and results are identical either way.
   std::vector<RunResult> run(const std::vector<ScenarioConfig>& jobs) const;
 
+  // Runs every config as one §6.3 layered *campaign* of `layers` runs
+  // (run_layered). Layers within a campaign are sequentially dependent —
+  // each injects the accumulated busy schedule of its predecessors — so a
+  // campaign is the unit of work: campaigns fan out across the workers,
+  // layers inside each stay ordered. Returns the per-layer results per
+  // campaign, in job order; bit-identical for any worker count (each
+  // campaign is a pure function of its config, like run()).
+  std::vector<std::vector<RunResult>> run_layered_grid(
+      const std::vector<ScenarioConfig>& jobs, uint32_t layers) const;
+
   // Worker count used when none is given: the LOCKSS_WORKERS environment
   // variable if set (>= 1), else std::thread::hardware_concurrency().
   static unsigned default_workers();
@@ -46,6 +56,12 @@ class ParallelRunner {
 
 // Convenience: one-shot grid execution with the default (or given) workers.
 std::vector<RunResult> run_grid(const std::vector<ScenarioConfig>& jobs, unsigned workers = 0);
+
+// Convenience: one-shot layered-campaign grid with the default (or given)
+// workers. The layered drivers (table1_brute_force, fig2_baseline) route
+// their campaign sets through this instead of looping run_layered serially.
+std::vector<std::vector<RunResult>> run_layered_grid(const std::vector<ScenarioConfig>& jobs,
+                                                     uint32_t layers, unsigned workers = 0);
 
 }  // namespace lockss::experiment
 

@@ -9,6 +9,7 @@
 #include "adversary/pipe_stoppage.hpp"
 #include "adversary/vote_flood.hpp"
 #include "net/network.hpp"
+#include "net/node_slot_registry.hpp"
 #include "peer/peer.hpp"
 #include "sim/simulator.hpp"
 
@@ -19,11 +20,21 @@ RunResult run_scenario(const ScenarioConfig& config) {
   sim::Rng root(config.seed);
   net::Network network(simulator, root.split());
   metrics::MetricsCollector collector;
+  // Deployment-wide identity registry behind the dense per-AU substrates.
+  // Registration happens entirely at setup, in ascending NodeId order
+  // (loyal peers, newcomers, then adversary minions at their high id
+  // bases — the registry's ordering contract, which makes slot order equal
+  // NodeId order and keeps every substrate walk seed-identical).
+  net::NodeSlotRegistry registry;
+  for (uint32_t p = 0; p < config.peer_count + config.newcomer_count; ++p) {
+    registry.register_node(net::NodeId{p});
+  }
 
   peer::PeerEnvironment env;
   env.simulator = &simulator;
   env.network = &network;
   env.metrics = &collector;
+  env.nodes = &registry;
   env.params = config.params;
   env.costs = config.costs;
   env.damage = config.damage;
@@ -160,6 +171,15 @@ RunResult run_scenario(const ScenarioConfig& config) {
   for (auto& p : peers) {
     victim_ptrs.push_back(p.get());
   }
+  // Adversary minions with fixed identity sets register like everyone else
+  // (their per-victim reputation entries then live in the dense slot
+  // arrays); the admission-flood adversary spoofs unbounded fresh ids and
+  // stays on the substrates' overflow path by design.
+  const auto register_minions = [&](uint32_t id_base, uint32_t count) {
+    for (uint32_t m = 0; m < count; ++m) {
+      registry.register_node(net::NodeId{id_base + m});
+    }
+  };
   const auto start_pipe_stoppage = [&] {
     pipe_stoppage = std::make_unique<adversary::PipeStoppageAdversary>(
         simulator, network, root.split(), config.adversary.cadence, ids);
@@ -168,6 +188,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
   const auto start_brute_force = [&] {
     adversary::BruteForceConfig bf;
     bf.defection = config.adversary.defection;
+    register_minions(bf.minion_id_base, bf.minion_count);
     brute_force = std::make_unique<adversary::BruteForceAdversary>(
         simulator, network, root.split(), bf, victim_ptrs, aus, config.params, config.costs);
     brute_force->start();
@@ -190,15 +211,18 @@ RunResult run_scenario(const ScenarioConfig& config) {
       start_brute_force();
       break;
     case AdversarySpec::Kind::kGradeRecovery: {
+      const adversary::GradeRecoveryConfig gr{};
+      register_minions(gr.minion_id_base, gr.minion_count);
       grade_recovery = std::make_unique<adversary::GradeRecoveryAdversary>(
-          simulator, network, root.split(), adversary::GradeRecoveryConfig{}, victim_ptrs, aus,
-          config.params, config.costs);
+          simulator, network, root.split(), gr, victim_ptrs, aus, config.params, config.costs);
       grade_recovery->start();
       break;
     }
     case AdversarySpec::Kind::kVoteFlood: {
+      const adversary::VoteFloodConfig vf{};
+      register_minions(vf.minion_id_base, vf.minion_count);
       vote_flood = std::make_unique<adversary::VoteFloodAdversary>(
-          simulator, network, root.split(), adversary::VoteFloodConfig{}, victim_ptrs, aus);
+          simulator, network, root.split(), vf, victim_ptrs, aus);
       vote_flood->start();
       break;
     }

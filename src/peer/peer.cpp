@@ -40,10 +40,10 @@ void Peer::join_au(storage::AuId au) {
   }
   AuState& state = au_states_[au.value];
   state.known_peers =
-      std::make_unique<reputation::KnownPeers>(env_.params.grade_decay_interval);
+      std::make_unique<reputation::KnownPeers>(env_.params.grade_decay_interval, env_.nodes);
   state.introductions = std::make_unique<reputation::IntroductionTable>(
-      env_.params.max_outstanding_introductions);
-  state.reference_list = std::make_unique<protocol::ReferenceList>(id_);
+      env_.params.max_outstanding_introductions, env_.nodes);
+  state.reference_list = std::make_unique<protocol::ReferenceList>(id_, env_.nodes);
   if (env_.metrics != nullptr) {
     // Claim dense metric slots at setup time so the poll path never has to
     // register lazily (which would allocate).
@@ -96,9 +96,7 @@ void Peer::start_poll(storage::AuId au) {
   // Schedule the next cycle first: the poll rate never adapts (§5.1).
   env_.simulator->schedule_in(env_.params.inter_poll_interval, [this, au] { start_poll(au); });
   const protocol::PollId id = protocol::make_poll_id(id_, poll_sequence_++);
-  auto session = std::make_unique<protocol::PollerSession>(*this, au, id);
-  auto* raw = session.get();
-  pollers_.emplace(id, std::move(session));
+  auto* raw = pollers_.insert(id, std::make_unique<protocol::PollerSession>(*this, au, id));
   ++polls_started_;
   raw->start();
 }
@@ -125,7 +123,7 @@ void Peer::handle_message(net::MessagePtr message) {
     auto session = protocol::VoterSession::consider_invitation(*this, *poll, &verdict);
     ++admission_verdicts_[static_cast<size_t>(verdict)];
     if (session != nullptr) {
-      voters_.emplace(poll->poll_id, std::move(session));
+      voters_.insert(poll->poll_id, std::move(session));
     }
     return;
   }
@@ -186,8 +184,7 @@ void Peer::send(net::NodeId to, std::unique_ptr<protocol::ProtocolMessage> messa
 }
 
 protocol::PollerSession* Peer::find_poller_session(protocol::PollId id) {
-  auto it = pollers_.find(id);
-  return it == pollers_.end() ? nullptr : it->second.get();
+  return pollers_.find(id);
 }
 
 void Peer::charge_operator_audit(double cost_factor) {
@@ -197,17 +194,13 @@ void Peer::charge_operator_audit(double cost_factor) {
 }
 
 std::vector<protocol::PollId> Peer::live_poller_poll_ids() const {
-  std::vector<protocol::PollId> ids;
-  ids.reserve(pollers_.size());
-  for (const auto& [id, session] : pollers_) {
-    ids.push_back(id);
-  }
-  return ids;
+  // PollId order — the iteration order of the seed's std::map, which the
+  // vote-flood replay oracle RNG-indexes into.
+  return pollers_.keys_sorted();
 }
 
 protocol::VoterSession* Peer::find_voter_session(protocol::PollId id) {
-  auto it = voters_.find(id);
-  return it == voters_.end() ? nullptr : it->second.get();
+  return voters_.find(id);
 }
 
 void Peer::retire_poller_session(protocol::PollId id) {

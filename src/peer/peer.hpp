@@ -15,7 +15,6 @@
 #define LOCKSS_PEER_PEER_HPP_
 
 #include <array>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -23,8 +22,10 @@
 #include "crypto/mbf.hpp"
 #include "metrics/collector.hpp"
 #include "net/network.hpp"
+#include "net/node_slot_registry.hpp"
 #include "protocol/host.hpp"
 #include "protocol/poller_session.hpp"
+#include "protocol/session_table.hpp"
 #include "protocol/voter_session.hpp"
 #include "reputation/admission_policy.hpp"
 #include "storage/damage.hpp"
@@ -37,6 +38,12 @@ struct PeerEnvironment {
   sim::Simulator* simulator = nullptr;
   net::Network* network = nullptr;
   metrics::MetricsCollector* metrics = nullptr;  // optional
+  // Deployment-wide identity registry backing the dense per-AU substrates
+  // (optional; null hosts fall back to the substrates' ordered-map paths).
+  // When set, every identity must be registered before traffic starts —
+  // scenario setup registers loyal peers, newcomers, then adversary
+  // minions, in ascending NodeId order (the registry's ordering contract).
+  const net::NodeSlotRegistry* nodes = nullptr;
   protocol::Params params;
   crypto::CostModel costs;
   storage::DamageConfig damage;
@@ -88,7 +95,8 @@ class Peer : public protocol::PeerHost, public net::MessageHandler {
   reputation::KnownPeers& known_peers(storage::AuId au) override;
   reputation::IntroductionTable& introductions(storage::AuId au) override;
   protocol::ReferenceList& reference_list(storage::AuId au) override;
-  std::vector<net::NodeId> friends() const override { return friends_; }
+  const std::vector<net::NodeId>& friends() const override { return friends_; }
+  const net::NodeSlotRegistry* node_registry() const override { return env_.nodes; }
   metrics::MetricsCollector* metrics() override { return env_.metrics; }
   bool pass_random_drop(reputation::Standing standing) override {
     return admission_.pass_random_drop(standing);
@@ -162,8 +170,11 @@ class Peer : public protocol::PeerHost, public net::MessageHandler {
   std::vector<AuState> au_states_;
   std::vector<net::NodeId> friends_;
 
-  std::map<protocol::PollId, std::unique_ptr<protocol::PollerSession>> pollers_;
-  std::map<protocol::PollId, std::unique_ptr<protocol::VoterSession>> voters_;
+  // Live sessions in open-addressed tables keyed by PollId: every message
+  // dispatch and session-scheduled event resolves through them (PR 1's
+  // find-by-id lifetime rule), so the lookup is hot-path.
+  protocol::SessionTable<protocol::PollerSession> pollers_;
+  protocol::SessionTable<protocol::VoterSession> voters_;
   uint32_t poll_sequence_ = 0;
   uint64_t solicitations_sent_ = 0;
   uint64_t polls_started_ = 0;

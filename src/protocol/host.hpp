@@ -19,6 +19,7 @@
 #include "crypto/mbf.hpp"
 #include "net/message.hpp"
 #include "net/node_id.hpp"
+#include "net/node_slot_registry.hpp"
 #include "protocol/effort_schedule.hpp"
 #include "protocol/messages.hpp"
 #include "protocol/params.hpp"
@@ -91,7 +92,13 @@ class PeerHost {
   virtual reputation::KnownPeers& known_peers(storage::AuId au) = 0;
   virtual reputation::IntroductionTable& introductions(storage::AuId au) = 0;
   virtual ReferenceList& reference_list(storage::AuId au) = 0;
-  virtual std::vector<net::NodeId> friends() const = 0;
+  // The operator-maintained friends list (§4.1). Returned by reference: it
+  // is read on every poll conclusion and must not be copied per call.
+  virtual const std::vector<net::NodeId>& friends() const = 0;
+  // The deployment-wide identity registry behind the dense per-AU
+  // substrates, or nullptr for an unregistered (hand-built) host — the
+  // substrates then run their ordered-map fallback with identical behavior.
+  virtual const net::NodeSlotRegistry* node_registry() const = 0;
 
   // --- Reputation-aware admission helper -----------------------------------
   // The random-drop stage; implemented by the host so adversarial hosts can

@@ -381,7 +381,7 @@ void PollerSession::run_tally() {
   votes_ = std::move(valid);
 
   tally_ = std::make_unique<Tally>(host_.replica(au_), host_.params().quorum,
-                                   host_.params().max_disagreeing);
+                                   host_.params().max_disagreeing, host_.node_registry());
   for (const StoredVote& vote : votes_) {
     tally_->add_vote(vote.voter, vote.nonce, vote.hashes, vote.inner);
   }
@@ -532,8 +532,7 @@ void PollerSession::send_receipts_and_conclude() {
       ref.insert(vote.voter);
     }
   }
-  auto friend_ids = host_.friends();
-  const auto chosen = host_.rng().sample(friend_ids, host_.params().friends_per_poll);
+  const auto chosen = host_.rng().sample(host_.friends(), host_.params().friends_per_poll);
   for (net::NodeId f : chosen) {
     ref.insert(f);
   }

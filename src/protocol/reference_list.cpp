@@ -1,18 +1,77 @@
 #include "protocol/reference_list.hpp"
 
+#include <algorithm>
+#include <cstddef>
+
 namespace lockss::protocol {
 
+uint32_t ReferenceList::covered_index(net::NodeId peer) const {
+  if (nodes_ == nullptr) {
+    return net::NodeSlotRegistry::kUnassigned;
+  }
+  const uint32_t index = nodes_->index_of(peer);
+  return index < in_list_.size() ? index : net::NodeSlotRegistry::kUnassigned;
+}
+
+bool ReferenceList::member_search(net::NodeId peer, size_t* pos) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), peer);
+  if (pos != nullptr) {
+    *pos = static_cast<size_t>(it - members_.begin());
+  }
+  return it != members_.end() && *it == peer;
+}
+
+bool ReferenceList::contains(net::NodeId peer) const {
+  const uint32_t index = covered_index(peer);
+  if (index != net::NodeSlotRegistry::kUnassigned) {
+    return in_list_[index] != 0;
+  }
+  // Not bit-covered: only worth searching when uncovered members can exist.
+  return (uncovered_members_ > 0 || nodes_ == nullptr) && member_search(peer, nullptr);
+}
+
 void ReferenceList::insert(net::NodeId peer) {
-  if (peer != self_ && peer.valid()) {
-    members_.insert(peer);
+  if (peer == self_ || !peer.valid()) {
+    return;
+  }
+  size_t pos = 0;
+  if (member_search(peer, &pos)) {
+    return;
+  }
+  members_.insert(members_.begin() + static_cast<ptrdiff_t>(pos), peer);
+  if (nodes_ != nullptr) {
+    const uint32_t index = nodes_->index_of(peer);
+    if (index != net::NodeSlotRegistry::kUnassigned) {
+      if (index >= in_list_.size()) {
+        in_list_.resize(nodes_->count(), 0);
+      }
+      in_list_[index] = 1;
+      return;
+    }
+  }
+  ++uncovered_members_;
+}
+
+void ReferenceList::remove(net::NodeId peer) {
+  size_t pos = 0;
+  if (!member_search(peer, &pos)) {
+    return;
+  }
+  members_.erase(members_.begin() + static_cast<ptrdiff_t>(pos));
+  const uint32_t index = covered_index(peer);
+  if (index != net::NodeSlotRegistry::kUnassigned && in_list_[index] != 0) {
+    in_list_[index] = 0;
+  } else {
+    --uncovered_members_;
   }
 }
 
-void ReferenceList::remove(net::NodeId peer) { members_.erase(peer); }
-
-std::vector<net::NodeId> ReferenceList::sample(size_t k, sim::Rng& rng) const {
-  std::vector<net::NodeId> pool(members_.begin(), members_.end());
-  return rng.sample(pool, k);
+void ReferenceList::sample_into(std::vector<net::NodeId>& out, size_t k, sim::Rng& rng) const {
+  out.assign(members_.begin(), members_.end());
+  rng.shuffle(out);
+  if (k < out.size()) {
+    out.resize(k);
+  }
 }
 
 }  // namespace lockss::protocol

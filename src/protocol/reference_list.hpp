@@ -5,38 +5,71 @@
 // At poll conclusion the poller "updates its reference list by removing all
 // voters whose votes determined the poll outcome and by inserting all
 // agreeing outer-circle voters and some peers from the friends list."
+//
+// Layout: the canonical membership is a NodeId-sorted flat vector (the
+// iteration/sampling order of the seed's std::set, which feeds RNG draws
+// and solicitation order — determinism-critical). A NodeSlotRegistry-indexed
+// bit array accelerates contains() to one load for registered identities;
+// insert/remove are a binary search plus a small POD memmove. sample()
+// shuffles a reused scratch buffer with draws identical to the seed's
+// rng.sample(members, k) — no per-call set→vector rebuild, no allocation at
+// steady state. The seed implementation is preserved as
+// ReferenceListReference (protocol/reference_tables.hpp) and
+// property-checked equivalent, sample draws included.
 #ifndef LOCKSS_PROTOCOL_REFERENCE_LIST_HPP_
 #define LOCKSS_PROTOCOL_REFERENCE_LIST_HPP_
 
-#include <set>
 #include <vector>
 
 #include "net/node_id.hpp"
+#include "net/node_slot_registry.hpp"
 #include "sim/rng.hpp"
 
 namespace lockss::protocol {
 
 class ReferenceList {
  public:
-  explicit ReferenceList(net::NodeId self) : self_(self) {}
+  // `nodes` may be null (hand-built hosts, unit tests): contains() then
+  // always binary-searches the sorted member vector.
+  explicit ReferenceList(net::NodeId self, const net::NodeSlotRegistry* nodes = nullptr)
+      : self_(self), nodes_(nodes) {}
 
   // Insert/remove keep the list duplicate-free and never admit `self`.
   void insert(net::NodeId peer);
   void remove(net::NodeId peer);
-  bool contains(net::NodeId peer) const { return members_.contains(peer); }
+  bool contains(net::NodeId peer) const;
   size_t size() const { return members_.size(); }
   bool empty() const { return members_.empty(); }
 
-  // Uniform random sample of up to `k` distinct members.
-  std::vector<net::NodeId> sample(size_t k, sim::Rng& rng) const;
+  // Uniform random sample of up to `k` distinct members, replacing `out`
+  // (its capacity is reused — sessions pass a scratch vector and the steady
+  // state allocates nothing). Draw-for-draw identical to the seed's
+  // rng.sample(members(), k).
+  void sample_into(std::vector<net::NodeId>& out, size_t k, sim::Rng& rng) const;
 
-  std::vector<net::NodeId> members() const {
-    return std::vector<net::NodeId>(members_.begin(), members_.end());
+  std::vector<net::NodeId> sample(size_t k, sim::Rng& rng) const {
+    std::vector<net::NodeId> out;
+    sample_into(out, k, rng);
+    return out;
   }
 
+  // Members in ascending NodeId order (the seed's std::set order).
+  const std::vector<net::NodeId>& members() const { return members_; }
+
  private:
+  // Slot index of `peer` when it is registered and covered by in_list_,
+  // else NodeSlotRegistry::kUnassigned.
+  uint32_t covered_index(net::NodeId peer) const;
+  bool member_search(net::NodeId peer, size_t* pos) const;
+
   net::NodeId self_;
-  std::set<net::NodeId> members_;  // ordered for deterministic iteration
+  const net::NodeSlotRegistry* nodes_;
+  std::vector<net::NodeId> members_;  // ascending NodeId; canonical
+  std::vector<uint8_t> in_list_;      // slot-indexed membership accelerator
+  // Members not covered by in_list_ (unregistered identities). When zero —
+  // every scenario population — a clear accelerator bit alone proves
+  // non-membership.
+  size_t uncovered_members_ = 0;
 };
 
 }  // namespace lockss::protocol

@@ -1,0 +1,176 @@
+// Seed (pre-densification) protocol containers, preserved verbatim.
+//
+// PR 3 rebuilt ReferenceList and Tally on dense NodeSlotRegistry slot
+// structures; these are the ordered-container originals, kept — like
+// metrics::MapReferenceCollector — for the randomized equivalence property
+// tests (tests/substrate_equivalence_test.cpp) and the before/after
+// micro-benchmarks (bench/micro_substrates.cpp, tools/bench_report). Do not
+// "fix" or optimize them: their value is being the seed semantics.
+#ifndef LOCKSS_PROTOCOL_REFERENCE_TABLES_HPP_
+#define LOCKSS_PROTOCOL_REFERENCE_TABLES_HPP_
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "net/node_id.hpp"
+#include "protocol/tally.hpp"
+#include "sim/rng.hpp"
+#include "storage/replica.hpp"
+
+namespace lockss::protocol {
+
+// The seed ReferenceList: a std::set walked into a fresh vector on every
+// members()/sample() call.
+class ReferenceListReference {
+ public:
+  explicit ReferenceListReference(net::NodeId self) : self_(self) {}
+
+  void insert(net::NodeId peer) {
+    if (peer != self_ && peer.valid()) {
+      members_.insert(peer);
+    }
+  }
+  void remove(net::NodeId peer) { members_.erase(peer); }
+  bool contains(net::NodeId peer) const { return members_.contains(peer); }
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  std::vector<net::NodeId> sample(size_t k, sim::Rng& rng) const {
+    std::vector<net::NodeId> pool(members_.begin(), members_.end());
+    return rng.sample(pool, k);
+  }
+
+  std::vector<net::NodeId> members() const {
+    return std::vector<net::NodeId>(members_.begin(), members_.end());
+  }
+
+ private:
+  net::NodeId self_;
+  std::set<net::NodeId> members_;  // ordered for deterministic iteration
+};
+
+// The seed Tally: per-voter state in a std::map, one ordered walk per block.
+// Mirrors protocol::Tally's interface (same Step type).
+class TallyReference {
+ public:
+  TallyReference(const storage::AuReplica& replica, uint32_t quorum, uint32_t max_disagreeing)
+      : replica_(replica), quorum_(quorum), max_disagreeing_(max_disagreeing) {}
+
+  void add_vote(net::NodeId voter, crypto::Digest64 nonce,
+                std::vector<crypto::Digest64> block_hashes, bool inner) {
+    assert(block_ == 0 && "votes must be registered before evaluation starts");
+    VoterState state;
+    state.hashes = std::move(block_hashes);
+    state.expected_prev = crypto::vote_chain_seed(nonce);
+    state.inner = inner;
+    auto [it, inserted] = voters_.emplace(voter, std::move(state));
+    (void)it;
+    if (inserted && inner) {
+      ++inner_count_;
+    }
+  }
+
+  size_t inner_votes() const { return inner_count_; }
+  size_t total_votes() const { return voters_.size(); }
+  bool quorate() const { return inner_count_ >= quorum_; }
+
+  using Step = Tally::Step;
+
+  Step advance() {
+    const uint32_t blocks = replica_.spec().block_count;
+    while (block_ < blocks) {
+      // Evaluate the current block against every vote.
+      uint32_t inner_agree = 0;
+      uint32_t inner_disagree = 0;
+      std::vector<net::NodeId> disagreeing;
+      for (auto& [voter, state] : voters_) {
+        const crypto::Digest64 expected =
+            replica_.expected_block_hash(state.expected_prev, block_);
+        const bool vote_long_enough = state.hashes.size() > block_;
+        const bool agree = vote_long_enough && state.hashes[block_] == expected;
+        if (state.inner) {
+          if (agree) {
+            ++inner_agree;
+          } else {
+            ++inner_disagree;
+            disagreeing.push_back(voter);
+          }
+        }
+      }
+      if (inner_disagree <= max_disagreeing_) {
+        // Landslide agreement: commit the block and move on.
+        for (auto& [voter, state] : voters_) {
+          const crypto::Digest64 expected =
+              replica_.expected_block_hash(state.expected_prev, block_);
+          const bool agree = state.hashes.size() > block_ && state.hashes[block_] == expected;
+          if (!agree) {
+            state.agreed_throughout = false;
+          }
+          state.expected_prev = expected;
+        }
+        ++block_;
+        continue;
+      }
+      if (inner_agree <= max_disagreeing_) {
+        return Step{Step::Kind::kNeedRepair, block_, std::move(disagreeing)};
+      }
+      return Step{Step::Kind::kAlarm, block_, std::move(disagreeing)};
+    }
+    done_ = true;
+    return Step{Step::Kind::kDone, blocks, {}};
+  }
+
+  Step resume_after_repair() { return advance(); }
+
+  std::vector<net::NodeId> agreeing_voters() const {
+    std::vector<net::NodeId> out;
+    for (const auto& [voter, state] : voters_) {
+      if (state.agreed_throughout) {
+        out.push_back(voter);
+      }
+    }
+    return out;
+  }
+
+  std::vector<net::NodeId> disagreeing_voters() const {
+    std::vector<net::NodeId> out;
+    for (const auto& [voter, state] : voters_) {
+      if (!state.agreed_throughout) {
+        out.push_back(voter);
+      }
+    }
+    return out;
+  }
+
+  bool voter_agreed_throughout(net::NodeId voter) const {
+    auto it = voters_.find(voter);
+    return it != voters_.end() && it->second.agreed_throughout;
+  }
+
+  uint32_t current_block() const { return block_; }
+
+ private:
+  struct VoterState {
+    std::vector<crypto::Digest64> hashes;  // the vote as received
+    crypto::Digest64 expected_prev;        // poller-side chain before current block
+    bool inner = false;
+    bool agreed_throughout = true;
+  };
+
+  const storage::AuReplica& replica_;
+  uint32_t quorum_;
+  uint32_t max_disagreeing_;
+  // std::map for deterministic iteration.
+  std::map<net::NodeId, VoterState> voters_;
+  size_t inner_count_ = 0;
+  uint32_t block_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace lockss::protocol
+
+#endif  // LOCKSS_PROTOCOL_REFERENCE_TABLES_HPP_

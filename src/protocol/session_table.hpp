@@ -1,0 +1,197 @@
+// Open-addressed poll-session tables.
+//
+// A peer's live PollerSession/VoterSession set is keyed by PollId and hit on
+// every protocol message dispatch plus every session-scheduled simulator
+// event (PR 1's lifetime rule: events resolve their session through
+// find_*_session(PollId), never via captured pointers — so the lookup *is*
+// the hot path). The seed kept the sessions in std::map<PollId, unique_ptr>;
+// sessions are short-lived and few, so the map was all rebalancing and
+// node-allocation overhead. This table is the event-slab idea (PR 1)
+// applied to a keyed set: sessions live in slots of one flat power-of-two
+// array probed linearly from the key hash; find is a load-compare walk of
+// expected length ~1, erase is backward-shift (no tombstones, so probe
+// chains never rot), and the array reaches a fixed footprint once a peer
+// has seen its busiest poll overlap. PollIds already make stale lookups
+// safe the way the event slab's generation counters did: ids are never
+// reused (poller id ⊕ monotone sequence), so a retired poll's id simply
+// misses.
+//
+// Determinism: lookups by key and size() are order-free; the only
+// order-sensitive read is keys_sorted(), which returns PollId order — the
+// seed map's iteration order (vote_flood's replay oracle RNG-indexes into
+// it). The seed container is preserved as SessionTableReference for the
+// equivalence property test and the before/after benchmark.
+#ifndef LOCKSS_PROTOCOL_SESSION_TABLE_HPP_
+#define LOCKSS_PROTOCOL_SESSION_TABLE_HPP_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "protocol/messages.hpp"
+#include "sim/rng.hpp"
+
+namespace lockss::protocol {
+
+template <typename Session>
+class SessionTable {
+ public:
+  Session* find(PollId id) const {
+    if (size_ == 0) {
+      return nullptr;
+    }
+    const size_t mask = slots_.size() - 1;
+    for (size_t probe = hash(id) & mask;; probe = (probe + 1) & mask) {
+      const Slot& slot = slots_[probe];
+      if (slot.session == nullptr) {
+        return nullptr;
+      }
+      if (slot.key == id) {
+        return slot.session.get();
+      }
+    }
+  }
+
+  bool contains(PollId id) const { return find(id) != nullptr; }
+
+  // Inserts a new session; `id` must not already be present (PollIds are
+  // globally unique by construction). Returns the raw session pointer.
+  Session* insert(PollId id, std::unique_ptr<Session> session) {
+    assert(session != nullptr);
+    assert(find(id) == nullptr && "duplicate PollId");
+    if ((size_ + 1) * 10 >= slots_.size() * 7) {  // load factor 0.7
+      grow();
+    }
+    Session* raw = session.get();
+    const size_t mask = slots_.size() - 1;
+    size_t probe = hash(id) & mask;
+    while (slots_[probe].session != nullptr) {
+      probe = (probe + 1) & mask;
+    }
+    slots_[probe] = Slot{id, std::move(session)};
+    ++size_;
+    return raw;
+  }
+
+  // Destroys the session for `id`. Returns false if absent. Backward-shift
+  // deletion: no tombstones, probe chains stay minimal forever.
+  bool erase(PollId id) {
+    if (size_ == 0) {
+      return false;
+    }
+    const size_t mask = slots_.size() - 1;
+    size_t probe = hash(id) & mask;
+    while (true) {
+      if (slots_[probe].session == nullptr) {
+        return false;
+      }
+      if (slots_[probe].key == id) {
+        break;
+      }
+      probe = (probe + 1) & mask;
+    }
+    slots_[probe].session.reset();
+    --size_;
+    // Shift the rest of the probe chain back over the hole.
+    size_t hole = probe;
+    for (size_t next = (probe + 1) & mask; slots_[next].session != nullptr;
+         next = (next + 1) & mask) {
+      const size_t home = hash(slots_[next].key) & mask;
+      // Move `next` into the hole unless it already sits in [home, hole].
+      const bool in_place = ((next - home) & mask) < ((next - hole) & mask);
+      if (!in_place) {
+        slots_[hole] = std::move(slots_[next]);
+        slots_[next].session.reset();
+        hole = next;
+      }
+    }
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Live PollIds in ascending order — the seed std::map's iteration order
+  // (order-sensitive consumers: vote_flood's replay oracle RNG-indexes the
+  // result). Allocates; diagnostics/adversary path, not the protocol path.
+  std::vector<PollId> keys_sorted() const {
+    std::vector<PollId> keys;
+    keys.reserve(size_);
+    for (const Slot& slot : slots_) {
+      if (slot.session != nullptr) {
+        keys.push_back(slot.key);
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+ private:
+  struct Slot {
+    PollId key = 0;
+    std::unique_ptr<Session> session;  // nullptr == empty slot
+  };
+
+  // splitmix64 finalizer over the PollId (high half: poller id; low half:
+  // sequence) — consecutive sequences spread uniformly.
+  static size_t hash(PollId id) { return static_cast<size_t>(sim::splitmix64_mix(id)); }
+
+  void grow() {
+    const size_t capacity = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(capacity);
+    const size_t mask = capacity - 1;
+    for (Slot& slot : old) {
+      if (slot.session == nullptr) {
+        continue;
+      }
+      size_t probe = hash(slot.key) & mask;
+      while (slots_[probe].session != nullptr) {
+        probe = (probe + 1) & mask;
+      }
+      slots_[probe] = std::move(slot);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+// The seed container (std::map keyed by PollId) behind the same interface,
+// for the equivalence property test and the before/after benchmark.
+template <typename Session>
+class SessionTableReference {
+ public:
+  Session* find(PollId id) const {
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second.get();
+  }
+  bool contains(PollId id) const { return sessions_.contains(id); }
+  Session* insert(PollId id, std::unique_ptr<Session> session) {
+    Session* raw = session.get();
+    sessions_.emplace(id, std::move(session));
+    return raw;
+  }
+  bool erase(PollId id) { return sessions_.erase(id) > 0; }
+  size_t size() const { return sessions_.size(); }
+  bool empty() const { return sessions_.empty(); }
+  std::vector<PollId> keys_sorted() const {
+    std::vector<PollId> keys;
+    keys.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) {
+      keys.push_back(id);
+    }
+    return keys;
+  }
+
+ private:
+  std::map<PollId, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace lockss::protocol
+
+#endif  // LOCKSS_PROTOCOL_SESSION_TABLE_HPP_

@@ -1,22 +1,64 @@
 #include "protocol/tally.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace lockss::protocol {
 
-Tally::Tally(const storage::AuReplica& replica, uint32_t quorum, uint32_t max_disagreeing)
-    : replica_(replica), quorum_(quorum), max_disagreeing_(max_disagreeing) {}
+Tally::Tally(const storage::AuReplica& replica, uint32_t quorum, uint32_t max_disagreeing,
+             const net::NodeSlotRegistry* nodes)
+    : replica_(replica), quorum_(quorum), max_disagreeing_(max_disagreeing), nodes_(nodes) {}
+
+uint32_t Tally::find_state(net::NodeId voter) const {
+  if (nodes_ != nullptr) {
+    const uint32_t index = nodes_->index_of(voter);
+    if (index != net::NodeSlotRegistry::kUnassigned && index < by_slot_.size() &&
+        by_slot_[index] != kNoVote) {
+      return by_slot_[index];
+    }
+    // Fall through: a voter that registered mid-poll would still be indexed
+    // in the overflow map it entered under.
+  }
+  if (overflow_.empty()) {
+    return kNoVote;
+  }
+  const auto it = overflow_.find(voter);
+  return it == overflow_.end() ? kNoVote : it->second;
+}
 
 void Tally::add_vote(net::NodeId voter, crypto::Digest64 nonce,
                      std::vector<crypto::Digest64> block_hashes, bool inner) {
   assert(block_ == 0 && "votes must be registered before evaluation starts");
+  if (find_state(voter) != kNoVote) {
+    return;  // duplicate voter: first vote wins (seed std::map::emplace)
+  }
+  const uint32_t state_index = static_cast<uint32_t>(states_.size());
   VoterState state;
+  state.voter = voter;
   state.hashes = std::move(block_hashes);
   state.expected_prev = crypto::vote_chain_seed(nonce);
   state.inner = inner;
-  auto [it, inserted] = voters_.emplace(voter, std::move(state));
-  (void)it;
-  if (inserted && inner) {
+  states_.push_back(std::move(state));
+  // Keep the evaluation walk in NodeId order (the seed map's order).
+  const auto pos = std::lower_bound(order_.begin(), order_.end(), voter,
+                                    [&](uint32_t index, net::NodeId id) {
+                                      return states_[index].voter < id;
+                                    });
+  order_.insert(pos, state_index);
+  if (nodes_ != nullptr) {
+    const uint32_t index = nodes_->index_of(voter);
+    if (index != net::NodeSlotRegistry::kUnassigned) {
+      if (index >= by_slot_.size()) {
+        by_slot_.resize(nodes_->count(), kNoVote);
+      }
+      by_slot_[index] = state_index;
+    } else {
+      overflow_.emplace(voter, state_index);
+    }
+  } else {
+    overflow_.emplace(voter, state_index);
+  }
+  if (inner) {
     ++inner_count_;
   }
 }
@@ -24,11 +66,12 @@ void Tally::add_vote(net::NodeId voter, crypto::Digest64 nonce,
 Tally::Step Tally::advance() {
   const uint32_t blocks = replica_.spec().block_count;
   while (block_ < blocks) {
-    // Evaluate the current block against every vote.
+    // Evaluate the current block against every vote, in NodeId order.
     uint32_t inner_agree = 0;
     uint32_t inner_disagree = 0;
     std::vector<net::NodeId> disagreeing;
-    for (auto& [voter, state] : voters_) {
+    for (uint32_t index : order_) {
+      VoterState& state = states_[index];
       const crypto::Digest64 expected = replica_.expected_block_hash(state.expected_prev, block_);
       const bool vote_long_enough = state.hashes.size() > block_;
       const bool agree = vote_long_enough && state.hashes[block_] == expected;
@@ -37,13 +80,14 @@ Tally::Step Tally::advance() {
           ++inner_agree;
         } else {
           ++inner_disagree;
-          disagreeing.push_back(voter);
+          disagreeing.push_back(state.voter);
         }
       }
     }
     if (inner_disagree <= max_disagreeing_) {
       // Landslide agreement: commit the block and move on.
-      for (auto& [voter, state] : voters_) {
+      for (uint32_t index : order_) {
+        VoterState& state = states_[index];
         const crypto::Digest64 expected =
             replica_.expected_block_hash(state.expected_prev, block_);
         const bool agree = state.hashes.size() > block_ && state.hashes[block_] == expected;
@@ -69,9 +113,9 @@ Tally::Step Tally::advance() {
 
 std::vector<net::NodeId> Tally::agreeing_voters() const {
   std::vector<net::NodeId> out;
-  for (const auto& [voter, state] : voters_) {
-    if (state.agreed_throughout) {
-      out.push_back(voter);
+  for (uint32_t index : order_) {
+    if (states_[index].agreed_throughout) {
+      out.push_back(states_[index].voter);
     }
   }
   return out;
@@ -79,17 +123,17 @@ std::vector<net::NodeId> Tally::agreeing_voters() const {
 
 std::vector<net::NodeId> Tally::disagreeing_voters() const {
   std::vector<net::NodeId> out;
-  for (const auto& [voter, state] : voters_) {
-    if (!state.agreed_throughout) {
-      out.push_back(voter);
+  for (uint32_t index : order_) {
+    if (!states_[index].agreed_throughout) {
+      out.push_back(states_[index].voter);
     }
   }
   return out;
 }
 
 bool Tally::voter_agreed_throughout(net::NodeId voter) const {
-  auto it = voters_.find(voter);
-  return it != voters_.end() && it->second.agreed_throughout;
+  const uint32_t index = find_state(voter);
+  return index != kNoVote && states_[index].agreed_throughout;
 }
 
 }  // namespace lockss::protocol

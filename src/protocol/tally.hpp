@@ -15,6 +15,15 @@
 // is the PollerSession's job. Outer-circle votes are evaluated for agreement
 // (they feed discovery) but never counted toward the outcome ("the outcome
 // of the poll is computed only from inner-circle votes", §4.2).
+//
+// Layout: votes land in a flat vector in arrival order; a slot-keyed index
+// array (NodeSlotRegistry) gives O(1) duplicate detection and
+// voter_agreed_throughout(), and a NodeId-sorted order vector drives every
+// walk — the per-block evaluation loop touches contiguous state in exactly
+// the seed std::map's NodeId order (determinism: the disagreeing/agreeing
+// voter lists feed repair-source RNG picks and reference-list updates). The
+// seed implementation is preserved as TallyReference
+// (protocol/reference_tables.hpp) and property-checked equivalent.
 #ifndef LOCKSS_PROTOCOL_TALLY_HPP_
 #define LOCKSS_PROTOCOL_TALLY_HPP_
 
@@ -24,6 +33,7 @@
 
 #include "crypto/digest.hpp"
 #include "net/node_id.hpp"
+#include "net/node_slot_registry.hpp"
 #include "storage/replica.hpp"
 
 namespace lockss::protocol {
@@ -31,14 +41,17 @@ namespace lockss::protocol {
 class Tally {
  public:
   // `replica` must outlive the tally and reflects repairs as they land.
-  Tally(const storage::AuReplica& replica, uint32_t quorum, uint32_t max_disagreeing);
+  // `nodes` may be null (unit tests): every voter then takes the
+  // overflow-map index path; observable behavior is identical either way.
+  Tally(const storage::AuReplica& replica, uint32_t quorum, uint32_t max_disagreeing,
+        const net::NodeSlotRegistry* nodes = nullptr);
 
   // Registers a vote. `inner` marks inner-circle votes (outcome-determining).
   void add_vote(net::NodeId voter, crypto::Digest64 nonce,
                 std::vector<crypto::Digest64> block_hashes, bool inner);
 
   size_t inner_votes() const { return inner_count_; }
-  size_t total_votes() const { return voters_.size(); }
+  size_t total_votes() const { return states_.size(); }
   bool quorate() const { return inner_count_ >= quorum_; }
 
   struct Step {
@@ -72,18 +85,27 @@ class Tally {
   uint32_t current_block() const { return block_; }
 
  private:
+  static constexpr uint32_t kNoVote = UINT32_MAX;
+
   struct VoterState {
+    net::NodeId voter;
     std::vector<crypto::Digest64> hashes;  // the vote as received
     crypto::Digest64 expected_prev;        // poller-side chain before current block
     bool inner = false;
     bool agreed_throughout = true;
   };
 
+  // Index into states_ for `voter`, or kNoVote.
+  uint32_t find_state(net::NodeId voter) const;
+
   const storage::AuReplica& replica_;
   uint32_t quorum_;
   uint32_t max_disagreeing_;
-  // std::map for deterministic iteration.
-  std::map<net::NodeId, VoterState> voters_;
+  const net::NodeSlotRegistry* nodes_;
+  std::vector<VoterState> states_;     // arrival order; indices stable
+  std::vector<uint32_t> order_;        // state indices sorted by voter NodeId
+  std::vector<uint32_t> by_slot_;      // registry slot → state index (lazy)
+  std::map<net::NodeId, uint32_t> overflow_;  // unregistered voters
   size_t inner_count_ = 0;
   uint32_t block_ = 0;
   bool done_ = false;

@@ -253,9 +253,10 @@ void VoterSession::compute_and_send_vote() {
   vote->block_hashes = replica.vote_hashes(nonce_);
   vote->vote_effort = host_.mbf().generate(host_.efforts().vote_proof_effort());
   expected_receipt_ = vote->vote_effort.byproduct;
-  // Discovery payload (§4.2): a random subset of our reference list.
-  vote->nominations =
-      host_.reference_list(au_).sample(host_.params().nominations_per_vote, host_.rng());
+  // Discovery payload (§4.2): a random subset of our reference list,
+  // sampled straight into the message (no intermediate pool rebuild).
+  host_.reference_list(au_).sample_into(vote->nominations,
+                                        host_.params().nominations_per_vote, host_.rng());
   host_.send(poller_, std::move(vote));
   vote_sent_ = true;
 

@@ -1,22 +1,68 @@
 #include "reputation/introductions.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace lockss::reputation {
+
+void IntroductionTable::count_introducee(net::NodeId introducee, int delta) {
+  if (nodes_ != nullptr) {
+    const uint32_t index = nodes_->index_of(introducee);
+    if (index != net::NodeSlotRegistry::kUnassigned) {
+      if (index >= introduced_counts_.size()) {
+        introduced_counts_.resize(nodes_->count(), 0);
+      }
+      if (!overflow_counts_.empty()) {
+        // The introducee was vouched for before it registered: fold its
+        // overflow count into the slot so both paths agree from here on.
+        auto it = overflow_counts_.find(introducee);
+        if (it != overflow_counts_.end()) {
+          introduced_counts_[index] = static_cast<uint16_t>(introduced_counts_[index] + it->second);
+          overflow_counts_.erase(it);
+        }
+      }
+      assert(delta > 0 || introduced_counts_[index] > 0);
+      introduced_counts_[index] = static_cast<uint16_t>(introduced_counts_[index] + delta);
+      return;
+    }
+  }
+  if (delta > 0) {
+    ++overflow_counts_[introducee];
+  } else {
+    auto it = overflow_counts_.find(introducee);
+    assert(it != overflow_counts_.end() && it->second > 0);
+    if (--it->second == 0) {
+      overflow_counts_.erase(it);
+    }
+  }
+}
 
 void IntroductionTable::add(net::NodeId introducer, net::NodeId introducee) {
   if (introducer == introducee) {
     return;
   }
-  if (pairs_.size() >= max_outstanding_ && !pairs_.contains({introducer, introducee})) {
-    return;
+  const Pair pair{introducer, introducee};
+  const auto pos = std::lower_bound(pairs_.begin(), pairs_.end(), pair);
+  const bool exists = pos != pairs_.end() && *pos == pair;
+  if (exists || pairs_.size() >= max_outstanding_) {
+    return;  // duplicate, or cap reached ("outstanding introductions are capped")
   }
-  pairs_.insert({introducer, introducee});
+  pairs_.insert(pos, pair);
+  count_introducee(introducee, +1);
 }
 
 bool IntroductionTable::introduced(net::NodeId introducee) const {
-  return std::any_of(pairs_.begin(), pairs_.end(),
-                     [&](const Pair& p) { return p.introducee == introducee; });
+  if (nodes_ != nullptr) {
+    const uint32_t index = nodes_->index_of(introducee);
+    if (index != net::NodeSlotRegistry::kUnassigned) {
+      if (index < introduced_counts_.size() && introduced_counts_[index] > 0) {
+        return true;
+      }
+      // Fall through: pre-registration vouches may still sit in the
+      // overflow counts until a mutator folds them in.
+    }
+  }
+  return !overflow_counts_.empty() && overflow_counts_.contains(introducee);
 }
 
 std::vector<net::NodeId> IntroductionTable::introducers_of(net::NodeId introducee) const {
@@ -30,26 +76,43 @@ std::vector<net::NodeId> IntroductionTable::introducers_of(net::NodeId introduce
 }
 
 bool IntroductionTable::consume(net::NodeId introducee) {
-  const std::vector<net::NodeId> introducers = introducers_of(introducee);
-  if (introducers.empty()) {
-    return false;
-  }
-  for (auto it = pairs_.begin(); it != pairs_.end();) {
-    const bool by_consumed_introducer =
-        std::find(introducers.begin(), introducers.end(), it->introducer) != introducers.end();
-    if (it->introducee == introducee || by_consumed_introducer) {
-      it = pairs_.erase(it);
-    } else {
-      ++it;
+  // Gather the introducers of `introducee` (ascending, since pairs_ is
+  // introducer-major sorted) into the reused scratch.
+  consume_scratch_.clear();
+  for (const Pair& p : pairs_) {
+    if (p.introducee == introducee) {
+      consume_scratch_.push_back(p.introducer);
     }
   }
+  if (consume_scratch_.empty()) {
+    return false;
+  }
+  // Remove every introduction of `introducee` and every other introduction
+  // by its introducers, keeping the vector sorted (erase-remove preserves
+  // relative order).
+  const auto removed = std::remove_if(pairs_.begin(), pairs_.end(), [&](const Pair& p) {
+    const bool by_consumed_introducer =
+        std::binary_search(consume_scratch_.begin(), consume_scratch_.end(), p.introducer);
+    if (p.introducee == introducee || by_consumed_introducer) {
+      count_introducee(p.introducee, -1);
+      return true;
+    }
+    return false;
+  });
+  pairs_.erase(removed, pairs_.end());
   return true;
 }
 
 void IntroductionTable::remove_introducer(net::NodeId introducer) {
-  for (auto it = pairs_.begin(); it != pairs_.end();) {
-    it = (it->introducer == introducer) ? pairs_.erase(it) : std::next(it);
+  // pairs_ is introducer-major sorted: the block to remove is contiguous.
+  const auto first = std::lower_bound(
+      pairs_.begin(), pairs_.end(), introducer,
+      [](const Pair& p, net::NodeId id) { return p.introducer < id; });
+  auto last = first;
+  for (; last != pairs_.end() && last->introducer == introducer; ++last) {
+    count_introducee(last->introducee, -1);
   }
+  pairs_.erase(first, last);
 }
 
 }  // namespace lockss::reputation

@@ -15,21 +15,35 @@
 //    introductions is capped."
 //
 // One IntroductionTable instance covers a single AU.
+//
+// Layout: the (capped, small) pair set is a flat vector sorted by
+// (introducer, introducee) — the seed std::set's order. introduced(), the
+// per-invitation hot-path query, is a slot-indexed per-introducee counter
+// (NodeSlotRegistry) — one load instead of a set scan; unregistered
+// introducees count in a small overflow map. The cascading consume() and
+// remove_introducer() stay linear walks of the pair vector (contiguous PODs
+// now, and rare). Seed semantics preserved as IntroductionTableReference
+// and property-checked equivalent.
 #ifndef LOCKSS_REPUTATION_INTRODUCTIONS_HPP_
 #define LOCKSS_REPUTATION_INTRODUCTIONS_HPP_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
-#include <set>
 #include <vector>
 
 #include "net/node_id.hpp"
+#include "net/node_slot_registry.hpp"
 
 namespace lockss::reputation {
 
 class IntroductionTable {
  public:
-  explicit IntroductionTable(size_t max_outstanding) : max_outstanding_(max_outstanding) {}
+  // `nodes` may be null (hand-built hosts, unit tests): every introducee
+  // then counts in the overflow map; observable behavior is identical.
+  explicit IntroductionTable(size_t max_outstanding,
+                             const net::NodeSlotRegistry* nodes = nullptr)
+      : max_outstanding_(max_outstanding), nodes_(nodes) {}
 
   // Records that `introducer` vouched for `introducee`. Ignored when the cap
   // is reached or the pair already exists. Self-introductions are invalid.
@@ -56,8 +70,14 @@ class IntroductionTable {
     friend auto operator<=>(const Pair&, const Pair&) = default;
   };
 
+  void count_introducee(net::NodeId introducee, int delta);
+
   size_t max_outstanding_;
-  std::set<Pair> pairs_;
+  const net::NodeSlotRegistry* nodes_;
+  std::vector<Pair> pairs_;  // sorted by (introducer, introducee); canonical
+  std::vector<uint16_t> introduced_counts_;      // slot-indexed accelerator
+  std::map<net::NodeId, uint16_t> overflow_counts_;  // unregistered introducees
+  std::vector<net::NodeId> consume_scratch_;     // reused by consume()
 };
 
 }  // namespace lockss::reputation

@@ -30,7 +30,12 @@ const char* standing_name(Standing standing) {
   return "?";
 }
 
-KnownPeers::KnownPeers(sim::SimTime decay_interval) : decay_interval_(decay_interval) {}
+KnownPeers::KnownPeers(sim::SimTime decay_interval, const net::NodeSlotRegistry* nodes)
+    : decay_interval_(decay_interval), nodes_(nodes) {
+  if (nodes_ != nullptr) {
+    slots_.resize(nodes_->count());
+  }
+}
 
 Grade KnownPeers::decayed_grade(const Entry& entry, sim::SimTime now) const {
   if (decay_interval_ <= sim::SimTime::zero()) {
@@ -45,12 +50,8 @@ void KnownPeers::materialize_decay(Entry& entry, sim::SimTime now) const {
   entry.grade = decayed_grade(entry, now);
 }
 
-Standing KnownPeers::standing(net::NodeId peer, sim::SimTime now) const {
-  auto it = entries_.find(peer);
-  if (it == entries_.end()) {
-    return Standing::kUnknown;
-  }
-  switch (decayed_grade(it->second, now)) {
+Standing KnownPeers::standing_of(Grade grade) {
+  switch (grade) {
     case Grade::kDebt:
       return Standing::kDebt;
     case Grade::kEven:
@@ -61,42 +62,165 @@ Standing KnownPeers::standing(net::NodeId peer, sim::SimTime now) const {
   return Standing::kUnknown;
 }
 
+Standing KnownPeers::entry_standing(const Entry& entry, sim::SimTime now) const {
+  return standing_of(decayed_grade(entry, now));
+}
+
+const KnownPeers::Entry* KnownPeers::slot_entry(net::NodeId peer) const {
+  if (nodes_ == nullptr) {
+    return nullptr;
+  }
+  const uint32_t index = nodes_->index_of(peer);
+  if (index == net::NodeSlotRegistry::kUnassigned || index >= slots_.size()) {
+    return nullptr;
+  }
+  return &slots_[index];
+}
+
+KnownPeers::Entry* KnownPeers::slot_entry_mut(net::NodeId peer) {
+  if (nodes_ == nullptr) {
+    return nullptr;
+  }
+  const uint32_t index = nodes_->index_of(peer);
+  if (index == net::NodeSlotRegistry::kUnassigned) {
+    return nullptr;
+  }
+  if (index >= slots_.size()) {
+    // The registry grew since construction (late-setup minion registration);
+    // catch up. Registration precedes traffic, so this never runs hot.
+    slots_.resize(nodes_->count());
+  }
+  Entry* entry = &slots_[index];
+  if (!entry->known && !overflow_.empty()) {
+    // The peer was graded before it registered: migrate the overflow entry
+    // into its slot so both paths agree from here on.
+    auto it = overflow_.find(peer);
+    if (it != overflow_.end()) {
+      *entry = it->second;
+      overflow_.erase(it);
+      ++slot_known_;
+    }
+  }
+  return entry;
+}
+
+Standing KnownPeers::standing(net::NodeId peer, sim::SimTime now) const {
+  if (const Entry* entry = slot_entry(peer)) {
+    if (entry->known) {
+      return entry_standing(*entry, now);
+    }
+    // Empty slot: fall through — the peer may have been graded before it
+    // registered, leaving its entry in the overflow map until a mutator
+    // migrates it.
+  }
+  if (overflow_.empty()) {
+    return Standing::kUnknown;  // the common case: one load, no map walk
+  }
+  auto it = overflow_.find(peer);
+  return it == overflow_.end() ? Standing::kUnknown : entry_standing(it->second, now);
+}
+
+bool KnownPeers::known(net::NodeId peer) const {
+  if (const Entry* entry = slot_entry(peer)) {
+    if (entry->known) {
+      return true;
+    }
+  }
+  return !overflow_.empty() && overflow_.contains(peer);
+}
+
 void KnownPeers::record_service_supplied(net::NodeId peer, sim::SimTime now) {
-  auto [it, inserted] = entries_.try_emplace(peer, Entry{Grade::kDebt, now});
+  if (Entry* entry = slot_entry_mut(peer)) {
+    if (entry->known) {
+      materialize_decay(*entry, now);
+      // debt -> even -> credit -> credit (§5.1).
+      entry->grade = static_cast<Grade>(std::min(static_cast<int>(entry->grade) + 1, 2));
+    } else {
+      // First encounter: a peer that just supplied us service starts at even.
+      entry->known = true;
+      ++slot_known_;
+      entry->grade = Grade::kEven;
+    }
+    entry->last_update = now;
+    return;
+  }
+  auto [it, inserted] = overflow_.try_emplace(peer, Entry{Grade::kDebt, true, now});
   if (!inserted) {
     materialize_decay(it->second, now);
-    // debt -> even -> credit -> credit (§5.1).
     it->second.grade = static_cast<Grade>(std::min(static_cast<int>(it->second.grade) + 1, 2));
   } else {
-    // First encounter: a peer that just supplied us service starts at even.
     it->second.grade = Grade::kEven;
   }
   it->second.last_update = now;
 }
 
 void KnownPeers::record_service_consumed(net::NodeId peer, sim::SimTime now) {
-  auto [it, inserted] = entries_.try_emplace(peer, Entry{Grade::kDebt, now});
+  if (Entry* entry = slot_entry_mut(peer)) {
+    if (entry->known) {
+      materialize_decay(*entry, now);
+      // credit -> even -> debt -> debt.
+      entry->grade = static_cast<Grade>(std::max(static_cast<int>(entry->grade) - 1, 0));
+    } else {
+      entry->known = true;
+      ++slot_known_;
+      entry->grade = Grade::kDebt;
+    }
+    entry->last_update = now;
+    return;
+  }
+  auto [it, inserted] = overflow_.try_emplace(peer, Entry{Grade::kDebt, true, now});
   if (!inserted) {
     materialize_decay(it->second, now);
-    // credit -> even -> debt -> debt.
     it->second.grade = static_cast<Grade>(std::max(static_cast<int>(it->second.grade) - 1, 0));
   }
   it->second.last_update = now;
 }
 
 void KnownPeers::record_misbehavior(net::NodeId peer, sim::SimTime now) {
-  entries_[peer] = Entry{Grade::kDebt, now};
+  if (Entry* entry = slot_entry_mut(peer)) {
+    slot_known_ += entry->known ? 0 : 1;
+    *entry = Entry{Grade::kDebt, true, now};
+    return;
+  }
+  overflow_[peer] = Entry{Grade::kDebt, true, now};
 }
 
 void KnownPeers::ensure_known(net::NodeId peer, Grade grade, sim::SimTime now) {
-  entries_.try_emplace(peer, Entry{grade, now});
+  if (Entry* entry = slot_entry_mut(peer)) {
+    if (!entry->known) {
+      *entry = Entry{grade, true, now};
+      ++slot_known_;
+    }
+    return;
+  }
+  overflow_.try_emplace(peer, Entry{grade, true, now});
 }
 
-std::vector<net::NodeId> KnownPeers::peers_with_standing(Standing target, sim::SimTime now) const {
+std::vector<net::NodeId> KnownPeers::peers_with_standing(Standing target,
+                                                         sim::SimTime now) const {
+  // Ascending-NodeId merge of the slot array (index order == NodeId order,
+  // the registry's ordering contract) and the overflow map — the exact
+  // iteration order of the seed's single std::map.
   std::vector<net::NodeId> out;
-  for (const auto& [peer, entry] : entries_) {
-    if (standing(peer, now) == target) {
-      out.push_back(peer);
+  auto ov = overflow_.begin();
+  const uint32_t slot_count = static_cast<uint32_t>(slots_.size());
+  for (uint32_t index = 0; index < slot_count; ++index) {
+    if (!slots_[index].known) {
+      continue;
+    }
+    const net::NodeId id = nodes_->node_at(index);
+    for (; ov != overflow_.end() && ov->first < id; ++ov) {
+      if (entry_standing(ov->second, now) == target) {
+        out.push_back(ov->first);
+      }
+    }
+    if (entry_standing(slots_[index], now) == target) {
+      out.push_back(id);
+    }
+  }
+  for (; ov != overflow_.end(); ++ov) {
+    if (entry_standing(ov->second, now) == target) {
+      out.push_back(ov->first);
     }
   }
   return out;

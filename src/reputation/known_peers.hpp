@@ -9,15 +9,25 @@
 // vote / evaluates ours), one step down when we consume its service, and
 // crash to debt on misbehavior. Entries decay toward debt with time, so
 // standing liability is bounded.
+//
+// Layout: entries for identities registered in the deployment's
+// net::NodeSlotRegistry live in a flat slot array — standing() and the
+// grade transitions are one index load, no allocation, no ordered walk.
+// Unregistered identities (the admission-flood adversary spoofs unbounded
+// fresh ids) fall back to a small ordered map with identical semantics.
+// Iteration (peers_with_standing) merges both sides in ascending NodeId
+// order, matching the seed std::map exactly (the registry's index order is
+// NodeId order); the seed implementation is preserved as
+// KnownPeersReference and property-checked equivalent.
 #ifndef LOCKSS_REPUTATION_KNOWN_PEERS_HPP_
 #define LOCKSS_REPUTATION_KNOWN_PEERS_HPP_
 
 #include <cstdint>
 #include <map>
-#include <optional>
 #include <vector>
 
 #include "net/node_id.hpp"
+#include "net/node_slot_registry.hpp"
 #include "sim/time.hpp"
 
 namespace lockss::reputation {
@@ -44,8 +54,10 @@ class KnownPeers {
  public:
   // `decay_interval`: a grade drops one level toward debt for every full
   // interval since its last update ("entries ... 'decay' with time toward
-  // the debt grade").
-  explicit KnownPeers(sim::SimTime decay_interval);
+  // the debt grade"). `nodes` may be null (hand-built hosts, unit tests):
+  // every identity then takes the map path, which is the seed behavior.
+  explicit KnownPeers(sim::SimTime decay_interval,
+                      const net::NodeSlotRegistry* nodes = nullptr);
 
   // Standing of `peer` at `now`, with decay applied.
   Standing standing(net::NodeId peer, sim::SimTime now) const;
@@ -66,13 +78,14 @@ class KnownPeers {
   // lists and for the §7.4 adversary whose minions start in-debt).
   void ensure_known(net::NodeId peer, Grade grade, sim::SimTime now);
 
-  bool known(net::NodeId peer) const { return entries_.contains(peer); }
-  size_t size() const { return entries_.size(); }
+  bool known(net::NodeId peer) const;
+  size_t size() const { return slot_known_ + overflow_.size(); }
   std::vector<net::NodeId> peers_with_standing(Standing standing, sim::SimTime now) const;
 
  private:
   struct Entry {
-    Grade grade;
+    Grade grade = Grade::kDebt;
+    bool known = false;
     sim::SimTime last_update;
   };
 
@@ -80,9 +93,21 @@ class KnownPeers {
   // Applies pending decay to the stored entry before mutating it, so decay
   // and explicit transitions compose in timestamp order.
   void materialize_decay(Entry& entry, sim::SimTime now) const;
+  static Standing standing_of(Grade grade);
+
+  // Slot-array entry for `peer`, or nullptr when `peer` is unregistered
+  // (route through overflow_) . The mutable overload grows the array to the
+  // registry's current count on demand — registration is setup-time work,
+  // so the array reaches a fixed footprint before traffic starts.
+  const Entry* slot_entry(net::NodeId peer) const;
+  Entry* slot_entry_mut(net::NodeId peer);
+  Standing entry_standing(const Entry& entry, sim::SimTime now) const;
 
   sim::SimTime decay_interval_;
-  std::map<net::NodeId, Entry> entries_;
+  const net::NodeSlotRegistry* nodes_;
+  std::vector<Entry> slots_;   // indexed by registry slot; .known marks use
+  size_t slot_known_ = 0;
+  std::map<net::NodeId, Entry> overflow_;  // unregistered identities only
 };
 
 }  // namespace lockss::reputation

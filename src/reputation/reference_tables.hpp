@@ -1,0 +1,191 @@
+// Seed (pre-densification) reputation containers, preserved verbatim.
+//
+// PR 3 rebuilt KnownPeers and IntroductionTable on dense NodeSlotRegistry
+// slot arrays. These are the ordered-container originals they replaced,
+// kept — like metrics::MapReferenceCollector — for two jobs:
+//
+//   * the randomized equivalence property tests
+//     (tests/substrate_equivalence_test.cpp), which drive identical op
+//     sequences through both implementations and demand identical
+//     observable behavior, including iteration order;
+//   * the before/after micro-benchmarks (bench/micro_substrates.cpp,
+//     tools/bench_report), which keep the speedup claim re-measurable.
+//
+// Do not "fix" or optimize these: their value is being the seed semantics,
+// byte for byte.
+#ifndef LOCKSS_REPUTATION_REFERENCE_TABLES_HPP_
+#define LOCKSS_REPUTATION_REFERENCE_TABLES_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "reputation/known_peers.hpp"
+#include "sim/time.hpp"
+
+namespace lockss::reputation {
+
+// The seed KnownPeers: one std::map node per graded peer, ordered lookups
+// on every standing check.
+class KnownPeersReference {
+ public:
+  explicit KnownPeersReference(sim::SimTime decay_interval)
+      : decay_interval_(decay_interval) {}
+
+  Standing standing(net::NodeId peer, sim::SimTime now) const {
+    auto it = entries_.find(peer);
+    if (it == entries_.end()) {
+      return Standing::kUnknown;
+    }
+    switch (decayed_grade(it->second, now)) {
+      case Grade::kDebt:
+        return Standing::kDebt;
+      case Grade::kEven:
+        return Standing::kEven;
+      case Grade::kCredit:
+        return Standing::kCredit;
+    }
+    return Standing::kUnknown;
+  }
+
+  void record_service_supplied(net::NodeId peer, sim::SimTime now) {
+    auto [it, inserted] = entries_.try_emplace(peer, Entry{Grade::kDebt, now});
+    if (!inserted) {
+      materialize_decay(it->second, now);
+      // debt -> even -> credit -> credit (§5.1).
+      it->second.grade = static_cast<Grade>(std::min(static_cast<int>(it->second.grade) + 1, 2));
+    } else {
+      // First encounter: a peer that just supplied us service starts at even.
+      it->second.grade = Grade::kEven;
+    }
+    it->second.last_update = now;
+  }
+
+  void record_service_consumed(net::NodeId peer, sim::SimTime now) {
+    auto [it, inserted] = entries_.try_emplace(peer, Entry{Grade::kDebt, now});
+    if (!inserted) {
+      materialize_decay(it->second, now);
+      // credit -> even -> debt -> debt.
+      it->second.grade = static_cast<Grade>(std::max(static_cast<int>(it->second.grade) - 1, 0));
+    }
+    it->second.last_update = now;
+  }
+
+  void record_misbehavior(net::NodeId peer, sim::SimTime now) {
+    entries_[peer] = Entry{Grade::kDebt, now};
+  }
+
+  void ensure_known(net::NodeId peer, Grade grade, sim::SimTime now) {
+    entries_.try_emplace(peer, Entry{grade, now});
+  }
+
+  bool known(net::NodeId peer) const { return entries_.contains(peer); }
+  size_t size() const { return entries_.size(); }
+
+  std::vector<net::NodeId> peers_with_standing(Standing target, sim::SimTime now) const {
+    std::vector<net::NodeId> out;
+    for (const auto& [peer, entry] : entries_) {
+      if (standing(peer, now) == target) {
+        out.push_back(peer);
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Grade grade;
+    sim::SimTime last_update;
+  };
+
+  Grade decayed_grade(const Entry& entry, sim::SimTime now) const {
+    if (decay_interval_ <= sim::SimTime::zero()) {
+      return entry.grade;
+    }
+    const int64_t steps = (now - entry.last_update).ns() / decay_interval_.ns();
+    int level = static_cast<int>(entry.grade) - static_cast<int>(std::min<int64_t>(steps, 2));
+    return static_cast<Grade>(std::max(level, 0));
+  }
+
+  void materialize_decay(Entry& entry, sim::SimTime now) const {
+    entry.grade = decayed_grade(entry, now);
+  }
+
+  sim::SimTime decay_interval_;
+  std::map<net::NodeId, Entry> entries_;
+};
+
+// The seed IntroductionTable: a std::set of pairs, with linear scans for
+// introduced() and the consumption cascade.
+class IntroductionTableReference {
+ public:
+  explicit IntroductionTableReference(size_t max_outstanding)
+      : max_outstanding_(max_outstanding) {}
+
+  void add(net::NodeId introducer, net::NodeId introducee) {
+    if (introducer == introducee) {
+      return;
+    }
+    if (pairs_.size() >= max_outstanding_ && !pairs_.contains({introducer, introducee})) {
+      return;
+    }
+    pairs_.insert({introducer, introducee});
+  }
+
+  bool introduced(net::NodeId introducee) const {
+    return std::any_of(pairs_.begin(), pairs_.end(),
+                       [&](const Pair& p) { return p.introducee == introducee; });
+  }
+
+  std::vector<net::NodeId> introducers_of(net::NodeId introducee) const {
+    std::vector<net::NodeId> out;
+    for (const Pair& p : pairs_) {
+      if (p.introducee == introducee) {
+        out.push_back(p.introducer);
+      }
+    }
+    return out;
+  }
+
+  bool consume(net::NodeId introducee) {
+    const std::vector<net::NodeId> introducers = introducers_of(introducee);
+    if (introducers.empty()) {
+      return false;
+    }
+    for (auto it = pairs_.begin(); it != pairs_.end();) {
+      const bool by_consumed_introducer =
+          std::find(introducers.begin(), introducers.end(), it->introducer) != introducers.end();
+      if (it->introducee == introducee || by_consumed_introducer) {
+        it = pairs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return true;
+  }
+
+  void remove_introducer(net::NodeId introducer) {
+    for (auto it = pairs_.begin(); it != pairs_.end();) {
+      it = (it->introducer == introducer) ? pairs_.erase(it) : std::next(it);
+    }
+  }
+
+  size_t outstanding() const { return pairs_.size(); }
+
+ private:
+  struct Pair {
+    net::NodeId introducer;
+    net::NodeId introducee;
+    friend auto operator<=>(const Pair&, const Pair&) = default;
+  };
+
+  size_t max_outstanding_;
+  std::set<Pair> pairs_;
+};
+
+}  // namespace lockss::reputation
+
+#endif  // LOCKSS_REPUTATION_REFERENCE_TABLES_HPP_

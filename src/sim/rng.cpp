@@ -6,11 +6,9 @@ namespace lockss::sim {
 namespace {
 
 uint64_t splitmix64(uint64_t& x) {
+  const uint64_t z = splitmix64_mix(x);
   x += 0x9E3779B97F4A7C15ull;
-  uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  return z;
 }
 
 uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

@@ -15,6 +15,17 @@
 
 namespace lockss::sim {
 
+// The splitmix64 finalizer (Steele, Lea & Flood; public domain): a cheap,
+// well-mixed 64→64 bit scrambler. Used to seed the xoshiro state and as
+// the hash for the open-addressed id/session tables — one set of mixing
+// constants for the whole repo.
+constexpr uint64_t splitmix64_mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed);

@@ -152,6 +152,45 @@ TEST(ParallelRunnerTest, AdversaryGridsBitIdenticalAcross1And2And8Workers) {
   }
 }
 
+TEST(ParallelRunnerTest, LayeredCampaignGridBitIdenticalSerialVsParallel) {
+  // run_layered_grid fans §6.3 layered *campaigns* across workers while
+  // keeping the layers inside each campaign sequential (they thread the
+  // accumulated busy schedule through). The fan-out must not change what
+  // any layer computes: serial and parallel grids must match bit for bit,
+  // and each campaign must equal a direct run_layered of its config.
+  std::vector<ScenarioConfig> campaigns;
+  campaigns.push_back(small_config(21));
+  ScenarioConfig brute = small_config(22);
+  brute.adversary.kind = AdversarySpec::Kind::kBruteForce;
+  campaigns.push_back(brute);
+  ScenarioConfig pipe = small_config(23);
+  pipe.adversary.kind = AdversarySpec::Kind::kPipeStoppage;
+  pipe.adversary.cadence.attack_duration = sim::SimTime::days(10);
+  pipe.adversary.cadence.recuperation = sim::SimTime::days(5);
+  pipe.adversary.cadence.coverage = 0.5;
+  campaigns.push_back(pipe);
+
+  constexpr uint32_t kLayers = 3;
+  const auto serial = ParallelRunner(1).run_layered_grid(campaigns, kLayers);
+  const auto parallel = ParallelRunner(4).run_layered_grid(campaigns, kLayers);
+  ASSERT_EQ(serial.size(), campaigns.size());
+  ASSERT_EQ(parallel.size(), campaigns.size());
+  // Guard against a vacuous pass: layering must have injected background
+  // load, which makes later layers measurably busier than a fresh run.
+  EXPECT_GT(serial[0][0].polls_started, 0u);
+  for (size_t c = 0; c < campaigns.size(); ++c) {
+    SCOPED_TRACE(c);
+    ASSERT_EQ(serial[c].size(), kLayers);
+    ASSERT_EQ(parallel[c].size(), kLayers);
+    const auto direct = run_layered(campaigns[c], kLayers);
+    for (uint32_t layer = 0; layer < kLayers; ++layer) {
+      SCOPED_TRACE(layer);
+      expect_identical(serial[c][layer], parallel[c][layer]);
+      expect_identical(serial[c][layer], direct[layer]);
+    }
+  }
+}
+
 TEST(ParallelRunnerTest, ResultsComeBackInJobOrder) {
   // Different seeds give different poll counts; job order must survive any
   // completion order, so results[i] must match a dedicated serial run of

@@ -1,0 +1,500 @@
+// Dense-vs-reference equivalence for the protocol substrates.
+//
+// PR 3 rebuilt KnownPeers, IntroductionTable, ReferenceList, Tally, and the
+// peer session tables on dense NodeSlotRegistry slot structures. The seed
+// ordered-container implementations are preserved (reputation/ and
+// protocol/reference_tables.hpp, SessionTableReference) and these property
+// tests drive identical randomized op sequences through both, demanding
+// identical observable behavior — outputs, sizes, *iteration orders* (they
+// feed RNG draws on the real poll path), and RNG draw streams. Sequences
+// deliberately cross grade-decay boundaries, trigger
+// introduction-consumption cascades, and churn reference lists.
+//
+// Every suite runs three ways where meaningful: all ids registered (the
+// scenario hot path), a mix of registered and unregistered ids (the
+// admission-flood overflow path), and no registry at all (hand-built
+// hosts) — all must match the reference exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node_slot_registry.hpp"
+#include "protocol/reference_list.hpp"
+#include "protocol/reference_tables.hpp"
+#include "protocol/session_table.hpp"
+#include "protocol/tally.hpp"
+#include "reputation/introductions.hpp"
+#include "reputation/known_peers.hpp"
+#include "reputation/reference_tables.hpp"
+#include "sim/rng.hpp"
+#include "storage/replica.hpp"
+
+namespace lockss {
+namespace {
+
+using sim::SimTime;
+
+// Identity pool shapes shared by the suites. `registered_limit` controls how
+// many of the low ids are registered; ids at the high base mimic spoofed
+// (never-registered) adversary identities.
+struct IdPool {
+  const net::NodeSlotRegistry* registry = nullptr;
+  std::vector<net::NodeId> ids;
+};
+
+enum class PoolKind {
+  kAllRegistered,
+  kMixed,       // low ids registered; high-base ids never registered
+  kNoRegistry,  // null registry: pure fallback path
+};
+
+IdPool make_pool(PoolKind kind, net::NodeSlotRegistry& registry, uint32_t low_count) {
+  IdPool pool;
+  for (uint32_t p = 0; p < low_count; ++p) {
+    pool.ids.push_back(net::NodeId{p});
+  }
+  if (kind != PoolKind::kNoRegistry) {
+    for (uint32_t p = 0; p < low_count; ++p) {
+      registry.register_node(net::NodeId{p});
+    }
+    pool.registry = &registry;
+  }
+  if (kind == PoolKind::kMixed) {
+    for (uint32_t s = 0; s < 6; ++s) {
+      pool.ids.push_back(net::NodeId{(1u << 24) + s});  // never registered
+    }
+  }
+  return pool;
+}
+
+net::NodeId pick(const IdPool& pool, sim::Rng& rng) {
+  return pool.ids[rng.index(pool.ids.size())];
+}
+
+// --- KnownPeers -------------------------------------------------------------
+
+TEST(SubstrateEquivalenceTest, KnownPeersRandomizedOps) {
+  for (PoolKind kind : {PoolKind::kAllRegistered, PoolKind::kMixed, PoolKind::kNoRegistry}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      SCOPED_TRACE(static_cast<int>(kind));
+      SCOPED_TRACE(seed);
+      net::NodeSlotRegistry registry;
+      const IdPool pool = make_pool(kind, registry, 24);
+      const SimTime decay = SimTime::months(3);
+      reputation::KnownPeers dense(decay, pool.registry);
+      reputation::KnownPeersReference reference(decay);
+
+      sim::Rng rng(seed);
+      SimTime now = SimTime::zero();
+      for (int op = 0; op < 3000; ++op) {
+        // Time advances in sub-interval jumps; a given id goes untouched
+        // for a multiple of them, so op sequences routinely straddle 0, 1,
+        // and 2+ decay steps (and the total stays far from SimTime's
+        // int64 range even at 3000 ops).
+        now = now + SimTime::hours(rng.index(500));
+        const net::NodeId peer = pick(pool, rng);
+        switch (rng.index(6)) {
+          case 0:
+            dense.record_service_supplied(peer, now);
+            reference.record_service_supplied(peer, now);
+            break;
+          case 1:
+            dense.record_service_consumed(peer, now);
+            reference.record_service_consumed(peer, now);
+            break;
+          case 2:
+            dense.record_misbehavior(peer, now);
+            reference.record_misbehavior(peer, now);
+            break;
+          case 3: {
+            const auto grade = static_cast<reputation::Grade>(rng.index(3));
+            dense.ensure_known(peer, grade, now);
+            reference.ensure_known(peer, grade, now);
+            break;
+          }
+          case 4: {
+            const SimTime probe = now + SimTime::days(rng.index(500));
+            ASSERT_EQ(dense.standing(peer, probe), reference.standing(peer, probe));
+            break;
+          }
+          case 5: {
+            const auto standing = static_cast<reputation::Standing>(rng.index(4));
+            // Order must match too: the poller's reference-list top-up
+            // shuffles this vector, so element order feeds RNG-dependent
+            // membership.
+            ASSERT_EQ(dense.peers_with_standing(standing, now),
+                      reference.peers_with_standing(standing, now));
+            break;
+          }
+        }
+        ASSERT_EQ(dense.size(), reference.size());
+        ASSERT_EQ(dense.known(peer), reference.known(peer));
+      }
+      // Closing sweep: every id, every standing, at several probe times.
+      for (const net::NodeId id : pool.ids) {
+        for (double months : {0.0, 5.9, 6.1, 12.5, 100.0}) {
+          const SimTime probe = now + SimTime::months(months);
+          ASSERT_EQ(dense.standing(id, probe), reference.standing(id, probe));
+        }
+      }
+    }
+  }
+}
+
+TEST(SubstrateEquivalenceTest, KnownPeersZeroDecayIntervalNeverDecays) {
+  net::NodeSlotRegistry registry;
+  const IdPool pool = make_pool(PoolKind::kAllRegistered, registry, 4);
+  reputation::KnownPeers dense(SimTime::zero(), pool.registry);
+  reputation::KnownPeersReference reference(SimTime::zero());
+  dense.record_service_supplied(net::NodeId{1}, SimTime::zero());
+  reference.record_service_supplied(net::NodeId{1}, SimTime::zero());
+  ASSERT_EQ(dense.standing(net::NodeId{1}, SimTime::years(50)),
+            reference.standing(net::NodeId{1}, SimTime::years(50)));
+  EXPECT_EQ(dense.standing(net::NodeId{1}, SimTime::years(50)), reputation::Standing::kEven);
+}
+
+// --- IntroductionTable ------------------------------------------------------
+
+TEST(SubstrateEquivalenceTest, IntroductionTableRandomizedOps) {
+  for (PoolKind kind : {PoolKind::kAllRegistered, PoolKind::kMixed, PoolKind::kNoRegistry}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      SCOPED_TRACE(static_cast<int>(kind));
+      SCOPED_TRACE(seed);
+      net::NodeSlotRegistry registry;
+      const IdPool pool = make_pool(kind, registry, 16);
+      // A small cap keeps the cap-rejection branch hot.
+      const size_t cap = 12;
+      reputation::IntroductionTable dense(cap, pool.registry);
+      reputation::IntroductionTableReference reference(cap);
+
+      sim::Rng rng(seed ^ 0xabcdef);
+      for (int op = 0; op < 4000; ++op) {
+        const net::NodeId a = pick(pool, rng);
+        const net::NodeId b = pick(pool, rng);
+        switch (rng.index(5)) {
+          case 0:
+          case 1:  // bias toward add so the cascade ops have material
+            dense.add(a, b);
+            reference.add(a, b);
+            break;
+          case 2: {
+            // Consumption cascade: both sides must drop the same pairs.
+            ASSERT_EQ(dense.consume(b), reference.consume(b));
+            break;
+          }
+          case 3:
+            dense.remove_introducer(a);
+            reference.remove_introducer(a);
+            break;
+          case 4:
+            ASSERT_EQ(dense.introduced(b), reference.introduced(b));
+            ASSERT_EQ(dense.introducers_of(b), reference.introducers_of(b));
+            break;
+        }
+        ASSERT_EQ(dense.outstanding(), reference.outstanding());
+      }
+      for (const net::NodeId id : pool.ids) {
+        ASSERT_EQ(dense.introduced(id), reference.introduced(id));
+        ASSERT_EQ(dense.introducers_of(id), reference.introducers_of(id));
+      }
+    }
+  }
+}
+
+// --- ReferenceList ----------------------------------------------------------
+
+TEST(SubstrateEquivalenceTest, ReferenceListChurnAndSampleDraws) {
+  for (PoolKind kind : {PoolKind::kAllRegistered, PoolKind::kMixed, PoolKind::kNoRegistry}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      SCOPED_TRACE(static_cast<int>(kind));
+      SCOPED_TRACE(seed);
+      net::NodeSlotRegistry registry;
+      const IdPool pool = make_pool(kind, registry, 32);
+      const net::NodeId self{0};
+      protocol::ReferenceList dense(self, pool.registry);
+      protocol::ReferenceListReference reference(self);
+
+      sim::Rng rng(seed * 31);
+      // Two RNGs that must *stay* in lockstep: sample() must consume the
+      // exact draw sequence of the seed implementation, or every subsequent
+      // sample in a real run would diverge.
+      sim::Rng dense_draws(seed * 131);
+      sim::Rng reference_draws(seed * 131);
+      std::vector<net::NodeId> scratch;
+      for (int op = 0; op < 3000; ++op) {
+        const net::NodeId peer = pick(pool, rng);
+        switch (rng.index(4)) {
+          case 0:
+            dense.insert(peer);
+            reference.insert(peer);
+            break;
+          case 1:
+            dense.remove(peer);
+            reference.remove(peer);
+            break;
+          case 2:
+            ASSERT_EQ(dense.contains(peer), reference.contains(peer));
+            break;
+          case 3: {
+            const size_t k = rng.index(12);
+            dense.sample_into(scratch, k, dense_draws);
+            ASSERT_EQ(scratch, reference.sample(k, reference_draws));
+            ASSERT_EQ(dense_draws.next_u64(), reference_draws.next_u64());
+            break;
+          }
+        }
+        ASSERT_EQ(dense.size(), reference.size());
+        ASSERT_EQ(dense.empty(), reference.empty());
+      }
+      ASSERT_EQ(dense.members(), reference.members());
+      // Self and invalid ids must never enter.
+      dense.insert(self);
+      reference.insert(self);
+      dense.insert(net::NodeId::invalid());
+      reference.insert(net::NodeId::invalid());
+      ASSERT_EQ(dense.members(), reference.members());
+    }
+  }
+}
+
+// --- Tally ------------------------------------------------------------------
+
+TEST(SubstrateEquivalenceTest, TallyRandomizedVotesAndRepairCascades) {
+  for (PoolKind kind : {PoolKind::kAllRegistered, PoolKind::kMixed, PoolKind::kNoRegistry}) {
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      SCOPED_TRACE(static_cast<int>(kind));
+      SCOPED_TRACE(seed);
+      net::NodeSlotRegistry registry;
+      const IdPool pool = make_pool(kind, registry, 20);
+      sim::Rng rng(seed * 977);
+
+      storage::AuSpec spec;
+      spec.block_count = 32;
+      storage::AuReplica poller_replica(storage::AuId{1}, spec);
+      storage::AuReplica good_replica(storage::AuId{1}, spec);
+      storage::AuReplica bad_replica(storage::AuId{1}, spec);
+      // Damage a few blocks of the poller's replica and of the "bad voter"
+      // replica so repairs and disagreeing sets actually occur.
+      for (uint32_t b = 0; b < spec.block_count; ++b) {
+        if (rng.bernoulli(0.15)) {
+          poller_replica.corrupt_block(b, rng.next_u64());
+        }
+        if (rng.bernoulli(0.3)) {
+          bad_replica.corrupt_block(b, rng.next_u64());
+        }
+      }
+
+      const uint32_t quorum = 3;
+      const uint32_t max_disagreeing = 2;
+      protocol::Tally dense(poller_replica, quorum, max_disagreeing, pool.registry);
+      protocol::TallyReference reference(poller_replica, quorum, max_disagreeing);
+
+      // Random voter set, including duplicate add_vote calls (first vote
+      // must win on both sides) and inner/outer mixes; votes arrive in a
+      // shuffled (non-NodeId) order so the order_ machinery is exercised.
+      std::vector<net::NodeId> voters = pool.ids;
+      rng.shuffle(voters);
+      const size_t voter_count = 6 + rng.index(voters.size() - 6);
+      for (size_t v = 0; v < voter_count; ++v) {
+        const net::NodeId voter = voters[v];
+        const crypto::Digest64 nonce{rng.next_u64() | 1};
+        const bool inner = rng.bernoulli(0.7);
+        const storage::AuReplica& source = rng.bernoulli(0.25) ? bad_replica : good_replica;
+        auto hashes = source.vote_hashes(nonce);
+        if (rng.bernoulli(0.1)) {
+          hashes.resize(rng.index(spec.block_count));  // truncated vote
+        }
+        dense.add_vote(voter, nonce, hashes, inner);
+        reference.add_vote(voter, nonce, hashes, inner);
+        if (rng.bernoulli(0.2)) {
+          // Duplicate voter with a different vote: must be ignored.
+          const crypto::Digest64 dup_nonce{rng.next_u64() | 1};
+          auto dup = good_replica.vote_hashes(dup_nonce);
+          dense.add_vote(voter, dup_nonce, dup, !inner);
+          reference.add_vote(voter, dup_nonce, dup, !inner);
+        }
+        ASSERT_EQ(dense.total_votes(), reference.total_votes());
+        ASSERT_EQ(dense.inner_votes(), reference.inner_votes());
+      }
+      ASSERT_EQ(dense.quorate(), reference.quorate());
+
+      // Drive both state machines through the full advance/repair cascade.
+      for (int rounds = 0; rounds < 200; ++rounds) {
+        const auto dense_step = dense.advance();
+        const auto reference_step = reference.advance();
+        ASSERT_EQ(static_cast<int>(dense_step.kind), static_cast<int>(reference_step.kind));
+        ASSERT_EQ(dense_step.block, reference_step.block);
+        ASSERT_EQ(dense_step.disagreeing, reference_step.disagreeing);
+        ASSERT_EQ(dense.current_block(), reference.current_block());
+        if (dense_step.kind == protocol::Tally::Step::Kind::kDone) {
+          break;
+        }
+        if (dense_step.kind == protocol::Tally::Step::Kind::kAlarm) {
+          break;
+        }
+        // Repair the poller's block from the canonical content, as the
+        // session would after fetching from a disagreeing voter.
+        poller_replica.restore_block(dense_step.block);
+      }
+      ASSERT_EQ(dense.agreeing_voters(), reference.agreeing_voters());
+      ASSERT_EQ(dense.disagreeing_voters(), reference.disagreeing_voters());
+      for (const net::NodeId id : pool.ids) {
+        ASSERT_EQ(dense.voter_agreed_throughout(id), reference.voter_agreed_throughout(id));
+      }
+    }
+  }
+}
+
+// --- Session tables ---------------------------------------------------------
+
+struct DummySession {
+  explicit DummySession(uint64_t v) : value(v) {}
+  uint64_t value;
+};
+
+TEST(SubstrateEquivalenceTest, SessionTableRandomizedOps) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE(seed);
+    protocol::SessionTable<DummySession> dense;
+    protocol::SessionTableReference<DummySession> reference;
+    sim::Rng rng(seed * 7919);
+    std::vector<protocol::PollId> live;
+    for (int op = 0; op < 20000; ++op) {
+      switch (rng.index(4)) {
+        case 0:
+        case 1: {  // insert-biased so tables grow through several rehashes
+          const protocol::PollId id =
+              protocol::make_poll_id(net::NodeId{static_cast<uint32_t>(rng.index(64))},
+                                     static_cast<uint32_t>(op));
+          if (!reference.contains(id)) {
+            dense.insert(id, std::make_unique<DummySession>(op));
+            reference.insert(id, std::make_unique<DummySession>(op));
+            live.push_back(id);
+          }
+          break;
+        }
+        case 2: {
+          if (live.empty()) {
+            break;
+          }
+          // Mostly erase live ids; sometimes a dead one (must be a no-op).
+          const size_t at = rng.index(live.size());
+          const protocol::PollId id =
+              rng.bernoulli(0.8) ? live[at] : protocol::make_poll_id(net::NodeId{999}, 1);
+          ASSERT_EQ(dense.erase(id), reference.erase(id));
+          if (std::find(live.begin(), live.end(), id) != live.end()) {
+            live.erase(std::find(live.begin(), live.end(), id));
+          }
+          break;
+        }
+        case 3: {
+          const protocol::PollId id =
+              live.empty() || rng.bernoulli(0.3)
+                  ? protocol::make_poll_id(net::NodeId{static_cast<uint32_t>(rng.index(64))},
+                                           static_cast<uint32_t>(rng.index(20000)))
+                  : live[rng.index(live.size())];
+          DummySession* d = dense.find(id);
+          DummySession* r = reference.find(id);
+          ASSERT_EQ(d == nullptr, r == nullptr);
+          if (d != nullptr) {
+            ASSERT_EQ(d->value, r->value);
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(dense.size(), reference.size());
+      ASSERT_EQ(dense.empty(), reference.empty());
+    }
+    // keys_sorted feeds the vote-flood replay oracle's RNG index: order and
+    // content must match the seed map's iteration exactly.
+    ASSERT_EQ(dense.keys_sorted(), reference.keys_sorted());
+  }
+}
+
+// --- Late registration ------------------------------------------------------
+// An id graded/vouched/listed *before* it registers must keep its state
+// afterwards: reads fall back to the overflow entry and mutators migrate it
+// into the slot (the registry's registration contract). Each container is
+// driven against its reference across the registration boundary.
+
+TEST(SubstrateEquivalenceTest, LateRegistrationKeepsState) {
+  net::NodeSlotRegistry registry;
+  registry.register_node(net::NodeId{0});
+  const net::NodeId late{7};
+  const SimTime t0 = SimTime::zero();
+
+  reputation::KnownPeers known(SimTime::months(6), &registry);
+  reputation::KnownPeersReference known_reference(SimTime::months(6));
+  known.record_service_supplied(late, t0);  // lands in overflow
+  known_reference.record_service_supplied(late, t0);
+
+  reputation::IntroductionTable intros(10, &registry);
+  reputation::IntroductionTableReference intros_reference(10);
+  intros.add(net::NodeId{0}, late);
+  intros_reference.add(net::NodeId{0}, late);
+
+  protocol::ReferenceList list(net::NodeId{0}, &registry);
+  protocol::ReferenceListReference list_reference(net::NodeId{0});
+  list.insert(late);
+  list_reference.insert(late);
+
+  registry.register_node(late);  // the id registers after being seen
+
+  // Reads resolve through the overflow fallback.
+  EXPECT_EQ(known.standing(late, t0), known_reference.standing(late, t0));
+  EXPECT_EQ(known.known(late), known_reference.known(late));
+  EXPECT_EQ(intros.introduced(late), intros_reference.introduced(late));
+  EXPECT_EQ(list.contains(late), list_reference.contains(late));
+
+  // Mutations migrate the entry and keep composing with it.
+  known.record_service_supplied(late, t0);  // even -> credit, not a fresh even
+  known_reference.record_service_supplied(late, t0);
+  EXPECT_EQ(known.standing(late, t0), known_reference.standing(late, t0));
+  EXPECT_EQ(known.standing(late, t0), reputation::Standing::kCredit);
+  EXPECT_EQ(known.size(), known_reference.size());
+  EXPECT_EQ(known.peers_with_standing(reputation::Standing::kCredit, t0),
+            known_reference.peers_with_standing(reputation::Standing::kCredit, t0));
+
+  intros.add(net::NodeId{0}, late);  // duplicate: still one outstanding pair
+  intros_reference.add(net::NodeId{0}, late);
+  EXPECT_EQ(intros.outstanding(), intros_reference.outstanding());
+  EXPECT_EQ(intros.consume(late), intros_reference.consume(late));
+  EXPECT_EQ(intros.introduced(late), intros_reference.introduced(late));
+  EXPECT_EQ(intros.outstanding(), intros_reference.outstanding());
+
+  list.remove(late);
+  list_reference.remove(late);
+  EXPECT_EQ(list.contains(late), list_reference.contains(late));
+  EXPECT_EQ(list.size(), list_reference.size());
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(SubstrateEquivalenceTest, NodeSlotRegistryBasics) {
+  net::NodeSlotRegistry registry;
+  EXPECT_EQ(registry.count(), 0u);
+  EXPECT_EQ(registry.index_of(net::NodeId{7}), net::NodeSlotRegistry::kUnassigned);
+  // Ascending registration across both the dense loyal range and a high
+  // minion base; indices must come back dense and in order.
+  for (uint32_t p = 0; p < 100; ++p) {
+    EXPECT_EQ(registry.register_node(net::NodeId{p}), p);
+  }
+  for (uint32_t m = 0; m < 64; ++m) {
+    EXPECT_EQ(registry.register_node(net::NodeId{(1u << 22) + m}), 100 + m);
+  }
+  EXPECT_EQ(registry.count(), 164u);
+  EXPECT_EQ(registry.register_node(net::NodeId{42}), 42u);  // idempotent
+  EXPECT_EQ(registry.count(), 164u);
+  for (uint32_t p = 0; p < 100; ++p) {
+    ASSERT_EQ(registry.index_of(net::NodeId{p}), p);
+    ASSERT_EQ(registry.node_at(p), net::NodeId{p});
+  }
+  ASSERT_EQ(registry.index_of(net::NodeId{(1u << 22) + 63}), 163u);
+  ASSERT_EQ(registry.node_at(163), net::NodeId{(1u << 22) + 63});
+  EXPECT_EQ(registry.index_of(net::NodeId{5000}), net::NodeSlotRegistry::kUnassigned);
+  EXPECT_EQ(registry.index_of(net::NodeId::invalid()), net::NodeSlotRegistry::kUnassigned);
+}
+
+}  // namespace
+}  // namespace lockss

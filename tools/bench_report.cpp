@@ -18,11 +18,16 @@
 #include <string>
 #include <vector>
 
+#include "bench_support/substrate_workloads.hpp"
 #include "experiment/aggregate.hpp"
 #include "experiment/cli.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "experiment/table.hpp"
+#include "net/node_slot_registry.hpp"
+#include "protocol/session_table.hpp"
+#include "reputation/known_peers.hpp"
+#include "reputation/reference_tables.hpp"
 
 using namespace lockss;
 
@@ -130,6 +135,107 @@ SweepReport time_sweep(const std::string& name, experiment::AdversarySpec::Kind 
   return out;
 }
 
+// --- Substrate micros (PR 3) -------------------------------------------------
+// Dense slot-indexed substrates vs the preserved seed containers, timed over
+// the bench_support op streams — the same streams micro_substrates uses, so
+// the JSON numbers and the google-benchmark numbers stay comparable. The
+// acceptance-bar pair (KnownPeers::standing, session-table lookup) plus the
+// grade-transition mix.
+
+struct SubstrateMicro {
+  std::string name;
+  double reference_ops_per_sec = 0.0;
+  double dense_ops_per_sec = 0.0;
+  double speedup() const { return dense_ops_per_sec / reference_ops_per_sec; }
+};
+
+template <typename Fn>
+double ops_per_second(uint64_t ops, const Fn& fn) {
+  const double start = now_seconds();
+  fn();
+  return static_cast<double>(ops) / (now_seconds() - start);
+}
+
+template <typename KnownPeersT>
+void drive_known_peers_standing(KnownPeersT& known, uint32_t peers, uint64_t ops) {
+  bench_support::populate_graded(known, peers);
+  const auto queries = bench_support::standing_queries(peers);
+  uint64_t sink = 0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    sink += static_cast<uint64_t>(bench_support::standing_probe(known, queries, i));
+  }
+  // Defeat dead-code elimination without branching on the hot loop.
+  volatile uint64_t keep = sink;
+  (void)keep;
+}
+
+template <typename KnownPeersT>
+void drive_known_peers_transitions(KnownPeersT& known, uint32_t peers, uint64_t ops) {
+  sim::Rng rng(bench_support::kTransitionRngSeed);
+  for (uint64_t i = 0; i < ops; ++i) {
+    bench_support::transition_op(known, rng, peers, static_cast<int64_t>(i));
+  }
+}
+
+struct MicroSession {
+  uint64_t payload[4] = {};
+};
+
+template <typename TableT>
+void drive_session_lookup(TableT& table, uint64_t ops) {
+  const auto ids = bench_support::populate_sessions(
+      table, [] { return std::make_unique<MicroSession>(); });
+  const auto queries = bench_support::session_queries(ids);
+  uint64_t sink = 0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    sink += bench_support::lookup_probe(table, queries, i) != nullptr ? 1 : 0;
+  }
+  volatile uint64_t keep = sink;
+  (void)keep;
+}
+
+std::vector<SubstrateMicro> run_substrate_micros(uint64_t ops) {
+  constexpr uint32_t kPeers = 200;
+  net::NodeSlotRegistry registry;
+  for (uint32_t p = 0; p < kPeers; ++p) {
+    registry.register_node(net::NodeId{p});
+  }
+  std::vector<SubstrateMicro> out;
+  {
+    SubstrateMicro micro;
+    micro.name = "known_peers_standing";
+    reputation::KnownPeersReference reference(sim::SimTime::months(6));
+    micro.reference_ops_per_sec =
+        ops_per_second(ops, [&] { drive_known_peers_standing(reference, kPeers, ops); });
+    reputation::KnownPeers dense(sim::SimTime::months(6), &registry);
+    micro.dense_ops_per_sec =
+        ops_per_second(ops, [&] { drive_known_peers_standing(dense, kPeers, ops); });
+    out.push_back(micro);
+  }
+  {
+    SubstrateMicro micro;
+    micro.name = "known_peers_transitions";
+    reputation::KnownPeersReference reference(sim::SimTime::months(6));
+    micro.reference_ops_per_sec =
+        ops_per_second(ops, [&] { drive_known_peers_transitions(reference, kPeers, ops); });
+    reputation::KnownPeers dense(sim::SimTime::months(6), &registry);
+    micro.dense_ops_per_sec =
+        ops_per_second(ops, [&] { drive_known_peers_transitions(dense, kPeers, ops); });
+    out.push_back(micro);
+  }
+  {
+    SubstrateMicro micro;
+    micro.name = "session_table_lookup";
+    protocol::SessionTableReference<MicroSession> reference;
+    micro.reference_ops_per_sec =
+        ops_per_second(ops, [&] { drive_session_lookup(reference, ops); });
+    protocol::SessionTable<MicroSession> dense;
+    micro.dense_ops_per_sec = ops_per_second(ops, [&] { drive_session_lookup(dense, ops); });
+    out.push_back(micro);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,6 +263,10 @@ int main(int argc, char** argv) {
   sweeps.push_back(time_sweep("fig6_admission_afp",
                               experiment::AdversarySpec::Kind::kAdmissionFlood, profile, base,
                               workers));
+
+  const uint64_t substrate_ops =
+      static_cast<uint64_t>(args.integer("substrate-ops", 4000000));
+  const std::vector<SubstrateMicro> micros = run_substrate_micros(substrate_ops);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -187,9 +297,24 @@ int main(int argc, char** argv) {
                  events / s.serial_seconds, events / s.parallel_seconds, s.peak_queue_depth,
                  s.identical_metrics ? "true" : "false", i + 1 < sweeps.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"substrates\": [\n");
+  for (size_t i = 0; i < micros.size(); ++i) {
+    const SubstrateMicro& m = micros[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ops\": %" PRIu64
+                 ", \"reference_ops_per_second\": %.0f, "
+                 "\"dense_ops_per_second\": %.0f, \"speedup\": %.2f}%s\n",
+                 m.name.c_str(), substrate_ops, m.reference_ops_per_sec, m.dense_ops_per_sec,
+                 m.speedup(), i + 1 < micros.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 
+  for (const SubstrateMicro& m : micros) {
+    std::printf("substrate %-24s reference=%.2eops/s dense=%.2eops/s speedup=%.2fx\n",
+                m.name.c_str(), m.reference_ops_per_sec, m.dense_ops_per_sec, m.speedup());
+  }
   for (const SweepReport& s : sweeps) {
     std::printf("%-24s runs=%-3zu serial=%.2fs parallel=%.2fs speedup=%.2fx "
                 "events=%.2e ev/s=%.0f peak_depth=%" PRIu64 " identical=%s\n",
