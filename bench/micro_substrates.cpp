@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "bench_support/message_dispatch.hpp"
 #include "bench_support/substrate_workloads.hpp"
 #include "crypto/digest.hpp"
 #include "crypto/mbf.hpp"
@@ -374,6 +375,32 @@ void BM_NetworkDeliveryDelay(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NetworkDeliveryDelay);
+
+// --- Message dispatch (PR 4) --------------------------------------------
+// The seed dynamic_cast chain vs the MessageKind tag switch over the shared
+// weighted protocol-message mix (bench_support/message_dispatch.hpp).
+
+void BM_MessageDispatchReference(benchmark::State& state) {
+  const auto stream = bench_support::make_message_stream(4096, /*seed=*/42);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench_support::dispatch_reference(*stream[i & 4095]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessageDispatchReference);
+
+void BM_MessageDispatchKindSwitch(benchmark::State& state) {
+  const auto stream = bench_support::make_message_stream(4096, /*seed=*/42);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench_support::dispatch_kind(*stream[i & 4095]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessageDispatchKindSwitch);
 
 }  // namespace
 

@@ -1,132 +1,82 @@
-// Implementing a custom adversary against the public API.
+// Composing a custom adversary scenario against the public API.
 //
-// The paper's §9 asks how *combined* strategies fare. This example builds a
-// "vote flood" adversary from scratch — unsolicited Vote messages aimed at
-// exhausting pollers — and demonstrates the §5.1 result that it is
-// hamstrung: "votes can be supplied only in response to an invitation by
-// the putative victim poller... Unsolicited votes are ignored."
+// The paper's §9 asks how *combined* strategies fare. Before PR 4 this
+// example hand-built a vote-flood adversary in ~60 lines of C++; the
+// campaign subsystem turned that into a data file. The scenario — a small
+// deployment under a continuous unsolicited-vote spray — now lives in
+// campaigns/vote_flood_demo.json, and this program demonstrates both ways
+// of reaching it:
 //
-//   $ ./build/examples/custom_adversary
+//   * declaratively: load the campaign file, run it;
+//   * programmatically: the same pipeline built in code via
+//     adversary::AdversaryPhase (what the campaign compiler emits),
+//     for experiments that need to construct scenarios on the fly.
+//
+// Both demonstrate the §5.1 result: "votes can be supplied only in
+// response to an invitation by the putative victim poller... Unsolicited
+// votes are ignored."
+//
+//   $ ./build/example_custom_adversary
 #include <cstdio>
-#include <memory>
-#include <vector>
+#include <string>
 
-#include "metrics/collector.hpp"
-#include "net/network.hpp"
-#include "peer/peer.hpp"
-#include "protocol/messages.hpp"
-#include "sim/simulator.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/spec.hpp"
 
 using namespace lockss;
 
-namespace {
-
-// A minimal adversary: every hour, shower every peer with bogus votes for
-// polls that may or may not exist.
-class VoteFloodAdversary {
- public:
-  VoteFloodAdversary(sim::Simulator& simulator, net::Network& network,
-                     std::vector<net::NodeId> victims)
-      : simulator_(simulator), network_(network), victims_(std::move(victims)) {}
-
-  void start() { tick(); }
-  uint64_t votes_sent() const { return votes_sent_; }
-
- private:
-  void tick() {
-    for (net::NodeId victim : victims_) {
-      auto vote = std::make_unique<protocol::VoteMsg>();
-      vote->from = net::NodeId{900000 + static_cast<uint32_t>(votes_sent_ % 1000)};
-      vote->to = victim;
-      // A guessed poll id: the victim's first poll. Even a correct guess is
-      // ignored unless the victim solicited this sender.
-      vote->poll_id = protocol::make_poll_id(victim, 0);
-      vote->au = storage::AuId{0};
-      vote->block_hashes.assign(128, crypto::Digest64{0xBAD});
-      vote->vote_effort = crypto::MbfProof::garbage(1.0);
-      network_.send(std::move(vote));
-      ++votes_sent_;
-    }
-    simulator_.schedule_in(sim::SimTime::hours(1), [this] { tick(); });
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : std::string(LOCKSS_SOURCE_DIR) + "/campaigns/vote_flood_demo.json";
+  campaign::Spec spec;
+  std::string error;
+  if (!campaign::load_spec_file(path, &spec, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
   }
-
-  sim::Simulator& simulator_;
-  net::Network& network_;
-  std::vector<net::NodeId> victims_;
-  uint64_t votes_sent_ = 0;
-};
-
-}  // namespace
-
-int main() {
-  sim::Simulator simulator;
-  sim::Rng root(5);
-  net::Network network(simulator, root.split());
-  metrics::MetricsCollector collector;
-
-  peer::PeerEnvironment env;
-  env.simulator = &simulator;
-  env.network = &network;
-  env.metrics = &collector;
-  env.enable_damage = false;
-  env.params.quorum = 5;
-  env.params.max_disagreeing = 1;
-  env.params.reference_list_target = 12;
-
-  // Hand-built 15-peer deployment (what experiment::run_scenario does, shown
-  // explicitly so the wiring is visible).
-  const uint32_t kPeers = 15;
-  const storage::AuId au{0};
-  std::vector<std::unique_ptr<peer::Peer>> peers;
-  std::vector<net::NodeId> ids;
-  for (uint32_t p = 0; p < kPeers; ++p) {
-    ids.push_back(net::NodeId{p});
-    peers.push_back(std::make_unique<peer::Peer>(env, net::NodeId{p}, root.split()));
-    peers.back()->join_au(au);
+  campaign::CompiledCampaign compiled;
+  if (!campaign::compile_campaign(spec, &compiled, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
   }
-  collector.set_total_replicas(kPeers);
-  sim::Rng boot = root.split();
-  for (uint32_t p = 0; p < kPeers; ++p) {
-    std::vector<net::NodeId> others;
-    for (net::NodeId id : ids) {
-      if (id != ids[p]) {
-        others.push_back(id);
-      }
-    }
-    peers[p]->set_friends(boot.sample(others, 3));
-    const auto seeds = boot.sample(others, env.params.reference_list_target);
-    peers[p]->seed_reference_list(au, seeds);
-    for (net::NodeId other : seeds) {
-      peers[p]->seed_grade(au, other, reputation::Grade::kEven);
-      peers[other.value]->seed_grade(au, ids[p], reputation::Grade::kEven);
-    }
+  campaign::RunOptions options;
+  options.quiet = true;
+  options.write_outputs = false;  // demo reads the in-memory outcome only
+  campaign::CampaignOutcome outcome;
+  if (!campaign::run_campaign(compiled, options, &outcome, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
   }
-  for (auto& p : peers) {
-    p->start();
-  }
+  const experiment::RunResult& flooded = outcome.cells.front();
 
-  VoteFloodAdversary adversary(simulator, network, ids);
-  adversary.start();
+  // The same scenario built programmatically: a ScenarioConfig carrying an
+  // explicit adversary pipeline — one vote-flood phase — exactly what the
+  // campaign compiler produced above. Custom experiments can assemble any
+  // phase mix this way (windows, cadences, multiple concurrent kinds).
+  experiment::ScenarioConfig config = compiled.cells.front().config;
+  adversary::AdversaryPhase flood;
+  flood.kind = adversary::PhaseKind::kVoteFlood;
+  flood.minion_count = 64;
+  config.adversary.pipeline = {flood};
+  const experiment::RunResult programmatic = experiment::run_scenario(config);
 
-  simulator.run_until(sim::SimTime::months(6));
-  const auto report = collector.finalize(sim::SimTime::months(6));
-
-  std::printf("Vote flood demo: 15 peers, 1 AU, 6 simulated months\n\n");
-  std::printf("  bogus votes sent by adversary: %llu\n",
-              static_cast<unsigned long long>(adversary.votes_sent()));
-  std::printf("  successful polls:              %llu\n",
-              static_cast<unsigned long long>(report.successful_polls));
-  std::printf("  alarms:                        %llu\n",
-              static_cast<unsigned long long>(report.alarms));
-  double wasted = 0.0;
-  for (auto& p : peers) {
-    wasted += p->meter().by_category(sched::EffortCategory::kVoteEvaluation);
-  }
-  std::printf("\n§5.1: \"The vote flood adversary is hamstrung by the fact that votes can\n"
-              "be supplied only in response to an invitation by the putative victim\n"
-              "poller... Unsolicited votes are ignored.\" Polls proceeded normally and\n"
-              "no evaluation effort was spent on any of the %llu bogus votes.\n",
-              static_cast<unsigned long long>(adversary.votes_sent()));
-  (void)wasted;
+  std::printf("Vote flood demo: %u peers, %u AU(s), %.1f simulated months\n\n", spec.peers,
+              spec.aus, spec.duration.to_days() / 30.0);
+  std::printf("  bogus votes sent by adversary:  %llu\n",
+              static_cast<unsigned long long>(flooded.adversary_invitations));
+  std::printf("  successful polls (baseline):    %llu\n",
+              static_cast<unsigned long long>(outcome.baseline.report.successful_polls));
+  std::printf("  successful polls (under flood): %llu\n",
+              static_cast<unsigned long long>(flooded.report.successful_polls));
+  std::printf("  alarms:                         %llu\n",
+              static_cast<unsigned long long>(flooded.report.alarms));
+  std::printf("  programmatic pipeline run:      %llu votes, %llu successful polls\n",
+              static_cast<unsigned long long>(programmatic.adversary_invitations),
+              static_cast<unsigned long long>(programmatic.report.successful_polls));
+  std::printf(
+      "\n§5.1: \"The vote flood adversary is hamstrung by the fact that votes can\n"
+      "be supplied only in response to an invitation by the putative victim\n"
+      "poller... Unsolicited votes are ignored.\" Polls proceeded normally and\n"
+      "no evaluation effort was spent on any bogus vote.\n");
   return 0;
 }

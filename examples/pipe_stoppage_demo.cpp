@@ -1,71 +1,66 @@
 // Pipe-stoppage attack demo (§7.2): a consortium under network-level DDoS.
 //
-// Runs the same deployment twice — once undisturbed, once with repeated
-// 60-day pipe-stoppage attacks at 70% coverage — and prints a month-by-month
-// timeline of damaged replicas, then the attack's effect on the §6.1
-// metrics.
+// Since PR 4 this is a thin wrapper over a declarative campaign file — the
+// deployment, the attack, and the baseline all live in
+// campaigns/pipe_stoppage_demo.json; this program just runs it and prints
+// the §7.2 interpretation. Point it at any other campaign file to rerun the
+// comparison for a different scenario:
 //
-//   $ ./build/examples/pipe_stoppage_demo
+//   $ ./build/example_pipe_stoppage_demo [campaign.json]
 #include <cstdio>
-#include <vector>
+#include <string>
 
-#include "adversary/pipe_stoppage.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/spec.hpp"
 #include "experiment/aggregate.hpp"
-#include "experiment/scenario.hpp"
 
 using namespace lockss;
 
-namespace {
+int main(int argc, char** argv) {
+  const std::string path = argc > 1
+                               ? argv[1]
+                               : std::string(LOCKSS_SOURCE_DIR) + "/campaigns/pipe_stoppage_demo.json";
+  campaign::Spec spec;
+  std::string error;
+  if (!campaign::load_spec_file(path, &spec, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  campaign::CompiledCampaign compiled;
+  if (!campaign::compile_campaign(spec, &compiled, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n\n", spec.description.c_str());
 
-experiment::ScenarioConfig make_config() {
-  experiment::ScenarioConfig config;
-  config.peer_count = 40;
-  config.au_count = 3;
-  config.duration = sim::SimTime::years(2);
-  config.seed = 99;
-  // Fast bit rot (one block per disk-year, 3 AUs per disk) so blackout
-  // windows visibly accumulate damage without drowning the population.
-  config.damage.mean_disk_years_between_failures = 1.0;
-  config.damage.aus_per_disk = 3.0;
-  return config;
-}
+  campaign::RunOptions options;
+  options.quiet = true;
+  options.write_outputs = false;  // demo reads the in-memory outcome only
+  campaign::CampaignOutcome outcome;
+  if (!campaign::run_campaign(compiled, options, &outcome, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
 
-void run_and_report(const char* label, const experiment::ScenarioConfig& config,
-                    experiment::RunResult& out) {
-  std::printf("%s\n", label);
-  out = experiment::run_scenario(config);
-  std::printf("  successful polls: %llu   inquorate: %llu   repairs: %llu   afp: %.2e\n\n",
-              static_cast<unsigned long long>(out.report.successful_polls),
-              static_cast<unsigned long long>(out.report.inquorate_polls),
-              static_cast<unsigned long long>(out.report.repairs),
-              out.report.access_failure_probability);
-}
+  const auto print_run = [](const char* label, const experiment::RunResult& r) {
+    std::printf("%s\n", label);
+    std::printf("  successful polls: %llu   inquorate: %llu   repairs: %llu   afp: %.2e\n\n",
+                static_cast<unsigned long long>(r.report.successful_polls),
+                static_cast<unsigned long long>(r.report.inquorate_polls),
+                static_cast<unsigned long long>(r.report.repairs),
+                r.report.access_failure_probability);
+  };
+  print_run("--- baseline (no attack) ---", outcome.baseline);
+  print_run("--- under attack ---", outcome.cells.front());
 
-}  // namespace
-
-int main() {
-  std::printf("Pipe stoppage demo: 40 peers, 3 AUs, 2 simulated years\n");
-  std::printf("Attack: repeated 60-day blackouts of 70%% of the population, 30-day gaps\n\n");
-
-  experiment::RunResult baseline;
-  run_and_report("--- baseline (no attack) ---", make_config(), baseline);
-
-  experiment::ScenarioConfig attacked_config = make_config();
-  attacked_config.adversary.kind = experiment::AdversarySpec::Kind::kPipeStoppage;
-  attacked_config.adversary.cadence.coverage = 0.70;
-  attacked_config.adversary.cadence.attack_duration = sim::SimTime::days(60);
-  attacked_config.adversary.cadence.recuperation = sim::SimTime::days(30);
-  experiment::RunResult attacked;
-  run_and_report("--- under attack ---", attacked_config, attacked);
-
-  const auto rel = experiment::relative_metrics(attacked, baseline);
+  const auto rel = experiment::relative_metrics(outcome.cells.front(), outcome.baseline);
   std::printf("--- attack effect (attacked / baseline) ---\n");
   std::printf("  access failure:         %.2e (baseline %.2e)\n", rel.access_failure,
-              baseline.report.access_failure_probability);
+              outcome.baseline.report.access_failure_probability);
   std::printf("  delay ratio:            %.2f\n", rel.delay_ratio);
   std::printf("  coefficient of friction:%.2f\n", rel.friction);
   std::printf("  messages filtered:      %llu\n",
-              static_cast<unsigned long long>(attacked.messages_filtered));
+              static_cast<unsigned long long>(outcome.cells.front().messages_filtered));
   std::printf(
       "\nInterpretation (§7.2): the attack delays audits while it lasts, but peers\n"
       "recover during recuperation by repairing from untargeted replicas; only\n"

@@ -34,6 +34,8 @@ AdmissionFloodAdversary::AdmissionFloodAdversary(sim::Simulator& simulator, net:
 
 void AdmissionFloodAdversary::start() { schedule_.start(); }
 
+void AdmissionFloodAdversary::stop() { schedule_.stop(); }
+
 void AdmissionFloodAdversary::arm_lanes(const std::vector<net::NodeId>& victim_ids) {
   disarm_lanes();
   for (peer::Peer* victim : all_victims_) {

@@ -54,6 +54,10 @@ class AdmissionFloodAdversary {
 
   void start();
 
+  // Phase-installable teardown: halts the cadence and disarms every live
+  // probe lane.
+  void stop();
+
   uint64_t probes_sent() const { return probes_sent_; }
   bool attacking() const { return schedule_.attacking(); }
 

@@ -19,6 +19,17 @@ AttackSchedule::AttackSchedule(sim::Simulator& simulator, sim::Rng rng, AttackCa
 
 void AttackSchedule::start() { begin_phase(); }
 
+void AttackSchedule::stop() {
+  pending_.cancel();
+  if (attacking_) {
+    attacking_ = false;
+    victims_.clear();
+    if (on_end_) {
+      on_end_();
+    }
+  }
+}
+
 void AttackSchedule::begin_phase() {
   const size_t count = static_cast<size_t>(
       std::lround(cadence_.coverage * static_cast<double>(population_.size())));
@@ -28,7 +39,7 @@ void AttackSchedule::begin_phase() {
   if (on_start_) {
     on_start_(victims_);
   }
-  simulator_.schedule_in(cadence_.attack_duration, [this] { end_phase(); });
+  pending_ = simulator_.schedule_in(cadence_.attack_duration, [this] { end_phase(); });
 }
 
 void AttackSchedule::end_phase() {
@@ -37,7 +48,7 @@ void AttackSchedule::end_phase() {
   if (on_end_) {
     on_end_();
   }
-  simulator_.schedule_in(cadence_.recuperation, [this] { begin_phase(); });
+  pending_ = simulator_.schedule_in(cadence_.recuperation, [this] { begin_phase(); });
 }
 
 }  // namespace lockss::adversary

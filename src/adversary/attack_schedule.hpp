@@ -39,6 +39,12 @@ class AttackSchedule {
   // Begins the first attack phase immediately.
   void start();
 
+  // Halts the cadence: cancels the pending on/off transition and, if an
+  // attack iteration is live, ends it (running the owner's teardown
+  // callback). start() may be called again later — campaign pipelines use
+  // this to window an attack inside a larger scenario.
+  void stop();
+
   bool attacking() const { return attacking_; }
   uint64_t iterations() const { return iterations_; }
   const std::vector<net::NodeId>& current_victims() const { return victims_; }
@@ -54,6 +60,7 @@ class AttackSchedule {
   PhaseStart on_start_;
   PhaseEnd on_end_;
   std::vector<net::NodeId> victims_;
+  sim::EventHandle pending_;  // next on/off transition
   bool attacking_ = false;
   uint64_t iterations_ = 0;
 };

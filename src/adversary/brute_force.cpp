@@ -77,6 +77,15 @@ void BruteForceAdversary::start() {
   }
 }
 
+void BruteForceAdversary::stop() {
+  stopped_ = true;
+  for (Front& front : fronts_) {
+    front.timer.cancel();
+    front.live_poll = 0;
+  }
+  front_by_poll_.clear();
+}
+
 void BruteForceAdversary::schedule_attempt(size_t front_index, sim::SimTime delay) {
   Front& front = fronts_[front_index];
   front.timer.cancel();
@@ -135,21 +144,30 @@ void BruteForceAdversary::attempt(size_t front_index) {
 }
 
 void BruteForceAdversary::handle_message(net::MessagePtr message) {
-  if (auto* ack = dynamic_cast<protocol::PollAckMsg*>(message.get())) {
-    auto it = front_by_poll_.find(ack->poll_id);
-    if (it != front_by_poll_.end() && fronts_[it->second].live_poll == ack->poll_id) {
-      on_ack(it->second, *ack);
-    }
-    return;
+  if (stopped_) {
+    return;  // deactivated phase: minion identities fall silent
   }
-  if (auto* vote = dynamic_cast<protocol::VoteMsg*>(message.get())) {
-    auto it = front_by_poll_.find(vote->poll_id);
-    if (it != front_by_poll_.end() && fronts_[it->second].live_poll == vote->poll_id) {
-      on_vote(it->second, *vote);
+  switch (message->kind()) {
+    case net::MessageKind::kPollAck: {
+      const auto& ack = static_cast<const protocol::PollAckMsg&>(*message);
+      auto it = front_by_poll_.find(ack.poll_id);
+      if (it != front_by_poll_.end() && fronts_[it->second].live_poll == ack.poll_id) {
+        on_ack(it->second, ack);
+      }
+      return;
     }
-    return;
+    case net::MessageKind::kVote: {
+      const auto& vote = static_cast<const protocol::VoteMsg&>(*message);
+      auto it = front_by_poll_.find(vote.poll_id);
+      if (it != front_by_poll_.end() && fronts_[it->second].live_poll == vote.poll_id) {
+        on_vote(it->second, vote);
+      }
+      return;
+    }
+    default:
+      // Anything else (repairs we never request, stray receipts) is ignored.
+      return;
   }
-  // Anything else (repairs we never request, stray receipts) is ignored.
 }
 
 void BruteForceAdversary::on_ack(size_t front_index, const protocol::PollAckMsg& ack) {

@@ -86,6 +86,10 @@ class BruteForceAdversary : public net::MessageHandler {
   // attack loops.
   void start();
 
+  // Phase-installable teardown: cancels every attack lane's timer and makes
+  // the minion identities fall silent (in-flight replies are dropped).
+  void stop();
+
   // Minion message reception (PollAck / Vote routed to the shared handler).
   void handle_message(net::MessagePtr message) override;
 
@@ -128,6 +132,7 @@ class BruteForceAdversary : public net::MessageHandler {
   uint32_t poll_sequence_ = 0;
   uint64_t invitations_sent_ = 0;
   uint64_t admissions_ = 0;
+  bool stopped_ = false;
 };
 
 }  // namespace lockss::adversary

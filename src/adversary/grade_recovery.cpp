@@ -60,15 +60,24 @@ void GradeRecoveryAdversary::start() {
 }
 
 void GradeRecoveryAdversary::handle_message(net::MessagePtr message) {
-  if (auto* poll = dynamic_cast<protocol::PollMsg*>(message.get())) {
-    on_poll(*poll);
-  } else if (auto* proof = dynamic_cast<protocol::PollProofMsg*>(message.get())) {
-    on_poll_proof(*proof);
-  } else if (auto* request = dynamic_cast<protocol::RepairRequestMsg*>(message.get())) {
-    on_repair_request(*request);
+  if (stopped_) {
+    return;  // deactivated phase: minions stop answering invitations
   }
-  // PollAcks for defecting polls need no action (INTRO defection: silence);
-  // receipts for supplied votes likewise.
+  switch (message->kind()) {
+    case net::MessageKind::kPoll:
+      on_poll(static_cast<const protocol::PollMsg&>(*message));
+      return;
+    case net::MessageKind::kPollProof:
+      on_poll_proof(static_cast<const protocol::PollProofMsg&>(*message));
+      return;
+    case net::MessageKind::kRepairRequest:
+      on_repair_request(static_cast<const protocol::RepairRequestMsg&>(*message));
+      return;
+    default:
+      // PollAcks for defecting polls need no action (INTRO defection:
+      // silence); receipts for supplied votes likewise.
+      return;
+  }
 }
 
 void GradeRecoveryAdversary::on_poll(const protocol::PollMsg& poll) {

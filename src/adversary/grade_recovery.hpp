@@ -58,6 +58,10 @@ class GradeRecoveryAdversary : public net::MessageHandler {
   // listening for invitations.
   void start();
 
+  // Phase-installable teardown: minions stop answering invitations and stop
+  // spending earned standing (already-seeded grades keep decaying normally).
+  void stop() { stopped_ = true; }
+
   void handle_message(net::MessagePtr message) override;
 
   const sched::EffortMeter& meter() const { return meter_; }
@@ -96,6 +100,7 @@ class GradeRecoveryAdversary : public net::MessageHandler {
   uint32_t poll_sequence_ = 0;
   uint64_t votes_supplied_ = 0;
   uint64_t defecting_polls_ = 0;
+  bool stopped_ = false;
 };
 
 }  // namespace lockss::adversary

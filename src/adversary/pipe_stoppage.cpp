@@ -20,6 +20,8 @@ PipeStoppageAdversary::~PipeStoppageAdversary() { network_.remove_filter(this); 
 
 void PipeStoppageAdversary::start() { schedule_.start(); }
 
+void PipeStoppageAdversary::stop() { schedule_.stop(); }
+
 bool PipeStoppageAdversary::allow(net::NodeId from, net::NodeId to) const {
   if (victims_.empty()) {
     return true;

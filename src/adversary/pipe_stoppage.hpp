@@ -29,6 +29,10 @@ class PipeStoppageAdversary : public net::LinkFilter {
   // Launches the first stoppage immediately.
   void start();
 
+  // Phase-installable teardown: halts the cadence and lifts any live
+  // blackout (traffic flows again immediately).
+  void stop();
+
   // net::LinkFilter: drop anything touching a current victim.
   bool allow(net::NodeId from, net::NodeId to) const override;
 

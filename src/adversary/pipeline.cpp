@@ -1,0 +1,308 @@
+#include "adversary/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "peer/peer.hpp"
+
+namespace lockss::adversary {
+
+const char* phase_kind_name(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kPipeStoppage:
+      return "pipe_stoppage";
+    case PhaseKind::kAdmissionFlood:
+      return "admission_flood";
+    case PhaseKind::kBruteForce:
+      return "brute_force";
+    case PhaseKind::kGradeRecovery:
+      return "grade_recovery";
+    case PhaseKind::kVoteFlood:
+      return "vote_flood";
+  }
+  return "?";
+}
+
+bool parse_phase_kind(const std::string& name, PhaseKind* out) {
+  for (PhaseKind kind :
+       {PhaseKind::kPipeStoppage, PhaseKind::kAdmissionFlood, PhaseKind::kBruteForce,
+        PhaseKind::kGradeRecovery, PhaseKind::kVoteFlood}) {
+    if (name == phase_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+PhaseIdentityPool phase_identity_pool(const AdversaryPhase& phase) {
+  PhaseIdentityPool pool;
+  switch (phase.kind) {
+    case PhaseKind::kPipeStoppage:
+      return pool;  // no identities of its own
+    case PhaseKind::kAdmissionFlood:
+      // Spoofed ids are unbounded and never registered; report the base so
+      // overlap validation can keep fixed pools out of the spoof space, with
+      // count 0 marking "open-ended, unregistered".
+      pool.base = phase.minion_id_base != 0 ? phase.minion_id_base
+                                            : AdmissionFloodConfig{}.spoofed_id_base;
+      pool.count = 0;
+      return pool;
+    case PhaseKind::kBruteForce: {
+      const BruteForceConfig defaults;
+      pool.base = phase.minion_id_base != 0 ? phase.minion_id_base : defaults.minion_id_base;
+      pool.count = phase.minion_count != 0 ? phase.minion_count : defaults.minion_count;
+      return pool;
+    }
+    case PhaseKind::kGradeRecovery: {
+      const GradeRecoveryConfig defaults;
+      pool.base = phase.minion_id_base != 0 ? phase.minion_id_base : defaults.minion_id_base;
+      pool.count = phase.minion_count != 0 ? phase.minion_count : defaults.minion_count;
+      return pool;
+    }
+    case PhaseKind::kVoteFlood: {
+      const VoteFloodConfig defaults;
+      pool.base = phase.minion_id_base != 0 ? phase.minion_id_base : defaults.minion_id_base;
+      pool.count = phase.minion_count != 0 ? phase.minion_count : defaults.minion_count;
+      return pool;
+    }
+  }
+  return pool;
+}
+
+std::string validate_pipeline(const AdversaryPipeline& pipeline, uint32_t reserved_low_ids) {
+  struct Range {
+    uint64_t lo;
+    uint64_t hi;  // exclusive; UINT64_MAX for open-ended spoof space
+    size_t phase;
+  };
+  std::vector<Range> ranges;
+  for (size_t i = 0; i < pipeline.size(); ++i) {
+    const AdversaryPhase& phase = pipeline[i];
+    if (phase.start < sim::SimTime::zero()) {
+      return "phase " + std::to_string(i) + " (" + phase_kind_name(phase.kind) +
+             "): start must be non-negative";
+    }
+    if (phase.stop != sim::SimTime::zero() && phase.stop <= phase.start) {
+      return "phase " + std::to_string(i) + " (" + phase_kind_name(phase.kind) +
+             "): stop must come after start";
+    }
+    if (phase.kind == PhaseKind::kPipeStoppage || phase.kind == PhaseKind::kAdmissionFlood) {
+      if (phase.cadence.coverage < 0.0 || phase.cadence.coverage > 1.0) {
+        return "phase " + std::to_string(i) + " (" + phase_kind_name(phase.kind) +
+               "): coverage must be within [0, 1]";
+      }
+      if (phase.cadence.attack_duration <= sim::SimTime::zero()) {
+        return "phase " + std::to_string(i) + " (" + phase_kind_name(phase.kind) +
+               "): attack duration must be positive";
+      }
+    }
+    const PhaseIdentityPool pool = phase_identity_pool(phase);
+    if (pool.base == 0) {
+      continue;  // no identity pool
+    }
+    if (pool.base < reserved_low_ids) {
+      return "phase " + std::to_string(i) + " (" + phase_kind_name(phase.kind) +
+             "): identity pool collides with the loyal/newcomer id space";
+    }
+    ranges.push_back(Range{pool.base,
+                           pool.count == 0 ? UINT64_MAX : uint64_t{pool.base} + pool.count, i});
+  }
+  std::sort(ranges.begin(), ranges.end(), [](const Range& a, const Range& b) {
+    return a.lo < b.lo;
+  });
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    if (ranges[i].lo < ranges[i - 1].hi) {
+      return "phases " + std::to_string(ranges[i - 1].phase) + " and " +
+             std::to_string(ranges[i].phase) +
+             " use overlapping identity pools; give one an explicit disjoint "
+             "minion_id_base";
+    }
+  }
+  return "";
+}
+
+AdversaryFleet::AdversaryFleet(const FleetEnvironment& env, const AdversaryPipeline& pipeline,
+                               sim::Rng& root)
+    : simulator_(env.simulator) {
+  assert(env.simulator != nullptr && env.network != nullptr && env.params != nullptr &&
+         env.costs != nullptr);
+  assert(validate_pipeline(pipeline, env.reserved_low_ids).empty() &&
+         "invalid pipeline (minion pools must sit above the loyal/newcomer id "
+         "space); run validate_pipeline first for the diagnostic");
+
+  // Fixed minion pools register at setup, before any traffic, sorted
+  // ascending across phases (the registry's ordering contract). The
+  // admission flood's spoofed ids intentionally stay unregistered — the
+  // substrates' overflow path is part of that attack's semantics.
+  if (env.registry != nullptr) {
+    std::vector<PhaseIdentityPool> pools;
+    for (const AdversaryPhase& phase : pipeline) {
+      const PhaseIdentityPool pool = phase_identity_pool(phase);
+      if (pool.count > 0) {
+        pools.push_back(pool);
+      }
+    }
+    std::sort(pools.begin(), pools.end(),
+              [](const PhaseIdentityPool& a, const PhaseIdentityPool& b) {
+                return a.base < b.base;
+              });
+    for (const PhaseIdentityPool& pool : pools) {
+      for (uint32_t m = 0; m < pool.count; ++m) {
+        env.registry->register_node(net::NodeId{pool.base + m});
+      }
+    }
+  }
+
+  // Construction order is phase order; each phase consumes exactly one
+  // root split (the determinism contract in the header).
+  installed_.reserve(pipeline.size());
+  for (const AdversaryPhase& phase : pipeline) {
+    Installed entry;
+    entry.phase = phase;
+    switch (phase.kind) {
+      case PhaseKind::kPipeStoppage:
+        entry.pipe_stoppage = std::make_unique<PipeStoppageAdversary>(
+            *env.simulator, *env.network, root.split(), phase.cadence, env.loyal_ids);
+        break;
+      case PhaseKind::kAdmissionFlood: {
+        AdmissionFloodConfig config;
+        config.cadence = phase.cadence;
+        if (phase.minion_id_base != 0) {
+          config.spoofed_id_base = phase.minion_id_base;
+        }
+        entry.admission_flood = std::make_unique<AdmissionFloodAdversary>(
+            *env.simulator, *env.network, root.split(), config, env.victims, env.aus,
+            *env.params);
+        break;
+      }
+      case PhaseKind::kBruteForce: {
+        BruteForceConfig config;
+        config.defection = phase.defection;
+        if (phase.minion_count != 0) {
+          config.minion_count = phase.minion_count;
+        }
+        if (phase.minion_id_base != 0) {
+          config.minion_id_base = phase.minion_id_base;
+        }
+        entry.brute_force = std::make_unique<BruteForceAdversary>(
+            *env.simulator, *env.network, root.split(), config, env.victims, env.aus,
+            *env.params, *env.costs);
+        break;
+      }
+      case PhaseKind::kGradeRecovery: {
+        GradeRecoveryConfig config;
+        if (phase.minion_count != 0) {
+          config.minion_count = phase.minion_count;
+        }
+        if (phase.minion_id_base != 0) {
+          config.minion_id_base = phase.minion_id_base;
+        }
+        entry.grade_recovery = std::make_unique<GradeRecoveryAdversary>(
+            *env.simulator, *env.network, root.split(), config, env.victims, env.aus,
+            *env.params, *env.costs);
+        break;
+      }
+      case PhaseKind::kVoteFlood: {
+        VoteFloodConfig config;
+        if (phase.minion_count != 0) {
+          config.minion_count = phase.minion_count;
+        }
+        if (phase.minion_id_base != 0) {
+          config.minion_id_base = phase.minion_id_base;
+        }
+        entry.vote_flood = std::make_unique<VoteFloodAdversary>(
+            *env.simulator, *env.network, root.split(), config, env.victims, env.aus);
+        break;
+      }
+    }
+    installed_.push_back(std::move(entry));
+  }
+}
+
+void AdversaryFleet::Installed::start() {
+  if (pipe_stoppage) {
+    pipe_stoppage->start();
+  } else if (admission_flood) {
+    admission_flood->start();
+  } else if (brute_force) {
+    brute_force->start();
+  } else if (grade_recovery) {
+    grade_recovery->start();
+  } else if (vote_flood) {
+    vote_flood->start();
+  }
+}
+
+void AdversaryFleet::Installed::stop() {
+  if (pipe_stoppage) {
+    pipe_stoppage->stop();
+  } else if (admission_flood) {
+    admission_flood->stop();
+  } else if (brute_force) {
+    brute_force->stop();
+  } else if (grade_recovery) {
+    grade_recovery->stop();
+  } else if (vote_flood) {
+    vote_flood->stop();
+  }
+}
+
+void AdversaryFleet::start() {
+  for (Installed& entry : installed_) {
+    if (entry.phase.start == sim::SimTime::zero()) {
+      // Legacy shape: activate synchronously, no extra simulator event (the
+      // bit-identity contract with the old single-adversary construction).
+      entry.start();
+    } else {
+      simulator_->schedule_at(entry.phase.start, [&entry] { entry.start(); });
+    }
+    if (entry.phase.stop != sim::SimTime::zero()) {
+      simulator_->schedule_at(entry.phase.stop, [&entry] { entry.stop(); });
+    }
+  }
+}
+
+double AdversaryFleet::effort_seconds() const {
+  double total = 0.0;
+  for (const Installed& entry : installed_) {
+    if (entry.brute_force) {
+      total += entry.brute_force->meter().total();
+    } else if (entry.grade_recovery) {
+      total += entry.grade_recovery->meter().total();
+    } else if (entry.vote_flood) {
+      total += entry.vote_flood->meter().total();
+    }
+  }
+  return total;
+}
+
+uint64_t AdversaryFleet::invitations() const {
+  uint64_t total = 0;
+  for (const Installed& entry : installed_) {
+    if (entry.brute_force) {
+      total += entry.brute_force->invitations_sent();
+    } else if (entry.admission_flood) {
+      total += entry.admission_flood->probes_sent();
+    } else if (entry.grade_recovery) {
+      total += entry.grade_recovery->defecting_polls();
+    } else if (entry.vote_flood) {
+      total += entry.vote_flood->votes_sent();
+    }
+  }
+  return total;
+}
+
+uint64_t AdversaryFleet::admissions() const {
+  uint64_t total = 0;
+  for (const Installed& entry : installed_) {
+    if (entry.brute_force) {
+      total += entry.brute_force->admissions();
+    } else if (entry.grade_recovery) {
+      total += entry.grade_recovery->votes_supplied();
+    }
+  }
+  return total;
+}
+
+}  // namespace lockss::adversary

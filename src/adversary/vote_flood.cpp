@@ -34,6 +34,12 @@ void VoteFloodAdversary::start() {
   }
 }
 
+void VoteFloodAdversary::stop() {
+  for (sim::EventHandle& timer : timers_) {
+    timer.cancel();
+  }
+}
+
 protocol::PollId VoteFloodAdversary::forge_poll_id(const peer::Peer& victim) {
   if (rng_.bernoulli(config_.replay_fraction)) {
     // Replay oracle: pick a poll the victim is genuinely running right now.

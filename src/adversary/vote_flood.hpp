@@ -63,6 +63,9 @@ class VoteFloodAdversary : public net::MessageHandler {
 
   void start();
 
+  // Phase-installable teardown: cancels every victim's burst timer.
+  void stop();
+
   // The adversary never expects replies; stray messages are ignored.
   void handle_message(net::MessagePtr /*message*/) override {}
 

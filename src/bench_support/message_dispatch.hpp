@@ -1,0 +1,120 @@
+// Shared workload for the message-dispatch micro-benchmarks.
+//
+// PR 4 replaced the dynamic_cast chain in Peer::handle_message (one RTTI
+// comparison per candidate type, ~4 deep on average over the protocol mix)
+// with a MessageKind tag switch. Both dispatchers live here so
+// bench/micro_substrates (google-benchmark) and tools/bench_report (JSON
+// trajectory) measure the identical op stream: a deterministic shuffle of
+// the seven protocol message types weighted roughly like a live scenario's
+// delivery mix (polls and acks dominate; repairs are rare).
+#ifndef LOCKSS_BENCH_SUPPORT_MESSAGE_DISPATCH_HPP_
+#define LOCKSS_BENCH_SUPPORT_MESSAGE_DISPATCH_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "protocol/messages.hpp"
+#include "sim/rng.hpp"
+
+namespace lockss::bench_support {
+
+// Weighted mix: Poll-heavy front half of the exchange, few repairs — the
+// shape the admission-control path sees under attack.
+inline std::vector<net::MessagePtr> make_message_stream(size_t count, uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<net::MessagePtr> stream;
+  stream.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    switch (rng.index(16)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+      case 4:
+        stream.push_back(std::make_unique<protocol::PollMsg>());
+        break;
+      case 5:
+      case 6:
+      case 7:
+      case 8:
+        stream.push_back(std::make_unique<protocol::PollAckMsg>());
+        break;
+      case 9:
+      case 10:
+        stream.push_back(std::make_unique<protocol::PollProofMsg>());
+        break;
+      case 11:
+      case 12:
+        stream.push_back(std::make_unique<protocol::VoteMsg>());
+        break;
+      case 13:
+        stream.push_back(std::make_unique<protocol::RepairRequestMsg>());
+        break;
+      case 14:
+        stream.push_back(std::make_unique<protocol::RepairMsg>());
+        break;
+      default:
+        stream.push_back(std::make_unique<protocol::EvaluationReceiptMsg>());
+        break;
+    }
+  }
+  return stream;
+}
+
+// The seed dispatcher: the dynamic_cast chain Peer::handle_message used
+// through PR 3, preserved verbatim for the before/after measurement.
+inline int dispatch_reference(net::Message& message) {
+  auto* base = dynamic_cast<protocol::ProtocolMessage*>(&message);
+  if (base == nullptr) {
+    return 0;
+  }
+  if (dynamic_cast<protocol::PollMsg*>(base) != nullptr) {
+    return 1;
+  }
+  if (dynamic_cast<protocol::PollAckMsg*>(base) != nullptr) {
+    return 2;
+  }
+  if (dynamic_cast<protocol::PollProofMsg*>(base) != nullptr) {
+    return 3;
+  }
+  if (dynamic_cast<protocol::VoteMsg*>(base) != nullptr) {
+    return 4;
+  }
+  if (dynamic_cast<protocol::RepairRequestMsg*>(base) != nullptr) {
+    return 5;
+  }
+  if (dynamic_cast<protocol::RepairMsg*>(base) != nullptr) {
+    return 6;
+  }
+  if (dynamic_cast<protocol::EvaluationReceiptMsg*>(base) != nullptr) {
+    return 7;
+  }
+  return 0;
+}
+
+// The PR 4 dispatcher: one virtual tag load and a dense switch.
+inline int dispatch_kind(net::Message& message) {
+  switch (message.kind()) {
+    case net::MessageKind::kPoll:
+      return 1;
+    case net::MessageKind::kPollAck:
+      return 2;
+    case net::MessageKind::kPollProof:
+      return 3;
+    case net::MessageKind::kVote:
+      return 4;
+    case net::MessageKind::kRepairRequest:
+      return 5;
+    case net::MessageKind::kRepair:
+      return 6;
+    case net::MessageKind::kEvaluationReceipt:
+      return 7;
+    case net::MessageKind::kOther:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace lockss::bench_support
+
+#endif  // LOCKSS_BENCH_SUPPORT_MESSAGE_DISPATCH_HPP_

@@ -1,0 +1,340 @@
+#include "campaign/engine.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/gnuplot.hpp"
+#include "experiment/aggregate.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/table.hpp"
+
+namespace lockss::campaign {
+namespace {
+
+std::string join_path(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir == ".") {
+    return name;
+  }
+  return dir.back() == '/' ? dir + name : dir + "/" + name;
+}
+
+bool write_file(const std::string& path, const std::string& content, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    *error = "cannot write " + path;
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+double figure_metric(const std::string& metric, const experiment::RelativeMetrics& rel) {
+  if (metric == "access_failure") {
+    return rel.access_failure;
+  }
+  if (metric == "delay_ratio") {
+    return rel.delay_ratio;
+  }
+  return rel.friction;
+}
+
+// The attrition-sweep CSV layout, byte-identical to bench/attrition_sweep.hpp:
+// rows = axis 0, one column per axis-1 value labelled "<v>%", access-failure
+// cells in %.2e and everything else in %.2f, plus the companion trace CSV
+// and gnuplot script.
+bool write_figure(const CompiledCampaign& campaign, const CampaignOutcome& outcome,
+                  const RunOptions& options, std::vector<std::string>* files,
+                  std::string* error) {
+  const Spec& spec = campaign.spec;
+  const SweepAxis& rows = spec.axes[0];
+  const SweepAxis& cols = spec.axes[1];
+  const std::string csv_path = join_path(options.out_dir, spec.figure.csv);
+
+  std::vector<std::string> columns = {spec.figure.row_header};
+  for (double v : cols.values) {
+    columns.push_back(experiment::TableWriter::fixed(v, 0) + "%");
+  }
+  experiment::TableWriter table(columns, csv_path, /*echo_stdout=*/!options.quiet);
+  if (!table.csv_ok()) {
+    *error = "cannot write " + csv_path;
+    return false;
+  }
+  table.header();
+  size_t cell = 0;
+  for (double row_value : rows.values) {
+    std::vector<std::string> row = {experiment::TableWriter::fixed(row_value, 0)};
+    for (size_t c = 0; c < cols.values.size(); ++c) {
+      const experiment::RelativeMetrics rel =
+          experiment::relative_metrics(outcome.cells[cell++], outcome.baseline);
+      const double value = figure_metric(spec.figure.metric, rel);
+      row.push_back(spec.figure.metric == "access_failure"
+                        ? experiment::TableWriter::scientific(value, 2)
+                        : experiment::TableWriter::fixed(value, 2));
+    }
+    table.row(row);
+  }
+  files->push_back(csv_path);
+
+  if (spec.trace_interval > sim::SimTime::zero()) {
+    std::vector<std::pair<std::string, const metrics::RunTrace*>> traces;
+    traces.emplace_back("baseline", &outcome.baseline.trace);
+    for (size_t k = 0; k < campaign.cells.size(); ++k) {
+      traces.emplace_back(campaign.cells[k].label, &outcome.cells[k].trace);
+    }
+    if (experiment::write_trace_csv(csv_path + ".trace.csv", traces)) {
+      files->push_back(csv_path + ".trace.csv");
+    }
+  }
+
+  analysis::GnuplotSpec plot;
+  plot.title = spec.figure.title;
+  plot.csv_path = csv_path;
+  plot.x_label = spec.figure.x_label;
+  plot.y_label = spec.figure.metric == "access_failure" ? "access_failure_probability"
+                 : spec.figure.metric == "delay_ratio"  ? "delay_ratio"
+                                                        : "coefficient_of_friction";
+  plot.log_x = spec.figure.log_x;
+  plot.log_y = spec.figure.log_y;
+  for (double v : cols.values) {
+    plot.series.push_back(experiment::TableWriter::fixed(v, 0) + "% coverage");
+  }
+  if (analysis::write_gnuplot(plot, csv_path + ".gp")) {
+    files->push_back(csv_path + ".gp");
+  }
+  return true;
+}
+
+void append_metrics(JsonWriter& w, const experiment::RunResult& r) {
+  const metrics::MetricsReport& m = r.report;
+  w.key("access_failure_probability").value(m.access_failure_probability);
+  w.key("mean_success_gap_days").value(m.mean_success_gap_days);
+  w.key("successful_polls").value(m.successful_polls);
+  w.key("inquorate_polls").value(m.inquorate_polls);
+  w.key("alarms").value(m.alarms);
+  w.key("repairs").value(m.repairs);
+  w.key("damage_events").value(m.damage_events);
+  w.key("loyal_effort_seconds").value(m.loyal_effort_seconds);
+  w.key("adversary_effort_seconds").value(m.adversary_effort_seconds);
+  w.key("effort_per_successful_poll").value(m.effort_per_successful_poll);
+  w.key("cost_ratio").value(m.cost_ratio);
+  w.key("polls_started").value(r.polls_started);
+  w.key("messages_delivered").value(r.messages_delivered);
+  w.key("messages_filtered").value(r.messages_filtered);
+  w.key("adversary_invitations").value(r.adversary_invitations);
+  w.key("adversary_admissions").value(r.adversary_admissions);
+  w.key("events_processed").value(r.events_processed);
+}
+
+std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOutcome& outcome) {
+  const Spec& spec = campaign.spec;
+  std::string out = "cell";
+  for (const SweepAxis& axis : spec.axes) {
+    out += "," + axis.param;
+  }
+  out += ",access_failure,mean_success_gap_days,successful_polls,inquorate_polls,alarms,"
+         "repairs,loyal_effort_s,adversary_effort_s,cost_ratio,adversary_invitations,"
+         "adversary_admissions";
+  if (spec.baseline) {
+    out += ",delay_ratio,friction";
+  }
+  out += "\n";
+  char buf[512];
+  for (size_t k = 0; k < campaign.cells.size(); ++k) {
+    const CompiledCell& cell = campaign.cells[k];
+    const experiment::RunResult& r = outcome.cells[k];
+    out += cell.label;
+    for (const std::string& name : cell.names) {
+      out += "," + name;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  ",%.6e,%.4f,%llu,%llu,%llu,%llu,%.6e,%.6e,%.4f,%llu,%llu",
+                  r.report.access_failure_probability, r.report.mean_success_gap_days,
+                  static_cast<unsigned long long>(r.report.successful_polls),
+                  static_cast<unsigned long long>(r.report.inquorate_polls),
+                  static_cast<unsigned long long>(r.report.alarms),
+                  static_cast<unsigned long long>(r.report.repairs),
+                  r.report.loyal_effort_seconds, r.report.adversary_effort_seconds,
+                  r.report.cost_ratio,
+                  static_cast<unsigned long long>(r.adversary_invitations),
+                  static_cast<unsigned long long>(r.adversary_admissions));
+    out += buf;
+    if (spec.baseline) {
+      const experiment::RelativeMetrics rel =
+          experiment::relative_metrics(r, outcome.baseline);
+      std::snprintf(buf, sizeof(buf), ",%.4f,%.4f", rel.delay_ratio, rel.friction);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutcome& outcome) {
+  const Spec& spec = campaign.spec;
+  JsonWriter w;
+  w.begin_object();
+  w.key("campaign").value(spec.name);
+  w.key("description").value(spec.description);
+  w.key("generated_by").value("tools/lockss_campaign");
+  w.key("scale").begin_object();
+  w.key("peers").value(static_cast<uint64_t>(spec.peers));
+  w.key("aus").value(static_cast<uint64_t>(spec.aus));
+  w.key("au_coverage").value(spec.au_coverage);
+  w.key("newcomers").value(static_cast<uint64_t>(spec.newcomers));
+  w.key("duration_days").value(spec.duration.to_days());
+  w.key("seed").value(spec.seed);
+  w.key("seeds").value(static_cast<uint64_t>(spec.seeds));
+  w.key("layers").value(static_cast<uint64_t>(spec.layers));
+  w.key("trace_interval_days").value(spec.trace_interval.to_days());
+  w.end_object();
+  w.key("pipeline").begin_array();
+  for (const adversary::AdversaryPhase& phase : spec.pipeline) {
+    w.begin_object();
+    w.key("kind").value(adversary::phase_kind_name(phase.kind));
+    w.key("attack_days").value(phase.cadence.attack_duration.to_days());
+    w.key("recuperation_days").value(phase.cadence.recuperation.to_days());
+    w.key("coverage").value(phase.cadence.coverage);
+    w.key("defection").value(adversary::defection_point_name(phase.defection));
+    w.key("start_days").value(phase.start.to_days());
+    w.key("stop_days").value(phase.stop.to_days());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("axes").begin_array();
+  for (const SweepAxis& axis : spec.axes) {
+    w.begin_object();
+    w.key("param").value(axis.param);
+    w.key("phase").value(static_cast<uint64_t>(axis.phase));
+    w.key("values").begin_array();
+    if (axis.categorical()) {
+      for (const std::string& name : axis.names) {
+        w.value(name);
+      }
+    } else {
+      for (double v : axis.values) {
+        w.value(v);
+      }
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  if (spec.baseline) {
+    w.key("baseline").begin_object();
+    append_metrics(w, outcome.baseline);
+    w.end_object();
+  }
+  w.key("cells").begin_array();
+  for (size_t k = 0; k < campaign.cells.size(); ++k) {
+    const CompiledCell& cell = campaign.cells[k];
+    w.begin_object();
+    w.key("label").value(cell.label);
+    w.key("values").begin_array();
+    for (const std::string& name : cell.names) {
+      w.value(name);
+    }
+    w.end_array();
+    append_metrics(w, outcome.cells[k]);
+    if (spec.baseline) {
+      const experiment::RelativeMetrics rel =
+          experiment::relative_metrics(outcome.cells[k], outcome.baseline);
+      w.key("relative").begin_object();
+      w.key("access_failure").value(rel.access_failure);
+      w.key("delay_ratio").value(rel.delay_ratio);
+      w.key("friction").value(rel.friction);
+      w.key("cost_ratio").value(rel.cost_ratio);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string out = w.take();
+  out += "\n";
+  return out;
+}
+
+bool run_campaign(const CompiledCampaign& campaign, const RunOptions& options,
+                  CampaignOutcome* outcome, std::string* error) {
+  const Spec& spec = campaign.spec;
+  if (options.write_outputs && !options.out_dir.empty() && options.out_dir != ".") {
+    std::error_code ec;
+    std::filesystem::create_directories(options.out_dir, ec);
+    if (ec) {
+      *error = "cannot create " + options.out_dir + ": " + ec.message();
+      return false;
+    }
+  }
+
+  // Baseline first (the fig drivers' order), then the cell grid in one
+  // parallel batch. Each run is a pure function of its config, so the
+  // batching never changes a number — only wall-clock.
+  if (spec.baseline) {
+    if (spec.layers > 0) {
+      outcome->baseline =
+          experiment::run_layered_replicated_grid({campaign.base}, spec.layers, spec.seeds)
+              .front();
+    } else {
+      outcome->baseline = experiment::combine_results(
+          experiment::run_replicated(campaign.base, spec.seeds));
+    }
+  }
+  std::vector<experiment::ScenarioConfig> configs;
+  configs.reserve(campaign.cells.size());
+  for (const CompiledCell& cell : campaign.cells) {
+    configs.push_back(cell.config);
+  }
+  if (spec.layers > 0) {
+    outcome->cells = experiment::run_layered_replicated_grid(configs, spec.layers, spec.seeds);
+  } else {
+    outcome->cells = experiment::run_replicated_grid(configs, spec.seeds);
+  }
+
+  if (!options.quiet) {
+    std::printf("# campaign %s: %zu cells x %u seed(s)%s\n", spec.name.c_str(),
+                campaign.cells.size(), spec.seeds,
+                spec.layers > 0 ? (" x " + std::to_string(spec.layers) + " layers").c_str()
+                                : "");
+    if (spec.baseline) {
+      std::printf("# baseline: afp=%.3e gap=%.1fd effort/success=%.0fs over %llu polls\n",
+                  outcome->baseline.report.access_failure_probability,
+                  outcome->baseline.report.mean_success_gap_days,
+                  outcome->baseline.report.effort_per_successful_poll,
+                  static_cast<unsigned long long>(outcome->baseline.report.successful_polls));
+    }
+  }
+
+  if (spec.figure.enabled && options.write_outputs) {
+    if (!write_figure(campaign, *outcome, options, &outcome->files_written, error)) {
+      return false;
+    }
+  } else if (!options.quiet) {
+    for (size_t k = 0; k < campaign.cells.size(); ++k) {
+      std::printf("  %-24s afp=%.3e polls=%llu adversary_effort=%.3es\n",
+                  campaign.cells[k].label.c_str(),
+                  outcome->cells[k].report.access_failure_probability,
+                  static_cast<unsigned long long>(outcome->cells[k].report.successful_polls),
+                  outcome->cells[k].report.adversary_effort_seconds);
+    }
+  }
+
+  if (!options.write_outputs) {
+    return true;
+  }
+  const std::string manifest_path = join_path(options.out_dir, spec.manifest_name);
+  if (!write_file(manifest_path, render_manifest(campaign, *outcome), error)) {
+    return false;
+  }
+  outcome->files_written.push_back(manifest_path);
+  const std::string cells_path = join_path(options.out_dir, spec.cells_name);
+  if (!write_file(cells_path, render_cells_csv(campaign, *outcome), error)) {
+    return false;
+  }
+  outcome->files_written.push_back(cells_path);
+  return true;
+}
+
+}  // namespace lockss::campaign

@@ -1,0 +1,60 @@
+// Campaign execution: compiled cells through the parallel runner, results
+// onto disk.
+//
+// run_campaign() fans the baseline replicas and every (cell × seed) job —
+// or, for layered campaigns, every (cell × seed) §6.3 layered campaign —
+// through experiment::ParallelRunner, then writes:
+//
+//   <out_dir>/<manifest>      deterministic JSON: spec echo, per-cell and
+//                             baseline metrics (%.17g doubles — golden-
+//                             pinnable, see tests/campaign_golden_test.cpp)
+//   <out_dir>/<cells>         long-form CSV, one row per cell
+//   <out_dir>/<figure.csv>    only when the spec has a figure output:
+//                             byte-identical to the hard-coded fig drivers'
+//                             CSV (rows = axis 0, columns = axis 1), plus
+//                             the companion .trace.csv and .gp files when
+//                             tracing is on
+//
+// Everything written is a pure function of the spec (wall-clock and worker
+// count never reach the files); the determinism contract is the same as
+// run_scenario's.
+#ifndef LOCKSS_CAMPAIGN_ENGINE_HPP_
+#define LOCKSS_CAMPAIGN_ENGINE_HPP_
+
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "experiment/scenario.hpp"
+
+namespace lockss::campaign {
+
+struct RunOptions {
+  std::string out_dir = ".";  // created if missing
+  // Worker count comes from ParallelRunner::default_workers(); override it
+  // process-wide with ParallelRunner::set_default_workers (the
+  // lockss_campaign --workers flag does exactly that).
+  bool quiet = false;         // suppress the stdout report (incl. figure table)
+  // false = run only, leave no files behind (in-memory consumers like the
+  // campaign-driven examples).
+  bool write_outputs = true;
+};
+
+struct CampaignOutcome {
+  // Seed-combined (and, when layered, layer-combined) results.
+  experiment::RunResult baseline;  // meaningful only when spec.baseline
+  std::vector<experiment::RunResult> cells;  // compiled-cell order
+  std::vector<std::string> files_written;
+};
+
+// Executes a compiled campaign and writes its outputs. Returns false with a
+// diagnostic on I/O failure (simulation itself cannot fail).
+bool run_campaign(const CompiledCampaign& campaign, const RunOptions& options,
+                  CampaignOutcome* outcome, std::string* error);
+
+// Renders the deterministic run manifest (exposed for the golden test).
+std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutcome& outcome);
+
+}  // namespace lockss::campaign
+
+#endif  // LOCKSS_CAMPAIGN_ENGINE_HPP_

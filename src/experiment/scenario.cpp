@@ -15,6 +15,52 @@
 
 namespace lockss::experiment {
 
+adversary::AdversaryPipeline canonical_pipeline(const AdversarySpec& spec) {
+  adversary::AdversaryPipeline pipeline;
+  const auto phase = [&spec](adversary::PhaseKind kind) {
+    adversary::AdversaryPhase p;
+    p.kind = kind;
+    p.cadence = spec.cadence;
+    p.defection = spec.defection;
+    return p;
+  };
+  switch (spec.kind) {
+    case AdversarySpec::Kind::kNone:
+      break;
+    case AdversarySpec::Kind::kPipeStoppage:
+      pipeline.push_back(phase(adversary::PhaseKind::kPipeStoppage));
+      break;
+    case AdversarySpec::Kind::kAdmissionFlood:
+      pipeline.push_back(phase(adversary::PhaseKind::kAdmissionFlood));
+      break;
+    case AdversarySpec::Kind::kBruteForce:
+      pipeline.push_back(phase(adversary::PhaseKind::kBruteForce));
+      break;
+    case AdversarySpec::Kind::kGradeRecovery:
+      pipeline.push_back(phase(adversary::PhaseKind::kGradeRecovery));
+      break;
+    case AdversarySpec::Kind::kVoteFlood:
+      pipeline.push_back(phase(adversary::PhaseKind::kVoteFlood));
+      break;
+    case AdversarySpec::Kind::kCombined:
+      // §9 combined strategy: a network-level blackout over part of the
+      // population while the brute-force adversary drains the remainder at
+      // the application level. The blackout also severs the brute-force
+      // lanes into covered victims, so the effortful attack concentrates on
+      // whoever can still communicate. Pipe stoppage installs first — the
+      // ordering the old hard-coded switch used, now part of the canonical
+      // pipeline's bit-identity contract.
+      pipeline.push_back(phase(adversary::PhaseKind::kPipeStoppage));
+      pipeline.push_back(phase(adversary::PhaseKind::kBruteForce));
+      break;
+  }
+  return pipeline;
+}
+
+adversary::AdversaryPipeline effective_pipeline(const AdversarySpec& spec) {
+  return spec.pipeline.empty() ? canonical_pipeline(spec) : spec.pipeline;
+}
+
 RunResult run_scenario(const ScenarioConfig& config) {
   sim::Simulator simulator;
   sim::Rng root(config.seed);
@@ -162,80 +208,31 @@ RunResult run_scenario(const ScenarioConfig& config) {
   }
 
   // --- Adversary --------------------------------------------------------------
-  std::unique_ptr<adversary::PipeStoppageAdversary> pipe_stoppage;
-  std::unique_ptr<adversary::AdmissionFloodAdversary> admission_flood;
-  std::unique_ptr<adversary::BruteForceAdversary> brute_force;
-  std::unique_ptr<adversary::GradeRecoveryAdversary> grade_recovery;
-  std::unique_ptr<adversary::VoteFloodAdversary> vote_flood;
+  // Every spec — legacy single enum or explicit multi-phase pipeline — is
+  // installed through the AdversaryFleet. Minions with fixed identity sets
+  // register like everyone else (their per-victim reputation entries then
+  // live in the dense slot arrays); the admission-flood adversary spoofs
+  // unbounded fresh ids and stays on the substrates' overflow path by
+  // design. The fleet consumes one root split per phase in phase order, so
+  // canonical single-kind pipelines reproduce the pre-pipeline RNG stream
+  // exactly (golden corpus pins this).
   std::vector<peer::Peer*> victim_ptrs;
   for (auto& p : peers) {
     victim_ptrs.push_back(p.get());
   }
-  // Adversary minions with fixed identity sets register like everyone else
-  // (their per-victim reputation entries then live in the dense slot
-  // arrays); the admission-flood adversary spoofs unbounded fresh ids and
-  // stays on the substrates' overflow path by design.
-  const auto register_minions = [&](uint32_t id_base, uint32_t count) {
-    for (uint32_t m = 0; m < count; ++m) {
-      registry.register_node(net::NodeId{id_base + m});
-    }
-  };
-  const auto start_pipe_stoppage = [&] {
-    pipe_stoppage = std::make_unique<adversary::PipeStoppageAdversary>(
-        simulator, network, root.split(), config.adversary.cadence, ids);
-    pipe_stoppage->start();
-  };
-  const auto start_brute_force = [&] {
-    adversary::BruteForceConfig bf;
-    bf.defection = config.adversary.defection;
-    register_minions(bf.minion_id_base, bf.minion_count);
-    brute_force = std::make_unique<adversary::BruteForceAdversary>(
-        simulator, network, root.split(), bf, victim_ptrs, aus, config.params, config.costs);
-    brute_force->start();
-  };
-  switch (config.adversary.kind) {
-    case AdversarySpec::Kind::kNone:
-      break;
-    case AdversarySpec::Kind::kPipeStoppage:
-      start_pipe_stoppage();
-      break;
-    case AdversarySpec::Kind::kAdmissionFlood: {
-      adversary::AdmissionFloodConfig flood;
-      flood.cadence = config.adversary.cadence;
-      admission_flood = std::make_unique<adversary::AdmissionFloodAdversary>(
-          simulator, network, root.split(), flood, victim_ptrs, aus, config.params);
-      admission_flood->start();
-      break;
-    }
-    case AdversarySpec::Kind::kBruteForce:
-      start_brute_force();
-      break;
-    case AdversarySpec::Kind::kGradeRecovery: {
-      const adversary::GradeRecoveryConfig gr{};
-      register_minions(gr.minion_id_base, gr.minion_count);
-      grade_recovery = std::make_unique<adversary::GradeRecoveryAdversary>(
-          simulator, network, root.split(), gr, victim_ptrs, aus, config.params, config.costs);
-      grade_recovery->start();
-      break;
-    }
-    case AdversarySpec::Kind::kVoteFlood: {
-      const adversary::VoteFloodConfig vf{};
-      register_minions(vf.minion_id_base, vf.minion_count);
-      vote_flood = std::make_unique<adversary::VoteFloodAdversary>(
-          simulator, network, root.split(), vf, victim_ptrs, aus);
-      vote_flood->start();
-      break;
-    }
-    case AdversarySpec::Kind::kCombined:
-      // §9 combined strategy: a network-level blackout over part of the
-      // population while the brute-force adversary drains the remainder at
-      // the application level. The blackout also severs the brute-force
-      // lanes into covered victims, so the effortful attack concentrates on
-      // whoever can still communicate.
-      start_pipe_stoppage();
-      start_brute_force();
-      break;
-  }
+  const adversary::AdversaryPipeline pipeline = effective_pipeline(config.adversary);
+  adversary::FleetEnvironment fleet_env;
+  fleet_env.simulator = &simulator;
+  fleet_env.network = &network;
+  fleet_env.registry = &registry;
+  fleet_env.reserved_low_ids = config.peer_count + config.newcomer_count;
+  fleet_env.loyal_ids = ids;
+  fleet_env.victims = victim_ptrs;
+  fleet_env.aus = aus;
+  fleet_env.params = &config.params;
+  fleet_env.costs = &config.costs;
+  adversary::AdversaryFleet fleet(fleet_env, pipeline, root);
+  fleet.start();
 
   // --- Trace sampling ----------------------------------------------------------
   // Fixed-interval §6.1 time series. Every sampled quantity is a pure read
@@ -254,18 +251,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
     }
     return total;
   };
-  const auto adversary_effort_now = [&]() -> double {
-    if (brute_force) {
-      return brute_force->meter().total();
-    }
-    if (grade_recovery) {
-      return grade_recovery->meter().total();
-    }
-    if (vote_flood) {
-      return vote_flood->meter().total();
-    }
-    return 0.0;
-  };
+  const auto adversary_effort_now = [&]() -> double { return fleet.effort_seconds(); };
   const auto sample_trace = [&](sim::SimTime t) {
     metrics::TracePoint point;
     point.t = t;
@@ -321,17 +307,8 @@ RunResult run_scenario(const ScenarioConfig& config) {
   result.messages_filtered = network.stats().messages_filtered;
   result.events_processed = simulator.events_processed();
   result.peak_queue_depth = simulator.peak_queue_depth();
-  if (brute_force) {
-    result.adversary_invitations = brute_force->invitations_sent();
-    result.adversary_admissions = brute_force->admissions();
-  } else if (admission_flood) {
-    result.adversary_invitations = admission_flood->probes_sent();
-  } else if (grade_recovery) {
-    result.adversary_invitations = grade_recovery->defecting_polls();
-    result.adversary_admissions = grade_recovery->votes_supplied();
-  } else if (vote_flood) {
-    result.adversary_invitations = vote_flood->votes_sent();
-  }
+  result.adversary_invitations = fleet.invitations();
+  result.adversary_admissions = fleet.admissions();
   if (config.collect_schedule_history) {
     result.schedules.reserve(peers.size());
     for (auto& p : peers) {

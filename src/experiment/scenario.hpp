@@ -22,6 +22,7 @@
 
 #include "adversary/attack_schedule.hpp"
 #include "adversary/brute_force.hpp"
+#include "adversary/pipeline.hpp"
 #include "crypto/cost_model.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/trace.hpp"
@@ -44,7 +45,24 @@ struct AdversarySpec {
   Kind kind = Kind::kNone;
   adversary::AttackCadence cadence;  // pipe stoppage / admission flood / combined
   adversary::DefectionPoint defection = adversary::DefectionPoint::kNone;  // brute force/combined
+  // Composable multi-adversary pipeline (§9). When non-empty it takes
+  // precedence over `kind` and is installed verbatim; when empty, `kind` is
+  // expanded via canonical_pipeline() below. Every run — legacy enum or
+  // explicit pipeline — therefore flows through adversary::AdversaryFleet.
+  adversary::AdversaryPipeline pipeline;
 };
+
+// The canonical pipeline for a legacy single-enum spec: one phase per kind
+// (two for kCombined: pipe stoppage then brute force, the §9 ordering),
+// carrying the spec's cadence and defection point. Bit-identical to the old
+// hard-coded adversary switch by the fleet's determinism contract; the
+// equivalence is property-tested (tests/adversary_pipeline_test.cpp) and
+// pinned by the golden corpus.
+adversary::AdversaryPipeline canonical_pipeline(const AdversarySpec& spec);
+
+// The pipeline a ScenarioConfig will actually install: spec.pipeline when
+// non-empty, else canonical_pipeline(spec).
+adversary::AdversaryPipeline effective_pipeline(const AdversarySpec& spec);
 
 struct ScenarioConfig {
   uint32_t peer_count = 100;   // §6.3: "a constant loyal peer population of 100"

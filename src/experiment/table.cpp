@@ -7,8 +7,9 @@
 
 namespace lockss::experiment {
 
-TableWriter::TableWriter(std::vector<std::string> columns, const std::string& csv_path)
-    : columns_(std::move(columns)) {
+TableWriter::TableWriter(std::vector<std::string> columns, const std::string& csv_path,
+                         bool echo_stdout)
+    : columns_(std::move(columns)), echo_stdout_(echo_stdout) {
   widths_.reserve(columns_.size());
   for (const std::string& c : columns_) {
     widths_.push_back(std::max<size_t>(c.size() + 2, 12));
@@ -20,20 +21,23 @@ TableWriter::TableWriter(std::vector<std::string> columns, const std::string& cs
 }
 
 void TableWriter::header() {
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    std::cout << columns_[i];
-    if (i + 1 < columns_.size()) {
-      std::cout << std::string(widths_[i] - columns_[i].size(), ' ');
+  if (echo_stdout_) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::cout << columns_[i];
+      if (i + 1 < columns_.size()) {
+        std::cout << std::string(widths_[i] - columns_[i].size(), ' ');
+      }
     }
-  }
-  std::cout << "\n";
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    std::cout << std::string(std::min(widths_[i] - 2, columns_[i].size() + 4), '-');
-    if (i + 1 < columns_.size()) {
-      std::cout << std::string(widths_[i] - std::min(widths_[i] - 2, columns_[i].size() + 4), ' ');
+    std::cout << "\n";
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::cout << std::string(std::min(widths_[i] - 2, columns_[i].size() + 4), '-');
+      if (i + 1 < columns_.size()) {
+        std::cout << std::string(widths_[i] -
+                                 std::min(widths_[i] - 2, columns_[i].size() + 4), ' ');
+      }
     }
+    std::cout << "\n";
   }
-  std::cout << "\n";
   if (csv_open_) {
     for (size_t i = 0; i < columns_.size(); ++i) {
       csv_ << columns_[i] << (i + 1 < columns_.size() ? "," : "\n");
@@ -43,15 +47,17 @@ void TableWriter::header() {
 
 void TableWriter::row(const std::vector<std::string>& cells) {
   assert(cells.size() == columns_.size());
-  for (size_t i = 0; i < cells.size(); ++i) {
-    std::cout << cells[i];
-    if (i + 1 < cells.size() && cells[i].size() < widths_[i]) {
-      std::cout << std::string(widths_[i] - cells[i].size(), ' ');
-    } else if (i + 1 < cells.size()) {
-      std::cout << "  ";
+  if (echo_stdout_) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::cout << cells[i];
+      if (i + 1 < cells.size() && cells[i].size() < widths_[i]) {
+        std::cout << std::string(widths_[i] - cells[i].size(), ' ');
+      } else if (i + 1 < cells.size()) {
+        std::cout << "  ";
+      }
     }
+    std::cout << "\n" << std::flush;
   }
-  std::cout << "\n" << std::flush;
   if (csv_open_) {
     for (size_t i = 0; i < cells.size(); ++i) {
       csv_ << cells[i] << (i + 1 < cells.size() ? "," : "\n");

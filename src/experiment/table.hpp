@@ -17,7 +17,14 @@ namespace lockss::experiment {
 
 class TableWriter {
  public:
-  explicit TableWriter(std::vector<std::string> columns, const std::string& csv_path = "");
+  // `echo_stdout` = false silences the console table (CSV mirroring only;
+  // the campaign engine's --quiet mode).
+  explicit TableWriter(std::vector<std::string> columns, const std::string& csv_path = "",
+                       bool echo_stdout = true);
+
+  // True when a CSV path was given and the file opened; callers that
+  // promised a CSV should treat false as an I/O error.
+  bool csv_ok() const { return csv_open_; }
 
   // Prints (and mirrors) the header row.
   void header();
@@ -33,6 +40,7 @@ class TableWriter {
   std::vector<size_t> widths_;
   std::ofstream csv_;
   bool csv_open_ = false;
+  bool echo_stdout_ = true;
 };
 
 // Writes labelled metric time series in long form — one row per (series,

@@ -13,6 +13,22 @@
 
 namespace lockss::net {
 
+// Closed vocabulary of wire messages, one tag per concrete type in
+// protocol/messages.hpp. Receivers dispatch on this tag with a switch and a
+// single static_cast instead of walking a dynamic_cast chain per delivery —
+// the chain was the top remaining per-message cost after the PR 3 substrate
+// work (one RTTI comparison per candidate type, ~4 deep on average).
+enum class MessageKind : uint8_t {
+  kOther = 0,  // not a protocol message; receivers ignore it
+  kPoll,
+  kPollAck,
+  kPollProof,
+  kVote,
+  kRepairRequest,
+  kRepair,
+  kEvaluationReceipt,
+};
+
 class Message {
  public:
   virtual ~Message() = default;
@@ -22,6 +38,9 @@ class Message {
 
   // Stable name for logging and statistics ("Poll", "Vote", ...).
   virtual const char* type_name() const = 0;
+
+  // Dispatch tag; kOther for anything outside the protocol vocabulary.
+  virtual MessageKind kind() const { return MessageKind::kOther; }
 
   NodeId from;
   NodeId to;

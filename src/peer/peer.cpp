@@ -111,57 +111,66 @@ void Peer::maintenance() {
 }
 
 void Peer::handle_message(net::MessagePtr message) {
-  auto* base = dynamic_cast<protocol::ProtocolMessage*>(message.get());
-  if (base == nullptr) {
-    return;  // not a protocol message; ignore
-  }
-  if (auto* poll = dynamic_cast<protocol::PollMsg*>(base)) {
-    if (voters_.contains(poll->poll_id)) {
-      return;  // duplicate invitation for a live session
+  // One virtual tag load + switch; the static_casts are sound because the
+  // tag is owned by the concrete type (messages.hpp).
+  switch (message->kind()) {
+    case net::MessageKind::kPoll: {
+      const auto& poll = static_cast<const protocol::PollMsg&>(*message);
+      if (voters_.contains(poll.poll_id)) {
+        return;  // duplicate invitation for a live session
+      }
+      protocol::AdmissionVerdict verdict;
+      auto session = protocol::VoterSession::consider_invitation(*this, poll, &verdict);
+      ++admission_verdicts_[static_cast<size_t>(verdict)];
+      if (session != nullptr) {
+        voters_.insert(poll.poll_id, std::move(session));
+      }
+      return;
     }
-    protocol::AdmissionVerdict verdict;
-    auto session = protocol::VoterSession::consider_invitation(*this, *poll, &verdict);
-    ++admission_verdicts_[static_cast<size_t>(verdict)];
-    if (session != nullptr) {
-      voters_.insert(poll->poll_id, std::move(session));
+    case net::MessageKind::kPollAck: {
+      const auto& ack = static_cast<const protocol::PollAckMsg&>(*message);
+      if (auto* s = find_poller_session(ack.poll_id)) {
+        s->on_poll_ack(ack);
+      }
+      return;
     }
-    return;
-  }
-  if (auto* ack = dynamic_cast<protocol::PollAckMsg*>(base)) {
-    if (auto* s = find_poller_session(ack->poll_id)) {
-      s->on_poll_ack(*ack);
+    case net::MessageKind::kPollProof: {
+      const auto& proof = static_cast<const protocol::PollProofMsg&>(*message);
+      if (auto* s = find_voter_session(proof.poll_id)) {
+        s->on_poll_proof(proof);
+      }
+      return;
     }
-    return;
-  }
-  if (auto* proof = dynamic_cast<protocol::PollProofMsg*>(base)) {
-    if (auto* s = find_voter_session(proof->poll_id)) {
-      s->on_poll_proof(*proof);
+    case net::MessageKind::kVote: {
+      const auto& vote = static_cast<const protocol::VoteMsg&>(*message);
+      if (auto* s = find_poller_session(vote.poll_id)) {
+        s->on_vote(vote);
+      }
+      return;
     }
-    return;
-  }
-  if (auto* vote = dynamic_cast<protocol::VoteMsg*>(base)) {
-    if (auto* s = find_poller_session(vote->poll_id)) {
-      s->on_vote(*vote);
+    case net::MessageKind::kRepairRequest: {
+      const auto& request = static_cast<const protocol::RepairRequestMsg&>(*message);
+      if (auto* s = find_voter_session(request.poll_id)) {
+        s->on_repair_request(request);
+      }
+      return;
     }
-    return;
-  }
-  if (auto* request = dynamic_cast<protocol::RepairRequestMsg*>(base)) {
-    if (auto* s = find_voter_session(request->poll_id)) {
-      s->on_repair_request(*request);
+    case net::MessageKind::kRepair: {
+      const auto& repair = static_cast<const protocol::RepairMsg&>(*message);
+      if (auto* s = find_poller_session(repair.poll_id)) {
+        s->on_repair(repair);
+      }
+      return;
     }
-    return;
-  }
-  if (auto* repair = dynamic_cast<protocol::RepairMsg*>(base)) {
-    if (auto* s = find_poller_session(repair->poll_id)) {
-      s->on_repair(*repair);
+    case net::MessageKind::kEvaluationReceipt: {
+      const auto& receipt = static_cast<const protocol::EvaluationReceiptMsg&>(*message);
+      if (auto* s = find_voter_session(receipt.poll_id)) {
+        s->on_receipt(receipt);
+      }
+      return;
     }
-    return;
-  }
-  if (auto* receipt = dynamic_cast<protocol::EvaluationReceiptMsg*>(base)) {
-    if (auto* s = find_voter_session(receipt->poll_id)) {
-      s->on_receipt(*receipt);
-    }
-    return;
+    case net::MessageKind::kOther:
+      return;  // not a protocol message; ignore
   }
 }
 

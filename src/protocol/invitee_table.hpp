@@ -1,0 +1,167 @@
+// Per-poll invitee state, flattened onto the deployment slot registry.
+//
+// A PollerSession tracks one record per invited voter — phase, nonce,
+// timeout, attempt count — and resolves it on every solicitation event, ack,
+// vote, and timeout. The seed kept the records in std::map<NodeId, Invitee>:
+// a node allocation per invitee and an ordered walk per resolve, the last
+// remaining map on the per-message path after PR 3 (ROADMAP). This table
+// stores the records in one compact vector (insertion order) and finds them
+// through the deployment's net::NodeSlotRegistry: a registered id resolves
+// via a direct slot→record index load — O(1), no compare walk. Unregistered
+// ids (a spoofed identity nominated into the outer circle, or hand-built
+// hosts with no registry) fall back to a small ordered map with seed
+// semantics.
+//
+// Determinism: ordered iteration (for_each_ordered) visits records in
+// ascending NodeId order — the seed map's iteration order — merging the
+// registered records (slot order ≡ NodeId order, the registry contract)
+// with the overflow map. The seed container is preserved as
+// InviteeTableReference and property-checked equivalent
+// (tests/substrate_equivalence_test.cpp).
+#ifndef LOCKSS_PROTOCOL_INVITEE_TABLE_HPP_
+#define LOCKSS_PROTOCOL_INVITEE_TABLE_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "net/node_slot_registry.hpp"
+
+namespace lockss::protocol {
+
+template <typename V>
+class InviteeTable {
+ public:
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  // `nodes` may be null (hand-built hosts, unit tests): every id then takes
+  // the overflow-map path, which is the seed behavior.
+  explicit InviteeTable(const net::NodeSlotRegistry* nodes = nullptr) : nodes_(nodes) {}
+
+  V* find(net::NodeId id) {
+    const uint32_t index = index_of(id);
+    return index == kNone ? nullptr : &records_[index].value;
+  }
+  const V* find(net::NodeId id) const {
+    const uint32_t index = index_of(id);
+    return index == kNone ? nullptr : &records_[index].value;
+  }
+  bool contains(net::NodeId id) const { return index_of(id) != kNone; }
+
+  // Find-or-insert, the seed map's operator[].
+  V& operator[](net::NodeId id) {
+    const uint32_t existing = index_of(id);
+    if (existing != kNone) {
+      return records_[existing].value;
+    }
+    const uint32_t index = static_cast<uint32_t>(records_.size());
+    records_.push_back(Record{id, V{}});
+    const uint32_t slot =
+        nodes_ != nullptr ? nodes_->index_of(id) : net::NodeSlotRegistry::kUnassigned;
+    if (slot != net::NodeSlotRegistry::kUnassigned) {
+      if (slot >= slot_index_.size()) {
+        // One growth to the registry's (setup-time fixed) count; the poll
+        // path after the inner-circle sample allocates nothing new.
+        slot_index_.resize(nodes_->count(), kNone);
+      }
+      slot_index_[slot] = index;
+    } else {
+      overflow_.emplace(id, index);
+    }
+    return records_[index].value;
+  }
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  // Unordered sweep in insertion order — for commutative teardown work
+  // (cancelling timeouts); no allocation.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Record& record : records_) {
+      fn(record.id, record.value);
+    }
+  }
+
+  // Ascending-NodeId sweep, the seed std::map's iteration order. Sorts a
+  // small key list per call; used once per poll (begin_evaluation), not per
+  // message.
+  template <typename Fn>
+  void for_each_ordered(Fn&& fn) {
+    std::vector<uint32_t> order(records_.size());
+    for (uint32_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+      return records_[a].id < records_[b].id;
+    });
+    for (uint32_t index : order) {
+      fn(records_[index].id, records_[index].value);
+    }
+  }
+
+ private:
+  struct Record {
+    net::NodeId id;
+    V value;
+  };
+
+  uint32_t index_of(net::NodeId id) const {
+    if (nodes_ != nullptr) {
+      const uint32_t slot = nodes_->index_of(id);
+      if (slot != net::NodeSlotRegistry::kUnassigned) {
+        return slot < slot_index_.size() ? slot_index_[slot] : kNone;
+      }
+    }
+    if (overflow_.empty()) {
+      return kNone;
+    }
+    auto it = overflow_.find(id);
+    return it == overflow_.end() ? kNone : it->second;
+  }
+
+  const net::NodeSlotRegistry* nodes_;
+  std::vector<Record> records_;            // insertion order; stable indices
+  std::vector<uint32_t> slot_index_;       // registry slot → record index
+  std::map<net::NodeId, uint32_t> overflow_;  // unregistered ids only
+};
+
+// The seed container (std::map keyed by NodeId) behind the same interface,
+// for the equivalence property test and the before/after benchmark.
+template <typename V>
+class InviteeTableReference {
+ public:
+  explicit InviteeTableReference(const net::NodeSlotRegistry* /*nodes*/ = nullptr) {}
+
+  V* find(net::NodeId id) {
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  const V* find(net::NodeId id) const {
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  bool contains(net::NodeId id) const { return map_.contains(id); }
+  V& operator[](net::NodeId id) { return map_[id]; }
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [id, value] : map_) {
+      fn(id, value);
+    }
+  }
+  template <typename Fn>
+  void for_each_ordered(Fn&& fn) {
+    for_each(fn);
+  }
+
+ private:
+  std::map<net::NodeId, V> map_;
+};
+
+}  // namespace lockss::protocol
+
+#endif  // LOCKSS_PROTOCOL_INVITEE_TABLE_HPP_

@@ -46,6 +46,7 @@ class PollMsg : public ProtocolMessage {
 
   uint64_t size_bytes() const override { return 1024; }
   const char* type_name() const override { return "Poll"; }
+  net::MessageKind kind() const override { return net::MessageKind::kPoll; }
 };
 
 // PollAck: acceptance or refusal of the invitation (§4.1).
@@ -55,6 +56,7 @@ class PollAckMsg : public ProtocolMessage {
 
   uint64_t size_bytes() const override { return 256; }
   const char* type_name() const override { return "PollAck"; }
+  net::MessageKind kind() const override { return net::MessageKind::kPollAck; }
 };
 
 // PollProof: the balance of the solicitation effort plus the vote nonce.
@@ -65,6 +67,7 @@ class PollProofMsg : public ProtocolMessage {
 
   uint64_t size_bytes() const override { return 1280; }
   const char* type_name() const override { return "PollProof"; }
+  net::MessageKind kind() const override { return net::MessageKind::kPollProof; }
 };
 
 // Vote: running block hashes over (nonce, replica), the vote's own effort
@@ -81,6 +84,7 @@ class VoteMsg : public ProtocolMessage {
     return 1024 + 20 * block_hashes.size() + 8 * nominations.size();
   }
   const char* type_name() const override { return "Vote"; }
+  net::MessageKind kind() const override { return net::MessageKind::kVote; }
 };
 
 // RepairRequest: the poller asks a disagreeing voter for one block (§4.3).
@@ -90,6 +94,7 @@ class RepairRequestMsg : public ProtocolMessage {
 
   uint64_t size_bytes() const override { return 256; }
   const char* type_name() const override { return "RepairRequest"; }
+  net::MessageKind kind() const override { return net::MessageKind::kRepairRequest; }
 };
 
 // Repair: the block content. Dominates wire cost (megabytes).
@@ -101,6 +106,7 @@ class RepairMsg : public ProtocolMessage {
 
   uint64_t size_bytes() const override { return 512 + wire_block_bytes; }
   const char* type_name() const override { return "Repair"; }
+  net::MessageKind kind() const override { return net::MessageKind::kRepair; }
 };
 
 // EvaluationReceipt: unforgeable proof the poller evaluated the vote —
@@ -111,6 +117,7 @@ class EvaluationReceiptMsg : public ProtocolMessage {
 
   uint64_t size_bytes() const override { return 256; }
   const char* type_name() const override { return "EvaluationReceipt"; }
+  net::MessageKind kind() const override { return net::MessageKind::kEvaluationReceipt; }
 };
 
 }  // namespace lockss::protocol

@@ -34,15 +34,13 @@ const char* poll_outcome_name(PollOutcomeKind kind) {
 }
 
 PollerSession::PollerSession(PeerHost& host, storage::AuId au, PollId poll_id)
-    : host_(host), au_(au), poll_id_(poll_id) {}
+    : host_(host), au_(au), poll_id_(poll_id), invitees_(host.node_registry()) {}
 
 PollerSession::~PollerSession() {
   for (auto& handle : pending_events_) {
     handle.cancel();
   }
-  for (auto& [voter, invitee] : invitees_) {
-    invitee.timeout.cancel();
-  }
+  invitees_.for_each([](net::NodeId, Invitee& invitee) { invitee.timeout.cancel(); });
   repair_timeout_handle_.cancel();
 }
 
@@ -91,9 +89,9 @@ void PollerSession::solicit(net::NodeId voter) {
   if (concluded_) {
     return;
   }
-  auto it = invitees_.find(voter);
-  if (it == invitees_.end() || it->second.phase == InviteePhase::kFailed ||
-      it->second.phase == InviteePhase::kVoted) {
+  Invitee* invitee = invitees_.find(voter);
+  if (invitee == nullptr || invitee->phase == InviteePhase::kFailed ||
+      invitee->phase == InviteePhase::kVoted) {
     return;
   }
   const sim::SimTime now = host_.simulator().now();
@@ -101,7 +99,7 @@ void PollerSession::solicit(net::NodeId voter) {
     fail_invitee(voter, /*misbehaved=*/false);
     return;
   }
-  ++it->second.attempts;
+  ++invitee->attempts;
   // TLS session establishment for this exchange (§4.1).
   host_.meter().charge(sched::EffortCategory::kHandshake, host_.costs().session_handshake_seconds);
 
@@ -118,8 +116,8 @@ void PollerSession::solicit(net::NodeId voter) {
                retry_later(voter);
                return;
              }
-             auto inv = invitees_.find(voter);
-             if (inv == invitees_.end()) {
+             Invitee* inv = invitees_.find(voter);
+             if (inv == nullptr) {
                return;
              }
              auto poll = std::make_unique<PollMsg>();
@@ -129,8 +127,8 @@ void PollerSession::solicit(net::NodeId voter) {
              poll->vote_deadline = solicitation_end_;
              host_.send(voter, std::move(poll));
              host_.note_solicitation_sent();
-             inv->second.phase = InviteePhase::kAwaitingAck;
-             inv->second.timeout = host_.simulator().schedule_in(
+             inv->phase = InviteePhase::kAwaitingAck;
+             inv->timeout = host_.simulator().schedule_in(
                  host_.params().poll_ack_timeout, [&host = host_, id = poll_id_, voter] {
                    if (auto* s = host.find_poller_session(id)) {
                      s->ack_timeout(voter);
@@ -140,8 +138,8 @@ void PollerSession::solicit(net::NodeId voter) {
 }
 
 void PollerSession::retry_later(net::NodeId voter) {
-  auto it = invitees_.find(voter);
-  if (it == invitees_.end()) {
+  Invitee* invitee = invitees_.find(voter);
+  if (invitee == nullptr) {
     return;
   }
   // "Re-trying the reluctant peer later in the same vote solicitation phase"
@@ -157,17 +155,17 @@ void PollerSession::retry_later(net::NodeId voter) {
   }
   const sim::SimTime latest =
       std::min(earliest + host_.params().min_retry_gap, solicitation_end_);
-  it->second.phase = InviteePhase::kScheduled;
+  invitee->phase = InviteePhase::kScheduled;
   schedule_solicitation(voter, host_.rng().uniform_time(earliest, latest));
 }
 
 void PollerSession::fail_invitee(net::NodeId voter, bool misbehaved) {
-  auto it = invitees_.find(voter);
-  if (it == invitees_.end()) {
+  Invitee* invitee = invitees_.find(voter);
+  if (invitee == nullptr) {
     return;
   }
-  it->second.timeout.cancel();
-  it->second.phase = InviteePhase::kFailed;
+  invitee->timeout.cancel();
+  invitee->phase = InviteePhase::kFailed;
   if (misbehaved) {
     // The voter committed (affirmative PollAck) but never delivered (§5.1).
     host_.known_peers(au_).record_misbehavior(voter, host_.simulator().now());
@@ -175,8 +173,8 @@ void PollerSession::fail_invitee(net::NodeId voter, bool misbehaved) {
 }
 
 void PollerSession::ack_timeout(net::NodeId voter) {
-  auto it = invitees_.find(voter);
-  if (it == invitees_.end() || it->second.phase != InviteePhase::kAwaitingAck) {
+  Invitee* invitee = invitees_.find(voter);
+  if (invitee == nullptr || invitee->phase != InviteePhase::kAwaitingAck) {
     return;
   }
   // Silence is normal: admission control drops invitations without reply
@@ -186,8 +184,8 @@ void PollerSession::ack_timeout(net::NodeId voter) {
 }
 
 void PollerSession::vote_timeout(net::NodeId voter) {
-  auto it = invitees_.find(voter);
-  if (it == invitees_.end() || it->second.phase != InviteePhase::kAwaitingVote) {
+  Invitee* invitee = invitees_.find(voter);
+  if (invitee == nullptr || invitee->phase != InviteePhase::kAwaitingVote) {
     return;
   }
   ++vote_timeouts_;
@@ -198,18 +196,18 @@ void PollerSession::on_poll_ack(const PollAckMsg& ack) {
   if (concluded_) {
     return;
   }
-  auto it = invitees_.find(ack.from);
-  if (it == invitees_.end() || it->second.phase != InviteePhase::kAwaitingAck) {
+  Invitee* invitee = invitees_.find(ack.from);
+  if (invitee == nullptr || invitee->phase != InviteePhase::kAwaitingAck) {
     return;  // unsolicited or stale
   }
-  it->second.timeout.cancel();
+  invitee->timeout.cancel();
   if (!ack.accept) {
     ++refusals_;
     retry_later(ack.from);
     return;
   }
   ++acks_received_;
-  it->second.phase = InviteePhase::kPreparingProof;
+  invitee->phase = InviteePhase::kPreparingProof;
   // "Upon receiving the affirmative PollAck, the poller performs the balance
   // of the provable effort" (§5.1). The voter's PollProof hold is short, so
   // the proof must be produced promptly or the slot is lost.
@@ -222,8 +220,8 @@ void PollerSession::on_poll_ack(const PollAckMsg& ack) {
              if (concluded_) {
                return;
              }
-             auto inv = invitees_.find(voter);
-             if (inv == invitees_.end() || inv->second.phase != InviteePhase::kPreparingProof) {
+             Invitee* inv = invitees_.find(voter);
+             if (inv == nullptr || inv->phase != InviteePhase::kPreparingProof) {
                return;
              }
              if (!ok) {
@@ -237,10 +235,10 @@ void PollerSession::on_poll_ack(const PollAckMsg& ack) {
              proof->au = au_;
              proof->remaining_effort = host_.mbf().generate(remaining);
              proof->vote_nonce = crypto::Digest64{host_.rng().next_u64() | 1};
-             inv->second.nonce = proof->vote_nonce;
+             inv->nonce = proof->vote_nonce;
              host_.send(voter, std::move(proof));
-             inv->second.phase = InviteePhase::kAwaitingVote;
-             inv->second.timeout = host_.simulator().schedule_in(
+             inv->phase = InviteePhase::kAwaitingVote;
+             inv->timeout = host_.simulator().schedule_in(
                  host_.params().vote_window + host_.params().vote_slack,
                  [&host = host_, id = poll_id_, voter] {
                    if (auto* s = host.find_poller_session(id)) {
@@ -254,14 +252,14 @@ void PollerSession::on_vote(const VoteMsg& vote) {
   if (concluded_) {
     return;
   }
-  auto it = invitees_.find(vote.from);
-  if (it == invitees_.end() || it->second.phase != InviteePhase::kAwaitingVote) {
+  Invitee* invitee = invitees_.find(vote.from);
+  if (invitee == nullptr || invitee->phase != InviteePhase::kAwaitingVote) {
     return;  // "Unsolicited votes are ignored." (§5.1)
   }
-  it->second.timeout.cancel();
-  it->second.phase = InviteePhase::kVoted;
-  votes_.push_back(StoredVote{vote.from, it->second.nonce, vote.block_hashes, vote.vote_effort,
-                              it->second.inner});
+  invitee->timeout.cancel();
+  invitee->phase = InviteePhase::kVoted;
+  votes_.push_back(
+      StoredVote{vote.from, invitee->nonce, vote.block_hashes, vote.vote_effort, invitee->inner});
   // Discovery (§4.2/§5.1): the poller randomly partitions the vote's peer
   // identities into outer-circle nominations and introductions.
   for (net::NodeId nominee : vote.nominations) {
@@ -304,7 +302,9 @@ void PollerSession::begin_evaluation() {
     return;
   }
   // Give up on anything still in flight; votes can no longer be used.
-  for (auto& [voter, invitee] : invitees_) {
+  // Ordered sweep: reputation crashes land in ascending NodeId order, the
+  // seed map's iteration order.
+  invitees_.for_each_ordered([this](net::NodeId voter, Invitee& invitee) {
     if (invitee.phase == InviteePhase::kAwaitingAck ||
         invitee.phase == InviteePhase::kScheduled) {
       invitee.timeout.cancel();
@@ -315,7 +315,7 @@ void PollerSession::begin_evaluation() {
       // cut off (or deserted); it takes the reputation consequence.
       fail_invitee(voter, /*misbehaved=*/true);
     }
-  }
+  });
 
   const size_t inner_votes =
       static_cast<size_t>(std::count_if(votes_.begin(), votes_.end(),
@@ -572,9 +572,7 @@ void PollerSession::conclude(PollOutcomeKind kind) {
   for (auto& handle : pending_events_) {
     handle.cancel();
   }
-  for (auto& [voter, invitee] : invitees_) {
-    invitee.timeout.cancel();
-  }
+  invitees_.for_each([](net::NodeId, Invitee& invitee) { invitee.timeout.cancel(); });
   repair_timeout_handle_.cancel();
   // Release any still-booked future slots.
   for (sched::ReservationId rid : active_reservations_) {

@@ -23,12 +23,12 @@
 #define LOCKSS_PROTOCOL_POLLER_SESSION_HPP_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "protocol/host.hpp"
+#include "protocol/invitee_table.hpp"
 #include "protocol/messages.hpp"
 #include "protocol/tally.hpp"
 
@@ -117,7 +117,9 @@ class PollerSession {
   sim::SimTime solicitation_end_;
   sim::SimTime poll_end_;
 
-  std::map<net::NodeId, Invitee> invitees_;
+  // Flat slot-registry-backed invitee records (seed: std::map; see
+  // protocol/invitee_table.hpp for the layout and determinism notes).
+  InviteeTable<Invitee> invitees_;
   std::vector<StoredVote> votes_;
   std::vector<net::NodeId> nomination_pool_;  // outer-circle candidates
   bool outer_circle_started_ = false;

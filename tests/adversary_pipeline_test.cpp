@@ -1,0 +1,182 @@
+// Adversary pipeline model: enum-kind ↔ canonical-pipeline equivalence and
+// phase-window semantics.
+//
+// The equivalence half is the contract that let PR 4 route every scenario —
+// legacy single-enum specs included — through adversary::AdversaryFleet: a
+// config carrying AdversarySpec::Kind k must produce a bit-identical
+// RunResult to the same config carrying canonical_pipeline(k) explicitly.
+// The golden corpus pins the fleet against the pre-pipeline implementation;
+// this test pins the enum path against the explicit-pipeline path for every
+// kind, so neither can drift without failing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adversary/pipeline.hpp"
+#include "experiment/scenario.hpp"
+
+namespace lockss::experiment {
+namespace {
+
+// Exact equality over every deterministic field (the bench_report
+// `identical` predicate, duplicated so tests stay self-contained).
+void expect_identical(const RunResult& a, const RunResult& b, const std::string& what) {
+  EXPECT_EQ(a.report.access_failure_probability, b.report.access_failure_probability) << what;
+  EXPECT_EQ(a.report.mean_success_gap_days, b.report.mean_success_gap_days) << what;
+  EXPECT_EQ(a.report.successful_polls, b.report.successful_polls) << what;
+  EXPECT_EQ(a.report.inquorate_polls, b.report.inquorate_polls) << what;
+  EXPECT_EQ(a.report.alarms, b.report.alarms) << what;
+  EXPECT_EQ(a.report.repairs, b.report.repairs) << what;
+  EXPECT_EQ(a.report.damage_events, b.report.damage_events) << what;
+  EXPECT_EQ(a.report.loyal_effort_seconds, b.report.loyal_effort_seconds) << what;
+  EXPECT_EQ(a.report.adversary_effort_seconds, b.report.adversary_effort_seconds) << what;
+  EXPECT_EQ(a.polls_started, b.polls_started) << what;
+  EXPECT_EQ(a.solicitations_sent, b.solicitations_sent) << what;
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered) << what;
+  EXPECT_EQ(a.messages_filtered, b.messages_filtered) << what;
+  EXPECT_EQ(a.adversary_invitations, b.adversary_invitations) << what;
+  EXPECT_EQ(a.adversary_admissions, b.adversary_admissions) << what;
+  EXPECT_EQ(a.admission_verdicts, b.admission_verdicts) << what;
+  EXPECT_EQ(a.events_processed, b.events_processed) << what;
+  EXPECT_EQ(a.peak_queue_depth, b.peak_queue_depth) << what;
+  EXPECT_EQ(a.trace == b.trace, true) << what;
+}
+
+ScenarioConfig small_config(uint64_t seed) {
+  ScenarioConfig config;
+  config.peer_count = 12;
+  config.au_count = 2;
+  config.duration = sim::SimTime::days(220);
+  config.seed = seed;
+  config.trace_interval = sim::SimTime::days(30);
+  config.damage.mean_disk_years_between_failures = 0.2;
+  config.damage.aus_per_disk = 2.0;
+  return config;
+}
+
+TEST(AdversaryPipelineTest, EnumKindMatchesCanonicalPipelineBitExactly) {
+  const std::vector<AdversarySpec::Kind> kinds = {
+      AdversarySpec::Kind::kNone,         AdversarySpec::Kind::kPipeStoppage,
+      AdversarySpec::Kind::kAdmissionFlood, AdversarySpec::Kind::kBruteForce,
+      AdversarySpec::Kind::kGradeRecovery,  AdversarySpec::Kind::kVoteFlood,
+      AdversarySpec::Kind::kCombined,
+  };
+  for (uint64_t seed : {1u, 77u}) {
+    for (AdversarySpec::Kind kind : kinds) {
+      ScenarioConfig by_kind = small_config(seed);
+      by_kind.adversary.kind = kind;
+      by_kind.adversary.cadence.attack_duration = sim::SimTime::days(25);
+      by_kind.adversary.cadence.recuperation = sim::SimTime::days(12);
+      by_kind.adversary.cadence.coverage = 0.5;
+      by_kind.adversary.defection = adversary::DefectionPoint::kRemaining;
+
+      ScenarioConfig by_pipeline = by_kind;
+      by_pipeline.adversary.pipeline = canonical_pipeline(by_kind.adversary);
+      // Poison the enum: the explicit pipeline must take precedence.
+      by_pipeline.adversary.kind = AdversarySpec::Kind::kNone;
+      if (kind == AdversarySpec::Kind::kNone) {
+        EXPECT_TRUE(by_pipeline.adversary.pipeline.empty());
+        continue;
+      }
+      EXPECT_EQ(by_pipeline.adversary.pipeline.size(),
+                kind == AdversarySpec::Kind::kCombined ? 2u : 1u);
+
+      expect_identical(run_scenario(by_kind), run_scenario(by_pipeline),
+                       std::string("kind=") + std::to_string(static_cast<int>(kind)) +
+                           " seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(AdversaryPipelineTest, StopWindowDisarmsTheAttack) {
+  // Vote flood for the first 60 days only: strictly fewer bogus votes than
+  // a full-run flood, and identical to it in the window's interior is not
+  // required — only that the tap actually closes.
+  ScenarioConfig full = small_config(3);
+  adversary::AdversaryPhase flood;
+  flood.kind = adversary::PhaseKind::kVoteFlood;
+  full.adversary.pipeline = {flood};
+  const RunResult full_run = run_scenario(full);
+
+  ScenarioConfig windowed = full;
+  windowed.adversary.pipeline[0].stop = sim::SimTime::days(60);
+  const RunResult windowed_run = run_scenario(windowed);
+
+  EXPECT_GT(full_run.adversary_invitations, 0u);
+  EXPECT_GT(windowed_run.adversary_invitations, 0u);
+  EXPECT_LT(windowed_run.adversary_invitations, full_run.adversary_invitations / 2);
+}
+
+TEST(AdversaryPipelineTest, StartDelaysTheAttack) {
+  // A pipe stoppage that only exists in the last quarter filters fewer
+  // messages than one running from day zero.
+  ScenarioConfig early = small_config(4);
+  adversary::AdversaryPhase stoppage;
+  stoppage.kind = adversary::PhaseKind::kPipeStoppage;
+  stoppage.cadence.attack_duration = sim::SimTime::days(30);
+  stoppage.cadence.recuperation = sim::SimTime::days(10);
+  stoppage.cadence.coverage = 1.0;
+  early.adversary.pipeline = {stoppage};
+  const RunResult early_run = run_scenario(early);
+
+  ScenarioConfig late = early;
+  late.adversary.pipeline[0].start = sim::SimTime::days(165);
+  const RunResult late_run = run_scenario(late);
+
+  EXPECT_GT(early_run.messages_filtered, 0u);
+  EXPECT_GT(late_run.messages_filtered, 0u);
+  EXPECT_LT(late_run.messages_filtered, early_run.messages_filtered);
+}
+
+TEST(AdversaryPipelineTest, ConcurrentPhasesBothEngage) {
+  // Pipe stoppage + vote flood running together: the blackout filters
+  // messages while the flood keeps spraying (counted via invitations).
+  ScenarioConfig config = small_config(5);
+  adversary::AdversaryPhase stoppage;
+  stoppage.kind = adversary::PhaseKind::kPipeStoppage;
+  stoppage.cadence.attack_duration = sim::SimTime::days(20);
+  stoppage.cadence.recuperation = sim::SimTime::days(20);
+  stoppage.cadence.coverage = 0.5;
+  adversary::AdversaryPhase flood;
+  flood.kind = adversary::PhaseKind::kVoteFlood;
+  config.adversary.pipeline = {stoppage, flood};
+  const RunResult result = run_scenario(config);
+  EXPECT_GT(result.messages_filtered, 0u);
+  EXPECT_GT(result.adversary_invitations, 0u);
+}
+
+TEST(AdversaryPipelineTest, ValidatePipelineDiagnostics) {
+  adversary::AdversaryPipeline pipeline;
+  adversary::AdversaryPhase a;
+  a.kind = adversary::PhaseKind::kBruteForce;
+  adversary::AdversaryPhase b;
+  b.kind = adversary::PhaseKind::kBruteForce;
+  pipeline = {a, b};
+  EXPECT_NE(adversary::validate_pipeline(pipeline, 100).find("overlapping"),
+            std::string::npos);
+
+  b.minion_id_base = 1u << 26;
+  pipeline = {a, b};
+  EXPECT_TRUE(adversary::validate_pipeline(pipeline, 100).empty());
+
+  adversary::AdversaryPhase bad_window;
+  bad_window.kind = adversary::PhaseKind::kVoteFlood;
+  bad_window.start = sim::SimTime::days(10);
+  bad_window.stop = sim::SimTime::days(5);
+  EXPECT_NE(adversary::validate_pipeline({bad_window}, 100).find("stop"), std::string::npos);
+
+  adversary::AdversaryPhase bad_coverage;
+  bad_coverage.kind = adversary::PhaseKind::kPipeStoppage;
+  bad_coverage.cadence.coverage = 1.5;
+  EXPECT_NE(adversary::validate_pipeline({bad_coverage}, 100).find("coverage"),
+            std::string::npos);
+
+  adversary::AdversaryPhase low_pool;
+  low_pool.kind = adversary::PhaseKind::kVoteFlood;
+  low_pool.minion_id_base = 10;
+  EXPECT_NE(adversary::validate_pipeline({low_pool}, 100).find("id space"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lockss::experiment

@@ -1,0 +1,87 @@
+// Golden campaign manifest: runs the shipped campaigns/smoke.json (a
+// windowed pipe stoppage over a continuous vote flood — phases the old
+// single-enum AdversarySpec could not express) and compares the rendered
+// manifest byte-for-byte against a committed fixture. This extends the
+// golden corpus to the campaign engine end-to-end: JSON parsing, grid
+// compilation, multi-phase fleet installation with activation windows, and
+// deterministic manifest rendering.
+//
+// Regenerate after an intentional behavior change with
+//   LOCKSS_REGEN_GOLDEN=1 ./build/campaign_golden_test
+// and commit the diff with a rationale (CI's golden-fixture guard demands
+// one, the same policy as tests/golden_trace_test.cpp).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "campaign/spec.hpp"
+
+namespace lockss::campaign {
+namespace {
+
+std::string source_dir() { return std::string(LOCKSS_SOURCE_DIR); }
+
+bool regen_requested() {
+  const char* env = std::getenv("LOCKSS_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+TEST(CampaignGoldenTest, SmokeCampaignManifestMatchesFixture) {
+  Spec spec;
+  std::string error;
+  ASSERT_TRUE(load_spec_file(source_dir() + "/campaigns/smoke.json", &spec, &error)) << error;
+  CompiledCampaign compiled;
+  ASSERT_TRUE(compile_campaign(spec, &compiled, &error)) << error;
+
+  RunOptions options;
+  options.out_dir = testing::TempDir();
+  options.quiet = true;
+  CampaignOutcome outcome;
+  ASSERT_TRUE(run_campaign(compiled, options, &outcome, &error)) << error;
+  const std::string manifest = render_manifest(compiled, outcome);
+
+  const std::string fixture_path = source_dir() + "/tests/golden/campaign_smoke.manifest.golden";
+  if (regen_requested()) {
+    std::ofstream out(fixture_path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << fixture_path;
+    out << manifest;
+    SUCCEED() << "regenerated " << fixture_path;
+    return;
+  }
+  std::ifstream in(fixture_path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing fixture " << fixture_path
+                            << " — run LOCKSS_REGEN_GOLDEN=1 ./campaign_golden_test";
+  std::stringstream committed;
+  committed << in.rdbuf();
+  EXPECT_EQ(committed.str(), manifest)
+      << "campaign manifest drifted from the committed fixture. If intentional, regenerate "
+         "with LOCKSS_REGEN_GOLDEN=1 ./campaign_golden_test and commit with a rationale.";
+}
+
+// The shipped campaign files must always parse and compile (CI also
+// validates them through the lockss_campaign binary; this covers local
+// ctest runs).
+TEST(CampaignGoldenTest, AllShippedCampaignsCompile) {
+  const char* names[] = {
+      "fig3.json",         "fig6.json",
+      "table1.json",       "recuperation_flood.json",
+      "rolling_pipe_vote_flood.json", "newcomer_wave_grade_recovery.json",
+      "pipe_stoppage_demo.json",      "vote_flood_demo.json",
+      "smoke.json",
+  };
+  for (const char* name : names) {
+    Spec spec;
+    std::string error;
+    ASSERT_TRUE(load_spec_file(source_dir() + "/campaigns/" + name, &spec, &error)) << error;
+    CompiledCampaign compiled;
+    EXPECT_TRUE(compile_campaign(spec, &compiled, &error)) << name << ": " << error;
+    EXPECT_FALSE(compiled.cells.empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace lockss::campaign

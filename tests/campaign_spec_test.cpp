@@ -1,0 +1,251 @@
+// Campaign spec layer: JSON parsing, spec validation round-trips, rejection
+// diagnostics (file/line/field context), and grid compilation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "campaign/json.hpp"
+#include "campaign/spec.hpp"
+
+namespace lockss::campaign {
+namespace {
+
+Json parse_ok(const std::string& text) {
+  Json json;
+  std::string error;
+  EXPECT_TRUE(parse_json(text, &json, &error)) << error;
+  return json;
+}
+
+TEST(CampaignJsonTest, ParsesScalarsArraysObjects) {
+  const Json json = parse_ok(R"({
+    "a": 1.5, "b": -3, "c": "hi\n", "d": true, "e": null,
+    "f": [1, 2, 3], "g": { "nested": [] },
+  })");
+  ASSERT_TRUE(json.is_object());
+  EXPECT_DOUBLE_EQ(json.find("a")->number_value, 1.5);
+  EXPECT_DOUBLE_EQ(json.find("b")->number_value, -3.0);
+  EXPECT_EQ(json.find("c")->string_value, "hi\n");
+  EXPECT_TRUE(json.find("d")->bool_value);
+  EXPECT_TRUE(json.find("e")->is_null());
+  ASSERT_EQ(json.find("f")->array_items.size(), 3u);
+  EXPECT_TRUE(json.find("g")->find("nested")->is_array());
+}
+
+TEST(CampaignJsonTest, TracksLinesAndComments) {
+  const Json json = parse_ok("{\n  // comment line\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+  EXPECT_EQ(json.line, 1);
+  EXPECT_EQ(json.find("a")->line, 3);
+  EXPECT_EQ(json.find("b")->line, 4);
+  EXPECT_EQ(json.find("b")->array_items[0].line, 5);
+}
+
+TEST(CampaignJsonTest, ReportsErrorLine) {
+  Json json;
+  std::string error;
+  EXPECT_FALSE(parse_json("{\n  \"a\": 1,\n  \"a\": 2\n}", &json, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+
+  EXPECT_FALSE(parse_json("{ \"a\": tru }", &json, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+
+  // Pathological nesting must produce a diagnostic, not a stack overflow.
+  EXPECT_FALSE(parse_json(std::string(100000, '['), &json, &error));
+  EXPECT_NE(error.find("nesting"), std::string::npos) << error;
+}
+
+TEST(CampaignJsonTest, WriterRoundTrips) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("x");
+  w.key("n").value(1.25);
+  w.key("list").begin_array().value(uint64_t{1}).value(uint64_t{2}).end_array();
+  w.end_object();
+  Json json;
+  std::string error;
+  ASSERT_TRUE(parse_json(w.take(), &json, &error)) << error;
+  EXPECT_EQ(json.find("name")->string_value, "x");
+  EXPECT_DOUBLE_EQ(json.find("n")->number_value, 1.25);
+  EXPECT_EQ(json.find("list")->array_items.size(), 2u);
+}
+
+// --- Spec parsing --------------------------------------------------------
+
+constexpr const char* kFullSpec = R"({
+  "name": "demo",
+  "description": "d",
+  "deployment": { "peers": 20, "aus": 3, "duration_years": 0.5, "seed": 9, "seeds": 2,
+                  "newcomers": 4, "newcomer_window_days": 100, "au_coverage": 0.8 },
+  "damage": { "mean_disk_years_between_failures": 0.3, "aus_per_disk": 3.0 },
+  "protocol": { "quorum": 5, "adaptive_acceptance": true },
+  "trace_days": 10,
+  "adversary": [
+    { "kind": "pipe_stoppage", "attack_days": 20, "recuperation_days": 10, "coverage_percent": 50,
+      "start_days": 30, "stop_days": 120 },
+    { "kind": "brute_force", "defection": "REMAINING", "minion_count": 8 }
+  ],
+  "sweep": [
+    { "param": "attack_days", "phase": 0, "label": "d", "values": [10, 20] },
+    { "param": "defection", "phase": 1, "values": ["INTRO", "NONE"] }
+  ]
+})";
+
+TEST(CampaignSpecTest, ParsesFullSpec) {
+  Spec spec;
+  std::string error;
+  ASSERT_TRUE(parse_spec(parse_ok(kFullSpec), "demo.json", &spec, &error)) << error;
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.peers, 20u);
+  EXPECT_EQ(spec.aus, 3u);
+  EXPECT_EQ(spec.newcomers, 4u);
+  EXPECT_DOUBLE_EQ(spec.au_coverage, 0.8);
+  EXPECT_DOUBLE_EQ(spec.duration.to_days(), 0.5 * 365.0);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.seeds, 2u);
+  EXPECT_DOUBLE_EQ(spec.trace_interval.to_days(), 10.0);
+  EXPECT_DOUBLE_EQ(spec.damage_mtbf_disk_years, 0.3);
+  ASSERT_EQ(spec.protocol_overrides.size(), 2u);
+  EXPECT_EQ(spec.protocol_overrides[0].first, "quorum");
+  ASSERT_EQ(spec.pipeline.size(), 2u);
+  EXPECT_EQ(spec.pipeline[0].kind, adversary::PhaseKind::kPipeStoppage);
+  EXPECT_DOUBLE_EQ(spec.pipeline[0].start.to_days(), 30.0);
+  EXPECT_DOUBLE_EQ(spec.pipeline[0].stop.to_days(), 120.0);
+  EXPECT_EQ(spec.pipeline[1].kind, adversary::PhaseKind::kBruteForce);
+  EXPECT_EQ(spec.pipeline[1].defection, adversary::DefectionPoint::kRemaining);
+  EXPECT_EQ(spec.pipeline[1].minion_count, 8u);
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_FALSE(spec.axes[0].categorical());
+  EXPECT_TRUE(spec.axes[1].categorical());
+}
+
+// Every rejection must carry file:line: field: context.
+struct Rejection {
+  const char* text;
+  const char* expect_location;  // "file.json:N"
+  const char* expect_substring;
+};
+
+TEST(CampaignSpecTest, RejectionDiagnosticsCarryLineAndField) {
+  const Rejection cases[] = {
+      {"{\n  \"description\": \"no name\"\n}", "r.json:1", "name"},
+      {"{\n  \"name\": \"x\",\n  \"bogus_member\": 1\n}", "r.json:3", "unknown member"},
+      {"{\n  \"name\": \"x\",\n  \"deployment\": { \"peers\": -3 }\n}", "r.json:3",
+       "non-negative integer"},
+      {"{\n  \"name\": \"x\",\n  \"deployment\": { \"seeds\": 0 }\n}", "r.json:3", "seeds"},
+      {"{\n  \"name\": \"x\",\n  \"adversary\": [\n    { \"kind\": \"pipe_stopage\" }\n  ]\n}",
+       "r.json:4", "unknown attack module"},
+      {"{\n  \"name\": \"x\",\n  \"adversary\": [\n    { \"kind\": \"brute_force\",\n"
+       "      \"defection\": \"SOMETIMES\" }\n  ]\n}",
+       "r.json:5", "defection"},
+      {"{\n  \"name\": \"x\",\n  \"adversary\": [\n"
+       "    { \"kind\": \"pipe_stoppage\", \"start_days\": 50, \"stop_days\": 20 }\n  ]\n}",
+       "r.json:3", "stop must come after start"},
+      {"{\n  \"name\": \"x\",\n  \"adversary\": [\n"
+       "    { \"kind\": \"vote_flood\" },\n    { \"kind\": \"vote_flood\" }\n  ]\n}",
+       "r.json:3", "overlapping identity pools"},
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"warp_factor\","
+       " \"values\": [1] }\n  ]\n}",
+       "r.json:4", "unknown sweep parameter"},
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"attack_days\","
+       " \"values\": [1] }\n  ]\n}",
+       "r.json:4", "out of range"},
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"peers\", \"values\": [] }\n"
+       "  ]\n}",
+       "r.json:4", "non-empty array"},
+      {"{\n  \"name\": \"x\",\n  \"protocol\": { \"quorums\": 10 }\n}", "r.json:3",
+       "unknown protocol parameter"},
+      {"{\n  \"name\": \"x\",\n  \"deployment\": { \"peers\": 4294967297 }\n}", "r.json:3",
+       "32-bit range"},
+      {"{\n  \"name\": \"x\",\n  \"deployment\": { \"seed\": 1.5 }\n}", "r.json:3",
+       "non-negative integer"},
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"peers\","
+       " \"values\": [-10] }\n  ]\n}",
+       "r.json:4", "whole non-negative 32-bit"},
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"au_coverage\","
+       " \"values\": [1.5] }\n  ]\n}",
+       "r.json:4", "within (0, 1]"},
+      {"{\n  \"name\": \"x\",\n  \"outputs\": { \"figure\": { \"metric\": \"afp\","
+       " \"row_header\": \"d\", \"csv\": \"x.csv\" } }\n}",
+       "r.json:3", "unknown metric"},
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [ { \"param\": \"peers\", \"values\": [1, 2] } ],\n"
+       "  \"outputs\": { \"figure\": { \"metric\": \"friction\", \"row_header\": \"d\","
+       " \"csv\": \"x.csv\" } }\n}",
+       "r.json:4", "exactly 2 sweep axes"},
+  };
+  for (const Rejection& c : cases) {
+    Json json;
+    std::string error;
+    ASSERT_TRUE(parse_json(c.text, &json, &error)) << c.text << "\n" << error;
+    Spec spec;
+    EXPECT_FALSE(parse_spec(json, "r.json", &spec, &error)) << c.text;
+    EXPECT_NE(error.find(c.expect_location), std::string::npos)
+        << "wanted location '" << c.expect_location << "' in: " << error;
+    EXPECT_NE(error.find(c.expect_substring), std::string::npos)
+        << "wanted '" << c.expect_substring << "' in: " << error;
+  }
+}
+
+TEST(CampaignSpecTest, RoundTripsThroughManifestVocabulary) {
+  // Every axis param the docs promise must be accepted by the parser.
+  for (const std::string& param : axis_params()) {
+    if (param == "defection") {
+      continue;  // categorical, needs a phase
+    }
+    std::string text = "{ \"name\": \"x\", \"adversary\": [ { \"kind\": \"pipe_stoppage\" } ],"
+                       " \"sweep\": [ { \"param\": \"" +
+                       param + "\", \"phase\": 0, \"values\": [1] } ] }";
+    Json json;
+    std::string error;
+    ASSERT_TRUE(parse_json(text, &json, &error)) << param;
+    Spec spec;
+    EXPECT_TRUE(parse_spec(json, "v.json", &spec, &error)) << param << ": " << error;
+  }
+}
+
+// --- Compilation ---------------------------------------------------------
+
+TEST(CampaignCompileTest, ExpandsRowMajorGridAndAppliesAxes) {
+  Spec spec;
+  std::string error;
+  ASSERT_TRUE(parse_spec(parse_ok(kFullSpec), "demo.json", &spec, &error)) << error;
+  CompiledCampaign compiled;
+  ASSERT_TRUE(compile_campaign(spec, &compiled, &error)) << error;
+
+  // Base config carries deployment + overrides.
+  EXPECT_EQ(compiled.base.peer_count, 20u);
+  EXPECT_EQ(compiled.base.params.quorum, 5u);
+  EXPECT_TRUE(compiled.base.params.adaptive_acceptance);
+  EXPECT_TRUE(compiled.base.adversary.pipeline.empty());  // baseline is adversary-free
+
+  // 2 x 2 grid, first axis outermost, labels joined in axis order.
+  ASSERT_EQ(compiled.cells.size(), 4u);
+  EXPECT_EQ(compiled.cells[0].label, "d10_INTRO");
+  EXPECT_EQ(compiled.cells[1].label, "d10_NONE");
+  EXPECT_EQ(compiled.cells[2].label, "d20_INTRO");
+  EXPECT_EQ(compiled.cells[3].label, "d20_NONE");
+  EXPECT_DOUBLE_EQ(
+      compiled.cells[1].config.adversary.pipeline[0].cadence.attack_duration.to_days(), 10.0);
+  EXPECT_EQ(compiled.cells[1].config.adversary.pipeline[1].defection,
+            adversary::DefectionPoint::kNone);
+  EXPECT_EQ(compiled.cells[2].config.adversary.pipeline[1].defection,
+            adversary::DefectionPoint::kIntro);
+  // Non-swept phase fields survive expansion.
+  EXPECT_DOUBLE_EQ(compiled.cells[3].config.adversary.pipeline[0].stop.to_days(), 120.0);
+}
+
+TEST(CampaignCompileTest, NoAxesYieldsSingleCell) {
+  Json json = parse_ok(R"({ "name": "one", "adversary": [ { "kind": "vote_flood" } ] })");
+  Spec spec;
+  std::string error;
+  ASSERT_TRUE(parse_spec(json, "one.json", &spec, &error)) << error;
+  CompiledCampaign compiled;
+  ASSERT_TRUE(compile_campaign(spec, &compiled, &error)) << error;
+  ASSERT_EQ(compiled.cells.size(), 1u);
+  EXPECT_EQ(compiled.cells[0].label, "cell");
+  ASSERT_EQ(compiled.cells[0].config.adversary.pipeline.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lockss::campaign

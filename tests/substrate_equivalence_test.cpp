@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/node_slot_registry.hpp"
+#include "protocol/invitee_table.hpp"
 #include "protocol/reference_list.hpp"
 #include "protocol/reference_tables.hpp"
 #include "protocol/session_table.hpp"
@@ -470,6 +471,75 @@ TEST(SubstrateEquivalenceTest, LateRegistrationKeepsState) {
 }
 
 // --- Registry ---------------------------------------------------------------
+
+// --- InviteeTable (PR 4) -----------------------------------------------------
+// PollerSession's per-poll invitee records, flattened from std::map onto the
+// slot registry. Drives identical randomized find/insert/mutate streams
+// through both and demands identical lookups, sizes, and (crucially) the
+// ascending-NodeId ordered-iteration order that begin_evaluation's
+// reputation sweep relies on.
+
+struct FakeInvitee {
+  int phase = 0;
+  uint32_t attempts = 0;
+};
+
+TEST(SubstrateEquivalenceTest, InviteeTableRandomizedOps) {
+  for (PoolKind kind : {PoolKind::kAllRegistered, PoolKind::kMixed, PoolKind::kNoRegistry}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      SCOPED_TRACE(static_cast<int>(kind));
+      SCOPED_TRACE(seed);
+      net::NodeSlotRegistry registry;
+      const IdPool pool = make_pool(kind, registry, 24);
+      protocol::InviteeTable<FakeInvitee> dense(pool.registry);
+      protocol::InviteeTableReference<FakeInvitee> reference;
+
+      sim::Rng rng(seed);
+      for (int op = 0; op < 2000; ++op) {
+        const net::NodeId id = pick(pool, rng);
+        switch (rng.index(4)) {
+          case 0: {  // find-or-insert + mutate (the solicitation path)
+            FakeInvitee& d = dense[id];
+            FakeInvitee& r = reference[id];
+            d.phase = r.phase = static_cast<int>(rng.index(6));
+            ++d.attempts;
+            ++r.attempts;
+            break;
+          }
+          case 1: {  // lookup (the per-message path)
+            const FakeInvitee* d = dense.find(id);
+            const FakeInvitee* r = reference.find(id);
+            ASSERT_EQ(d != nullptr, r != nullptr);
+            if (d != nullptr) {
+              EXPECT_EQ(d->phase, r->phase);
+              EXPECT_EQ(d->attempts, r->attempts);
+            }
+            break;
+          }
+          case 2:
+            EXPECT_EQ(dense.contains(id), reference.contains(id));
+            break;
+          default: {  // ordered sweep (the begin_evaluation path)
+            std::vector<std::pair<uint32_t, int>> dense_walk, reference_walk;
+            dense.for_each_ordered([&](net::NodeId n, FakeInvitee& v) {
+              dense_walk.emplace_back(n.value, v.phase);
+            });
+            reference.for_each_ordered([&](net::NodeId n, FakeInvitee& v) {
+              reference_walk.emplace_back(n.value, v.phase);
+            });
+            EXPECT_EQ(dense_walk, reference_walk);
+            break;
+          }
+        }
+        EXPECT_EQ(dense.size(), reference.size());
+      }
+      // Final full sweeps agree, unordered sweep visits everything once.
+      size_t dense_count = 0;
+      dense.for_each([&](net::NodeId, FakeInvitee&) { ++dense_count; });
+      EXPECT_EQ(dense_count, reference.size());
+    }
+  }
+}
 
 TEST(SubstrateEquivalenceTest, NodeSlotRegistryBasics) {
   net::NodeSlotRegistry registry;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support/message_dispatch.hpp"
 #include "bench_support/substrate_workloads.hpp"
 #include "experiment/aggregate.hpp"
 #include "experiment/cli.hpp"
@@ -194,6 +195,30 @@ void drive_session_lookup(TableT& table, uint64_t ops) {
   (void)keep;
 }
 
+// Message-dispatch micro (PR 4): the seed dynamic_cast chain vs the
+// MessageKind tag switch, over the shared weighted protocol-message mix.
+SubstrateMicro run_dispatch_micro(uint64_t ops) {
+  const auto stream = bench_support::make_message_stream(4096, /*seed=*/42);
+  SubstrateMicro micro;
+  micro.name = "message_dispatch";
+  uint64_t sink = 0;
+  micro.reference_ops_per_sec = ops_per_second(ops, [&] {
+    for (uint64_t i = 0; i < ops; ++i) {
+      sink += static_cast<uint64_t>(
+          bench_support::dispatch_reference(*stream[i & (stream.size() - 1)]));
+    }
+  });
+  micro.dense_ops_per_sec = ops_per_second(ops, [&] {
+    for (uint64_t i = 0; i < ops; ++i) {
+      sink += static_cast<uint64_t>(
+          bench_support::dispatch_kind(*stream[i & (stream.size() - 1)]));
+    }
+  });
+  volatile uint64_t keep = sink;
+  (void)keep;
+  return micro;
+}
+
 std::vector<SubstrateMicro> run_substrate_micros(uint64_t ops) {
   constexpr uint32_t kPeers = 200;
   net::NodeSlotRegistry registry;
@@ -223,6 +248,7 @@ std::vector<SubstrateMicro> run_substrate_micros(uint64_t ops) {
         ops_per_second(ops, [&] { drive_known_peers_transitions(dense, kPeers, ops); });
     out.push_back(micro);
   }
+  out.push_back(run_dispatch_micro(ops));
   {
     SubstrateMicro micro;
     micro.name = "session_table_lookup";

@@ -1,0 +1,107 @@
+// Campaign driver: compile and run declarative scenario specs.
+//
+//   lockss_campaign <campaign.json> [options]
+//
+//   --validate        parse + compile only; print the plan and exit
+//                     (CI runs this over every shipped campaigns/*.json)
+//   --dry-run         alias for --validate
+//   --out-dir DIR     where outputs land (default: current directory)
+//   --workers N       parallel runner workers (default: auto)
+//   --quiet           suppress the per-cell stdout report
+//
+// A campaign file describes a whole experiment — deployment, protocol and
+// damage overrides, a composable multi-adversary pipeline, sweep axes, seed
+// replication, §6.3 layering, traces, and outputs — so new workloads are a
+// data file, not a recompile. Shipped campaigns live under campaigns/;
+// schema in docs/campaigns.md.
+#include <cstdio>
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "campaign/spec.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/runner.hpp"
+
+using namespace lockss;
+
+namespace {
+
+void print_plan(const campaign::CompiledCampaign& compiled) {
+  const campaign::Spec& spec = compiled.spec;
+  std::printf("campaign: %s\n", spec.name.c_str());
+  if (!spec.description.empty()) {
+    std::printf("  %s\n", spec.description.c_str());
+  }
+  std::printf("  deployment: %u peers, %u AUs (coverage %.2f), %u newcomers, %.2f years\n",
+              spec.peers, spec.aus, spec.au_coverage, spec.newcomers,
+              spec.duration.to_days() / 365.0);
+  std::printf("  replication: %u seed(s) from %llu%s\n", spec.seeds,
+              static_cast<unsigned long long>(spec.seed),
+              spec.layers > 0 ? (", " + std::to_string(spec.layers) + " layers").c_str() : "");
+  std::printf("  pipeline: %zu phase(s)\n", spec.pipeline.size());
+  for (const adversary::AdversaryPhase& phase : spec.pipeline) {
+    std::printf("    - %-16s attack=%gd recup=%gd coverage=%.0f%% defection=%s window=[%gd, %s]\n",
+                adversary::phase_kind_name(phase.kind),
+                phase.cadence.attack_duration.to_days(), phase.cadence.recuperation.to_days(),
+                phase.cadence.coverage * 100.0,
+                adversary::defection_point_name(phase.defection), phase.start.to_days(),
+                phase.stop == sim::SimTime::zero()
+                    ? "end"
+                    : (std::to_string(phase.stop.to_days()) + "d").c_str());
+  }
+  size_t cells = compiled.cells.size();
+  std::printf("  grid: %zu cell(s)", cells);
+  for (const campaign::SweepAxis& axis : spec.axes) {
+    std::printf(" x %s[%zu]", axis.param.c_str(), axis.size());
+  }
+  std::printf(" -> %zu run(s)\n",
+              (cells + (spec.baseline ? 1 : 0)) * spec.seeds *
+                  (spec.layers > 0 ? spec.layers : 1));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') {
+    std::fprintf(stderr,
+                 "usage: lockss_campaign <campaign.json> [--validate] [--out-dir DIR] "
+                 "[--workers N] [--quiet]\n");
+    return 2;
+  }
+  const std::string spec_path = argv[1];
+  experiment::CliArgs args(argc - 1, argv + 1);
+
+  campaign::Spec spec;
+  std::string error;
+  if (!campaign::load_spec_file(spec_path, &spec, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  campaign::CompiledCampaign compiled;
+  if (!campaign::compile_campaign(spec, &compiled, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  print_plan(compiled);
+  if (args.flag("validate") || args.flag("dry-run")) {
+    std::printf("ok: %s compiles to %zu cell(s)\n", spec_path.c_str(), compiled.cells.size());
+    return 0;
+  }
+
+  campaign::RunOptions options;
+  options.out_dir = args.text("out-dir", ".");
+  options.quiet = args.flag("quiet");
+  const unsigned workers = static_cast<unsigned>(args.integer("workers", 0));
+  if (workers > 0) {
+    experiment::ParallelRunner::set_default_workers(workers);
+  }
+  campaign::CampaignOutcome outcome;
+  if (!campaign::run_campaign(compiled, options, &outcome, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  for (const std::string& file : outcome.files_written) {
+    std::printf("# wrote %s\n", file.c_str());
+  }
+  return 0;
+}
