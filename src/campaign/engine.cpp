@@ -105,6 +105,23 @@ bool write_figure(const CompiledCampaign& campaign, const CampaignOutcome& outco
   return true;
 }
 
+// Dynamics keys in the manifest/CSV are emitted only for dynamic specs
+// (campaign::spec_is_dynamic — base sections or dynamics sweep axes), so
+// static campaigns (and their committed golden fixtures) render
+// byte-identically to the pre-dynamics engine.
+void append_dynamics_metrics(JsonWriter& w, const experiment::RunResult& r) {
+  w.key("churn_departures").value(r.churn_departures);
+  w.key("churn_recoveries").value(r.churn_recoveries);
+  w.key("churn_arrivals").value(r.churn_arrivals);
+  w.key("availability_mean").value(r.availability_mean);
+  w.key("mean_recovery_days").value(r.mean_recovery_days);
+  w.key("operator_interventions").begin_array();
+  for (uint64_t n : r.operator_interventions) {
+    w.value(n);
+  }
+  w.end_array();
+}
+
 void append_metrics(JsonWriter& w, const experiment::RunResult& r) {
   const metrics::MetricsReport& m = r.report;
   w.key("access_failure_probability").value(m.access_failure_probability);
@@ -135,6 +152,11 @@ std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOut
   out += ",access_failure,mean_success_gap_days,successful_polls,inquorate_polls,alarms,"
          "repairs,loyal_effort_s,adversary_effort_s,cost_ratio,adversary_invitations,"
          "adversary_admissions";
+  const bool dynamic = spec_is_dynamic(spec);
+  if (dynamic) {
+    out += ",churn_departures,churn_recoveries,churn_arrivals,availability_mean,"
+           "mean_recovery_days,operator_interventions";
+  }
   if (spec.baseline) {
     out += ",delay_ratio,friction";
   }
@@ -159,6 +181,18 @@ std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOut
                   static_cast<unsigned long long>(r.adversary_invitations),
                   static_cast<unsigned long long>(r.adversary_admissions));
     out += buf;
+    if (dynamic) {
+      uint64_t interventions = 0;
+      for (uint64_t n : r.operator_interventions) {
+        interventions += n;
+      }
+      std::snprintf(buf, sizeof(buf), ",%llu,%llu,%llu,%.6f,%.4f,%llu",
+                    static_cast<unsigned long long>(r.churn_departures),
+                    static_cast<unsigned long long>(r.churn_recoveries),
+                    static_cast<unsigned long long>(r.churn_arrivals), r.availability_mean,
+                    r.mean_recovery_days, static_cast<unsigned long long>(interventions));
+      out += buf;
+    }
     if (spec.baseline) {
       const experiment::RelativeMetrics rel =
           experiment::relative_metrics(r, outcome.baseline);
@@ -190,6 +224,33 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
   w.key("layers").value(static_cast<uint64_t>(spec.layers));
   w.key("trace_interval_days").value(spec.trace_interval.to_days());
   w.end_object();
+  if (spec_is_dynamic(spec)) {
+    w.key("dynamics").begin_object();
+    w.key("leave_rate_per_peer_year").value(spec.churn.leave_rate_per_peer_year);
+    w.key("crash_rate_per_peer_year").value(spec.churn.crash_rate_per_peer_year);
+    w.key("mean_downtime_days").value(spec.churn.mean_downtime_days);
+    w.key("arrival_rate_per_year").value(spec.churn.arrival_rate_per_year);
+    w.key("regions").value(static_cast<uint64_t>(spec.churn.regions));
+    w.key("regional_outage_rate_per_year").value(spec.churn.regional_outage_rate_per_year);
+    w.key("regional_outage_days").value(spec.churn.regional_outage_days);
+    w.key("regional_recovery_stagger_hours")
+        .value(spec.churn.regional_recovery_stagger_hours);
+    w.key("regional_state_loss").value(spec.churn.regional_state_loss);
+    w.end_object();
+    w.key("operators").begin_object();
+    w.key("detection_latency_days").value(spec.operators.detection_latency.to_days());
+    w.key("recrawl_cost_factor").value(spec.operators.recrawl_cost_factor);
+    w.key("policies").begin_array();
+    for (const dynamics::OperatorPolicy& policy : spec.operators.policies) {
+      w.begin_object();
+      w.key("trigger").value(dynamics::operator_trigger_name(policy.trigger));
+      w.key("action").value(dynamics::operator_action_name(policy.action));
+      w.key("factor").value(policy.factor);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.key("pipeline").begin_array();
   for (const adversary::AdversaryPhase& phase : spec.pipeline) {
     w.begin_object();
@@ -225,6 +286,9 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
   if (spec.baseline) {
     w.key("baseline").begin_object();
     append_metrics(w, outcome.baseline);
+    if (spec_is_dynamic(spec)) {
+      append_dynamics_metrics(w, outcome.baseline);
+    }
     w.end_object();
   }
   w.key("cells").begin_array();
@@ -238,6 +302,9 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
     }
     w.end_array();
     append_metrics(w, outcome.cells[k]);
+    if (spec_is_dynamic(spec)) {
+      append_dynamics_metrics(w, outcome.cells[k]);
+    }
     if (spec.baseline) {
       const experiment::RelativeMetrics rel =
           experiment::relative_metrics(outcome.cells[k], outcome.baseline);

@@ -73,6 +73,12 @@ constexpr const char* kPhaseAxes[] = {
     "attack_days", "recuperation_days", "coverage_percent", "start_days",
     "stop_days",   "minion_count",      "defection",
 };
+// Deployment-dynamics axes (docs/dynamics.md): churn rates apply to the
+// `dynamics` section, detection latency to `operators`.
+constexpr const char* kDynamicsAxes[] = {
+    "churn_leave_rate",   "churn_crash_rate",     "churn_mean_downtime_days",
+    "churn_arrival_rate", "regional_outage_rate", "detection_latency_days",
+};
 
 bool is_deployment_axis(const std::string& name) {
   return std::find_if(std::begin(kDeploymentAxes), std::end(kDeploymentAxes),
@@ -81,6 +87,10 @@ bool is_deployment_axis(const std::string& name) {
 bool is_phase_axis(const std::string& name) {
   return std::find_if(std::begin(kPhaseAxes), std::end(kPhaseAxes),
                       [&](const char* a) { return name == a; }) != std::end(kPhaseAxes);
+}
+bool is_dynamics_axis(const std::string& name) {
+  return std::find_if(std::begin(kDynamicsAxes), std::end(kDynamicsAxes),
+                      [&](const char* a) { return name == a; }) != std::end(kDynamicsAxes);
 }
 
 bool param_is_unsigned_int(const std::string& param) {
@@ -121,6 +131,14 @@ std::string check_axis_value(const std::string& param, double v) {
   }
   if (param == "coverage_percent") {
     return v >= 0.0 && v <= 100.0 ? "" : "'coverage_percent' values must be within [0, 100]";
+  }
+  if (param == "churn_leave_rate" || param == "churn_crash_rate" ||
+      param == "churn_arrival_rate" || param == "regional_outage_rate" ||
+      param == "detection_latency_days") {
+    return v >= 0.0 ? "" : "'" + param + "' values must be non-negative";
+  }
+  if (param == "churn_mean_downtime_days") {
+    return v > 0.0 ? "" : "'churn_mean_downtime_days' values must be positive";
   }
   return "";
 }
@@ -339,7 +357,7 @@ bool parse_axis(const Json& json, const std::string& source, size_t index,
     return reader.fail(json.line, "param", "required");
   }
   const bool phase_level = is_phase_axis(out->param);
-  if (!phase_level && !is_deployment_axis(out->param) &&
+  if (!phase_level && !is_deployment_axis(out->param) && !is_dynamics_axis(out->param) &&
       find_protocol_param(out->param) == nullptr) {
     std::string known;
     for (const std::string& name : axis_params()) {
@@ -424,7 +442,19 @@ void apply_axis_value(const SweepAxis& axis, size_t index,
     }
     return;
   }
-  if (axis.param == "peers") {
+  if (axis.param == "churn_leave_rate") {
+    config->churn.leave_rate_per_peer_year = v;
+  } else if (axis.param == "churn_crash_rate") {
+    config->churn.crash_rate_per_peer_year = v;
+  } else if (axis.param == "churn_mean_downtime_days") {
+    config->churn.mean_downtime_days = v;
+  } else if (axis.param == "churn_arrival_rate") {
+    config->churn.arrival_rate_per_year = v;
+  } else if (axis.param == "regional_outage_rate") {
+    config->churn.regional_outage_rate_per_year = v;
+  } else if (axis.param == "detection_latency_days") {
+    config->operators.detection_latency = sim::SimTime::days(v);
+  } else if (axis.param == "peers") {
     config->peer_count = static_cast<uint32_t>(v);
   } else if (axis.param == "aus") {
     config->au_count = static_cast<uint32_t>(v);
@@ -451,6 +481,9 @@ std::vector<std::string> axis_params() {
   for (const char* name : kPhaseAxes) {
     out.push_back(name);
   }
+  for (const char* name : kDynamicsAxes) {
+    out.push_back(name);
+  }
   for (const ProtocolParam& entry : kProtocolParams) {
     out.push_back(entry.name);
   }
@@ -463,6 +496,18 @@ std::vector<std::string> protocol_params() {
     out.push_back(entry.name);
   }
   return out;
+}
+
+bool spec_is_dynamic(const Spec& spec) {
+  if (spec.churn.enabled() || spec.operators.enabled()) {
+    return true;
+  }
+  for (const SweepAxis& axis : spec.axes) {
+    if (is_dynamics_axis(axis.param)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
@@ -530,6 +575,111 @@ bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
     }
   }
 
+  // deployment dynamics
+  if (const Json* dyn = reader.member("dynamics")) {
+    ObjectReader d(*dyn, source_path, "dynamics", error);
+    if (!d.expect_object() ||
+        !d.number("leave_rate_per_peer_year", &out->churn.leave_rate_per_peer_year) ||
+        !d.number("crash_rate_per_peer_year", &out->churn.crash_rate_per_peer_year) ||
+        !d.number("mean_downtime_days", &out->churn.mean_downtime_days) ||
+        !d.number("arrival_rate_per_year", &out->churn.arrival_rate_per_year) ||
+        !d.unsigned_int("regions", &out->churn.regions) ||
+        !d.number("regional_outage_rate_per_year",
+                  &out->churn.regional_outage_rate_per_year) ||
+        !d.number("regional_outage_days", &out->churn.regional_outage_days) ||
+        !d.number("regional_recovery_stagger_hours",
+                  &out->churn.regional_recovery_stagger_hours) ||
+        !d.boolean("regional_state_loss", &out->churn.regional_state_loss) || !d.finish()) {
+      return false;
+    }
+    if (out->churn.leave_rate_per_peer_year < 0.0) {
+      return d.fail(dyn->line, "leave_rate_per_peer_year", "must be non-negative");
+    }
+    if (out->churn.crash_rate_per_peer_year < 0.0) {
+      return d.fail(dyn->line, "crash_rate_per_peer_year", "must be non-negative");
+    }
+    if (out->churn.arrival_rate_per_year < 0.0) {
+      return d.fail(dyn->line, "arrival_rate_per_year", "must be non-negative");
+    }
+    if (out->churn.mean_downtime_days <= 0.0) {
+      return d.fail(dyn->line, "mean_downtime_days", "must be positive");
+    }
+    if (out->churn.regional_outage_rate_per_year < 0.0) {
+      return d.fail(dyn->line, "regional_outage_rate_per_year", "must be non-negative");
+    }
+    if (out->churn.regional_outage_days <= 0.0) {
+      return d.fail(dyn->line, "regional_outage_days", "must be positive");
+    }
+    if (out->churn.regional_recovery_stagger_hours < 0.0) {
+      return d.fail(dyn->line, "regional_recovery_stagger_hours", "must be non-negative");
+    }
+    if (out->churn.regional_outage_rate_per_year > 0.0 && out->churn.regions == 0) {
+      return d.fail(dyn->line, "regions",
+                    "required (>= 1) when regional_outage_rate_per_year is set");
+    }
+  }
+
+  // operator response
+  if (const Json* operators = reader.member("operators")) {
+    ObjectReader o(*operators, source_path, "operators", error);
+    double detection_latency_days = out->operators.detection_latency.to_days();
+    if (!o.expect_object() || !o.number("detection_latency_days", &detection_latency_days) ||
+        !o.number("recrawl_cost_factor", &out->operators.recrawl_cost_factor)) {
+      return false;
+    }
+    if (detection_latency_days < 0.0) {
+      return o.fail(operators->line, "detection_latency_days", "must be non-negative");
+    }
+    if (out->operators.recrawl_cost_factor <= 0.0) {
+      return o.fail(operators->line, "recrawl_cost_factor", "must be positive");
+    }
+    out->operators.detection_latency = sim::SimTime::days(detection_latency_days);
+    const Json* policies = o.member("policies");
+    if (policies == nullptr || !policies->is_array() || policies->array_items.empty()) {
+      return o.fail(policies != nullptr ? policies->line : operators->line, "policies",
+                    "required non-empty array of { trigger, action } objects");
+    }
+    for (size_t i = 0; i < policies->array_items.size(); ++i) {
+      const Json& entry = policies->array_items[i];
+      const std::string prefix = "operators.policies[" + std::to_string(i) + "]";
+      ObjectReader p(entry, source_path, prefix, error);
+      if (!p.expect_object()) {
+        return false;
+      }
+      std::string trigger;
+      std::string action;
+      dynamics::OperatorPolicy policy;
+      if (!p.string("trigger", &trigger) || !p.string("action", &action) ||
+          !p.number("factor", &policy.factor)) {
+        return false;
+      }
+      if (!dynamics::parse_operator_trigger(trigger, &policy.trigger)) {
+        const Json* m = entry.find("trigger");
+        return p.fail(m != nullptr ? m->line : entry.line, "trigger",
+                      "unknown trigger '" + trigger + "' (expected alarm | recovery)");
+      }
+      if (!dynamics::parse_operator_action(action, &policy.action)) {
+        const Json* m = entry.find("action");
+        return p.fail(m != nullptr ? m->line : entry.line, "action",
+                      "unknown action '" + action +
+                          "' (expected rekey | friend_refresh | rate_tighten | au_recrawl)");
+      }
+      if (policy.action == dynamics::OperatorAction::kRateTighten &&
+          (policy.factor <= 0.0 || policy.factor > 1.0)) {
+        const Json* m = entry.find("factor");
+        return p.fail(m != nullptr ? m->line : entry.line, "factor",
+                      "rate_tighten factor must be within (0, 1]");
+      }
+      if (!p.finish()) {
+        return false;
+      }
+      out->operators.policies.push_back(policy);
+    }
+    if (!o.finish()) {
+      return false;
+    }
+  }
+
   // protocol overrides
   if (const Json* protocol = reader.member("protocol")) {
     ObjectReader p(*protocol, source_path, "protocol", error);
@@ -594,6 +744,40 @@ bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
         return false;
       }
       out->axes.push_back(std::move(axis));
+    }
+    // Dynamics axes only mean something with their section in place: a
+    // detection-latency sweep with no operator policies (or a regional
+    // outage-rate sweep with no regions) would silently run the same
+    // scenario in every cell.
+    for (size_t i = 0; i < out->axes.size(); ++i) {
+      const SweepAxis& axis = out->axes[i];
+      const auto axis_fail = [&](const std::string& reason) {
+        *error = source_path + ":" + std::to_string(axis.line) + ": sweep[" +
+                 std::to_string(i) + "].param: " + reason;
+        return false;
+      };
+      if (axis.param == "detection_latency_days" && out->operators.policies.empty()) {
+        return axis_fail(
+            "'detection_latency_days' sweeps need an operators section with at least one "
+            "policy");
+      }
+      if (axis.param == "regional_outage_rate" && out->churn.regions == 0) {
+        return axis_fail("'regional_outage_rate' sweeps need dynamics.regions >= 1");
+      }
+      if (axis.param == "churn_mean_downtime_days" && !out->churn.session_churn()) {
+        // Downtime is inert without session churn; allow the sweep only if
+        // a sibling axis switches churn on per cell.
+        bool churn_swept = false;
+        for (const SweepAxis& other : out->axes) {
+          churn_swept = churn_swept || other.param == "churn_leave_rate" ||
+                        other.param == "churn_crash_rate";
+        }
+        if (!churn_swept) {
+          return axis_fail(
+              "'churn_mean_downtime_days' sweeps need session churn: set "
+              "dynamics.leave_rate_per_peer_year / crash_rate_per_peer_year or sweep them");
+        }
+      }
     }
   }
 
@@ -687,6 +871,10 @@ bool compile_campaign(const Spec& spec, CompiledCampaign* out, std::string* erro
   base.damage.mean_disk_years_between_failures = spec.damage_mtbf_disk_years;
   base.damage.aus_per_disk = spec.damage_aus_per_disk;
   base.trace_interval = spec.trace_interval;
+  // Dynamics are deployment properties, like newcomers: the adversary-free
+  // baseline churns exactly as the attack cells do.
+  base.churn = spec.churn;
+  base.operators = spec.operators;
   for (const auto& [name, value] : spec.protocol_overrides) {
     // parse_spec vets override names, but a hand-built Spec may not have
     // gone through it; diagnose instead of dereferencing null.

@@ -86,6 +86,12 @@ struct Spec {
   // protocol_params() for the vocabulary).
   std::vector<std::pair<std::string, double>> protocol_overrides;
 
+  // Deployment dynamics: session churn, regional outages, Poisson arrivals
+  // (`dynamics` section) and operator-response policies (`operators`
+  // section). Defaults = disabled = the static deployment.
+  dynamics::ChurnConfig churn;
+  dynamics::OperatorResponseConfig operators;
+
   // The adversary pipeline (empty = undisturbed deployment).
   adversary::AdversaryPipeline pipeline;
 
@@ -130,6 +136,12 @@ bool compile_campaign(const Spec& spec, CompiledCampaign* out, std::string* erro
 // error messages + tests).
 std::vector<std::string> axis_params();
 std::vector<std::string> protocol_params();
+
+// Whether the campaign runs a dynamic deployment anywhere in its grid:
+// the base dynamics/operators sections, or any dynamics sweep axis (a
+// sweep can enable churn in cells the base spec leaves static). Gates the
+// dynamics keys/columns in the manifest and cells CSV.
+bool spec_is_dynamic(const Spec& spec);
 
 }  // namespace lockss::campaign
 

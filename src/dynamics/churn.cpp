@@ -1,0 +1,298 @@
+#include "dynamics/churn.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "peer/peer.hpp"
+
+namespace lockss::dynamics {
+namespace {
+
+constexpr double kDaysPerYear = 365.0;
+
+// One peer's down intervals, before merging.
+struct DownInterval {
+  sim::SimTime start;
+  sim::SimTime end;  // clipped to duration; end == duration means "never recovers"
+  bool state_loss = false;
+};
+
+// Union of possibly-overlapping intervals; state loss is sticky across a
+// merged interval (if any constituent lost the disk, the recovery
+// reinstalls).
+std::vector<DownInterval> merge_intervals(std::vector<DownInterval> intervals) {
+  if (intervals.empty()) {
+    return intervals;
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const DownInterval& a, const DownInterval& b) {
+              return a.start != b.start ? a.start < b.start : a.end < b.end;
+            });
+  std::vector<DownInterval> merged;
+  merged.push_back(intervals[0]);
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    DownInterval& last = merged.back();
+    if (intervals[i].start <= last.end) {
+      last.end = std::max(last.end, intervals[i].end);
+      last.state_loss = last.state_loss || intervals[i].state_loss;
+    } else {
+      merged.push_back(intervals[i]);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+const char* churn_event_kind_name(ChurnEventKind kind) {
+  switch (kind) {
+    case ChurnEventKind::kArrival:
+      return "arrival";
+    case ChurnEventKind::kLeave:
+      return "leave";
+    case ChurnEventKind::kCrash:
+      return "crash";
+    case ChurnEventKind::kRecover:
+      return "recover";
+  }
+  return "?";
+}
+
+ChurnSchedule build_churn_schedule(const ChurnConfig& config, uint32_t established,
+                                   sim::SimTime duration, sim::Rng& rng) {
+  ChurnSchedule out;
+  if (!config.enabled() || duration <= sim::SimTime::zero()) {
+    return out;
+  }
+
+  // Per-peer down intervals from every source, merged per peer below.
+  std::vector<std::vector<DownInterval>> per_peer(established);
+
+  // --- Individual session churn (one child split per peer, id order) ------
+  if (config.session_churn()) {
+    const double total_rate =
+        config.leave_rate_per_peer_year + config.crash_rate_per_peer_year;
+    const double crash_share = config.crash_rate_per_peer_year / total_rate;
+    const sim::SimTime mean_up = sim::SimTime::days(kDaysPerYear / total_rate);
+    const sim::SimTime mean_down = sim::SimTime::days(config.mean_downtime_days);
+    for (uint32_t p = 0; p < established; ++p) {
+      sim::Rng peer_rng = rng.split();
+      sim::SimTime t = sim::SimTime::zero();
+      while (true) {
+        const sim::SimTime down_at = t + peer_rng.exponential_time(mean_up);
+        if (down_at >= duration) {
+          break;
+        }
+        const bool crash = peer_rng.bernoulli(crash_share);
+        const sim::SimTime up_at = down_at + peer_rng.exponential_time(mean_down);
+        per_peer[p].push_back(
+            DownInterval{down_at, std::min(up_at, duration), crash});
+        if (up_at >= duration) {
+          break;
+        }
+        t = up_at;
+      }
+    }
+  }
+
+  // --- Correlated regional outages (one child split per region) -----------
+  if (config.regional_outages() && established > 0) {
+    const uint32_t regions = std::min(config.regions, established);
+    const sim::SimTime mean_gap =
+        sim::SimTime::days(kDaysPerYear / config.regional_outage_rate_per_year);
+    const sim::SimTime outage = sim::SimTime::days(config.regional_outage_days);
+    const sim::SimTime stagger =
+        sim::SimTime::hours(config.regional_recovery_stagger_hours);
+    for (uint32_t r = 0; r < regions; ++r) {
+      sim::Rng region_rng = rng.split();
+      // Balanced contiguous blocks: every region is non-empty (sizes
+      // differ by at most one), so `regions: N` means N real regions at
+      // any population size.
+      const uint32_t first =
+          static_cast<uint32_t>(static_cast<uint64_t>(r) * established / regions);
+      const uint32_t last =
+          static_cast<uint32_t>(static_cast<uint64_t>(r + 1) * established / regions);
+      sim::SimTime t = sim::SimTime::zero();
+      while (true) {
+        const sim::SimTime down_at = t + region_rng.exponential_time(mean_gap);
+        if (down_at >= duration) {
+          break;
+        }
+        const sim::SimTime region_up = down_at + outage;
+        for (uint32_t p = first; p < last; ++p) {
+          // Staggered walk-up: peer k of the region recovers k*stagger
+          // after the outage window ends.
+          const sim::SimTime up_at = region_up + stagger * static_cast<double>(p - first);
+          per_peer[p].push_back(DownInterval{down_at, std::min(up_at, duration),
+                                             config.regional_state_loss});
+        }
+        t = region_up;
+      }
+    }
+  }
+
+  // --- Arrivals (one child split for the whole stream) ---------------------
+  std::vector<sim::SimTime> arrivals;
+  if (config.arrival_rate_per_year > 0.0) {
+    sim::Rng arrival_rng = rng.split();
+    const sim::SimTime mean_gap =
+        sim::SimTime::days(kDaysPerYear / config.arrival_rate_per_year);
+    sim::SimTime t = arrival_rng.exponential_time(mean_gap);
+    while (t < duration) {
+      arrivals.push_back(t);
+      t = t + arrival_rng.exponential_time(mean_gap);
+    }
+  }
+  out.arrival_count = static_cast<uint32_t>(arrivals.size());
+
+  // --- Emit events ---------------------------------------------------------
+  for (uint32_t p = 0; p < established; ++p) {
+    for (const DownInterval& interval : merge_intervals(std::move(per_peer[p]))) {
+      out.events.push_back(ChurnEvent{interval.start,
+                                      interval.state_loss ? ChurnEventKind::kCrash
+                                                          : ChurnEventKind::kLeave,
+                                      p, interval.state_loss});
+      if (interval.end < duration) {
+        out.events.push_back(
+            ChurnEvent{interval.end, ChurnEventKind::kRecover, p, interval.state_loss});
+      }
+    }
+  }
+  for (uint32_t a = 0; a < out.arrival_count; ++a) {
+    out.events.push_back(ChurnEvent{arrivals[a], ChurnEventKind::kArrival, a, false});
+  }
+  // Deterministic replay order: time, then peer, then kind. Ties across
+  // peers are possible (a region goes down at one instant); the runtime
+  // applies them in this exact order.
+  std::sort(out.events.begin(), out.events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.at != b.at) {
+                return a.at < b.at;
+              }
+              if (a.peer != b.peer) {
+                return a.peer < b.peer;
+              }
+              return static_cast<uint8_t>(a.kind) < static_cast<uint8_t>(b.kind);
+            });
+  return out;
+}
+
+ChurnModel::ChurnModel(sim::Simulator& simulator, ChurnSchedule schedule,
+                       std::vector<peer::Peer*> established,
+                       std::vector<peer::Peer*> arrivals, net::OfflineSetFilter* offline)
+    : simulator_(simulator),
+      schedule_(std::move(schedule)),
+      established_(std::move(established)),
+      arrivals_(std::move(arrivals)),
+      offline_filter_(offline),
+      down_since_(established_.size()),
+      is_down_(established_.size(), false) {
+  assert(schedule_.arrival_count == arrivals_.size() &&
+         "arrival peers must match the schedule's arrival count");
+#ifndef NDEBUG
+  for (const ChurnEvent& event : schedule_.events) {
+    if (event.kind == ChurnEventKind::kArrival) {
+      assert(event.peer < arrivals_.size());
+    } else {
+      assert(event.peer < established_.size());
+    }
+  }
+#endif
+}
+
+void ChurnModel::set_transition_hook(std::function<void(const ChurnEvent&)> hook) {
+  transition_hook_ = std::move(hook);
+}
+
+void ChurnModel::set_recovery_hook(std::function<void(peer::Peer&)> hook) {
+  recovery_hook_ = std::move(hook);
+}
+
+void ChurnModel::start() {
+  if (!schedule_.events.empty()) {
+    simulator_.schedule_at(schedule_.events.front().at, [this] { step(); });
+  }
+}
+
+void ChurnModel::step() {
+  assert(cursor_ < schedule_.events.size());
+  apply(schedule_.events[cursor_]);
+  ++cursor_;
+  if (cursor_ < schedule_.events.size()) {
+    simulator_.schedule_at(schedule_.events[cursor_].at, [this] { step(); });
+  }
+}
+
+void ChurnModel::set_offline(uint32_t peer, bool down) {
+  // Keep the availability integral current before the population changes.
+  const sim::SimTime now = simulator_.now();
+  offline_peer_seconds_ +=
+      static_cast<double>(offline_count_) * (now - last_change_).to_seconds();
+  last_change_ = now;
+  is_down_[peer] = down;
+  offline_count_ += down ? 1 : -1;
+  if (offline_filter_ != nullptr) {
+    offline_filter_->set_offline(established_[peer]->id(), down);
+  }
+}
+
+void ChurnModel::apply(const ChurnEvent& event) {
+  switch (event.kind) {
+    case ChurnEventKind::kArrival:
+      arrivals_[event.peer]->start();
+      ++arrivals_started_;
+      break;
+    case ChurnEventKind::kLeave:
+    case ChurnEventKind::kCrash:
+      // Build-time interval merging guarantees no double departure.
+      assert(!is_down_[event.peer]);
+      set_offline(event.peer, true);
+      down_since_[event.peer] = event.at;
+      established_[event.peer]->depart();
+      ++departures_;
+      break;
+    case ChurnEventKind::kRecover: {
+      assert(is_down_[event.peer]);
+      set_offline(event.peer, false);
+      downtime_seconds_sum_ += (event.at - down_since_[event.peer]).to_seconds();
+      peer::Peer& peer = *established_[event.peer];
+      peer.recover(event.state_loss);
+      ++recoveries_;
+      if (recovery_hook_) {
+        recovery_hook_(peer);
+      }
+      break;
+    }
+  }
+  if (transition_hook_) {
+    transition_hook_(event);
+  }
+}
+
+double ChurnModel::online_fraction() const {
+  if (established_.empty()) {
+    return 1.0;
+  }
+  return 1.0 - static_cast<double>(offline_count_) /
+                   static_cast<double>(established_.size());
+}
+
+double ChurnModel::mean_recovery_days() const {
+  if (recoveries_ == 0) {
+    return 0.0;
+  }
+  return downtime_seconds_sum_ / static_cast<double>(recoveries_) / 86400.0;
+}
+
+double ChurnModel::availability_mean(sim::SimTime now) const {
+  if (established_.empty() || now <= sim::SimTime::zero()) {
+    return 1.0;
+  }
+  const double offline_integral =
+      offline_peer_seconds_ +
+      static_cast<double>(offline_count_) * (now - last_change_).to_seconds();
+  return 1.0 - offline_integral /
+                   (static_cast<double>(established_.size()) * now.to_seconds());
+}
+
+}  // namespace lockss::dynamics

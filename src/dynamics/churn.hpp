@@ -1,0 +1,147 @@
+// Deterministic deployment churn: session departures, crashes, staggered
+// recoveries, correlated regional outages, and Poisson peer arrivals.
+//
+// Two halves:
+//
+//   * build_churn_schedule() — pure function (config, population, duration,
+//     one RNG) → the complete, sorted event schedule for a run. Computed at
+//     scenario setup so the arrival count is known before the
+//     net::NodeSlotRegistry freezes (registration at setup for the whole
+//     arrival schedule is the determinism contract: slot order stays NodeId
+//     order no matter when a peer actually comes up). Overlapping down
+//     intervals for one peer (individual churn landing inside a regional
+//     outage, say) are merged at build time, so the runtime never sees a
+//     double departure and peer::Peer::depart()'s assert holds by
+//     construction.
+//
+//   * ChurnModel — the runtime: owns the schedule, drives it off the
+//     simulator event queue (one cursor event at a time), flips peers
+//     offline/online through Peer::depart()/recover() plus a
+//     net::OfflineSetFilter, starts arrival peers, and keeps the
+//     availability/recovery-time accounting the trace sampler and
+//     RunResult read. Every read is a pure peek, so traced and untraced
+//     runs stay bit-identical.
+//
+// Determinism: the schedule is a pure function of (config, established,
+// duration, rng); the model consumes no RNG at runtime and schedules
+// events strictly in schedule order with a deterministic tie-break
+// (time, peer, kind) fixed at build time.
+#ifndef LOCKSS_DYNAMICS_CHURN_HPP_
+#define LOCKSS_DYNAMICS_CHURN_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dynamics/spec.hpp"
+#include "net/fault_injection.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace lockss::peer {
+class Peer;
+}
+
+namespace lockss::dynamics {
+
+enum class ChurnEventKind : uint8_t {
+  kArrival,  // a brand-new peer starts (peer = arrival ordinal)
+  kLeave,    // graceful departure (state kept)
+  kCrash,    // departure with state loss at recovery
+  kRecover,  // the peer comes back up
+};
+
+const char* churn_event_kind_name(ChurnEventKind kind);
+
+struct ChurnEvent {
+  sim::SimTime at;
+  ChurnEventKind kind = ChurnEventKind::kArrival;
+  // Established-peer index for leave/crash/recover; arrival ordinal for
+  // kArrival.
+  uint32_t peer = 0;
+  // For kRecover: whether the peer reinstalls from the publisher.
+  bool state_loss = false;
+};
+
+struct ChurnSchedule {
+  // Sorted by (at, peer, kind) — the runtime replays it verbatim.
+  std::vector<ChurnEvent> events;
+  uint32_t arrival_count = 0;
+
+  bool empty() const { return events.empty(); }
+};
+
+// Materializes the whole run's churn. Consumes only from `rng` (the
+// scenario hands it one root split); per-peer session processes draw from
+// child splits in ascending peer order, then regions in region order, then
+// the arrival process — so adding one stream never perturbs another.
+ChurnSchedule build_churn_schedule(const ChurnConfig& config, uint32_t established,
+                                   sim::SimTime duration, sim::Rng& rng);
+
+class ChurnModel {
+ public:
+  // `established` are the always-constructed loyal peers the schedule's
+  // leave/crash/recover events index; `arrivals` are the pre-constructed
+  // (but not started) peers the kArrival events start. `offline` is the
+  // shared link filter (installed on the network by the scenario) that
+  // silences down peers. Pointers are non-owning and must outlive the
+  // model.
+  ChurnModel(sim::Simulator& simulator, ChurnSchedule schedule,
+             std::vector<peer::Peer*> established, std::vector<peer::Peer*> arrivals,
+             net::OfflineSetFilter* offline);
+
+  // Schedules the first cursor event. Call once, after every peer has
+  // started.
+  void start();
+
+  // Invoked after every applied transition (the property tests hook this to
+  // audit session-table/schedule/reference-list invariants mid-run), and
+  // after every recovery (the operator-response engine hooks this to
+  // trigger recovery policies).
+  void set_transition_hook(std::function<void(const ChurnEvent&)> hook);
+  void set_recovery_hook(std::function<void(peer::Peer&)> hook);
+
+  // --- Pure reads (trace sampler / RunResult harvest) ----------------------
+  uint32_t established_count() const { return static_cast<uint32_t>(established_.size()); }
+  uint32_t offline_count() const { return offline_count_; }
+  double online_fraction() const;
+  uint64_t departures() const { return departures_; }
+  uint64_t recoveries() const { return recoveries_; }
+  uint64_t arrivals_started() const { return arrivals_started_; }
+  // Mean completed-downtime duration to date, in days (0 until the first
+  // recovery).
+  double mean_recovery_days() const;
+  // Time-weighted mean online fraction of the established population over
+  // [0, now]. A peek: the stored integral is not advanced.
+  double availability_mean(sim::SimTime now) const;
+
+ private:
+  void step();
+  void apply(const ChurnEvent& event);
+  void set_offline(uint32_t peer, bool down);
+
+  sim::Simulator& simulator_;
+  ChurnSchedule schedule_;
+  std::vector<peer::Peer*> established_;
+  std::vector<peer::Peer*> arrivals_;
+  net::OfflineSetFilter* offline_filter_;
+  std::function<void(const ChurnEvent&)> transition_hook_;
+  std::function<void(peer::Peer&)> recovery_hook_;
+
+  size_t cursor_ = 0;
+  std::vector<sim::SimTime> down_since_;  // per established peer; valid while down
+  std::vector<bool> is_down_;
+  uint32_t offline_count_ = 0;
+  uint64_t departures_ = 0;
+  uint64_t recoveries_ = 0;
+  uint64_t arrivals_started_ = 0;
+  double downtime_seconds_sum_ = 0.0;  // completed downtimes only
+  // Availability integral: offline peer-seconds accumulated up to
+  // last_change_.
+  double offline_peer_seconds_ = 0.0;
+  sim::SimTime last_change_;
+};
+
+}  // namespace lockss::dynamics
+
+#endif  // LOCKSS_DYNAMICS_CHURN_HPP_

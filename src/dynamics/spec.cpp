@@ -1,0 +1,51 @@
+#include "dynamics/spec.hpp"
+
+namespace lockss::dynamics {
+
+const char* operator_trigger_name(OperatorTrigger trigger) {
+  switch (trigger) {
+    case OperatorTrigger::kAlarm:
+      return "alarm";
+    case OperatorTrigger::kRecovery:
+      return "recovery";
+  }
+  return "?";
+}
+
+const char* operator_action_name(OperatorAction action) {
+  switch (action) {
+    case OperatorAction::kRekey:
+      return "rekey";
+    case OperatorAction::kFriendRefresh:
+      return "friend_refresh";
+    case OperatorAction::kRateTighten:
+      return "rate_tighten";
+    case OperatorAction::kAuRecrawl:
+      return "au_recrawl";
+  }
+  return "?";
+}
+
+bool parse_operator_trigger(const std::string& name, OperatorTrigger* out) {
+  for (OperatorTrigger trigger : {OperatorTrigger::kAlarm, OperatorTrigger::kRecovery}) {
+    if (name == operator_trigger_name(trigger)) {
+      *out = trigger;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_operator_action(const std::string& name, OperatorAction* out) {
+  for (OperatorAction action :
+       {OperatorAction::kRekey, OperatorAction::kFriendRefresh, OperatorAction::kRateTighten,
+        OperatorAction::kAuRecrawl}) {
+    if (name == operator_action_name(action)) {
+      *out = action;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lockss::dynamics

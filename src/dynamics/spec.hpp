@@ -1,0 +1,121 @@
+// Deployment-dynamics configuration (churn + operator response).
+//
+// The attrition paper evaluates a static deployment: a fixed loyal
+// population that is up for the whole run. The LOCKSS sampled-voting paper
+// (Maniatis et al., SOSP 2003) — and any real archive — lives in a dynamic
+// one: peers join, crash, recover, whole machine rooms lose power, and
+// human operators intervene hours or days after something goes wrong.
+// These structs describe that dynamics layer declaratively; the engines
+// live in dynamics/churn.hpp (session churn, regional outages, arrivals)
+// and dynamics/operator_response.hpp (detection-latency-delayed operator
+// interventions). campaign::Spec exposes both as `dynamics` and
+// `operators` sections (docs/dynamics.md, docs/campaigns.md).
+//
+// Everything here is pure configuration with no engine dependencies, so
+// experiment::ScenarioConfig can embed it without dragging the peer layer
+// into every translation unit.
+#ifndef LOCKSS_DYNAMICS_SPEC_HPP_
+#define LOCKSS_DYNAMICS_SPEC_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace lockss::dynamics {
+
+// Deterministic churn over the established loyal population plus a Poisson
+// arrival stream of brand-new peers. All randomness flows from a single
+// root-RNG split (one split for the whole churn stream — the determinism
+// contract run_scenario documents), and the entire schedule is materialized
+// at scenario setup so every identity it will ever need — in particular the
+// whole arrival schedule — registers with net::NodeSlotRegistry before any
+// traffic flows.
+struct ChurnConfig {
+  // Individual session churn (per established peer, exponential holding
+  // times): graceful departures keep state; crashes lose it — the peer
+  // reinstalls from the publisher at recovery and pays for the re-fetch.
+  double leave_rate_per_peer_year = 0.0;
+  double crash_rate_per_peer_year = 0.0;
+  // Mean downtime of an individual departure/crash (exponential).
+  double mean_downtime_days = 7.0;
+
+  // Poisson arrivals of brand-new peers over the whole run (deployment-wide
+  // rate). Arrivals bootstrap exactly like §9 newcomers: they hold correct
+  // publisher replicas and know a sample of holders; nobody knows them.
+  double arrival_rate_per_year = 0.0;
+
+  // Correlated regional outages: the established population is split into
+  // `regions` contiguous NodeId blocks; each region suffers Poisson outages
+  // that take every peer in it down at once. Recovery is staggered — peer k
+  // of the region comes back k * stagger after the outage window ends, the
+  // way operators walk a rack back up.
+  uint32_t regions = 0;
+  double regional_outage_rate_per_year = 0.0;  // per region
+  double regional_outage_days = 3.0;
+  double regional_recovery_stagger_hours = 6.0;
+  // Whether a regional outage loses state (disks wiped, publisher re-fetch
+  // at recovery) or just connectivity (default).
+  bool regional_state_loss = false;
+
+  bool session_churn() const {
+    return leave_rate_per_peer_year > 0.0 || crash_rate_per_peer_year > 0.0;
+  }
+  bool regional_outages() const {
+    return regions > 0 && regional_outage_rate_per_year > 0.0;
+  }
+  bool enabled() const {
+    return session_churn() || arrival_rate_per_year > 0.0 || regional_outages();
+  }
+};
+
+// --- Operator response -----------------------------------------------------
+
+// What wakes the operator up.
+enum class OperatorTrigger : uint8_t {
+  kAlarm,     // a poll at the attended peer raised an alarm (§4.3)
+  kRecovery,  // the attended peer just came back from a departure/crash
+};
+
+// What the operator does about it, `detection_latency` later.
+enum class OperatorAction : uint8_t {
+  kRekey,          // re-key the peer: fresh admission-control state
+  kFriendRefresh,  // re-provision the operator-maintained friends list
+  kRateTighten,    // tighten the invitation-consideration rate limit
+  kAuRecrawl,      // re-crawl every AU from the publisher (repairs damage)
+};
+constexpr size_t kOperatorActionCount = 4;
+
+const char* operator_trigger_name(OperatorTrigger trigger);
+const char* operator_action_name(OperatorAction action);
+// Case-sensitive inverses ("alarm" | "recovery"; "rekey" | "friend_refresh"
+// | "rate_tighten" | "au_recrawl"); return false on unknown names.
+bool parse_operator_trigger(const std::string& name, OperatorTrigger* out);
+bool parse_operator_action(const std::string& name, OperatorAction* out);
+
+// One trigger→action rule.
+struct OperatorPolicy {
+  OperatorTrigger trigger = OperatorTrigger::kAlarm;
+  OperatorAction action = OperatorAction::kAuRecrawl;
+  // kRateTighten: multiplicative factor on the consideration budget (0, 1].
+  // Other actions ignore it.
+  double factor = 0.5;
+};
+
+struct OperatorResponseConfig {
+  // Time between the trigger and the intervention: operators are not on
+  // call around the clock, and attackers race this latency.
+  sim::SimTime detection_latency = sim::SimTime::days(2);
+  // Effort charged for a kAuRecrawl, as a multiple of one full replica
+  // hash per AU (fetch from publisher + verify + rewrite) — the same
+  // cost model peer::OperatorModel uses for manual audits.
+  double recrawl_cost_factor = 2.0;
+  std::vector<OperatorPolicy> policies;
+
+  bool enabled() const { return !policies.empty(); }
+};
+
+}  // namespace lockss::dynamics
+
+#endif  // LOCKSS_DYNAMICS_SPEC_HPP_

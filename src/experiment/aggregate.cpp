@@ -54,6 +54,8 @@ RunResult combine_range(const RunResult* parts, size_t count) {
   double afp_sum = 0.0;
   double gap_weighted = 0.0;
   double gap_weight = 0.0;
+  double availability_sum = 0.0;
+  double recovery_weighted = 0.0;
   for (size_t i = 0; i < count; ++i) {
     const RunResult& part = parts[i];
     const metrics::MetricsReport& r = part.report;
@@ -78,7 +80,22 @@ RunResult combine_range(const RunResult* parts, size_t count) {
     out.adversary_admissions += part.adversary_admissions;
     out.events_processed += part.events_processed;
     out.peak_queue_depth = std::max(out.peak_queue_depth, part.peak_queue_depth);
+    out.churn_departures += part.churn_departures;
+    out.churn_recoveries += part.churn_recoveries;
+    out.churn_arrivals += part.churn_arrivals;
+    availability_sum += part.availability_mean;
+    recovery_weighted += part.mean_recovery_days * static_cast<double>(part.churn_recoveries);
+    for (size_t a = 0; a < out.operator_interventions.size(); ++a) {
+      out.operator_interventions[a] += part.operator_interventions[a];
+    }
   }
+  // Parts share one duration and population, so availability averages;
+  // recovery times pool weighted by how many recoveries each part saw.
+  out.availability_mean = availability_sum / static_cast<double>(count);
+  out.mean_recovery_days =
+      out.churn_recoveries > 0
+          ? recovery_weighted / static_cast<double>(out.churn_recoveries)
+          : 0.0;
   out.report.access_failure_probability = afp_sum / static_cast<double>(count);
   out.report.mean_success_gap_days = gap_weight > 0.0 ? gap_weighted / gap_weight : 0.0;
   out.report.effort_per_successful_poll =

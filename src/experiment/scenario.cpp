@@ -8,6 +8,9 @@
 #include "adversary/grade_recovery.hpp"
 #include "adversary/pipe_stoppage.hpp"
 #include "adversary/vote_flood.hpp"
+#include "dynamics/churn.hpp"
+#include "dynamics/operator_response.hpp"
+#include "net/fault_injection.hpp"
 #include "net/network.hpp"
 #include "net/node_slot_registry.hpp"
 #include "peer/peer.hpp"
@@ -64,16 +67,48 @@ adversary::AdversaryPipeline effective_pipeline(const AdversarySpec& spec) {
 RunResult run_scenario(const ScenarioConfig& config) {
   sim::Simulator simulator;
   sim::Rng root(config.seed);
+  // Deployment dynamics draw first: one root split per enabled stream
+  // (churn, operators), taken before anything else so the arrival count is
+  // known when the identity registry freezes below. Disabled streams take
+  // no split at all, which keeps every static-deployment RNG stream — and
+  // therefore the whole golden corpus — bit-identical to the pre-dynamics
+  // engine.
+  const bool churn_enabled = config.churn.enabled();
+  const bool operators_enabled = config.operators.enabled();
+  sim::Rng churn_rng(0);
+  sim::Rng operators_rng(0);
+  dynamics::ChurnSchedule churn_schedule;
+  if (churn_enabled) {
+    churn_rng = root.split();
+    churn_schedule =
+        dynamics::build_churn_schedule(config.churn, config.peer_count, config.duration,
+                                       churn_rng);
+  }
+  if (operators_enabled) {
+    operators_rng = root.split();
+  }
+  const uint32_t arrival_count = churn_schedule.arrival_count;
+
   net::Network network(simulator, root.split());
   metrics::MetricsCollector collector;
   // Deployment-wide identity registry behind the dense per-AU substrates.
   // Registration happens entirely at setup, in ascending NodeId order
-  // (loyal peers, newcomers, then adversary minions at their high id
-  // bases — the registry's ordering contract, which makes slot order equal
-  // NodeId order and keeps every substrate walk seed-identical).
+  // (loyal peers, newcomers, churn arrivals — the *whole* arrival schedule,
+  // even peers that only come up late in the run — then adversary minions
+  // at their high id bases — the registry's ordering contract, which makes
+  // slot order equal NodeId order and keeps every substrate walk
+  // seed-identical).
   net::NodeSlotRegistry registry;
-  for (uint32_t p = 0; p < config.peer_count + config.newcomer_count; ++p) {
+  for (uint32_t p = 0; p < config.peer_count + config.newcomer_count + arrival_count; ++p) {
     registry.register_node(net::NodeId{p});
+  }
+
+  // Operator-response engine (constructed before the peers so its alarm
+  // observer can ride the environment's poll-observer chain).
+  std::unique_ptr<dynamics::OperatorResponseEngine> operators_engine;
+  if (operators_enabled) {
+    operators_engine = std::make_unique<dynamics::OperatorResponseEngine>(
+        simulator, config.operators, operators_rng.split());
   }
 
   peer::PeerEnvironment env;
@@ -86,7 +121,9 @@ RunResult run_scenario(const ScenarioConfig& config) {
   env.damage = config.damage;
   env.enable_damage = config.enable_damage;
   env.retain_schedule_history = config.collect_schedule_history;
-  env.poll_observer = config.poll_observer;
+  env.poll_observer = operators_engine != nullptr
+                          ? operators_engine->observer(config.poll_observer)
+                          : config.poll_observer;
 
   // --- Loyal population ------------------------------------------------------
   std::vector<std::unique_ptr<peer::Peer>> peers;
@@ -173,24 +210,45 @@ RunResult run_scenario(const ScenarioConfig& config) {
   // publisher replicas of every AU they join and know a bootstrap sample of
   // established holders; no established peer knows them.
   std::vector<std::unique_ptr<peer::Peer>> newcomers;
-  sim::Rng churn = root.split();
+  // Historically named `churn` (pre-dating the dynamics subsystem); renamed
+  // so the newcomer-bootstrap stream can never be confused with the
+  // dynamics `churn_rng` above — the draw sequence is unchanged.
+  sim::Rng newcomer_rng = root.split();
   for (uint32_t n = 0; n < config.newcomer_count; ++n) {
     const net::NodeId id{config.peer_count + n};
     newcomers.push_back(std::make_unique<peer::Peer>(env, id, root.split()));
     peer::Peer* newcomer = newcomers.back().get();
     for (uint32_t a = 0; a < config.au_count; ++a) {
       newcomer->join_au(aus[a]);
-      const auto seeds = churn.sample(holders[a], config.params.reference_list_target);
+      const auto seeds = newcomer_rng.sample(holders[a], config.params.reference_list_target);
       newcomer->seed_reference_list(aus[a], seeds);
     }
-    newcomer->set_friends(churn.sample(ids, config.params.friends_list_size));
+    newcomer->set_friends(newcomer_rng.sample(ids, config.params.friends_list_size));
     const sim::SimTime join_at =
-        churn.uniform_time(sim::SimTime::zero(), config.newcomer_join_window);
+        newcomer_rng.uniform_time(sim::SimTime::zero(), config.newcomer_join_window);
     simulator.schedule_at(join_at, [newcomer] { newcomer->start(); });
   }
-  if (config.newcomer_count > 0) {
-    collector.set_total_replicas(total_replicas +
-                                 static_cast<uint64_t>(config.newcomer_count) * config.au_count);
+  // Churn arrivals (deployment dynamics): constructed and seeded now — like
+  // newcomers, the network must know their addresses and the registry their
+  // ids before any traffic flows — but started only when their schedule
+  // event fires (ChurnModel::apply). Their bootstrap draws come from the
+  // churn stream, never the protocol streams.
+  std::vector<std::unique_ptr<peer::Peer>> arrival_peers;
+  for (uint32_t a = 0; a < arrival_count; ++a) {
+    const net::NodeId id{config.peer_count + config.newcomer_count + a};
+    arrival_peers.push_back(std::make_unique<peer::Peer>(env, id, churn_rng.split()));
+    peer::Peer* arrival = arrival_peers.back().get();
+    for (uint32_t au = 0; au < config.au_count; ++au) {
+      arrival->join_au(aus[au]);
+      const auto seeds = churn_rng.sample(holders[au], config.params.reference_list_target);
+      arrival->seed_reference_list(aus[au], seeds);
+    }
+    arrival->set_friends(churn_rng.sample(ids, config.params.friends_list_size));
+  }
+  if (config.newcomer_count > 0 || arrival_count > 0) {
+    collector.set_total_replicas(
+        total_replicas +
+        static_cast<uint64_t>(config.newcomer_count + arrival_count) * config.au_count);
   }
 
   // Background load from previous layers (§6.3 layering).
@@ -225,7 +283,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
   fleet_env.simulator = &simulator;
   fleet_env.network = &network;
   fleet_env.registry = &registry;
-  fleet_env.reserved_low_ids = config.peer_count + config.newcomer_count;
+  fleet_env.reserved_low_ids = config.peer_count + config.newcomer_count + arrival_count;
   fleet_env.loyal_ids = ids;
   fleet_env.victims = victim_ptrs;
   fleet_env.aus = aus;
@@ -233,6 +291,44 @@ RunResult run_scenario(const ScenarioConfig& config) {
   fleet_env.costs = &config.costs;
   adversary::AdversaryFleet fleet(fleet_env, pipeline, root);
   fleet.start();
+
+  // --- Deployment dynamics ----------------------------------------------------
+  // The churn model replays its precomputed schedule off the event queue,
+  // flipping established peers through depart()/recover() and the offline
+  // link filter, and starting arrivals. The operator engine attends every
+  // loyal peer (established, newcomer, arrival) and samples friend
+  // refreshes from the established roster.
+  std::unique_ptr<net::OfflineSetFilter> offline_filter;
+  std::unique_ptr<dynamics::ChurnModel> churn_model;
+  if (operators_engine != nullptr) {
+    for (auto& p : peers) {
+      operators_engine->attend(p.get());
+    }
+    for (auto& p : newcomers) {
+      operators_engine->attend(p.get());
+    }
+    for (auto& p : arrival_peers) {
+      operators_engine->attend(p.get());
+    }
+    operators_engine->set_roster(ids);
+  }
+  if (churn_enabled) {
+    offline_filter = std::make_unique<net::OfflineSetFilter>();
+    network.add_filter(offline_filter.get());
+    std::vector<peer::Peer*> established_ptrs = victim_ptrs;
+    std::vector<peer::Peer*> arrival_ptrs;
+    for (auto& p : arrival_peers) {
+      arrival_ptrs.push_back(p.get());
+    }
+    churn_model = std::make_unique<dynamics::ChurnModel>(
+        simulator, std::move(churn_schedule), std::move(established_ptrs),
+        std::move(arrival_ptrs), offline_filter.get());
+    if (operators_engine != nullptr) {
+      churn_model->set_recovery_hook(
+          [engine = operators_engine.get()](peer::Peer& p) { engine->on_peer_recovered(p); });
+    }
+    churn_model->start();
+  }
 
   // --- Trace sampling ----------------------------------------------------------
   // Fixed-interval §6.1 time series. Every sampled quantity is a pure read
@@ -249,6 +345,9 @@ RunResult run_scenario(const ScenarioConfig& config) {
     for (const auto& p : newcomers) {
       total += p->meter().total();
     }
+    for (const auto& p : arrival_peers) {
+      total += p->meter().total();
+    }
     return total;
   };
   const auto adversary_effort_now = [&]() -> double { return fleet.effort_seconds(); };
@@ -263,6 +362,12 @@ RunResult run_scenario(const ScenarioConfig& config) {
     point.repairs = collector.repairs();
     point.loyal_effort_seconds = loyal_effort_now();
     point.adversary_effort_seconds = adversary_effort_now();
+    if (churn_model != nullptr) {
+      point.online_fraction = churn_model->online_fraction();
+      point.departures = churn_model->departures();
+      point.recoveries = churn_model->recoveries();
+      point.mean_recovery_days = churn_model->mean_recovery_days();
+    }
     recorder.record(point);
   };
   std::function<void()> trace_tick;  // self-rescheduling; outlives run_until
@@ -300,6 +405,19 @@ RunResult run_scenario(const ScenarioConfig& config) {
   }
   for (auto& p : newcomers) {
     harvest_peer(*p);
+  }
+  for (auto& p : arrival_peers) {
+    harvest_peer(*p);
+  }
+  if (churn_model != nullptr) {
+    result.churn_departures = churn_model->departures();
+    result.churn_recoveries = churn_model->recoveries();
+    result.churn_arrivals = churn_model->arrivals_started();
+    result.availability_mean = churn_model->availability_mean(config.duration);
+    result.mean_recovery_days = churn_model->mean_recovery_days();
+  }
+  if (operators_engine != nullptr) {
+    result.operator_interventions = operators_engine->interventions();
   }
   collector.set_effort_totals(loyal_effort_now(), adversary_effort_now());
   result.report = collector.finalize(config.duration);

@@ -24,6 +24,7 @@
 #include "adversary/brute_force.hpp"
 #include "adversary/pipeline.hpp"
 #include "crypto/cost_model.hpp"
+#include "dynamics/spec.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/trace.hpp"
 #include "protocol/params.hpp"
@@ -90,6 +91,14 @@ struct ScenarioConfig {
   storage::DamageConfig damage;
   bool enable_damage = true;
   AdversarySpec adversary;
+  // Deployment dynamics (extension; see docs/dynamics.md): session churn,
+  // correlated regional outages, and Poisson peer arrivals over the
+  // established population, plus detection-latency-delayed operator
+  // interventions. Each enabled subsystem consumes exactly one root-RNG
+  // split (taken before any other stream), so disabled configs reproduce
+  // the static deployment bit for bit — the golden corpus pins this.
+  dynamics::ChurnConfig churn;
+  dynamics::OperatorResponseConfig operators;
   // Layering support: per-peer busy intervals injected before the run, and
   // whether to retain full schedule history for export.
   const std::vector<std::vector<sched::Reservation>>* background = nullptr;
@@ -118,6 +127,17 @@ struct RunResult {
   // Simulation-engine counters (deterministic; tracked for the perf reports).
   uint64_t events_processed = 0;
   uint64_t peak_queue_depth = 0;
+  // Deployment-dynamics accounting (defaults for static deployments, so
+  // every existing fixture and comparator is unaffected).
+  uint64_t churn_departures = 0;
+  uint64_t churn_recoveries = 0;
+  uint64_t churn_arrivals = 0;
+  // Time-weighted mean online fraction of the established population.
+  double availability_mean = 1.0;
+  // Mean completed downtime, in days (0 when nothing ever recovered).
+  double mean_recovery_days = 0.0;
+  // Operator interventions applied, indexed by dynamics::OperatorAction.
+  std::array<uint64_t, dynamics::kOperatorActionCount> operator_interventions{};
   // Per-peer busy history (only when collect_schedule_history).
   std::vector<std::vector<sched::Reservation>> schedules;
 };

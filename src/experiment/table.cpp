@@ -93,20 +93,23 @@ bool write_trace_csv(const std::string& path,
   }
   std::fprintf(f,
                "series,t_days,damaged_fraction,afp_to_date,successful_polls,"
-               "inquorate_polls,alarms,repairs,loyal_effort_s,adversary_effort_s\n");
+               "inquorate_polls,alarms,repairs,loyal_effort_s,adversary_effort_s,"
+               "online_fraction,departures,recoveries,mean_recovery_days\n");
   for (const auto& [label, trace] : series) {
     if (trace == nullptr || !trace->enabled()) {
       continue;
     }
     for (const metrics::TracePoint& p : trace->points) {
       std::fprintf(f,
-                   "%s,%.6f,%.9g,%.9g,%llu,%llu,%llu,%llu,%.9g,%.9g\n",
+                   "%s,%.6f,%.9g,%.9g,%llu,%llu,%llu,%llu,%.9g,%.9g,%.9g,%llu,%llu,%.9g\n",
                    label.c_str(), p.t.to_days(), p.damaged_fraction, p.afp_to_date,
                    static_cast<unsigned long long>(p.successful_polls),
                    static_cast<unsigned long long>(p.inquorate_polls),
                    static_cast<unsigned long long>(p.alarms),
                    static_cast<unsigned long long>(p.repairs), p.loyal_effort_seconds,
-                   p.adversary_effort_seconds);
+                   p.adversary_effort_seconds, p.online_fraction,
+                   static_cast<unsigned long long>(p.departures),
+                   static_cast<unsigned long long>(p.recoveries), p.mean_recovery_days);
     }
   }
   std::fclose(f);

@@ -43,6 +43,8 @@ RunTrace merge_traces(const std::vector<const RunTrace*>& parts) {
   for (size_t k = 0; k < min_points; ++k) {
     TracePoint merged;
     merged.t = parts[0]->points[k].t;
+    merged.online_fraction = 0.0;
+    double recovery_weighted = 0.0;
     for (const RunTrace* part : parts) {
       const TracePoint& p = part->points[k];
       assert(p.t == merged.t && "mergeable traces share the sampling grid");
@@ -54,9 +56,17 @@ RunTrace merge_traces(const std::vector<const RunTrace*>& parts) {
       merged.repairs += p.repairs;
       merged.loyal_effort_seconds += p.loyal_effort_seconds;
       merged.adversary_effort_seconds += p.adversary_effort_seconds;
+      merged.online_fraction += p.online_fraction;
+      merged.departures += p.departures;
+      merged.recoveries += p.recoveries;
+      recovery_weighted += p.mean_recovery_days * static_cast<double>(p.recoveries);
     }
     merged.damaged_fraction *= inv_n;
     merged.afp_to_date *= inv_n;
+    merged.online_fraction *= inv_n;
+    merged.mean_recovery_days =
+        merged.recoveries > 0 ? recovery_weighted / static_cast<double>(merged.recoveries)
+                              : 0.0;
     out.points.push_back(merged);
   }
   return out;

@@ -37,6 +37,15 @@ struct TracePoint {
   // Cumulative effort integrals at t (loyal peers / the adversary).
   double loyal_effort_seconds = 0.0;
   double adversary_effort_seconds = 0.0;
+  // Deployment-dynamics series (dynamics::ChurnModel). Static deployments
+  // keep the defaults, so fixtures and merges for churn-free runs are
+  // unchanged. `online_fraction` is the instantaneous availability of the
+  // established population; `departures`/`recoveries` are cumulative;
+  // `mean_recovery_days` is the mean completed downtime to date.
+  double online_fraction = 1.0;
+  uint64_t departures = 0;
+  uint64_t recoveries = 0;
+  double mean_recovery_days = 0.0;
 
   // Exact equality over every field — the determinism gates (bench_report,
   // the parallel-runner tests) compare through this so a future field

@@ -13,6 +13,16 @@ bool LossLinkFilter::allow(NodeId from, NodeId to) const {
   return true;
 }
 
+void OfflineSetFilter::set_offline(NodeId node, bool down) {
+  if (down && node.value >= offline_.size()) {
+    offline_.resize(node.value + 1, false);
+  }
+  if (node.value < offline_.size() && offline_[node.value] != down) {
+    offline_[node.value] = down;
+    count_ += down ? 1 : -1;
+  }
+}
+
 bool OutageLinkFilter::active() const {
   const sim::SimTime now = simulator_.now();
   return now >= start_ && now < end_;

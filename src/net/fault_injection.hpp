@@ -12,9 +12,15 @@
 //   * OutageLinkFilter  — takes one node fully offline between two
 //                         instants (a crash-and-reboot, or an operator
 //                         unplugging a peer), without re-randomizing like
-//                         the pipe-stoppage adversary does.
+//                         the pipe-stoppage adversary does;
+//   * OfflineSetFilter  — a dynamic membership set of fully-offline nodes,
+//                         flipped at runtime by a driver (the deployment-
+//                         dynamics churn model layers its departures,
+//                         crashes, and correlated regional outages on this
+//                         one filter instead of stacking per-window
+//                         OutageLinkFilters).
 //
-// Both are plain net::LinkFilters: install with Network::add_filter() and
+// All are plain net::LinkFilters: install with Network::add_filter() and
 // keep alive until removed.
 #ifndef LOCKSS_NET_FAULT_INJECTION_HPP_
 #define LOCKSS_NET_FAULT_INJECTION_HPP_
@@ -49,6 +55,38 @@ class LossLinkFilter : public LinkFilter {
   double loss_probability_;
   std::set<NodeId> victims_;
   mutable uint64_t dropped_ = 0;
+};
+
+// Silences every node currently in the set: nothing is delivered to or
+// from an offline node. Membership is driver-maintained (see
+// dynamics::ChurnModel); timers at the silenced node keep running, exactly
+// like OutageLinkFilter.
+//
+// allow() sits on the per-message delivery path of every churned run, so
+// membership is a flat bitmap indexed by NodeId value — churned peers are
+// the established population, whose ids are small dense integers by the
+// scenario's registration contract — with a live count fast-path for the
+// (common) fully-online state. High ids (adversary minions) never enter
+// the set and fall off the end of the bitmap in one bounds check.
+class OfflineSetFilter : public LinkFilter {
+ public:
+  // Idempotent either way.
+  void set_offline(NodeId node, bool down);
+  bool offline(NodeId node) const {
+    return node.value < offline_.size() && offline_[node.value];
+  }
+  size_t offline_count() const { return count_; }
+
+  bool allow(NodeId from, NodeId to) const override {
+    if (count_ == 0) {
+      return true;
+    }
+    return !offline(from) && !offline(to);
+  }
+
+ private:
+  std::vector<bool> offline_;
+  size_t count_ = 0;
 };
 
 // Silences one node during [start, end): nothing is delivered to or from it.

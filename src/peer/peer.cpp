@@ -1,5 +1,6 @@
 #include "peer/peer.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace lockss::peer {
@@ -95,10 +96,74 @@ void Peer::start() {
 void Peer::start_poll(storage::AuId au) {
   // Schedule the next cycle first: the poll rate never adapts (§5.1).
   env_.simulator->schedule_in(env_.params.inter_poll_interval, [this, au] { start_poll(au); });
+  if (!online_) {
+    return;  // down peers keep the cycle ticking but call no polls
+  }
   const protocol::PollId id = protocol::make_poll_id(id_, poll_sequence_++);
   auto* raw = pollers_.insert(id, std::make_unique<protocol::PollerSession>(*this, au, id));
   ++polls_started_;
   raw->start();
+}
+
+void Peer::depart() {
+  assert(started_ && "depart() before start()");
+  assert(online_ && "double departure");
+  online_ = false;
+  // Close every live session. Destroying a session cancels its pending
+  // simulator events (they resolve through find_*_session and would no-op
+  // anyway) and releases its booked schedule slots, so a departed peer's
+  // calendar carries no phantom commitments into recovery. PollId order
+  // keeps the teardown walk deterministic. Safe to destroy directly: the
+  // churn driver runs from its own simulator event, never from inside a
+  // session member function.
+  for (protocol::PollId id : pollers_.keys_sorted()) {
+    pollers_.erase(id);
+  }
+  for (protocol::PollId id : voters_.keys_sorted()) {
+    voters_.erase(id);
+  }
+}
+
+void Peer::recover(bool state_loss) {
+  assert(started_ && "recover() before start()");
+  assert(!online_ && "recover() while online");
+  online_ = true;
+  if (state_loss) {
+    // The crash took the disks: reinstall every AU from the publisher —
+    // the operator re-crawl, at one full replica hash per AU (fetch +
+    // verify + rewrite), so crash recovery is never free.
+    operator_recrawl(1.0);
+  }
+}
+
+void Peer::operator_rekey() {
+  // Fresh keys mean a fresh admission-control ledger: refractory periods
+  // and per-peer admission allowances restart from scratch.
+  refractory_ = sched::RefractoryTracker(env_.params.refractory_period);
+}
+
+void Peer::tighten_consideration_rate(double factor) {
+  consideration_scale_ = std::max(0.01, consideration_scale_ * factor);
+  if (started_) {
+    limiter_.update_rate(expected_invitation_rate_per_second(),
+                         env_.params.consideration_rate_multiplier * consideration_scale_);
+  }
+}
+
+uint32_t Peer::operator_recrawl(double cost_factor) {
+  uint32_t restored = 0;
+  for (storage::AuId au : storage_.au_ids()) {
+    storage::AuReplica& replica = storage_.replica(au);
+    for (uint32_t b = 0; b < replica.spec().block_count; ++b) {
+      if (replica.block_damaged(b)) {
+        replica.restore_block(b);
+        ++restored;
+      }
+    }
+    charge_operator_audit(cost_factor);
+    refresh_damage_state(au);
+  }
+  return restored;
 }
 
 void Peer::maintenance() {
@@ -111,6 +176,14 @@ void Peer::maintenance() {
 }
 
 void Peer::handle_message(net::MessagePtr message) {
+  if (!online_) {
+    // Defense in depth: the Network re-checks link filters at delivery
+    // time, so with an OfflineSetFilter installed (run_scenario always
+    // installs one when churn is on) nothing reaches a departed peer.
+    // This guard covers deployments that drive depart() without a filter
+    // (hand-built tests, custom drivers).
+    return;
+  }
   // One virtual tag load + switch; the static_casts are sound because the
   // tag is owned by the concrete type (messages.hpp).
   switch (message->kind()) {

@@ -75,6 +75,36 @@ class Peer : public protocol::PeerHost, public net::MessageHandler {
   // phase), and periodic maintenance.
   void start();
 
+  // --- Deployment dynamics (dynamics::ChurnModel) --------------------------
+  // Takes the peer offline: every live poller/voter session is closed
+  // (pending events cancelled, booked schedule slots released — no leaked
+  // reservations), in-flight polls simply vanish (no outcome is recorded),
+  // and incoming messages are dropped until recovery. The poll cycle and
+  // maintenance timers keep ticking but no-op while offline, so recovery
+  // needs no re-randomized phases — determinism is preserved. Departing
+  // twice is a driver bug and asserts (the churn model merges overlapping
+  // down intervals at build time precisely so this cannot fire).
+  void depart();
+  // Brings the peer back. `state_loss` models a crash that took the disks:
+  // every replica is reinstalled from the publisher (damaged blocks
+  // restored, repair-service effort charged per AU). Recovering while
+  // online asserts.
+  void recover(bool state_loss);
+  bool online() const { return online_; }
+
+  // --- Operator interventions (dynamics::OperatorResponseEngine) -----------
+  // Re-keys the peer: its admission-control state (refractory periods and
+  // per-peer admission allowances) restarts from scratch, as a freshly
+  // provisioned identity's would.
+  void operator_rekey();
+  // Multiplies the invitation-consideration budget by `factor` (cumulative,
+  // floored so the peer never wedges shut entirely).
+  void tighten_consideration_rate(double factor);
+  // Re-fetches every AU from the publisher, restoring damaged blocks and
+  // charging `cost_factor` replica hashes per AU (peer::OperatorModel's
+  // audit cost model). Returns the number of blocks restored.
+  uint32_t operator_recrawl(double cost_factor);
+
   // --- net::MessageHandler --------------------------------------------------
   void handle_message(net::MessagePtr message) override;
 
@@ -180,6 +210,10 @@ class Peer : public protocol::PeerHost, public net::MessageHandler {
   uint64_t polls_started_ = 0;
   std::array<uint64_t, 8> admission_verdicts_{};
   bool started_ = false;
+  bool online_ = true;
+  // Cumulative operator rate-tightening; multiplies the §6.3 consideration
+  // budget.
+  double consideration_scale_ = 1.0;
 };
 
 }  // namespace lockss::peer

@@ -42,6 +42,18 @@ PollerSession::~PollerSession() {
   }
   invitees_.for_each([](net::NodeId, Invitee& invitee) { invitee.timeout.cancel(); });
   repair_timeout_handle_.cancel();
+  // A session destroyed mid-poll (its peer departed, or the scenario tore
+  // down) must release its still-booked future slots, or the departing
+  // peer's calendar leaks phantom busy time into every later admission
+  // decision. After a normal conclude() this is a no-op.
+  release_reservations();
+}
+
+void PollerSession::release_reservations() {
+  for (sched::ReservationId rid : active_reservations_) {
+    host_.schedule().cancel(rid);
+  }
+  active_reservations_.clear();
 }
 
 void PollerSession::start() {
@@ -575,10 +587,7 @@ void PollerSession::conclude(PollOutcomeKind kind) {
   invitees_.for_each([](net::NodeId, Invitee& invitee) { invitee.timeout.cancel(); });
   repair_timeout_handle_.cancel();
   // Release any still-booked future slots.
-  for (sched::ReservationId rid : active_reservations_) {
-    host_.schedule().cancel(rid);
-  }
-  active_reservations_.clear();
+  release_reservations();
 
   PollOutcome outcome;
   outcome.kind = kind;

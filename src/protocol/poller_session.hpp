@@ -102,6 +102,10 @@ class PollerSession {
   void maybe_frivolous_repair_then_receipts();
   void send_receipts_and_conclude();
   void conclude(PollOutcomeKind kind);
+  // Cancels every still-booked schedule slot (conclude() and the
+  // destructor must stay in lockstep — a slot surviving either path leaks
+  // phantom busy time into later admission decisions).
+  void release_reservations();
 
   // Books an effort task on the local schedule; invokes `done(true)` at the
   // task's end (charging `category`) or `done(false)` if no slot fits before

@@ -30,10 +30,11 @@ bool regen_requested() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-TEST(CampaignGoldenTest, SmokeCampaignManifestMatchesFixture) {
+void check_manifest_fixture(const std::string& campaign_file, const std::string& fixture_name) {
   Spec spec;
   std::string error;
-  ASSERT_TRUE(load_spec_file(source_dir() + "/campaigns/smoke.json", &spec, &error)) << error;
+  ASSERT_TRUE(load_spec_file(source_dir() + "/campaigns/" + campaign_file, &spec, &error))
+      << error;
   CompiledCampaign compiled;
   ASSERT_TRUE(compile_campaign(spec, &compiled, &error)) << error;
 
@@ -44,7 +45,7 @@ TEST(CampaignGoldenTest, SmokeCampaignManifestMatchesFixture) {
   ASSERT_TRUE(run_campaign(compiled, options, &outcome, &error)) << error;
   const std::string manifest = render_manifest(compiled, outcome);
 
-  const std::string fixture_path = source_dir() + "/tests/golden/campaign_smoke.manifest.golden";
+  const std::string fixture_path = source_dir() + "/tests/golden/" + fixture_name;
   if (regen_requested()) {
     std::ofstream out(fixture_path, std::ios::binary | std::ios::trunc);
     ASSERT_TRUE(out.is_open()) << "cannot write " << fixture_path;
@@ -62,6 +63,23 @@ TEST(CampaignGoldenTest, SmokeCampaignManifestMatchesFixture) {
          "with LOCKSS_REGEN_GOLDEN=1 ./campaign_golden_test and commit with a rationale.";
 }
 
+TEST(CampaignGoldenTest, SmokeCampaignManifestMatchesFixture) {
+  check_manifest_fixture("smoke.json", "campaign_smoke.manifest.golden");
+}
+
+// Dynamic-deployment campaigns: the fixtures pin the dynamics sections of
+// the manifest (spec echo + per-cell churn/availability/intervention
+// metrics) end to end — spec parsing, churn-schedule generation, operator
+// engine, and the gated manifest rendering.
+TEST(CampaignGoldenTest, ChurnBaselineManifestMatchesFixture) {
+  check_manifest_fixture("churn_baseline.json", "churn_baseline.manifest.golden");
+}
+
+TEST(CampaignGoldenTest, RegionalOutageRecoveryManifestMatchesFixture) {
+  check_manifest_fixture("regional_outage_recovery.json",
+                         "regional_outage_recovery.manifest.golden");
+}
+
 // The shipped campaign files must always parse and compile (CI also
 // validates them through the lockss_campaign binary; this covers local
 // ctest runs).
@@ -71,7 +89,9 @@ TEST(CampaignGoldenTest, AllShippedCampaignsCompile) {
       "table1.json",       "recuperation_flood.json",
       "rolling_pipe_vote_flood.json", "newcomer_wave_grade_recovery.json",
       "pipe_stoppage_demo.json",      "vote_flood_demo.json",
-      "smoke.json",
+      "smoke.json",        "churn_baseline.json",
+      "churn_under_brute_force.json", "regional_outage_recovery.json",
+      "operator_response_race.json",
   };
   for (const char* name : names) {
     Spec spec;

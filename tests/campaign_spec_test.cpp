@@ -2,11 +2,13 @@
 // diagnostics (file/line/field context), and grid compilation.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
 #include "campaign/engine.hpp"
 #include "campaign/json.hpp"
 #include "campaign/spec.hpp"
+#include "sim/rng.hpp"
 
 namespace lockss::campaign {
 namespace {
@@ -80,6 +82,16 @@ constexpr const char* kFullSpec = R"({
                   "newcomers": 4, "newcomer_window_days": 100, "au_coverage": 0.8 },
   "damage": { "mean_disk_years_between_failures": 0.3, "aus_per_disk": 3.0 },
   "protocol": { "quorum": 5, "adaptive_acceptance": true },
+  "dynamics": { "leave_rate_per_peer_year": 1.5, "crash_rate_per_peer_year": 0.5,
+                "mean_downtime_days": 9, "arrival_rate_per_year": 6,
+                "regions": 4, "regional_outage_rate_per_year": 2,
+                "regional_outage_days": 4, "regional_recovery_stagger_hours": 8,
+                "regional_state_loss": true },
+  "operators": { "detection_latency_days": 1.5, "recrawl_cost_factor": 3,
+                 "policies": [
+                   { "trigger": "alarm", "action": "au_recrawl" },
+                   { "trigger": "recovery", "action": "rate_tighten", "factor": 0.25 }
+                 ] },
   "trace_days": 10,
   "adversary": [
     { "kind": "pipe_stoppage", "attack_days": 20, "recuperation_days": 10, "coverage_percent": 50,
@@ -118,6 +130,23 @@ TEST(CampaignSpecTest, ParsesFullSpec) {
   ASSERT_EQ(spec.axes.size(), 2u);
   EXPECT_FALSE(spec.axes[0].categorical());
   EXPECT_TRUE(spec.axes[1].categorical());
+  // Dynamics + operators sections.
+  EXPECT_TRUE(spec.churn.enabled());
+  EXPECT_DOUBLE_EQ(spec.churn.leave_rate_per_peer_year, 1.5);
+  EXPECT_DOUBLE_EQ(spec.churn.crash_rate_per_peer_year, 0.5);
+  EXPECT_DOUBLE_EQ(spec.churn.mean_downtime_days, 9.0);
+  EXPECT_DOUBLE_EQ(spec.churn.arrival_rate_per_year, 6.0);
+  EXPECT_EQ(spec.churn.regions, 4u);
+  EXPECT_TRUE(spec.churn.regional_state_loss);
+  EXPECT_TRUE(spec.operators.enabled());
+  EXPECT_DOUBLE_EQ(spec.operators.detection_latency.to_days(), 1.5);
+  EXPECT_DOUBLE_EQ(spec.operators.recrawl_cost_factor, 3.0);
+  ASSERT_EQ(spec.operators.policies.size(), 2u);
+  EXPECT_EQ(spec.operators.policies[0].trigger, dynamics::OperatorTrigger::kAlarm);
+  EXPECT_EQ(spec.operators.policies[0].action, dynamics::OperatorAction::kAuRecrawl);
+  EXPECT_EQ(spec.operators.policies[1].trigger, dynamics::OperatorTrigger::kRecovery);
+  EXPECT_EQ(spec.operators.policies[1].action, dynamics::OperatorAction::kRateTighten);
+  EXPECT_DOUBLE_EQ(spec.operators.policies[1].factor, 0.25);
 }
 
 // Every rejection must carry file:line: field: context.
@@ -173,6 +202,74 @@ TEST(CampaignSpecTest, RejectionDiagnosticsCarryLineAndField) {
        "  \"outputs\": { \"figure\": { \"metric\": \"friction\", \"row_header\": \"d\","
        " \"csv\": \"x.csv\" } }\n}",
        "r.json:4", "exactly 2 sweep axes"},
+      // --- dynamics section ---------------------------------------------
+      {"{\n  \"name\": \"x\",\n  \"dynamics\": {\n    \"churn\": 1\n  }\n}", "r.json:4",
+       "unknown member"},
+      {"{\n  \"name\": \"x\",\n  \"dynamics\": {\n    \"leave_rate_per_peer_year\": -1\n  }\n}",
+       "r.json:3", "leave_rate_per_peer_year"},
+      {"{\n  \"name\": \"x\",\n  \"dynamics\": {\n    \"crash_rate_per_peer_year\": -0.5\n"
+       "  }\n}",
+       "r.json:3", "crash_rate_per_peer_year"},
+      {"{\n  \"name\": \"x\",\n  \"dynamics\": {\n    \"mean_downtime_days\": 0\n  }\n}",
+       "r.json:3", "mean_downtime_days"},
+      {"{\n  \"name\": \"x\",\n  \"dynamics\": {\n    \"arrival_rate_per_year\": -2\n  }\n}",
+       "r.json:3", "arrival_rate_per_year"},
+      {"{\n  \"name\": \"x\",\n  \"dynamics\": {\n"
+       "    \"regional_outage_rate_per_year\": 2\n  }\n}",
+       "r.json:3", "regions"},
+      {"{\n  \"name\": \"x\",\n  \"dynamics\": {\n    \"regions\": 2,\n"
+       "    \"regional_outage_rate_per_year\": 2,\n    \"regional_outage_days\": 0\n  }\n}",
+       "r.json:3", "regional_outage_days"},
+      {"{\n  \"name\": \"x\",\n  \"dynamics\": {\n    \"regions\": 2,\n"
+       "    \"regional_outage_rate_per_year\": 2,\n"
+       "    \"regional_recovery_stagger_hours\": -1\n  }\n}",
+       "r.json:3", "regional_recovery_stagger_hours"},
+      {"{\n  \"name\": \"x\",\n  \"dynamics\": {\n    \"regions\": -3\n  }\n}", "r.json:4",
+       "non-negative integer"},
+      {"{\n  \"name\": \"x\",\n  \"dynamics\": {\n    \"regional_state_loss\": 1\n  }\n}",
+       "r.json:4", "expected a bool"},
+      // --- operators section --------------------------------------------
+      {"{\n  \"name\": \"x\",\n  \"operators\": {\n    \"detection_latency_days\": 2\n  }\n}",
+       "r.json:3", "policies"},
+      {"{\n  \"name\": \"x\",\n  \"operators\": {\n    \"policies\": []\n  }\n}", "r.json:4",
+       "non-empty array"},
+      {"{\n  \"name\": \"x\",\n  \"operators\": {\n    \"detection_latency_days\": -1,\n"
+       "    \"policies\": [ { \"trigger\": \"alarm\", \"action\": \"rekey\" } ]\n  }\n}",
+       "r.json:3", "detection_latency_days"},
+      {"{\n  \"name\": \"x\",\n  \"operators\": {\n    \"recrawl_cost_factor\": 0,\n"
+       "    \"policies\": [ { \"trigger\": \"alarm\", \"action\": \"rekey\" } ]\n  }\n}",
+       "r.json:3", "recrawl_cost_factor"},
+      {"{\n  \"name\": \"x\",\n  \"operators\": {\n    \"policies\": [\n"
+       "      { \"trigger\": \"panic\", \"action\": \"rekey\" }\n    ]\n  }\n}",
+       "r.json:5", "unknown trigger"},
+      {"{\n  \"name\": \"x\",\n  \"operators\": {\n    \"policies\": [\n"
+       "      { \"trigger\": \"alarm\", \"action\": \"reboot\" }\n    ]\n  }\n}",
+       "r.json:5", "unknown action"},
+      {"{\n  \"name\": \"x\",\n  \"operators\": {\n    \"policies\": [\n"
+       "      { \"trigger\": \"alarm\", \"action\": \"rate_tighten\", \"factor\": 1.5 }\n"
+       "    ]\n  }\n}",
+       "r.json:5", "within (0, 1]"},
+      {"{\n  \"name\": \"x\",\n  \"operators\": {\n    \"policies\": [\n"
+       "      { \"trigger\": \"alarm\", \"action\": \"rekey\", \"severity\": 3 }\n    ]\n  }\n}",
+       "r.json:5", "unknown member"},
+      {"{\n  \"name\": \"x\",\n  \"operators\": {\n    \"policies\": [ 7 ]\n  }\n}", "r.json:4",
+       "expected an object"},
+      // --- dynamics sweep axes ------------------------------------------
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"churn_leave_rate\","
+       " \"values\": [-1] }\n  ]\n}",
+       "r.json:4", "churn_leave_rate"},
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"churn_mean_downtime_days\","
+       " \"values\": [0] }\n  ]\n}",
+       "r.json:4", "churn_mean_downtime_days"},
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"detection_latency_days\","
+       " \"values\": [1, 2] }\n  ]\n}",
+       "r.json:4", "operators section"},
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"regional_outage_rate\","
+       " \"values\": [1, 2] }\n  ]\n}",
+       "r.json:4", "dynamics.regions"},
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"churn_mean_downtime_days\","
+       " \"values\": [2, 20] }\n  ]\n}",
+       "r.json:4", "session churn"},
   };
   for (const Rejection& c : cases) {
     Json json;
@@ -193,7 +290,12 @@ TEST(CampaignSpecTest, RoundTripsThroughManifestVocabulary) {
     if (param == "defection") {
       continue;  // categorical, needs a phase
     }
+    // Full context so every axis is legal: a phase for phase axes, regions
+    // for the regional-outage axis, a policy for the detection-latency axis.
     std::string text = "{ \"name\": \"x\", \"adversary\": [ { \"kind\": \"pipe_stoppage\" } ],"
+                       " \"dynamics\": { \"regions\": 2, \"leave_rate_per_peer_year\": 1 },"
+                       " \"operators\": { \"policies\": [ { \"trigger\": \"alarm\","
+                       " \"action\": \"rekey\" } ] },"
                        " \"sweep\": [ { \"param\": \"" +
                        param + "\", \"phase\": 0, \"values\": [1] } ] }";
     Json json;
@@ -201,6 +303,236 @@ TEST(CampaignSpecTest, RoundTripsThroughManifestVocabulary) {
     ASSERT_TRUE(parse_json(text, &json, &error)) << param;
     Spec spec;
     EXPECT_TRUE(parse_spec(json, "v.json", &spec, &error)) << param << ": " << error;
+  }
+}
+
+TEST(CampaignSpecTest, SweepOnlyDynamicsCountAsDynamic) {
+  // A dynamics sweep axis makes the campaign dynamic even when the base
+  // spec has no dynamics/operators section — the manifest and cells CSV
+  // must carry the churn metrics the sweep exists to measure. A downtime
+  // axis is legal exactly when a sibling axis switches churn on.
+  Json json = parse_ok(R"({ "name": "s",
+    "sweep": [ { "param": "churn_leave_rate", "values": [0.5, 2] },
+               { "param": "churn_mean_downtime_days", "values": [2, 20] } ] })");
+  Spec spec;
+  std::string error;
+  ASSERT_TRUE(parse_spec(json, "s.json", &spec, &error)) << error;
+  EXPECT_FALSE(spec.churn.enabled());
+  EXPECT_TRUE(spec_is_dynamic(spec));
+  CompiledCampaign compiled;
+  ASSERT_TRUE(compile_campaign(spec, &compiled, &error)) << error;
+  ASSERT_EQ(compiled.cells.size(), 4u);
+  EXPECT_DOUBLE_EQ(compiled.cells[0].config.churn.leave_rate_per_peer_year, 0.5);
+  EXPECT_DOUBLE_EQ(compiled.cells[0].config.churn.mean_downtime_days, 2.0);
+  EXPECT_TRUE(compiled.cells[0].config.churn.enabled());
+
+  Json static_json = parse_ok(R"({ "name": "s",
+    "sweep": [ { "param": "peers", "values": [10, 20] } ] })");
+  Spec static_spec;
+  ASSERT_TRUE(parse_spec(static_json, "s.json", &static_spec, &error)) << error;
+  EXPECT_FALSE(spec_is_dynamic(static_spec));
+}
+
+// --- Fuzz-style generator round-trips --------------------------------------
+// A seeded generator assembles random specs from valid building blocks and
+// asserts every one survives write -> parse -> compile with the intended
+// grid shape and config values; a second pass injects one random defect
+// from a catalog and asserts the diagnostic lands on the right field path.
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+struct Generated {
+  std::string text;
+  uint32_t peers = 0;
+  double churn_leave_rate = 0.0;
+  size_t policies = 0;
+  size_t phases = 0;
+  size_t expected_cells = 1;
+};
+
+Generated generate_valid_spec(sim::Rng& rng) {
+  Generated g;
+  g.peers = 4 + static_cast<uint32_t>(rng.index(60));
+  std::string text = "{\n  \"name\": \"fuzz\",\n  \"description\": \"generated\",\n";
+  text += "  \"deployment\": { \"peers\": " + std::to_string(g.peers) +
+          ", \"aus\": " + std::to_string(1 + rng.index(4)) +
+          ", \"duration_years\": " + num(0.2 + rng.uniform()) +
+          ", \"seed\": " + std::to_string(rng.index(1000)) +
+          ", \"seeds\": " + std::to_string(1 + rng.index(3)) + " },\n";
+  if (rng.bernoulli(0.5)) {
+    text += "  \"damage\": { \"mean_disk_years_between_failures\": " +
+            num(0.1 + rng.uniform() * 5.0) + ", \"aus_per_disk\": " +
+            num(1.0 + rng.uniform() * 50.0) + " },\n";
+  }
+  if (rng.bernoulli(0.5)) {
+    text += "  \"protocol\": { \"quorum\": " + std::to_string(2 + rng.index(6)) +
+            ", \"reference_list_target\": " + std::to_string(5 + rng.index(20)) + " },\n";
+  }
+  if (rng.bernoulli(0.7)) {
+    // Two-decimal rates so the %.6g rendering round-trips exactly.
+    g.churn_leave_rate = static_cast<double>(rng.index(300)) / 100.0;
+    text += "  \"dynamics\": { \"leave_rate_per_peer_year\": " + num(g.churn_leave_rate) +
+            ", \"crash_rate_per_peer_year\": " + num(rng.uniform()) +
+            ", \"mean_downtime_days\": " + num(1.0 + rng.uniform() * 15.0);
+    if (rng.bernoulli(0.5)) {
+      text += ", \"arrival_rate_per_year\": " + num(rng.uniform() * 10.0);
+    }
+    if (rng.bernoulli(0.5)) {
+      text += ", \"regions\": " + std::to_string(1 + rng.index(4)) +
+              ", \"regional_outage_rate_per_year\": " + num(rng.uniform() * 4.0) +
+              ", \"regional_outage_days\": " + num(0.5 + rng.uniform() * 8.0) +
+              ", \"regional_state_loss\": " + (rng.bernoulli(0.5) ? "true" : "false");
+    }
+    text += " },\n";
+  }
+  if (rng.bernoulli(0.6)) {
+    static const char* kTriggers[] = {"alarm", "recovery"};
+    static const char* kActions[] = {"rekey", "friend_refresh", "au_recrawl"};
+    g.policies = 1 + rng.index(3);
+    text += "  \"operators\": { \"detection_latency_days\": " + num(rng.uniform() * 6.0) +
+            ", \"policies\": [\n";
+    for (size_t i = 0; i < g.policies; ++i) {
+      const bool tighten = rng.bernoulli(0.25);
+      text += std::string("    { \"trigger\": \"") + kTriggers[rng.index(2)] +
+              "\", \"action\": \"" +
+              (tighten ? "rate_tighten" : kActions[rng.index(3)]) + "\"";
+      if (tighten) {
+        text += ", \"factor\": " + num(0.1 + rng.uniform() * 0.9);
+      }
+      text += i + 1 < g.policies ? " },\n" : " }\n";
+    }
+    text += "  ] },\n";
+  }
+  g.phases = rng.index(3);  // 0-2; pipe_stoppage then brute_force never collide
+  if (g.phases > 0) {
+    text += "  \"adversary\": [\n    { \"kind\": \"pipe_stoppage\", \"attack_days\": " +
+            num(1.0 + rng.uniform() * 40.0) + ", \"recuperation_days\": " +
+            num(1.0 + rng.uniform() * 40.0) + ", \"coverage_percent\": " +
+            num(rng.uniform() * 100.0) + " }";
+    if (g.phases > 1) {
+      text += ",\n    { \"kind\": \"brute_force\", \"defection\": \"INTRO\" }";
+    }
+    text += "\n  ],\n";
+  }
+  // 0-2 sweep axes from a vocabulary legal for this spec shape.
+  const size_t axis_count = rng.index(3);
+  if (axis_count > 0) {
+    text += "  \"sweep\": [\n";
+    for (size_t a = 0; a < axis_count; ++a) {
+      const size_t values = 1 + rng.index(3);
+      g.expected_cells *= values;
+      std::string param = "churn_leave_rate";
+      switch (rng.index(g.phases > 0 ? 4 : 3)) {
+        case 0:
+          param = "churn_leave_rate";
+          break;
+        case 1:
+          param = "duration_years";
+          break;
+        case 2:
+          param = "quorum";
+          break;
+        case 3:
+          param = "attack_days";
+          break;
+      }
+      text += "    { \"param\": \"" + param + "\", \"label\": \"x" + std::to_string(a) +
+              "\", \"values\": [";
+      for (size_t v = 0; v < values; ++v) {
+        text += (v > 0 ? ", " : "") + num(param == "quorum"
+                                              ? static_cast<double>(2 + v)
+                                              : 0.5 + static_cast<double>(v));
+      }
+      text += "] }";
+      text += a + 1 < axis_count ? ",\n" : "\n";
+    }
+    text += "  ],\n";
+  }
+  text += "  \"trace_days\": " + num(rng.bernoulli(0.5) ? 0.0 : 20.0) + "\n}";
+  g.text = text;
+  return g;
+}
+
+TEST(CampaignSpecFuzzTest, GeneratedValidSpecsSurviveWriteParseCompile) {
+  sim::Rng rng(20260730);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const Generated g = generate_valid_spec(rng);
+    Json json;
+    std::string error;
+    ASSERT_TRUE(parse_json(g.text, &json, &error)) << g.text << "\n" << error;
+    Spec spec;
+    ASSERT_TRUE(parse_spec(json, "g.json", &spec, &error)) << g.text << "\n" << error;
+    // The parsed spec carries the generated intent...
+    EXPECT_EQ(spec.peers, g.peers);
+    EXPECT_DOUBLE_EQ(spec.churn.leave_rate_per_peer_year, g.churn_leave_rate);
+    EXPECT_EQ(spec.operators.policies.size(), g.policies);
+    EXPECT_EQ(spec.pipeline.size(), g.phases);
+    // ...and compiles onto the intended grid, dynamics included.
+    CompiledCampaign compiled;
+    ASSERT_TRUE(compile_campaign(spec, &compiled, &error)) << g.text << "\n" << error;
+    EXPECT_EQ(compiled.cells.size(), g.expected_cells) << g.text;
+    EXPECT_EQ(compiled.base.peer_count, g.peers);
+    EXPECT_DOUBLE_EQ(compiled.base.churn.leave_rate_per_peer_year, g.churn_leave_rate);
+    EXPECT_EQ(compiled.base.operators.policies.size(), g.policies);
+    for (const CompiledCell& cell : compiled.cells) {
+      EXPECT_EQ(cell.config.adversary.pipeline.size(), g.phases);
+    }
+  }
+}
+
+TEST(CampaignSpecFuzzTest, GeneratedInvalidSpecsDiagnoseTheRightField) {
+  // Each catalog entry welds one defect onto an otherwise-valid skeleton;
+  // the diagnostic must carry the source location prefix and the defective
+  // field's name, never a crash and never a pass.
+  struct Defect {
+    const char* fragment;         // inserted after "name"/"description"
+    const char* expect_field;
+  };
+  const Defect catalog[] = {
+      {"\"deployment\": { \"peers\": 0 }", "peers"},
+      {"\"deployment\": { \"aus\": 0 }", "aus"},
+      {"\"deployment\": { \"duration_years\": -2 }", "duration_years"},
+      {"\"deployment\": { \"au_coverage\": 2.0 }", "au_coverage"},
+      {"\"damage\": { \"mean_disk_years_between_failures\": -1 }",
+       "mean_disk_years_between_failures"},
+      {"\"dynamics\": { \"leave_rate_per_peer_year\": -0.1 }", "leave_rate_per_peer_year"},
+      {"\"dynamics\": { \"mean_downtime_days\": -3 }", "mean_downtime_days"},
+      {"\"dynamics\": { \"regional_outage_rate_per_year\": 1 }", "regions"},
+      {"\"dynamics\": { \"wobble\": 1 }", "wobble"},
+      {"\"operators\": { \"policies\": [ { \"trigger\": \"alarm\" } ] }", "action"},
+      {"\"operators\": { \"policies\": [ { \"trigger\": \"whim\","
+       " \"action\": \"rekey\" } ] }",
+       "trigger"},
+      {"\"operators\": { \"policies\": [ { \"trigger\": \"alarm\","
+       " \"action\": \"rate_tighten\", \"factor\": 0 } ] }",
+       "factor"},
+      {"\"operators\": { \"detection_latency_days\": 2 }", "policies"},
+      {"\"sweep\": [ { \"param\": \"churn_crash_rate\", \"values\": [-2] } ]",
+       "churn_crash_rate"},
+      {"\"sweep\": [ { \"param\": \"detection_latency_days\", \"values\": [1] } ]",
+       "detection_latency_days"},
+      {"\"sweep\": [ { \"param\": \"gremlins\", \"values\": [1] } ]", "gremlins"},
+      {"\"adversary\": [ { \"kind\": \"time_travel\" } ]", "kind"},
+      {"\"adversary\": [ { \"kind\": \"brute_force\", \"defection\": \"MAYBE\" } ]",
+       "defection"},
+  };
+  sim::Rng rng(99);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const Defect& defect = catalog[rng.index(sizeof(catalog) / sizeof(catalog[0]))];
+    const std::string text = std::string("{\n  \"name\": \"bad\",\n  ") + defect.fragment +
+                             ",\n  \"description\": \"d\"\n}";
+    Json json;
+    std::string error;
+    ASSERT_TRUE(parse_json(text, &json, &error)) << text << "\n" << error;
+    Spec spec;
+    ASSERT_FALSE(parse_spec(json, "g.json", &spec, &error)) << text;
+    EXPECT_NE(error.find("g.json:"), std::string::npos) << error;
+    EXPECT_NE(error.find(defect.expect_field), std::string::npos)
+        << "wanted field '" << defect.expect_field << "' in: " << error;
   }
 }
 

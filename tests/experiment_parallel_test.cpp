@@ -69,6 +69,14 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.admission_verdicts, b.admission_verdicts);
   EXPECT_EQ(a.events_processed, b.events_processed);
   EXPECT_EQ(a.peak_queue_depth, b.peak_queue_depth);
+  // Deployment-dynamics accounting (PR 5); defaults on static grids, but
+  // covered here so a future grid with churn cannot silently escape.
+  EXPECT_EQ(a.churn_departures, b.churn_departures);
+  EXPECT_EQ(a.churn_recoveries, b.churn_recoveries);
+  EXPECT_EQ(a.churn_arrivals, b.churn_arrivals);
+  EXPECT_EQ(a.availability_mean, b.availability_mean);
+  EXPECT_EQ(a.mean_recovery_days, b.mean_recovery_days);
+  EXPECT_EQ(a.operator_interventions, b.operator_interventions);
 }
 
 TEST(ParallelRunnerTest, OneWorkerMatchesManyWorkersBitExactly) {

@@ -50,7 +50,12 @@ void append(std::string& out, const char* key, uint64_t v) {
 }
 
 // The full deterministic content of a RunResult, one field per line.
-std::string fingerprint(const std::string& name, const RunResult& r) {
+// `dynamic` selects the extended fixture format carrying the dynamics
+// accounting; it is a property of the scenario *config* (churn/operators
+// enabled), not of what the realized schedule happened to produce, so the
+// fixture shape can never flip on a seed tweak and a dynamics-enabled
+// scenario pins its dynamics fields even when they are all zero.
+std::string fingerprint(const std::string& name, const RunResult& r, bool dynamic) {
   std::string out = "scenario: " + name + "\n";
   const metrics::MetricsReport& m = r.report;
   append(out, "duration_days", m.duration.to_days());
@@ -79,6 +84,21 @@ std::string fingerprint(const std::string& name, const RunResult& r) {
   }
   append(out, "events_processed", r.events_processed);
   append(out, "peak_queue_depth", r.peak_queue_depth);
+  // Deployment-dynamics accounting is fingerprinted only for dynamic
+  // scenarios, so every static fixture in the pre-dynamics corpus stays
+  // byte-identical with zero regeneration.
+  if (dynamic) {
+    append(out, "churn_departures", r.churn_departures);
+    append(out, "churn_recoveries", r.churn_recoveries);
+    append(out, "churn_arrivals", r.churn_arrivals);
+    append(out, "availability_mean", r.availability_mean);
+    append(out, "mean_recovery_days", r.mean_recovery_days);
+    for (size_t a = 0; a < r.operator_interventions.size(); ++a) {
+      char key[40];
+      std::snprintf(key, sizeof(key), "operator_interventions[%zu]", a);
+      append(out, key, r.operator_interventions[a]);
+    }
+  }
   append(out, "trace_interval_days", r.trace.interval.to_days());
   append(out, "trace_points", static_cast<uint64_t>(r.trace.points.size()));
   for (size_t k = 0; k < r.trace.points.size(); ++k) {
@@ -94,6 +114,14 @@ std::string fingerprint(const std::string& name, const RunResult& r) {
                   p.inquorate_polls, p.alarms, p.repairs, p.loyal_effort_seconds,
                   p.adversary_effort_seconds);
     out += row + buf;
+    if (dynamic) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s: online=%.17g departures=%" PRIu64 " recoveries=%" PRIu64
+                    " mean_recovery_days=%.17g\n",
+                    prefix, p.online_fraction, p.departures, p.recoveries,
+                    p.mean_recovery_days);
+      out += buf;
+    }
   }
   return out;
 }
@@ -119,8 +147,8 @@ bool regen_requested() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-void check_golden(const std::string& name, const RunResult& result) {
-  const std::string fixture = render_fixture(fingerprint(name, result));
+void check_golden(const std::string& name, const RunResult& result, bool dynamic = false) {
+  const std::string fixture = render_fixture(fingerprint(name, result, dynamic));
   const std::string path = golden_dir() + name + ".golden";
   if (regen_requested()) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -192,6 +220,38 @@ TEST(GoldenTraceTest, Churn) {
   config.newcomer_count = 3;
   config.newcomer_join_window = sim::SimTime::days(200);
   check_golden("churn", run_scenario(config));
+}
+
+TEST(GoldenTraceTest, ChurnDynamics) {
+  // Session churn + arrivals + alarm/recovery operator policies over the
+  // canonical deployment: pins the whole dynamics layer — schedule
+  // generation, depart/recover teardown, arrival bootstrap, operator
+  // interventions, and the availability/recovery trace series.
+  ScenarioConfig config = canonical_config();
+  config.churn.leave_rate_per_peer_year = 1.5;
+  config.churn.crash_rate_per_peer_year = 0.7;
+  config.churn.mean_downtime_days = 8.0;
+  config.churn.arrival_rate_per_year = 3.0;
+  config.operators.detection_latency = sim::SimTime::days(2);
+  config.operators.policies.push_back(
+      {dynamics::OperatorTrigger::kAlarm, dynamics::OperatorAction::kAuRecrawl, 1.0});
+  config.operators.policies.push_back(
+      {dynamics::OperatorTrigger::kRecovery, dynamics::OperatorAction::kRekey, 1.0});
+  check_golden("churn_dynamics", run_scenario(config), /*dynamic=*/true);
+}
+
+TEST(GoldenTraceTest, RegionalOutage) {
+  // Correlated regional outages with staggered, state-losing recovery under
+  // a brute-force adversary: pins the outage merge logic, the offline link
+  // filter, and publisher reinstalls interacting with the damage integral.
+  ScenarioConfig config = canonical_config();
+  config.adversary.kind = AdversarySpec::Kind::kBruteForce;
+  config.churn.regions = 3;
+  config.churn.regional_outage_rate_per_year = 3.0;
+  config.churn.regional_outage_days = 6.0;
+  config.churn.regional_recovery_stagger_hours = 12.0;
+  config.churn.regional_state_loss = true;
+  check_golden("regional_outage", run_scenario(config), /*dynamic=*/true);
 }
 
 TEST(GoldenTraceTest, LayeredBruteForce) {

@@ -61,7 +61,12 @@ bool identical(const experiment::RunResult& a, const experiment::RunResult& b) {
          a.adversary_invitations == b.adversary_invitations &&
          a.adversary_admissions == b.adversary_admissions &&
          a.admission_verdicts == b.admission_verdicts &&
-         a.events_processed == b.events_processed && a.peak_queue_depth == b.peak_queue_depth;
+         a.events_processed == b.events_processed && a.peak_queue_depth == b.peak_queue_depth &&
+         a.churn_departures == b.churn_departures &&
+         a.churn_recoveries == b.churn_recoveries && a.churn_arrivals == b.churn_arrivals &&
+         a.availability_mean == b.availability_mean &&
+         a.mean_recovery_days == b.mean_recovery_days &&
+         a.operator_interventions == b.operator_interventions;
 }
 
 struct SweepReport {
@@ -75,6 +80,37 @@ struct SweepReport {
   // Labelled per-run traces from the serial pass, for BENCH_trace.csv.
   std::vector<std::pair<std::string, metrics::RunTrace>> traces;
 };
+
+SweepReport time_grid(const std::string& name,
+                      const std::vector<experiment::ScenarioConfig>& grid,
+                      const std::vector<std::string>& labels, unsigned workers) {
+  SweepReport out;
+  out.name = name;
+  out.runs = grid.size();
+
+  double start = now_seconds();
+  const auto serial = experiment::run_grid(grid, /*workers=*/1);
+  out.serial_seconds = now_seconds() - start;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    if (serial[i].trace.enabled()) {
+      out.traces.emplace_back(labels[i], serial[i].trace);
+    }
+  }
+
+  start = now_seconds();
+  const auto parallel = experiment::run_grid(grid, workers);
+  out.parallel_seconds = now_seconds() - start;
+
+  out.identical_metrics = serial.size() == parallel.size();
+  for (size_t i = 0; out.identical_metrics && i < serial.size(); ++i) {
+    out.identical_metrics = identical(serial[i], parallel[i]);
+  }
+  for (const experiment::RunResult& r : serial) {
+    out.events_processed += r.events_processed;
+    out.peak_queue_depth = std::max(out.peak_queue_depth, r.peak_queue_depth);
+  }
+  return out;
+}
 
 SweepReport time_sweep(const std::string& name, experiment::AdversarySpec::Kind adversary,
                        const experiment::BenchProfile& profile,
@@ -107,33 +143,45 @@ SweepReport time_sweep(const std::string& name, experiment::AdversarySpec::Kind 
       }
     }
   }
+  return time_grid(name, grid, labels, workers);
+}
 
-  SweepReport out;
-  out.name = name;
-  out.runs = grid.size();
+// Dynamic-deployment throughput (PR 5): churn leave-rate × regional outage
+// rate over the same base deployment, so future perf PRs track how much the
+// dynamics layer (schedule replay, session teardown, offline filtering,
+// arrival bootstrap) costs per event.
+SweepReport time_churn_sweep(const std::string& name, const experiment::BenchProfile& profile,
+                             const experiment::ScenarioConfig& base, unsigned workers) {
+  const std::vector<double> leave_rates = {0.5, 2.0, 6.0};
+  const std::vector<double> outage_rates = {0, 4.0};
 
-  double start = now_seconds();
-  const auto serial = experiment::run_grid(grid, /*workers=*/1);
-  out.serial_seconds = now_seconds() - start;
-  for (size_t i = 0; i < serial.size(); ++i) {
-    if (serial[i].trace.enabled()) {
-      out.traces.emplace_back(labels[i], serial[i].trace);
+  std::vector<experiment::ScenarioConfig> grid;
+  std::vector<std::string> labels;
+  for (double leave : leave_rates) {
+    for (double outage : outage_rates) {
+      experiment::ScenarioConfig config = base;
+      config.churn.leave_rate_per_peer_year = leave;
+      config.churn.crash_rate_per_peer_year = leave * 0.5;
+      config.churn.mean_downtime_days = 8.0;
+      config.churn.arrival_rate_per_year = 4.0;
+      if (outage > 0) {
+        config.churn.regions = 4;
+        config.churn.regional_outage_rate_per_year = outage;
+        config.churn.regional_outage_days = 4.0;
+        config.churn.regional_recovery_stagger_hours = 8.0;
+        config.churn.regional_state_loss = true;
+      }
+      for (uint32_t s = 0; s < profile.seeds; ++s) {
+        config.seed = base.seed + s;
+        grid.push_back(config);
+        char label[96];
+        std::snprintf(label, sizeof(label), "%s/l%.1f_r%.0f_s%u", name.c_str(), leave, outage,
+                      s);
+        labels.push_back(label);
+      }
     }
   }
-
-  start = now_seconds();
-  const auto parallel = experiment::run_grid(grid, workers);
-  out.parallel_seconds = now_seconds() - start;
-
-  out.identical_metrics = serial.size() == parallel.size();
-  for (size_t i = 0; out.identical_metrics && i < serial.size(); ++i) {
-    out.identical_metrics = identical(serial[i], parallel[i]);
-  }
-  for (const experiment::RunResult& r : serial) {
-    out.events_processed += r.events_processed;
-    out.peak_queue_depth = std::max(out.peak_queue_depth, r.peak_queue_depth);
-  }
-  return out;
+  return time_grid(name, grid, labels, workers);
 }
 
 // --- Substrate micros (PR 3) -------------------------------------------------
@@ -289,6 +337,7 @@ int main(int argc, char** argv) {
   sweeps.push_back(time_sweep("fig6_admission_afp",
                               experiment::AdversarySpec::Kind::kAdmissionFlood, profile, base,
                               workers));
+  sweeps.push_back(time_churn_sweep("churn_dynamics", profile, base, workers));
 
   const uint64_t substrate_ops =
       static_cast<uint64_t>(args.integer("substrate-ops", 4000000));

@@ -38,6 +38,30 @@ void print_plan(const campaign::CompiledCampaign& compiled) {
   std::printf("  replication: %u seed(s) from %llu%s\n", spec.seeds,
               static_cast<unsigned long long>(spec.seed),
               spec.layers > 0 ? (", " + std::to_string(spec.layers) + " layers").c_str() : "");
+  if (spec.churn.enabled()) {
+    std::printf("  dynamics: leave=%g/peer-yr crash=%g/peer-yr downtime=%gd arrivals=%g/yr",
+                spec.churn.leave_rate_per_peer_year, spec.churn.crash_rate_per_peer_year,
+                spec.churn.mean_downtime_days, spec.churn.arrival_rate_per_year);
+    if (spec.churn.regional_outages()) {
+      std::printf(" regions=%u@%g/yr (%gd, stagger %gh%s)", spec.churn.regions,
+                  spec.churn.regional_outage_rate_per_year, spec.churn.regional_outage_days,
+                  spec.churn.regional_recovery_stagger_hours,
+                  spec.churn.regional_state_loss ? ", state loss" : "");
+    }
+    std::printf("\n");
+  }
+  if (spec.operators.enabled()) {
+    std::printf("  operators: detection latency %gd\n",
+                spec.operators.detection_latency.to_days());
+    for (const dynamics::OperatorPolicy& policy : spec.operators.policies) {
+      std::printf("    - on %-9s -> %s%s\n",
+                  dynamics::operator_trigger_name(policy.trigger),
+                  dynamics::operator_action_name(policy.action),
+                  policy.action == dynamics::OperatorAction::kRateTighten
+                      ? (" (x" + std::to_string(policy.factor) + ")").c_str()
+                      : "");
+    }
+  }
   std::printf("  pipeline: %zu phase(s)\n", spec.pipeline.size());
   for (const adversary::AdversaryPhase& phase : spec.pipeline) {
     std::printf("    - %-16s attack=%gd recup=%gd coverage=%.0f%% defection=%s window=[%gd, %s]\n",
