@@ -1,0 +1,151 @@
+#include "campaign/cell_hash.hpp"
+
+#include "adversary/pipeline.hpp"
+
+namespace lockss::campaign {
+
+uint64_t fnv1a64(const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xCBF29CE484222325ull;  // FNV offset basis
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x00000100000001B3ull;  // FNV prime
+  }
+  return hash;
+}
+
+uint64_t fnv1a64(const std::string& s) { return fnv1a64(s.data(), s.size()); }
+
+std::string render_spec_canonical(const Spec& spec) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value(spec.name);
+  w.key("peers").value(static_cast<uint64_t>(spec.peers));
+  w.key("aus").value(static_cast<uint64_t>(spec.aus));
+  w.key("au_coverage").value(spec.au_coverage);
+  w.key("newcomers").value(static_cast<uint64_t>(spec.newcomers));
+  w.key("newcomer_join_window_ns").value(static_cast<uint64_t>(spec.newcomer_join_window.ns()));
+  w.key("duration_ns").value(static_cast<uint64_t>(spec.duration.ns()));
+  w.key("seed").value(spec.seed);
+  w.key("seeds").value(static_cast<uint64_t>(spec.seeds));
+  w.key("layers").value(static_cast<uint64_t>(spec.layers));
+  w.key("trace_interval_ns").value(static_cast<uint64_t>(spec.trace_interval.ns()));
+  w.key("enable_damage").value(spec.enable_damage);
+  w.key("damage_mtbf_disk_years").value(spec.damage_mtbf_disk_years);
+  w.key("damage_aus_per_disk").value(spec.damage_aus_per_disk);
+  // Protocol overrides apply in file order, so their order is semantic and
+  // is preserved here (this is not the "key reordering" the hash must be
+  // stable against — that is cosmetic member order in the JSON file, which
+  // parse_spec already normalizes into this struct).
+  w.key("protocol_overrides").begin_array();
+  for (const auto& [name, value] : spec.protocol_overrides) {
+    w.begin_object();
+    w.key("param").value(name);
+    w.key("value").value(value);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("churn").begin_object();
+  w.key("leave_rate_per_peer_year").value(spec.churn.leave_rate_per_peer_year);
+  w.key("crash_rate_per_peer_year").value(spec.churn.crash_rate_per_peer_year);
+  w.key("mean_downtime_days").value(spec.churn.mean_downtime_days);
+  w.key("arrival_rate_per_year").value(spec.churn.arrival_rate_per_year);
+  w.key("regions").value(static_cast<uint64_t>(spec.churn.regions));
+  w.key("regional_outage_rate_per_year").value(spec.churn.regional_outage_rate_per_year);
+  w.key("regional_outage_days").value(spec.churn.regional_outage_days);
+  w.key("regional_recovery_stagger_hours").value(spec.churn.regional_recovery_stagger_hours);
+  w.key("regional_state_loss").value(spec.churn.regional_state_loss);
+  w.end_object();
+  w.key("operators").begin_object();
+  w.key("detection_latency_ns").value(static_cast<uint64_t>(spec.operators.detection_latency.ns()));
+  w.key("recrawl_cost_factor").value(spec.operators.recrawl_cost_factor);
+  w.key("policies").begin_array();
+  for (const dynamics::OperatorPolicy& policy : spec.operators.policies) {
+    w.begin_object();
+    w.key("trigger").value(dynamics::operator_trigger_name(policy.trigger));
+    w.key("action").value(dynamics::operator_action_name(policy.action));
+    w.key("factor").value(policy.factor);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("pipeline").begin_array();
+  for (const adversary::AdversaryPhase& phase : spec.pipeline) {
+    w.begin_object();
+    w.key("kind").value(adversary::phase_kind_name(phase.kind));
+    w.key("attack_duration_ns").value(static_cast<uint64_t>(phase.cadence.attack_duration.ns()));
+    w.key("recuperation_ns").value(static_cast<uint64_t>(phase.cadence.recuperation.ns()));
+    w.key("coverage").value(phase.cadence.coverage);
+    w.key("defection").value(adversary::defection_point_name(phase.defection));
+    w.key("start_ns").value(static_cast<uint64_t>(phase.start.ns()));
+    w.key("stop_ns").value(static_cast<uint64_t>(phase.stop.ns()));
+    w.key("minion_count").value(static_cast<uint64_t>(phase.minion_count));
+    w.key("minion_id_base").value(static_cast<uint64_t>(phase.minion_id_base));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("axes").begin_array();
+  for (const SweepAxis& axis : spec.axes) {
+    w.begin_object();
+    w.key("param").value(axis.param);
+    w.key("phase").value(static_cast<uint64_t>(axis.phase));
+    w.key("label").value(axis.label);
+    if (axis.categorical()) {
+      w.key("names").begin_array();
+      for (const std::string& name : axis.names) {
+        w.value(name);
+      }
+      w.end_array();
+    } else {
+      w.key("values").begin_array();
+      for (double v : axis.values) {
+        w.value(v);
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("baseline").value(spec.baseline);
+  w.end_object();
+  return w.take();
+}
+
+uint64_t campaign_hash(const Spec& spec) { return fnv1a64(render_spec_canonical(spec)); }
+
+namespace {
+
+// Units are addressed by a canonical "<campaign-hex>/<label>#<index>{names}"
+// string rather than mixing raw words, so two different coordinate sets can
+// never fold to the same byte stream.
+uint64_t unit_identity(uint64_t campaign_hash_value, const std::string& label,
+                       uint64_t index, const std::vector<std::string>& names) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("campaign").value(campaign_hash_value);
+  w.key("unit").value(label);
+  w.key("index").value(index);
+  w.key("values").begin_array();
+  for (const std::string& name : names) {
+    w.value(name);
+  }
+  w.end_array();
+  w.end_object();
+  return fnv1a64(w.take());
+}
+
+}  // namespace
+
+uint64_t cell_identity(uint64_t campaign_hash_value, size_t cell_index,
+                       const CompiledCell& cell) {
+  return unit_identity(campaign_hash_value, cell.label, static_cast<uint64_t>(cell_index),
+                       cell.names);
+}
+
+uint64_t baseline_identity(uint64_t campaign_hash_value) {
+  // Reserved coordinates: compiled cell labels never contain '/', and no
+  // cell has index UINT64_MAX.
+  return unit_identity(campaign_hash_value, "/baseline", ~0ull, {});
+}
+
+}  // namespace lockss::campaign

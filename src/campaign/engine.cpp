@@ -1,10 +1,17 @@
 #include "campaign/engine.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "analysis/gnuplot.hpp"
+#include "campaign/cell_hash.hpp"
+#include "campaign/journal.hpp"
 #include "experiment/aggregate.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/table.hpp"
@@ -19,14 +26,53 @@ std::string join_path(const std::string& dir, const std::string& name) {
   return dir.back() == '/' ? dir + name : dir + "/" + name;
 }
 
-bool write_file(const std::string& path, const std::string& content, std::string* error) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    *error = "cannot write " + path;
+std::string base_name(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// Flushes `tmp` to stable storage and renames it over `path` — the atomic
+// commit: a kill before the rename leaves the previous artifact (or none),
+// a kill after leaves the new one, and nothing in between is observable.
+bool commit_artifact(const std::string& tmp, const std::string& path, const FaultPlan& faults,
+                     std::string* error) {
+  if (faults.should_fail_artifact(base_name(path))) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    *error = path + ": injected artifact I/O error";
     return false;
   }
-  out << content;
+  const int fd = ::open(tmp.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    *error = "cannot rename " + tmp + " over " + path + ": " + ec.message();
+    return false;
+  }
   return true;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       const FaultPlan& faults, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      *error = "cannot write " + tmp;
+      return false;
+    }
+    out << content;
+    out.close();
+    if (!out) {
+      *error = "write failed: " + tmp;
+      return false;
+    }
+  }
+  return commit_artifact(tmp, path, faults, error);
 }
 
 double figure_metric(const std::string& metric, const experiment::RelativeMetrics& rel) {
@@ -42,7 +88,8 @@ double figure_metric(const std::string& metric, const experiment::RelativeMetric
 // The attrition-sweep CSV layout, byte-identical to bench/attrition_sweep.hpp:
 // rows = axis 0, one column per axis-1 value labelled "<v>%", access-failure
 // cells in %.2e and everything else in %.2f, plus the companion trace CSV
-// and gnuplot script.
+// and gnuplot script. Each file is staged to <name>.tmp and atomically
+// renamed into place.
 bool write_figure(const CompiledCampaign& campaign, const CampaignOutcome& outcome,
                   const RunOptions& options, std::vector<std::string>* files,
                   std::string* error) {
@@ -50,29 +97,35 @@ bool write_figure(const CompiledCampaign& campaign, const CampaignOutcome& outco
   const SweepAxis& rows = spec.axes[0];
   const SweepAxis& cols = spec.axes[1];
   const std::string csv_path = join_path(options.out_dir, spec.figure.csv);
+  const std::string csv_tmp = csv_path + ".tmp";
 
   std::vector<std::string> columns = {spec.figure.row_header};
   for (double v : cols.values) {
     columns.push_back(experiment::TableWriter::fixed(v, 0) + "%");
   }
-  experiment::TableWriter table(columns, csv_path, /*echo_stdout=*/!options.quiet);
-  if (!table.csv_ok()) {
-    *error = "cannot write " + csv_path;
-    return false;
-  }
-  table.header();
-  size_t cell = 0;
-  for (double row_value : rows.values) {
-    std::vector<std::string> row = {experiment::TableWriter::fixed(row_value, 0)};
-    for (size_t c = 0; c < cols.values.size(); ++c) {
-      const experiment::RelativeMetrics rel =
-          experiment::relative_metrics(outcome.cells[cell++], outcome.baseline);
-      const double value = figure_metric(spec.figure.metric, rel);
-      row.push_back(spec.figure.metric == "access_failure"
-                        ? experiment::TableWriter::scientific(value, 2)
-                        : experiment::TableWriter::fixed(value, 2));
+  {
+    experiment::TableWriter table(columns, csv_tmp, /*echo_stdout=*/!options.quiet);
+    if (!table.csv_ok()) {
+      *error = "cannot write " + csv_path;
+      return false;
     }
-    table.row(row);
+    table.header();
+    size_t cell = 0;
+    for (double row_value : rows.values) {
+      std::vector<std::string> row = {experiment::TableWriter::fixed(row_value, 0)};
+      for (size_t c = 0; c < cols.values.size(); ++c) {
+        const experiment::RelativeMetrics rel =
+            experiment::relative_metrics(outcome.cells[cell++], outcome.baseline);
+        const double value = figure_metric(spec.figure.metric, rel);
+        row.push_back(spec.figure.metric == "access_failure"
+                          ? experiment::TableWriter::scientific(value, 2)
+                          : experiment::TableWriter::fixed(value, 2));
+      }
+      table.row(row);
+    }
+  }
+  if (!commit_artifact(csv_tmp, csv_path, options.faults, error)) {
+    return false;
   }
   files->push_back(csv_path);
 
@@ -82,14 +135,21 @@ bool write_figure(const CompiledCampaign& campaign, const CampaignOutcome& outco
     for (size_t k = 0; k < campaign.cells.size(); ++k) {
       traces.emplace_back(campaign.cells[k].label, &outcome.cells[k].trace);
     }
-    if (experiment::write_trace_csv(csv_path + ".trace.csv", traces)) {
-      files->push_back(csv_path + ".trace.csv");
+    const std::string trace_path = csv_path + ".trace.csv";
+    if (experiment::write_trace_csv(trace_path + ".tmp", traces)) {
+      if (!commit_artifact(trace_path + ".tmp", trace_path, options.faults, error)) {
+        return false;
+      }
+      files->push_back(trace_path);
     }
   }
 
   analysis::GnuplotSpec plot;
   plot.title = spec.figure.title;
-  plot.csv_path = csv_path;
+  // Reference the CSV by bare name: the script sits next to it, and the
+  // rendered bytes stay a pure function of the spec (no out-dir leakage),
+  // which the kill-resume bit-identity tests compare across directories.
+  plot.csv_path = spec.figure.csv;
   plot.x_label = spec.figure.x_label;
   plot.y_label = spec.figure.metric == "access_failure" ? "access_failure_probability"
                  : spec.figure.metric == "delay_ratio"  ? "delay_ratio"
@@ -99,8 +159,12 @@ bool write_figure(const CompiledCampaign& campaign, const CampaignOutcome& outco
   for (double v : cols.values) {
     plot.series.push_back(experiment::TableWriter::fixed(v, 0) + "% coverage");
   }
-  if (analysis::write_gnuplot(plot, csv_path + ".gp")) {
-    files->push_back(csv_path + ".gp");
+  const std::string gp_path = csv_path + ".gp";
+  if (analysis::write_gnuplot(plot, gp_path + ".tmp")) {
+    if (!commit_artifact(gp_path + ".tmp", gp_path, options.faults, error)) {
+      return false;
+    }
+    files->push_back(gp_path);
   }
   return true;
 }
@@ -143,6 +207,16 @@ void append_metrics(JsonWriter& w, const experiment::RunResult& r) {
   w.key("events_processed").value(r.events_processed);
 }
 
+// Failed units render their status instead of metrics, so a manifest is
+// never silently mistaken for a fully computed one. Campaigns with no
+// failures render byte-identically to the pre-resilience engine (the
+// golden fixtures pin this).
+void append_failure(JsonWriter& w, const UnitStatus& status) {
+  w.key("status").value("failed");
+  w.key("attempts").value(static_cast<uint64_t>(status.attempts));
+  w.key("error").value(status.error);
+}
+
 std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOutcome& outcome) {
   const Spec& spec = campaign.spec;
   std::string out = "cell";
@@ -164,6 +238,8 @@ std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOut
   char buf[512];
   for (size_t k = 0; k < campaign.cells.size(); ++k) {
     const CompiledCell& cell = campaign.cells[k];
+    // A failed cell's result is the default RunResult (all-zero metrics);
+    // the manifest carries its authoritative failed status.
     const experiment::RunResult& r = outcome.cells[k];
     out += cell.label;
     for (const std::string& name : cell.names) {
@@ -204,15 +280,51 @@ std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOut
   return out;
 }
 
+// Runs one unit of work: all of its seed replicas (and §6.3 layers),
+// combined in the same part order the grid helpers
+// (experiment::run_replicated_grid / run_layered_replicated_grid) use, so
+// the combined result is bit-identical to the pre-resilience engine's.
+experiment::RunResult execute_unit(const experiment::ScenarioConfig& config, const Spec& spec) {
+  std::vector<experiment::RunResult> parts;
+  parts.reserve(static_cast<size_t>(spec.seeds) * (spec.layers > 0 ? spec.layers : 1));
+  for (uint32_t s = 0; s < spec.seeds; ++s) {
+    experiment::ScenarioConfig c = config;
+    c.seed = config.seed + s;
+    if (spec.layers > 0) {
+      std::vector<experiment::RunResult> layer_results =
+          experiment::run_layered(c, spec.layers);
+      for (experiment::RunResult& r : layer_results) {
+        parts.push_back(std::move(r));
+      }
+    } else {
+      parts.push_back(experiment::run_scenario(c));
+    }
+  }
+  return experiment::combine_results(parts);
+}
+
+// One schedulable unit: the baseline or one compiled cell.
+struct Unit {
+  bool is_baseline = false;
+  size_t cell_index = 0;  // meaningful when !is_baseline
+  uint64_t hash = 0;
+  const experiment::ScenarioConfig* config = nullptr;
+  std::string label;
+};
+
 }  // namespace
 
 std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutcome& outcome) {
   const Spec& spec = campaign.spec;
+  const bool baseline_ok = outcome.baseline_status.ok;
   JsonWriter w;
   w.begin_object();
   w.key("campaign").value(spec.name);
   w.key("description").value(spec.description);
   w.key("generated_by").value("tools/lockss_campaign");
+  if (outcome.units_failed > 0) {
+    w.key("failed_units").value(static_cast<uint64_t>(outcome.units_failed));
+  }
   w.key("scale").begin_object();
   w.key("peers").value(static_cast<uint64_t>(spec.peers));
   w.key("aus").value(static_cast<uint64_t>(spec.aus));
@@ -285,15 +397,20 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
   w.end_array();
   if (spec.baseline) {
     w.key("baseline").begin_object();
-    append_metrics(w, outcome.baseline);
-    if (spec_is_dynamic(spec)) {
-      append_dynamics_metrics(w, outcome.baseline);
+    if (baseline_ok) {
+      append_metrics(w, outcome.baseline);
+      if (spec_is_dynamic(spec)) {
+        append_dynamics_metrics(w, outcome.baseline);
+      }
+    } else {
+      append_failure(w, outcome.baseline_status);
     }
     w.end_object();
   }
   w.key("cells").begin_array();
   for (size_t k = 0; k < campaign.cells.size(); ++k) {
     const CompiledCell& cell = campaign.cells[k];
+    const bool cell_ok = k >= outcome.cell_status.size() || outcome.cell_status[k].ok;
     w.begin_object();
     w.key("label").value(cell.label);
     w.key("values").begin_array();
@@ -301,19 +418,23 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
       w.value(name);
     }
     w.end_array();
-    append_metrics(w, outcome.cells[k]);
-    if (spec_is_dynamic(spec)) {
-      append_dynamics_metrics(w, outcome.cells[k]);
-    }
-    if (spec.baseline) {
-      const experiment::RelativeMetrics rel =
-          experiment::relative_metrics(outcome.cells[k], outcome.baseline);
-      w.key("relative").begin_object();
-      w.key("access_failure").value(rel.access_failure);
-      w.key("delay_ratio").value(rel.delay_ratio);
-      w.key("friction").value(rel.friction);
-      w.key("cost_ratio").value(rel.cost_ratio);
-      w.end_object();
+    if (!cell_ok) {
+      append_failure(w, outcome.cell_status[k]);
+    } else {
+      append_metrics(w, outcome.cells[k]);
+      if (spec_is_dynamic(spec)) {
+        append_dynamics_metrics(w, outcome.cells[k]);
+      }
+      if (spec.baseline && baseline_ok) {
+        const experiment::RelativeMetrics rel =
+            experiment::relative_metrics(outcome.cells[k], outcome.baseline);
+        w.key("relative").begin_object();
+        w.key("access_failure").value(rel.access_failure);
+        w.key("delay_ratio").value(rel.delay_ratio);
+        w.key("friction").value(rel.friction);
+        w.key("cost_ratio").value(rel.cost_ratio);
+        w.end_object();
+      }
     }
     w.end_object();
   }
@@ -336,50 +457,200 @@ bool run_campaign(const CompiledCampaign& campaign, const RunOptions& options,
     }
   }
 
-  // Baseline first (the fig drivers' order), then the cell grid in one
-  // parallel batch. Each run is a pure function of its config, so the
-  // batching never changes a number — only wall-clock.
+  const uint64_t spec_hash = campaign_hash(spec);
+  FaultPlan faults = options.faults;
+  faults.campaign_hash = spec_hash;
+
+  outcome->cells.assign(campaign.cells.size(), experiment::RunResult{});
+  outcome->cell_status.assign(campaign.cells.size(), UnitStatus{});
+  outcome->baseline_status = UnitStatus{};
+  outcome->units_resumed = 0;
+  outcome->units_failed = 0;
+
+  // Every unit of work in deterministic order: baseline first, then cells.
+  std::vector<Unit> units;
+  units.reserve(campaign.cells.size() + 1);
   if (spec.baseline) {
-    if (spec.layers > 0) {
-      outcome->baseline =
-          experiment::run_layered_replicated_grid({campaign.base}, spec.layers, spec.seeds)
-              .front();
-    } else {
-      outcome->baseline = experiment::combine_results(
-          experiment::run_replicated(campaign.base, spec.seeds));
-    }
+    units.push_back(
+        {true, 0, baseline_identity(spec_hash), &campaign.base, "baseline"});
   }
-  std::vector<experiment::ScenarioConfig> configs;
-  configs.reserve(campaign.cells.size());
-  for (const CompiledCell& cell : campaign.cells) {
-    configs.push_back(cell.config);
-  }
-  if (spec.layers > 0) {
-    outcome->cells = experiment::run_layered_replicated_grid(configs, spec.layers, spec.seeds);
-  } else {
-    outcome->cells = experiment::run_replicated_grid(configs, spec.seeds);
+  for (size_t k = 0; k < campaign.cells.size(); ++k) {
+    units.push_back({false, k, cell_identity(spec_hash, k, campaign.cells[k]),
+                     &campaign.cells[k].config, campaign.cells[k].label});
   }
 
+  // --- Journal: replay (resume) and open for appending --------------------
+  const bool journaling = options.write_outputs;
+  JournalWriter journal;
+  std::unordered_map<uint64_t, JournalRecord> replayed;
+  if (journaling) {
+    outcome->journal_path = join_path(options.out_dir, spec.name + ".journal");
+    bool appending = false;
+    if (options.resume) {
+      JournalContents contents;
+      std::string read_error;
+      if (read_journal(outcome->journal_path, &contents, &read_error) && contents.header_ok) {
+        if (contents.campaign_hash != spec_hash) {
+          *error = outcome->journal_path +
+                   ": journal belongs to a different campaign spec (content hash mismatch); "
+                   "rerun without --resume or remove the journal";
+          return false;
+        }
+        for (JournalRecord& record : contents.records) {
+          replayed[record.unit_hash] = std::move(record);  // latest record wins
+        }
+        if (!journal.open_append(outcome->journal_path, contents.valid_bytes, error)) {
+          return false;
+        }
+        appending = true;
+      }
+      // Missing or headerless journal: fall through to a fresh one.
+    }
+    if (!appending) {
+      if (faults.should_fail_journal_append(0)) {
+        *error = outcome->journal_path + ": injected journal I/O error (append 0)";
+        return false;
+      }
+      if (!journal.create(outcome->journal_path, spec_hash, error)) {
+        return false;
+      }
+      faults.maybe_kill_after_append(0);
+    }
+  }
+
+  // --- Partition units: resumed from the journal vs still to run ----------
+  std::vector<size_t> pending;  // indices into `units`
+  pending.reserve(units.size());
+  for (size_t u = 0; u < units.size(); ++u) {
+    const Unit& unit = units[u];
+    auto it = replayed.find(unit.hash);
+    if (it != replayed.end() && !it->second.failed) {
+      if (unit.is_baseline) {
+        outcome->baseline = std::move(it->second.result);
+        outcome->baseline_status = {true, true, 0, ""};
+      } else {
+        outcome->cells[unit.cell_index] = std::move(it->second.result);
+        outcome->cell_status[unit.cell_index] = {true, true, 0, ""};
+      }
+      ++outcome->units_resumed;
+    } else {
+      // Never run, or recorded as failed: (re-)attempt it.
+      pending.push_back(u);
+    }
+  }
+
+  // --- Execute pending units with per-unit isolation + retry --------------
+  bool any_observer = campaign.base.poll_observer != nullptr;
+  for (const CompiledCell& cell : campaign.cells) {
+    any_observer = any_observer || cell.config.poll_observer != nullptr;
+  }
+  experiment::ParallelRunner runner(any_observer ? 1u : 0u);
+
+  std::string journal_error;  // first journal failure (ends journaling)
+  bool journal_dead = !journaling;
+  const auto on_complete = [&](size_t index, const experiment::JobOutcome& job) {
+    // Serialized by run_protected's mutex. Journal order is completion
+    // order — records are self-identifying, so replay never depends on it.
+    if (journal_dead) {
+      return;
+    }
+    const Unit& unit = units[pending[index]];
+    const uint64_t ordinal = journal.appends();
+    if (faults.should_fail_journal_append(ordinal)) {
+      journal_error = outcome->journal_path + ": injected journal I/O error (append " +
+                      std::to_string(ordinal) + ")";
+      journal_dead = true;
+      return;
+    }
+    std::string append_error;
+    const bool ok = job.ok
+                        ? journal.append_result(unit.hash, job.result, &append_error)
+                        : journal.append_failure(unit.hash, job.attempts, job.error,
+                                                 &append_error);
+    if (!ok) {
+      journal_error = append_error;
+      journal_dead = true;
+      return;
+    }
+    faults.maybe_kill_after_append(ordinal);
+  };
+
+  const std::vector<experiment::JobOutcome> job_outcomes = runner.run_protected(
+      pending.size(),
+      [&](size_t index, uint32_t attempt) -> experiment::RunResult {
+        const Unit& unit = units[pending[index]];
+        if (faults.should_fail_unit(unit.is_baseline, unit.cell_index, unit.hash, attempt)) {
+          throw std::runtime_error("injected cell fault (" + unit.label + ", attempt " +
+                                   std::to_string(attempt) + ")");
+        }
+        return execute_unit(*unit.config, spec);
+      },
+      options.retries + 1, on_complete);
+
+  for (size_t index = 0; index < pending.size(); ++index) {
+    const Unit& unit = units[pending[index]];
+    const experiment::JobOutcome& job = job_outcomes[index];
+    UnitStatus status;
+    status.ok = job.ok;
+    status.attempts = job.attempts;
+    status.error = job.error;
+    if (!job.ok) {
+      ++outcome->units_failed;
+    }
+    if (unit.is_baseline) {
+      outcome->baseline = job.result;
+      outcome->baseline_status = status;
+    } else {
+      outcome->cells[unit.cell_index] = job.result;
+      outcome->cell_status[unit.cell_index] = status;
+    }
+  }
+
+  if (journaling && !journal_error.empty()) {
+    *error = journal_error;
+    return false;
+  }
+
+  // --- Report ---------------------------------------------------------------
   if (!options.quiet) {
     std::printf("# campaign %s: %zu cells x %u seed(s)%s\n", spec.name.c_str(),
                 campaign.cells.size(), spec.seeds,
                 spec.layers > 0 ? (" x " + std::to_string(spec.layers) + " layers").c_str()
                                 : "");
-    if (spec.baseline) {
+    if (outcome->units_resumed > 0) {
+      std::printf("# resume: %zu of %zu unit(s) replayed from %s\n", outcome->units_resumed,
+                  units.size(), outcome->journal_path.c_str());
+    }
+    if (spec.baseline && outcome->baseline_status.ok) {
       std::printf("# baseline: afp=%.3e gap=%.1fd effort/success=%.0fs over %llu polls\n",
                   outcome->baseline.report.access_failure_probability,
                   outcome->baseline.report.mean_success_gap_days,
                   outcome->baseline.report.effort_per_successful_poll,
                   static_cast<unsigned long long>(outcome->baseline.report.successful_polls));
     }
+    if (spec.baseline && !outcome->baseline_status.ok) {
+      std::printf("# FAILED baseline after %u attempt(s): %s\n",
+                  outcome->baseline_status.attempts, outcome->baseline_status.error.c_str());
+    }
+    for (size_t k = 0; k < campaign.cells.size(); ++k) {
+      if (!outcome->cell_status[k].ok) {
+        std::printf("# FAILED %s after %u attempt(s): %s\n",
+                    campaign.cells[k].label.c_str(), outcome->cell_status[k].attempts,
+                    outcome->cell_status[k].error.c_str());
+      }
+    }
   }
 
-  if (spec.figure.enabled && options.write_outputs) {
+  const bool baseline_usable = !spec.baseline || outcome->baseline_status.ok;
+  if (spec.figure.enabled && options.write_outputs && baseline_usable) {
     if (!write_figure(campaign, *outcome, options, &outcome->files_written, error)) {
       return false;
     }
   } else if (!options.quiet) {
     for (size_t k = 0; k < campaign.cells.size(); ++k) {
+      if (!outcome->cell_status[k].ok) {
+        continue;
+      }
       std::printf("  %-24s afp=%.3e polls=%llu adversary_effort=%.3es\n",
                   campaign.cells[k].label.c_str(),
                   outcome->cells[k].report.access_failure_probability,
@@ -392,12 +663,12 @@ bool run_campaign(const CompiledCampaign& campaign, const RunOptions& options,
     return true;
   }
   const std::string manifest_path = join_path(options.out_dir, spec.manifest_name);
-  if (!write_file(manifest_path, render_manifest(campaign, *outcome), error)) {
+  if (!write_file_atomic(manifest_path, render_manifest(campaign, *outcome), faults, error)) {
     return false;
   }
   outcome->files_written.push_back(manifest_path);
   const std::string cells_path = join_path(options.out_dir, spec.cells_name);
-  if (!write_file(cells_path, render_cells_csv(campaign, *outcome), error)) {
+  if (!write_file_atomic(cells_path, render_cells_csv(campaign, *outcome), faults, error)) {
     return false;
   }
   outcome->files_written.push_back(cells_path);

@@ -1,0 +1,171 @@
+#include "campaign/fault.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "crypto/digest.hpp"
+
+namespace lockss::campaign {
+namespace {
+
+// Splits "a,b,c" into trimmed non-empty directives.
+std::vector<std::string> split_directives(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(',', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    std::string item = text.substr(start, end - start);
+    while (!item.empty() && (item.front() == ' ' || item.front() == '\t')) {
+      item.erase(item.begin());
+    }
+    while (!item.empty() && (item.back() == ' ' || item.back() == '\t')) {
+      item.pop_back();
+    }
+    if (!item.empty()) {
+      out.push_back(std::move(item));
+    }
+    if (end == text.size()) {
+      break;
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_real(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse_fault_plan(const std::string& text, FaultPlan* out, std::string* error) {
+  *out = FaultPlan{};
+  for (const std::string& directive : split_directives(text)) {
+    uint64_t n = 0;
+    if (directive.rfind("cell:", 0) == 0) {
+      const size_t at = directive.find('@');
+      uint64_t index = 0, attempts = 0;
+      if (at == std::string::npos || !parse_u64(directive.substr(5, at - 5), &index) ||
+          !parse_u64(directive.substr(at + 1), &attempts) || attempts == 0) {
+        *error = "fault-inject: expected cell:<index>@<attempts>, got '" + directive + "'";
+        return false;
+      }
+      out->fail_cell_index = static_cast<size_t>(index);
+      out->fail_attempts = static_cast<uint32_t>(attempts);
+    } else if (directive.rfind("baseline@", 0) == 0) {
+      uint64_t attempts = 0;
+      if (!parse_u64(directive.substr(9), &attempts) || attempts == 0) {
+        *error = "fault-inject: expected baseline@<attempts>, got '" + directive + "'";
+        return false;
+      }
+      out->fail_baseline = true;
+      out->fail_attempts = static_cast<uint32_t>(attempts);
+    } else if (directive.rfind("cellrate:", 0) == 0) {
+      double rate = 0.0;
+      if (!parse_real(directive.substr(9), &rate) || rate < 0.0 || rate > 1.0) {
+        *error = "fault-inject: expected cellrate:<probability in [0,1]>, got '" + directive +
+                 "'";
+        return false;
+      }
+      out->cell_failure_rate = rate;
+    } else if (directive.rfind("journal-io:", 0) == 0) {
+      if (!parse_u64(directive.substr(11), &n)) {
+        *error = "fault-inject: expected journal-io:<append ordinal>, got '" + directive + "'";
+        return false;
+      }
+      out->journal_io_failures.push_back(n);
+    } else if (directive.rfind("artifact-io:", 0) == 0) {
+      const std::string name = directive.substr(12);
+      if (name.empty()) {
+        *error = "fault-inject: expected artifact-io:<file name>, got '" + directive + "'";
+        return false;
+      }
+      out->artifact_io_failures.push_back(name);
+    } else if (directive.rfind("kill:", 0) == 0) {
+      if (!parse_u64(directive.substr(5), &n)) {
+        *error = "fault-inject: expected kill:<append ordinal>, got '" + directive + "'";
+        return false;
+      }
+      out->kill_after_append.push_back(n);
+    } else {
+      *error = "fault-inject: unknown directive '" + directive +
+               "' (expected cell:/baseline@/cellrate:/journal-io:/artifact-io:/kill:)";
+      return false;
+    }
+    out->enabled = true;
+  }
+  return true;
+}
+
+bool FaultPlan::should_fail_unit(bool is_baseline, size_t cell_index, uint64_t unit_hash,
+                                 uint32_t attempt) const {
+  if (!enabled) {
+    return false;
+  }
+  if (fail_attempts > 0 && attempt <= fail_attempts &&
+      ((is_baseline && fail_baseline) ||
+       (!is_baseline && fail_cell_index != kNoCell && cell_index == fail_cell_index))) {
+    return true;
+  }
+  if (cell_failure_rate > 0.0) {
+    // One independent, reproducible draw per (campaign, unit, attempt):
+    // strong-mix the coordinates and compare 53 uniform bits against the
+    // rate. Worker count and completion order never enter.
+    const uint64_t draw = crypto::mix64(
+        campaign_hash ^ crypto::mix64(unit_hash + 0x9E3779B97F4A7C15ull * attempt));
+    const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    if (u < cell_failure_rate) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::should_fail_journal_append(uint64_t ordinal) const {
+  return enabled && std::find(journal_io_failures.begin(), journal_io_failures.end(),
+                              ordinal) != journal_io_failures.end();
+}
+
+bool FaultPlan::should_fail_artifact(const std::string& file_name) const {
+  return enabled && std::find(artifact_io_failures.begin(), artifact_io_failures.end(),
+                              file_name) != artifact_io_failures.end();
+}
+
+void FaultPlan::maybe_kill_after_append(uint64_t ordinal) const {
+  if (enabled && std::find(kill_after_append.begin(), kill_after_append.end(), ordinal) !=
+                     kill_after_append.end()) {
+    // A hard kill, not an exception: the point is that *nothing* below this
+    // line runs — no flushes, no destructors — exactly like SIGKILL.
+    ::_exit(137);
+  }
+}
+
+}  // namespace lockss::campaign

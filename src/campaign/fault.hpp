@@ -1,0 +1,83 @@
+// Deterministic fault injection for campaign execution.
+//
+// The crash-resumability contract (journal + atomic artifacts + per-cell
+// retry) is only trustworthy if kill-resume-verify loops run in CI rather
+// than being hand-tested. A FaultPlan describes, deterministically, which
+// faults to inject during one campaign run:
+//
+//   * cell-run exceptions — a chosen cell (or the baseline, or a seeded
+//     random fraction of all cells) throws instead of computing, for a
+//     chosen number of attempts, exercising retry and failed-cell
+//     bookkeeping;
+//   * simulated I/O errors — a chosen journal append or artifact write
+//     fails the way a full disk would, exercising clean error unwinding;
+//   * hard kills — _exit(137) immediately after a chosen journal append,
+//     exercising resume from every journal offset.
+//
+// Plans parse from a compact directive string (comma-separated), supplied
+// via `lockss_campaign --fault-inject=<spec>` or the LOCKSS_FAULT_INJECT
+// environment variable:
+//
+//   cell:<k>@<n>       cell index k throws on attempts 1..n
+//   baseline@<n>       the baseline unit throws on attempts 1..n
+//   cellrate:<p>       every (unit, attempt) throws with probability p,
+//                      seeded from the campaign hash — deterministic for a
+//                      given spec, uncorrelated across cells and attempts
+//   journal-io:<n>     the nth journal append (header = 0) fails with a
+//                      simulated I/O error
+//   artifact-io:<name> writing the artifact whose file name is <name>
+//                      fails with a simulated I/O error
+//   kill:<n>           _exit(137) immediately after the nth journal append
+//                      (header = 0, first unit record = 1, ...)
+//
+// Everything is a pure function of (plan, campaign hash, unit hash,
+// attempt), so a plan replays identically at any worker count.
+#ifndef LOCKSS_CAMPAIGN_FAULT_HPP_
+#define LOCKSS_CAMPAIGN_FAULT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lockss::campaign {
+
+struct FaultPlan {
+  static constexpr size_t kNoCell = static_cast<size_t>(-1);
+
+  bool enabled = false;
+
+  // cell:<k>@<n> / baseline@<n>
+  size_t fail_cell_index = kNoCell;
+  bool fail_baseline = false;
+  uint32_t fail_attempts = 0;  // attempts 1..fail_attempts throw
+
+  // cellrate:<p>
+  double cell_failure_rate = 0.0;
+
+  std::vector<uint64_t> journal_io_failures;   // append ordinals
+  std::vector<std::string> artifact_io_failures;  // artifact file names
+  std::vector<uint64_t> kill_after_append;     // append ordinals
+
+  // Set by the engine before execution; seeds the cellrate draw.
+  uint64_t campaign_hash = 0;
+
+  // Whether unit (`is_baseline`, `cell_index`, `unit_hash`) should throw on
+  // its `attempt`-th attempt (1-based).
+  bool should_fail_unit(bool is_baseline, size_t cell_index, uint64_t unit_hash,
+                        uint32_t attempt) const;
+  // Whether the journal append with this ordinal should report an I/O error.
+  bool should_fail_journal_append(uint64_t ordinal) const;
+  // Whether writing this artifact (by file name, directory stripped) should
+  // report an I/O error.
+  bool should_fail_artifact(const std::string& file_name) const;
+  // Calls _exit(137) when the plan schedules a kill after this append.
+  void maybe_kill_after_append(uint64_t ordinal) const;
+};
+
+// Parses a directive string. Empty input yields a disabled plan. Returns
+// false with a one-line diagnostic on any malformed directive.
+bool parse_fault_plan(const std::string& text, FaultPlan* out, std::string* error);
+
+}  // namespace lockss::campaign
+
+#endif  // LOCKSS_CAMPAIGN_FAULT_HPP_

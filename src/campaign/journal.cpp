@@ -1,0 +1,416 @@
+#include "campaign/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/cell_hash.hpp"
+
+namespace lockss::campaign {
+namespace {
+
+// Fixed-width little-endian packing, independent of host endianness.
+void put_u32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_i64(std::string* out, int64_t v) { put_u64(out, static_cast<uint64_t>(v)); }
+
+void put_double(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_string(std::string* out, const std::string& s) {
+  put_u32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool get_u32(const std::string& in, size_t* cursor, uint32_t* v) {
+  if (in.size() - *cursor < 4 || *cursor > in.size()) {
+    return false;
+  }
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<unsigned char>(in[*cursor + i])) << (8 * i);
+  }
+  *cursor += 4;
+  *v = out;
+  return true;
+}
+
+bool get_u64(const std::string& in, size_t* cursor, uint64_t* v) {
+  if (in.size() - *cursor < 8 || *cursor > in.size()) {
+    return false;
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(in[*cursor + i])) << (8 * i);
+  }
+  *cursor += 8;
+  *v = out;
+  return true;
+}
+
+bool get_i64(const std::string& in, size_t* cursor, int64_t* v) {
+  uint64_t u;
+  if (!get_u64(in, cursor, &u)) {
+    return false;
+  }
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool get_double(const std::string& in, size_t* cursor, double* v) {
+  uint64_t bits;
+  if (!get_u64(in, cursor, &bits)) {
+    return false;
+  }
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool get_string(const std::string& in, size_t* cursor, std::string* s) {
+  uint32_t len;
+  if (!get_u32(in, cursor, &len) || in.size() - *cursor < len) {
+    return false;
+  }
+  s->assign(in, *cursor, len);
+  *cursor += len;
+  return true;
+}
+
+constexpr uint8_t kRecordHeader = 0;
+constexpr uint8_t kRecordResult = 1;
+constexpr uint8_t kRecordFailure = 2;
+
+// Defense against garbage length words: no legitimate record (even a
+// year-long daily trace) comes near this.
+constexpr uint32_t kMaxPayload = 256u << 20;
+
+}  // namespace
+
+void serialize_run_result(const experiment::RunResult& result, std::string* out) {
+  const metrics::MetricsReport& m = result.report;
+  put_double(out, m.access_failure_probability);
+  put_double(out, m.mean_success_gap_days);
+  put_double(out, m.mean_observed_gap_days);
+  put_u64(out, m.successful_polls);
+  put_u64(out, m.inquorate_polls);
+  put_u64(out, m.alarms);
+  put_u64(out, m.repairs);
+  put_u64(out, m.damage_events);
+  put_double(out, m.loyal_effort_seconds);
+  put_double(out, m.adversary_effort_seconds);
+  put_double(out, m.effort_per_successful_poll);
+  put_double(out, m.cost_ratio);
+  put_i64(out, m.duration.ns());
+
+  put_i64(out, result.trace.interval.ns());
+  put_u64(out, result.trace.points.size());
+  for (const metrics::TracePoint& p : result.trace.points) {
+    put_i64(out, p.t.ns());
+    put_double(out, p.damaged_fraction);
+    put_double(out, p.afp_to_date);
+    put_u64(out, p.successful_polls);
+    put_u64(out, p.inquorate_polls);
+    put_u64(out, p.alarms);
+    put_u64(out, p.repairs);
+    put_double(out, p.loyal_effort_seconds);
+    put_double(out, p.adversary_effort_seconds);
+    put_double(out, p.online_fraction);
+    put_u64(out, p.departures);
+    put_u64(out, p.recoveries);
+    put_double(out, p.mean_recovery_days);
+  }
+
+  put_u64(out, result.polls_started);
+  put_u64(out, result.solicitations_sent);
+  put_u64(out, result.messages_delivered);
+  put_u64(out, result.messages_filtered);
+  put_u64(out, result.adversary_invitations);
+  put_u64(out, result.adversary_admissions);
+  for (uint64_t v : result.admission_verdicts) {
+    put_u64(out, v);
+  }
+  put_u64(out, result.events_processed);
+  put_u64(out, result.peak_queue_depth);
+  put_u64(out, result.churn_departures);
+  put_u64(out, result.churn_recoveries);
+  put_u64(out, result.churn_arrivals);
+  put_double(out, result.availability_mean);
+  put_double(out, result.mean_recovery_days);
+  for (uint64_t v : result.operator_interventions) {
+    put_u64(out, v);
+  }
+  // result.schedules is deliberately not serialized: campaign units never
+  // collect schedule history (it is a layering-internal transfer buffer).
+}
+
+bool deserialize_run_result(const std::string& bytes, size_t* cursor,
+                            experiment::RunResult* out) {
+  metrics::MetricsReport& m = out->report;
+  int64_t ns;
+  bool ok = get_double(bytes, cursor, &m.access_failure_probability) &&
+            get_double(bytes, cursor, &m.mean_success_gap_days) &&
+            get_double(bytes, cursor, &m.mean_observed_gap_days) &&
+            get_u64(bytes, cursor, &m.successful_polls) &&
+            get_u64(bytes, cursor, &m.inquorate_polls) &&
+            get_u64(bytes, cursor, &m.alarms) &&
+            get_u64(bytes, cursor, &m.repairs) &&
+            get_u64(bytes, cursor, &m.damage_events) &&
+            get_double(bytes, cursor, &m.loyal_effort_seconds) &&
+            get_double(bytes, cursor, &m.adversary_effort_seconds) &&
+            get_double(bytes, cursor, &m.effort_per_successful_poll) &&
+            get_double(bytes, cursor, &m.cost_ratio) && get_i64(bytes, cursor, &ns);
+  if (!ok) {
+    return false;
+  }
+  m.duration = sim::SimTime::nanoseconds(ns);
+
+  if (!get_i64(bytes, cursor, &ns)) {
+    return false;
+  }
+  out->trace.interval = sim::SimTime::nanoseconds(ns);
+  uint64_t points;
+  if (!get_u64(bytes, cursor, &points) || points > (bytes.size() - *cursor) / 8) {
+    return false;
+  }
+  out->trace.points.resize(points);
+  for (metrics::TracePoint& p : out->trace.points) {
+    if (!get_i64(bytes, cursor, &ns)) {
+      return false;
+    }
+    p.t = sim::SimTime::nanoseconds(ns);
+    ok = get_double(bytes, cursor, &p.damaged_fraction) &&
+         get_double(bytes, cursor, &p.afp_to_date) &&
+         get_u64(bytes, cursor, &p.successful_polls) &&
+         get_u64(bytes, cursor, &p.inquorate_polls) && get_u64(bytes, cursor, &p.alarms) &&
+         get_u64(bytes, cursor, &p.repairs) &&
+         get_double(bytes, cursor, &p.loyal_effort_seconds) &&
+         get_double(bytes, cursor, &p.adversary_effort_seconds) &&
+         get_double(bytes, cursor, &p.online_fraction) &&
+         get_u64(bytes, cursor, &p.departures) && get_u64(bytes, cursor, &p.recoveries) &&
+         get_double(bytes, cursor, &p.mean_recovery_days);
+    if (!ok) {
+      return false;
+    }
+  }
+
+  ok = get_u64(bytes, cursor, &out->polls_started) &&
+       get_u64(bytes, cursor, &out->solicitations_sent) &&
+       get_u64(bytes, cursor, &out->messages_delivered) &&
+       get_u64(bytes, cursor, &out->messages_filtered) &&
+       get_u64(bytes, cursor, &out->adversary_invitations) &&
+       get_u64(bytes, cursor, &out->adversary_admissions);
+  if (!ok) {
+    return false;
+  }
+  for (uint64_t& v : out->admission_verdicts) {
+    if (!get_u64(bytes, cursor, &v)) {
+      return false;
+    }
+  }
+  ok = get_u64(bytes, cursor, &out->events_processed) &&
+       get_u64(bytes, cursor, &out->peak_queue_depth) &&
+       get_u64(bytes, cursor, &out->churn_departures) &&
+       get_u64(bytes, cursor, &out->churn_recoveries) &&
+       get_u64(bytes, cursor, &out->churn_arrivals) &&
+       get_double(bytes, cursor, &out->availability_mean) &&
+       get_double(bytes, cursor, &out->mean_recovery_days);
+  if (!ok) {
+    return false;
+  }
+  for (uint64_t& v : out->operator_interventions) {
+    if (!get_u64(bytes, cursor, &v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool read_journal(const std::string& path, JournalContents* out, std::string* error) {
+  *out = JournalContents{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    *error = path + ": cannot open";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+
+  size_t cursor = 0;
+  bool first = true;
+  while (cursor < bytes.size()) {
+    const size_t record_start = cursor;
+    uint32_t length;
+    uint64_t checksum;
+    if (!get_u32(bytes, &cursor, &length) || length > kMaxPayload ||
+        !get_u64(bytes, &cursor, &checksum) || bytes.size() - cursor < length) {
+      out->torn_tail = true;
+      break;
+    }
+    const std::string payload = bytes.substr(cursor, length);
+    cursor += length;
+    if (fnv1a64(payload) != checksum) {
+      out->torn_tail = true;
+      cursor = record_start;
+      break;
+    }
+
+    const uint8_t type =
+        payload.empty() ? 0xFF : static_cast<uint8_t>(static_cast<unsigned char>(payload[0]));
+    size_t p = 1;
+    bool parsed = false;
+    if (type == kRecordHeader && first) {
+      uint32_t magic, version;
+      uint64_t hash;
+      if (get_u32(payload, &p, &magic) && magic == kJournalMagic &&
+          get_u32(payload, &p, &version) && version == kJournalVersion &&
+          get_u64(payload, &p, &hash)) {
+        out->header_ok = true;
+        out->campaign_hash = hash;
+        parsed = true;
+      }
+    } else if (type == kRecordResult && !first) {
+      JournalRecord record;
+      if (get_u64(payload, &p, &record.unit_hash) &&
+          deserialize_run_result(payload, &p, &record.result) && p == payload.size()) {
+        out->records.push_back(std::move(record));
+        parsed = true;
+      }
+    } else if (type == kRecordFailure && !first) {
+      JournalRecord record;
+      record.failed = true;
+      if (get_u64(payload, &p, &record.unit_hash) && get_u32(payload, &p, &record.attempts) &&
+          get_string(payload, &p, &record.diagnostic) && p == payload.size()) {
+        out->records.push_back(std::move(record));
+        parsed = true;
+      }
+    }
+    if (!parsed) {
+      // Framing was intact but the payload is not a record we understand:
+      // treat it like a torn tail so the valid prefix is still recovered.
+      out->torn_tail = true;
+      cursor = record_start;
+      break;
+    }
+    first = false;
+    out->valid_bytes = cursor;
+  }
+  if (cursor < bytes.size()) {
+    out->torn_tail = true;
+  }
+  return true;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool JournalWriter::create(const std::string& path, uint64_t campaign_hash,
+                           std::string* error) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    *error = path + ": cannot create journal: " + std::strerror(errno);
+    return false;
+  }
+  path_ = path;
+  appends_ = 0;
+  std::string payload;
+  payload.push_back(static_cast<char>(kRecordHeader));
+  put_u32(&payload, kJournalMagic);
+  put_u32(&payload, kJournalVersion);
+  put_u64(&payload, campaign_hash);
+  return append_payload(payload, error);
+}
+
+bool JournalWriter::open_append(const std::string& path, uint64_t valid_bytes,
+                                std::string* error) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd_ < 0) {
+    *error = path + ": cannot open journal for append: " + std::strerror(errno);
+    return false;
+  }
+  // Discard any torn tail before appending, so the file stays a valid
+  // record sequence from byte 0.
+  if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    *error = path + ": cannot truncate torn journal tail: " + std::strerror(errno);
+    close();
+    return false;
+  }
+  path_ = path;
+  appends_ = 0;
+  return true;
+}
+
+bool JournalWriter::append_payload(const std::string& payload, std::string* error) {
+  std::string frame;
+  frame.reserve(12 + payload.size());
+  put_u32(&frame, static_cast<uint32_t>(payload.size()));
+  put_u64(&frame, fnv1a64(payload));
+  frame.append(payload);
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *error = path_ + ": journal write failed: " + std::strerror(errno);
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    *error = path_ + ": journal fsync failed: " + std::strerror(errno);
+    return false;
+  }
+  ++appends_;
+  return true;
+}
+
+bool JournalWriter::append_result(uint64_t unit_hash, const experiment::RunResult& result,
+                                  std::string* error) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kRecordResult));
+  put_u64(&payload, unit_hash);
+  serialize_run_result(result, &payload);
+  return append_payload(payload, error);
+}
+
+bool JournalWriter::append_failure(uint64_t unit_hash, uint32_t attempts,
+                                   const std::string& diagnostic, std::string* error) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kRecordFailure));
+  put_u64(&payload, unit_hash);
+  put_u32(&payload, attempts);
+  put_string(&payload, diagnostic);
+  return append_payload(payload, error);
+}
+
+}  // namespace lockss::campaign

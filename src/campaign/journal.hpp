@@ -1,0 +1,113 @@
+// Crash-safe execution journal for campaign runs.
+//
+// The campaign engine appends one record per completed (or permanently
+// failed) unit of work — the baseline or one cell — to
+// <out_dir>/<name>.journal. A resumed run replays the journal, skips every
+// unit it already holds, and reconstructs bit-identical artifacts from the
+// stored results, so a process kill at any instant costs at most the cells
+// in flight (GiuliMBRR05 §5's discipline applied to our own tooling:
+// long-running work must absorb sporadic failure without restarting).
+//
+// Format (all integers little-endian, fixed width):
+//
+//   record  := u32 payload_length | u64 fnv1a64(payload) | payload
+//   payload := u8 type | body
+//
+//   type 0 (header, always first): u32 magic "LKJ1" | u32 version |
+//            u64 campaign_hash (campaign::campaign_hash of the spec)
+//   type 1 (completed unit): u64 unit_hash | RunResult blob (below)
+//   type 2 (failed unit):    u64 unit_hash | u32 attempts |
+//                            u32 len | diagnostic bytes
+//
+// The RunResult blob serializes every field the engine's artifacts read
+// (report scalars, counters, dynamics accounting, the full trace series)
+// with doubles as IEEE-754 bit patterns, so a result read back renders
+// byte-identically to the freshly computed one.
+//
+// Durability contract: each append is written with a single write() and
+// fsync'd before the writer returns, so after a crash the file is a valid
+// record sequence followed by at most one torn tail. read_journal()
+// recovers the longest valid prefix (truncated length word, short payload,
+// checksum mismatch, or garbage all stop the scan without failing) and
+// reports where the valid bytes end so the writer can truncate the tear
+// before appending.
+#ifndef LOCKSS_CAMPAIGN_JOURNAL_HPP_
+#define LOCKSS_CAMPAIGN_JOURNAL_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+
+namespace lockss::campaign {
+
+inline constexpr uint32_t kJournalMagic = 0x314A4B4Cu;  // "LKJ1"
+inline constexpr uint32_t kJournalVersion = 1;
+
+struct JournalRecord {
+  uint64_t unit_hash = 0;
+  bool failed = false;
+  // Completed units.
+  experiment::RunResult result;
+  // Failed units.
+  uint32_t attempts = 0;
+  std::string diagnostic;
+};
+
+struct JournalContents {
+  bool header_ok = false;       // a valid header record was read
+  uint64_t campaign_hash = 0;   // from the header
+  std::vector<JournalRecord> records;
+  uint64_t valid_bytes = 0;     // prefix length covered by valid records
+  bool torn_tail = false;       // bytes beyond valid_bytes were unreadable
+};
+
+// Reads a journal, recovering the longest valid record prefix. Returns
+// false only when the file cannot be opened/read at all; corruption is not
+// an error (the contents report how far the valid prefix reaches). An
+// empty file yields header_ok == false with zero records.
+bool read_journal(const std::string& path, JournalContents* out, std::string* error);
+
+// Append-side handle. All writes are framed, single-write(), and fsync'd.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Creates/truncates the journal and writes the header record.
+  bool create(const std::string& path, uint64_t campaign_hash, std::string* error);
+  // Opens an existing journal for appending, first truncating it to
+  // `valid_bytes` (discarding a torn tail found by read_journal).
+  bool open_append(const std::string& path, uint64_t valid_bytes, std::string* error);
+
+  bool append_result(uint64_t unit_hash, const experiment::RunResult& result,
+                     std::string* error);
+  bool append_failure(uint64_t unit_hash, uint32_t attempts, const std::string& diagnostic,
+                      std::string* error);
+
+  // Records appended through this writer (header included for create()).
+  uint64_t appends() const { return appends_; }
+
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  bool append_payload(const std::string& payload, std::string* error);
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t appends_ = 0;
+};
+
+// RunResult <-> bytes (exposed for tests; the blob format is internal to
+// the journal otherwise).
+void serialize_run_result(const experiment::RunResult& result, std::string* out);
+bool deserialize_run_result(const std::string& bytes, size_t* cursor,
+                            experiment::RunResult* out);
+
+}  // namespace lockss::campaign
+
+#endif  // LOCKSS_CAMPAIGN_JOURNAL_HPP_

@@ -10,9 +10,17 @@ CliArgs::CliArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
+      extras_.push_back(std::move(arg));
       continue;
     }
     arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      keys_.push_back(arg.substr(0, eq));
+      values_[keys_.back()] = arg.substr(eq + 1);
+      continue;
+    }
+    keys_.push_back(arg);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_[arg] = argv[i + 1];
       ++i;

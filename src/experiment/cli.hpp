@@ -24,6 +24,8 @@ namespace lockss::experiment {
 
 class CliArgs {
  public:
+  // Accepts both `--key value` and `--key=value`; anything that is not a
+  // `--` option (and not consumed as a value) is collected into extras().
   CliArgs(int argc, char** argv);
 
   bool flag(const std::string& name) const;
@@ -33,8 +35,16 @@ class CliArgs {
   // Comma-separated doubles, e.g. "--coverages 10,40,70,100".
   std::vector<double> reals(const std::string& name, std::vector<double> fallback) const;
 
+  // Every option name seen, in command-line order (for strict binaries that
+  // reject unknown flags, e.g. lockss_campaign).
+  const std::vector<std::string>& keys() const { return keys_; }
+  // Bare positional arguments that were not consumed as option values.
+  const std::vector<std::string>& extras() const { return extras_; }
+
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> keys_;
+  std::vector<std::string> extras_;
 };
 
 // The common experiment profile derived from the standard flags.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -91,6 +92,57 @@ std::vector<std::vector<RunResult>> ParallelRunner::run_layered_grid(
   parallel_for_index(workers, jobs.size(),
                      [&](size_t i) { results[i] = run_layered(jobs[i], layers); });
   return results;
+}
+
+std::vector<JobOutcome> ParallelRunner::run_protected(
+    size_t count, const std::function<RunResult(size_t index, uint32_t attempt)>& run_job,
+    uint32_t max_attempts,
+    const std::function<void(size_t index, const JobOutcome&)>& on_complete) const {
+  if (max_attempts == 0) {
+    max_attempts = 1;
+  }
+  std::vector<JobOutcome> outcomes(count);
+  std::vector<size_t> pending(count);
+  for (size_t i = 0; i < count; ++i) {
+    pending[i] = i;
+  }
+  std::mutex mutex;  // guards `failed` collection and serializes on_complete
+  for (uint32_t attempt = 1; attempt <= max_attempts && !pending.empty(); ++attempt) {
+    std::vector<size_t> failed;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<size_t>(workers_, pending.size()));
+    parallel_for_index(workers, pending.size(), [&](size_t j) {
+      const size_t i = pending[j];
+      JobOutcome& outcome = outcomes[i];
+      outcome.attempts = attempt;
+      try {
+        outcome.result = run_job(i, attempt);
+        outcome.ok = true;
+        outcome.error.clear();
+      } catch (const std::exception& e) {
+        outcome.ok = false;
+        outcome.error = e.what();
+      } catch (...) {
+        outcome.ok = false;
+        outcome.error = "unknown exception";
+      }
+      const bool final = outcome.ok || attempt == max_attempts;
+      std::lock_guard<std::mutex> lock(mutex);
+      if (final) {
+        if (on_complete) {
+          on_complete(i, outcome);
+        }
+      } else {
+        failed.push_back(i);
+      }
+    });
+    // Retry rounds are barriers: the failed set is fixed, sorted, and
+    // re-run in index order, so the attempt sequence every job sees is a
+    // pure function of (jobs, max_attempts) — never of scheduling.
+    std::sort(failed.begin(), failed.end());
+    pending = std::move(failed);
+  }
+  return outcomes;
 }
 
 std::vector<RunResult> run_grid(const std::vector<ScenarioConfig>& jobs, unsigned workers) {

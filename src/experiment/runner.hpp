@@ -16,11 +16,22 @@
 #ifndef LOCKSS_EXPERIMENT_RUNNER_HPP_
 #define LOCKSS_EXPERIMENT_RUNNER_HPP_
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "experiment/scenario.hpp"
 
 namespace lockss::experiment {
+
+// Outcome of one fault-isolated job (ParallelRunner::run_protected): either
+// a result, or the diagnostic of the last failed attempt.
+struct JobOutcome {
+  RunResult result;
+  bool ok = false;
+  uint32_t attempts = 0;  // attempts actually made (final one decided ok)
+  std::string error;      // last attempt's diagnostic when !ok
+};
 
 class ParallelRunner {
  public:
@@ -43,6 +54,29 @@ class ParallelRunner {
   // campaign is a pure function of its config, like run()).
   std::vector<std::vector<RunResult>> run_layered_grid(
       const std::vector<ScenarioConfig>& jobs, uint32_t layers) const;
+
+  // Fault-isolated execution with bounded, deterministically ordered retry
+  // (the campaign engine's crash-resumable path rides on this).
+  //
+  // Runs `count` jobs through `run_job(index, attempt)` — a pure function
+  // of (index, attempt) that returns the job's result or throws. A throw
+  // marks one failed attempt and never escapes: attempt 1 of every job runs
+  // in the normal parallel fan-out; jobs that failed are then retried in
+  // rounds, each round re-running the surviving failures *in ascending
+  // index order* (the deterministic backoff ordering — no wall-clock
+  // backoff, which would break reproducibility), up to `max_attempts`
+  // attempts per job. A job whose every attempt threw comes back with
+  // ok == false and the last diagnostic.
+  //
+  // `on_complete(index, outcome)`, when given, fires exactly once per job —
+  // as soon as that job reaches its final state, serialized under an
+  // internal mutex (safe for journal appends) — in completion order, which
+  // may differ across runs; callers needing determinism must key on the
+  // index, not the order.
+  std::vector<JobOutcome> run_protected(
+      size_t count, const std::function<RunResult(size_t index, uint32_t attempt)>& run_job,
+      uint32_t max_attempts,
+      const std::function<void(size_t index, const JobOutcome&)>& on_complete = nullptr) const;
 
   // Worker count used when none is given: the LOCKSS_WORKERS environment
   // variable if set (>= 1), else std::thread::hardware_concurrency().

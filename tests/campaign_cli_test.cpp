@@ -1,0 +1,161 @@
+// Command-line hardening for the shipped binaries, exercised end to end:
+// the real lockss_campaign / bench_compare executables (built into
+// LOCKSS_BINARY_DIR) are spawned with hostile argument lists, and both the
+// exit code and the one-line diagnostic contract are checked. A misspelled
+// flag must never silently run the wrong experiment.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+std::string source_dir() { return std::string(LOCKSS_SOURCE_DIR); }
+std::string binary_dir() { return std::string(LOCKSS_BINARY_DIR); }
+
+std::string smoke_spec() { return source_dir() + "/campaigns/smoke.json"; }
+
+// Runs a shell command, returns its exit code (-1 on abnormal exit).
+int run(const std::string& command) {
+  const int status = std::system(command.c_str());
+  if (status == -1 || !WIFEXITED(status)) {
+    return -1;
+  }
+  return WEXITSTATUS(status);
+}
+
+int run_campaign_cli(const std::string& args) {
+  return run(binary_dir() + "/lockss_campaign " + args + " >/dev/null 2>&1");
+}
+
+int run_bench_compare(const std::string& args) {
+  return run(binary_dir() + "/bench_compare " + args + " >/dev/null 2>&1");
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << text;
+}
+
+TEST(CampaignCliTest, ValidateAcceptsShippedCampaign) {
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " --validate"), 0);
+}
+
+TEST(CampaignCliTest, NoArgumentsIsUsageError) {
+  EXPECT_EQ(run_campaign_cli(""), 2);
+}
+
+TEST(CampaignCliTest, MissingSpecFileIsError) {
+  EXPECT_EQ(run_campaign_cli(testing::TempDir() + "no_such_campaign.json --validate"), 1);
+}
+
+TEST(CampaignCliTest, UnknownFlagIsRejected) {
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " --validate --bogus-flag"), 2);
+  // Misspelling of a real flag.
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " --restume"), 2);
+}
+
+TEST(CampaignCliTest, StrayPositionalIsRejected) {
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " extra_arg --validate"), 2);
+}
+
+TEST(CampaignCliTest, WorkersMustBePositive) {
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " --workers 0"), 2);
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " --workers=0"), 2);
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " --workers=-4"), 2);
+}
+
+TEST(CampaignCliTest, NegativeRetriesRejected) {
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " --retries=-1"), 2);
+}
+
+TEST(CampaignCliTest, MalformedFaultPlanRejected) {
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " --fault-inject=warp-core:3"), 2);
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " --fault-inject=cell:0"), 2);
+}
+
+TEST(CampaignCliTest, UnwritableOutDirRejectedBeforeComputing) {
+  // A path *under an existing file* can never be created, even for root
+  // (unlike a 0555 directory, which root writes through).
+  const std::string blocker = testing::TempDir() + "cli_outdir_blocker";
+  write_text(blocker, "file, not a directory");
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " --out-dir " + blocker + "/sub"), 2);
+}
+
+TEST(CampaignCliTest, ExhaustedRetriesExitNonZeroWithCompletedGrid) {
+  const std::string dir = testing::TempDir() + "cli_failed_grid";
+  std::filesystem::remove_all(dir);
+  EXPECT_EQ(run_campaign_cli(smoke_spec() + " --quiet --out-dir " + dir +
+                             " --fault-inject=cell:0@99 --retries 1"),
+            3);
+  // The grid still completed: manifest + cells CSV landed.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/smoke.manifest.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/smoke.cells.csv"));
+}
+
+// --- bench_compare (the CI perf gate) ------------------------------------
+
+std::string bench_json(double fig3_serial, bool identical, const std::string& peers = "40") {
+  return "{\n"
+         "  \"generated_by\": \"tools/bench_report\",\n"
+         "  \"scale\": {\"peers\": " + peers + ", \"aus\": 4, \"years\": 1.0, \"seeds\": 1},\n"
+         "  \"workers\": 1,\n"
+         "  \"sweeps\": [\n"
+         "    {\"name\": \"fig3_pipe_stoppage_afp\", \"runs\": 13,\n"
+         "     \"serial_seconds\": " + std::to_string(fig3_serial) + ", "
+         "\"parallel_seconds\": 1.0, \"speedup\": 1.0,\n"
+         "     \"events_processed\": 1000, \"identical_metrics\": " +
+         (identical ? "true" : "false") + "}\n"
+         "  ],\n"
+         "  \"substrates\": [\n"
+         "    {\"name\": \"message_dispatch\", \"ops\": 1000, "
+         "\"reference_ops_per_second\": 1000000, \"dense_ops_per_second\": 5000000, "
+         "\"speedup\": 5.0}\n"
+         "  ]\n"
+         "}\n";
+}
+
+TEST(BenchCompareTest, IdenticalReportPasses) {
+  const std::string base = testing::TempDir() + "bench_base.json";
+  write_text(base, bench_json(2.0, true));
+  EXPECT_EQ(run_bench_compare(base + " --baseline " + base), 0);
+}
+
+TEST(BenchCompareTest, RegressionBeyondToleranceFails) {
+  const std::string base = testing::TempDir() + "bench_base2.json";
+  const std::string slow = testing::TempDir() + "bench_slow.json";
+  write_text(base, bench_json(2.0, true));
+  write_text(slow, bench_json(3.0, true));  // +50% > 25% default band
+  EXPECT_EQ(run_bench_compare(slow + " --baseline " + base), 1);
+  // A generous band tolerates it.
+  EXPECT_EQ(run_bench_compare(slow + " --baseline " + base + " --tolerance 1.0"), 0);
+  // Improvements always pass.
+  EXPECT_EQ(run_bench_compare(base + " --baseline " + slow), 0);
+}
+
+TEST(BenchCompareTest, DeterminismBreakFailsRegardlessOfTolerance) {
+  const std::string base = testing::TempDir() + "bench_base3.json";
+  const std::string broken = testing::TempDir() + "bench_broken.json";
+  write_text(base, bench_json(2.0, true));
+  write_text(broken, bench_json(2.0, false));
+  EXPECT_EQ(run_bench_compare(broken + " --baseline " + base + " --tolerance 100"), 1);
+}
+
+TEST(BenchCompareTest, ScaleMismatchRefusesToCompare) {
+  const std::string base = testing::TempDir() + "bench_base4.json";
+  const std::string other = testing::TempDir() + "bench_other_scale.json";
+  write_text(base, bench_json(2.0, true, "40"));
+  write_text(other, bench_json(2.0, true, "100"));
+  EXPECT_EQ(run_bench_compare(other + " --baseline " + base), 2);
+}
+
+TEST(BenchCompareTest, TrackedBaselineIsComparableToItself) {
+  const std::string tracked = source_dir() + "/BENCH_sweep.json";
+  EXPECT_EQ(run_bench_compare(tracked + " --baseline " + tracked + " --tolerance 0"), 0);
+}
+
+}  // namespace

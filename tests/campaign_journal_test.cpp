@@ -1,0 +1,345 @@
+// Content-addressed cell identity + crash-safe journal format.
+//
+// Pins the two contracts crash-resumable execution stands on:
+//
+//   * campaign/cell hashes are pure functions of the *semantic* spec —
+//     byte-stable against key reordering, comments, whitespace, and
+//     cosmetic fields, and pinned to known FNV-1a vectors so a platform or
+//     compiler change that altered them (and silently invalidated every
+//     journal on disk) fails loudly here;
+//   * the journal recovers the longest valid record prefix from every
+//     corruption shape a crash can leave: truncated final record, garbage
+//     bytes, checksum mismatch, empty file.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/cell_hash.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/json.hpp"
+#include "campaign/spec.hpp"
+
+namespace lockss::campaign {
+namespace {
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << text;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Spec load_spec_text(const std::string& text, const std::string& tag) {
+  const std::string path = temp_path("journal_spec_" + tag + ".json");
+  write_text(path, text);
+  Spec spec;
+  std::string error;
+  EXPECT_TRUE(load_spec_file(path, &spec, &error)) << error;
+  return spec;
+}
+
+// A minimal valid campaign used throughout; `seed_text` lets semantic
+// variants reuse the scaffold.
+std::string spec_text(const std::string& seed_text, const std::string& description) {
+  return "{\n"
+         "  \"name\": \"hashspec\",\n"
+         "  \"description\": \"" + description + "\",\n"
+         "  \"deployment\": { \"peers\": 10, \"aus\": 2, \"duration_years\": 0.5, "
+         "\"seed\": " + seed_text + ", \"seeds\": 1 },\n"
+         "  \"adversary\": [ { \"kind\": \"pipe_stoppage\", \"attack_days\": 20, "
+         "\"recuperation_days\": 10, \"coverage_percent\": 50 } ],\n"
+         "  \"sweep\": [ { \"param\": \"coverage_percent\", \"phase\": 0, \"label\": \"c\", "
+         "\"values\": [50, 100] } ]\n"
+         "}\n";
+}
+
+// --- Hashing -------------------------------------------------------------
+
+TEST(CellHashTest, Fnv1a64PinnedVectors) {
+  // Canonical FNV-1a 64 test vectors: a silent change here invalidates
+  // every journal ever written, so pin the exact values.
+  EXPECT_EQ(fnv1a64(std::string()), 0xCBF29CE484222325ull);
+  EXPECT_EQ(fnv1a64(std::string("a")), 0xAF63DC4C8601EC8Cull);
+  EXPECT_EQ(fnv1a64(std::string("foobar")), 0x85944171F73967E8ull);
+}
+
+TEST(CellHashTest, CampaignHashStableUnderKeyReordering) {
+  const Spec a = load_spec_text(spec_text("7", "d"), "a");
+  // Same semantics, different member order, comments, and whitespace.
+  const Spec b = load_spec_text(
+      "// reordered rendering of the same campaign\n"
+      "{\n"
+      "  \"sweep\": [ { \"values\": [50, 100], \"label\": \"c\", \"phase\": 0, "
+      "\"param\": \"coverage_percent\" } ],\n"
+      "  \"adversary\": [ { \"coverage_percent\": 50, \"recuperation_days\": 10, "
+      "\"attack_days\": 20, \"kind\": \"pipe_stoppage\" } ],\n"
+      "  \"deployment\": { \"seeds\": 1, \"seed\": 7, \"duration_years\": 0.5, "
+      "\"aus\": 2, \"peers\": 10 },\n"
+      "  \"description\": \"d\",\n"
+      "  \"name\": \"hashspec\"\n"
+      "}\n",
+      "b");
+  EXPECT_EQ(render_spec_canonical(a), render_spec_canonical(b));
+  EXPECT_EQ(campaign_hash(a), campaign_hash(b));
+}
+
+TEST(CellHashTest, CampaignHashIgnoresCosmeticFieldsButNotSemantics) {
+  const Spec base = load_spec_text(spec_text("7", "one description"), "c1");
+  const Spec cosmetic = load_spec_text(spec_text("7", "another description"), "c2");
+  const Spec semantic = load_spec_text(spec_text("8", "one description"), "c3");
+  EXPECT_EQ(campaign_hash(base), campaign_hash(cosmetic));
+  EXPECT_NE(campaign_hash(base), campaign_hash(semantic));
+}
+
+TEST(CellHashTest, UnitIdentitiesAreDistinctAndStable) {
+  const Spec spec = load_spec_text(spec_text("7", "d"), "u");
+  CompiledCampaign compiled;
+  std::string error;
+  ASSERT_TRUE(compile_campaign(spec, &compiled, &error)) << error;
+  ASSERT_EQ(compiled.cells.size(), 2u);
+
+  const uint64_t hash = campaign_hash(spec);
+  const uint64_t baseline = baseline_identity(hash);
+  const uint64_t cell0 = cell_identity(hash, 0, compiled.cells[0]);
+  const uint64_t cell1 = cell_identity(hash, 1, compiled.cells[1]);
+  EXPECT_NE(baseline, cell0);
+  EXPECT_NE(baseline, cell1);
+  EXPECT_NE(cell0, cell1);
+  // Pure functions: identical inputs, identical identities.
+  EXPECT_EQ(baseline, baseline_identity(hash));
+  EXPECT_EQ(cell0, cell_identity(hash, 0, compiled.cells[0]));
+}
+
+// --- RunResult serialization --------------------------------------------
+
+experiment::RunResult sample_result() {
+  experiment::RunResult r;
+  r.report.access_failure_probability = 0.1234567890123;
+  r.report.mean_success_gap_days = 3.25;
+  r.report.mean_observed_gap_days = 2.75;
+  r.report.successful_polls = 101;
+  r.report.inquorate_polls = 7;
+  r.report.alarms = 3;
+  r.report.repairs = 9;
+  r.report.damage_events = 4;
+  r.report.loyal_effort_seconds = 1.5e6;
+  r.report.adversary_effort_seconds = 2.5e6;
+  r.report.effort_per_successful_poll = 123.5;
+  r.report.cost_ratio = 1.75;
+  r.report.duration = sim::SimTime::nanoseconds(123456789012345ll);
+  r.trace.interval = sim::SimTime::nanoseconds(86400000000000ll);
+  for (int i = 0; i < 3; ++i) {
+    metrics::TracePoint p;
+    p.t = sim::SimTime::nanoseconds(86400000000000ll * (i + 1));
+    p.damaged_fraction = 0.01 * i;
+    p.afp_to_date = 0.001 * i;
+    p.successful_polls = 10u * i;
+    p.inquorate_polls = i;
+    p.alarms = i;
+    p.repairs = 2u * i;
+    p.loyal_effort_seconds = 100.0 * i;
+    p.adversary_effort_seconds = 50.0 * i;
+    p.online_fraction = 1.0 - 0.05 * i;
+    p.departures = i;
+    p.recoveries = i;
+    p.mean_recovery_days = 1.25 * i;
+    r.trace.points.push_back(p);
+  }
+  r.polls_started = 111;
+  r.solicitations_sent = 222;
+  r.messages_delivered = 333;
+  r.messages_filtered = 44;
+  r.adversary_invitations = 55;
+  r.adversary_admissions = 6;
+  for (size_t i = 0; i < r.admission_verdicts.size(); ++i) {
+    r.admission_verdicts[i] = 1000 + i;
+  }
+  r.events_processed = 987654;
+  r.peak_queue_depth = 4321;
+  r.churn_departures = 12;
+  r.churn_recoveries = 11;
+  r.churn_arrivals = 5;
+  r.availability_mean = 0.9875;
+  r.mean_recovery_days = 8.5;
+  for (size_t i = 0; i < r.operator_interventions.size(); ++i) {
+    r.operator_interventions[i] = 10 + i;
+  }
+  return r;
+}
+
+TEST(JournalTest, RunResultRoundTripsByteExactly) {
+  const experiment::RunResult original = sample_result();
+  std::string bytes;
+  serialize_run_result(original, &bytes);
+
+  experiment::RunResult decoded;
+  size_t cursor = 0;
+  ASSERT_TRUE(deserialize_run_result(bytes, &cursor, &decoded));
+  EXPECT_EQ(cursor, bytes.size());
+
+  // Byte-exact round trip: re-serializing the decoded result reproduces
+  // the blob, so resumed artifacts render identically to fresh ones.
+  std::string bytes2;
+  serialize_run_result(decoded, &bytes2);
+  EXPECT_EQ(bytes, bytes2);
+
+  EXPECT_EQ(decoded.report.successful_polls, original.report.successful_polls);
+  EXPECT_EQ(decoded.report.duration.ns(), original.report.duration.ns());
+  ASSERT_EQ(decoded.trace.points.size(), original.trace.points.size());
+  EXPECT_EQ(decoded.trace.points[2].t.ns(), original.trace.points[2].t.ns());
+  EXPECT_EQ(decoded.trace.points[2].online_fraction, original.trace.points[2].online_fraction);
+  EXPECT_EQ(decoded.admission_verdicts, original.admission_verdicts);
+  EXPECT_EQ(decoded.operator_interventions, original.operator_interventions);
+  EXPECT_EQ(decoded.availability_mean, original.availability_mean);
+}
+
+// --- Journal write/read and corruption recovery --------------------------
+
+std::string make_journal(const std::string& name, uint64_t hash, int results, bool failure) {
+  const std::string path = temp_path(name);
+  JournalWriter writer;
+  std::string error;
+  EXPECT_TRUE(writer.create(path, hash, &error)) << error;
+  for (int i = 0; i < results; ++i) {
+    EXPECT_TRUE(writer.append_result(0x1000u + i, sample_result(), &error)) << error;
+  }
+  if (failure) {
+    EXPECT_TRUE(writer.append_failure(0x2000u, 3, "unit exploded", &error)) << error;
+  }
+  writer.close();
+  return path;
+}
+
+TEST(JournalTest, WriteThenReadBack) {
+  const std::string path = make_journal("journal_roundtrip.bin", 0xDEADBEEFull, 2, true);
+  JournalContents contents;
+  std::string error;
+  ASSERT_TRUE(read_journal(path, &contents, &error)) << error;
+  EXPECT_TRUE(contents.header_ok);
+  EXPECT_EQ(contents.campaign_hash, 0xDEADBEEFull);
+  EXPECT_FALSE(contents.torn_tail);
+  ASSERT_EQ(contents.records.size(), 3u);
+  EXPECT_FALSE(contents.records[0].failed);
+  EXPECT_EQ(contents.records[0].unit_hash, 0x1000ull);
+  EXPECT_EQ(contents.records[1].unit_hash, 0x1001ull);
+  EXPECT_TRUE(contents.records[2].failed);
+  EXPECT_EQ(contents.records[2].attempts, 3u);
+  EXPECT_EQ(contents.records[2].diagnostic, "unit exploded");
+  EXPECT_EQ(contents.valid_bytes, read_bytes(path).size());
+}
+
+TEST(JournalTest, TruncatedFinalRecordRecoversPrefix) {
+  const std::string path = make_journal("journal_truncated.bin", 1, 2, false);
+  const std::string bytes = read_bytes(path);
+
+  // Find the prefix covering header + first result.
+  JournalContents full;
+  std::string error;
+  ASSERT_TRUE(read_journal(path, &full, &error));
+  ASSERT_EQ(full.records.size(), 2u);
+
+  // Chop the last record mid-payload (10 bytes past the prefix of record 1).
+  JournalContents one_record;
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.create(temp_path("journal_trunc_ref.bin"), 1, &error));
+    ASSERT_TRUE(writer.append_result(0x1000u, sample_result(), &error));
+    writer.close();
+    ASSERT_TRUE(read_journal(temp_path("journal_trunc_ref.bin"), &one_record, &error));
+  }
+  const uint64_t prefix = one_record.valid_bytes;
+  write_text(path, bytes.substr(0, prefix + 10));
+
+  JournalContents recovered;
+  ASSERT_TRUE(read_journal(path, &recovered, &error));
+  EXPECT_TRUE(recovered.header_ok);
+  EXPECT_TRUE(recovered.torn_tail);
+  EXPECT_EQ(recovered.valid_bytes, prefix);
+  ASSERT_EQ(recovered.records.size(), 1u);
+  EXPECT_EQ(recovered.records[0].unit_hash, 0x1000ull);
+
+  // open_append truncates the tear; the journal is then cleanly extendable.
+  JournalWriter writer;
+  ASSERT_TRUE(writer.open_append(path, recovered.valid_bytes, &error)) << error;
+  ASSERT_TRUE(writer.append_result(0x1001u, sample_result(), &error)) << error;
+  writer.close();
+  JournalContents extended;
+  ASSERT_TRUE(read_journal(path, &extended, &error));
+  EXPECT_FALSE(extended.torn_tail);
+  ASSERT_EQ(extended.records.size(), 2u);
+  EXPECT_EQ(extended.records[1].unit_hash, 0x1001ull);
+}
+
+TEST(JournalTest, GarbageTailRecoversPrefix) {
+  const std::string path = make_journal("journal_garbage.bin", 1, 1, false);
+  const std::string bytes = read_bytes(path);
+  write_text(path, bytes + "this is not a journal record at all, just garbage bytes");
+
+  JournalContents contents;
+  std::string error;
+  ASSERT_TRUE(read_journal(path, &contents, &error));
+  EXPECT_TRUE(contents.header_ok);
+  EXPECT_TRUE(contents.torn_tail);
+  EXPECT_EQ(contents.valid_bytes, bytes.size());
+  ASSERT_EQ(contents.records.size(), 1u);
+}
+
+TEST(JournalTest, ChecksumMismatchDropsRecord) {
+  const std::string path = make_journal("journal_checksum.bin", 1, 2, false);
+  std::string bytes = read_bytes(path);
+  // Flip one byte inside the last record's payload.
+  bytes[bytes.size() - 5] = static_cast<char>(bytes[bytes.size() - 5] ^ 0x40);
+  write_text(path, bytes);
+
+  JournalContents contents;
+  std::string error;
+  ASSERT_TRUE(read_journal(path, &contents, &error));
+  EXPECT_TRUE(contents.header_ok);
+  EXPECT_TRUE(contents.torn_tail);
+  ASSERT_EQ(contents.records.size(), 1u);
+  EXPECT_LT(contents.valid_bytes, bytes.size());
+}
+
+TEST(JournalTest, EmptyJournalIsHeaderless) {
+  const std::string path = temp_path("journal_empty.bin");
+  write_text(path, "");
+  JournalContents contents;
+  std::string error;
+  ASSERT_TRUE(read_journal(path, &contents, &error));
+  EXPECT_FALSE(contents.header_ok);
+  EXPECT_FALSE(contents.torn_tail);
+  EXPECT_TRUE(contents.records.empty());
+  EXPECT_EQ(contents.valid_bytes, 0u);
+}
+
+TEST(JournalTest, HeaderOnlyJournalIsValid) {
+  const std::string path = make_journal("journal_header_only.bin", 42, 0, false);
+  JournalContents contents;
+  std::string error;
+  ASSERT_TRUE(read_journal(path, &contents, &error));
+  EXPECT_TRUE(contents.header_ok);
+  EXPECT_EQ(contents.campaign_hash, 42ull);
+  EXPECT_FALSE(contents.torn_tail);
+  EXPECT_TRUE(contents.records.empty());
+}
+
+TEST(JournalTest, MissingJournalFailsOpen) {
+  JournalContents contents;
+  std::string error;
+  EXPECT_FALSE(read_journal(temp_path("journal_does_not_exist.bin"), &contents, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace lockss::campaign

@@ -1,0 +1,382 @@
+// Crash-resumable campaign execution, end to end.
+//
+// The central claim: kill the campaign process at ANY journal offset, at
+// ANY worker count, resume with --resume, and every artifact (manifest,
+// cells CSV, figure CSV, trace CSV, gnuplot script) is byte-identical to
+// the uninterrupted run's. The kill is a real one — fork() a child that
+// runs the engine under a fault plan whose kill:<n> directive _exit(137)s
+// mid-run, exactly like SIGKILL — and the resume happens in this process
+// against whatever the dead child left on disk.
+//
+// Also covered: per-cell failure isolation and retry (a unit that exhausts
+// its retry budget is recorded as failed while the rest of the grid
+// completes), deterministic retry recovery (artifacts identical to the
+// no-fault run), journal/artifact I/O fault unwinding, resume over a
+// corrupted journal, and spec-mismatch rejection.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "campaign/fault.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/spec.hpp"
+#include "experiment/runner.hpp"
+
+namespace lockss::campaign {
+namespace {
+
+std::string source_dir() { return std::string(LOCKSS_SOURCE_DIR); }
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "resilience_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << text;
+}
+
+CompiledCampaign compile_file(const std::string& campaign_file) {
+  Spec spec;
+  std::string error;
+  EXPECT_TRUE(load_spec_file(source_dir() + "/campaigns/" + campaign_file, &spec, &error))
+      << error;
+  CompiledCampaign compiled;
+  EXPECT_TRUE(compile_campaign(spec, &compiled, &error)) << error;
+  return compiled;
+}
+
+CompiledCampaign compile_text(const std::string& text, const std::string& tag) {
+  const std::string path = testing::TempDir() + "resilience_spec_" + tag + ".json";
+  write_text(path, text);
+  Spec spec;
+  std::string error;
+  EXPECT_TRUE(load_spec_file(path, &spec, &error)) << error;
+  CompiledCampaign compiled;
+  EXPECT_TRUE(compile_campaign(spec, &compiled, &error)) << error;
+  return compiled;
+}
+
+// Every artifact in `dir` except the journal (which legitimately differs
+// between an interrupted+resumed run and an uninterrupted one: the former
+// holds the same records in a different completion order).
+std::map<std::string, std::string> read_artifacts(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".journal") || name.ends_with(".tmp")) {
+      continue;
+    }
+    files[name] = read_bytes(entry.path().string());
+  }
+  return files;
+}
+
+RunOptions make_options(const std::string& dir) {
+  RunOptions options;
+  options.out_dir = dir;
+  options.quiet = true;
+  return options;
+}
+
+// Uninterrupted reference run (worker count is irrelevant to the bytes —
+// that is the determinism contract this suite leans on).
+std::map<std::string, std::string> reference_artifacts(const CompiledCampaign& compiled,
+                                                       const std::string& tag) {
+  const std::string dir = fresh_dir(tag);
+  CampaignOutcome outcome;
+  std::string error;
+  EXPECT_TRUE(run_campaign(compiled, make_options(dir), &outcome, &error)) << error;
+  EXPECT_TRUE(outcome.all_ok());
+  return read_artifacts(dir);
+}
+
+// Fork a child that runs the campaign under `kill:<offset>` and dies with
+// _exit(137) right after that journal append; then resume in-process with
+// `workers` and return what landed on disk.
+void kill_then_resume(const CompiledCampaign& compiled, uint64_t kill_offset, unsigned workers,
+                      const std::string& dir, CampaignOutcome* outcome) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    experiment::ParallelRunner::set_default_workers(workers);
+    RunOptions options = make_options(dir);
+    std::string error;
+    ASSERT_TRUE(
+        parse_fault_plan("kill:" + std::to_string(kill_offset), &options.faults, &error));
+    CampaignOutcome child_outcome;
+    run_campaign(compiled, options, &child_outcome, &error);
+    ::_exit(42);  // only reached if the kill offset never fired
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 137) << "kill offset " << kill_offset << " never fired";
+
+  experiment::ParallelRunner::set_default_workers(workers);
+  RunOptions options = make_options(dir);
+  options.resume = true;
+  std::string error;
+  ASSERT_TRUE(run_campaign(compiled, options, outcome, &error)) << error;
+  experiment::ParallelRunner::set_default_workers(0);
+  EXPECT_TRUE(outcome->all_ok());
+}
+
+void check_kill_resume_identity(const CompiledCampaign& compiled, const std::string& tag,
+                                const std::vector<uint64_t>& offsets,
+                                const std::vector<unsigned>& worker_counts) {
+  const std::map<std::string, std::string> reference =
+      reference_artifacts(compiled, tag + "_ref");
+  ASSERT_FALSE(reference.empty());
+  for (const uint64_t offset : offsets) {
+    for (const unsigned workers : worker_counts) {
+      const std::string dir =
+          fresh_dir(tag + "_k" + std::to_string(offset) + "_w" + std::to_string(workers));
+      CampaignOutcome outcome;
+      kill_then_resume(compiled, offset, workers, dir, &outcome);
+      // Offset n = killed after the nth unit record: exactly n units must
+      // replay from the journal instead of recomputing.
+      EXPECT_EQ(outcome.units_resumed, offset)
+          << tag << " kill:" << offset << " workers=" << workers;
+      const std::map<std::string, std::string> resumed = read_artifacts(dir);
+      ASSERT_EQ(resumed.size(), reference.size())
+          << tag << " kill:" << offset << " workers=" << workers;
+      for (const auto& [name, bytes] : reference) {
+        ASSERT_TRUE(resumed.contains(name)) << name;
+        EXPECT_EQ(resumed.at(name), bytes)
+            << name << " drifted after kill:" << offset << " workers=" << workers;
+      }
+    }
+  }
+}
+
+// --- Kill-resume bit-identity -------------------------------------------
+
+// Static campaign (smoke: baseline + 2 cells = 3 unit records; offsets 1-3
+// cover "one unit journaled" through "everything journaled, artifacts not
+// yet written") at 1, 2, and 8 workers.
+TEST(CampaignResilienceTest, KillResumeIdentitySmoke) {
+  const CompiledCampaign compiled = compile_file("smoke.json");
+  check_kill_resume_identity(compiled, "smoke", {1, 2, 3}, {1, 2, 8});
+}
+
+// Dynamics campaign: churn + arrivals exercise the dynamics metrics and
+// trace fields through the journal's RunResult blob.
+TEST(CampaignResilienceTest, KillResumeIdentityChurnBaseline) {
+  const CompiledCampaign compiled = compile_file("churn_baseline.json");
+  check_kill_resume_identity(compiled, "churn", {1, 2, 3}, {1, 2, 8});
+}
+
+// Figure campaign (in-test spec: 2x2 grid + baseline = 5 units): the
+// resumed run must reproduce the figure CSV, trace CSV, and gnuplot script
+// byte-for-byte, not just the manifest.
+TEST(CampaignResilienceTest, KillResumeIdentityFigureOutputs) {
+  const CompiledCampaign compiled = compile_text(
+      "{\n"
+      "  \"name\": \"figtest\",\n"
+      "  \"deployment\": { \"peers\": 10, \"aus\": 2, \"duration_years\": 0.4, "
+      "\"seed\": 11, \"seeds\": 1 },\n"
+      "  \"damage\": { \"mean_disk_years_between_failures\": 0.2, \"aus_per_disk\": 2.0 },\n"
+      "  \"trace_days\": 60.0,\n"
+      "  \"adversary\": [ { \"kind\": \"pipe_stoppage\", \"attack_days\": 20, "
+      "\"recuperation_days\": 10, \"coverage_percent\": 50 } ],\n"
+      "  \"sweep\": [\n"
+      "    { \"param\": \"attack_days\", \"phase\": 0, \"label\": \"d\", \"values\": [10, 30] },\n"
+      "    { \"param\": \"coverage_percent\", \"phase\": 0, \"label\": \"c\", "
+      "\"values\": [50, 100] }\n"
+      "  ],\n"
+      "  \"outputs\": { \"figure\": { \"metric\": \"access_failure\", "
+      "\"row_header\": \"duration_days\", \"title\": \"resilience fig test\", "
+      "\"x_label\": \"Attack duration (days)\", \"log_x\": true, \"log_y\": true, "
+      "\"csv\": \"figtest.csv\" } }\n"
+      "}\n",
+      "fig");
+  ASSERT_EQ(compiled.cells.size(), 4u);
+  check_kill_resume_identity(compiled, "fig", {1, 3, 5}, {1, 8});
+}
+
+// --- Failure isolation and retry ----------------------------------------
+
+TEST(CampaignResilienceTest, FailedCellCompletesGridAndIsRecorded) {
+  const CompiledCampaign compiled = compile_file("smoke.json");
+  const std::string dir = fresh_dir("failed_cell");
+  RunOptions options = make_options(dir);
+  options.retries = 1;
+  std::string error;
+  ASSERT_TRUE(parse_fault_plan("cell:0@99", &options.faults, &error)) << error;
+
+  CampaignOutcome outcome;
+  // Cell failure is not an I/O failure: the run "succeeds" and reports.
+  ASSERT_TRUE(run_campaign(compiled, options, &outcome, &error)) << error;
+  EXPECT_FALSE(outcome.all_ok());
+  EXPECT_EQ(outcome.units_failed, 1u);
+  ASSERT_EQ(outcome.cell_status.size(), 2u);
+  EXPECT_FALSE(outcome.cell_status[0].ok);
+  EXPECT_EQ(outcome.cell_status[0].attempts, 2u);  // 1 + retries
+  EXPECT_FALSE(outcome.cell_status[0].error.empty());
+  // The rest of the grid completed.
+  EXPECT_TRUE(outcome.baseline_status.ok);
+  EXPECT_TRUE(outcome.cell_status[1].ok);
+  EXPECT_GT(outcome.cells[1].report.successful_polls, 0u);
+
+  // The manifest records the failure (and only campaigns with failures
+  // carry these keys — golden fixtures never see them).
+  const std::string manifest = read_bytes(dir + "/smoke.manifest.json");
+  EXPECT_NE(manifest.find("\"failed_units\": 1"), std::string::npos);
+  EXPECT_NE(manifest.find("\"status\": \"failed\""), std::string::npos);
+  EXPECT_NE(manifest.find("injected cell fault"), std::string::npos);
+}
+
+TEST(CampaignResilienceTest, RetrySucceedsAndMatchesNoFaultRun) {
+  const CompiledCampaign compiled = compile_file("smoke.json");
+  const std::map<std::string, std::string> reference =
+      reference_artifacts(compiled, "retry_ref");
+
+  const std::string dir = fresh_dir("retry");
+  RunOptions options = make_options(dir);
+  options.retries = 2;
+  std::string error;
+  ASSERT_TRUE(parse_fault_plan("cell:0@1", &options.faults, &error)) << error;
+  CampaignOutcome outcome;
+  ASSERT_TRUE(run_campaign(compiled, options, &outcome, &error)) << error;
+  EXPECT_TRUE(outcome.all_ok());
+  EXPECT_EQ(outcome.cell_status[0].attempts, 2u);  // failed once, then succeeded
+
+  // A retried run is byte-identical to a never-faulted one.
+  EXPECT_EQ(read_artifacts(dir), reference);
+}
+
+// A journal holding a *failure* record re-attempts that unit on resume.
+TEST(CampaignResilienceTest, ResumeReattemptsJournaledFailures) {
+  const CompiledCampaign compiled = compile_file("smoke.json");
+  const std::map<std::string, std::string> reference =
+      reference_artifacts(compiled, "refail_ref");
+
+  const std::string dir = fresh_dir("refail");
+  RunOptions options = make_options(dir);
+  std::string error;
+  ASSERT_TRUE(parse_fault_plan("cell:0@99", &options.faults, &error)) << error;
+  CampaignOutcome failed_outcome;
+  ASSERT_TRUE(run_campaign(compiled, options, &failed_outcome, &error)) << error;
+  EXPECT_EQ(failed_outcome.units_failed, 1u);
+
+  RunOptions resume = make_options(dir);
+  resume.resume = true;
+  CampaignOutcome outcome;
+  ASSERT_TRUE(run_campaign(compiled, resume, &outcome, &error)) << error;
+  EXPECT_TRUE(outcome.all_ok());
+  EXPECT_EQ(outcome.units_resumed, 2u);  // baseline + healthy cell replayed
+  EXPECT_FALSE(outcome.cell_status[0].from_journal);
+  EXPECT_EQ(read_artifacts(dir), reference);
+}
+
+// --- I/O faults ----------------------------------------------------------
+
+TEST(CampaignResilienceTest, JournalIoFailureUnwindsThenResumes) {
+  const CompiledCampaign compiled = compile_file("smoke.json");
+  const std::map<std::string, std::string> reference =
+      reference_artifacts(compiled, "jio_ref");
+
+  const std::string dir = fresh_dir("jio");
+  RunOptions options = make_options(dir);
+  std::string error;
+  ASSERT_TRUE(parse_fault_plan("journal-io:1", &options.faults, &error)) << error;
+  CampaignOutcome outcome;
+  EXPECT_FALSE(run_campaign(compiled, options, &outcome, &error));
+  EXPECT_NE(error.find("journal"), std::string::npos) << error;
+
+  RunOptions resume = make_options(dir);
+  resume.resume = true;
+  CampaignOutcome resumed;
+  error.clear();
+  ASSERT_TRUE(run_campaign(compiled, resume, &resumed, &error)) << error;
+  EXPECT_TRUE(resumed.all_ok());
+  EXPECT_EQ(read_artifacts(dir), reference);
+}
+
+TEST(CampaignResilienceTest, ArtifactIoFailureUnwindsCleanly) {
+  const CompiledCampaign compiled = compile_file("smoke.json");
+  const std::string dir = fresh_dir("aio");
+  RunOptions options = make_options(dir);
+  std::string error;
+  ASSERT_TRUE(parse_fault_plan("artifact-io:smoke.manifest.json", &options.faults, &error));
+  CampaignOutcome outcome;
+  EXPECT_FALSE(run_campaign(compiled, options, &outcome, &error));
+  EXPECT_NE(error.find("smoke.manifest.json"), std::string::npos) << error;
+  // Neither a torn manifest nor its temp file may survive.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/smoke.manifest.json"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/smoke.manifest.json.tmp"));
+}
+
+// --- Journal pathologies on resume ---------------------------------------
+
+TEST(CampaignResilienceTest, ResumeOverCorruptedJournalRecomputes) {
+  const CompiledCampaign compiled = compile_file("smoke.json");
+  const std::map<std::string, std::string> reference =
+      reference_artifacts(compiled, "corrupt_ref");
+
+  // Complete run, then smash a garbage tail onto the journal.
+  const std::string dir = fresh_dir("corrupt");
+  CampaignOutcome first;
+  std::string error;
+  ASSERT_TRUE(run_campaign(compiled, make_options(dir), &first, &error)) << error;
+  {
+    std::ofstream out(dir + "/smoke.journal", std::ios::binary | std::ios::app);
+    out << "garbage tail from a crashed writer";
+  }
+
+  RunOptions resume = make_options(dir);
+  resume.resume = true;
+  CampaignOutcome outcome;
+  ASSERT_TRUE(run_campaign(compiled, resume, &outcome, &error)) << error;
+  EXPECT_EQ(outcome.units_resumed, 3u);  // prefix recovered, nothing recomputed
+  EXPECT_EQ(read_artifacts(dir), reference);
+
+  // And a completely garbage journal (no valid header) starts fresh.
+  const std::string dir2 = fresh_dir("corrupt2");
+  write_text(dir2 + "/smoke.journal", "not a journal at all");
+  RunOptions resume2 = make_options(dir2);
+  resume2.resume = true;
+  CampaignOutcome outcome2;
+  ASSERT_TRUE(run_campaign(compiled, resume2, &outcome2, &error)) << error;
+  EXPECT_EQ(outcome2.units_resumed, 0u);
+  EXPECT_EQ(read_artifacts(dir2), reference);
+}
+
+TEST(CampaignResilienceTest, ResumeRejectsSpecMismatchedJournal) {
+  const CompiledCampaign compiled = compile_file("smoke.json");
+  const std::string dir = fresh_dir("mismatch");
+  // A valid journal written for a *different* campaign hash.
+  JournalWriter writer;
+  std::string error;
+  ASSERT_TRUE(writer.create(dir + "/smoke.journal", 0x1234ull, &error)) << error;
+  writer.close();
+
+  RunOptions resume = make_options(dir);
+  resume.resume = true;
+  CampaignOutcome outcome;
+  EXPECT_FALSE(run_campaign(compiled, resume, &outcome, &error));
+  EXPECT_NE(error.find("different campaign"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace lockss::campaign

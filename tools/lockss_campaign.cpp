@@ -6,8 +6,19 @@
 //                     (CI runs this over every shipped campaigns/*.json)
 //   --dry-run         alias for --validate
 //   --out-dir DIR     where outputs land (default: current directory)
-//   --workers N       parallel runner workers (default: auto)
+//   --workers N       parallel runner workers (default: auto; must be >= 1)
 //   --quiet           suppress the per-cell stdout report
+//   --resume          replay <out-dir>/<name>.journal and skip computed
+//                     units; a torn trailing record is recovered, failed
+//                     units are re-attempted
+//   --retries N       extra attempts per unit after the first (default 0)
+//   --fault-inject S  deterministic fault plan (see campaign/fault.hpp);
+//                     also honoured from $LOCKSS_FAULT_INJECT
+//
+// Unknown flags and stray positionals are an error (exit 2): a misspelled
+// option must never silently run the wrong experiment. Exit codes: 0 ok,
+// 1 spec/IO error, 2 usage error, 3 grid completed but some unit(s)
+// exhausted their retry budget (the manifest records them as failed).
 //
 // A campaign file describes a whole experiment — deployment, protocol and
 // damage overrides, a composable multi-adversary pipeline, sweep axes, seed
@@ -15,9 +26,13 @@
 // data file, not a recompile. Shipped campaigns live under campaigns/;
 // schema in docs/campaigns.md.
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
 #include <string>
 
 #include "campaign/engine.hpp"
+#include "campaign/fault.hpp"
 #include "campaign/spec.hpp"
 #include "experiment/cli.hpp"
 #include "experiment/runner.hpp"
@@ -83,17 +98,42 @@ void print_plan(const campaign::CompiledCampaign& compiled) {
                   (spec.layers > 0 ? spec.layers : 1));
 }
 
+// Rejects misspelled options up front. One line, non-zero exit — never
+// silently run a different experiment than the one asked for.
+bool check_flags(const experiment::CliArgs& args) {
+  static const std::set<std::string> known = {
+      "validate", "dry-run", "out-dir",      "workers", "quiet",
+      "resume",   "retries", "fault-inject",
+  };
+  for (const std::string& key : args.keys()) {
+    if (!known.contains(key)) {
+      std::fprintf(stderr, "error: unknown flag --%s (see lockss_campaign --help)\n",
+                   key.c_str());
+      return false;
+    }
+  }
+  if (!args.extras().empty()) {
+    std::fprintf(stderr, "error: unexpected argument '%s' (one campaign file, then flags)\n",
+                 args.extras().front().c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
                  "usage: lockss_campaign <campaign.json> [--validate] [--out-dir DIR] "
-                 "[--workers N] [--quiet]\n");
+                 "[--workers N] [--quiet] [--resume] [--retries N] [--fault-inject SPEC]\n");
     return 2;
   }
   const std::string spec_path = argv[1];
   experiment::CliArgs args(argc - 1, argv + 1);
+  if (!check_flags(args)) {
+    return 2;
+  }
 
   campaign::Spec spec;
   std::string error;
@@ -115,10 +155,60 @@ int main(int argc, char** argv) {
   campaign::RunOptions options;
   options.out_dir = args.text("out-dir", ".");
   options.quiet = args.flag("quiet");
-  const unsigned workers = static_cast<unsigned>(args.integer("workers", 0));
-  if (workers > 0) {
-    experiment::ParallelRunner::set_default_workers(workers);
+  options.resume = args.flag("resume");
+
+  const int64_t workers = args.integer("workers", 0);
+  if (args.flag("workers") && workers < 1) {
+    std::fprintf(stderr, "error: --workers must be >= 1 (got %lld)\n",
+                 static_cast<long long>(workers));
+    return 2;
   }
+  if (workers > 0) {
+    experiment::ParallelRunner::set_default_workers(static_cast<unsigned>(workers));
+  }
+
+  const int64_t retries = args.integer("retries", 0);
+  if (retries < 0) {
+    std::fprintf(stderr, "error: --retries must be >= 0 (got %lld)\n",
+                 static_cast<long long>(retries));
+    return 2;
+  }
+  options.retries = static_cast<uint32_t>(retries);
+
+  std::string fault_spec = args.text("fault-inject", "");
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("LOCKSS_FAULT_INJECT")) {
+      fault_spec = env;
+    }
+  }
+  if (!fault_spec.empty() && !campaign::parse_fault_plan(fault_spec, &options.faults, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  // Probe out-dir writability before spending CPU on the grid: create it
+  // (if needed) and touch a file inside. Catches read-only and
+  // file-shadowed paths regardless of euid.
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(options.out_dir.empty() ? "." : options.out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: --out-dir %s: %s\n", options.out_dir.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+    const std::filesystem::path probe =
+        std::filesystem::path(options.out_dir.empty() ? "." : options.out_dir) /
+        ".lockss_campaign.probe";
+    if (std::FILE* f = std::fopen(probe.c_str(), "wb")) {
+      std::fclose(f);
+      std::filesystem::remove(probe, ec);
+    } else {
+      std::fprintf(stderr, "error: --out-dir %s is not writable\n", options.out_dir.c_str());
+      return 2;
+    }
+  }
+
   campaign::CampaignOutcome outcome;
   if (!campaign::run_campaign(compiled, options, &outcome, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -126,6 +216,13 @@ int main(int argc, char** argv) {
   }
   for (const std::string& file : outcome.files_written) {
     std::printf("# wrote %s\n", file.c_str());
+  }
+  if (!outcome.all_ok()) {
+    std::fprintf(stderr,
+                 "error: %zu unit(s) failed after exhausting retries; the rest of the grid "
+                 "completed and the manifest records the failures\n",
+                 outcome.units_failed);
+    return 3;
   }
   return 0;
 }
