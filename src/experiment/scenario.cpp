@@ -1,7 +1,9 @@
 #include "experiment/scenario.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdlib>
 #include <memory>
 
 #include "adversary/admission_flood.hpp"
@@ -13,10 +15,80 @@
 #include "net/fault_injection.hpp"
 #include "net/network.hpp"
 #include "net/node_slot_registry.hpp"
+#include "net/shard_bus.hpp"
 #include "peer/peer.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace lockss::experiment {
+
+namespace {
+
+std::atomic<uint32_t> g_default_shards_override{0};
+
+// An alarm seen on a shard, reported to the operator engine at the next
+// barrier (docs/sharding.md).
+struct AlarmObservation {
+  sim::SimTime at;
+  net::NodeId poller;
+};
+
+// Everything the sharded execution path adds on top of the serial scenario:
+// the engine (one Simulator per shard + one global), the network delivery
+// bus, per-shard metric logs fronted by log-mode collectors, and per-shard
+// alarm buffers. Null on the serial path.
+struct ShardRuntime {
+  sim::ShardedEngine engine;
+  net::EngineShardBus bus;
+  std::vector<metrics::MetricLog> logs;
+  std::vector<metrics::MetricsCollector> shard_collectors;
+  std::vector<std::vector<AlarmObservation>> alarms;
+
+  ShardRuntime(uint32_t shards, uint32_t owned_ids, sim::SimTime lookahead)
+      : engine(sim::ShardPlan::block_partition(shards, owned_ids), lookahead),
+        bus(engine),
+        logs(shards),
+        shard_collectors(shards),
+        alarms(shards) {}
+};
+
+}  // namespace
+
+uint32_t default_shards() {
+  const uint32_t override = g_default_shards_override.load(std::memory_order_relaxed);
+  if (override > 0) {
+    return override;
+  }
+  if (const char* env = std::getenv("LOCKSS_SHARDS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) {
+      return static_cast<uint32_t>(v);
+    }
+  }
+  return 1;
+}
+
+void set_default_shards(uint32_t shards) {
+  g_default_shards_override.store(shards, std::memory_order_relaxed);
+}
+
+bool sharding_supported(const ScenarioConfig& config) {
+  // An external poll observer expects the serial calling convention (called
+  // at the poll-conclusion instant, in global order); sharded runs would
+  // invoke it from worker threads.
+  if (config.poll_observer) {
+    return false;
+  }
+  // Operator alarms are reported at shard barriers, so an intervention can
+  // only land at its serial instant if the detection latency reaches past
+  // the barrier lookahead (real latencies are hours-to-days; the lookahead
+  // is the network's minimum latency, one millisecond).
+  if (config.operators.enabled() &&
+      config.operators.detection_latency < net::NetworkConfig{}.min_latency) {
+    return false;
+  }
+  return true;
+}
 
 adversary::AdversaryPipeline canonical_pipeline(const AdversarySpec& spec) {
   adversary::AdversaryPipeline pipeline;
@@ -64,8 +136,17 @@ adversary::AdversaryPipeline effective_pipeline(const AdversarySpec& spec) {
   return spec.pipeline.empty() ? canonical_pipeline(spec) : spec.pipeline;
 }
 
-RunResult run_scenario(const ScenarioConfig& config) {
-  sim::Simulator simulator;
+namespace {
+
+// The one scenario body, serial and sharded: `shards` <= 1 runs the
+// pre-sharding serial path untouched (rt stays null and every wiring point
+// below collapses to the old code); `shards` > 1 builds a ShardRuntime and
+// reroutes peers' simulators, metrics, network deliveries, and operator
+// alarms through it. Construction order — and with it the root-RNG split
+// sequence — is identical either way, which is what makes the sharded
+// result bit-identical to the serial one (tests/sharding_identity_test).
+RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
+  sim::Simulator serial_sim;
   sim::Rng root(config.seed);
   // Deployment dynamics draw first: one root split per enabled stream
   // (churn, operators), taken before anything else so the arrival count is
@@ -89,8 +170,58 @@ RunResult run_scenario(const ScenarioConfig& config) {
   }
   const uint32_t arrival_count = churn_schedule.arrival_count;
 
+  // Sharded runtime (null = serial). The owned ids — established peers,
+  // newcomers, and the whole churn arrival schedule — partition into
+  // contiguous NodeId blocks, one per shard; every other identity
+  // (adversary minions, spoofed floods) lives in the engine's global
+  // context. The lookahead is the network's minimum latency: a strict
+  // lower bound on every cross-shard interaction delay.
+  const uint32_t owned_ids = config.peer_count + config.newcomer_count + arrival_count;
+  std::unique_ptr<ShardRuntime> rt;
+  if (shards > 1 && owned_ids > 0) {
+    rt = std::make_unique<ShardRuntime>(shards, owned_ids, net::NetworkConfig{}.min_latency);
+  }
+  // Global actors — the adversary fleet, churn, operators, trace ticks —
+  // and the whole serial path drive this simulator.
+  sim::Simulator& simulator = rt != nullptr ? rt->engine.global_sim() : serial_sim;
+
   net::Network network(simulator, root.split());
+  if (rt != nullptr) {
+    network.set_shard_bus(&rt->bus);
+  }
   metrics::MetricsCollector collector;
+  if (rt != nullptr) {
+    for (uint32_t s = 0; s < shards; ++s) {
+      rt->shard_collectors[s].set_log_mode(&collector, &rt->logs[s],
+                                           &rt->engine.shard_sim(s));
+    }
+    // Barrier hook: replay the per-shard metric logs into the master in
+    // (time, shard) order — the serial accumulation order, because shard
+    // order is NodeId-block order (docs/sharding.md). Within a shard the
+    // log is already time-sorted (events execute in time order).
+    rt->engine.add_barrier_hook([rtp = rt.get(), collector_ptr = &collector] {
+      auto& logs = rtp->logs;
+      std::vector<size_t> idx(logs.size(), 0);
+      for (;;) {
+        size_t best = logs.size();
+        for (size_t s = 0; s < logs.size(); ++s) {
+          if (idx[s] >= logs[s].size()) {
+            continue;
+          }
+          if (best == logs.size() || logs[s][idx[s]].at < logs[best][idx[best]].at) {
+            best = s;
+          }
+        }
+        if (best == logs.size()) {
+          break;
+        }
+        collector_ptr->apply(logs[best][idx[best]++]);
+      }
+      for (auto& log : logs) {
+        log.clear();
+      }
+    });
+  }
   // Deployment-wide identity registry behind the dense per-AU substrates.
   // Registration happens entirely at setup, in ascending NodeId order
   // (loyal peers, newcomers, churn arrivals — the *whole* arrival schedule,
@@ -109,6 +240,37 @@ RunResult run_scenario(const ScenarioConfig& config) {
   if (operators_enabled) {
     operators_engine = std::make_unique<dynamics::OperatorResponseEngine>(
         simulator, config.operators, operators_rng.split());
+    if (rt != nullptr) {
+      // Barrier hook: report the alarms each shard buffered during the last
+      // window, merged by (time, shard) — the serial trigger order. The
+      // intervention still lands at its serial instant because triggers
+      // draw no randomness and schedule at observed_at + detection_latency
+      // (>= the barrier time whenever the latency covers the lookahead,
+      // which sharding_supported() guarantees).
+      rt->engine.add_barrier_hook([rtp = rt.get(), eng = operators_engine.get()] {
+        auto& bufs = rtp->alarms;
+        std::vector<size_t> idx(bufs.size(), 0);
+        for (;;) {
+          size_t best = bufs.size();
+          for (size_t s = 0; s < bufs.size(); ++s) {
+            if (idx[s] >= bufs[s].size()) {
+              continue;
+            }
+            if (best == bufs.size() || bufs[s][idx[s]].at < bufs[best][idx[best]].at) {
+              best = s;
+            }
+          }
+          if (best == bufs.size()) {
+            break;
+          }
+          const AlarmObservation& obs = bufs[best][idx[best]++];
+          eng->on_alarm_observed(obs.poller, obs.at);
+        }
+        for (auto& buf : bufs) {
+          buf.clear();
+        }
+      });
+    }
   }
 
   peer::PeerEnvironment env;
@@ -121,9 +283,35 @@ RunResult run_scenario(const ScenarioConfig& config) {
   env.damage = config.damage;
   env.enable_damage = config.enable_damage;
   env.retain_schedule_history = config.collect_schedule_history;
-  env.poll_observer = operators_engine != nullptr
+  // Sharded runs report alarms through the per-shard barrier buffers
+  // instead of the inline observer chain (config.poll_observer is empty
+  // there — sharding_supported() falls back to serial otherwise).
+  env.poll_observer = (rt == nullptr && operators_engine != nullptr)
                           ? operators_engine->observer(config.poll_observer)
                           : config.poll_observer;
+
+  // Per-peer environment: a sharded run points each peer at its shard's
+  // simulator and log-mode collector and buffers its alarms; a serial run
+  // hands `env` back untouched.
+  const auto env_for = [&](uint32_t raw_id) {
+    peer::PeerEnvironment e = env;
+    if (rt != nullptr) {
+      const uint32_t shard = rt->engine.context_of(raw_id);
+      e.simulator = &rt->engine.shard_sim(shard);
+      e.metrics = &rt->shard_collectors[shard];
+      if (operators_engine != nullptr) {
+        std::vector<AlarmObservation>* alarms = &rt->alarms[shard];
+        sim::Simulator* clock = e.simulator;
+        e.poll_observer = [alarms, clock](net::NodeId poller,
+                                          const protocol::PollOutcome& outcome) {
+          if (outcome.kind == protocol::PollOutcomeKind::kAlarm) {
+            alarms->push_back(AlarmObservation{clock->now(), poller});
+          }
+        };
+      }
+    }
+    return e;
+  };
 
   // --- Loyal population ------------------------------------------------------
   std::vector<std::unique_ptr<peer::Peer>> peers;
@@ -132,7 +320,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
   for (uint32_t p = 0; p < config.peer_count; ++p) {
     const net::NodeId id{p};
     ids.push_back(id);
-    peers.push_back(std::make_unique<peer::Peer>(env, id, root.split()));
+    peers.push_back(std::make_unique<peer::Peer>(env_for(p), id, root.split()));
   }
   std::vector<storage::AuId> aus;
   for (uint32_t a = 0; a < config.au_count; ++a) {
@@ -216,7 +404,7 @@ RunResult run_scenario(const ScenarioConfig& config) {
   sim::Rng newcomer_rng = root.split();
   for (uint32_t n = 0; n < config.newcomer_count; ++n) {
     const net::NodeId id{config.peer_count + n};
-    newcomers.push_back(std::make_unique<peer::Peer>(env, id, root.split()));
+    newcomers.push_back(std::make_unique<peer::Peer>(env_for(id.value), id, root.split()));
     peer::Peer* newcomer = newcomers.back().get();
     for (uint32_t a = 0; a < config.au_count; ++a) {
       newcomer->join_au(aus[a]);
@@ -226,7 +414,9 @@ RunResult run_scenario(const ScenarioConfig& config) {
     newcomer->set_friends(newcomer_rng.sample(ids, config.params.friends_list_size));
     const sim::SimTime join_at =
         newcomer_rng.uniform_time(sim::SimTime::zero(), config.newcomer_join_window);
-    simulator.schedule_at(join_at, [newcomer] { newcomer->start(); });
+    // The join event mutates only the newcomer, so it runs on its shard.
+    sim::Simulator& join_sim = rt != nullptr ? rt->engine.sim_of(id.value) : simulator;
+    join_sim.schedule_at(join_at, [newcomer] { newcomer->start(); });
   }
   // Churn arrivals (deployment dynamics): constructed and seeded now — like
   // newcomers, the network must know their addresses and the registry their
@@ -236,7 +426,8 @@ RunResult run_scenario(const ScenarioConfig& config) {
   std::vector<std::unique_ptr<peer::Peer>> arrival_peers;
   for (uint32_t a = 0; a < arrival_count; ++a) {
     const net::NodeId id{config.peer_count + config.newcomer_count + a};
-    arrival_peers.push_back(std::make_unique<peer::Peer>(env, id, churn_rng.split()));
+    arrival_peers.push_back(
+        std::make_unique<peer::Peer>(env_for(id.value), id, churn_rng.split()));
     peer::Peer* arrival = arrival_peers.back().get();
     for (uint32_t au = 0; au < config.au_count; ++au) {
       arrival->join_au(aus[au]);
@@ -384,7 +575,11 @@ RunResult run_scenario(const ScenarioConfig& config) {
   }
 
   // --- Run ---------------------------------------------------------------------
-  simulator.run_until(config.duration);
+  if (rt != nullptr) {
+    rt->engine.run_until(config.duration);
+  } else {
+    simulator.run_until(config.duration);
+  }
 
   // --- Harvest -------------------------------------------------------------------
   RunResult result;
@@ -421,10 +616,17 @@ RunResult run_scenario(const ScenarioConfig& config) {
   }
   collector.set_effort_totals(loyal_effort_now(), adversary_effort_now());
   result.report = collector.finalize(config.duration);
-  result.messages_delivered = network.stats().messages_delivered;
-  result.messages_filtered = network.stats().messages_filtered;
-  result.events_processed = simulator.events_processed();
-  result.peak_queue_depth = simulator.peak_queue_depth();
+  // total_stats() sums the per-context shards (serial: just stats_); the
+  // sums equal the serial counters. events_processed likewise sums to the
+  // serial count exactly; peak_queue_depth is the one field with no serial
+  // equivalent under sharding (sum of per-queue peaks, an upper bound).
+  const net::NetworkStats net_stats = network.total_stats();
+  result.messages_delivered = net_stats.messages_delivered;
+  result.messages_filtered = net_stats.messages_filtered;
+  result.events_processed =
+      rt != nullptr ? rt->engine.events_processed() : simulator.events_processed();
+  result.peak_queue_depth =
+      rt != nullptr ? rt->engine.peak_queue_depth_sum() : simulator.peak_queue_depth();
   result.adversary_invitations = fleet.invitations();
   result.adversary_admissions = fleet.admissions();
   if (config.collect_schedule_history) {
@@ -434,6 +636,14 @@ RunResult run_scenario(const ScenarioConfig& config) {
     }
   }
   return result;
+}
+
+}  // namespace
+
+RunResult run_scenario(const ScenarioConfig& config) {
+  const uint32_t requested = config.shards != 0 ? config.shards : default_shards();
+  const uint32_t shards = requested > 1 && sharding_supported(config) ? requested : 1;
+  return run_scenario_impl(config, shards);
 }
 
 std::vector<RunResult> run_layered(const ScenarioConfig& config, uint32_t layers) {

@@ -110,6 +110,14 @@ struct ScenarioConfig {
   // so traces obey the same bit-identical determinism contract as the
   // scalar report.
   sim::SimTime trace_interval = sim::SimTime::zero();
+  // Deterministic intra-run sharding (docs/sharding.md): split this run's
+  // peers and event load across `shards` worker threads. 0 picks the
+  // process default (default_shards(), normally 1); 1 runs the unsharded
+  // serial path. Every shard count produces the same RunResult bit for bit
+  // — peak_queue_depth excepted, which becomes a sum of per-queue peaks —
+  // so this is an execution knob, not part of the experiment definition
+  // (campaign specs and manifests never record it).
+  uint32_t shards = 0;
 };
 
 struct RunResult {
@@ -141,6 +149,19 @@ struct RunResult {
   // Per-peer busy history (only when collect_schedule_history).
   std::vector<std::vector<sched::Reservation>> schedules;
 };
+
+// Shard count used when ScenarioConfig::shards is 0: the process-wide
+// override if set, else the LOCKSS_SHARDS environment variable (>= 1),
+// else 1 (serial).
+uint32_t default_shards();
+// Process-wide override (CLI tools, benches); 0 restores automatic
+// selection.
+void set_default_shards(uint32_t shards);
+
+// True when the sharded engine can run `config` bit-identically to the
+// serial path; when false (an external poll_observer, or operator latency
+// inside the network lookahead) run_scenario silently runs serial.
+bool sharding_supported(const ScenarioConfig& config);
 
 // Builds and runs one scenario to completion.
 RunResult run_scenario(const ScenarioConfig& config);

@@ -32,7 +32,31 @@
 #include "sim/time.hpp"
 #include "storage/au.hpp"
 
+namespace lockss::sim {
+class Simulator;
+}
+
 namespace lockss::metrics {
+
+// One recorded collector mutation, for deterministic sharded replay
+// (docs/sharding.md). The §6.1 accumulators include order-dependent
+// floating-point sums (the damage integral, the observed-gap sum), so a
+// sharded run cannot keep per-shard partial sums — different association,
+// different rounding, different bytes. Instead each shard's collector runs
+// in *log mode*: every mutation is appended to the shard's MetricLog
+// stamped with the shard clock, and at every shard barrier the logs are
+// merged by (time, shard, append order) — equal to the serial event order,
+// because shard order is NodeId-block order — and replayed into the one
+// master collector, reproducing the serial accumulation sequence exactly.
+struct MetricEvent {
+  enum class Kind : uint8_t { kDamageStateChange, kDamageEvent, kPoll };
+  sim::SimTime at;
+  Kind kind = Kind::kDamageEvent;
+  int64_t delta = 0;             // kDamageStateChange
+  net::NodeId poller;            // kPoll
+  protocol::PollOutcome outcome;  // kPoll
+};
+using MetricLog = std::vector<MetricEvent>;
 
 struct MetricsReport {
   double access_failure_probability = 0.0;
@@ -80,10 +104,23 @@ class MetricsCollector {
   void on_damage_state_change(sim::SimTime now, int64_t delta);
 
   // A bit-rot injection occurred (rate bookkeeping).
-  void on_damage_event() { ++damage_events_; }
+  void on_damage_event();
 
   // Poll lifecycle.
   void record_poll(net::NodeId poller, const protocol::PollOutcome& outcome);
+
+  // --- Sharded recording (sim/sharded_engine, docs/sharding.md) -------------
+  // Turns this collector into a logging front-end: mutations append to
+  // `log` stamped with `clock`'s now(), registrations forward to `master`.
+  // The scenario's barrier hook merges the per-shard logs deterministically
+  // and replays them into the master via apply(). Must be called before any
+  // recording; reads on a log-mode collector are meaningless (nothing in
+  // the peer stack reads, only the scenario layer does, on the master).
+  void set_log_mode(MetricsCollector* master, MetricLog* log, sim::Simulator* clock);
+  bool log_mode() const { return log_ != nullptr; }
+
+  // Replays one logged event into this (master) collector.
+  void apply(const MetricEvent& e);
 
   // Effort totals, pushed by the scenario runner at the end of a run.
   void set_effort_totals(double loyal_seconds, double adversary_seconds);
@@ -141,6 +178,11 @@ class MetricsCollector {
   double loyal_effort_seconds_ = 0.0;
   double adversary_effort_seconds_ = 0.0;
   bool finalized_ = false;
+
+  // Log mode (all null on the serial path and on the master).
+  MetricsCollector* master_ = nullptr;
+  MetricLog* log_ = nullptr;
+  sim::Simulator* clock_ = nullptr;
 };
 
 }  // namespace lockss::metrics

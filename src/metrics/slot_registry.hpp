@@ -50,7 +50,10 @@ class SlotRegistry {
  private:
   static uint32_t register_id(std::vector<uint32_t>& table, uint32_t raw, uint32_t& count) {
     if (raw >= table.size()) {
-      table.resize(raw + 1, kUnassigned);
+      // Widen before adding one: `raw + 1` in uint32 wraps to zero at
+      // UINT32_MAX, which would resize the table away and write out of
+      // bounds below.
+      table.resize(static_cast<size_t>(raw) + 1, kUnassigned);
     }
     if (table[raw] == kUnassigned) {
       table[raw] = count++;

@@ -55,38 +55,48 @@ bool Network::allowed(NodeId from, NodeId to) const {
 void Network::send(MessagePtr message) {
   assert(message != nullptr);
   assert(message->from.valid() && message->to.valid());
-  ++stats_.messages_sent;
+  // Sharded runs keep one stats block per context so concurrent shards
+  // never race on the counters; serial runs use the single stats_.
+  NetworkStats& send_stats = bus_ != nullptr ? bus_->context_stats() : stats_;
+  ++send_stats.messages_sent;
   if (!allowed(message->from, message->to)) {
-    ++stats_.messages_filtered;
+    ++send_stats.messages_filtered;
     return;
   }
   auto handler_it = handlers_.find(message->to);
   if (handler_it == handlers_.end()) {
-    ++stats_.messages_no_handler;
+    ++send_stats.messages_no_handler;
     return;
   }
   const sim::SimTime delay = delivery_delay(message->from, message->to, message->size_bytes());
+  const NodeId to = message->to;
   // EventFn supports move-only callables, so the unique_ptr rides in the
   // capture directly — no shared box, no allocation beyond the message.
-  simulator_.schedule_in(delay, [this, msg = std::move(message)]() mutable {
+  sim::EventFn deliver = [this, msg = std::move(message)]() mutable {
     assert(msg != nullptr);
+    NetworkStats& recv_stats = bus_ != nullptr ? bus_->context_stats() : stats_;
     // Deliver through a fresh handler lookup: the recipient may unregister
     // (or be replaced) while the message is in flight.
     auto it = handlers_.find(msg->to);
     if (it == handlers_.end()) {
-      ++stats_.messages_no_handler;
+      ++recv_stats.messages_no_handler;
       return;
     }
     // Re-check filters at delivery: pipe stoppage that starts mid-flight
     // drowns packets already on the wire too.
     if (!allowed(msg->from, msg->to)) {
-      ++stats_.messages_filtered;
+      ++recv_stats.messages_filtered;
       return;
     }
-    ++stats_.messages_delivered;
-    stats_.bytes_delivered += msg->size_bytes();
+    ++recv_stats.messages_delivered;
+    recv_stats.bytes_delivered += msg->size_bytes();
     it->second->handle_message(std::move(msg));
-  });
+  };
+  if (bus_ != nullptr) {
+    bus_->schedule_delivery(to, bus_->context_sim().now() + delay, std::move(deliver));
+    return;
+  }
+  simulator_.schedule_in(delay, std::move(deliver));
 }
 
 void Network::add_filter(const LinkFilter* filter) { filters_.push_back(filter); }

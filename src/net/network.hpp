@@ -49,6 +49,32 @@ struct NetworkStats {
   uint64_t messages_filtered = 0;
   uint64_t messages_no_handler = 0;
   uint64_t bytes_delivered = 0;
+
+  NetworkStats& operator+=(const NetworkStats& o) {
+    messages_sent += o.messages_sent;
+    messages_delivered += o.messages_delivered;
+    messages_filtered += o.messages_filtered;
+    messages_no_handler += o.messages_no_handler;
+    bytes_delivered += o.bytes_delivered;
+    return *this;
+  }
+};
+
+// Sharded-run delivery backend (sim/ShardedEngine adapter; docs/sharding.md).
+// When installed, the network asks the bus for the *calling context's* clock
+// and stats shard (so concurrent shards never touch shared counters) and
+// hands it each delivery to route: same-context deliveries schedule
+// directly, cross-context ones are buffered until the next shard barrier.
+// Counter totals are summed at the end of the run (total_stats()); the sums
+// equal the serial counters because every send/delivery happens exactly
+// once in exactly one context.
+class ShardBus {
+ public:
+  virtual ~ShardBus() = default;
+  virtual sim::Simulator& context_sim() = 0;
+  virtual NetworkStats& context_stats() = 0;
+  virtual void schedule_delivery(NodeId to, sim::SimTime at, sim::EventFn fn) = 0;
+  virtual NetworkStats total_stats() const = 0;
 };
 
 class Network {
@@ -80,12 +106,21 @@ class Network {
   sim::SimTime delivery_delay(NodeId from, NodeId to, uint64_t bytes) const;
 
   const NetworkStats& stats() const { return stats_; }
+  // Serial: stats(). Sharded: the sum over all context shards.
+  NetworkStats total_stats() const { return bus_ != nullptr ? bus_->total_stats() : stats_; }
   sim::Simulator& simulator() { return simulator_; }
+
+  // Installs (or clears, with nullptr) the sharded delivery backend. The
+  // bus is not owned and must outlive the installed state. Serial runs
+  // never call this; with no bus every path below is byte-for-byte the
+  // pre-sharding behavior.
+  void set_shard_bus(ShardBus* bus) { bus_ = bus; }
 
  private:
   bool allowed(NodeId from, NodeId to) const;
 
   sim::Simulator& simulator_;
+  ShardBus* bus_ = nullptr;
   sim::Rng rng_;
   NetworkConfig config_;
   uint64_t latency_salt_;

@@ -37,6 +37,8 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "net/node_id.hpp"
@@ -57,11 +59,23 @@ class NodeSlotRegistry {
     if (existing != kUnassigned) {
       return existing;
     }
-    assert((nodes_.empty() || id.value > nodes_.back().value) &&
-           "NodeSlotRegistry requires registration in ascending NodeId order");
+    // Out-of-order registration silently breaks the slot-order == NodeId-order
+    // contract every dense substrate (and the shard partition) builds on, so
+    // it is a hard error even in builds that compile asserts out — an assert
+    // alone would let a release build corrupt every substrate walk.
+    if (!nodes_.empty() && id.value <= nodes_.back().value) {
+      std::fprintf(stderr,
+                   "NodeSlotRegistry: out-of-order registration of node %u after %u "
+                   "(registration must be in ascending NodeId order)\n",
+                   id.value, nodes_.back().value);
+      std::abort();
+    }
     const uint32_t index = static_cast<uint32_t>(nodes_.size());
     nodes_.push_back(id);
-    if ((nodes_.size() + 1) * 10 >= table_.size() * 7) {  // load factor 0.7
+    // 64-bit load-factor math: the 10x numerator must not wrap for slot
+    // counts in the millions on any platform (size_t is 32 bits on some).
+    if ((static_cast<uint64_t>(nodes_.size()) + 1) * 10 >=
+        static_cast<uint64_t>(table_.size()) * 7) {  // load factor 0.7
       rehash();
     } else {
       place(id, index);
@@ -108,8 +122,8 @@ class NodeSlotRegistry {
   }
 
   void rehash() {
-    size_t capacity = table_.empty() ? 16 : table_.size() * 2;
-    while (capacity * 7 <= (nodes_.size() + 1) * 10) {
+    uint64_t capacity = table_.empty() ? 16 : static_cast<uint64_t>(table_.size()) * 2;
+    while (capacity * 7 <= (static_cast<uint64_t>(nodes_.size()) + 1) * 10) {
       capacity *= 2;
     }
     table_.assign(capacity, kUnassigned);

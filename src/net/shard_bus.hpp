@@ -1,0 +1,56 @@
+// Network-to-ShardedEngine delivery bridge (docs/sharding.md).
+//
+// Adapts sim::ShardedEngine for net::Network::set_shard_bus: deliveries are
+// routed to the destination node's owning context (same-context posts
+// schedule directly, cross-context posts wait for the barrier merge), and
+// every context gets its own NetworkStats block so the counters are never
+// touched from two threads at once. total_stats() sums the blocks; the sum
+// equals the serial counters because each send and each delivery executes
+// exactly once, in exactly one context.
+#ifndef LOCKSS_NET_SHARD_BUS_HPP_
+#define LOCKSS_NET_SHARD_BUS_HPP_
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/sharded_engine.hpp"
+
+namespace lockss::net {
+
+class EngineShardBus final : public ShardBus {
+ public:
+  explicit EngineShardBus(sim::ShardedEngine& engine)
+      : engine_(engine), stats_(static_cast<size_t>(engine.plan().shards) + 1) {}
+
+  sim::Simulator& context_sim() override { return engine_.current_sim(); }
+
+  NetworkStats& context_stats() override {
+    return stats_[slot(engine_.current_context())];
+  }
+
+  void schedule_delivery(NodeId to, sim::SimTime at, sim::EventFn fn) override {
+    engine_.post(engine_.context_of(to.value), at, std::move(fn));
+  }
+
+  NetworkStats total_stats() const override {
+    NetworkStats total;
+    for (const NetworkStats& s : stats_) {
+      total += s;
+    }
+    return total;
+  }
+
+ private:
+  // Shards use their index; the global context takes the last block.
+  size_t slot(uint32_t context) const {
+    return context == sim::ShardPlan::kGlobalContext ? stats_.size() - 1 : context;
+  }
+
+  sim::ShardedEngine& engine_;
+  std::vector<NetworkStats> stats_;
+};
+
+}  // namespace lockss::net
+
+#endif  // LOCKSS_NET_SHARD_BUS_HPP_

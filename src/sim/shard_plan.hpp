@@ -1,0 +1,54 @@
+// Deterministic partition of the NodeId space across intra-run shards.
+//
+// Sharding one run (docs/sharding.md) splits the deployment's peers across
+// worker-owned event queues by NodeId *block*: the NodeSlotRegistry's
+// ordering contract makes slot order equal NodeId order, and PR 5's regional
+// outage model already groups contiguous NodeId blocks, so a contiguous
+// block partition keeps every deterministic walk (registry iteration, churn
+// schedule application, regional grouping) aligned with shard order. That
+// alignment is what makes the cross-shard merge key (time, shard, sequence)
+// reproduce the serial event order: any global actor that touches several
+// peers at one timestamp touches them in ascending NodeId order, which is
+// ascending shard order.
+//
+// Ids at or above `owned_ids` (adversary minions at their high bases,
+// admission-flood spoofed identities) belong to no shard: they are global
+// actors, executed by the coordinator between windows (kGlobalContext).
+#ifndef LOCKSS_SIM_SHARD_PLAN_HPP_
+#define LOCKSS_SIM_SHARD_PLAN_HPP_
+
+#include <cstdint>
+
+namespace lockss::sim {
+
+struct ShardPlan {
+  // Context id of the coordinator (global actors: adversary fleet, churn,
+  // operator engine, trace ticks).
+  static constexpr uint32_t kGlobalContext = UINT32_MAX;
+
+  uint32_t shards = 1;
+  uint32_t owned_ids = 0;  // ids [0, owned_ids) are block-partitioned
+  uint32_t block = 1;      // ids per shard (ceil), last shard takes the slack
+
+  static ShardPlan block_partition(uint32_t shards, uint32_t owned_ids) {
+    ShardPlan plan;
+    plan.shards = shards == 0 ? 1 : shards;
+    plan.owned_ids = owned_ids;
+    plan.block = owned_ids == 0 ? 1 : (owned_ids + plan.shards - 1) / plan.shards;
+    return plan;
+  }
+
+  // Owning context of a raw NodeId value: a shard index, or kGlobalContext
+  // for ids outside the owned range.
+  uint32_t context_of(uint32_t raw_id) const {
+    if (raw_id >= owned_ids) {
+      return kGlobalContext;
+    }
+    const uint32_t shard = raw_id / block;
+    return shard < shards ? shard : shards - 1;
+  }
+};
+
+}  // namespace lockss::sim
+
+#endif  // LOCKSS_SIM_SHARD_PLAN_HPP_

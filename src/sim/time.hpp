@@ -55,21 +55,36 @@ class SimTime {
   constexpr bool is_zero() const { return ns_ == 0; }
   constexpr bool is_negative() const { return ns_ < 0; }
 
-  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime(a.ns_ + b.ns_); }
-  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime(a.ns_ - b.ns_); }
+  // Arithmetic saturates at the representable range, like seconds(): times
+  // near SimTime::max() mean "effectively never", and "never plus an hour"
+  // must stay "never" rather than wrap into the distant past (signed
+  // overflow is UB besides being wrong).
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(sat_add(a.ns_, b.ns_));
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(sat_sub(a.ns_, b.ns_));
+  }
   friend constexpr SimTime operator*(SimTime a, double k) {
-    return SimTime(static_cast<int64_t>(static_cast<double>(a.ns_) * k));
+    const double ns = static_cast<double>(a.ns_) * k;
+    if (ns >= static_cast<double>(INT64_MAX)) {
+      return SimTime(INT64_MAX);
+    }
+    if (ns <= static_cast<double>(INT64_MIN)) {
+      return SimTime(INT64_MIN);
+    }
+    return SimTime(static_cast<int64_t>(ns));
   }
   friend constexpr SimTime operator*(double k, SimTime a) { return a * k; }
   friend constexpr double operator/(SimTime a, SimTime b) {
     return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
   }
-  SimTime& operator+=(SimTime o) {
-    ns_ += o.ns_;
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ = sat_add(ns_, o.ns_);
     return *this;
   }
-  SimTime& operator-=(SimTime o) {
-    ns_ -= o.ns_;
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ = sat_sub(ns_, o.ns_);
     return *this;
   }
   friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
@@ -79,6 +94,22 @@ class SimTime {
 
  private:
   explicit constexpr SimTime(int64_t n) : ns_(n) {}
+
+  static constexpr int64_t sat_add(int64_t a, int64_t b) {
+    int64_t out = 0;
+    if (__builtin_add_overflow(a, b, &out)) {
+      return b > 0 ? INT64_MAX : INT64_MIN;
+    }
+    return out;
+  }
+  static constexpr int64_t sat_sub(int64_t a, int64_t b) {
+    int64_t out = 0;
+    if (__builtin_sub_overflow(a, b, &out)) {
+      return b > 0 ? INT64_MIN : INT64_MAX;
+    }
+    return out;
+  }
+
   int64_t ns_;
 };
 

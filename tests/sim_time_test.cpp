@@ -74,5 +74,31 @@ TEST(SimTimeTest, FactoriesSaturateAtRepresentableRange) {
   EXPECT_EQ(SimTime::years(200.0).to_years(), 200.0);
 }
 
+// Regression: the arithmetic operators must saturate like the factories do.
+// Before the fix, "effectively never" plus any positive delay wrapped into
+// deep negative time (signed overflow, UB under UBSan); schedule arithmetic
+// near SimTime::max() now clamps at the representable range instead.
+TEST(SimTimeTest, ArithmeticSaturatesNearInt64Max) {
+  const SimTime never = SimTime::max();
+  const SimTime lowest = SimTime::nanoseconds(INT64_MIN);
+  EXPECT_EQ(never + SimTime::hours(1), never);
+  EXPECT_EQ(never + never, never);
+  EXPECT_EQ(lowest - SimTime::hours(1), lowest);
+  EXPECT_EQ(lowest + never, SimTime::nanoseconds(-1));  // in range: exact
+  EXPECT_EQ(never - lowest, never);                     // spans 2^64: clamps
+  EXPECT_EQ(never * 2.0, never);
+  EXPECT_EQ(never * -2.0, lowest);
+  EXPECT_EQ(lowest * 2.0, lowest);
+  SimTime t = never;
+  t += SimTime::days(1);
+  EXPECT_EQ(t, never);
+  t = lowest;
+  t -= SimTime::days(1);
+  EXPECT_EQ(t, lowest);
+  // In-range arithmetic is untouched by the clamp.
+  EXPECT_EQ((never - SimTime::seconds(2)) + SimTime::seconds(1),
+            never - SimTime::seconds(1));
+}
+
 }  // namespace
 }  // namespace lockss::sim

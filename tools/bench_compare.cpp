@@ -11,6 +11,10 @@
 // and per reputation substrate: dense_ops_per_second must not fall below
 // baseline / (1 + substrate-tolerance).
 //
+// Baseline rows carrying "optional": true (the large_deployment row, which
+// bench_report only emits under --large) may be absent from the current
+// report; they are noted and skipped rather than failed.
+//
 // The two JSONs must describe the same workload: the "scale" objects
 // (peers/aus/years/seeds) have to match exactly, otherwise the comparison
 // is meaningless and the tool refuses (exit 2). Wall-clock noise across
@@ -137,6 +141,15 @@ int main(int argc, char** argv) {
       const std::string name = text_or(&base, "name");
       const campaign::Json* cur = find_named(current.find("sweeps"), name);
       if (!cur) {
+        // Rows the baseline marks optional (e.g. large_deployment, emitted
+        // only under bench_report --large) are allowed to be absent from a
+        // current report; everything else missing is a regression.
+        const campaign::Json* optional = base.find("optional");
+        if (optional && optional->is_bool() && optional->bool_value) {
+          std::printf("skip %-28s optional row absent from %s\n", name.c_str(),
+                      current_path.c_str());
+          continue;
+        }
         std::printf("FAIL %-28s missing from %s\n", name.c_str(), current_path.c_str());
         ++regressions;
         continue;

@@ -5,6 +5,16 @@
 //
 //   bench_report [--peers N] [--aus N] [--years Y] [--seeds N]
 //                [--workers N] [--out PATH]
+//                [--large] [--large-peers N] [--large-aus N]
+//                [--large-years Y] [--large-shards N]
+//
+// --large adds the `large_deployment` row: ONE deployment at the scale the
+// intra-run sharding work targets (default 10k peers x 100 AUs x 1 sim-
+// year, docs/sharding.md), run serially and then sharded, reporting both
+// wall-clocks, the bit-identity verdict, and bytes/peer (VmHWM / peers).
+// The row is marked "optional": true so bench_compare skips it when a
+// current report was produced without --large (it is far too slow for the
+// default CI bench pass).
 //
 // Two sweeps are timed, matching the two attack families the paper plots:
 // the pipe-stoppage grid behind Figures 3-5 and the admission-flood grid
@@ -69,6 +79,35 @@ bool identical(const experiment::RunResult& a, const experiment::RunResult& b) {
          a.operator_interventions == b.operator_interventions;
 }
 
+// The large_deployment row's identity check: identical() minus
+// peak_queue_depth, which intra-run sharding legitimately changes (the
+// sharded figure is a sum of per-queue peaks — an upper bound on the
+// serial single-queue peak, not the same quantity; docs/sharding.md).
+bool identical_modulo_peak(experiment::RunResult a, const experiment::RunResult& b) {
+  a.peak_queue_depth = b.peak_queue_depth;
+  return identical(a, b);
+}
+
+// Process high-water mark, for the bytes/peer accounting of the
+// large_deployment row. Linux-only; returns 0 where unavailable.
+size_t vm_hwm_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  size_t bytes = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      bytes = static_cast<size_t>(kb) * 1024;
+      break;
+    }
+  }
+  std::fclose(f);
+  return bytes;
+}
+
 struct SweepReport {
   std::string name;
   size_t runs = 0;
@@ -77,6 +116,10 @@ struct SweepReport {
   uint64_t events_processed = 0;
   uint64_t peak_queue_depth = 0;
   bool identical_metrics = false;
+  // Extra JSON members spliced into this row verbatim (the
+  // large_deployment row carries its scale, shard count, and memory
+  // accounting; empty for the regular grid sweeps).
+  std::string extra_json;
   // Labelled per-run traces from the serial pass, for BENCH_trace.csv.
   std::vector<std::pair<std::string, metrics::RunTrace>> traces;
 };
@@ -339,6 +382,51 @@ int main(int argc, char** argv) {
                               workers));
   sweeps.push_back(time_churn_sweep("churn_dynamics", profile, base, workers));
 
+  // Opt-in large-deployment row: one deployment at (or scaled toward) the
+  // 10k-peer x 100-AU x 1-year sharding target, serial then sharded, with
+  // bytes/peer from the process high-water mark. Runs after the grids so
+  // VmHWM is dominated by the large run, not the sweeps.
+  if (args.flag("large")) {
+    experiment::ScenarioConfig large = experiment::base_config(profile);
+    large.peer_count = static_cast<uint32_t>(args.integer("large-peers", 10000));
+    large.au_count = static_cast<uint32_t>(args.integer("large-aus", 100));
+    const double large_years = args.real("large-years", 1.0);
+    large.duration = sim::SimTime::days(365.0 * large_years);
+    large.trace_interval = sim::SimTime::zero();
+    const uint32_t large_shards =
+        static_cast<uint32_t>(args.integer("large-shards", 4));
+    std::printf("# large_deployment: %u peers x %u AUs x %.2fy, shards=%u\n",
+                large.peer_count, large.au_count, large_years, large_shards);
+
+    SweepReport row;
+    row.name = "large_deployment";
+    row.runs = 1;
+    large.shards = 1;
+    double start = now_seconds();
+    const experiment::RunResult serial = experiment::run_scenario(large);
+    row.serial_seconds = now_seconds() - start;
+    large.shards = large_shards;
+    start = now_seconds();
+    const experiment::RunResult sharded = experiment::run_scenario(large);
+    row.parallel_seconds = now_seconds() - start;
+    row.events_processed = serial.events_processed;
+    row.peak_queue_depth = serial.peak_queue_depth;
+    row.identical_metrics = identical_modulo_peak(serial, sharded);
+
+    const size_t hwm = vm_hwm_bytes();
+    char extra[256];
+    std::snprintf(extra, sizeof(extra),
+                  ",\n     \"peers\": %u, \"aus\": %u, \"years\": %.3f, \"shards\": %u,\n"
+                  "     \"vm_hwm_bytes\": %zu, \"bytes_per_peer\": %zu, \"optional\": true",
+                  large.peer_count, large.au_count, large_years, large_shards, hwm,
+                  hwm / std::max<uint32_t>(large.peer_count, 1));
+    row.extra_json = extra;
+    std::printf("# large_deployment: VmHWM %.1f MiB -> %zu bytes/peer\n",
+                static_cast<double>(hwm) / (1024.0 * 1024.0),
+                hwm / std::max<uint32_t>(large.peer_count, 1));
+    sweeps.push_back(row);
+  }
+
   const uint64_t substrate_ops =
       static_cast<uint64_t>(args.integer("substrate-ops", 4000000));
   const std::vector<SubstrateMicro> micros = run_substrate_micros(substrate_ops);
@@ -366,11 +454,12 @@ int main(int argc, char** argv) {
                  "     \"events_processed\": %" PRIu64
                  ", \"events_per_second_serial\": %.0f, "
                  "\"events_per_second_parallel\": %.0f,\n"
-                 "     \"peak_queue_depth\": %" PRIu64 ", \"identical_metrics\": %s}%s\n",
+                 "     \"peak_queue_depth\": %" PRIu64 ", \"identical_metrics\": %s%s}%s\n",
                  s.name.c_str(), s.runs, s.serial_seconds, s.parallel_seconds,
                  s.serial_seconds / s.parallel_seconds, s.events_processed,
                  events / s.serial_seconds, events / s.parallel_seconds, s.peak_queue_depth,
-                 s.identical_metrics ? "true" : "false", i + 1 < sweeps.size() ? "," : "");
+                 s.identical_metrics ? "true" : "false", s.extra_json.c_str(),
+                 i + 1 < sweeps.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"substrates\": [\n");
