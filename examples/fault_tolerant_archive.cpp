@@ -16,6 +16,7 @@
 
 #include "metrics/collector.hpp"
 #include "net/fault_injection.hpp"
+#include "net/fault_model.hpp"
 #include "net/network.hpp"
 #include "peer/peer.hpp"
 #include "sim/simulator.hpp"
@@ -73,12 +74,15 @@ int main() {
     }
   }
 
-  // Fault injection: 10% uniform message loss for the whole run, and peer 13
-  // dark from day 90 to day 150 (say, a dead power supply over the summer).
-  net::LossLinkFilter loss(root.split(), 0.10);
+  // Fault injection: 10% uniform message loss for the whole run (via the
+  // deterministic unreliable-link model, docs/faults.md), and peer 13 dark
+  // from day 90 to day 150 (say, a dead power supply over the summer).
+  net::FaultConfig fault_config;
+  fault_config.loss_rate = 0.10;
+  net::FaultModel faults(fault_config, root.split(), kPeers);
+  network.set_fault_model(&faults);
   net::OutageLinkFilter outage(simulator, net::NodeId{13}, sim::SimTime::days(90),
                                sim::SimTime::days(150));
-  network.add_filter(&loss);
   network.add_filter(&outage);
 
   std::printf("fault_tolerant_archive: %u peers, 10%% message loss, peer 13 down days 90-150\n\n",
@@ -91,8 +95,8 @@ int main() {
   simulator.run_until(sim::SimTime::years(1));
 
   std::printf("\nAfter one simulated year:\n");
-  std::printf("  messages dropped by loss filter: %llu\n",
-              static_cast<unsigned long long>(loss.dropped()));
+  std::printf("  messages dropped by loss model:  %llu\n",
+              static_cast<unsigned long long>(network.stats().messages_lost));
   std::printf("  network-wide successful polls:   %llu\n",
               static_cast<unsigned long long>(collector.successful_polls()));
   std::printf("  polls peer 13 completed:         %llu\n",

@@ -69,6 +69,26 @@ std::string render_spec_canonical(const Spec& spec) {
   }
   w.end_array();
   w.end_object();
+  // Network/fault keys are emitted only when they leave the defaults, so
+  // every pre-existing campaign keeps its pre-fault hash (journals written
+  // before the fault layer stay resumable).
+  const net::NetworkConfig default_net;
+  if (spec.network.min_latency != default_net.min_latency ||
+      spec.network.max_latency != default_net.max_latency) {
+    w.key("network").begin_object();
+    w.key("min_latency_ns").value(static_cast<uint64_t>(spec.network.min_latency.ns()));
+    w.key("max_latency_ns").value(static_cast<uint64_t>(spec.network.max_latency.ns()));
+    w.end_object();
+  }
+  if (spec_has_faults(spec)) {
+    w.key("network_faults").begin_object();
+    w.key("loss_rate").value(spec.faults.loss_rate);
+    w.key("dup_rate").value(spec.faults.dup_rate);
+    w.key("jitter_ns").value(static_cast<uint64_t>(spec.faults.jitter.ns()));
+    w.key("burst_outage_rate").value(spec.faults.burst_outage_rate);
+    w.key("burst_cycle_ns").value(static_cast<uint64_t>(spec.faults.burst_cycle.ns()));
+    w.end_object();
+  }
   w.key("pipeline").begin_array();
   for (const adversary::AdversaryPhase& phase : spec.pipeline) {
     w.begin_object();

@@ -186,6 +186,25 @@ void append_dynamics_metrics(JsonWriter& w, const experiment::RunResult& r) {
   w.end_array();
 }
 
+// Fault keys likewise only for fault-injecting specs (spec_has_faults), so
+// every fault-free campaign manifest renders byte-identically to the
+// pre-fault engine.
+void append_fault_metrics(JsonWriter& w, const experiment::RunResult& r) {
+  w.key("faults_lost").value(r.faults_lost);
+  w.key("faults_burst_dropped").value(r.faults_burst_dropped);
+  w.key("faults_duplicated").value(r.faults_duplicated);
+  w.key("faults_jittered").value(r.faults_jittered);
+  w.key("ack_timeouts").value(r.ack_timeouts);
+  w.key("vote_timeouts").value(r.vote_timeouts);
+  w.key("solicitation_retries").value(r.solicitation_retries);
+  w.key("polls_aborted").begin_array();
+  for (uint64_t n : r.polls_aborted) {
+    w.value(n);
+  }
+  w.end_array();
+  w.key("stale_sessions_at_end").value(r.stale_sessions_at_end);
+}
+
 void append_metrics(JsonWriter& w, const experiment::RunResult& r) {
   const metrics::MetricsReport& m = r.report;
   w.key("access_failure_probability").value(m.access_failure_probability);
@@ -231,6 +250,11 @@ std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOut
     out += ",churn_departures,churn_recoveries,churn_arrivals,availability_mean,"
            "mean_recovery_days,operator_interventions";
   }
+  const bool faulty = spec_has_faults(spec);
+  if (faulty) {
+    out += ",faults_lost,faults_burst_dropped,faults_duplicated,faults_jittered,"
+           "ack_timeouts,vote_timeouts,solicitation_retries";
+  }
   if (spec.baseline) {
     out += ",delay_ratio,friction";
   }
@@ -267,6 +291,17 @@ std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOut
                     static_cast<unsigned long long>(r.churn_recoveries),
                     static_cast<unsigned long long>(r.churn_arrivals), r.availability_mean,
                     r.mean_recovery_days, static_cast<unsigned long long>(interventions));
+      out += buf;
+    }
+    if (faulty) {
+      std::snprintf(buf, sizeof(buf), ",%llu,%llu,%llu,%llu,%llu,%llu,%llu",
+                    static_cast<unsigned long long>(r.faults_lost),
+                    static_cast<unsigned long long>(r.faults_burst_dropped),
+                    static_cast<unsigned long long>(r.faults_duplicated),
+                    static_cast<unsigned long long>(r.faults_jittered),
+                    static_cast<unsigned long long>(r.ack_timeouts),
+                    static_cast<unsigned long long>(r.vote_timeouts),
+                    static_cast<unsigned long long>(r.solicitation_retries));
       out += buf;
     }
     if (spec.baseline) {
@@ -363,6 +398,19 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
     w.end_array();
     w.end_object();
   }
+  if (spec_has_faults(spec)) {
+    w.key("network").begin_object();
+    w.key("min_latency_ms").value(spec.network.min_latency.to_seconds() * 1000.0);
+    w.key("max_latency_ms").value(spec.network.max_latency.to_seconds() * 1000.0);
+    w.end_object();
+    w.key("network_faults").begin_object();
+    w.key("loss_rate").value(spec.faults.loss_rate);
+    w.key("dup_rate").value(spec.faults.dup_rate);
+    w.key("jitter_ms").value(spec.faults.jitter.to_seconds() * 1000.0);
+    w.key("burst_outage_rate").value(spec.faults.burst_outage_rate);
+    w.key("burst_cycle_days").value(spec.faults.burst_cycle.to_days());
+    w.end_object();
+  }
   w.key("pipeline").begin_array();
   for (const adversary::AdversaryPhase& phase : spec.pipeline) {
     w.begin_object();
@@ -402,6 +450,9 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
       if (spec_is_dynamic(spec)) {
         append_dynamics_metrics(w, outcome.baseline);
       }
+      if (spec_has_faults(spec)) {
+        append_fault_metrics(w, outcome.baseline);
+      }
     } else {
       append_failure(w, outcome.baseline_status);
     }
@@ -424,6 +475,9 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
       append_metrics(w, outcome.cells[k]);
       if (spec_is_dynamic(spec)) {
         append_dynamics_metrics(w, outcome.cells[k]);
+      }
+      if (spec_has_faults(spec)) {
+        append_fault_metrics(w, outcome.cells[k]);
       }
       if (spec.baseline && baseline_ok) {
         const experiment::RelativeMetrics rel =

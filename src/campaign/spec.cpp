@@ -79,6 +79,15 @@ constexpr const char* kDynamicsAxes[] = {
     "churn_leave_rate",   "churn_crash_rate",     "churn_mean_downtime_days",
     "churn_arrival_rate", "regional_outage_rate", "detection_latency_days",
 };
+// Unreliable-link fault axes (docs/faults.md): all apply to the
+// `network_faults` section, which must be present for them to mean
+// anything (cross-validated below).
+constexpr const char* kFaultAxes[] = {
+    "loss_rate",
+    "dup_rate",
+    "jitter_ms",
+    "burst_outage_rate",
+};
 
 bool is_deployment_axis(const std::string& name) {
   return std::find_if(std::begin(kDeploymentAxes), std::end(kDeploymentAxes),
@@ -91,6 +100,10 @@ bool is_phase_axis(const std::string& name) {
 bool is_dynamics_axis(const std::string& name) {
   return std::find_if(std::begin(kDynamicsAxes), std::end(kDynamicsAxes),
                       [&](const char* a) { return name == a; }) != std::end(kDynamicsAxes);
+}
+bool is_fault_axis(const std::string& name) {
+  return std::find_if(std::begin(kFaultAxes), std::end(kFaultAxes),
+                      [&](const char* a) { return name == a; }) != std::end(kFaultAxes);
 }
 
 bool param_is_unsigned_int(const std::string& param) {
@@ -139,6 +152,12 @@ std::string check_axis_value(const std::string& param, double v) {
   }
   if (param == "churn_mean_downtime_days") {
     return v > 0.0 ? "" : "'churn_mean_downtime_days' values must be positive";
+  }
+  if (param == "loss_rate" || param == "dup_rate" || param == "burst_outage_rate") {
+    return v >= 0.0 && v <= 1.0 ? "" : "'" + param + "' values must be within [0, 1]";
+  }
+  if (param == "jitter_ms") {
+    return v >= 0.0 ? "" : "'jitter_ms' values must be non-negative";
   }
   return "";
 }
@@ -358,7 +377,7 @@ bool parse_axis(const Json& json, const std::string& source, size_t index,
   }
   const bool phase_level = is_phase_axis(out->param);
   if (!phase_level && !is_deployment_axis(out->param) && !is_dynamics_axis(out->param) &&
-      find_protocol_param(out->param) == nullptr) {
+      !is_fault_axis(out->param) && find_protocol_param(out->param) == nullptr) {
     std::string known;
     for (const std::string& name : axis_params()) {
       known += (known.empty() ? "" : ", ") + name;
@@ -454,6 +473,14 @@ void apply_axis_value(const SweepAxis& axis, size_t index,
     config->churn.regional_outage_rate_per_year = v;
   } else if (axis.param == "detection_latency_days") {
     config->operators.detection_latency = sim::SimTime::days(v);
+  } else if (axis.param == "loss_rate") {
+    config->faults.loss_rate = v;
+  } else if (axis.param == "dup_rate") {
+    config->faults.dup_rate = v;
+  } else if (axis.param == "jitter_ms") {
+    config->faults.jitter = sim::SimTime::seconds(v / 1000.0);
+  } else if (axis.param == "burst_outage_rate") {
+    config->faults.burst_outage_rate = v;
   } else if (axis.param == "peers") {
     config->peer_count = static_cast<uint32_t>(v);
   } else if (axis.param == "aus") {
@@ -484,6 +511,9 @@ std::vector<std::string> axis_params() {
   for (const char* name : kDynamicsAxes) {
     out.push_back(name);
   }
+  for (const char* name : kFaultAxes) {
+    out.push_back(name);
+  }
   for (const ProtocolParam& entry : kProtocolParams) {
     out.push_back(entry.name);
   }
@@ -504,6 +534,18 @@ bool spec_is_dynamic(const Spec& spec) {
   }
   for (const SweepAxis& axis : spec.axes) {
     if (is_dynamics_axis(axis.param)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool spec_has_faults(const Spec& spec) {
+  if (spec.faults.enabled()) {
+    return true;
+  }
+  for (const SweepAxis& axis : spec.axes) {
+    if (is_fault_axis(axis.param)) {
       return true;
     }
   }
@@ -680,6 +722,64 @@ bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
     }
   }
 
+  // network topology
+  if (const Json* network = reader.member("network")) {
+    ObjectReader n(*network, source_path, "network", error);
+    double min_latency_ms = out->network.min_latency.to_seconds() * 1000.0;
+    double max_latency_ms = out->network.max_latency.to_seconds() * 1000.0;
+    if (!n.expect_object() || !n.number("min_latency_ms", &min_latency_ms) ||
+        !n.number("max_latency_ms", &max_latency_ms) || !n.finish()) {
+      return false;
+    }
+    if (min_latency_ms < 0.0) {
+      return n.fail(network->line, "min_latency_ms", "must be non-negative");
+    }
+    if (max_latency_ms < min_latency_ms) {
+      return n.fail(network->line, "max_latency_ms", "must be >= min_latency_ms");
+    }
+    out->network.min_latency = sim::SimTime::seconds(min_latency_ms / 1000.0);
+    out->network.max_latency = sim::SimTime::seconds(max_latency_ms / 1000.0);
+  }
+
+  // unreliable-link faults (docs/faults.md)
+  if (const Json* faults = reader.member("network_faults")) {
+    ObjectReader f(*faults, source_path, "network_faults", error);
+    out->faults_section = true;
+    double jitter_ms = 0.0;
+    double burst_cycle_days = out->faults.burst_cycle.to_days();
+    if (!f.expect_object() || !f.number("loss_rate", &out->faults.loss_rate) ||
+        !f.number("dup_rate", &out->faults.dup_rate) || !f.number("jitter_ms", &jitter_ms) ||
+        !f.number("burst_outage_rate", &out->faults.burst_outage_rate) ||
+        !f.number("burst_cycle_days", &burst_cycle_days) || !f.finish()) {
+      return false;
+    }
+    if (out->faults.loss_rate < 0.0 || out->faults.loss_rate > 1.0) {
+      return f.fail(faults->line, "loss_rate", "must be within [0, 1]");
+    }
+    if (out->faults.dup_rate < 0.0 || out->faults.dup_rate > 1.0) {
+      return f.fail(faults->line, "dup_rate", "must be within [0, 1]");
+    }
+    if (out->faults.burst_outage_rate < 0.0 || out->faults.burst_outage_rate > 1.0) {
+      return f.fail(faults->line, "burst_outage_rate", "must be within [0, 1]");
+    }
+    if (jitter_ms < 0.0) {
+      return f.fail(faults->line, "jitter_ms", "must be non-negative");
+    }
+    if (jitter_ms > 0.0 && out->network.min_latency <= sim::SimTime::zero()) {
+      // Jitter rides on top of the propagation latency; with a zero
+      // minimum there is no delay floor for the sharded lookahead contract
+      // to stand on (docs/faults.md).
+      return f.fail(faults->line, "jitter_ms",
+                    "jitter needs network.min_latency_ms > 0 (zero-latency networks have no "
+                    "delay floor for delivery jitter to ride on)");
+    }
+    if (burst_cycle_days <= 0.0) {
+      return f.fail(faults->line, "burst_cycle_days", "must be positive");
+    }
+    out->faults.jitter = sim::SimTime::seconds(jitter_ms / 1000.0);
+    out->faults.burst_cycle = sim::SimTime::days(burst_cycle_days);
+  }
+
   // protocol overrides
   if (const Json* protocol = reader.member("protocol")) {
     ObjectReader p(*protocol, source_path, "protocol", error);
@@ -756,6 +856,16 @@ bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
                  std::to_string(i) + "].param: " + reason;
         return false;
       };
+      if (is_fault_axis(axis.param) && !out->faults_section) {
+        return axis_fail("'" + axis.param +
+                         "' sweeps need a network_faults section (even an all-zero one) so "
+                         "the campaign states its fault model explicitly");
+      }
+      if (axis.param == "jitter_ms" && out->network.min_latency <= sim::SimTime::zero()) {
+        return axis_fail(
+            "'jitter_ms' sweeps need network.min_latency_ms > 0 (zero-latency networks have "
+            "no delay floor for delivery jitter to ride on)");
+      }
       if (axis.param == "detection_latency_days" && out->operators.policies.empty()) {
         return axis_fail(
             "'detection_latency_days' sweeps need an operators section with at least one "
@@ -872,9 +982,12 @@ bool compile_campaign(const Spec& spec, CompiledCampaign* out, std::string* erro
   base.damage.aus_per_disk = spec.damage_aus_per_disk;
   base.trace_interval = spec.trace_interval;
   // Dynamics are deployment properties, like newcomers: the adversary-free
-  // baseline churns exactly as the attack cells do.
+  // baseline churns exactly as the attack cells do — and so is the
+  // network, faults included (a lossy campaign's baseline is lossy too).
   base.churn = spec.churn;
   base.operators = spec.operators;
+  base.network = spec.network;
+  base.faults = spec.faults;
   for (const auto& [name, value] : spec.protocol_overrides) {
     // parse_spec vets override names, but a hand-built Spec may not have
     // gone through it; diagnose instead of dereferencing null.

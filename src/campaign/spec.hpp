@@ -92,6 +92,16 @@ struct Spec {
   dynamics::ChurnConfig churn;
   dynamics::OperatorResponseConfig operators;
 
+  // Network topology (`network` section): latency band overrides. The
+  // default is the §6.2 model (1–30 ms).
+  net::NetworkConfig network;
+  // Unreliable-link faults (`network_faults` section; docs/faults.md).
+  // Defaults = disabled = the ideal delivery path. `faults_section`
+  // records whether the section appeared at all — fault sweep axes are
+  // rejected without it, so a sweep can never silently run ideal cells.
+  net::FaultConfig faults;
+  bool faults_section = false;
+
   // The adversary pipeline (empty = undisturbed deployment).
   adversary::AdversaryPipeline pipeline;
 
@@ -142,6 +152,11 @@ std::vector<std::string> protocol_params();
 // sweep can enable churn in cells the base spec leaves static). Gates the
 // dynamics keys/columns in the manifest and cells CSV.
 bool spec_is_dynamic(const Spec& spec);
+
+// Whether the campaign injects network faults anywhere in its grid: the
+// base `network_faults` section, or any fault sweep axis. Gates the fault
+// keys/columns in the manifest and cells CSV.
+bool spec_has_faults(const Spec& spec);
 
 }  // namespace lockss::campaign
 

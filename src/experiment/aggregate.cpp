@@ -88,6 +88,19 @@ RunResult combine_range(const RunResult* parts, size_t count) {
     for (size_t a = 0; a < out.operator_interventions.size(); ++a) {
       out.operator_interventions[a] += part.operator_interventions[a];
     }
+    out.faults_lost += part.faults_lost;
+    out.faults_burst_dropped += part.faults_burst_dropped;
+    out.faults_duplicated += part.faults_duplicated;
+    out.faults_jittered += part.faults_jittered;
+    out.ack_timeouts += part.ack_timeouts;
+    out.vote_timeouts += part.vote_timeouts;
+    out.solicitation_retries += part.solicitation_retries;
+    for (size_t a = 0; a < out.polls_aborted.size(); ++a) {
+      out.polls_aborted[a] += part.polls_aborted[a];
+    }
+    out.sessions_live_at_end += part.sessions_live_at_end;
+    out.stale_sessions_at_end += part.stale_sessions_at_end;
+    out.reservations_beyond_horizon += part.reservations_beyond_horizon;
   }
   // Parts share one duration and population, so availability averages;
   // recovery times pool weighted by how many recoveries each part saw.

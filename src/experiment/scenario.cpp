@@ -79,12 +79,18 @@ bool sharding_supported(const ScenarioConfig& config) {
   if (config.poll_observer) {
     return false;
   }
+  // The sharded engine's lookahead is the network's minimum latency — a
+  // strict lower bound on every cross-shard delay. A zero (or negative)
+  // minimum leaves no lookahead window, so those configs run serial.
+  if (config.network.min_latency <= sim::SimTime::zero()) {
+    return false;
+  }
   // Operator alarms are reported at shard barriers, so an intervention can
   // only land at its serial instant if the detection latency reaches past
   // the barrier lookahead (real latencies are hours-to-days; the lookahead
-  // is the network's minimum latency, one millisecond).
+  // is the network's minimum latency, one millisecond by default).
   if (config.operators.enabled() &&
-      config.operators.detection_latency < net::NetworkConfig{}.min_latency) {
+      config.operators.detection_latency < config.network.min_latency) {
     return false;
   }
   return true;
@@ -179,15 +185,27 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
   const uint32_t owned_ids = config.peer_count + config.newcomer_count + arrival_count;
   std::unique_ptr<ShardRuntime> rt;
   if (shards > 1 && owned_ids > 0) {
-    rt = std::make_unique<ShardRuntime>(shards, owned_ids, net::NetworkConfig{}.min_latency);
+    rt = std::make_unique<ShardRuntime>(shards, owned_ids, config.network.min_latency);
   }
   // Global actors — the adversary fleet, churn, operators, trace ticks —
   // and the whole serial path drive this simulator.
   sim::Simulator& simulator = rt != nullptr ? rt->engine.global_sim() : serial_sim;
 
-  net::Network network(simulator, root.split());
+  net::Network network(simulator, root.split(), config.network);
   if (rt != nullptr) {
     network.set_shard_bus(&rt->bus);
+  }
+  // Unreliable-link fault layer. Its RNG is a domain-separated hash of the
+  // scenario seed — NOT a root split — so installing the model (even an
+  // inert one) shifts no other stream: a zero-fault run is byte-identical
+  // to ideal, and the bench overhead row asserts an inert-enabled run
+  // produces identical metrics too (docs/faults.md).
+  constexpr uint64_t kFaultStreamTag = 0xFA017A6E5EEDC0DEull;
+  std::unique_ptr<net::FaultModel> fault_model;
+  if (config.faults.enabled()) {
+    fault_model = std::make_unique<net::FaultModel>(
+        config.faults, sim::Rng(sim::splitmix64_mix(config.seed ^ kFaultStreamTag)), owned_ids);
+    network.set_fault_model(fault_model.get());
   }
   metrics::MetricsCollector collector;
   if (rt != nullptr) {
@@ -553,6 +571,29 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
     point.repairs = collector.repairs();
     point.loyal_effort_seconds = loyal_effort_now();
     point.adversary_effort_seconds = adversary_effort_now();
+    // Robustness counters (fault layer + poll timeouts/retries). Trace
+    // ticks run on the global context with every shard quiesced, so these
+    // cross-shard reads are race-free and bit-identical to serial — the
+    // same argument as loyal_effort_now above.
+    point.faults_injected = network.total_stats().faults_injected();
+    uint64_t acks = 0, votes = 0, retries = 0;
+    const auto add_robustness = [&](const peer::Peer& p) {
+      acks += p.ack_timeouts_total();
+      votes += p.vote_timeouts_total();
+      retries += p.solicitation_retries_total();
+    };
+    for (const auto& p : peers) {
+      add_robustness(*p);
+    }
+    for (const auto& p : newcomers) {
+      add_robustness(*p);
+    }
+    for (const auto& p : arrival_peers) {
+      add_robustness(*p);
+    }
+    point.ack_timeouts = acks;
+    point.vote_timeouts = votes;
+    point.solicitation_retries = retries;
     if (churn_model != nullptr) {
       point.online_fraction = churn_model->online_fraction();
       point.departures = churn_model->departures();
@@ -588,12 +629,32 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
     sample_trace(config.duration);
   }
   result.trace = recorder.close(config.duration);
-  const auto harvest_peer = [&](const peer::Peer& p) {
+  // Session-liveness audit horizon (docs/faults.md): a poller books work
+  // only up to ~one inter-poll interval past its start and the repair chain
+  // is timeout-bounded well inside that, so twice the interval covers every
+  // legitimate session lifetime and schedule commitment. Anything older is
+  // a leak.
+  const sim::SimTime audit_horizon = config.params.inter_poll_interval * 2.0;
+  const auto harvest_peer = [&](peer::Peer& p) {
     result.polls_started += p.polls_started();
     result.solicitations_sent += p.solicitations_sent();
     for (size_t v = 0; v < result.admission_verdicts.size(); ++v) {
       result.admission_verdicts[v] += p.admission_verdicts()[v];
     }
+    result.ack_timeouts += p.ack_timeouts_total();
+    result.vote_timeouts += p.vote_timeouts_total();
+    result.solicitation_retries += p.solicitation_retries_total();
+    for (size_t a = 0; a < result.polls_aborted.size(); ++a) {
+      result.polls_aborted[a] += p.poll_aborts()[a];
+    }
+    p.for_each_live_session_start([&](sim::SimTime started) {
+      ++result.sessions_live_at_end;
+      if (started + audit_horizon < config.duration) {
+        ++result.stale_sessions_at_end;
+      }
+    });
+    result.reservations_beyond_horizon +=
+        p.schedule().intervals_after(config.duration + audit_horizon).size();
   };
   for (auto& p : peers) {
     harvest_peer(*p);
@@ -623,6 +684,10 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
   const net::NetworkStats net_stats = network.total_stats();
   result.messages_delivered = net_stats.messages_delivered;
   result.messages_filtered = net_stats.messages_filtered;
+  result.faults_lost = net_stats.messages_lost;
+  result.faults_burst_dropped = net_stats.messages_burst_dropped;
+  result.faults_duplicated = net_stats.messages_duplicated;
+  result.faults_jittered = net_stats.messages_jittered;
   result.events_processed =
       rt != nullptr ? rt->engine.events_processed() : simulator.events_processed();
   result.peak_queue_depth =

@@ -27,6 +27,9 @@
 #include "dynamics/spec.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/trace.hpp"
+#include "net/fault_model.hpp"
+#include "net/network.hpp"
+#include "protocol/host.hpp"
 #include "protocol/params.hpp"
 #include "sched/task_schedule.hpp"
 #include "storage/damage.hpp"
@@ -99,6 +102,16 @@ struct ScenarioConfig {
   // the static deployment bit for bit — the golden corpus pins this.
   dynamics::ChurnConfig churn;
   dynamics::OperatorResponseConfig operators;
+  // Network topology parameters (§6.2 latency band + bandwidth choices).
+  // The minimum latency doubles as the sharded engine's lookahead; configs
+  // with a zero minimum run serial (sharding_supported()).
+  net::NetworkConfig network;
+  // Unreliable-link fault layer (net::FaultModel; docs/faults.md): loss,
+  // duplication, jitter, burst outages on the delivery path. The model's
+  // RNG is a domain-separated hash of `seed` — never a root split — so
+  // enabling (or inertly installing) it shifts no other stream, and the
+  // default disabled config reproduces the ideal network bit for bit.
+  net::FaultConfig faults;
   // Layering support: per-peer busy intervals injected before the run, and
   // whether to retain full schedule history for export.
   const std::vector<std::vector<sched::Reservation>>* background = nullptr;
@@ -146,6 +159,26 @@ struct RunResult {
   double mean_recovery_days = 0.0;
   // Operator interventions applied, indexed by dynamics::OperatorAction.
   std::array<uint64_t, dynamics::kOperatorActionCount> operator_interventions{};
+  // Fault-layer accounting (net::FaultModel; all zero on ideal networks).
+  uint64_t faults_lost = 0;
+  uint64_t faults_burst_dropped = 0;
+  uint64_t faults_duplicated = 0;
+  uint64_t faults_jittered = 0;
+  // Protocol robustness counters, summed over every concluded poll.
+  uint64_t ack_timeouts = 0;
+  uint64_t vote_timeouts = 0;
+  uint64_t solicitation_retries = 0;
+  // Poll conclusions by abort reason (protocol::PollAbortReason; slot
+  // kNone counts full successes).
+  std::array<uint64_t, protocol::kPollAbortReasonCount> polls_aborted{};
+  // Session-liveness audit, computed at harvest (docs/faults.md). Sessions
+  // still live at end-of-run are legitimate when young; a live session
+  // older than twice the inter-poll interval, or a schedule reservation
+  // ending past that horizon, is a leak — both counts must stay zero under
+  // arbitrary loss (tests/fault_soak_test.cpp).
+  uint64_t sessions_live_at_end = 0;
+  uint64_t stale_sessions_at_end = 0;
+  uint64_t reservations_beyond_horizon = 0;
   // Per-peer busy history (only when collect_schedule_history).
   std::vector<std::vector<sched::Reservation>> schedules;
 };

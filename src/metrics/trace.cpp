@@ -59,6 +59,10 @@ RunTrace merge_traces(const std::vector<const RunTrace*>& parts) {
       merged.online_fraction += p.online_fraction;
       merged.departures += p.departures;
       merged.recoveries += p.recoveries;
+      merged.faults_injected += p.faults_injected;
+      merged.ack_timeouts += p.ack_timeouts;
+      merged.vote_timeouts += p.vote_timeouts;
+      merged.solicitation_retries += p.solicitation_retries;
       recovery_weighted += p.mean_recovery_days * static_cast<double>(p.recoveries);
     }
     merged.damaged_fraction *= inv_n;

@@ -46,6 +46,13 @@ struct TracePoint {
   uint64_t departures = 0;
   uint64_t recoveries = 0;
   double mean_recovery_days = 0.0;
+  // Robustness series (net::FaultModel + poll timeout/retry accounting;
+  // docs/faults.md). All cumulative; fault-free runs keep the zero
+  // defaults, so existing fixtures and merges are unchanged.
+  uint64_t faults_injected = 0;
+  uint64_t ack_timeouts = 0;
+  uint64_t vote_timeouts = 0;
+  uint64_t solicitation_retries = 0;
 
   // Exact equality over every field — the determinism gates (bench_report,
   // the parallel-runner tests) compare through this so a future field

@@ -2,17 +2,6 @@
 
 namespace lockss::net {
 
-bool LossLinkFilter::allow(NodeId from, NodeId to) const {
-  if (!victims_.empty() && !victims_.contains(from) && !victims_.contains(to)) {
-    return true;
-  }
-  if (rng_.bernoulli(loss_probability_)) {
-    ++dropped_;
-    return false;
-  }
-  return true;
-}
-
 void OfflineSetFilter::set_offline(NodeId node, bool down) {
   if (down && node.value >= offline_.size()) {
     offline_.resize(node.value + 1, false);

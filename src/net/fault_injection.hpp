@@ -7,8 +7,6 @@
 // machinery absorbs them (§5.2: a poll is "a sequence of two-party
 // interactions" precisely so sporadic unavailability cannot stall it).
 //
-//   * LossLinkFilter    — drops each message with a fixed probability,
-//                         optionally only for a chosen victim set;
 //   * OutageLinkFilter  — takes one node fully offline between two
 //                         instants (a crash-and-reboot, or an operator
 //                         unplugging a peer), without re-randomizing like
@@ -20,42 +18,23 @@
 //                         one filter instead of stacking per-window
 //                         OutageLinkFilters).
 //
-// All are plain net::LinkFilters: install with Network::add_filter() and
-// keep alive until removed.
+// Both are plain net::LinkFilters: install with Network::add_filter() and
+// keep alive until removed. Binary outages are all a veto filter can say;
+// probabilistic loss, duplication, and jitter live in net::FaultModel
+// (fault_model.hpp), whose per-sender RNG lanes stay deterministic under
+// sim::ShardedEngine — a LinkFilter rolling its own `mutable sim::Rng`
+// (the retired LossLinkFilter) ran its dice once at send and once at
+// delivery in whichever context the event landed, so its outcomes changed
+// with the shard count.
 #ifndef LOCKSS_NET_FAULT_INJECTION_HPP_
 #define LOCKSS_NET_FAULT_INJECTION_HPP_
 
-#include <set>
 #include <vector>
 
 #include "net/network.hpp"
-#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace lockss::net {
-
-// Drops each message with probability `loss`. With an empty victim set the
-// loss applies to every message; otherwise only to messages whose sender or
-// receiver is a victim.
-class LossLinkFilter : public LinkFilter {
- public:
-  LossLinkFilter(sim::Rng rng, double loss_probability)
-      : rng_(rng), loss_probability_(loss_probability) {}
-  LossLinkFilter(sim::Rng rng, double loss_probability, std::vector<NodeId> victims)
-      : rng_(rng), loss_probability_(loss_probability), victims_(victims.begin(), victims.end()) {}
-
-  bool allow(NodeId from, NodeId to) const override;
-
-  uint64_t dropped() const { return dropped_; }
-
- private:
-  // allow() is const in the LinkFilter contract; the filter's own dice and
-  // counters are bookkeeping, not observable link state.
-  mutable sim::Rng rng_;
-  double loss_probability_;
-  std::set<NodeId> victims_;
-  mutable uint64_t dropped_ = 0;
-};
 
 // Silences every node currently in the set: nothing is delivered to or
 // from an offline node. Membership is driver-maintained (see

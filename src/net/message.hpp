@@ -29,6 +29,9 @@ enum class MessageKind : uint8_t {
   kEvaluationReceipt,
 };
 
+class Message;
+using MessagePtr = std::unique_ptr<Message>;
+
 class Message {
  public:
   virtual ~Message() = default;
@@ -42,11 +45,14 @@ class Message {
   // Dispatch tag; kOther for anything outside the protocol vocabulary.
   virtual MessageKind kind() const { return MessageKind::kOther; }
 
+  // Deep copy for the fault layer's duplicate deliveries (net::FaultModel).
+  // Types that return nullptr simply never get duplicated; every protocol
+  // message overrides this with a plain copy.
+  virtual MessagePtr clone() const { return nullptr; }
+
   NodeId from;
   NodeId to;
 };
-
-using MessagePtr = std::unique_ptr<Message>;
 
 // Receiver interface; one per registered node.
 class MessageHandler {

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "crypto/digest.hpp"
+#include "net/fault_model.hpp"
 
 namespace lockss::net {
 
@@ -68,7 +69,41 @@ void Network::send(MessagePtr message) {
     ++send_stats.messages_no_handler;
     return;
   }
-  const sim::SimTime delay = delivery_delay(message->from, message->to, message->size_bytes());
+  const sim::SimTime base_delay = delivery_delay(message->from, message->to, message->size_bytes());
+  if (faults_ == nullptr) {
+    schedule_delivery(std::move(message), base_delay);
+    return;
+  }
+  // Faults are decided once, here, in the sender's owning context — never
+  // at delivery — so the decision stream is a pure function of the sender's
+  // send sequence (docs/faults.md). Jitter only adds delay: the total stays
+  // strictly above min_latency, preserving the sharded lookahead contract.
+  const sim::SimTime now = bus_ != nullptr ? bus_->context_sim().now() : simulator_.now();
+  const FaultDecision verdict = faults_->decide(message->from, message->to, now);
+  if (verdict.drop) {
+    ++(verdict.burst ? send_stats.messages_burst_dropped : send_stats.messages_lost);
+    return;
+  }
+  if (verdict.extra_delay > sim::SimTime::zero()) {
+    ++send_stats.messages_jittered;
+  }
+  MessagePtr copy;
+  if (verdict.duplicate) {
+    // Messages that cannot clone (kOther diagnostics) are simply never
+    // duplicated; the dup draw was still consumed, so lane streams do not
+    // depend on message types.
+    copy = message->clone();
+    if (copy != nullptr) {
+      ++send_stats.messages_duplicated;
+    }
+  }
+  schedule_delivery(std::move(message), base_delay + verdict.extra_delay);
+  if (copy != nullptr) {
+    schedule_delivery(std::move(copy), base_delay + verdict.dup_extra_delay);
+  }
+}
+
+void Network::schedule_delivery(MessagePtr message, sim::SimTime delay) {
   const NodeId to = message->to;
   // EventFn supports move-only callables, so the unique_ptr rides in the
   // capture directly — no shared box, no allocation beyond the message.

@@ -26,6 +26,8 @@
 
 namespace lockss::net {
 
+class FaultModel;
+
 // Veto-based delivery filter; pipe-stoppage adversaries install one.
 class LinkFilter {
  public:
@@ -49,6 +51,11 @@ struct NetworkStats {
   uint64_t messages_filtered = 0;
   uint64_t messages_no_handler = 0;
   uint64_t bytes_delivered = 0;
+  // Fault-layer accounting (net::FaultModel; all zero on ideal networks).
+  uint64_t messages_lost = 0;           // i.i.d. loss drops
+  uint64_t messages_burst_dropped = 0;  // burst-episode drops
+  uint64_t messages_duplicated = 0;     // extra copies scheduled
+  uint64_t messages_jittered = 0;       // deliveries with nonzero extra delay
 
   NetworkStats& operator+=(const NetworkStats& o) {
     messages_sent += o.messages_sent;
@@ -56,7 +63,15 @@ struct NetworkStats {
     messages_filtered += o.messages_filtered;
     messages_no_handler += o.messages_no_handler;
     bytes_delivered += o.bytes_delivered;
+    messages_lost += o.messages_lost;
+    messages_burst_dropped += o.messages_burst_dropped;
+    messages_duplicated += o.messages_duplicated;
+    messages_jittered += o.messages_jittered;
     return *this;
+  }
+
+  uint64_t faults_injected() const {
+    return messages_lost + messages_burst_dropped + messages_duplicated + messages_jittered;
   }
 };
 
@@ -96,6 +111,14 @@ class Network {
   void add_filter(const LinkFilter* filter);
   void remove_filter(const LinkFilter* filter);
 
+  // Installs (or clears, with nullptr) the unreliable-link fault model
+  // (docs/faults.md). Not owned. Faults are decided once, at send time, in
+  // the sender's owning context, after the veto filters: a vetoed message
+  // was never on the wire, so it consumes no fault randomness. With no
+  // model installed the delivery path is byte-for-byte the ideal-network
+  // behavior — the golden corpus pins this.
+  void set_fault_model(FaultModel* model) { faults_ = model; }
+
   // Deterministic per-pair latency (symmetric) and per-node bandwidth.
   // Both are pure functions of the ids and the run's salt, so an adversary
   // with unconstrained identities (§3.1) costs no simulator state.
@@ -118,9 +141,11 @@ class Network {
 
  private:
   bool allowed(NodeId from, NodeId to) const;
+  void schedule_delivery(MessagePtr message, sim::SimTime delay);
 
   sim::Simulator& simulator_;
   ShardBus* bus_ = nullptr;
+  FaultModel* faults_ = nullptr;
   sim::Rng rng_;
   NetworkConfig config_;
   uint64_t latency_salt_;

@@ -295,9 +295,23 @@ void Peer::retire_voter_session(protocol::PollId id) {
 
 void Peer::on_poll_concluded(const protocol::PollOutcome& outcome) {
   // Metrics recording happens in PollerSession::conclude() via metrics();
-  // this hook only carries host-side reactions.
+  // this hook carries host-side reactions plus the robustness counters
+  // (lossy-network observability, docs/faults.md).
+  ack_timeouts_total_ += outcome.ack_timeouts;
+  vote_timeouts_total_ += outcome.vote_timeouts;
+  solicitation_retries_total_ += outcome.solicitation_retries;
+  ++poll_aborts_[static_cast<size_t>(outcome.abort)];
   if (env_.poll_observer) {
     env_.poll_observer(id_, outcome);
+  }
+}
+
+void Peer::for_each_live_session_start(const std::function<void(sim::SimTime)>& fn) {
+  for (protocol::PollId id : pollers_.keys_sorted()) {
+    fn(pollers_.find(id)->started());
+  }
+  for (protocol::PollId id : voters_.keys_sorted()) {
+    fn(voters_.find(id)->started());
   }
 }
 

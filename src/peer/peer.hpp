@@ -161,6 +161,21 @@ class Peer : public protocol::PeerHost, public net::MessageHandler {
   // Histogram of admission-pipeline decisions for incoming Poll invitations,
   // indexed by protocol::AdmissionVerdict.
   const std::array<uint64_t, 8>& admission_verdicts() const { return admission_verdicts_; }
+  // Robustness counters accumulated from every concluded poll's outcome —
+  // the observable surface of the unreliable-network fault layer
+  // (docs/faults.md).
+  uint64_t ack_timeouts_total() const { return ack_timeouts_total_; }
+  uint64_t vote_timeouts_total() const { return vote_timeouts_total_; }
+  uint64_t solicitation_retries_total() const { return solicitation_retries_total_; }
+  // Histogram of poll conclusions that fell short of success, indexed by
+  // protocol::PollAbortReason (slot kNone counts successes).
+  const std::array<uint64_t, protocol::kPollAbortReasonCount>& poll_aborts() const {
+    return poll_aborts_;
+  }
+  // Invokes `fn(started)` for every live poller and voter session, in
+  // PollId order. The harvest-time session-liveness audit bounds each live
+  // session's age against the inter-poll interval.
+  void for_each_live_session_start(const std::function<void(sim::SimTime)>& fn);
 
  private:
   struct AuState {
@@ -209,6 +224,10 @@ class Peer : public protocol::PeerHost, public net::MessageHandler {
   uint64_t solicitations_sent_ = 0;
   uint64_t polls_started_ = 0;
   std::array<uint64_t, 8> admission_verdicts_{};
+  uint64_t ack_timeouts_total_ = 0;
+  uint64_t vote_timeouts_total_ = 0;
+  uint64_t solicitation_retries_total_ = 0;
+  std::array<uint64_t, protocol::kPollAbortReasonCount> poll_aborts_{};
   bool started_ = false;
   bool online_ = true;
   // Cumulative operator rate-tightening; multiplies the §6.3 consideration

@@ -51,6 +51,21 @@ enum class PollOutcomeKind {
 
 const char* poll_outcome_name(PollOutcomeKind kind);
 
+// Why a poll ended without full success — one reason per non-success
+// conclusion site in PollerSession, so lossy-network campaigns can tell
+// "not enough voters answered" from "the votes disagreed" (docs/faults.md).
+enum class PollAbortReason : uint8_t {
+  kNone = 0,            // the poll succeeded
+  kQuorumNotReached,    // too few affirmative voters by solicitation end
+  kScheduleSaturated,   // evaluation effort could not be booked or was shed
+  kVotesInvalid,        // votes arrived but too few evaluated as valid
+  kRepairExhausted,     // repair budget spent (or no candidate) on a bad block
+  kBlockInconclusive,   // a block tally stayed inconclusive — raise the alarm
+};
+constexpr size_t kPollAbortReasonCount = 6;
+
+const char* poll_abort_reason_name(PollAbortReason reason);
+
 struct PollOutcome {
   PollOutcomeKind kind = PollOutcomeKind::kInquorate;
   storage::AuId au;
@@ -67,6 +82,11 @@ struct PollOutcome {
   size_t refusals = 0;       // negative PollAcks
   size_t ack_timeouts = 0;   // silent drops / lost invitations
   size_t vote_timeouts = 0;  // committed voters that never delivered
+  // Solicitation rounds that had to reschedule because the rate limiter (or
+  // the task schedule) pushed the next invitation into the future.
+  size_t solicitation_retries = 0;
+  // kNone on success; otherwise the conclusion site that ended the poll.
+  PollAbortReason abort = PollAbortReason::kNone;
 };
 
 class PeerHost {

@@ -10,6 +10,7 @@
 #define LOCKSS_PROTOCOL_MESSAGES_HPP_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "crypto/digest.hpp"
@@ -47,6 +48,7 @@ class PollMsg : public ProtocolMessage {
   uint64_t size_bytes() const override { return 1024; }
   const char* type_name() const override { return "Poll"; }
   net::MessageKind kind() const override { return net::MessageKind::kPoll; }
+  net::MessagePtr clone() const override { return std::make_unique<PollMsg>(*this); }
 };
 
 // PollAck: acceptance or refusal of the invitation (§4.1).
@@ -57,6 +59,7 @@ class PollAckMsg : public ProtocolMessage {
   uint64_t size_bytes() const override { return 256; }
   const char* type_name() const override { return "PollAck"; }
   net::MessageKind kind() const override { return net::MessageKind::kPollAck; }
+  net::MessagePtr clone() const override { return std::make_unique<PollAckMsg>(*this); }
 };
 
 // PollProof: the balance of the solicitation effort plus the vote nonce.
@@ -68,6 +71,7 @@ class PollProofMsg : public ProtocolMessage {
   uint64_t size_bytes() const override { return 1280; }
   const char* type_name() const override { return "PollProof"; }
   net::MessageKind kind() const override { return net::MessageKind::kPollProof; }
+  net::MessagePtr clone() const override { return std::make_unique<PollProofMsg>(*this); }
 };
 
 // Vote: running block hashes over (nonce, replica), the vote's own effort
@@ -85,6 +89,7 @@ class VoteMsg : public ProtocolMessage {
   }
   const char* type_name() const override { return "Vote"; }
   net::MessageKind kind() const override { return net::MessageKind::kVote; }
+  net::MessagePtr clone() const override { return std::make_unique<VoteMsg>(*this); }
 };
 
 // RepairRequest: the poller asks a disagreeing voter for one block (§4.3).
@@ -95,6 +100,7 @@ class RepairRequestMsg : public ProtocolMessage {
   uint64_t size_bytes() const override { return 256; }
   const char* type_name() const override { return "RepairRequest"; }
   net::MessageKind kind() const override { return net::MessageKind::kRepairRequest; }
+  net::MessagePtr clone() const override { return std::make_unique<RepairRequestMsg>(*this); }
 };
 
 // Repair: the block content. Dominates wire cost (megabytes).
@@ -107,6 +113,7 @@ class RepairMsg : public ProtocolMessage {
   uint64_t size_bytes() const override { return 512 + wire_block_bytes; }
   const char* type_name() const override { return "Repair"; }
   net::MessageKind kind() const override { return net::MessageKind::kRepair; }
+  net::MessagePtr clone() const override { return std::make_unique<RepairMsg>(*this); }
 };
 
 // EvaluationReceipt: unforgeable proof the poller evaluated the vote —
@@ -118,6 +125,7 @@ class EvaluationReceiptMsg : public ProtocolMessage {
   uint64_t size_bytes() const override { return 256; }
   const char* type_name() const override { return "EvaluationReceipt"; }
   net::MessageKind kind() const override { return net::MessageKind::kEvaluationReceipt; }
+  net::MessagePtr clone() const override { return std::make_unique<EvaluationReceiptMsg>(*this); }
 };
 
 }  // namespace lockss::protocol

@@ -33,6 +33,24 @@ const char* poll_outcome_name(PollOutcomeKind kind) {
   return "?";
 }
 
+const char* poll_abort_reason_name(PollAbortReason reason) {
+  switch (reason) {
+    case PollAbortReason::kNone:
+      return "none";
+    case PollAbortReason::kQuorumNotReached:
+      return "quorum_not_reached";
+    case PollAbortReason::kScheduleSaturated:
+      return "schedule_saturated";
+    case PollAbortReason::kVotesInvalid:
+      return "votes_invalid";
+    case PollAbortReason::kRepairExhausted:
+      return "repair_exhausted";
+    case PollAbortReason::kBlockInconclusive:
+      return "block_inconclusive";
+  }
+  return "?";
+}
+
 PollerSession::PollerSession(PeerHost& host, storage::AuId au, PollId poll_id)
     : host_(host), au_(au), poll_id_(poll_id), invitees_(host.node_registry()) {}
 
@@ -168,6 +186,7 @@ void PollerSession::retry_later(net::NodeId voter) {
   const sim::SimTime latest =
       std::min(earliest + host_.params().min_retry_gap, solicitation_end_);
   invitee->phase = InviteePhase::kScheduled;
+  ++solicitation_retries_;
   schedule_solicitation(voter, host_.rng().uniform_time(earliest, latest));
 }
 
@@ -333,7 +352,7 @@ void PollerSession::begin_evaluation() {
       static_cast<size_t>(std::count_if(votes_.begin(), votes_.end(),
                                         [](const StoredVote& v) { return v.inner; }));
   if (inner_votes < host_.params().quorum) {
-    conclude(PollOutcomeKind::kInquorate);
+    conclude(PollOutcomeKind::kInquorate, PollAbortReason::kQuorumNotReached);
     return;
   }
 
@@ -358,7 +377,7 @@ void PollerSession::begin_evaluation() {
     --keep;
   }
   if (keep < host_.params().quorum) {
-    conclude(PollOutcomeKind::kInquorate);
+    conclude(PollOutcomeKind::kInquorate, PollAbortReason::kScheduleSaturated);
     return;
   }
   votes_.resize(keep);
@@ -368,7 +387,7 @@ void PollerSession::begin_evaluation() {
       return;
     }
     if (!ok) {
-      conclude(PollOutcomeKind::kInquorate);
+      conclude(PollOutcomeKind::kInquorate, PollAbortReason::kScheduleSaturated);
       return;
     }
     run_tally();
@@ -398,7 +417,7 @@ void PollerSession::run_tally() {
     tally_->add_vote(vote.voter, vote.nonce, vote.hashes, vote.inner);
   }
   if (!tally_->quorate()) {
-    conclude(PollOutcomeKind::kInquorate);
+    conclude(PollOutcomeKind::kInquorate, PollAbortReason::kVotesInvalid);
     return;
   }
   continue_tally();
@@ -415,13 +434,13 @@ void PollerSession::continue_tally() {
       return;
     case Tally::Step::Kind::kNeedRepair:
       if (repairs_requested_ >= host_.params().max_repairs_served_per_poll) {
-        conclude(PollOutcomeKind::kAlarm);
+        conclude(PollOutcomeKind::kAlarm, PollAbortReason::kRepairExhausted);
         return;
       }
       request_repair(step.block, step.disagreeing);
       return;
     case Tally::Step::Kind::kAlarm:
-      conclude(PollOutcomeKind::kAlarm);
+      conclude(PollOutcomeKind::kAlarm, PollAbortReason::kBlockInconclusive);
       return;
   }
 }
@@ -433,7 +452,7 @@ void PollerSession::request_repair(uint32_t block, std::vector<net::NodeId> cand
     candidates = pending_repair_candidates_;
   }
   if (candidates.empty()) {
-    conclude(PollOutcomeKind::kAlarm);
+    conclude(PollOutcomeKind::kAlarm, PollAbortReason::kRepairExhausted);
     return;
   }
   const size_t pick = host_.rng().index(candidates.size());
@@ -576,7 +595,8 @@ void PollerSession::send_receipts_and_conclude() {
   conclude(PollOutcomeKind::kSuccess);
 }
 
-void PollerSession::conclude(PollOutcomeKind kind) {
+void PollerSession::conclude(PollOutcomeKind kind, PollAbortReason reason) {
+  assert((kind == PollOutcomeKind::kSuccess) == (reason == PollAbortReason::kNone));
   if (concluded_) {
     return;
   }
@@ -605,6 +625,8 @@ void PollerSession::conclude(PollOutcomeKind kind) {
   outcome.refusals = refusals_;
   outcome.ack_timeouts = ack_timeouts_;
   outcome.vote_timeouts = vote_timeouts_;
+  outcome.solicitation_retries = solicitation_retries_;
+  outcome.abort = reason;
   if (metrics::MetricsCollector* collector = host_.metrics()) {
     collector->record_poll(host_.id(), outcome);
   }

@@ -53,6 +53,9 @@ class PollerSession {
   PollId poll_id() const { return poll_id_; }
   storage::AuId au() const { return au_; }
   bool concluded() const { return concluded_; }
+  // When the poll began; the session-liveness audit bounds every live
+  // session's age against the inter-poll interval (docs/faults.md).
+  sim::SimTime started() const { return started_; }
 
   // Visible for tests and diagnostics.
   size_t votes_received() const { return votes_.size(); }
@@ -101,7 +104,7 @@ class PollerSession {
   void repair_timeout();
   void maybe_frivolous_repair_then_receipts();
   void send_receipts_and_conclude();
-  void conclude(PollOutcomeKind kind);
+  void conclude(PollOutcomeKind kind, PollAbortReason reason = PollAbortReason::kNone);
   // Cancels every still-booked schedule slot (conclude() and the
   // destructor must stay in lockstep — a slot surviving either path leaks
   // phantom busy time into later admission decisions).
@@ -133,6 +136,7 @@ class PollerSession {
   size_t refusals_ = 0;
   size_t ack_timeouts_ = 0;
   size_t vote_timeouts_ = 0;
+  size_t solicitation_retries_ = 0;
   size_t repairs_requested_ = 0;
   bool replica_was_repaired_ = false;
   std::optional<uint32_t> pending_repair_block_;

@@ -161,6 +161,7 @@ VoterSession::VoterSession(PeerHost& host, const PollMsg& poll, sched::Reservati
       poll_id_(poll.poll_id),
       au_(poll.au),
       poller_(poll.from),
+      started_(host.simulator().now()),
       vote_deadline_(poll.vote_deadline),
       slot_(slot) {
   proof_timeout_ = host_.simulator().schedule_in(

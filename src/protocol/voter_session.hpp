@@ -69,6 +69,10 @@ class VoterSession {
   net::NodeId poller() const { return poller_; }
   bool finished() const { return finished_; }
   bool vote_sent() const { return vote_sent_; }
+  // When the invitation was accepted; the session-liveness audit bounds
+  // every live session's age against the inter-poll interval
+  // (docs/faults.md).
+  sim::SimTime started() const { return started_; }
 
  private:
   VoterSession(PeerHost& host, const PollMsg& poll, sched::Reservation slot);
@@ -82,6 +86,7 @@ class VoterSession {
   PollId poll_id_;
   storage::AuId au_;
   net::NodeId poller_;
+  sim::SimTime started_;
   sim::SimTime vote_deadline_;
 
   sched::Reservation slot_;

@@ -80,6 +80,14 @@ TEST(CampaignGoldenTest, RegionalOutageRecoveryManifestMatchesFixture) {
                          "regional_outage_recovery.manifest.golden");
 }
 
+// Unreliable-network campaign: pins the network_faults spec echo, the
+// loss_rate sweep axis labels, and every cell's fault/timeout/abort
+// accounting through the manifest — the campaign-level contract of the
+// net::FaultModel delivery layer (docs/faults.md).
+TEST(CampaignGoldenTest, LossyLinksManifestMatchesFixture) {
+  check_manifest_fixture("lossy_links.json", "lossy_links.manifest.golden");
+}
+
 // The shipped campaign files must always parse and compile (CI also
 // validates them through the lockss_campaign binary; this covers local
 // ctest runs).
@@ -91,7 +99,7 @@ TEST(CampaignGoldenTest, AllShippedCampaignsCompile) {
       "pipe_stoppage_demo.json",      "vote_flood_demo.json",
       "smoke.json",        "churn_baseline.json",
       "churn_under_brute_force.json", "regional_outage_recovery.json",
-      "operator_response_race.json",
+      "operator_response_race.json",  "lossy_links.json",
   };
   for (const char* name : names) {
     Spec spec;

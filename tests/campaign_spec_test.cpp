@@ -92,6 +92,9 @@ constexpr const char* kFullSpec = R"({
                    { "trigger": "alarm", "action": "au_recrawl" },
                    { "trigger": "recovery", "action": "rate_tighten", "factor": 0.25 }
                  ] },
+  "network": { "min_latency_ms": 2, "max_latency_ms": 40 },
+  "network_faults": { "loss_rate": 0.1, "dup_rate": 0.02, "jitter_ms": 25,
+                      "burst_outage_rate": 0.05, "burst_cycle_days": 2 },
   "trace_days": 10,
   "adversary": [
     { "kind": "pipe_stoppage", "attack_days": 20, "recuperation_days": 10, "coverage_percent": 50,
@@ -147,6 +150,17 @@ TEST(CampaignSpecTest, ParsesFullSpec) {
   EXPECT_EQ(spec.operators.policies[1].trigger, dynamics::OperatorTrigger::kRecovery);
   EXPECT_EQ(spec.operators.policies[1].action, dynamics::OperatorAction::kRateTighten);
   EXPECT_DOUBLE_EQ(spec.operators.policies[1].factor, 0.25);
+  // Network + fault sections.
+  EXPECT_DOUBLE_EQ(spec.network.min_latency.to_seconds() * 1000.0, 2.0);
+  EXPECT_DOUBLE_EQ(spec.network.max_latency.to_seconds() * 1000.0, 40.0);
+  EXPECT_TRUE(spec.faults_section);
+  EXPECT_TRUE(spec.faults.enabled());
+  EXPECT_TRUE(spec_has_faults(spec));
+  EXPECT_DOUBLE_EQ(spec.faults.loss_rate, 0.1);
+  EXPECT_DOUBLE_EQ(spec.faults.dup_rate, 0.02);
+  EXPECT_DOUBLE_EQ(spec.faults.jitter.to_seconds() * 1000.0, 25.0);
+  EXPECT_DOUBLE_EQ(spec.faults.burst_outage_rate, 0.05);
+  EXPECT_DOUBLE_EQ(spec.faults.burst_cycle.to_days(), 2.0);
 }
 
 // Every rejection must carry file:line: field: context.
@@ -270,6 +284,46 @@ TEST(CampaignSpecTest, RejectionDiagnosticsCarryLineAndField) {
       {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"churn_mean_downtime_days\","
        " \"values\": [2, 20] }\n  ]\n}",
        "r.json:4", "session churn"},
+      // --- network + network_faults sections ----------------------------
+      {"{\n  \"name\": \"x\",\n  \"network\": {\n    \"min_latency_ms\": -1\n  }\n}", "r.json:3",
+       "min_latency_ms"},
+      {"{\n  \"name\": \"x\",\n  \"network\": {\n    \"min_latency_ms\": 20,\n"
+       "    \"max_latency_ms\": 5\n  }\n}",
+       "r.json:3", "max_latency_ms"},
+      {"{\n  \"name\": \"x\",\n  \"network\": {\n    \"latency_ms\": 10\n  }\n}", "r.json:4",
+       "unknown member"},
+      {"{\n  \"name\": \"x\",\n  \"network_faults\": {\n    \"loss_rate\": -0.1\n  }\n}",
+       "r.json:3", "loss_rate"},
+      {"{\n  \"name\": \"x\",\n  \"network_faults\": {\n    \"loss_rate\": 1.5\n  }\n}",
+       "r.json:3", "within [0, 1]"},
+      {"{\n  \"name\": \"x\",\n  \"network_faults\": {\n    \"dup_rate\": 2\n  }\n}", "r.json:3",
+       "dup_rate"},
+      {"{\n  \"name\": \"x\",\n  \"network_faults\": {\n    \"burst_outage_rate\": -1\n  }\n}",
+       "r.json:3", "burst_outage_rate"},
+      {"{\n  \"name\": \"x\",\n  \"network_faults\": {\n    \"jitter_ms\": -5\n  }\n}",
+       "r.json:3", "jitter_ms"},
+      {"{\n  \"name\": \"x\",\n  \"network\": { \"min_latency_ms\": 0, \"max_latency_ms\": 0 },\n"
+       "  \"network_faults\": {\n    \"jitter_ms\": 10\n  }\n}",
+       "r.json:4", "delay floor"},
+      {"{\n  \"name\": \"x\",\n  \"network_faults\": {\n    \"burst_cycle_days\": 0\n  }\n}",
+       "r.json:3", "burst_cycle_days"},
+      {"{\n  \"name\": \"x\",\n  \"network_faults\": {\n    \"los_rate\": 0.1\n  }\n}",
+       "r.json:4", "unknown member"},
+      // --- fault sweep axes ---------------------------------------------
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [\n    { \"param\": \"loss_rate\","
+       " \"values\": [0.1] }\n  ]\n}",
+       "r.json:4", "network_faults section"},
+      {"{\n  \"name\": \"x\",\n  \"network_faults\": {},\n  \"sweep\": [\n"
+       "    { \"param\": \"dup_rate\", \"values\": [1.5] }\n  ]\n}",
+       "r.json:5", "within [0, 1]"},
+      {"{\n  \"name\": \"x\",\n"
+       "  \"network\": { \"min_latency_ms\": 0, \"max_latency_ms\": 0 },\n"
+       "  \"network_faults\": {},\n  \"sweep\": [\n"
+       "    { \"param\": \"jitter_ms\", \"values\": [5, 10] }\n  ]\n}",
+       "r.json:6", "min_latency_ms > 0"},
+      {"{\n  \"name\": \"x\",\n  \"network_faults\": {},\n  \"sweep\": [\n"
+       "    { \"param\": \"jitter_ms\", \"values\": [-2] }\n  ]\n}",
+       "r.json:5", "non-negative"},
   };
   for (const Rejection& c : cases) {
     Json json;
@@ -291,11 +345,13 @@ TEST(CampaignSpecTest, RoundTripsThroughManifestVocabulary) {
       continue;  // categorical, needs a phase
     }
     // Full context so every axis is legal: a phase for phase axes, regions
-    // for the regional-outage axis, a policy for the detection-latency axis.
+    // for the regional-outage axis, a policy for the detection-latency axis,
+    // a (zero) fault section for the fault axes.
     std::string text = "{ \"name\": \"x\", \"adversary\": [ { \"kind\": \"pipe_stoppage\" } ],"
                        " \"dynamics\": { \"regions\": 2, \"leave_rate_per_peer_year\": 1 },"
                        " \"operators\": { \"policies\": [ { \"trigger\": \"alarm\","
                        " \"action\": \"rekey\" } ] },"
+                       " \"network_faults\": {},"
                        " \"sweep\": [ { \"param\": \"" +
                        param + "\", \"phase\": 0, \"values\": [1] } ] }";
     Json json;
@@ -331,6 +387,55 @@ TEST(CampaignSpecTest, SweepOnlyDynamicsCountAsDynamic) {
   Spec static_spec;
   ASSERT_TRUE(parse_spec(static_json, "s.json", &static_spec, &error)) << error;
   EXPECT_FALSE(spec_is_dynamic(static_spec));
+  EXPECT_FALSE(spec_has_faults(static_spec));
+}
+
+TEST(CampaignSpecTest, SweepOnlyFaultsCountAsFaulty) {
+  // The base section is all-zero (an ideal network) but the sweep turns
+  // loss on cell by cell: the campaign still counts as faulty, so the
+  // manifest/CSV carry the fault columns the sweep exists to measure.
+  Json json = parse_ok(R"({ "name": "f",
+    "network_faults": {},
+    "sweep": [ { "param": "loss_rate", "label": "p", "values": [0, 0.25] } ] })");
+  Spec spec;
+  std::string error;
+  ASSERT_TRUE(parse_spec(json, "f.json", &spec, &error)) << error;
+  EXPECT_FALSE(spec.faults.enabled());
+  EXPECT_TRUE(spec.faults_section);
+  EXPECT_TRUE(spec_has_faults(spec));
+  CompiledCampaign compiled;
+  ASSERT_TRUE(compile_campaign(spec, &compiled, &error)) << error;
+  ASSERT_EQ(compiled.cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(compiled.cells[0].config.faults.loss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(compiled.cells[1].config.faults.loss_rate, 0.25);
+  EXPECT_FALSE(compiled.cells[0].config.faults.enabled());
+  EXPECT_TRUE(compiled.cells[1].config.faults.enabled());
+  EXPECT_FALSE(compiled.base.faults.enabled());  // lossless baseline here
+  EXPECT_EQ(compiled.cells[0].label, "p0");
+  EXPECT_EQ(compiled.cells[1].label, "p0.25");
+}
+
+TEST(CampaignSpecTest, FaultConfigFlowsIntoCompiledCells) {
+  // A base fault section applies to every cell *and* the baseline — loss,
+  // duplication, and jitter are deployment properties, like churn, so the
+  // relative columns isolate what the swept knob costs.
+  Json json = parse_ok(R"({ "name": "f",
+    "network": { "min_latency_ms": 3, "max_latency_ms": 12 },
+    "network_faults": { "loss_rate": 0.2, "dup_rate": 0.01, "jitter_ms": 40 },
+    "sweep": [ { "param": "quorum", "values": [4, 6] } ] })");
+  Spec spec;
+  std::string error;
+  ASSERT_TRUE(parse_spec(json, "f.json", &spec, &error)) << error;
+  CompiledCampaign compiled;
+  ASSERT_TRUE(compile_campaign(spec, &compiled, &error)) << error;
+  EXPECT_DOUBLE_EQ(compiled.base.faults.loss_rate, 0.2);
+  EXPECT_DOUBLE_EQ(compiled.base.network.min_latency.to_seconds() * 1000.0, 3.0);
+  for (const CompiledCell& cell : compiled.cells) {
+    EXPECT_DOUBLE_EQ(cell.config.faults.loss_rate, 0.2);
+    EXPECT_DOUBLE_EQ(cell.config.faults.dup_rate, 0.01);
+    EXPECT_DOUBLE_EQ(cell.config.faults.jitter.to_seconds() * 1000.0, 40.0);
+    EXPECT_DOUBLE_EQ(cell.config.network.max_latency.to_seconds() * 1000.0, 12.0);
+  }
 }
 
 // --- Fuzz-style generator round-trips --------------------------------------

@@ -2,6 +2,10 @@
 // desynchronization machinery must absorb message loss and node outages
 // (§5.2 — a poll is a long sequence of two-party exchanges precisely so
 // sporadic unavailability cannot stall it).
+//
+// Probabilistic faults (loss/duplication/jitter/bursts) go through
+// net::FaultModel on the delivery path; binary outages stay veto
+// LinkFilters. docs/faults.md.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -9,6 +13,7 @@
 
 #include "metrics/collector.hpp"
 #include "net/fault_injection.hpp"
+#include "net/fault_model.hpp"
 #include "net/network.hpp"
 #include "peer/peer.hpp"
 #include "sim/simulator.hpp"
@@ -16,44 +21,165 @@
 namespace lockss {
 namespace {
 
-// --- Unit: LossLinkFilter ---------------------------------------------------
+// --- Unit: FaultModel -------------------------------------------------------
 
-TEST(LossLinkFilterTest, ZeroLossAllowsEverything) {
-  net::LossLinkFilter filter(sim::Rng(1), 0.0);
-  for (uint32_t i = 0; i < 100; ++i) {
-    EXPECT_TRUE(filter.allow(net::NodeId{i}, net::NodeId{i + 1}));
-  }
-  EXPECT_EQ(filter.dropped(), 0u);
+TEST(FaultModelTest, ZeroConfigIsDisabledAndInertFlagEnables) {
+  net::FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  config.install_when_inert = true;
+  EXPECT_TRUE(config.enabled());
 }
 
-TEST(LossLinkFilterTest, FullLossDropsEverything) {
-  net::LossLinkFilter filter(sim::Rng(1), 1.0);
-  for (uint32_t i = 0; i < 100; ++i) {
-    EXPECT_FALSE(filter.allow(net::NodeId{i}, net::NodeId{i + 1}));
+TEST(FaultModelTest, InertModelNeverPerturbsAnything) {
+  net::FaultConfig config;
+  config.install_when_inert = true;
+  net::FaultModel model(config, sim::Rng(1), 8);
+  for (uint32_t i = 0; i < 200; ++i) {
+    const net::FaultDecision d =
+        model.decide(net::NodeId{i % 8}, net::NodeId{(i + 1) % 8}, sim::SimTime::seconds(i));
+    EXPECT_FALSE(d.drop);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_EQ(d.extra_delay, sim::SimTime::zero());
   }
-  EXPECT_EQ(filter.dropped(), 100u);
 }
 
-TEST(LossLinkFilterTest, LossRateIsApproximatelyHonored) {
-  net::LossLinkFilter filter(sim::Rng(7), 0.3);
+TEST(FaultModelTest, FullLossDropsEverySend) {
+  net::FaultConfig config;
+  config.loss_rate = 1.0;
+  net::FaultModel model(config, sim::Rng(1), 8);
+  for (uint32_t i = 0; i < 100; ++i) {
+    const net::FaultDecision d = model.decide(net::NodeId{i % 8}, net::NodeId{(i + 3) % 8},
+                                              sim::SimTime::seconds(i));
+    EXPECT_TRUE(d.drop);
+    EXPECT_FALSE(d.burst);  // i.i.d. loss, not a burst casualty
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_EQ(d.extra_delay, sim::SimTime::zero());
+  }
+}
+
+TEST(FaultModelTest, LossRateIsApproximatelyHonored) {
+  net::FaultConfig config;
+  config.loss_rate = 0.3;
+  net::FaultModel model(config, sim::Rng(7), 4);
   uint32_t dropped = 0;
   const uint32_t trials = 20000;
   for (uint32_t i = 0; i < trials; ++i) {
-    if (!filter.allow(net::NodeId{1}, net::NodeId{2})) {
+    if (model.decide(net::NodeId{1}, net::NodeId{2}, sim::SimTime::seconds(i)).drop) {
       ++dropped;
     }
   }
-  const double rate = static_cast<double>(dropped) / trials;
-  EXPECT_NEAR(rate, 0.3, 0.02);
-  EXPECT_EQ(filter.dropped(), dropped);
+  EXPECT_NEAR(static_cast<double>(dropped) / trials, 0.3, 0.02);
 }
 
-TEST(LossLinkFilterTest, VictimScopingSparesOtherPairs) {
-  net::LossLinkFilter filter(sim::Rng(3), 1.0, {net::NodeId{5}});
-  EXPECT_TRUE(filter.allow(net::NodeId{1}, net::NodeId{2}));
-  EXPECT_FALSE(filter.allow(net::NodeId{5}, net::NodeId{2}));
-  EXPECT_FALSE(filter.allow(net::NodeId{1}, net::NodeId{5}));
-  EXPECT_EQ(filter.dropped(), 2u);
+TEST(FaultModelTest, DuplicationAndJitterDrawIndependentDelays) {
+  net::FaultConfig config;
+  config.dup_rate = 1.0;
+  config.jitter = sim::SimTime::milliseconds(100);
+  net::FaultModel model(config, sim::Rng(11), 4);
+  bool delays_differ = false;
+  for (uint32_t i = 0; i < 200; ++i) {
+    const net::FaultDecision d =
+        model.decide(net::NodeId{0}, net::NodeId{1}, sim::SimTime::seconds(i));
+    EXPECT_FALSE(d.drop);
+    EXPECT_TRUE(d.duplicate);
+    EXPECT_GE(d.extra_delay, sim::SimTime::zero());
+    EXPECT_LT(d.extra_delay, config.jitter);
+    EXPECT_GE(d.dup_extra_delay, sim::SimTime::zero());
+    EXPECT_LT(d.dup_extra_delay, config.jitter);
+    delays_differ = delays_differ || d.extra_delay != d.dup_extra_delay;
+  }
+  // The copy gets its own jitter draw; 200 coincidences would be absurd.
+  EXPECT_TRUE(delays_differ);
+}
+
+TEST(FaultModelTest, LossWinsOverDuplication) {
+  net::FaultConfig config;
+  config.loss_rate = 1.0;
+  config.dup_rate = 1.0;
+  config.jitter = sim::SimTime::milliseconds(50);
+  net::FaultModel model(config, sim::Rng(13), 4);
+  const net::FaultDecision d = model.decide(net::NodeId{0}, net::NodeId{1}, sim::SimTime::zero());
+  EXPECT_TRUE(d.drop);
+  EXPECT_FALSE(d.duplicate);
+  EXPECT_EQ(d.extra_delay, sim::SimTime::zero());
+}
+
+TEST(FaultModelTest, BurstEpisodesCoverTheConfiguredFraction) {
+  net::FaultConfig config;
+  config.burst_outage_rate = 0.25;
+  config.burst_cycle = sim::SimTime::days(1.0);
+  net::FaultModel model(config, sim::Rng(17), 8);
+  // Each directed pair spends exactly a quarter of every cycle in outage;
+  // sample one pair densely across many cycles.
+  uint32_t in_burst = 0;
+  const uint32_t samples = 24 * 100;  // hourly over 100 days
+  for (uint32_t i = 0; i < samples; ++i) {
+    if (model.in_burst(net::NodeId{2}, net::NodeId{5}, sim::SimTime::hours(i))) {
+      ++in_burst;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(in_burst) / samples, 0.25, 0.04);
+}
+
+TEST(FaultModelTest, BurstMembershipIsPureAndDirected) {
+  net::FaultConfig config;
+  config.burst_outage_rate = 0.5;
+  net::FaultModel a(config, sim::Rng(23), 8);
+  net::FaultModel b(config, sim::Rng(23), 8);
+  bool directions_differ = false;
+  for (uint32_t i = 0; i < 200; ++i) {
+    const sim::SimTime at = sim::SimTime::hours(i);
+    // Same seed -> same burst salt -> identical membership, no matter how
+    // many decide() draws either model has consumed.
+    (void)b.decide(net::NodeId{0}, net::NodeId{1}, at);
+    EXPECT_EQ(a.in_burst(net::NodeId{3}, net::NodeId{4}, at),
+              b.in_burst(net::NodeId{3}, net::NodeId{4}, at));
+    directions_differ = directions_differ ||
+                        a.in_burst(net::NodeId{3}, net::NodeId{4}, at) !=
+                            a.in_burst(net::NodeId{4}, net::NodeId{3}, at);
+  }
+  EXPECT_TRUE(directions_differ);  // per *directed* pair, like real flaky links
+}
+
+TEST(FaultModelTest, SenderLanesAreIndependentOfInterleaving) {
+  net::FaultConfig config;
+  config.loss_rate = 0.3;
+  config.dup_rate = 0.2;
+  config.jitter = sim::SimTime::milliseconds(40);
+  // Model A: sender 1's sends interleaved with a storm from sender 2.
+  // Model B: sender 1 alone. Same seed -> sender 1's fault sequence must be
+  // identical — this is the per-sender-lane property that keeps sharded
+  // runs bit-identical regardless of cross-sender event interleaving.
+  net::FaultModel a(config, sim::Rng(31), 4);
+  net::FaultModel b(config, sim::Rng(31), 4);
+  for (uint32_t i = 0; i < 500; ++i) {
+    for (uint32_t burst = 0; burst < i % 5; ++burst) {
+      (void)a.decide(net::NodeId{2}, net::NodeId{3}, sim::SimTime::seconds(i));
+    }
+    const net::FaultDecision da =
+        a.decide(net::NodeId{1}, net::NodeId{3}, sim::SimTime::seconds(i));
+    const net::FaultDecision db =
+        b.decide(net::NodeId{1}, net::NodeId{3}, sim::SimTime::seconds(i));
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    EXPECT_EQ(da.extra_delay, db.extra_delay);
+    EXPECT_EQ(da.dup_extra_delay, db.dup_extra_delay);
+  }
+}
+
+TEST(FaultModelTest, OverflowLanesServeHighSenderIds) {
+  net::FaultConfig config;
+  config.loss_rate = 0.5;
+  net::FaultModel model(config, sim::Rng(37), 4);
+  // Ids far beyond the dense range (adversary minions) must still get
+  // stable private lanes.
+  uint32_t dropped = 0;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    if (model.decide(net::NodeId{1'000'000}, net::NodeId{1}, sim::SimTime::seconds(i)).drop) {
+      ++dropped;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / 2000, 0.5, 0.05);
 }
 
 // --- Unit: OutageLinkFilter ---------------------------------------------------
@@ -82,8 +208,8 @@ TEST(OutageLinkFilterTest, SilencesNodeOnlyDuringWindow) {
 // --- Integration: deployments under injected faults --------------------------
 //
 // run_scenario() owns its Network internally, so these tests assemble a small
-// deployment directly from the public peer/net/sim APIs and install fault
-// filters on it (the same wiring examples/custom_adversary.cpp demonstrates).
+// deployment directly from the public peer/net/sim APIs and install faults on
+// it (the same wiring examples/fault_tolerant_archive.cpp demonstrates).
 
 struct MiniDeployment {
   explicit MiniDeployment(uint64_t seed, uint32_t peer_count) : root(seed), network(simulator, root.split()) {
@@ -111,6 +237,15 @@ struct MiniDeployment {
     }
   }
 
+  // Installs an unreliable-link model on the delivery path. The peers' own
+  // seeds were already split in the constructor, so a faulty deployment's
+  // peers behave identically to a clean one's until faults actually fire.
+  void install_faults(const net::FaultConfig& config) {
+    faults = std::make_unique<net::FaultModel>(config, root.split(),
+                                               static_cast<uint32_t>(peers.size()));
+    network.set_fault_model(faults.get());
+  }
+
   void start() {
     for (auto& p : peers) {
       p->start();
@@ -123,6 +258,7 @@ struct MiniDeployment {
   metrics::MetricsCollector collector;
   peer::PeerEnvironment env;
   std::vector<std::unique_ptr<peer::Peer>> peers;
+  std::unique_ptr<net::FaultModel> faults;
 };
 
 TEST(FaultInjectionIntegrationTest, PollsSurviveModerateMessageLoss) {
@@ -131,13 +267,15 @@ TEST(FaultInjectionIntegrationTest, PollsSurviveModerateMessageLoss) {
   clean.simulator.run_until(sim::SimTime::years(1));
   const uint64_t clean_successes = clean.collector.successful_polls();
   ASSERT_GT(clean_successes, 40u);
+  EXPECT_EQ(clean.network.stats().messages_lost, 0u);
 
   MiniDeployment lossy(5, 20);
-  net::LossLinkFilter loss(sim::Rng(99), 0.10);
-  lossy.network.add_filter(&loss);
+  net::FaultConfig faults;
+  faults.loss_rate = 0.10;
+  lossy.install_faults(faults);
   lossy.start();
   lossy.simulator.run_until(sim::SimTime::years(1));
-  EXPECT_GT(loss.dropped(), 100u);
+  EXPECT_GT(lossy.network.stats().messages_lost, 100u);
   // Retries and over-invitation (inner circle 2x quorum) absorb 10% loss;
   // at least two thirds of the successes must survive.
   EXPECT_GT(lossy.collector.successful_polls(), clean_successes * 2 / 3);
@@ -160,12 +298,31 @@ TEST(FaultInjectionIntegrationTest, SingleNodeOutageRecoversAfterReboot) {
 
 TEST(FaultInjectionIntegrationTest, HeavyLossDegradesButDoesNotAlarm) {
   MiniDeployment deployment(8, 20);
-  net::LossLinkFilter loss(sim::Rng(123), 0.40);
-  deployment.network.add_filter(&loss);
+  net::FaultConfig faults;
+  faults.loss_rate = 0.40;
+  deployment.install_faults(faults);
   deployment.start();
   deployment.simulator.run_until(sim::SimTime::years(1));
   // 40% loss cripples throughput but must fail *safe*: inconclusive polls
   // become inquorate (handled), never false alarms.
+  EXPECT_GT(deployment.network.stats().messages_lost, 1000u);
+  EXPECT_EQ(deployment.collector.alarms(), 0u);
+}
+
+TEST(FaultInjectionIntegrationTest, DuplicationAndJitterAreHarmless) {
+  MiniDeployment deployment(9, 20);
+  net::FaultConfig faults;
+  faults.dup_rate = 0.05;
+  faults.jitter = sim::SimTime::milliseconds(200);
+  deployment.install_faults(faults);
+  deployment.start();
+  deployment.simulator.run_until(sim::SimTime::years(1));
+  // Duplicate receipts hit sessions that already consumed the original and
+  // are ignored; jitter only reorders. Neither may raise alarms or stall
+  // the poll pipeline.
+  EXPECT_GT(deployment.network.stats().messages_duplicated, 100u);
+  EXPECT_GT(deployment.network.stats().messages_jittered, 1000u);
+  EXPECT_GT(deployment.collector.successful_polls(), 40u);
   EXPECT_EQ(deployment.collector.alarms(), 0u);
 }
 

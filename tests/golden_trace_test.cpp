@@ -54,8 +54,12 @@ void append(std::string& out, const char* key, uint64_t v) {
 // accounting; it is a property of the scenario *config* (churn/operators
 // enabled), not of what the realized schedule happened to produce, so the
 // fixture shape can never flip on a seed tweak and a dynamics-enabled
-// scenario pins its dynamics fields even when they are all zero.
-std::string fingerprint(const std::string& name, const RunResult& r, bool dynamic) {
+// scenario pins its dynamics fields even when they are all zero. `faulty`
+// gates the unreliable-network extension lines the same way (fault
+// counters, robustness counters, abort taxonomy, liveness audit), so the
+// pre-fault corpus stays byte-identical with zero regeneration.
+std::string fingerprint(const std::string& name, const RunResult& r, bool dynamic,
+                        bool faulty = false) {
   std::string out = "scenario: " + name + "\n";
   const metrics::MetricsReport& m = r.report;
   append(out, "duration_days", m.duration.to_days());
@@ -99,6 +103,23 @@ std::string fingerprint(const std::string& name, const RunResult& r, bool dynami
       append(out, key, r.operator_interventions[a]);
     }
   }
+  if (faulty) {
+    append(out, "faults_lost", r.faults_lost);
+    append(out, "faults_burst_dropped", r.faults_burst_dropped);
+    append(out, "faults_duplicated", r.faults_duplicated);
+    append(out, "faults_jittered", r.faults_jittered);
+    append(out, "ack_timeouts", r.ack_timeouts);
+    append(out, "vote_timeouts", r.vote_timeouts);
+    append(out, "solicitation_retries", r.solicitation_retries);
+    for (size_t a = 0; a < r.polls_aborted.size(); ++a) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "polls_aborted[%zu]", a);
+      append(out, key, r.polls_aborted[a]);
+    }
+    append(out, "sessions_live_at_end", r.sessions_live_at_end);
+    append(out, "stale_sessions_at_end", r.stale_sessions_at_end);
+    append(out, "reservations_beyond_horizon", r.reservations_beyond_horizon);
+  }
   append(out, "trace_interval_days", r.trace.interval.to_days());
   append(out, "trace_points", static_cast<uint64_t>(r.trace.points.size()));
   for (size_t k = 0; k < r.trace.points.size(); ++k) {
@@ -120,6 +141,14 @@ std::string fingerprint(const std::string& name, const RunResult& r, bool dynami
                     " mean_recovery_days=%.17g\n",
                     prefix, p.online_fraction, p.departures, p.recoveries,
                     p.mean_recovery_days);
+      out += buf;
+    }
+    if (faulty) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s: faults=%" PRIu64 " ack_timeouts=%" PRIu64 " vote_timeouts=%" PRIu64
+                    " solicitation_retries=%" PRIu64 "\n",
+                    prefix, p.faults_injected, p.ack_timeouts, p.vote_timeouts,
+                    p.solicitation_retries);
       out += buf;
     }
   }
@@ -147,8 +176,9 @@ bool regen_requested() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-void check_golden(const std::string& name, const RunResult& result, bool dynamic = false) {
-  const std::string fixture = render_fixture(fingerprint(name, result, dynamic));
+void check_golden(const std::string& name, const RunResult& result, bool dynamic = false,
+                  bool faulty = false) {
+  const std::string fixture = render_fixture(fingerprint(name, result, dynamic, faulty));
   const std::string path = golden_dir() + name + ".golden";
   if (regen_requested()) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -252,6 +282,35 @@ TEST(GoldenTraceTest, RegionalOutage) {
   config.churn.regional_recovery_stagger_hours = 12.0;
   config.churn.regional_state_loss = true;
   check_golden("regional_outage", run_scenario(config), /*dynamic=*/true);
+}
+
+TEST(GoldenTraceTest, LossyLinks) {
+  // All four fault knobs over the otherwise-static canonical deployment:
+  // pins the fault model's per-sender lane streams, the burst placement
+  // hash, the duplicate clone path, and the robustness/abort/liveness
+  // accounting (docs/faults.md).
+  ScenarioConfig config = canonical_config();
+  config.faults.loss_rate = 0.10;
+  config.faults.dup_rate = 0.02;
+  config.faults.jitter = sim::SimTime::milliseconds(20);
+  config.faults.burst_outage_rate = 0.05;
+  config.faults.burst_cycle = sim::SimTime::days(2.0);
+  check_golden("lossy_links", run_scenario(config), /*dynamic=*/false, /*faulty=*/true);
+}
+
+TEST(GoldenTraceTest, LossyChurnDynamics) {
+  // Faults composed with session churn and arrivals: the delivery path now
+  // runs faults *after* the churn OfflineSetFilter veto, so this fixture
+  // pins the fault/veto ordering and the lane-draw stream under a changing
+  // population.
+  ScenarioConfig config = canonical_config();
+  config.faults.loss_rate = 0.15;
+  config.faults.jitter = sim::SimTime::milliseconds(10);
+  config.churn.leave_rate_per_peer_year = 1.5;
+  config.churn.crash_rate_per_peer_year = 0.7;
+  config.churn.mean_downtime_days = 8.0;
+  config.churn.arrival_rate_per_year = 3.0;
+  check_golden("lossy_churn_dynamics", run_scenario(config), /*dynamic=*/true, /*faulty=*/true);
 }
 
 TEST(GoldenTraceTest, LayeredBruteForce) {

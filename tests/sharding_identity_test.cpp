@@ -62,6 +62,22 @@ void expect_identical(const RunResult& serial, const RunResult& sharded,
   EXPECT_EQ(serial.availability_mean, sharded.availability_mean);
   EXPECT_EQ(serial.mean_recovery_days, sharded.mean_recovery_days);
   EXPECT_EQ(serial.operator_interventions, sharded.operator_interventions);
+  // Fault-layer counters: per-sender RNG lanes must make every loss, dup,
+  // and jitter decision shard-invariant (docs/faults.md).
+  EXPECT_EQ(serial.faults_lost, sharded.faults_lost);
+  EXPECT_EQ(serial.faults_burst_dropped, sharded.faults_burst_dropped);
+  EXPECT_EQ(serial.faults_duplicated, sharded.faults_duplicated);
+  EXPECT_EQ(serial.faults_jittered, sharded.faults_jittered);
+  EXPECT_EQ(serial.ack_timeouts, sharded.ack_timeouts);
+  EXPECT_EQ(serial.vote_timeouts, sharded.vote_timeouts);
+  EXPECT_EQ(serial.solicitation_retries, sharded.solicitation_retries);
+  for (size_t r = 0; r < serial.polls_aborted.size(); ++r) {
+    SCOPED_TRACE("abort reason " + std::to_string(r));
+    EXPECT_EQ(serial.polls_aborted[r], sharded.polls_aborted[r]);
+  }
+  EXPECT_EQ(serial.sessions_live_at_end, sharded.sessions_live_at_end);
+  EXPECT_EQ(serial.stale_sessions_at_end, sharded.stale_sessions_at_end);
+  EXPECT_EQ(serial.reservations_beyond_horizon, sharded.reservations_beyond_horizon);
 
   EXPECT_EQ(serial.trace.interval, sharded.trace.interval);
   ASSERT_EQ(serial.trace.points.size(), sharded.trace.points.size());
@@ -82,6 +98,10 @@ void expect_identical(const RunResult& serial, const RunResult& sharded,
     EXPECT_EQ(p.departures, q.departures);
     EXPECT_EQ(p.recoveries, q.recoveries);
     EXPECT_EQ(p.mean_recovery_days, q.mean_recovery_days);
+    EXPECT_EQ(p.faults_injected, q.faults_injected);
+    EXPECT_EQ(p.ack_timeouts, q.ack_timeouts);
+    EXPECT_EQ(p.vote_timeouts, q.vote_timeouts);
+    EXPECT_EQ(p.solicitation_retries, q.solicitation_retries);
   }
 }
 
@@ -144,6 +164,39 @@ TEST(ShardingIdentityTest, Newcomers) {
   config.newcomer_count = 3;
   config.newcomer_join_window = sim::SimTime::days(200);
   check_shard_counts(config, "churn", {2});
+}
+
+TEST(ShardingIdentityTest, UnreliableLinks) {
+  // All four fault knobs at once, the full shard ladder. This is the test
+  // the per-sender-lane design exists to pass: the old mutable-Rng
+  // LossLinkFilter rolled its dice in whichever context the send or
+  // delivery event landed, so its outcomes changed with the shard count.
+  ScenarioConfig config = canonical_config();
+  config.faults.loss_rate = 0.10;
+  config.faults.dup_rate = 0.02;
+  config.faults.jitter = sim::SimTime::milliseconds(20);
+  config.faults.burst_outage_rate = 0.05;
+  config.faults.burst_cycle = sim::SimTime::days(2.0);
+  check_shard_counts(config, "unreliable_links", {2, 4, 8});
+}
+
+TEST(ShardingIdentityTest, UnreliableLinksUnderChurnAndAttack) {
+  // Faults composed with the other delivery-path inhabitants: the churn
+  // OfflineSetFilter and a pipe-stoppage adversary's veto filter. Faults
+  // are decided after the vetoes, so the lane-draw sequence depends on
+  // which messages survive — that order must itself be shard-invariant.
+  ScenarioConfig config = canonical_config();
+  config.faults.loss_rate = 0.15;
+  config.faults.jitter = sim::SimTime::milliseconds(10);
+  config.churn.leave_rate_per_peer_year = 1.0;
+  config.churn.crash_rate_per_peer_year = 0.5;
+  config.churn.mean_downtime_days = 6.0;
+  config.churn.arrival_rate_per_year = 2.0;
+  config.adversary.kind = AdversarySpec::Kind::kPipeStoppage;
+  config.adversary.cadence.attack_duration = sim::SimTime::days(25);
+  config.adversary.cadence.recuperation = sim::SimTime::days(20);
+  config.adversary.cadence.coverage = 0.4;
+  check_shard_counts(config, "faults_churn_attack", {2, 8});
 }
 
 TEST(ShardingIdentityTest, ChurnDynamics) {

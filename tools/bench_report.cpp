@@ -76,7 +76,15 @@ bool identical(const experiment::RunResult& a, const experiment::RunResult& b) {
          a.churn_recoveries == b.churn_recoveries && a.churn_arrivals == b.churn_arrivals &&
          a.availability_mean == b.availability_mean &&
          a.mean_recovery_days == b.mean_recovery_days &&
-         a.operator_interventions == b.operator_interventions;
+         a.operator_interventions == b.operator_interventions &&
+         a.faults_lost == b.faults_lost && a.faults_burst_dropped == b.faults_burst_dropped &&
+         a.faults_duplicated == b.faults_duplicated && a.faults_jittered == b.faults_jittered &&
+         a.ack_timeouts == b.ack_timeouts && a.vote_timeouts == b.vote_timeouts &&
+         a.solicitation_retries == b.solicitation_retries &&
+         a.polls_aborted == b.polls_aborted &&
+         a.sessions_live_at_end == b.sessions_live_at_end &&
+         a.stale_sessions_at_end == b.stale_sessions_at_end &&
+         a.reservations_beyond_horizon == b.reservations_beyond_horizon;
 }
 
 // The large_deployment row's identity check: identical() minus
@@ -225,6 +233,65 @@ SweepReport time_churn_sweep(const std::string& name, const experiment::BenchPro
     }
   }
   return time_grid(name, grid, labels, workers);
+}
+
+// Unreliable-network throughput (docs/faults.md): loss-rate ladder over the
+// base deployment (duplication and jitter riding along), so future perf PRs
+// track what the fault layer costs per event. The row also bounds the
+// delivery-path overhead of the fault *hook* at loss = 0: one ideal run
+// against one with an inert model installed (install_when_inert) — the
+// inert model draws from its own domain-separated RNG stream, so the two
+// runs must produce bit-identical metrics, and their wall-clock ratio is
+// the pure cost of having the hook on the path.
+SweepReport time_faults_sweep(const std::string& name, const experiment::BenchProfile& profile,
+                              const experiment::ScenarioConfig& base, unsigned workers) {
+  const std::vector<double> loss_rates = {0.05, 0.2, 0.4};
+
+  std::vector<experiment::ScenarioConfig> grid;
+  std::vector<std::string> labels;
+  for (uint32_t s = 0; s < profile.seeds; ++s) {  // ideal-network replicas
+    experiment::ScenarioConfig config = base;
+    config.seed = base.seed + s;
+    grid.push_back(config);
+    labels.push_back(name + "/ideal_s" + std::to_string(s));
+  }
+  for (double loss : loss_rates) {
+    experiment::ScenarioConfig config = base;
+    config.faults.loss_rate = loss;
+    config.faults.dup_rate = 0.01;
+    config.faults.jitter = sim::SimTime::milliseconds(20);
+    for (uint32_t s = 0; s < profile.seeds; ++s) {
+      config.seed = base.seed + s;
+      grid.push_back(config);
+      char label[96];
+      std::snprintf(label, sizeof(label), "%s/p%.2f_s%u", name.c_str(), loss, s);
+      labels.push_back(label);
+    }
+  }
+  SweepReport out = time_grid(name, grid, labels, workers);
+
+  // Hook-overhead bound at loss = 0.
+  experiment::ScenarioConfig ideal = base;
+  ideal.trace_interval = sim::SimTime::zero();
+  double start = now_seconds();
+  const experiment::RunResult ideal_result = experiment::run_scenario(ideal);
+  const double ideal_seconds = now_seconds() - start;
+  experiment::ScenarioConfig inert = ideal;
+  inert.faults.install_when_inert = true;
+  start = now_seconds();
+  const experiment::RunResult inert_result = experiment::run_scenario(inert);
+  const double inert_seconds = now_seconds() - start;
+  out.identical_metrics = out.identical_metrics && identical(ideal_result, inert_result);
+  char extra[160];
+  std::snprintf(extra, sizeof(extra),
+                ",\n     \"ideal_seconds\": %.3f, \"inert_seconds\": %.3f, "
+                "\"hook_overhead\": %.3f",
+                ideal_seconds, inert_seconds, inert_seconds / ideal_seconds);
+  out.extra_json = extra;
+  std::printf("# network_faults: inert-hook overhead %.3fs / %.3fs = %.2fx, identical=%s\n",
+              inert_seconds, ideal_seconds, inert_seconds / ideal_seconds,
+              identical(ideal_result, inert_result) ? "yes" : "NO");
+  return out;
 }
 
 // --- Substrate micros (PR 3) -------------------------------------------------
@@ -381,6 +448,7 @@ int main(int argc, char** argv) {
                               experiment::AdversarySpec::Kind::kAdmissionFlood, profile, base,
                               workers));
   sweeps.push_back(time_churn_sweep("churn_dynamics", profile, base, workers));
+  sweeps.push_back(time_faults_sweep("network_faults", profile, base, workers));
 
   // Opt-in large-deployment row: one deployment at (or scaled toward) the
   // 10k-peer x 100-AU x 1-year sharding target, serial then sharded, with
