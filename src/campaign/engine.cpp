@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -15,6 +16,8 @@
 #include "experiment/aggregate.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/table.hpp"
+#include "obs/export.hpp"
+#include "obs/profile.hpp"
 
 namespace lockss::campaign {
 namespace {
@@ -194,6 +197,15 @@ void append_fault_metrics(JsonWriter& w, const experiment::RunResult& r) {
   w.key("faults_burst_dropped").value(r.faults_burst_dropped);
   w.key("faults_duplicated").value(r.faults_duplicated);
   w.key("faults_jittered").value(r.faults_jittered);
+}
+
+// Protocol robustness and session-liveness audit keys, for EVERY spec:
+// polls abort and acks time out on ideal networks too (refusals, busy
+// schedules), and the liveness audit is exactly the counter that must stay
+// zero when nothing is faulty — hiding it from clean campaigns would hide
+// a leak. These used to ride inside the fault block; the golden fixtures
+// were regenerated when they became unconditional.
+void append_robustness_metrics(JsonWriter& w, const experiment::RunResult& r) {
   w.key("ack_timeouts").value(r.ack_timeouts);
   w.key("vote_timeouts").value(r.vote_timeouts);
   w.key("solicitation_retries").value(r.solicitation_retries);
@@ -202,7 +214,9 @@ void append_fault_metrics(JsonWriter& w, const experiment::RunResult& r) {
     w.value(n);
   }
   w.end_array();
+  w.key("sessions_live_at_end").value(r.sessions_live_at_end);
   w.key("stale_sessions_at_end").value(r.stale_sessions_at_end);
+  w.key("reservations_beyond_horizon").value(r.reservations_beyond_horizon);
 }
 
 void append_metrics(JsonWriter& w, const experiment::RunResult& r) {
@@ -224,6 +238,32 @@ void append_metrics(JsonWriter& w, const experiment::RunResult& r) {
   w.key("adversary_invitations").value(r.adversary_invitations);
   w.key("adversary_admissions").value(r.adversary_admissions);
   w.key("events_processed").value(r.events_processed);
+}
+
+// Per-unit trace artifact name (next to the manifest): campaign name,
+// unit label, .trace.bin. Written by on_complete before the journal
+// append, so a resumed unit's file is already on disk.
+std::string trace_file_name(const Spec& spec, const std::string& label) {
+  return spec.name + "." + label + ".trace.bin";
+}
+
+// Per-unit trailer shared by the baseline and the cells: unconditional
+// robustness keys, then the opt-in observability keys (trace file name is
+// a pure function of the spec; wall_ms/peak_rss_kb deliberately are not —
+// see the purity caveat in engine.hpp).
+void append_unit_extras(JsonWriter& w, const Spec& spec, const experiment::RunResult& r,
+                        const std::string& label) {
+  append_robustness_metrics(w, r);
+  if (spec_has_trace(spec)) {
+    // Only the file name — event counts live in the artifact itself, and a
+    // journal-resumed unit (whose in-memory trace is empty; traces are
+    // never journaled) must render the same manifest as a fresh run.
+    w.key("trace_file").value(trace_file_name(spec, label));
+  }
+  if (spec.obs_profile) {
+    w.key("wall_ms").value(r.profile.total_ms);
+    w.key("peak_rss_kb").value(r.profile.peak_rss_kb);
+  }
 }
 
 // Failed units render their status instead of metrics, so a manifest is
@@ -252,9 +292,11 @@ std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOut
   }
   const bool faulty = spec_has_faults(spec);
   if (faulty) {
-    out += ",faults_lost,faults_burst_dropped,faults_duplicated,faults_jittered,"
-           "ack_timeouts,vote_timeouts,solicitation_retries";
+    out += ",faults_lost,faults_burst_dropped,faults_duplicated,faults_jittered";
   }
+  // Robustness columns for every spec (the manifest's
+  // append_robustness_metrics rationale).
+  out += ",ack_timeouts,vote_timeouts,solicitation_retries,stale_sessions_at_end";
   if (spec.baseline) {
     out += ",delay_ratio,friction";
   }
@@ -294,16 +336,19 @@ std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOut
       out += buf;
     }
     if (faulty) {
-      std::snprintf(buf, sizeof(buf), ",%llu,%llu,%llu,%llu,%llu,%llu,%llu",
+      std::snprintf(buf, sizeof(buf), ",%llu,%llu,%llu,%llu",
                     static_cast<unsigned long long>(r.faults_lost),
                     static_cast<unsigned long long>(r.faults_burst_dropped),
                     static_cast<unsigned long long>(r.faults_duplicated),
-                    static_cast<unsigned long long>(r.faults_jittered),
-                    static_cast<unsigned long long>(r.ack_timeouts),
-                    static_cast<unsigned long long>(r.vote_timeouts),
-                    static_cast<unsigned long long>(r.solicitation_retries));
+                    static_cast<unsigned long long>(r.faults_jittered));
       out += buf;
     }
+    std::snprintf(buf, sizeof(buf), ",%llu,%llu,%llu,%llu",
+                  static_cast<unsigned long long>(r.ack_timeouts),
+                  static_cast<unsigned long long>(r.vote_timeouts),
+                  static_cast<unsigned long long>(r.solicitation_retries),
+                  static_cast<unsigned long long>(r.stale_sessions_at_end));
+    out += buf;
     if (spec.baseline) {
       const experiment::RelativeMetrics rel =
           experiment::relative_metrics(r, outcome.baseline);
@@ -335,7 +380,27 @@ experiment::RunResult execute_unit(const experiment::ScenarioConfig& config, con
       parts.push_back(experiment::run_scenario(c));
     }
   }
-  return experiment::combine_results(parts);
+  experiment::RunResult combined = experiment::combine_results(parts);
+  // combine_results builds a fresh RunResult and deliberately ignores the
+  // observability fields. A trace is only well-defined for a single run
+  // (parse_spec rejects tracing with seeds > 1 or layers); the profile
+  // sums across parts since unit wall time is what the manifest reports.
+  if (parts.size() == 1) {
+    combined.obs_events = std::move(parts[0].obs_events);
+  }
+  for (const experiment::RunResult& part : parts) {
+    if (!part.profile.enabled) {
+      continue;
+    }
+    combined.profile.enabled = true;
+    combined.profile.setup_ms += part.profile.setup_ms;
+    combined.profile.run_ms += part.profile.run_ms;
+    combined.profile.harvest_ms += part.profile.harvest_ms;
+    combined.profile.total_ms += part.profile.total_ms;
+    combined.profile.peak_rss_kb = std::max(combined.profile.peak_rss_kb,
+                                            part.profile.peak_rss_kb);
+  }
+  return combined;
 }
 
 // One schedulable unit: the baseline or one compiled cell.
@@ -453,6 +518,7 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
       if (spec_has_faults(spec)) {
         append_fault_metrics(w, outcome.baseline);
       }
+      append_unit_extras(w, spec, outcome.baseline, "baseline");
     } else {
       append_failure(w, outcome.baseline_status);
     }
@@ -479,6 +545,7 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
       if (spec_has_faults(spec)) {
         append_fault_metrics(w, outcome.cells[k]);
       }
+      append_unit_extras(w, spec, outcome.cells[k], cell.label);
       if (spec.baseline && baseline_ok) {
         const experiment::RelativeMetrics rel =
             experiment::relative_metrics(outcome.cells[k], outcome.baseline);
@@ -493,6 +560,13 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
     w.end_object();
   }
   w.end_array();
+  if (spec.obs_profile) {
+    // Campaign-level wall-clock summary; see the purity caveat up top.
+    w.key("profile").begin_object();
+    w.key("workers").value(static_cast<uint64_t>(outcome.workers_used));
+    w.key("total_wall_ms").value(outcome.total_wall_ms);
+    w.end_object();
+  }
   w.end_object();
   std::string out = w.take();
   out += "\n";
@@ -501,6 +575,7 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
 
 bool run_campaign(const CompiledCampaign& campaign, const RunOptions& options,
                   CampaignOutcome* outcome, std::string* error) {
+  const obs::Stopwatch campaign_watch;
   const Spec& spec = campaign.spec;
   if (options.write_outputs && !options.out_dir.empty() && options.out_dir != ".") {
     std::error_code ec;
@@ -599,16 +674,48 @@ bool run_campaign(const CompiledCampaign& campaign, const RunOptions& options,
     any_observer = any_observer || cell.config.poll_observer != nullptr;
   }
   experiment::ParallelRunner runner(any_observer ? 1u : 0u);
+  outcome->workers_used = runner.workers();
 
-  std::string journal_error;  // first journal failure (ends journaling)
+  RunOptions::Progress progress;
+  progress.units_done = outcome->units_resumed;
+  progress.units_total = units.size();
+  if (options.progress) {
+    options.progress(progress);
+  }
+
+  const bool tracing = spec_has_trace(spec) && options.write_outputs;
+  std::string journal_error;  // first journal/artifact failure (ends journaling)
   bool journal_dead = !journaling;
   const auto on_complete = [&](size_t index, const experiment::JobOutcome& job) {
     // Serialized by run_protected's mutex. Journal order is completion
     // order — records are self-identifying, so replay never depends on it.
+    const Unit& unit = units[pending[index]];
+    if (options.progress) {
+      ++progress.units_done;
+      if (!job.ok) {
+        ++progress.units_failed;
+      }
+      progress.extra_attempts += job.attempts > 0 ? job.attempts - 1 : 0;
+      options.progress(progress);
+    }
     if (journal_dead) {
       return;
     }
-    const Unit& unit = units[pending[index]];
+    // Trace artifact BEFORE the journal append: if the write dies here the
+    // unit is never journaled and a --resume recomputes it (the in-memory
+    // trace is not journaled, so this is the only chance to persist it).
+    if (tracing && job.ok) {
+      const std::string trace_path =
+          join_path(options.out_dir, trace_file_name(spec, unit.label));
+      std::string bytes;
+      obs::serialize_trace(job.result.obs_events, &bytes);
+      std::string trace_error;
+      if (!write_file_atomic(trace_path, bytes, faults, &trace_error)) {
+        journal_error = trace_error;
+        journal_dead = true;
+        return;
+      }
+    }
     const uint64_t ordinal = journal.appends();
     if (faults.should_fail_journal_append(ordinal)) {
       journal_error = outcome->journal_path + ": injected journal I/O error (append " +
@@ -714,8 +821,24 @@ bool run_campaign(const CompiledCampaign& campaign, const RunOptions& options,
   }
 
   if (!options.write_outputs) {
+    outcome->total_wall_ms = campaign_watch.elapsed_ms();
     return true;
   }
+  // List trace artifacts in deterministic unit order (they were written in
+  // completion order by on_complete; resumed units' files predate this run).
+  if (tracing) {
+    if (spec.baseline && outcome->baseline_status.ok) {
+      outcome->files_written.push_back(
+          join_path(options.out_dir, trace_file_name(spec, "baseline")));
+    }
+    for (size_t k = 0; k < campaign.cells.size(); ++k) {
+      if (outcome->cell_status[k].ok) {
+        outcome->files_written.push_back(
+            join_path(options.out_dir, trace_file_name(spec, campaign.cells[k].label)));
+      }
+    }
+  }
+  outcome->total_wall_ms = campaign_watch.elapsed_ms();
   const std::string manifest_path = join_path(options.out_dir, spec.manifest_name);
   if (!write_file_atomic(manifest_path, render_manifest(campaign, *outcome), faults, error)) {
     return false;

@@ -24,7 +24,11 @@
 // units from the journal bit-exactly, so kill + --resume at any journal
 // offset and any worker count reproduces the uninterrupted artifacts
 // byte for byte (tests/campaign_resilience_test.cpp proves it under the
-// fault-injection plans of campaign/fault.hpp).
+// fault-injection plans of campaign/fault.hpp). The one deliberate
+// exception: a spec with `observability.profile: true` opts into wall_ms /
+// peak_rss_kb / worker-count keys in its manifest — those are measurements
+// of the machine, not of the experiment, and such manifests are never
+// golden-pinned or resume-compared (docs/observability.md).
 //
 // Failure isolation: a unit that throws is retried (deterministic rounds,
 // see run_protected), then recorded as failed — in the journal, the
@@ -32,6 +36,7 @@
 #ifndef LOCKSS_CAMPAIGN_ENGINE_HPP_
 #define LOCKSS_CAMPAIGN_ENGINE_HPP_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,6 +64,18 @@ struct RunOptions {
   uint32_t retries = 0;
   // Deterministic fault injection (campaign/fault.hpp); default disabled.
   FaultPlan faults;
+  // Live progress (lockss_campaign --progress): fired once before execution
+  // (done = units replayed from the journal) and once per unit as it
+  // reaches its final state, serialized under the runner's completion
+  // mutex. Completion order is wall-clock-dependent — reporting only, never
+  // an input to anything written to disk.
+  struct Progress {
+    size_t units_done = 0;    // includes journal-resumed units
+    size_t units_total = 0;
+    size_t units_failed = 0;  // exhausted their retry budget so far
+    uint32_t extra_attempts = 0;  // retry attempts beyond each unit's first
+  };
+  std::function<void(const Progress&)> progress;
 };
 
 // Final state of one unit of work (the baseline or one cell).
@@ -79,6 +96,10 @@ struct CampaignOutcome {
   size_t units_failed = 0;   // exhausted their retry budget
   std::vector<std::string> files_written;
   std::string journal_path;  // empty when journaling was off
+  // Wall-clock accounting (reporting only; reaches the manifest only when
+  // the spec sets observability.profile).
+  double total_wall_ms = 0.0;
+  unsigned workers_used = 0;
 
   bool all_ok() const { return units_failed == 0; }
 };

@@ -137,6 +137,10 @@ void serialize_run_result(const experiment::RunResult& result, std::string* out)
     put_u64(out, p.departures);
     put_u64(out, p.recoveries);
     put_double(out, p.mean_recovery_days);
+    put_u64(out, p.faults_injected);
+    put_u64(out, p.ack_timeouts);
+    put_u64(out, p.vote_timeouts);
+    put_u64(out, p.solicitation_retries);
   }
 
   put_u64(out, result.polls_started);
@@ -158,8 +162,26 @@ void serialize_run_result(const experiment::RunResult& result, std::string* out)
   for (uint64_t v : result.operator_interventions) {
     put_u64(out, v);
   }
+  put_u64(out, result.faults_lost);
+  put_u64(out, result.faults_burst_dropped);
+  put_u64(out, result.faults_duplicated);
+  put_u64(out, result.faults_jittered);
+  put_u64(out, result.ack_timeouts);
+  put_u64(out, result.vote_timeouts);
+  put_u64(out, result.solicitation_retries);
+  for (uint64_t v : result.polls_aborted) {
+    put_u64(out, v);
+  }
+  put_u64(out, result.sessions_live_at_end);
+  put_u64(out, result.stale_sessions_at_end);
+  put_u64(out, result.reservations_beyond_horizon);
   // result.schedules is deliberately not serialized: campaign units never
   // collect schedule history (it is a layering-internal transfer buffer).
+  // result.obs_events and result.profile are deliberately not serialized
+  // either: traces live in their own .trace.bin artifacts (written before
+  // the journal append, so a resumed unit's artifact already exists), and
+  // the wall-clock profile is non-deterministic by nature — journaling it
+  // would make resumed manifests disagree with fresh ones.
 }
 
 bool deserialize_run_result(const std::string& bytes, size_t* cursor,
@@ -206,7 +228,11 @@ bool deserialize_run_result(const std::string& bytes, size_t* cursor,
          get_double(bytes, cursor, &p.adversary_effort_seconds) &&
          get_double(bytes, cursor, &p.online_fraction) &&
          get_u64(bytes, cursor, &p.departures) && get_u64(bytes, cursor, &p.recoveries) &&
-         get_double(bytes, cursor, &p.mean_recovery_days);
+         get_double(bytes, cursor, &p.mean_recovery_days) &&
+         get_u64(bytes, cursor, &p.faults_injected) &&
+         get_u64(bytes, cursor, &p.ack_timeouts) &&
+         get_u64(bytes, cursor, &p.vote_timeouts) &&
+         get_u64(bytes, cursor, &p.solicitation_retries);
     if (!ok) {
       return false;
     }
@@ -241,7 +267,24 @@ bool deserialize_run_result(const std::string& bytes, size_t* cursor,
       return false;
     }
   }
-  return true;
+  ok = get_u64(bytes, cursor, &out->faults_lost) &&
+       get_u64(bytes, cursor, &out->faults_burst_dropped) &&
+       get_u64(bytes, cursor, &out->faults_duplicated) &&
+       get_u64(bytes, cursor, &out->faults_jittered) &&
+       get_u64(bytes, cursor, &out->ack_timeouts) &&
+       get_u64(bytes, cursor, &out->vote_timeouts) &&
+       get_u64(bytes, cursor, &out->solicitation_retries);
+  if (!ok) {
+    return false;
+  }
+  for (uint64_t& v : out->polls_aborted) {
+    if (!get_u64(bytes, cursor, &v)) {
+      return false;
+    }
+  }
+  return get_u64(bytes, cursor, &out->sessions_live_at_end) &&
+         get_u64(bytes, cursor, &out->stale_sessions_at_end) &&
+         get_u64(bytes, cursor, &out->reservations_beyond_horizon);
 }
 
 bool read_journal(const std::string& path, JournalContents* out, std::string* error) {

@@ -43,7 +43,12 @@
 namespace lockss::campaign {
 
 inline constexpr uint32_t kJournalMagic = 0x314A4B4Cu;  // "LKJ1"
-inline constexpr uint32_t kJournalVersion = 1;
+// v2 added the fault-layer, protocol-robustness, and liveness-audit
+// counters (plus the per-point fault fields of the trace series) to the
+// RunResult blob when the manifest began rendering them for every spec. A
+// version bump invalidates pre-v2 journals wholesale — their records would
+// silently resume with zeroed counters — so --resume recomputes instead.
+inline constexpr uint32_t kJournalVersion = 2;
 
 struct JournalRecord {
   uint64_t unit_hash = 0;

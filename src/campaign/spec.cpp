@@ -552,6 +552,8 @@ bool spec_has_faults(const Spec& spec) {
   return false;
 }
 
+bool spec_has_trace(const Spec& spec) { return spec.obs_trace.enabled; }
+
 bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
                 std::string* error) {
   *out = Spec{};
@@ -780,6 +782,67 @@ bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
     out->faults.burst_cycle = sim::SimTime::days(burst_cycle_days);
   }
 
+  // observability: protocol event tracing + self-profiling
+  // (docs/observability.md)
+  if (const Json* observability = reader.member("observability")) {
+    ObjectReader o(*observability, source_path, "observability", error);
+    uint64_t ring_capacity = 0;
+    if (!o.expect_object() || !o.boolean("trace", &out->obs_trace.enabled) ||
+        !o.number("sample_rate", &out->obs_trace.sample_rate) ||
+        !o.unsigned_int64("ring_capacity", &ring_capacity) ||
+        !o.boolean("profile", &out->obs_profile)) {
+      return false;
+    }
+    if (out->obs_trace.sample_rate < 0.0 || out->obs_trace.sample_rate > 1.0) {
+      return o.fail(observability->line, "sample_rate", "must be within [0, 1]");
+    }
+    out->obs_trace.ring_capacity = static_cast<size_t>(ring_capacity);
+    if (const Json* kinds = o.member("kinds")) {
+      if (!kinds->is_array()) {
+        return o.fail(kinds->line, "kinds",
+                      "expected an array of event-group names "
+                      "(poll | voter | churn | operator | fault)");
+      }
+      uint32_t mask = 0;
+      for (const Json& item : kinds->array_items) {
+        if (!item.is_string()) {
+          return o.fail(item.line, "kinds", "expected strings");
+        }
+        if (item.string_value == "poll") {
+          mask |= obs::kMaskPoll;
+        } else if (item.string_value == "voter") {
+          mask |= obs::kMaskVoter;
+        } else if (item.string_value == "churn") {
+          mask |= obs::kMaskChurn;
+        } else if (item.string_value == "operator") {
+          mask |= obs::kMaskOperator;
+        } else if (item.string_value == "fault") {
+          mask |= obs::kMaskFault;
+        } else {
+          return o.fail(item.line, "kinds",
+                        "unknown event group '" + item.string_value +
+                            "' (expected poll | voter | churn | operator | fault)");
+        }
+      }
+      out->obs_trace.kind_mask = mask;
+    }
+    if (!o.finish()) {
+      return false;
+    }
+    // Trace artifacts are one-file-per-unit snapshots of a single run; a
+    // seed-replicated or layered unit aggregates several runs and has no
+    // single trace to write.
+    if (out->obs_trace.enabled && out->seeds > 1) {
+      return o.fail(observability->line, "trace",
+                    "tracing requires deployment.seeds == 1 (one trace file per unit)");
+    }
+    if (out->obs_trace.enabled && out->layers > 0) {
+      return o.fail(observability->line, "trace",
+                    "tracing is not supported with deployment.layers (layered units "
+                    "aggregate several runs)");
+    }
+  }
+
   // protocol overrides
   if (const Json* protocol = reader.member("protocol")) {
     ObjectReader p(*protocol, source_path, "protocol", error);
@@ -988,6 +1051,8 @@ bool compile_campaign(const Spec& spec, CompiledCampaign* out, std::string* erro
   base.operators = spec.operators;
   base.network = spec.network;
   base.faults = spec.faults;
+  base.obs_trace = spec.obs_trace;
+  base.obs_profile = spec.obs_profile;
   for (const auto& [name, value] : spec.protocol_overrides) {
     // parse_spec vets override names, but a hand-built Spec may not have
     // gone through it; diagnose instead of dereferencing null.

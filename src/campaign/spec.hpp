@@ -102,6 +102,13 @@ struct Spec {
   net::FaultConfig faults;
   bool faults_section = false;
 
+  // Observability (`observability` section; docs/observability.md):
+  // protocol event tracing (per-unit trace artifacts) and wall-clock
+  // self-profiling (wall_ms/peak_rss_kb keys in the manifest). Defaults =
+  // both off = byte-identical manifests and goldens.
+  obs::TraceConfig obs_trace;
+  bool obs_profile = false;
+
   // The adversary pipeline (empty = undisturbed deployment).
   adversary::AdversaryPipeline pipeline;
 
@@ -157,6 +164,10 @@ bool spec_is_dynamic(const Spec& spec);
 // base `network_faults` section, or any fault sweep axis. Gates the fault
 // keys/columns in the manifest and cells CSV.
 bool spec_has_faults(const Spec& spec);
+
+// Whether the campaign records protocol event traces (per-unit .trace.bin
+// artifacts next to the manifest). Gates the trace keys in the manifest.
+bool spec_has_trace(const Spec& spec);
 
 }  // namespace lockss::campaign
 

@@ -90,6 +90,9 @@ void OperatorResponseEngine::apply(const OperatorPolicy& policy, net::NodeId pee
       break;
   }
   ++interventions_[static_cast<size_t>(policy.action)];
+  if (action_hook_) {
+    action_hook_(policy.action, peer_id);
+  }
 }
 
 uint64_t OperatorResponseEngine::interventions_total() const {

@@ -63,6 +63,13 @@ class OperatorResponseEngine {
   // ChurnModel recovery hook entry point.
   void on_peer_recovered(peer::Peer& peer);
 
+  // Optional observer invoked after every applied intervention (the
+  // scenario's trace hook, docs/observability.md). Interventions run on the
+  // global context, so the hook may record into the global event sink.
+  void set_action_hook(std::function<void(OperatorAction, net::NodeId)> hook) {
+    action_hook_ = std::move(hook);
+  }
+
   // Sharded-run entry point (docs/sharding.md): an alarm raised on a shard
   // at `observed_at`, reported at the next shard barrier. The intervention
   // still lands at observed_at + detection_latency — the same instant the
@@ -89,6 +96,7 @@ class OperatorResponseEngine {
   sim::Rng rng_;
   std::map<net::NodeId, peer::Peer*> peers_;
   std::vector<net::NodeId> roster_;
+  std::function<void(OperatorAction, net::NodeId)> action_hook_;
   uint64_t triggers_seen_ = 0;
   std::array<uint64_t, kOperatorActionCount> interventions_{};
 };

@@ -152,6 +152,13 @@ namespace {
 // sequence — is identical either way, which is what makes the sharded
 // result bit-identical to the serial one (tests/sharding_identity_test).
 RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
+  // Wall-clock self-profiling (docs/observability.md). Reads of the host
+  // clock never touch simulation state, so profiling cannot perturb the
+  // deterministic result; the numbers are reporting only.
+  const obs::Stopwatch total_watch;
+  obs::Stopwatch phase_watch;
+  obs::RunProfile profile;
+
   sim::Simulator serial_sim;
   sim::Rng root(config.seed);
   // Deployment dynamics draw first: one root split per enabled stream
@@ -206,6 +213,29 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
     fault_model = std::make_unique<net::FaultModel>(
         config.faults, sim::Rng(sim::splitmix64_mix(config.seed ^ kFaultStreamTag)), owned_ids);
     network.set_fault_model(fault_model.get());
+  }
+  // Protocol event tracing (docs/observability.md). The log takes no RNG
+  // split and sampling is a pure hash, so enabling it shifts no stream; a
+  // disabled config constructs nothing and every hook site stays a null
+  // check. Sharded runs get one sink per shard plus the global sink (last),
+  // drained at every barrier; serial runs record into a single sink. The
+  // dense owned-id range (peers + newcomers + arrivals) bounds the
+  // peer-domain ids for fault-event tagging.
+  std::unique_ptr<obs::EventLog> event_log;
+  obs::EventSink* global_events = nullptr;
+  if (config.obs_trace.enabled) {
+    const size_t sink_count = rt != nullptr ? static_cast<size_t>(shards) + 1 : 1;
+    event_log = std::make_unique<obs::EventLog>(config.obs_trace, sink_count, owned_ids);
+    global_events = event_log->global_sink();
+    if (rt != nullptr) {
+      rt->bus.set_event_log(event_log.get());
+      rt->engine.add_barrier_hook([log = event_log.get()] { log->drain(); });
+    } else {
+      network.set_event_sink(event_log->sink(0));
+    }
+  }
+  if (config.obs_profile && rt != nullptr) {
+    rt->engine.set_profile(&profile.engine);
   }
   metrics::MetricsCollector collector;
   if (rt != nullptr) {
@@ -301,6 +331,9 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
   env.damage = config.damage;
   env.enable_damage = config.enable_damage;
   env.retain_schedule_history = config.collect_schedule_history;
+  // Serial runs share the one sink; sharded runs assign per-shard sinks in
+  // env_for below.
+  env.events = (event_log != nullptr && rt == nullptr) ? event_log->sink(0) : nullptr;
   // Sharded runs report alarms through the per-shard barrier buffers
   // instead of the inline observer chain (config.poll_observer is empty
   // there — sharding_supported() falls back to serial otherwise).
@@ -317,6 +350,9 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
       const uint32_t shard = rt->engine.context_of(raw_id);
       e.simulator = &rt->engine.shard_sim(shard);
       e.metrics = &rt->shard_collectors[shard];
+      if (event_log != nullptr) {
+        e.events = event_log->sink(shard);
+      }
       if (operators_engine != nullptr) {
         std::vector<AlarmObservation>* alarms = &rt->alarms[shard];
         sim::Simulator* clock = e.simulator;
@@ -536,7 +572,53 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
       churn_model->set_recovery_hook(
           [engine = operators_engine.get()](peer::Peer& p) { engine->on_peer_recovered(p); });
     }
+    if (global_events != nullptr) {
+      // Churn transitions execute on the global context (shards quiesced),
+      // so they record into the global sink with the domain-0 tag — the
+      // canonical order then sorts them ahead of peer streams at exact
+      // ties, matching the engine's global-first execution rule. Leave/
+      // crash/recover carry established indices, which equal NodeIds;
+      // arrival ordinals offset past the newcomer block.
+      const uint32_t arrival_base = config.peer_count + config.newcomer_count;
+      churn_model->set_transition_hook([global_events,
+                                        arrival_base](const dynamics::ChurnEvent& ev) {
+        obs::Event e;
+        e.time_ns = ev.at.ns();
+        switch (ev.kind) {
+          case dynamics::ChurnEventKind::kArrival:
+            e.kind = obs::EventKind::kChurnArrival;
+            break;
+          case dynamics::ChurnEventKind::kLeave:
+            e.kind = obs::EventKind::kChurnLeave;
+            break;
+          case dynamics::ChurnEventKind::kCrash:
+            e.kind = obs::EventKind::kChurnCrash;
+            break;
+          case dynamics::ChurnEventKind::kRecover:
+            e.kind = obs::EventKind::kChurnRecover;
+            e.arg = ev.state_loss ? 1 : 0;
+            break;
+        }
+        e.origin = ev.kind == dynamics::ChurnEventKind::kArrival ? arrival_base + ev.peer
+                                                                 : ev.peer;
+        e.domain = 0;
+        global_events->record(e);
+      });
+    }
     churn_model->start();
+  }
+  if (global_events != nullptr && operators_engine != nullptr) {
+    // Operator interventions likewise run on the global context.
+    operators_engine->set_action_hook(
+        [global_events, clock = &simulator](dynamics::OperatorAction action, net::NodeId peer) {
+          obs::Event e;
+          e.time_ns = clock->now().ns();
+          e.arg = static_cast<uint64_t>(action);
+          e.origin = static_cast<uint32_t>(peer.value);
+          e.kind = obs::EventKind::kOperatorAction;
+          e.domain = 0;
+          global_events->record(e);
+        });
   }
 
   // --- Trace sampling ----------------------------------------------------------
@@ -616,11 +698,15 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
   }
 
   // --- Run ---------------------------------------------------------------------
+  profile.setup_ms = phase_watch.elapsed_ms();
+  phase_watch.reset();
   if (rt != nullptr) {
     rt->engine.run_until(config.duration);
   } else {
     simulator.run_until(config.duration);
   }
+  profile.run_ms = phase_watch.elapsed_ms();
+  phase_watch.reset();
 
   // --- Harvest -------------------------------------------------------------------
   RunResult result;
@@ -699,6 +785,16 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
     for (auto& p : peers) {
       result.schedules.push_back(p->schedule().intervals_after(sim::SimTime::zero()));
     }
+  }
+  if (event_log != nullptr) {
+    result.obs_events = event_log->finalize();
+  }
+  if (config.obs_profile) {
+    profile.enabled = true;
+    profile.harvest_ms = phase_watch.elapsed_ms();
+    profile.total_ms = total_watch.elapsed_ms();
+    profile.peak_rss_kb = obs::vm_hwm_kb();
+    result.profile = profile;
   }
   return result;
 }

@@ -29,6 +29,8 @@
 #include "metrics/trace.hpp"
 #include "net/fault_model.hpp"
 #include "net/network.hpp"
+#include "obs/event_log.hpp"
+#include "obs/profile.hpp"
 #include "protocol/host.hpp"
 #include "protocol/params.hpp"
 #include "sched/task_schedule.hpp"
@@ -131,6 +133,17 @@ struct ScenarioConfig {
   // so this is an execution knob, not part of the experiment definition
   // (campaign specs and manifests never record it).
   uint32_t shards = 0;
+  // Protocol event tracing (docs/observability.md). Disabled (the default)
+  // every hook is a cached null check and the run is byte-for-byte the
+  // untraced behavior — the golden corpus pins this. Enabled, the trace in
+  // RunResult::obs_events is itself bit-identical across shard and worker
+  // counts. Tracing consumes no RNG (sampling is a pure hash), so it never
+  // perturbs the simulation either way.
+  obs::TraceConfig obs_trace;
+  // Wall-clock self-profiling (setup/run/harvest timers, engine barrier
+  // histograms, peak RSS) into RunResult::profile. Non-deterministic by
+  // nature; reporting only.
+  bool obs_profile = false;
 };
 
 struct RunResult {
@@ -181,6 +194,14 @@ struct RunResult {
   uint64_t reservations_beyond_horizon = 0;
   // Per-peer busy history (only when collect_schedule_history).
   std::vector<std::vector<sched::Reservation>> schedules;
+  // Canonically ordered protocol event trace (empty unless
+  // config.obs_trace.enabled; docs/observability.md). Deterministic, but
+  // deliberately excluded from the campaign journal and golden comparisons —
+  // trace artifacts are serialized separately.
+  obs::EventTrace obs_events;
+  // Wall-clock profile (zeroed unless config.obs_profile). Never
+  // deterministic; never journaled or compared.
+  obs::RunProfile profile;
 };
 
 // Shard count used when ScenarioConfig::shards is 0: the process-wide

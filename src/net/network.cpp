@@ -5,6 +5,7 @@
 
 #include "crypto/digest.hpp"
 #include "net/fault_model.hpp"
+#include "obs/event_log.hpp"
 
 namespace lockss::net {
 
@@ -80,12 +81,35 @@ void Network::send(MessagePtr message) {
   // strictly above min_latency, preserving the sharded lookahead contract.
   const sim::SimTime now = bus_ != nullptr ? bus_->context_sim().now() : simulator_.now();
   const FaultDecision verdict = faults_->decide(message->from, message->to, now);
+  // Fault injections are recorded on the calling context's sink so the
+  // trace attributes every lost/duplicated/jittered message to its sender
+  // (docs/observability.md). The domain tag comes from the sender id, not
+  // the execution context: minion sends run globally even in serial runs.
+  obs::EventSink* events = bus_ != nullptr ? bus_->context_events() : events_;
+  auto record_fault = [&](obs::EventKind kind, uint64_t arg) {
+    obs::Event e;
+    e.time_ns = now.ns();
+    e.arg = arg;
+    e.origin = static_cast<uint32_t>(message->from.value);
+    e.other = static_cast<uint32_t>(message->to.value);
+    e.kind = kind;
+    e.domain = events->fault_domain(message->from.value);
+    events->record(e);
+  };
   if (verdict.drop) {
     ++(verdict.burst ? send_stats.messages_burst_dropped : send_stats.messages_lost);
+    if (events != nullptr) {
+      record_fault(verdict.burst ? obs::EventKind::kFaultBurstDrop : obs::EventKind::kFaultLoss,
+                   0);
+    }
     return;
   }
   if (verdict.extra_delay > sim::SimTime::zero()) {
     ++send_stats.messages_jittered;
+    if (events != nullptr) {
+      record_fault(obs::EventKind::kFaultJitter,
+                   static_cast<uint64_t>(verdict.extra_delay.ns()));
+    }
   }
   MessagePtr copy;
   if (verdict.duplicate) {
@@ -95,6 +119,9 @@ void Network::send(MessagePtr message) {
     copy = message->clone();
     if (copy != nullptr) {
       ++send_stats.messages_duplicated;
+      if (events != nullptr) {
+        record_fault(obs::EventKind::kFaultDuplicate, 0);
+      }
     }
   }
   schedule_delivery(std::move(message), base_delay + verdict.extra_delay);

@@ -24,6 +24,10 @@
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
+namespace lockss::obs {
+class EventSink;
+}  // namespace lockss::obs
+
 namespace lockss::net {
 
 class FaultModel;
@@ -90,6 +94,10 @@ class ShardBus {
   virtual NetworkStats& context_stats() = 0;
   virtual void schedule_delivery(NodeId to, sim::SimTime at, sim::EventFn fn) = 0;
   virtual NetworkStats total_stats() const = 0;
+  // The calling context's protocol-event sink, or nullptr when tracing is
+  // off (docs/observability.md). Mirrors context_stats(): concurrent shards
+  // must never share a sink.
+  virtual obs::EventSink* context_events() { return nullptr; }
 };
 
 class Network {
@@ -139,6 +147,12 @@ class Network {
   // pre-sharding behavior.
   void set_shard_bus(ShardBus* bus) { bus_ = bus; }
 
+  // Installs (or clears, with nullptr) the serial-run protocol-event sink;
+  // fault injections (loss/burst/dup/jitter) are recorded on it
+  // (docs/observability.md). Sharded runs ignore this and route through
+  // ShardBus::context_events() instead.
+  void set_event_sink(obs::EventSink* sink) { events_ = sink; }
+
  private:
   bool allowed(NodeId from, NodeId to) const;
   void schedule_delivery(MessagePtr message, sim::SimTime delay);
@@ -146,6 +160,7 @@ class Network {
   sim::Simulator& simulator_;
   ShardBus* bus_ = nullptr;
   FaultModel* faults_ = nullptr;
+  obs::EventSink* events_ = nullptr;
   sim::Rng rng_;
   NetworkConfig config_;
   uint64_t latency_salt_;

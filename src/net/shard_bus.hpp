@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/event_log.hpp"
 #include "sim/sharded_engine.hpp"
 
 namespace lockss::net {
@@ -41,6 +42,19 @@ class EngineShardBus final : public ShardBus {
     return total;
   }
 
+  // Attaches (or clears) the run's event log; context_events() then hands
+  // each context its own sink, mirroring the per-context stats blocks. The
+  // log must be built with sink_count == shards + 1 (scenario setup owns
+  // that invariant).
+  void set_event_log(obs::EventLog* log) { log_ = log; }
+
+  obs::EventSink* context_events() override {
+    if (log_ == nullptr) {
+      return nullptr;
+    }
+    return log_->sink(slot(engine_.current_context()));
+  }
+
  private:
   // Shards use their index; the global context takes the last block.
   size_t slot(uint32_t context) const {
@@ -49,6 +63,7 @@ class EngineShardBus final : public ShardBus {
 
   sim::ShardedEngine& engine_;
   std::vector<NetworkStats> stats_;
+  obs::EventLog* log_ = nullptr;
 };
 
 }  // namespace lockss::net

@@ -1,0 +1,213 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <utility>
+
+namespace lockss::obs {
+namespace {
+
+void put_u32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+bool get_u32(const std::string& in, size_t* cursor, uint32_t* v) {
+  if (in.size() < 4 || *cursor > in.size() - 4) {
+    return false;
+  }
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<unsigned char>(in[*cursor + i])) << (8 * i);
+  }
+  *cursor += 4;
+  *v = out;
+  return true;
+}
+
+bool get_u64(const std::string& in, size_t* cursor, uint64_t* v) {
+  if (in.size() < 8 || *cursor > in.size() - 8) {
+    return false;
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(in[*cursor + i])) << (8 * i);
+  }
+  *cursor += 8;
+  *v = out;
+  return true;
+}
+
+constexpr size_t kRecordBytes = 8 + 8 + 8 + 4 + 4 + 4 + 1 + 1;
+
+}  // namespace
+
+void serialize_trace(const EventTrace& trace, std::string* out) {
+  out->reserve(out->size() + 28 + trace.events.size() * kRecordBytes);
+  put_u32(out, kTraceMagic);
+  put_u32(out, kTraceVersion);
+  put_u64(out, trace.dropped);
+  put_u64(out, trace.events.size());
+  for (const Event& e : trace.events) {
+    put_u64(out, static_cast<uint64_t>(e.time_ns));
+    put_u64(out, e.poll);
+    put_u64(out, e.arg);
+    put_u32(out, e.origin);
+    put_u32(out, e.other);
+    put_u32(out, e.au);
+    out->push_back(static_cast<char>(e.kind));
+    out->push_back(static_cast<char>(e.domain));
+  }
+}
+
+bool deserialize_trace(const std::string& bytes, EventTrace* out, std::string* error) {
+  *out = EventTrace{};
+  out->enabled = true;
+  size_t cursor = 0;
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!get_u32(bytes, &cursor, &magic) || magic != kTraceMagic) {
+    *error = "not a LOCKSS trace file (bad magic)";
+    return false;
+  }
+  if (!get_u32(bytes, &cursor, &version) || version != kTraceVersion) {
+    *error = "unsupported trace version";
+    return false;
+  }
+  if (!get_u64(bytes, &cursor, &out->dropped) || !get_u64(bytes, &cursor, &count) ||
+      bytes.size() - cursor < count * kRecordBytes) {
+    *error = "truncated trace header";
+    return false;
+  }
+  out->events.resize(count);
+  for (Event& e : out->events) {
+    uint64_t time_bits = 0;
+    if (!get_u64(bytes, &cursor, &time_bits) || !get_u64(bytes, &cursor, &e.poll) ||
+        !get_u64(bytes, &cursor, &e.arg) || !get_u32(bytes, &cursor, &e.origin) ||
+        !get_u32(bytes, &cursor, &e.other) || !get_u32(bytes, &cursor, &e.au) ||
+        bytes.size() - cursor < 2) {
+      *error = "truncated trace record";
+      return false;
+    }
+    e.time_ns = static_cast<int64_t>(time_bits);
+    const uint8_t kind = static_cast<uint8_t>(bytes[cursor++]);
+    if (kind >= kEventKindCount) {
+      *error = "unknown event kind in trace";
+      return false;
+    }
+    e.kind = static_cast<EventKind>(kind);
+    e.domain = static_cast<uint8_t>(bytes[cursor++]);
+  }
+  return true;
+}
+
+bool write_trace_file(const std::string& path, const EventTrace& trace,
+                      std::string* error) {
+  std::string bytes;
+  serialize_trace(trace, &bytes);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    *error = path + ": cannot open for writing";
+    return false;
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) {
+    *error = path + ": write failed";
+    return false;
+  }
+  return true;
+}
+
+bool read_trace_file(const std::string& path, EventTrace* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    *error = path + ": cannot open";
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return deserialize_trace(bytes, out, error);
+}
+
+void write_csv(std::ostream& out, const std::vector<Event>& events) {
+  out << "time_ns,kind,domain,origin,other,au,poll,arg\n";
+  for (const Event& e : events) {
+    out << e.time_ns << ',' << event_kind_name(e.kind) << ','
+        << static_cast<int>(e.domain) << ',' << e.origin << ',' << e.other << ',';
+    if (e.au == Event::kNoAu) {
+      out << '-';
+    } else {
+      out << e.au;
+    }
+    out << ',' << e.poll << ',' << e.arg << '\n';
+  }
+}
+
+void write_perfetto_json(std::ostream& out, const std::vector<Event>& events) {
+  // Match poll lifecycles into spans keyed by (origin, poll id); everything
+  // else becomes a thread-scoped instant on the origin's track.
+  std::map<std::pair<uint32_t, uint64_t>, const Event*> open_polls;
+  char buf[256];
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const char* json) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    out << '\n' << json;
+  };
+  for (const Event& e : events) {
+    const double ts_us = static_cast<double>(e.time_ns) / 1000.0;
+    if (e.kind == EventKind::kPollOpened) {
+      open_polls[{e.origin, e.poll}] = &e;
+      continue;
+    }
+    if (e.kind == EventKind::kPollConcluded) {
+      const auto it = open_polls.find({e.origin, e.poll});
+      const double start_us =
+          it != open_polls.end() ? static_cast<double>(it->second->time_ns) / 1000.0 : ts_us;
+      if (it != open_polls.end()) {
+        open_polls.erase(it);
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"poll %llu\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"pid\":0,\"tid\":%u,\"args\":{\"au\":%u,\"outcome\":%llu,"
+                    "\"abort\":%llu}}",
+                    static_cast<unsigned long long>(e.poll), start_us, ts_us - start_us,
+                    e.origin, e.au, static_cast<unsigned long long>(e.arg >> 8),
+                    static_cast<unsigned long long>(e.arg & 0xFF));
+      emit(buf);
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":0,"
+                  "\"tid\":%u,\"args\":{\"other\":%u,\"poll\":%llu,\"arg\":%llu}}",
+                  event_kind_name(e.kind), ts_us, e.origin, e.other,
+                  static_cast<unsigned long long>(e.poll),
+                  static_cast<unsigned long long>(e.arg));
+    emit(buf);
+  }
+  // Polls still open at run end render as zero-length spans so they stay
+  // visible rather than vanishing.
+  for (const auto& [key, opened] : open_polls) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"poll %llu (open)\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":0,"
+                  "\"pid\":0,\"tid\":%u,\"args\":{\"au\":%u}}",
+                  static_cast<unsigned long long>(key.second),
+                  static_cast<double>(opened->time_ns) / 1000.0, opened->origin, opened->au);
+    emit(buf);
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace lockss::obs

@@ -1,0 +1,39 @@
+// Trace exporters (docs/observability.md): a compact little-endian binary
+// format ("LKTR"), a flat CSV, and a Chrome/Perfetto trace.json where each
+// poll lifecycle (poll_opened .. poll_concluded, matched by poller + poll id)
+// becomes a duration span and every other event an instant.
+#ifndef LOCKSS_OBS_EXPORT_HPP_
+#define LOCKSS_OBS_EXPORT_HPP_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.hpp"
+
+namespace lockss::obs {
+
+constexpr uint32_t kTraceMagic = 0x52544B4C;  // "LKTR" little-endian
+constexpr uint32_t kTraceVersion = 1;
+
+// Binary layout: u32 magic, u32 version, u64 dropped, u64 count, then
+// `count` packed records (i64 time_ns, u64 poll, u64 arg, u32 origin,
+// u32 other, u32 au, u8 kind, u8 domain). Byte-deterministic for a given
+// event sequence, independent of host endianness.
+void serialize_trace(const EventTrace& trace, std::string* out);
+bool deserialize_trace(const std::string& bytes, EventTrace* out, std::string* error);
+
+bool write_trace_file(const std::string& path, const EventTrace& trace,
+                      std::string* error);
+bool read_trace_file(const std::string& path, EventTrace* out, std::string* error);
+
+// CSV: header + one row per event, kind spelled out.
+void write_csv(std::ostream& out, const std::vector<Event>& events);
+
+// Perfetto/Chrome trace-event JSON ("traceEvents" array, microsecond
+// timestamps; tracks are peers, pid 0). Load via ui.perfetto.dev.
+void write_perfetto_json(std::ostream& out, const std::vector<Event>& events);
+
+}  // namespace lockss::obs
+
+#endif  // LOCKSS_OBS_EXPORT_HPP_

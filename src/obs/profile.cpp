@@ -1,0 +1,35 @@
+#include "obs/profile.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace lockss::obs {
+namespace {
+
+uint64_t proc_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  uint64_t kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + key_len + 1, " %llu", &value) == 1) {
+        kb = value;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+uint64_t vm_hwm_kb() { return proc_status_kb("VmHWM"); }
+uint64_t vm_rss_kb() { return proc_status_kb("VmRSS"); }
+
+}  // namespace lockss::obs

@@ -1,0 +1,70 @@
+// Wall-clock self-profiling (docs/observability.md, domain 2).
+//
+// Unlike the sim-time event trace, everything here measures the *host*: how
+// long setup/run/harvest actually took, how the sharded engine's barrier
+// windows behaved, and how big the process grew. None of it is
+// deterministic, so profile data never feeds the journal, the golden corpus,
+// or any determinism comparison — it is reporting only, gated off by
+// default.
+#ifndef LOCKSS_OBS_PROFILE_HPP_
+#define LOCKSS_OBS_PROFILE_HPP_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace lockss::obs {
+
+// Process peak / current resident set from /proc/self/status, in KiB; 0 when
+// unavailable (non-Linux hosts).
+uint64_t vm_hwm_kb();
+uint64_t vm_rss_kb();
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+  double elapsed_seconds() const { return elapsed_ms() / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Filled in by sim::ShardedEngine when a profile is attached (nullptr —
+// the default — costs the engine nothing but a branch per window).
+struct EngineProfile {
+  uint64_t windows = 0;           // lookahead windows dispatched
+  uint64_t barriers = 0;          // barrier merges completed
+  double window_exec_seconds = 0.0;   // wall time inside shard execution
+  double barrier_stall_seconds = 0.0; // wall time merging + waiting at barriers
+  // Window-occupancy histogram: windows by how many shards had work,
+  // saturated at the last bucket. All-idle windows land in bucket 0.
+  static constexpr size_t kOccupancyBuckets = 17;
+  std::array<uint64_t, kOccupancyBuckets> occupancy{};
+
+  double barrier_stall_fraction() const {
+    const double total = window_exec_seconds + barrier_stall_seconds;
+    return total > 0.0 ? barrier_stall_seconds / total : 0.0;
+  }
+};
+
+// One run's wall-clock profile, carried in experiment::RunResult when
+// ScenarioConfig::obs_profile is on.
+struct RunProfile {
+  bool enabled = false;
+  double setup_ms = 0.0;    // deployment construction, wiring
+  double run_ms = 0.0;      // event-loop execution
+  double harvest_ms = 0.0;  // counter harvest + report build
+  double total_ms = 0.0;
+  uint64_t peak_rss_kb = 0;
+  EngineProfile engine;
+};
+
+}  // namespace lockss::obs
+
+#endif  // LOCKSS_OBS_PROFILE_HPP_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/event_log.hpp"
+
 namespace lockss::peer {
 namespace {
 // Periodic housekeeping cadence (schedule/refractory pruning).
@@ -195,6 +197,18 @@ void Peer::handle_message(net::MessagePtr message) {
       protocol::AdmissionVerdict verdict;
       auto session = protocol::VoterSession::consider_invitation(*this, poll, &verdict);
       ++admission_verdicts_[static_cast<size_t>(verdict)];
+      if (env_.events != nullptr) {
+        obs::Event e;
+        e.time_ns = env_.simulator->now().ns();
+        e.poll = poll.poll_id;
+        e.arg = static_cast<uint64_t>(verdict);
+        e.origin = static_cast<uint32_t>(id_.value);
+        e.other = static_cast<uint32_t>(poll.from.value);
+        e.au = static_cast<uint32_t>(poll.au.value);
+        e.kind = obs::EventKind::kInvitationConsidered;
+        e.domain = 1;
+        env_.events->record(e);
+      }
       if (session != nullptr) {
         voters_.insert(poll.poll_id, std::move(session));
       }

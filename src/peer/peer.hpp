@@ -54,6 +54,10 @@ struct PeerEnvironment {
   // Optional observer invoked for every concluded poll (examples, debugging,
   // custom experiment instrumentation).
   std::function<void(net::NodeId poller, const protocol::PollOutcome&)> poll_observer;
+  // Protocol event sink for this peer's sessions (docs/observability.md), or
+  // nullptr when tracing is off. In sharded runs each shard's peers share
+  // that shard's sink.
+  obs::EventSink* events = nullptr;
 };
 
 class Peer : public protocol::PeerHost, public net::MessageHandler {
@@ -128,6 +132,7 @@ class Peer : public protocol::PeerHost, public net::MessageHandler {
   const std::vector<net::NodeId>& friends() const override { return friends_; }
   const net::NodeSlotRegistry* node_registry() const override { return env_.nodes; }
   metrics::MetricsCollector* metrics() override { return env_.metrics; }
+  obs::EventSink* trace_sink() override { return env_.events; }
   bool pass_random_drop(reputation::Standing standing) override {
     return admission_.pass_random_drop(standing);
   }

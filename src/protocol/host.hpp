@@ -38,6 +38,10 @@ namespace lockss::metrics {
 class MetricsCollector;
 }  // namespace lockss::metrics
 
+namespace lockss::obs {
+class EventSink;
+}  // namespace lockss::obs
+
 namespace lockss::protocol {
 
 class PollerSession;
@@ -145,6 +149,13 @@ class PeerHost {
   // on_poll_concluded below stays the host-side notification hook (observer
   // callbacks, host bookkeeping), not a metrics path.
   virtual metrics::MetricsCollector* metrics() = 0;
+
+  // --- Observability -----------------------------------------------------------
+  // The host's protocol event sink (docs/observability.md), or nullptr when
+  // tracing is off. Sessions cache the pointer at construction, so a
+  // disabled trace costs one null check per hook site. Defaulted (not pure)
+  // so hand-built test hosts stay oblivious to tracing.
+  virtual obs::EventSink* trace_sink() { return nullptr; }
 
   // --- Notifications ----------------------------------------------------------
   virtual void on_poll_concluded(const PollOutcome& outcome) = 0;

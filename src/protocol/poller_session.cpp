@@ -5,6 +5,7 @@
 #include <set>
 
 #include "metrics/collector.hpp"
+#include "obs/event_log.hpp"
 
 namespace lockss::protocol {
 namespace {
@@ -52,7 +53,27 @@ const char* poll_abort_reason_name(PollAbortReason reason) {
 }
 
 PollerSession::PollerSession(PeerHost& host, storage::AuId au, PollId poll_id)
-    : host_(host), au_(au), poll_id_(poll_id), invitees_(host.node_registry()) {}
+    : host_(host),
+      trace_sink_(host.trace_sink()),
+      au_(au),
+      poll_id_(poll_id),
+      invitees_(host.node_registry()) {}
+
+void PollerSession::trace(obs::EventKind kind, uint32_t other, uint64_t arg) {
+  if (trace_sink_ == nullptr) {
+    return;
+  }
+  obs::Event e;
+  e.time_ns = host_.simulator().now().ns();
+  e.poll = poll_id_;
+  e.arg = arg;
+  e.origin = static_cast<uint32_t>(host_.id().value);
+  e.other = other;
+  e.au = static_cast<uint32_t>(au_.value);
+  e.kind = kind;
+  e.domain = 1;
+  trace_sink_->record(e);
+}
 
 PollerSession::~PollerSession() {
   for (auto& handle : pending_events_) {
@@ -79,6 +100,7 @@ void PollerSession::start() {
   started_ = host_.simulator().now();
   solicitation_end_ = started_ + params.solicitation_window();
   poll_end_ = started_ + params.inter_poll_interval * kPollEndFraction;
+  trace(obs::EventKind::kPollOpened);
 
   // Desynchronization (§5.2): each inner-circle invitee gets an independent
   // uniform-random solicitation time; a poll is a sequence of two-party
@@ -157,6 +179,8 @@ void PollerSession::solicit(net::NodeId voter) {
              poll->vote_deadline = solicitation_end_;
              host_.send(voter, std::move(poll));
              host_.note_solicitation_sent();
+             trace(obs::EventKind::kInvitationSent, static_cast<uint32_t>(voter.value),
+                   inv->attempts);
              inv->phase = InviteePhase::kAwaitingAck;
              inv->timeout = host_.simulator().schedule_in(
                  host_.params().poll_ack_timeout, [&host = host_, id = poll_id_, voter] {
@@ -187,6 +211,7 @@ void PollerSession::retry_later(net::NodeId voter) {
       std::min(earliest + host_.params().min_retry_gap, solicitation_end_);
   invitee->phase = InviteePhase::kScheduled;
   ++solicitation_retries_;
+  trace(obs::EventKind::kSolicitationRetry, static_cast<uint32_t>(voter.value));
   schedule_solicitation(voter, host_.rng().uniform_time(earliest, latest));
 }
 
@@ -211,6 +236,7 @@ void PollerSession::ack_timeout(net::NodeId voter) {
   // Silence is normal: admission control drops invitations without reply
   // (§5.1), and pipe stoppage eats packets. Not misbehavior — retry later.
   ++ack_timeouts_;
+  trace(obs::EventKind::kAckTimeout, static_cast<uint32_t>(voter.value));
   retry_later(voter);
 }
 
@@ -220,6 +246,7 @@ void PollerSession::vote_timeout(net::NodeId voter) {
     return;
   }
   ++vote_timeouts_;
+  trace(obs::EventKind::kVoteTimeout, static_cast<uint32_t>(voter.value));
   fail_invitee(voter, /*misbehaved=*/true);
 }
 
@@ -234,10 +261,12 @@ void PollerSession::on_poll_ack(const PollAckMsg& ack) {
   invitee->timeout.cancel();
   if (!ack.accept) {
     ++refusals_;
+    trace(obs::EventKind::kAckRefused, static_cast<uint32_t>(ack.from.value));
     retry_later(ack.from);
     return;
   }
   ++acks_received_;
+  trace(obs::EventKind::kAckReceived, static_cast<uint32_t>(ack.from.value));
   invitee->phase = InviteePhase::kPreparingProof;
   // "Upon receiving the affirmative PollAck, the poller performs the balance
   // of the provable effort" (§5.1). The voter's PollProof hold is short, so
@@ -289,6 +318,7 @@ void PollerSession::on_vote(const VoteMsg& vote) {
   }
   invitee->timeout.cancel();
   invitee->phase = InviteePhase::kVoted;
+  trace(obs::EventKind::kVoteReceived, static_cast<uint32_t>(vote.from.value));
   votes_.push_back(
       StoredVote{vote.from, invitee->nonce, vote.block_hashes, vote.vote_effort, invitee->inner});
   // Discovery (§4.2/§5.1): the poller randomly partitions the vote's peer
@@ -326,6 +356,7 @@ void PollerSession::begin_outer_circle() {
     invitees_[voter].inner = false;
     schedule_solicitation(voter, host_.rng().uniform_time(now, solicitation_end_));
   }
+  trace(obs::EventKind::kOuterCircleStarted, 0, outer.size());
 }
 
 void PollerSession::begin_evaluation() {
@@ -467,6 +498,7 @@ void PollerSession::request_repair(uint32_t block, std::vector<net::NodeId> cand
   request->block = block;
   host_.send(source, std::move(request));
   ++repairs_requested_;
+  trace(obs::EventKind::kRepairRequested, static_cast<uint32_t>(source.value), block);
   repair_timeout_handle_.cancel();
   repair_timeout_handle_ =
       host_.simulator().schedule_in(kRepairTimeout, [&host = host_, id = poll_id_] {
@@ -494,6 +526,7 @@ void PollerSession::on_repair(const RepairMsg& repair) {
     return;
   }
   repair_timeout_handle_.cancel();
+  trace(obs::EventKind::kRepairReceived, static_cast<uint32_t>(repair.from.value), repair.block);
   // Re-hash the repaired block (§4.3 re-evaluation cost).
   host_.meter().charge(sched::EffortCategory::kVoteEvaluation,
                        host_.efforts().block_hash_effort());
@@ -526,6 +559,7 @@ void PollerSession::maybe_frivolous_repair_then_receipts() {
     request->block = block;
     host_.send(victim.voter, std::move(request));
     ++repairs_requested_;
+    trace(obs::EventKind::kRepairRequested, static_cast<uint32_t>(victim.voter.value), block);
     repair_timeout_handle_ =
         host_.simulator().schedule_in(kRepairTimeout, [&host = host_, id = poll_id_] {
           if (auto* s = host.find_poller_session(id)) {
@@ -630,6 +664,8 @@ void PollerSession::conclude(PollOutcomeKind kind, PollAbortReason reason) {
   if (metrics::MetricsCollector* collector = host_.metrics()) {
     collector->record_poll(host_.id(), outcome);
   }
+  trace(obs::EventKind::kPollConcluded, 0,
+        (static_cast<uint64_t>(kind) << 8) | static_cast<uint64_t>(reason));
   host_.on_poll_concluded(outcome);
   host_.retire_poller_session(poll_id_);
 }

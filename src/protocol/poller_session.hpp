@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/event.hpp"
 #include "protocol/host.hpp"
 #include "protocol/invitee_table.hpp"
 #include "protocol/messages.hpp"
@@ -116,7 +117,12 @@ class PollerSession {
   void run_task(sim::SimTime duration, sched::EffortCategory category, sim::SimTime deadline,
                 std::function<void(bool)> done);
 
+  // Records one lifecycle event on the host's trace sink; a single null
+  // check when tracing is off (docs/observability.md).
+  void trace(obs::EventKind kind, uint32_t other = 0, uint64_t arg = 0);
+
   PeerHost& host_;
+  obs::EventSink* trace_sink_;  // cached host_.trace_sink()
   storage::AuId au_;
   PollId poll_id_;
 

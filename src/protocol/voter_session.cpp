@@ -4,6 +4,8 @@
 #include <cassert>
 #include <memory>
 
+#include "obs/event_log.hpp"
+
 namespace lockss::protocol {
 namespace {
 
@@ -158,6 +160,7 @@ std::unique_ptr<VoterSession> VoterSession::consider_invitation(PeerHost& host,
 
 VoterSession::VoterSession(PeerHost& host, const PollMsg& poll, sched::Reservation slot)
     : host_(host),
+      trace_sink_(host.trace_sink()),
       poll_id_(poll.poll_id),
       au_(poll.au),
       poller_(poll.from),
@@ -260,6 +263,7 @@ void VoterSession::compute_and_send_vote() {
                                         host_.params().nominations_per_vote, host_.rng());
   host_.send(poller_, std::move(vote));
   vote_sent_ = true;
+  trace(obs::EventKind::kVoteSent);
 
   const sim::SimTime deadline = receipt_deadline(host_.params(), vote_deadline_);
   const sim::SimTime now = host_.simulator().now();
@@ -293,6 +297,7 @@ void VoterSession::on_repair_request(const RepairRequestMsg& request) {
   repair->content = host_.replica(au_).block_content(request.block);
   repair->wire_block_bytes = host_.params().au_spec.block_size_bytes();
   host_.send(poller_, std::move(repair));
+  trace(obs::EventKind::kRepairServed, request.block);
 }
 
 void VoterSession::on_receipt(const EvaluationReceiptMsg& receipt) {
@@ -300,7 +305,9 @@ void VoterSession::on_receipt(const EvaluationReceiptMsg& receipt) {
     return;
   }
   const sim::SimTime now = host_.simulator().now();
-  if (receipt.receipt == expected_receipt_) {
+  const bool matched = receipt.receipt == expected_receipt_;
+  trace(obs::EventKind::kReceiptChecked, matched ? 1 : 0);
+  if (matched) {
     // The poller provably evaluated our vote; the exchange is complete. The
     // poller consumed our service, so its grade steps down (§5.1) — it owes
     // us a vote.
@@ -334,6 +341,22 @@ void VoterSession::finish() {
     slot_active_ = false;
   }
   host_.retire_voter_session(poll_id_);
+}
+
+void VoterSession::trace(obs::EventKind kind, uint64_t arg) {
+  if (trace_sink_ == nullptr) {
+    return;
+  }
+  obs::Event e;
+  e.time_ns = host_.simulator().now().ns();
+  e.poll = poll_id_;
+  e.arg = arg;
+  e.origin = static_cast<uint32_t>(host_.id().value);
+  e.other = static_cast<uint32_t>(poller_.value);
+  e.au = static_cast<uint32_t>(au_.value);
+  e.kind = kind;
+  e.domain = 1;
+  trace_sink_->record(e);
 }
 
 }  // namespace lockss::protocol

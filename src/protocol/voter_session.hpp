@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/event.hpp"
 #include "protocol/host.hpp"
 #include "protocol/messages.hpp"
 
@@ -82,7 +83,12 @@ class VoterSession {
   void receipt_timeout();
   void finish();
 
+  // Records one lifecycle event on the host's trace sink; a single null
+  // check when tracing is off (docs/observability.md).
+  void trace(obs::EventKind kind, uint64_t arg = 0);
+
   PeerHost& host_;
+  obs::EventSink* trace_sink_;  // cached host_.trace_sink()
   PollId poll_id_;
   storage::AuId au_;
   net::NodeId poller_;

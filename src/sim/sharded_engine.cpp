@@ -114,6 +114,8 @@ void ShardedEngine::dispatch_window(SimTime w_end) {
   // advancing their clock inline is free and skips the thread wake-up. With
   // sparse queues most windows have exactly one active shard, which then
   // runs inline on the coordinator too.
+  const obs::Stopwatch window_watch;
+  double stall_seconds = 0.0;
   uint32_t active_count = 0;
   uint32_t last_active = 0;
   {
@@ -134,6 +136,18 @@ void ShardedEngine::dispatch_window(SimTime w_end) {
       ++epoch_;
     }
   }
+  // Reporting only — a detached profile costs one branch per window.
+  const auto record_window = [&] {
+    if (profile_ == nullptr) {
+      return;
+    }
+    ++profile_->windows;
+    const size_t bucket = std::min<size_t>(
+        active_count, obs::EngineProfile::kOccupancyBuckets - 1);
+    ++profile_->occupancy[bucket];
+    profile_->window_exec_seconds += window_watch.elapsed_seconds() - stall_seconds;
+    profile_->barrier_stall_seconds += stall_seconds;
+  };
   if (active_count > 1 && !threads_.empty()) {
     cv_work_.notify_all();
     for (uint32_t s = 0; s < plan_.shards; ++s) {
@@ -141,8 +155,11 @@ void ShardedEngine::dispatch_window(SimTime w_end) {
         shards_[s].sim->run_until(w_end);
       }
     }
+    const obs::Stopwatch stall_watch;
     std::unique_lock<std::mutex> lock(mu_);
     cv_done_.wait(lock, [this] { return remaining_ == 0; });
+    stall_seconds = stall_watch.elapsed_seconds();
+    record_window();
     return;
   }
   for (uint32_t s = 0; s < plan_.shards; ++s) {
@@ -153,6 +170,7 @@ void ShardedEngine::dispatch_window(SimTime w_end) {
       shards_[s].sim->run_until(w_end);
     }
   }
+  record_window();
 }
 
 void ShardedEngine::worker_loop(uint32_t shard) {
@@ -181,8 +199,13 @@ void ShardedEngine::worker_loop(uint32_t shard) {
 
 void ShardedEngine::run_until(SimTime horizon) {
   for (;;) {
+    const obs::Stopwatch barrier_watch;
     merge_outboxes();
     run_barrier_hooks();
+    if (profile_ != nullptr) {
+      ++profile_->barriers;
+      profile_->barrier_stall_seconds += barrier_watch.elapsed_seconds();
+    }
 
     SimTime t_shard = SimTime::max();
     for (Shard& shard : shards_) {

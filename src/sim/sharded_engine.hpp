@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "sim/shard_plan.hpp"
 #include "sim/simulator.hpp"
 
@@ -91,6 +92,14 @@ class ShardedEngine {
   // run), exactly like Simulator::run_until on the serial path.
   void run_until(SimTime horizon);
 
+  // Attaches (or clears, with nullptr) a wall-clock profile the engine fills
+  // while running: windows/barriers counted, shard execution vs barrier
+  // stall timed, window occupancy histogrammed (docs/observability.md). The
+  // profile is reporting only — it never influences execution — and must
+  // outlive the engine's run. Detached (the default) the cost is a branch
+  // and a steady-clock sample per window.
+  void set_profile(obs::EngineProfile* profile) { profile_ = profile; }
+
   // Sum over all queues (shards + global); equals the serial count.
   uint64_t events_processed() const;
   // Sum of per-queue high-water marks: an upper bound on the serial peak,
@@ -125,6 +134,7 @@ class ShardedEngine {
   Simulator global_;
   std::vector<Shard> shards_;
   std::vector<std::function<void()>> hooks_;
+  obs::EngineProfile* profile_ = nullptr;
 
   // Worker pool: one thread per shard, woken per window by epoch bump.
   std::vector<std::thread> threads_;

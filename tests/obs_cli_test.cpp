@@ -1,0 +1,183 @@
+// End-to-end observability CLI checks: the real lockss_campaign and
+// lockss_trace binaries (built into LOCKSS_BINARY_DIR) are spawned against
+// the shipped campaigns/trace_smoke.json. Pins the artifact contract:
+//   * a trace-enabled campaign writes one .trace.bin per unit, and those
+//     bytes are identical at every worker count (the parallel runner is an
+//     execution knob, never part of the experiment);
+//   * lockss_trace reads them back, filters, summarizes, and exports
+//     CSV/Perfetto, with the same strict flag hygiene as the other tools.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/json.hpp"
+
+namespace {
+
+std::string source_dir() { return std::string(LOCKSS_SOURCE_DIR); }
+std::string binary_dir() { return std::string(LOCKSS_BINARY_DIR); }
+
+std::string trace_spec() { return source_dir() + "/campaigns/trace_smoke.json"; }
+
+// Runs a shell command, returns its exit code (-1 on abnormal exit).
+int run(const std::string& command) {
+  const int status = std::system(command.c_str());
+  if (status == -1 || !WIFEXITED(status)) {
+    return -1;
+  }
+  return WEXITSTATUS(status);
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// One campaign run into a fresh directory; returns the out-dir used.
+std::string run_traced_campaign(const std::string& tag, unsigned workers) {
+  const std::string out_dir = testing::TempDir() + "obs_cli_" + tag;
+  std::filesystem::remove_all(out_dir);
+  const int code = run(binary_dir() + "/lockss_campaign " + trace_spec() + " --quiet --out-dir " +
+                       out_dir + " --workers " + std::to_string(workers) + " >/dev/null 2>&1");
+  EXPECT_EQ(code, 0) << "lockss_campaign failed for " << tag;
+  return out_dir;
+}
+
+class ObsCliTest : public ::testing::Test {
+ protected:
+  // The serial campaign run (and its artifacts) shared by every test below.
+  static void SetUpTestSuite() {
+    out_dir_ = new std::string(run_traced_campaign("serial", 1));
+  }
+  static void TearDownTestSuite() {
+    delete out_dir_;
+    out_dir_ = nullptr;
+  }
+  static std::string trace_file(const std::string& label) {
+    return *out_dir_ + "/trace_smoke." + label + ".trace.bin";
+  }
+  static int run_trace_cli(const std::string& args) {
+    return run(binary_dir() + "/lockss_trace " + args + " >/dev/null 2>&1");
+  }
+  static std::string* out_dir_;
+};
+
+std::string* ObsCliTest::out_dir_ = nullptr;
+
+TEST_F(ObsCliTest, ValidateAcceptsShippedTraceCampaign) {
+  EXPECT_EQ(run(binary_dir() + "/lockss_campaign " + trace_spec() + " --validate >/dev/null 2>&1"),
+            0);
+}
+
+TEST_F(ObsCliTest, CampaignWritesOneTracePerUnit) {
+  for (const char* label : {"baseline", "c50", "c100"}) {
+    EXPECT_TRUE(std::filesystem::exists(trace_file(label))) << trace_file(label);
+  }
+  // The manifest names each unit's trace artifact and the profile block.
+  std::string manifest;
+  ASSERT_TRUE(read_file(*out_dir_ + "/trace_smoke.manifest.json", &manifest));
+  EXPECT_NE(manifest.find("\"trace_file\": \"trace_smoke.c50.trace.bin\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"wall_ms\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"workers\""), std::string::npos);
+}
+
+TEST_F(ObsCliTest, TraceArtifactBytesInvariantAcrossWorkerCounts) {
+  const std::string parallel_dir = run_traced_campaign("parallel", 3);
+  for (const char* label : {"baseline", "c50", "c100"}) {
+    std::string serial_bytes, parallel_bytes;
+    ASSERT_TRUE(read_file(trace_file(label), &serial_bytes)) << label;
+    ASSERT_TRUE(
+        read_file(parallel_dir + "/trace_smoke." + std::string(label) + ".trace.bin",
+                  &parallel_bytes))
+        << label;
+    EXPECT_EQ(serial_bytes, parallel_bytes) << label;
+    EXPECT_FALSE(serial_bytes.empty()) << label;
+  }
+  std::filesystem::remove_all(parallel_dir);
+}
+
+TEST_F(ObsCliTest, SummaryAndPrintSucceed) {
+  EXPECT_EQ(run_trace_cli(trace_file("baseline")), 0);
+  EXPECT_EQ(run_trace_cli(trace_file("c50") + " --summary"), 0);
+  EXPECT_EQ(run_trace_cli(trace_file("c50") + " --print --limit 5"), 0);
+  EXPECT_EQ(run_trace_cli(trace_file("c50") + " --peer 3 --kind poll_opened,poll_concluded"), 0);
+}
+
+TEST_F(ObsCliTest, CsvExportMatchesLibraryHeader) {
+  const std::string csv_path = *out_dir_ + "/c50.csv";
+  ASSERT_EQ(run_trace_cli(trace_file("c50") + " --csv " + csv_path), 0);
+  std::string csv;
+  ASSERT_TRUE(read_file(csv_path, &csv));
+  EXPECT_EQ(csv.rfind("time_ns,kind,domain,origin,other,au,poll,arg\n", 0), 0u);
+}
+
+TEST_F(ObsCliTest, PerfettoExportParsesAsJson) {
+  const std::string json_path = *out_dir_ + "/c50.perfetto.json";
+  ASSERT_EQ(run_trace_cli(trace_file("c50") + " --perfetto " + json_path), 0);
+  std::string text;
+  ASSERT_TRUE(read_file(json_path, &text));
+  lockss::campaign::Json parsed;
+  std::string error;
+  ASSERT_TRUE(lockss::campaign::parse_json(text, &parsed, &error)) << error;
+  const lockss::campaign::Json* events = parsed.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+  EXPECT_FALSE(events->array_items.empty());
+}
+
+TEST_F(ObsCliTest, UsageErrors) {
+  EXPECT_EQ(run_trace_cli(""), 2);                                     // no file
+  EXPECT_EQ(run_trace_cli(trace_file("c50") + " --bogus"), 2);         // unknown flag
+  EXPECT_EQ(run_trace_cli(trace_file("c50") + " stray_positional"), 2);
+  EXPECT_EQ(run_trace_cli(trace_file("c50") + " --kind not_a_kind"), 2);
+  EXPECT_EQ(run_trace_cli(testing::TempDir() + "no_such.trace.bin"), 1);  // read error
+}
+
+TEST_F(ObsCliTest, RejectsCorruptTraceFile) {
+  const std::string bad = *out_dir_ + "/corrupt.trace.bin";
+  std::ofstream out(bad, std::ios::binary | std::ios::trunc);
+  out << "definitely not a trace";
+  out.close();
+  EXPECT_EQ(run_trace_cli(bad), 1);
+}
+
+TEST_F(ObsCliTest, ProgressFlagIsAcceptedAndStdoutUnchanged) {
+  // --progress writes to stderr only; stdout (the "# wrote" listing and the
+  // per-cell report) must stay byte-identical with and without it.
+  const std::string quiet_dir = testing::TempDir() + "obs_cli_noprog";
+  const std::string prog_dir = testing::TempDir() + "obs_cli_prog";
+  std::filesystem::remove_all(quiet_dir);
+  std::filesystem::remove_all(prog_dir);
+  const std::string base = binary_dir() + "/lockss_campaign " + trace_spec();
+  ASSERT_EQ(run(base + " --out-dir " + quiet_dir + " >" + quiet_dir + ".stdout 2>/dev/null"), 0);
+  ASSERT_EQ(run(base + " --progress --out-dir " + prog_dir + " >" + prog_dir + ".stdout 2>" +
+                prog_dir + ".stderr"),
+            0);
+  std::string plain, progressed, heartbeat;
+  ASSERT_TRUE(read_file(quiet_dir + ".stdout", &plain));
+  ASSERT_TRUE(read_file(prog_dir + ".stdout", &progressed));
+  // Out-dir names leak into the "# wrote" lines; normalize them away.
+  size_t pos;
+  while ((pos = progressed.find(prog_dir)) != std::string::npos) {
+    progressed.replace(pos, prog_dir.size(), quiet_dir);
+  }
+  EXPECT_EQ(plain, progressed);
+  ASSERT_TRUE(read_file(prog_dir + ".stderr", &heartbeat));
+  EXPECT_NE(heartbeat.find("progress:"), std::string::npos);
+  EXPECT_NE(heartbeat.find("total wall"), std::string::npos);
+  std::filesystem::remove_all(quiet_dir);
+  std::filesystem::remove_all(prog_dir);
+}
+
+}  // namespace

@@ -3,11 +3,17 @@
 //
 //   bench_compare <current.json> [--baseline BENCH_sweep.json]
 //                 [--tolerance 0.25] [--substrate-tolerance 0.5]
+//                 [--hook-tolerance 0.02]
 //
 // Checks, per sweep present in the baseline:
 //   * identical_metrics must still be true (zero tolerance — a parallel
 //     determinism break is a correctness bug, not a perf wobble);
 //   * serial_seconds must not exceed baseline * (1 + tolerance);
+//   * rows carrying an "obs_hook_overhead" member (the fig3/fig6 inert
+//     tracing-hook measurement, docs/observability.md) must stay at or
+//     below 1 + hook-tolerance — the current report's own ratio, not a
+//     baseline diff, so disabled-tracing hooks can never quietly grow a
+//     cost;
 // and per reputation substrate: dense_ops_per_second must not fall below
 // baseline / (1 + substrate-tolerance).
 //
@@ -102,7 +108,7 @@ int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
                  "usage: bench_compare <current.json> [--baseline BENCH_sweep.json] "
-                 "[--tolerance 0.25] [--substrate-tolerance 0.5]\n");
+                 "[--tolerance 0.25] [--substrate-tolerance 0.5] [--hook-tolerance 0.02]\n");
     return 2;
   }
   const std::string current_path = argv[1];
@@ -110,7 +116,8 @@ int main(int argc, char** argv) {
   const std::string baseline_path = args.text("baseline", "BENCH_sweep.json");
   const double tolerance = args.real("tolerance", 0.25);
   const double substrate_tolerance = args.real("substrate-tolerance", 0.5);
-  if (tolerance < 0.0 || substrate_tolerance < 0.0) {
+  const double hook_tolerance = args.real("hook-tolerance", 0.02);
+  if (tolerance < 0.0 || substrate_tolerance < 0.0 || hook_tolerance < 0.0) {
     std::fprintf(stderr, "error: tolerance must be >= 0\n");
     return 2;
   }
@@ -171,6 +178,20 @@ int main(int argc, char** argv) {
       } else {
         std::printf("ok   %-28s serial %.3fs (baseline %.3fs %+.0f%%)\n", name.c_str(), cur_s,
                     base_s, base_s > 0.0 ? (cur_s / base_s - 1.0) * 100.0 : 0.0);
+      }
+      // Inert tracing-hook bound: an absolute cap on the current report's
+      // own ratio (a baseline diff would let a slow creep ratchet past any
+      // bound one PR at a time).
+      const double hook = number_or(cur, "obs_hook_overhead", 0.0);
+      if (hook > 0.0) {
+        if (hook > 1.0 + hook_tolerance) {
+          std::printf("FAIL %-28s obs hook overhead %.3fx > %.3fx cap\n", name.c_str(), hook,
+                      1.0 + hook_tolerance);
+          ++regressions;
+        } else {
+          std::printf("ok   %-28s obs hook overhead %.3fx (cap %.3fx)\n", name.c_str(), hook,
+                      1.0 + hook_tolerance);
+        }
       }
     }
   }

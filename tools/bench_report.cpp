@@ -84,7 +84,8 @@ bool identical(const experiment::RunResult& a, const experiment::RunResult& b) {
          a.polls_aborted == b.polls_aborted &&
          a.sessions_live_at_end == b.sessions_live_at_end &&
          a.stale_sessions_at_end == b.stale_sessions_at_end &&
-         a.reservations_beyond_horizon == b.reservations_beyond_horizon;
+         a.reservations_beyond_horizon == b.reservations_beyond_horizon &&
+         a.obs_events == b.obs_events;
 }
 
 // The large_deployment row's identity check: identical() minus
@@ -194,7 +195,40 @@ SweepReport time_sweep(const std::string& name, experiment::AdversarySpec::Kind 
       }
     }
   }
-  return time_grid(name, grid, labels, workers);
+  SweepReport out = time_grid(name, grid, labels, workers);
+
+  // Observability inert-hook bound (docs/observability.md), mirroring the
+  // network_faults row's fault-hook bound: one untraced run against one
+  // with tracing enabled but kind_mask = 0, so every protocol hook reaches
+  // its sink and is masked off there. The wall-clock ratio is the pure
+  // cost of keeping the tracing path hot, and the two runs must agree on
+  // every simulation field (tracing consumes no RNG).
+  experiment::ScenarioConfig ideal = base;
+  ideal.trace_interval = sim::SimTime::zero();
+  double start = now_seconds();
+  const experiment::RunResult ideal_result = experiment::run_scenario(ideal);
+  const double obs_ideal_seconds = now_seconds() - start;
+  experiment::ScenarioConfig traced = ideal;
+  traced.obs_trace.enabled = true;
+  traced.obs_trace.kind_mask = 0;
+  start = now_seconds();
+  experiment::RunResult traced_result = experiment::run_scenario(traced);
+  const double obs_inert_seconds = now_seconds() - start;
+  // The trace itself (enabled flag, zero events) is the one legitimate
+  // difference; every simulation field must match bit for bit.
+  traced_result.obs_events = ideal_result.obs_events;
+  const bool obs_identical = identical(ideal_result, traced_result);
+  out.identical_metrics = out.identical_metrics && obs_identical;
+  char extra[192];
+  std::snprintf(extra, sizeof(extra),
+                ",\n     \"obs_ideal_seconds\": %.3f, \"obs_inert_seconds\": %.3f, "
+                "\"obs_hook_overhead\": %.3f",
+                obs_ideal_seconds, obs_inert_seconds, obs_inert_seconds / obs_ideal_seconds);
+  out.extra_json = extra;
+  std::printf("# %s: obs inert-hook overhead %.3fs / %.3fs = %.2fx, identical=%s\n",
+              name.c_str(), obs_inert_seconds, obs_ideal_seconds,
+              obs_inert_seconds / obs_ideal_seconds, obs_identical ? "yes" : "NO");
+  return out;
 }
 
 // Dynamic-deployment throughput (PR 5): churn leave-rate × regional outage

@@ -18,6 +18,10 @@
 //   --retries N       extra attempts per unit after the first (default 0)
 //   --fault-inject S  deterministic fault plan (see campaign/fault.hpp);
 //                     also honoured from $LOCKSS_FAULT_INJECT
+//   --progress        live stderr heartbeat: units done/total, rate, ETA,
+//                     retry count. stderr only — stdout and every artifact
+//                     stay byte-identical with or without it. Implied off
+//                     by --quiet
 //
 // Unknown flags and stray positionals are an error (exit 2): a misspelled
 // option must never silently run the wrong experiment. Exit codes: 0 ok,
@@ -32,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -40,6 +45,7 @@
 #include "campaign/spec.hpp"
 #include "experiment/cli.hpp"
 #include "experiment/runner.hpp"
+#include "obs/profile.hpp"
 
 using namespace lockss;
 
@@ -107,7 +113,7 @@ void print_plan(const campaign::CompiledCampaign& compiled) {
 bool check_flags(const experiment::CliArgs& args) {
   static const std::set<std::string> known = {
       "validate", "dry-run", "out-dir",      "workers", "quiet",
-      "resume",   "retries", "fault-inject", "shards",
+      "resume",   "retries", "fault-inject", "shards",  "progress",
   };
   for (const std::string& key : args.keys()) {
     if (!known.contains(key)) {
@@ -131,7 +137,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: lockss_campaign <campaign.json> [--validate] [--out-dir DIR] "
                  "[--workers N] [--shards N] [--quiet] [--resume] [--retries N] "
-                 "[--fault-inject SPEC]\n");
+                 "[--fault-inject SPEC] [--progress]\n");
     return 2;
   }
   const std::string spec_path = argv[1];
@@ -201,6 +207,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Heartbeat: one stderr line per completed unit. The rate counts only
+  // units computed this invocation — journal-resumed units complete
+  // instantly and would otherwise inflate the ETA into fiction.
+  const bool show_progress = args.flag("progress") && !options.quiet;
+  if (show_progress) {
+    auto watch = std::make_shared<obs::Stopwatch>();
+    auto resumed = std::make_shared<size_t>(SIZE_MAX);
+    options.progress = [watch, resumed](const campaign::RunOptions::Progress& p) {
+      if (*resumed == SIZE_MAX) {
+        *resumed = p.units_done;
+        if (p.units_done > 0) {
+          std::fprintf(stderr, "progress: %zu/%zu unit(s) resumed from the journal\n",
+                       p.units_done, p.units_total);
+        }
+        return;
+      }
+      const size_t computed = p.units_done - *resumed;
+      const double elapsed = watch->elapsed_seconds();
+      const double rate = elapsed > 0.0 ? static_cast<double>(computed) / elapsed : 0.0;
+      const size_t remaining = p.units_total - p.units_done;
+      char eta[32];
+      if (rate > 0.0 && remaining > 0) {
+        std::snprintf(eta, sizeof(eta), "%.0fs", static_cast<double>(remaining) / rate);
+      } else {
+        std::snprintf(eta, sizeof(eta), "%s", remaining == 0 ? "done" : "--");
+      }
+      std::fprintf(stderr, "progress: %zu/%zu units, %.2f units/s, eta %s, %u retries%s\n",
+                   p.units_done, p.units_total, rate, eta, p.extra_attempts,
+                   p.units_failed > 0
+                       ? (", " + std::to_string(p.units_failed) + " FAILED").c_str()
+                       : "");
+    };
+  }
+
   // Probe out-dir writability before spending CPU on the grid: create it
   // (if needed) and touch a file inside. Catches read-only and
   // file-shadowed paths regardless of euid.
@@ -228,6 +268,10 @@ int main(int argc, char** argv) {
   if (!campaign::run_campaign(compiled, options, &outcome, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
+  }
+  if (show_progress) {
+    std::fprintf(stderr, "progress: total wall %.1fs with %u worker(s)\n",
+                 outcome.total_wall_ms / 1000.0, outcome.workers_used);
   }
   for (const std::string& file : outcome.files_written) {
     std::printf("# wrote %s\n", file.c_str());

@@ -1,0 +1,232 @@
+// Trace inspector: filter, summarize, and export protocol event traces.
+//
+//   lockss_trace <file.trace.bin> [options]
+//
+//   --summary         per-kind event counts plus the poll abort taxonomy
+//                     (default when no other output is asked for)
+//   --peer N          keep events whose origin or counterpart is peer N
+//   --au N            keep events scoped to AU N
+//   --poll N          keep events of poll id N
+//   --kind NAME       keep one event kind (snake_case, e.g. poll_concluded);
+//                     repeatable via comma list: --kind ack_timeout,vote_sent
+//   --csv PATH        write the (filtered) events as CSV
+//   --perfetto PATH   write Chrome/Perfetto trace-event JSON (poll
+//                     lifecycles as spans; load via ui.perfetto.dev)
+//   --limit N         print at most N event lines with --print (default 50)
+//   --print           dump the (filtered) events as text lines
+//
+// Trace files are written per unit by lockss_campaign when the spec enables
+// `observability.trace` (docs/observability.md), or by run_scenario
+// consumers via obs::write_trace_file. Exit codes: 0 ok, 1 read/write
+// error, 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "experiment/cli.hpp"
+#include "obs/event.hpp"
+#include "obs/export.hpp"
+#include "protocol/host.hpp"
+
+using namespace lockss;
+
+namespace {
+
+// Comma-separated kind names -> bit mask; returns false on unknown names.
+bool parse_kind_list(const std::string& list, uint32_t* mask, std::string* bad) {
+  *mask = 0;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) {
+      comma = list.size();
+    }
+    const std::string name = list.substr(start, comma - start);
+    if (!name.empty()) {
+      obs::EventKind kind;
+      if (!obs::parse_event_kind(name.c_str(), &kind)) {
+        *bad = name;
+        return false;
+      }
+      *mask |= obs::kind_bit(kind);
+    }
+    start = comma + 1;
+  }
+  return true;
+}
+
+void print_summary(const obs::EventTrace& trace, const std::vector<obs::Event>& events) {
+  uint64_t by_kind[obs::kEventKindCount] = {};
+  // Abort taxonomy from kPollConcluded payloads:
+  // arg = (PollOutcomeKind << 8) | PollAbortReason.
+  uint64_t by_abort[protocol::kPollAbortReasonCount] = {};
+  uint64_t concluded = 0;
+  for (const obs::Event& e : events) {
+    ++by_kind[static_cast<size_t>(e.kind)];
+    if (e.kind == obs::EventKind::kPollConcluded) {
+      ++concluded;
+      const uint64_t reason = e.arg & 0xFF;
+      if (reason < protocol::kPollAbortReasonCount) {
+        ++by_abort[reason];
+      }
+    }
+  }
+  std::printf("events: %zu", events.size());
+  if (trace.dropped > 0) {
+    std::printf(" (+%llu dropped at the ring buffer)",
+                static_cast<unsigned long long>(trace.dropped));
+  }
+  std::printf("\n");
+  if (!events.empty()) {
+    std::printf("span: %.3f .. %.3f sim-days\n",
+                static_cast<double>(events.front().time_ns) / 86400.0e9,
+                static_cast<double>(events.back().time_ns) / 86400.0e9);
+  }
+  for (size_t k = 0; k < obs::kEventKindCount; ++k) {
+    if (by_kind[k] > 0) {
+      std::printf("  %-22s %llu\n", obs::event_kind_name(static_cast<obs::EventKind>(k)),
+                  static_cast<unsigned long long>(by_kind[k]));
+    }
+  }
+  if (concluded > 0) {
+    std::printf("poll conclusions (%llu):\n", static_cast<unsigned long long>(concluded));
+    for (size_t r = 0; r < protocol::kPollAbortReasonCount; ++r) {
+      if (by_abort[r] > 0) {
+        std::printf("  %-22s %llu\n",
+                    protocol::poll_abort_reason_name(
+                        static_cast<protocol::PollAbortReason>(r)),
+                    static_cast<unsigned long long>(by_abort[r]));
+      }
+    }
+  }
+}
+
+void print_events(const std::vector<obs::Event>& events, size_t limit) {
+  size_t shown = 0;
+  for (const obs::Event& e : events) {
+    if (shown++ == limit) {
+      std::printf("... (%zu more; raise --limit)\n", events.size() - limit);
+      break;
+    }
+    char au[16];
+    if (e.au == obs::Event::kNoAu) {
+      std::snprintf(au, sizeof(au), "-");
+    } else {
+      std::snprintf(au, sizeof(au), "%u", e.au);
+    }
+    std::printf("%14.6fd %-22s origin=%u other=%u au=%s poll=%llu arg=%llu\n",
+                static_cast<double>(e.time_ns) / 86400.0e9, obs::event_kind_name(e.kind),
+                e.origin, e.other, au, static_cast<unsigned long long>(e.poll),
+                static_cast<unsigned long long>(e.arg));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') {
+    std::fprintf(stderr,
+                 "usage: lockss_trace <file.trace.bin> [--summary] [--peer N] [--au N] "
+                 "[--poll N] [--kind NAMES] [--csv PATH] [--perfetto PATH] [--print] "
+                 "[--limit N]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  experiment::CliArgs args(argc - 1, argv + 1);
+  for (const std::string& key : args.keys()) {
+    if (key != "summary" && key != "peer" && key != "au" && key != "poll" &&
+        key != "kind" && key != "csv" && key != "perfetto" && key != "print" &&
+        key != "limit") {
+      std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+      return 2;
+    }
+  }
+  if (!args.extras().empty()) {
+    std::fprintf(stderr, "error: unexpected argument '%s' (one trace file, then flags)\n",
+                 args.extras().front().c_str());
+    return 2;
+  }
+
+  obs::EventTrace trace;
+  std::string error;
+  if (!obs::read_trace_file(path, &trace, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  uint32_t kind_mask = obs::kMaskAll;
+  const std::string kinds = args.text("kind", "");
+  if (!kinds.empty()) {
+    std::string bad;
+    if (!parse_kind_list(kinds, &kind_mask, &bad)) {
+      std::fprintf(stderr, "error: unknown event kind '%s' (see docs/observability.md)\n",
+                   bad.c_str());
+      return 2;
+    }
+  }
+  const int64_t peer = args.integer("peer", -1);
+  const int64_t au = args.integer("au", -1);
+  const int64_t poll = args.integer("poll", -1);
+
+  std::vector<obs::Event> events;
+  events.reserve(trace.events.size());
+  for (const obs::Event& e : trace.events) {
+    if ((obs::kind_bit(e.kind) & kind_mask) == 0) {
+      continue;
+    }
+    if (peer >= 0 && e.origin != static_cast<uint32_t>(peer) &&
+        e.other != static_cast<uint32_t>(peer)) {
+      continue;
+    }
+    if (au >= 0 && e.au != static_cast<uint32_t>(au)) {
+      continue;
+    }
+    if (poll >= 0 && e.poll != static_cast<uint64_t>(poll)) {
+      continue;
+    }
+    events.push_back(e);
+  }
+
+  bool wrote_something = false;
+  const std::string csv_path = args.text("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    obs::write_csv(out, events);
+    if (!out) {
+      std::fprintf(stderr, "error: write failed: %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s (%zu events)\n", csv_path.c_str(), events.size());
+    wrote_something = true;
+  }
+  const std::string perfetto_path = args.text("perfetto", "");
+  if (!perfetto_path.empty()) {
+    std::ofstream out(perfetto_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "error: cannot write %s\n", perfetto_path.c_str());
+      return 1;
+    }
+    obs::write_perfetto_json(out, events);
+    if (!out) {
+      std::fprintf(stderr, "error: write failed: %s\n", perfetto_path.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s (%zu events)\n", perfetto_path.c_str(), events.size());
+    wrote_something = true;
+  }
+  if (args.flag("print")) {
+    const int64_t limit = args.integer("limit", 50);
+    print_events(events, limit < 0 ? 0 : static_cast<size_t>(limit));
+    wrote_something = true;
+  }
+  if (args.flag("summary") || !wrote_something) {
+    print_summary(trace, events);
+  }
+  return 0;
+}

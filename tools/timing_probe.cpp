@@ -1,8 +1,10 @@
-// Wall-clock timing probe for bench calibration.
-#include <chrono>
+// Wall-clock timing probe for bench calibration, riding the obs profiler:
+// each probe runs with self-profiling on and reports the phase split
+// (setup / run / harvest) plus peak RSS alongside the headline numbers.
 #include <cstdio>
 
 #include "experiment/scenario.hpp"
+#include "obs/profile.hpp"
 
 using namespace lockss;
 
@@ -17,13 +19,16 @@ static void probe(uint32_t peers, uint32_t aus, double years,
   config.adversary.cadence.coverage = 1.0;
   config.adversary.cadence.attack_duration = sim::SimTime::days(30);
   config.adversary.cadence.recuperation = sim::SimTime::days(30);
-  const auto t0 = std::chrono::steady_clock::now();
-  auto r = experiment::run_scenario(config);
-  const auto t1 = std::chrono::steady_clock::now();
-  const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  std::printf("peers=%u aus=%u years=%.1f adv=%d: %.0f ms, polls=%llu ok=%llu afp=%.2e\n", peers,
-              aus, years, (int)kind, ms, (unsigned long long)r.polls_started,
-              (unsigned long long)r.report.successful_polls,
+  config.obs_profile = true;
+  const obs::Stopwatch watch;
+  const experiment::RunResult r = experiment::run_scenario(config);
+  const double ms = watch.elapsed_ms();
+  std::printf("peers=%u aus=%u years=%.1f adv=%d: %.0f ms "
+              "(setup %.0f, run %.0f, harvest %.0f), polls=%llu ok=%llu afp=%.2e\n",
+              peers, aus, years, static_cast<int>(kind), ms, r.profile.setup_ms,
+              r.profile.run_ms, r.profile.harvest_ms,
+              static_cast<unsigned long long>(r.polls_started),
+              static_cast<unsigned long long>(r.report.successful_polls),
               r.report.access_failure_probability);
 }
 
@@ -34,5 +39,6 @@ int main() {
   probe(100, 10, 2.0, experiment::AdversarySpec::Kind::kPipeStoppage);
   probe(100, 10, 2.0, experiment::AdversarySpec::Kind::kAdmissionFlood);
   probe(100, 10, 1.0, experiment::AdversarySpec::Kind::kBruteForce);
+  std::printf("peak_rss_kb=%llu\n", static_cast<unsigned long long>(obs::vm_hwm_kb()));
   return 0;
 }
