@@ -36,6 +36,8 @@ void AdmissionFloodAdversary::start() { schedule_.start(); }
 
 void AdmissionFloodAdversary::stop() { schedule_.stop(); }
 
+void AdmissionFloodAdversary::throttle_cadence(double factor) { schedule_.throttle(factor); }
+
 void AdmissionFloodAdversary::arm_lanes(const std::vector<net::NodeId>& victim_ids) {
   disarm_lanes();
   for (peer::Peer* victim : all_victims_) {

@@ -58,6 +58,11 @@ class AdmissionFloodAdversary {
   // probe lane.
   void stop();
 
+  // Policy throttle (adversary/policy.hpp): scale attack windows by
+  // `factor` in (0, 1] and stretch recuperation by 1/factor; applies from
+  // the next on/off transition.
+  void throttle_cadence(double factor);
+
   uint64_t probes_sent() const { return probes_sent_; }
   bool attacking() const { return schedule_.attacking(); }
 

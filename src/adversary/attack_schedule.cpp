@@ -17,7 +17,40 @@ AttackSchedule::AttackSchedule(sim::Simulator& simulator, sim::Rng rng, AttackCa
   assert(cadence_.coverage >= 0.0 && cadence_.coverage <= 1.0);
 }
 
-void AttackSchedule::start() { begin_phase(); }
+void AttackSchedule::start() {
+  // A start() over a live iteration (policy-driven re-activation) must not
+  // leak the old window: cancel the pending transition and run the owner's
+  // teardown before opening the fresh window, so anything the old victims
+  // had booked — link filters, attack lanes, schedule reservations — is
+  // released immediately. First-time starts see both branches as no-ops.
+  pending_.cancel();
+  if (attacking_) {
+    attacking_ = false;
+    victims_.clear();
+    if (on_end_) {
+      on_end_();
+    }
+  }
+  begin_phase();
+}
+
+void AttackSchedule::throttle(double factor) {
+  assert(factor > 0.0 && factor <= 1.0);
+  AttackCadence cadence = cadence_;
+  cadence.attack_duration = cadence.attack_duration * factor;
+  const sim::SimTime floor = sim::SimTime::seconds(1.0);
+  if (cadence.attack_duration < floor) {
+    cadence.attack_duration = floor;
+  }
+  cadence.recuperation = cadence.recuperation * (1.0 / factor);
+  set_cadence(cadence);
+}
+
+void AttackSchedule::set_cadence(AttackCadence cadence) {
+  assert(cadence.coverage >= 0.0 && cadence.coverage <= 1.0);
+  assert(cadence.attack_duration > sim::SimTime::zero());
+  cadence_ = cadence;
+}
 
 void AttackSchedule::stop() {
   pending_.cancel();

@@ -36,7 +36,10 @@ class AttackSchedule {
   AttackSchedule(sim::Simulator& simulator, sim::Rng rng, AttackCadence cadence,
                  std::vector<net::NodeId> population, PhaseStart on_start, PhaseEnd on_end);
 
-  // Begins the first attack phase immediately.
+  // Begins an attack phase immediately. Restart-safe: if an iteration is
+  // already live (a policy switch re-activating a running phase), the old
+  // window is torn down first — the owner's teardown callback runs and any
+  // booked rate-limiter state is released *now*, not at the next stop().
   void start();
 
   // Halts the cadence: cancels the pending on/off transition and, if an
@@ -44,6 +47,19 @@ class AttackSchedule {
   // callback). start() may be called again later — campaign pipelines use
   // this to window an attack inside a larger scenario.
   void stop();
+
+  // Scales the cadence down to stay under detection: attack windows shrink
+  // by `factor` ∈ (0, 1], recuperation stretches by 1/factor. The attack
+  // window saturates at one second — repeated throttles (an adaptive policy
+  // re-firing under a sustained trigger) must converge, not drive the
+  // integer duration to zero.
+  void throttle(double factor);
+
+  // Replaces the cadence; takes effect at the next on/off transition
+  // (PolicyEngine throttling — adversary/policy.hpp).
+  void set_cadence(AttackCadence cadence);
+
+  const AttackCadence& cadence() const { return cadence_; }
 
   bool attacking() const { return attacking_; }
   uint64_t iterations() const { return iterations_; }

@@ -51,6 +51,16 @@ net::NodeId BruteForceAdversary::next_minion() {
 }
 
 void BruteForceAdversary::start() {
+  stopped_ = false;
+  if (!fronts_.empty()) {
+    // Policy-driven reactivation (adversary/policy.hpp): the grades were
+    // seeded and the lanes built on the first start; just bring every
+    // front back to life with a fresh stagger.
+    for (size_t f = 0; f < fronts_.size(); ++f) {
+      schedule_attempt(f, rng_.uniform_time(sim::SimTime::zero(), params_.refractory_period));
+    }
+    return;
+  }
   // "We conservatively initialize all adversary addresses with a debt grade
   // at all loyal peers" (§7.4).
   for (peer::Peer* victim : victims_) {

@@ -41,6 +41,11 @@ peer::Peer* GradeRecoveryAdversary::victim_by_id(net::NodeId id) {
 }
 
 void GradeRecoveryAdversary::start() {
+  stopped_ = false;
+  if (seeded_) {
+    return;  // reactivation: resume answering with the standing that remains
+  }
+  seeded_ = true;
   // Long-term infiltration: minions sit in the victims' reference lists with
   // an even grade, indistinguishable from loyal peers (masquerading, §3.1).
   for (peer::Peer* victim : victims_) {

@@ -55,7 +55,9 @@ class GradeRecoveryAdversary : public net::MessageHandler {
   ~GradeRecoveryAdversary() override;
 
   // Seeds minions into the victims' reference lists (even grade) and starts
-  // listening for invitations.
+  // listening for invitations. Restart-safe: a policy-driven reactivation
+  // resumes answering without re-seeding (the infiltrated standing keeps
+  // whatever it decayed to).
   void start();
 
   // Phase-installable teardown: minions stop answering invitations and stop
@@ -101,6 +103,7 @@ class GradeRecoveryAdversary : public net::MessageHandler {
   uint64_t votes_supplied_ = 0;
   uint64_t defecting_polls_ = 0;
   bool stopped_ = false;
+  bool seeded_ = false;  // first start() seeds; restarts only resume
 };
 
 }  // namespace lockss::adversary

@@ -22,6 +22,8 @@ void PipeStoppageAdversary::start() { schedule_.start(); }
 
 void PipeStoppageAdversary::stop() { schedule_.stop(); }
 
+void PipeStoppageAdversary::throttle_cadence(double factor) { schedule_.throttle(factor); }
+
 bool PipeStoppageAdversary::allow(net::NodeId from, net::NodeId to) const {
   if (victims_.empty()) {
     return true;

@@ -33,6 +33,11 @@ class PipeStoppageAdversary : public net::LinkFilter {
   // blackout (traffic flows again immediately).
   void stop();
 
+  // Policy throttle (adversary/policy.hpp): scale attack windows by
+  // `factor` in (0, 1] and stretch recuperation by 1/factor; applies from
+  // the next on/off transition.
+  void throttle_cadence(double factor);
+
   // net::LinkFilter: drop anything touching a current victim.
   bool allow(net::NodeId from, net::NodeId to) const override;
 

@@ -221,6 +221,7 @@ AdversaryFleet::AdversaryFleet(const FleetEnvironment& env, const AdversaryPipel
 }
 
 void AdversaryFleet::Installed::start() {
+  active = true;
   if (pipe_stoppage) {
     pipe_stoppage->start();
   } else if (admission_flood) {
@@ -235,6 +236,7 @@ void AdversaryFleet::Installed::start() {
 }
 
 void AdversaryFleet::Installed::stop() {
+  active = false;
   if (pipe_stoppage) {
     pipe_stoppage->stop();
   } else if (admission_flood) {
@@ -260,6 +262,48 @@ void AdversaryFleet::start() {
     if (entry.phase.stop != sim::SimTime::zero()) {
       simulator_->schedule_at(entry.phase.stop, [&entry] { entry.stop(); });
     }
+  }
+}
+
+void AdversaryFleet::start_phase(size_t index) {
+  Installed& entry = installed_[index];
+  if (!entry.active) {
+    entry.start();
+  }
+}
+
+void AdversaryFleet::stop_phase(size_t index) {
+  Installed& entry = installed_[index];
+  if (entry.active) {
+    entry.stop();
+  }
+}
+
+void AdversaryFleet::restart_phase(size_t index) {
+  Installed& entry = installed_[index];
+  if (entry.active) {
+    entry.stop();
+  }
+  entry.start();
+}
+
+void AdversaryFleet::throttle_phase(size_t index, double factor, sim::SimTime pause) {
+  Installed& entry = installed_[index];
+  assert(factor > 0.0 && factor <= 1.0);
+  if (entry.pipe_stoppage) {
+    entry.pipe_stoppage->throttle_cadence(factor);
+  } else if (entry.admission_flood) {
+    entry.admission_flood->throttle_cadence(factor);
+  } else {
+    // Continuous attackers have no cadence to scale: duty-cycle instead.
+    if (entry.active) {
+      entry.stop();
+    }
+    simulator_->schedule_in(pause, [&entry] {
+      if (!entry.active) {
+        entry.start();
+      }
+    });
   }
 }
 

@@ -114,6 +114,20 @@ class AdversaryFleet {
   // the rest; schedules stops where given.
   void start();
 
+  // --- Policy-engine actions (adversary/policy.hpp) -------------------------
+  // Deterministic activation toggles, called from PolicyEngine reactions on
+  // the global context. All are idempotent against the per-phase active
+  // flag, so a policy switch racing a scheduled window stop never
+  // double-tears a phase down.
+  void start_phase(size_t index);            // activate (no-op when active)
+  void stop_phase(size_t index);             // deactivate (no-op when inactive)
+  void restart_phase(size_t index);          // retarget: teardown + fresh start
+  // Throttle to stay under detection: cadence-driven phases scale their
+  // attack windows by `factor` (and stretch recuperation by 1/factor);
+  // continuous phases duty-cycle — stop now, resume after `pause`.
+  void throttle_phase(size_t index, double factor, sim::SimTime pause);
+  bool phase_active(size_t index) const { return installed_[index].active; }
+
   // Aggregates for the RunResult / trace sampler. Sums across phases; for
   // every single-adversary pipeline the sums equal the legacy per-kind
   // counters (at most one phase carries each counter).
@@ -126,6 +140,7 @@ class AdversaryFleet {
  private:
   struct Installed {
     AdversaryPhase phase;
+    bool active = false;  // flipped by start()/stop(); read by the policy APIs
     std::unique_ptr<PipeStoppageAdversary> pipe_stoppage;
     std::unique_ptr<AdmissionFloodAdversary> admission_flood;
     std::unique_ptr<BruteForceAdversary> brute_force;

@@ -89,6 +89,75 @@ std::string render_spec_canonical(const Spec& spec) {
     w.key("burst_cycle_ns").value(static_cast<uint64_t>(spec.faults.burst_cycle.ns()));
     w.end_object();
   }
+  // Policy/tournament keys likewise only for policy-engaging specs, so
+  // every pre-policy campaign keeps its hash (and its journals resumable).
+  const auto policy_rules = [&w](const std::vector<adversary::AdversaryPolicy>& rules) {
+    w.begin_array();
+    for (const adversary::AdversaryPolicy& rule : rules) {
+      w.begin_object();
+      w.key("trigger").value(adversary::policy_trigger_name(rule.trigger));
+      w.key("action").value(adversary::policy_action_name(rule.action));
+      w.key("phase").value(static_cast<uint64_t>(rule.phase));
+      w.key("factor").value(rule.factor);
+      w.end_object();
+    }
+    w.end_array();
+  };
+  const auto operator_rules = [&w](const std::vector<dynamics::OperatorPolicy>& rules) {
+    w.begin_array();
+    for (const dynamics::OperatorPolicy& rule : rules) {
+      w.begin_object();
+      w.key("trigger").value(dynamics::operator_trigger_name(rule.trigger));
+      w.key("action").value(dynamics::operator_action_name(rule.action));
+      w.key("factor").value(rule.factor);
+      w.end_object();
+    }
+    w.end_array();
+  };
+  if (spec_has_policies(spec)) {
+    w.key("adversary_policy").begin_object();
+    w.key("reaction_latency_ns")
+        .value(static_cast<uint64_t>(spec.adversary_policy.reaction_latency.ns()));
+    w.key("sensor_interval_ns")
+        .value(static_cast<uint64_t>(spec.adversary_policy.sensor_interval.ns()));
+    w.key("cooldown_ns").value(static_cast<uint64_t>(spec.adversary_policy.cooldown.ns()));
+    w.key("outage_threshold").value(spec.adversary_policy.outage_threshold);
+    w.key("backoff_threshold").value(spec.adversary_policy.backoff_threshold);
+    w.key("collapse_threshold").value(spec.adversary_policy.collapse_threshold);
+    w.key("dormant_mean_ns")
+        .value(static_cast<uint64_t>(spec.adversary_policy.dormant_mean.ns()));
+    w.key("throttle_pause_ns")
+        .value(static_cast<uint64_t>(spec.adversary_policy.throttle_pause.ns()));
+    w.key("policies");
+    policy_rules(spec.adversary_policy.policies);
+    w.end_object();
+  }
+  if (spec.tournament) {
+    w.key("tournament").begin_object();
+    w.key("adversary_strategies").begin_array();
+    for (const Spec::AdversaryStrategy& strategy : spec.adversary_strategies) {
+      w.begin_object();
+      w.key("name").value(strategy.name);
+      w.key("policies");
+      policy_rules(strategy.policies);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("operator_strategies").begin_array();
+    for (const Spec::OperatorStrategy& strategy : spec.operator_strategies) {
+      w.begin_object();
+      w.key("name").value(strategy.name);
+      w.key("detection_latency_ns")
+          .value(static_cast<uint64_t>(strategy.operators.detection_latency.ns()));
+      w.key("recrawl_cost_factor").value(strategy.operators.recrawl_cost_factor);
+      w.key("policies");
+      operator_rules(strategy.operators.policies);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("payoff").value(spec.payoff_name);
+    w.end_object();
+  }
   w.key("pipeline").begin_array();
   for (const adversary::AdversaryPhase& phase : spec.pipeline) {
     w.begin_object();

@@ -189,6 +189,18 @@ void append_dynamics_metrics(JsonWriter& w, const experiment::RunResult& r) {
   w.end_array();
 }
 
+// Policy keys only for policy-engaging specs (spec_has_policies), so every
+// policy-free campaign manifest renders byte-identically to the pre-policy
+// engine.
+void append_policy_metrics(JsonWriter& w, const experiment::RunResult& r) {
+  w.key("policy_triggers").value(r.policy_triggers);
+  w.key("policy_actions").begin_array();
+  for (uint64_t n : r.policy_actions) {
+    w.value(n);
+  }
+  w.end_array();
+}
+
 // Fault keys likewise only for fault-injecting specs (spec_has_faults), so
 // every fault-free campaign manifest renders byte-identically to the
 // pre-fault engine.
@@ -294,6 +306,10 @@ std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOut
   if (faulty) {
     out += ",faults_lost,faults_burst_dropped,faults_duplicated,faults_jittered";
   }
+  const bool policied = spec_has_policies(spec);
+  if (policied) {
+    out += ",policy_triggers,policy_actions";
+  }
   // Robustness columns for every spec (the manifest's
   // append_robustness_metrics rationale).
   out += ",ack_timeouts,vote_timeouts,solicitation_retries,stale_sessions_at_end";
@@ -341,6 +357,16 @@ std::string render_cells_csv(const CompiledCampaign& campaign, const CampaignOut
                     static_cast<unsigned long long>(r.faults_burst_dropped),
                     static_cast<unsigned long long>(r.faults_duplicated),
                     static_cast<unsigned long long>(r.faults_jittered));
+      out += buf;
+    }
+    if (policied) {
+      uint64_t actions = 0;
+      for (uint64_t n : r.policy_actions) {
+        actions += n;
+      }
+      std::snprintf(buf, sizeof(buf), ",%llu,%llu",
+                    static_cast<unsigned long long>(r.policy_triggers),
+                    static_cast<unsigned long long>(actions));
       out += buf;
     }
     std::snprintf(buf, sizeof(buf), ",%llu,%llu,%llu,%llu",
@@ -489,6 +515,65 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
     w.end_object();
   }
   w.end_array();
+  if (spec_has_policies(spec)) {
+    const auto policy_rules = [&w](const std::vector<adversary::AdversaryPolicy>& rules) {
+      w.begin_array();
+      for (const adversary::AdversaryPolicy& rule : rules) {
+        w.begin_object();
+        w.key("trigger").value(adversary::policy_trigger_name(rule.trigger));
+        w.key("action").value(adversary::policy_action_name(rule.action));
+        w.key("phase").value(static_cast<uint64_t>(rule.phase));
+        w.key("factor").value(rule.factor);
+        w.end_object();
+      }
+      w.end_array();
+    };
+    w.key("adversary_policy").begin_object();
+    w.key("reaction_latency_hours")
+        .value(spec.adversary_policy.reaction_latency.to_seconds() / 3600.0);
+    w.key("sensor_interval_days").value(spec.adversary_policy.sensor_interval.to_days());
+    w.key("cooldown_days").value(spec.adversary_policy.cooldown.to_days());
+    w.key("outage_threshold").value(spec.adversary_policy.outage_threshold);
+    w.key("backoff_threshold").value(spec.adversary_policy.backoff_threshold);
+    w.key("collapse_threshold").value(spec.adversary_policy.collapse_threshold);
+    w.key("dormant_mean_days").value(spec.adversary_policy.dormant_mean.to_days());
+    w.key("throttle_pause_days").value(spec.adversary_policy.throttle_pause.to_days());
+    w.key("policies");
+    policy_rules(spec.adversary_policy.policies);
+    w.end_object();
+    if (spec.tournament) {
+      w.key("tournament").begin_object();
+      w.key("adversary_strategies").begin_array();
+      for (const Spec::AdversaryStrategy& strategy : spec.adversary_strategies) {
+        w.begin_object();
+        w.key("name").value(strategy.name);
+        w.key("policies");
+        policy_rules(strategy.policies);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("operator_strategies").begin_array();
+      for (const Spec::OperatorStrategy& strategy : spec.operator_strategies) {
+        w.begin_object();
+        w.key("name").value(strategy.name);
+        w.key("detection_latency_days").value(strategy.operators.detection_latency.to_days());
+        w.key("recrawl_cost_factor").value(strategy.operators.recrawl_cost_factor);
+        w.key("policies").begin_array();
+        for (const dynamics::OperatorPolicy& rule : strategy.operators.policies) {
+          w.begin_object();
+          w.key("trigger").value(dynamics::operator_trigger_name(rule.trigger));
+          w.key("action").value(dynamics::operator_action_name(rule.action));
+          w.key("factor").value(rule.factor);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.key("payoff").value(spec.payoff_name);
+      w.end_object();
+    }
+  }
   w.key("axes").begin_array();
   for (const SweepAxis& axis : spec.axes) {
     w.begin_object();
@@ -518,6 +603,9 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
       if (spec_has_faults(spec)) {
         append_fault_metrics(w, outcome.baseline);
       }
+      if (spec_has_policies(spec)) {
+        append_policy_metrics(w, outcome.baseline);
+      }
       append_unit_extras(w, spec, outcome.baseline, "baseline");
     } else {
       append_failure(w, outcome.baseline_status);
@@ -545,6 +633,9 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
       if (spec_has_faults(spec)) {
         append_fault_metrics(w, outcome.cells[k]);
       }
+      if (spec_has_policies(spec)) {
+        append_policy_metrics(w, outcome.cells[k]);
+      }
       append_unit_extras(w, spec, outcome.cells[k], cell.label);
       if (spec.baseline && baseline_ok) {
         const experiment::RelativeMetrics rel =
@@ -570,6 +661,68 @@ std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutc
   w.end_object();
   std::string out = w.take();
   out += "\n";
+  return out;
+}
+
+std::string render_payoff_csv(const CompiledCampaign& campaign,
+                              const CampaignOutcome& outcome) {
+  const Spec& spec = campaign.spec;
+  if (!spec.tournament) {
+    return "";
+  }
+  // Tournament cells are exactly adversary_strategies × operator_strategies
+  // in row-major order (the strategy axes are the only axes; parse_spec
+  // rejects tournament + sweep).
+  const size_t rows = spec.adversary_strategies.size();
+  const size_t cols = spec.operator_strategies.size();
+  char buf[64];
+  std::string out;
+  const auto matrix = [&](const char* metric,
+                          const std::function<std::string(const experiment::RunResult&)>&
+                              render_cell) {
+    out += "# payoff: ";
+    out += metric;
+    out += "\nadversary_strategy";
+    for (const Spec::OperatorStrategy& strategy : spec.operator_strategies) {
+      out += "," + strategy.name;
+    }
+    out += "\n";
+    for (size_t a = 0; a < rows; ++a) {
+      out += spec.adversary_strategies[a].name;
+      for (size_t o = 0; o < cols; ++o) {
+        const size_t cell = a * cols + o;
+        out += ",";
+        // A failed cell has no metrics; say so instead of rendering its
+        // all-zero placeholder as a legitimate score.
+        if (cell < outcome.cell_status.size() && !outcome.cell_status[cell].ok) {
+          out += "failed";
+        } else {
+          out += render_cell(outcome.cells[cell]);
+        }
+      }
+      out += "\n";
+    }
+  };
+  matrix("afp", [&](const experiment::RunResult& r) {
+    std::snprintf(buf, sizeof(buf), "%.6e", r.report.access_failure_probability);
+    return std::string(buf);
+  });
+  out += "\n";
+  matrix("adversary_effort_seconds", [&](const experiment::RunResult& r) {
+    std::snprintf(buf, sizeof(buf), "%.6e", r.report.adversary_effort_seconds);
+    return std::string(buf);
+  });
+  out += "\n";
+  // The pairing score: damage bought per attacker-second. Higher = the
+  // adversary strategy dominates that operator strategy; an effort-free
+  // pairing scores its raw afp (all damage was free).
+  matrix("score", [&](const experiment::RunResult& r) {
+    const double effort = r.report.adversary_effort_seconds;
+    const double score = effort > 0.0 ? r.report.access_failure_probability / effort
+                                      : r.report.access_failure_probability;
+    std::snprintf(buf, sizeof(buf), "%.6e", score);
+    return std::string(buf);
+  });
   return out;
 }
 
@@ -849,6 +1002,14 @@ bool run_campaign(const CompiledCampaign& campaign, const RunOptions& options,
     return false;
   }
   outcome->files_written.push_back(cells_path);
+  if (spec.tournament) {
+    const std::string payoff_path = join_path(options.out_dir, spec.payoff_name);
+    if (!write_file_atomic(payoff_path, render_payoff_csv(campaign, *outcome), faults,
+                           error)) {
+      return false;
+    }
+    outcome->files_written.push_back(payoff_path);
+  }
   return true;
 }
 

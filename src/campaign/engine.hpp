@@ -115,6 +115,14 @@ bool run_campaign(const CompiledCampaign& campaign, const RunOptions& options,
 // Renders the deterministic run manifest (exposed for the golden test).
 std::string render_manifest(const CompiledCampaign& campaign, const CampaignOutcome& outcome);
 
+// Renders the tournament payoff-matrix CSV (exposed for the determinism
+// tests; docs/adversaries.md). Three blocks — afp, adversary_effort_seconds,
+// and score = afp / effort (afp when the strategy spent nothing) — each a
+// matrix of adversary strategies (rows) × operator strategies (columns).
+// Lower scores mean the defense won: less damage per attacker-second spent.
+// Empty for non-tournament campaigns.
+std::string render_payoff_csv(const CompiledCampaign& campaign, const CampaignOutcome& outcome);
+
 }  // namespace lockss::campaign
 
 #endif  // LOCKSS_CAMPAIGN_ENGINE_HPP_

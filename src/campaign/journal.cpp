@@ -175,6 +175,10 @@ void serialize_run_result(const experiment::RunResult& result, std::string* out)
   put_u64(out, result.sessions_live_at_end);
   put_u64(out, result.stale_sessions_at_end);
   put_u64(out, result.reservations_beyond_horizon);
+  put_u64(out, result.policy_triggers);
+  for (uint64_t v : result.policy_actions) {
+    put_u64(out, v);
+  }
   // result.schedules is deliberately not serialized: campaign units never
   // collect schedule history (it is a layering-internal transfer buffer).
   // result.obs_events and result.profile are deliberately not serialized
@@ -282,9 +286,19 @@ bool deserialize_run_result(const std::string& bytes, size_t* cursor,
       return false;
     }
   }
-  return get_u64(bytes, cursor, &out->sessions_live_at_end) &&
-         get_u64(bytes, cursor, &out->stale_sessions_at_end) &&
-         get_u64(bytes, cursor, &out->reservations_beyond_horizon);
+  ok = get_u64(bytes, cursor, &out->sessions_live_at_end) &&
+       get_u64(bytes, cursor, &out->stale_sessions_at_end) &&
+       get_u64(bytes, cursor, &out->reservations_beyond_horizon) &&
+       get_u64(bytes, cursor, &out->policy_triggers);
+  if (!ok) {
+    return false;
+  }
+  for (uint64_t& v : out->policy_actions) {
+    if (!get_u64(bytes, cursor, &v)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool read_journal(const std::string& path, JournalContents* out, std::string* error) {

@@ -48,7 +48,9 @@ inline constexpr uint32_t kJournalMagic = 0x314A4B4Cu;  // "LKJ1"
 // RunResult blob when the manifest began rendering them for every spec. A
 // version bump invalidates pre-v2 journals wholesale — their records would
 // silently resume with zeroed counters — so --resume recomputes instead.
-inline constexpr uint32_t kJournalVersion = 2;
+// v3 appended the adaptive-adversary policy counters (policy_triggers and
+// the per-PolicyAction applications) for the same reason.
+inline constexpr uint32_t kJournalVersion = 3;
 
 struct JournalRecord {
   uint64_t unit_hash = 0;

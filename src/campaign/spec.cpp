@@ -305,6 +305,96 @@ class ObjectReader {
   bool ok_ = true;
 };
 
+// One adversary trigger→action rule ({ trigger, action, phase?, factor? };
+// docs/adversaries.md). Shared by the adversary_policy section and the
+// tournament strategy tables. Phase-range and factor constraints are
+// checked later via adversary::validate_policies (they need the pipeline).
+bool parse_adversary_policy_rule(const Json& json, const std::string& source,
+                                 const std::string& prefix, adversary::AdversaryPolicy* out,
+                                 std::string* error) {
+  ObjectReader p(json, source, prefix, error);
+  if (!p.expect_object()) {
+    return false;
+  }
+  std::string trigger;
+  std::string action;
+  uint32_t phase = 0;
+  if (!p.string("trigger", &trigger) || !p.string("action", &action) ||
+      !p.unsigned_int("phase", &phase) || !p.number("factor", &out->factor)) {
+    return false;
+  }
+  out->phase = phase;
+  if (trigger.empty()) {
+    return p.fail(json.line, "trigger",
+                  "required (alarm | backoff | outage | recovery | grade_collapse)");
+  }
+  if (!adversary::parse_policy_trigger(trigger, &out->trigger)) {
+    const Json* m = json.find("trigger");
+    return p.fail(m != nullptr ? m->line : json.line, "trigger",
+                  "unknown trigger '" + trigger +
+                      "' (expected alarm | backoff | outage | recovery | grade_collapse)");
+  }
+  if (action.empty()) {
+    return p.fail(json.line, "action",
+                  "required (switch_phase | retarget | throttle | go_dormant)");
+  }
+  if (!adversary::parse_policy_action(action, &out->action)) {
+    const Json* m = json.find("action");
+    return p.fail(m != nullptr ? m->line : json.line, "action",
+                  "unknown action '" + action +
+                      "' (expected switch_phase | retarget | throttle | go_dormant)");
+  }
+  return p.finish();
+}
+
+// One operator trigger→action rule; shared by the operators section and the
+// tournament operator strategies.
+bool parse_operator_policy_entry(const Json& entry, const std::string& source,
+                                 const std::string& prefix, dynamics::OperatorPolicy* out,
+                                 std::string* error) {
+  ObjectReader p(entry, source, prefix, error);
+  if (!p.expect_object()) {
+    return false;
+  }
+  std::string trigger;
+  std::string action;
+  if (!p.string("trigger", &trigger) || !p.string("action", &action) ||
+      !p.number("factor", &out->factor)) {
+    return false;
+  }
+  if (!dynamics::parse_operator_trigger(trigger, &out->trigger)) {
+    const Json* m = entry.find("trigger");
+    return p.fail(m != nullptr ? m->line : entry.line, "trigger",
+                  "unknown trigger '" + trigger + "' (expected alarm | recovery)");
+  }
+  if (!dynamics::parse_operator_action(action, &out->action)) {
+    const Json* m = entry.find("action");
+    return p.fail(m != nullptr ? m->line : entry.line, "action",
+                  "unknown action '" + action +
+                      "' (expected rekey | friend_refresh | rate_tighten | au_recrawl)");
+  }
+  if (out->action == dynamics::OperatorAction::kRateTighten &&
+      (out->factor <= 0.0 || out->factor > 1.0)) {
+    const Json* m = entry.find("factor");
+    return p.fail(m != nullptr ? m->line : entry.line, "factor",
+                  "rate_tighten factor must be within (0, 1]");
+  }
+  return p.finish();
+}
+
+// Tournament strategy names become cell-label segments and payoff CSV
+// headers, so the separators those formats use are reserved.
+std::string check_strategy_name(const std::string& name) {
+  if (name.empty()) {
+    return "required";
+  }
+  if (name.find('/') != std::string::npos || name.find(' ') != std::string::npos ||
+      name.find(',') != std::string::npos || name.find('_') != std::string::npos) {
+    return "must not contain '/', '_', ',' or spaces (used in cell labels and the payoff CSV)";
+  }
+  return "";
+}
+
 bool parse_phase(const Json& json, const std::string& source, size_t index,
                  adversary::AdversaryPhase* out, std::string* error) {
   const std::string prefix = "adversary[" + std::to_string(index) + "]";
@@ -434,10 +524,23 @@ std::string format_axis_value(const SweepAxis& axis, size_t index) {
 }
 
 // Applies one axis value onto a cell config. Parse-time validation already
-// guaranteed the param/phase are legal.
-void apply_axis_value(const SweepAxis& axis, size_t index,
+// guaranteed the param/phase are legal. Tournament strategy axes resolve
+// their names against the spec's strategy tables.
+void apply_axis_value(const Spec& spec, const SweepAxis& axis, size_t index,
                       experiment::ScenarioConfig* config) {
-  if (axis.categorical()) {  // defection
+  if (axis.categorical()) {
+    if (axis.param == "adversary_strategy") {
+      // Shared knobs from the adversary_policy section; the rule table is
+      // the strategy's.
+      config->adversary_policy = spec.adversary_policy;
+      config->adversary_policy.policies = spec.adversary_strategies[index].policies;
+      return;
+    }
+    if (axis.param == "operator_strategy") {
+      config->operators = spec.operator_strategies[index].operators;
+      return;
+    }
+    // defection
     adversary::DefectionPoint point = adversary::DefectionPoint::kNone;
     parse_defection(axis.names[index], &point);
     config->adversary.pipeline[axis.phase].defection = point;
@@ -537,6 +640,12 @@ bool spec_is_dynamic(const Spec& spec) {
       return true;
     }
   }
+  // A tournament's operator strategies enable the operator engine per cell.
+  for (const Spec::OperatorStrategy& strategy : spec.operator_strategies) {
+    if (strategy.operators.enabled()) {
+      return true;
+    }
+  }
   return false;
 }
 
@@ -553,6 +662,10 @@ bool spec_has_faults(const Spec& spec) {
 }
 
 bool spec_has_trace(const Spec& spec) { return spec.obs_trace.enabled; }
+
+bool spec_has_policies(const Spec& spec) {
+  return spec.adversary_policy.enabled() || spec.tournament;
+}
 
 bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
                 std::string* error) {
@@ -684,37 +797,10 @@ bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
                     "required non-empty array of { trigger, action } objects");
     }
     for (size_t i = 0; i < policies->array_items.size(); ++i) {
-      const Json& entry = policies->array_items[i];
       const std::string prefix = "operators.policies[" + std::to_string(i) + "]";
-      ObjectReader p(entry, source_path, prefix, error);
-      if (!p.expect_object()) {
-        return false;
-      }
-      std::string trigger;
-      std::string action;
       dynamics::OperatorPolicy policy;
-      if (!p.string("trigger", &trigger) || !p.string("action", &action) ||
-          !p.number("factor", &policy.factor)) {
-        return false;
-      }
-      if (!dynamics::parse_operator_trigger(trigger, &policy.trigger)) {
-        const Json* m = entry.find("trigger");
-        return p.fail(m != nullptr ? m->line : entry.line, "trigger",
-                      "unknown trigger '" + trigger + "' (expected alarm | recovery)");
-      }
-      if (!dynamics::parse_operator_action(action, &policy.action)) {
-        const Json* m = entry.find("action");
-        return p.fail(m != nullptr ? m->line : entry.line, "action",
-                      "unknown action '" + action +
-                          "' (expected rekey | friend_refresh | rate_tighten | au_recrawl)");
-      }
-      if (policy.action == dynamics::OperatorAction::kRateTighten &&
-          (policy.factor <= 0.0 || policy.factor > 1.0)) {
-        const Json* m = entry.find("factor");
-        return p.fail(m != nullptr ? m->line : entry.line, "factor",
-                      "rate_tighten factor must be within (0, 1]");
-      }
-      if (!p.finish()) {
+      if (!parse_operator_policy_entry(policies->array_items[i], source_path, prefix, &policy,
+                                       error)) {
         return false;
       }
       out->operators.policies.push_back(policy);
@@ -801,7 +887,7 @@ bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
       if (!kinds->is_array()) {
         return o.fail(kinds->line, "kinds",
                       "expected an array of event-group names "
-                      "(poll | voter | churn | operator | fault)");
+                      "(poll | voter | churn | operator | fault | adversary)");
       }
       uint32_t mask = 0;
       for (const Json& item : kinds->array_items) {
@@ -818,10 +904,13 @@ bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
           mask |= obs::kMaskOperator;
         } else if (item.string_value == "fault") {
           mask |= obs::kMaskFault;
+        } else if (item.string_value == "adversary") {
+          mask |= obs::kMaskAdversary;
         } else {
           return o.fail(item.line, "kinds",
                         "unknown event group '" + item.string_value +
-                            "' (expected poll | voter | churn | operator | fault)");
+                            "' (expected poll | voter | churn | operator | fault | "
+                            "adversary)");
         }
       }
       out->obs_trace.kind_mask = mask;
@@ -896,6 +985,54 @@ bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
     }
   }
 
+  // adaptive adversary policies (docs/adversaries.md). The non-empty-table
+  // and pipeline-shape checks run after the tournament section below: a
+  // tournament spec may use this section for knobs only.
+  const Json* adversary_policy_json = reader.member("adversary_policy");
+  if (adversary_policy_json != nullptr) {
+    ObjectReader a(*adversary_policy_json, source_path, "adversary_policy", error);
+    adversary::AdversaryPolicyConfig& pol = out->adversary_policy;
+    double reaction_latency_hours = pol.reaction_latency.to_seconds() / 3600.0;
+    double sensor_interval_days = pol.sensor_interval.to_days();
+    double cooldown_days = pol.cooldown.to_days();
+    double dormant_mean_days = pol.dormant_mean.to_days();
+    double throttle_pause_days = pol.throttle_pause.to_days();
+    if (!a.expect_object() ||
+        !a.number("reaction_latency_hours", &reaction_latency_hours) ||
+        !a.number("sensor_interval_days", &sensor_interval_days) ||
+        !a.number("cooldown_days", &cooldown_days) ||
+        !a.number("outage_threshold", &pol.outage_threshold) ||
+        !a.number("backoff_threshold", &pol.backoff_threshold) ||
+        !a.number("collapse_threshold", &pol.collapse_threshold) ||
+        !a.number("dormant_mean_days", &dormant_mean_days) ||
+        !a.number("throttle_pause_days", &throttle_pause_days)) {
+      return false;
+    }
+    pol.reaction_latency = sim::SimTime::hours(reaction_latency_hours);
+    pol.sensor_interval = sim::SimTime::days(sensor_interval_days);
+    pol.cooldown = sim::SimTime::days(cooldown_days);
+    pol.dormant_mean = sim::SimTime::days(dormant_mean_days);
+    pol.throttle_pause = sim::SimTime::days(throttle_pause_days);
+    if (const Json* policies = a.member("policies")) {
+      if (!policies->is_array()) {
+        return a.fail(policies->line, "policies",
+                      "expected an array of { trigger, action } objects");
+      }
+      for (size_t i = 0; i < policies->array_items.size(); ++i) {
+        const std::string prefix = "adversary_policy.policies[" + std::to_string(i) + "]";
+        adversary::AdversaryPolicy rule;
+        if (!parse_adversary_policy_rule(policies->array_items[i], source_path, prefix, &rule,
+                                         error)) {
+          return false;
+        }
+        out->adversary_policy.policies.push_back(rule);
+      }
+    }
+    if (!a.finish()) {
+      return false;
+    }
+  }
+
   // sweep axes
   if (const Json* sweep = reader.member("sweep")) {
     if (!sweep->is_array()) {
@@ -951,6 +1088,180 @@ bool parse_spec(const Json& json, const std::string& source_path, Spec* out,
               "dynamics.leave_rate_per_peer_year / crash_rate_per_peer_year or sweep them");
         }
       }
+    }
+  }
+
+  // tournament (docs/adversaries.md): adversary strategies × operator
+  // strategies as two categorical axes appended to the sweep grid.
+  if (const Json* tournament = reader.member("tournament")) {
+    ObjectReader t(*tournament, source_path, "tournament", error);
+    if (!t.expect_object()) {
+      return false;
+    }
+    out->tournament = true;
+    if (!out->axes.empty()) {
+      return t.fail(tournament->line, "tournament",
+                    "tournament campaigns cross their strategy axes exclusively; remove the "
+                    "sweep section");
+    }
+    if (!t.string("payoff", &out->payoff_name)) {
+      return false;
+    }
+    const Json* adv = t.member("adversary_strategies");
+    if (adv == nullptr || !adv->is_array() || adv->array_items.empty()) {
+      return t.fail(adv != nullptr ? adv->line : tournament->line, "adversary_strategies",
+                    "required non-empty array of { name, policies } objects");
+    }
+    const Json* ops = t.member("operator_strategies");
+    if (ops == nullptr || !ops->is_array() || ops->array_items.empty()) {
+      return t.fail(ops != nullptr ? ops->line : tournament->line, "operator_strategies",
+                    "required non-empty array of { name, policies } objects");
+    }
+    for (size_t i = 0; i < adv->array_items.size(); ++i) {
+      const Json& entry = adv->array_items[i];
+      const std::string prefix = "tournament.adversary_strategies[" + std::to_string(i) + "]";
+      ObjectReader s(entry, source_path, prefix, error);
+      Spec::AdversaryStrategy strategy;
+      strategy.line = entry.line;
+      if (!s.expect_object() || !s.string("name", &strategy.name)) {
+        return false;
+      }
+      const std::string name_error = check_strategy_name(strategy.name);
+      if (!name_error.empty()) {
+        const Json* m = entry.find("name");
+        return s.fail(m != nullptr ? m->line : entry.line, "name", name_error);
+      }
+      if (const Json* policies = s.member("policies")) {
+        if (!policies->is_array()) {
+          return s.fail(policies->line, "policies",
+                        "expected an array of { trigger, action } objects (empty = the "
+                        "static, non-adaptive adversary)");
+        }
+        for (size_t j = 0; j < policies->array_items.size(); ++j) {
+          adversary::AdversaryPolicy rule;
+          if (!parse_adversary_policy_rule(policies->array_items[j], source_path,
+                                           prefix + ".policies[" + std::to_string(j) + "]",
+                                           &rule, error)) {
+            return false;
+          }
+          strategy.policies.push_back(rule);
+        }
+      }
+      if (!s.finish()) {
+        return false;
+      }
+      if (!strategy.policies.empty()) {
+        // Shape-check against the pipeline with the section knobs the cell
+        // will actually run under.
+        adversary::AdversaryPolicyConfig probe = out->adversary_policy;
+        probe.policies = strategy.policies;
+        const std::string policy_error =
+            adversary::validate_policies(probe, out->pipeline.size());
+        if (!policy_error.empty()) {
+          return t.fail(entry.line, "adversary_strategies[" + std::to_string(i) + "]",
+                        policy_error);
+        }
+      }
+      for (const Spec::AdversaryStrategy& prior : out->adversary_strategies) {
+        if (prior.name == strategy.name) {
+          return t.fail(entry.line, "adversary_strategies[" + std::to_string(i) + "].name",
+                        "duplicate strategy name '" + strategy.name + "'");
+        }
+      }
+      out->adversary_strategies.push_back(std::move(strategy));
+    }
+    for (size_t i = 0; i < ops->array_items.size(); ++i) {
+      const Json& entry = ops->array_items[i];
+      const std::string prefix = "tournament.operator_strategies[" + std::to_string(i) + "]";
+      ObjectReader s(entry, source_path, prefix, error);
+      Spec::OperatorStrategy strategy;
+      strategy.line = entry.line;
+      double detection_latency_days = strategy.operators.detection_latency.to_days();
+      if (!s.expect_object() || !s.string("name", &strategy.name) ||
+          !s.number("detection_latency_days", &detection_latency_days) ||
+          !s.number("recrawl_cost_factor", &strategy.operators.recrawl_cost_factor)) {
+        return false;
+      }
+      const std::string name_error = check_strategy_name(strategy.name);
+      if (!name_error.empty()) {
+        const Json* m = entry.find("name");
+        return s.fail(m != nullptr ? m->line : entry.line, "name", name_error);
+      }
+      if (detection_latency_days < 0.0) {
+        return s.fail(entry.line, "detection_latency_days", "must be non-negative");
+      }
+      if (strategy.operators.recrawl_cost_factor <= 0.0) {
+        return s.fail(entry.line, "recrawl_cost_factor", "must be positive");
+      }
+      strategy.operators.detection_latency = sim::SimTime::days(detection_latency_days);
+      if (const Json* policies = s.member("policies")) {
+        if (!policies->is_array()) {
+          return s.fail(policies->line, "policies",
+                        "expected an array of { trigger, action } objects (empty = "
+                        "hands-off operators)");
+        }
+        for (size_t j = 0; j < policies->array_items.size(); ++j) {
+          dynamics::OperatorPolicy policy;
+          if (!parse_operator_policy_entry(policies->array_items[j], source_path,
+                                           prefix + ".policies[" + std::to_string(j) + "]",
+                                           &policy, error)) {
+            return false;
+          }
+          strategy.operators.policies.push_back(policy);
+        }
+      }
+      if (!s.finish()) {
+        return false;
+      }
+      for (const Spec::OperatorStrategy& prior : out->operator_strategies) {
+        if (prior.name == strategy.name) {
+          return t.fail(entry.line, "operator_strategies[" + std::to_string(i) + "].name",
+                        "duplicate strategy name '" + strategy.name + "'");
+        }
+      }
+      out->operator_strategies.push_back(std::move(strategy));
+    }
+    if (!t.finish()) {
+      return false;
+    }
+    // The two strategy axes, adversary outermost — the payoff matrix's
+    // row-major order. Categorical names are self-describing (no label
+    // prefix), matching the defection axis convention.
+    SweepAxis adversary_axis;
+    adversary_axis.param = "adversary_strategy";
+    adversary_axis.line = tournament->line;
+    for (const Spec::AdversaryStrategy& strategy : out->adversary_strategies) {
+      adversary_axis.names.push_back(strategy.name);
+    }
+    SweepAxis operator_axis;
+    operator_axis.param = "operator_strategy";
+    operator_axis.line = tournament->line;
+    for (const Spec::OperatorStrategy& strategy : out->operator_strategies) {
+      operator_axis.names.push_back(strategy.name);
+    }
+    out->axes.push_back(std::move(adversary_axis));
+    out->axes.push_back(std::move(operator_axis));
+  }
+  if (out->payoff_name.empty()) {
+    out->payoff_name = out->name + ".payoff.csv";
+  }
+
+  // Deferred adversary_policy cross-checks (they need the tournament and
+  // pipeline context from above).
+  if (adversary_policy_json != nullptr && out->adversary_policy.policies.empty() &&
+      !out->tournament) {
+    *error = source_path + ":" + std::to_string(adversary_policy_json->line) +
+             ": adversary_policy.policies: required non-empty array of { trigger, action } "
+             "objects (knob-only sections are only meaningful with a tournament)";
+    return false;
+  }
+  if (!out->adversary_policy.policies.empty()) {
+    const std::string policy_error =
+        adversary::validate_policies(out->adversary_policy, out->pipeline.size());
+    if (!policy_error.empty()) {
+      *error = source_path + ":" + std::to_string(adversary_policy_json->line) +
+               ": adversary_policy: " + policy_error;
+      return false;
     }
   }
 
@@ -1049,6 +1360,7 @@ bool compile_campaign(const Spec& spec, CompiledCampaign* out, std::string* erro
   // network, faults included (a lossy campaign's baseline is lossy too).
   base.churn = spec.churn;
   base.operators = spec.operators;
+  base.adversary_policy = spec.adversary_policy;
   base.network = spec.network;
   base.faults = spec.faults;
   base.obs_trace = spec.obs_trace;
@@ -1087,7 +1399,7 @@ bool compile_campaign(const Spec& spec, CompiledCampaign* out, std::string* erro
     std::string label;
     for (size_t a = 0; a < spec.axes.size(); ++a) {
       const SweepAxis& axis = spec.axes[a];
-      apply_axis_value(axis, indices[a], &compiled.config);
+      apply_axis_value(spec, axis, indices[a], &compiled.config);
       compiled.values.push_back(axis.categorical() ? static_cast<double>(indices[a])
                                                    : axis.values[indices[a]]);
       compiled.names.push_back(format_axis_value(axis, indices[a]));
@@ -1102,6 +1414,14 @@ bool compile_campaign(const Spec& spec, CompiledCampaign* out, std::string* erro
     if (!pipeline_error.empty()) {
       *error = spec.source_path + ": cell " + compiled.label + ": " + pipeline_error;
       return false;
+    }
+    if (compiled.config.adversary_policy.enabled()) {
+      const std::string policy_error = adversary::validate_policies(
+          compiled.config.adversary_policy, compiled.config.adversary.pipeline.size());
+      if (!policy_error.empty()) {
+        *error = spec.source_path + ": cell " + compiled.label + ": " + policy_error;
+        return false;
+      }
     }
     out->cells.push_back(std::move(compiled));
     for (size_t a = spec.axes.size(); a-- > 0;) {

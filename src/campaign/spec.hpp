@@ -112,6 +112,39 @@ struct Spec {
   // The adversary pipeline (empty = undisturbed deployment).
   adversary::AdversaryPipeline pipeline;
 
+  // Adaptive adversary policies (`adversary_policy` section;
+  // docs/adversaries.md): deterministic trigger→action rules driving the
+  // pipeline. Defaults = disabled = the fixed-schedule adversary, with
+  // byte-identical manifests and goldens. In tournament mode the section
+  // may carry only the knobs (the rule tables come per strategy).
+  adversary::AdversaryPolicyConfig adversary_policy;
+
+  // Tournament mode (`tournament` section; docs/adversaries.md): named
+  // adversary-policy strategies crossed against named operator-policy
+  // strategies as two categorical axes ("adversary_strategy" outermost,
+  // then "operator_strategy", appended to `axes` at parse time), scored
+  // into a payoff-matrix CSV next to the manifest. Mutually exclusive
+  // with explicit sweep axes.
+  struct AdversaryStrategy {
+    std::string name;
+    // Rule table for this strategy (empty = the static, non-adaptive
+    // adversary — a tournament control row). Shared knobs come from the
+    // spec's adversary_policy section.
+    std::vector<adversary::AdversaryPolicy> policies;
+    int line = 0;
+  };
+  struct OperatorStrategy {
+    std::string name;
+    // Full per-strategy operator config (empty policies = hands-off
+    // operators, a control column).
+    dynamics::OperatorResponseConfig operators;
+    int line = 0;
+  };
+  bool tournament = false;
+  std::vector<AdversaryStrategy> adversary_strategies;
+  std::vector<OperatorStrategy> operator_strategies;
+  std::string payoff_name;  // default: <name>.payoff.csv
+
   std::vector<SweepAxis> axes;
 
   // Run an adversary-free baseline (same deployment/seeds) and report
@@ -168,6 +201,13 @@ bool spec_has_faults(const Spec& spec);
 // Whether the campaign records protocol event traces (per-unit .trace.bin
 // artifacts next to the manifest). Gates the trace keys in the manifest.
 bool spec_has_trace(const Spec& spec);
+
+// Whether the campaign engages adaptive adversary policies anywhere in its
+// grid: a base `adversary_policy` rule table, or a tournament (whose
+// strategy axes swap rule tables per cell). Gates the policy keys/columns
+// in the manifest and cells CSV, so policy-free campaigns render
+// byte-identically to the pre-policy engine.
+bool spec_has_policies(const Spec& spec);
 
 }  // namespace lockss::campaign
 

@@ -88,6 +88,10 @@ RunResult combine_range(const RunResult* parts, size_t count) {
     for (size_t a = 0; a < out.operator_interventions.size(); ++a) {
       out.operator_interventions[a] += part.operator_interventions[a];
     }
+    out.policy_triggers += part.policy_triggers;
+    for (size_t a = 0; a < out.policy_actions.size(); ++a) {
+      out.policy_actions[a] += part.policy_actions[a];
+    }
     out.faults_lost += part.faults_lost;
     out.faults_burst_dropped += part.faults_burst_dropped;
     out.faults_duplicated += part.faults_duplicated;

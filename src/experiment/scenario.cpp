@@ -93,6 +93,13 @@ bool sharding_supported(const ScenarioConfig& config) {
       config.operators.detection_latency < config.network.min_latency) {
     return false;
   }
+  // The adversary policy engine observes alarms through the same barrier
+  // plumbing; its reaction latency must cover the lookahead for the same
+  // reason.
+  if (config.adversary_policy.enabled() &&
+      config.adversary_policy.reaction_latency < config.network.min_latency) {
+    return false;
+  }
   return true;
 }
 
@@ -169,6 +176,11 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
   // engine.
   const bool churn_enabled = config.churn.enabled();
   const bool operators_enabled = config.operators.enabled();
+  // The adversary policy engine exists only when there is both a policy
+  // table and a pipeline to drive; it consumes no root split either way
+  // (its RNG stream is a domain-separated hash of the seed).
+  const bool policy_enabled =
+      config.adversary_policy.enabled() && !effective_pipeline(config.adversary).empty();
   sim::Rng churn_rng(0);
   sim::Rng operators_rng(0);
   dynamics::ChurnSchedule churn_schedule;
@@ -288,37 +300,53 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
   if (operators_enabled) {
     operators_engine = std::make_unique<dynamics::OperatorResponseEngine>(
         simulator, config.operators, operators_rng.split());
-    if (rt != nullptr) {
-      // Barrier hook: report the alarms each shard buffered during the last
-      // window, merged by (time, shard) — the serial trigger order. The
-      // intervention still lands at its serial instant because triggers
-      // draw no randomness and schedule at observed_at + detection_latency
-      // (>= the barrier time whenever the latency covers the lookahead,
-      // which sharding_supported() guarantees).
-      rt->engine.add_barrier_hook([rtp = rt.get(), eng = operators_engine.get()] {
-        auto& bufs = rtp->alarms;
-        std::vector<size_t> idx(bufs.size(), 0);
-        for (;;) {
-          size_t best = bufs.size();
-          for (size_t s = 0; s < bufs.size(); ++s) {
-            if (idx[s] >= bufs[s].size()) {
-              continue;
-            }
-            if (best == bufs.size() || bufs[s][idx[s]].at < bufs[best][idx[best]].at) {
-              best = s;
-            }
+  }
+  // Adaptive-adversary policy engine (adversary/policy.hpp): constructed
+  // before the peers so its alarm observer can ride the poll-observer
+  // chain, armed with the fleet after the fleet exists below. No root
+  // split — the policy stream is a domain-separated hash of the seed.
+  std::unique_ptr<adversary::PolicyEngine> policy_engine;
+  if (policy_enabled) {
+    policy_engine = std::make_unique<adversary::PolicyEngine>(
+        simulator, config.adversary_policy, config.seed);
+  }
+  if (rt != nullptr && (operators_engine != nullptr || policy_engine != nullptr)) {
+    // Barrier hook: report the alarms each shard buffered during the last
+    // window, merged by (time, shard) — the serial trigger order — to the
+    // operator engine and the adversary policy engine alike. The
+    // reactions still land at their serial instants because triggers
+    // draw no randomness and schedule at observed_at + latency
+    // (>= the barrier time whenever the latency covers the lookahead,
+    // which sharding_supported() guarantees for both engines).
+    rt->engine.add_barrier_hook([rtp = rt.get(), eng = operators_engine.get(),
+                                 pol = policy_engine.get()] {
+      auto& bufs = rtp->alarms;
+      std::vector<size_t> idx(bufs.size(), 0);
+      for (;;) {
+        size_t best = bufs.size();
+        for (size_t s = 0; s < bufs.size(); ++s) {
+          if (idx[s] >= bufs[s].size()) {
+            continue;
           }
-          if (best == bufs.size()) {
-            break;
+          if (best == bufs.size() || bufs[s][idx[s]].at < bufs[best][idx[best]].at) {
+            best = s;
           }
-          const AlarmObservation& obs = bufs[best][idx[best]++];
+        }
+        if (best == bufs.size()) {
+          break;
+        }
+        const AlarmObservation& obs = bufs[best][idx[best]++];
+        if (eng != nullptr) {
           eng->on_alarm_observed(obs.poller, obs.at);
         }
-        for (auto& buf : bufs) {
-          buf.clear();
+        if (pol != nullptr) {
+          pol->on_alarm_observed(obs.poller, obs.at);
         }
-      });
-    }
+      }
+      for (auto& buf : bufs) {
+        buf.clear();
+      }
+    });
   }
 
   peer::PeerEnvironment env;
@@ -336,10 +364,18 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
   env.events = (event_log != nullptr && rt == nullptr) ? event_log->sink(0) : nullptr;
   // Sharded runs report alarms through the per-shard barrier buffers
   // instead of the inline observer chain (config.poll_observer is empty
-  // there — sharding_supported() falls back to serial otherwise).
-  env.poll_observer = (rt == nullptr && operators_engine != nullptr)
-                          ? operators_engine->observer(config.poll_observer)
-                          : config.poll_observer;
+  // there — sharding_supported() falls back to serial otherwise). Serial
+  // runs chain the alarm consumers: the policy engine wraps the operator
+  // engine's observer, so both see each alarm once, in poll order.
+  env.poll_observer = config.poll_observer;
+  if (rt == nullptr) {
+    if (operators_engine != nullptr) {
+      env.poll_observer = operators_engine->observer(env.poll_observer);
+    }
+    if (policy_engine != nullptr) {
+      env.poll_observer = policy_engine->observer(env.poll_observer);
+    }
+  }
 
   // Per-peer environment: a sharded run points each peer at its shard's
   // simulator and log-mode collector and buffers its alarms; a serial run
@@ -353,7 +389,7 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
       if (event_log != nullptr) {
         e.events = event_log->sink(shard);
       }
-      if (operators_engine != nullptr) {
+      if (operators_engine != nullptr || policy_engine != nullptr) {
         std::vector<AlarmObservation>* alarms = &rt->alarms[shard];
         sim::Simulator* clock = e.simulator;
         e.poll_observer = [alarms, clock](net::NodeId poller,
@@ -536,6 +572,10 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
   fleet_env.costs = &config.costs;
   adversary::AdversaryFleet fleet(fleet_env, pipeline, root);
   fleet.start();
+  if (policy_engine != nullptr) {
+    policy_engine->arm(&fleet, config.peer_count);
+    policy_engine->start();
+  }
 
   // --- Deployment dynamics ----------------------------------------------------
   // The churn model replays its precomputed schedule off the event queue,
@@ -572,37 +612,46 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
       churn_model->set_recovery_hook(
           [engine = operators_engine.get()](peer::Peer& p) { engine->on_peer_recovered(p); });
     }
-    if (global_events != nullptr) {
+    if (global_events != nullptr || policy_engine != nullptr) {
       // Churn transitions execute on the global context (shards quiesced),
       // so they record into the global sink with the domain-0 tag — the
       // canonical order then sorts them ahead of peer streams at exact
       // ties, matching the engine's global-first execution rule. Leave/
       // crash/recover carry established indices, which equal NodeIds;
-      // arrival ordinals offset past the newcomer block.
+      // arrival ordinals offset past the newcomer block. The adversary
+      // policy engine samples the established offline count off the same
+      // hook (an outage-watching adversary sees every transition), which
+      // likewise runs with shards quiesced.
       const uint32_t arrival_base = config.peer_count + config.newcomer_count;
-      churn_model->set_transition_hook([global_events,
-                                        arrival_base](const dynamics::ChurnEvent& ev) {
-        obs::Event e;
-        e.time_ns = ev.at.ns();
-        switch (ev.kind) {
-          case dynamics::ChurnEventKind::kArrival:
-            e.kind = obs::EventKind::kChurnArrival;
-            break;
-          case dynamics::ChurnEventKind::kLeave:
-            e.kind = obs::EventKind::kChurnLeave;
-            break;
-          case dynamics::ChurnEventKind::kCrash:
-            e.kind = obs::EventKind::kChurnCrash;
-            break;
-          case dynamics::ChurnEventKind::kRecover:
-            e.kind = obs::EventKind::kChurnRecover;
-            e.arg = ev.state_loss ? 1 : 0;
-            break;
+      churn_model->set_transition_hook([global_events, arrival_base,
+                                        pol = policy_engine.get(),
+                                        cm = churn_model.get()](const dynamics::ChurnEvent& ev) {
+        if (global_events != nullptr) {
+          obs::Event e;
+          e.time_ns = ev.at.ns();
+          switch (ev.kind) {
+            case dynamics::ChurnEventKind::kArrival:
+              e.kind = obs::EventKind::kChurnArrival;
+              break;
+            case dynamics::ChurnEventKind::kLeave:
+              e.kind = obs::EventKind::kChurnLeave;
+              break;
+            case dynamics::ChurnEventKind::kCrash:
+              e.kind = obs::EventKind::kChurnCrash;
+              break;
+            case dynamics::ChurnEventKind::kRecover:
+              e.kind = obs::EventKind::kChurnRecover;
+              e.arg = ev.state_loss ? 1 : 0;
+              break;
+          }
+          e.origin = ev.kind == dynamics::ChurnEventKind::kArrival ? arrival_base + ev.peer
+                                                                   : ev.peer;
+          e.domain = 0;
+          global_events->record(e);
         }
-        e.origin = ev.kind == dynamics::ChurnEventKind::kArrival ? arrival_base + ev.peer
-                                                                 : ev.peer;
-        e.domain = 0;
-        global_events->record(e);
+        if (pol != nullptr && ev.kind != dynamics::ChurnEventKind::kArrival) {
+          pol->on_churn_sample(ev.at, cm->offline_count());
+        }
       });
     }
     churn_model->start();
@@ -616,6 +665,31 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
           e.arg = static_cast<uint64_t>(action);
           e.origin = static_cast<uint32_t>(peer.value);
           e.kind = obs::EventKind::kOperatorAction;
+          e.domain = 0;
+          global_events->record(e);
+        });
+  }
+  if (global_events != nullptr && policy_engine != nullptr) {
+    // Adversary policy transitions are global-context actors too: triggers
+    // fire from the observer/churn/sensor paths and actions land on the
+    // global simulator, both with shards quiesced.
+    policy_engine->set_trigger_hook(
+        [global_events, clock = &simulator](adversary::PolicyTrigger trigger, uint32_t rule) {
+          obs::Event e;
+          e.time_ns = clock->now().ns();
+          e.arg = static_cast<uint64_t>(trigger);
+          e.origin = rule;
+          e.kind = obs::EventKind::kAdversaryPolicyTrigger;
+          e.domain = 0;
+          global_events->record(e);
+        });
+    policy_engine->set_action_hook(
+        [global_events, clock = &simulator](adversary::PolicyAction action, uint32_t phase) {
+          obs::Event e;
+          e.time_ns = clock->now().ns();
+          e.arg = static_cast<uint64_t>(action);
+          e.origin = phase;
+          e.kind = obs::EventKind::kAdversaryPolicyAction;
           e.domain = 0;
           global_events->record(e);
         });
@@ -760,6 +834,10 @@ RunResult run_scenario_impl(const ScenarioConfig& config, uint32_t shards) {
   }
   if (operators_engine != nullptr) {
     result.operator_interventions = operators_engine->interventions();
+  }
+  if (policy_engine != nullptr) {
+    result.policy_triggers = policy_engine->triggers_seen();
+    result.policy_actions = policy_engine->actions_applied();
   }
   collector.set_effort_totals(loyal_effort_now(), adversary_effort_now());
   result.report = collector.finalize(config.duration);

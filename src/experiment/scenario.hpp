@@ -23,6 +23,7 @@
 #include "adversary/attack_schedule.hpp"
 #include "adversary/brute_force.hpp"
 #include "adversary/pipeline.hpp"
+#include "adversary/policy.hpp"
 #include "crypto/cost_model.hpp"
 #include "dynamics/spec.hpp"
 #include "metrics/collector.hpp"
@@ -96,6 +97,12 @@ struct ScenarioConfig {
   storage::DamageConfig damage;
   bool enable_damage = true;
   AdversarySpec adversary;
+  // Adaptive adversary policies (adversary/policy.hpp; docs/adversaries.md):
+  // deterministic trigger→action rules driving the installed pipeline. The
+  // engine's RNG is a domain-separated hash of `seed` — never a root split —
+  // and nothing is constructed when the table is empty (or the pipeline is),
+  // so policy-free configs reproduce the golden corpus bit for bit.
+  adversary::AdversaryPolicyConfig adversary_policy;
   // Deployment dynamics (extension; see docs/dynamics.md): session churn,
   // correlated regional outages, and Poisson peer arrivals over the
   // established population, plus detection-latency-delayed operator
@@ -172,6 +179,11 @@ struct RunResult {
   double mean_recovery_days = 0.0;
   // Operator interventions applied, indexed by dynamics::OperatorAction.
   std::array<uint64_t, dynamics::kOperatorActionCount> operator_interventions{};
+  // Adaptive-adversary policy accounting (all zero without a policy table):
+  // rule firings seen, and reactions applied indexed by
+  // adversary::PolicyAction.
+  uint64_t policy_triggers = 0;
+  std::array<uint64_t, adversary::kPolicyActionCount> policy_actions{};
   // Fault-layer accounting (net::FaultModel; all zero on ideal networks).
   uint64_t faults_lost = 0;
   uint64_t faults_burst_dropped = 0;

@@ -50,6 +50,10 @@ enum class EventKind : uint8_t {
   kFaultBurstDrop,
   kFaultDuplicate,
   kFaultJitter,             // arg = extra delivery delay in ns
+  // Adaptive adversary policy transitions (global actors; origin = policy
+  // rule index for triggers, target phase index for actions).
+  kAdversaryPolicyTrigger,  // arg = adversary::PolicyTrigger
+  kAdversaryPolicyAction,   // arg = adversary::PolicyAction
   kCount,
 };
 
@@ -76,6 +80,8 @@ constexpr uint32_t kMaskOperator = kind_bit(EventKind::kOperatorAction);
 constexpr uint32_t kMaskFault =
     kind_bit(EventKind::kFaultLoss) | kind_bit(EventKind::kFaultBurstDrop) |
     kind_bit(EventKind::kFaultDuplicate) | kind_bit(EventKind::kFaultJitter);
+constexpr uint32_t kMaskAdversary = kind_bit(EventKind::kAdversaryPolicyTrigger) |
+                                    kind_bit(EventKind::kAdversaryPolicyAction);
 
 // The canonical trace record. `domain` is a *static* tag of the recording
 // actor — 0 for global-context actors (churn, operators, adversary minions),

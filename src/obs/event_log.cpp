@@ -41,6 +41,8 @@ const char* const kEventKindNames[kEventKindCount] = {
     "fault_burst_drop",
     "fault_duplicate",
     "fault_jitter",
+    "adversary_policy_trigger",
+    "adversary_policy_action",
 };
 
 }  // namespace

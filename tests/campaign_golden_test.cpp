@@ -100,6 +100,7 @@ TEST(CampaignGoldenTest, AllShippedCampaignsCompile) {
       "smoke.json",        "churn_baseline.json",
       "churn_under_brute_force.json", "regional_outage_recovery.json",
       "operator_response_race.json",  "lossy_links.json",
+      "trace_smoke.json",             "tournament_smoke.json",
   };
   for (const char* name : names) {
     Spec spec;

@@ -338,6 +338,181 @@ TEST(CampaignSpecTest, RejectionDiagnosticsCarryLineAndField) {
   }
 }
 
+// Adaptive-adversary and tournament sections: every malformed shape gets a
+// file:line:field diagnostic — a tournament author never reads spec.cpp to
+// find a typo.
+TEST(CampaignSpecTest, PolicyAndTournamentRejectionDiagnostics) {
+  const Rejection cases[] = {
+      // --- adversary_policy section -------------------------------------
+      {"{\n  \"name\": \"x\",\n  \"adversary_policy\": { \"cooldown_days\": 2 }\n}",
+       "r.json:3", "knob-only sections are only meaningful with a tournament"},
+      {"{\n  \"name\": \"x\",\n  \"adversary_policy\": { \"policies\": [\n"
+       "    { \"trigger\": \"outage\", \"action\": \"switch_phase\" }\n  ] }\n}",
+       "r.json:3", "adversary policies require an adversary pipeline to act on"},
+      {"{\n  \"name\": \"x\",\n  \"adversary\": [ { \"kind\": \"vote_flood\" } ],\n"
+       "  \"adversary_policy\": { \"policies\": [\n"
+       "    { \"trigger\": \"panic\", \"action\": \"switch_phase\" }\n  ] }\n}",
+       "r.json:5", "unknown trigger 'panic' (expected alarm | backoff | outage | recovery |"
+                   " grade_collapse)"},
+      {"{\n  \"name\": \"x\",\n  \"adversary\": [ { \"kind\": \"vote_flood\" } ],\n"
+       "  \"adversary_policy\": { \"policies\": [\n"
+       "    { \"trigger\": \"alarm\", \"action\": \"sleep\" }\n  ] }\n}",
+       "r.json:5", "unknown action 'sleep' (expected switch_phase | retarget | throttle |"
+                   " go_dormant)"},
+      {"{\n  \"name\": \"x\",\n  \"adversary\": [ { \"kind\": \"vote_flood\" } ],\n"
+       "  \"adversary_policy\": { \"policies\": [\n"
+       "    { \"trigger\": \"outage\", \"action\": \"switch_phase\", \"phase\": 5 }\n  ] }\n}",
+       "r.json:4", "phase 5 is out of range (pipeline has 1 phase)"},
+      {"{\n  \"name\": \"x\",\n  \"adversary\": [ { \"kind\": \"vote_flood\" } ],\n"
+       "  \"adversary_policy\": { \"policies\": [\n"
+       "    { \"trigger\": \"alarm\", \"action\": \"throttle\", \"factor\": 1.5 }\n  ] }\n}",
+       "r.json:4", "factor must be within (0, 1]"},
+      {"{\n  \"name\": \"x\",\n  \"adversary\": [ { \"kind\": \"vote_flood\" } ],\n"
+       "  \"adversary_policy\": { \"outage_threshold\": 1.5, \"policies\": [\n"
+       "    { \"trigger\": \"outage\", \"action\": \"retarget\" }\n  ] }\n}",
+       "r.json:4", "outage_threshold must be within [0, 1]"},
+      {"{\n  \"name\": \"x\",\n  \"adversary_policy\": {\n    \"patience\": 3\n  }\n}",
+       "r.json:4", "unknown member"},
+      {"{\n  \"name\": \"x\",\n  \"adversary_policy\": {\n    \"policies\": 7\n  }\n}",
+       "r.json:4", "expected an array of { trigger, action } objects"},
+      // --- tournament section -------------------------------------------
+      {"{\n  \"name\": \"x\",\n  \"sweep\": [ { \"param\": \"peers\", \"values\": [10, 20] }"
+       " ],\n  \"tournament\": {\n"
+       "    \"adversary_strategies\": [ { \"name\": \"a\" } ],\n"
+       "    \"operator_strategies\": [ { \"name\": \"o\" } ]\n  }\n}",
+       "r.json:4", "tournament campaigns cross their strategy axes exclusively; remove the "
+                   "sweep section"},
+      {"{\n  \"name\": \"x\",\n  \"tournament\": {\n"
+       "    \"operator_strategies\": [ { \"name\": \"o\" } ]\n  }\n}",
+       "r.json:3", "adversary_strategies: required non-empty array of { name, policies }"},
+      {"{\n  \"name\": \"x\",\n  \"tournament\": {\n"
+       "    \"adversary_strategies\": [ { \"name\": \"a\" } ],\n"
+       "    \"operator_strategies\": []\n  }\n}",
+       "r.json:5", "operator_strategies: required non-empty array"},
+      {"{\n  \"name\": \"x\",\n  \"tournament\": {\n"
+       "    \"adversary_strategies\": [ { \"name\": \"a_b\" } ],\n"
+       "    \"operator_strategies\": [ { \"name\": \"o\" } ]\n  }\n}",
+       "r.json:4", "must not contain '/', '_', ',' or spaces"},
+      {"{\n  \"name\": \"x\",\n  \"tournament\": {\n    \"adversary_strategies\": [\n"
+       "      { \"name\": \"a\" },\n      { \"name\": \"a\" }\n    ],\n"
+       "    \"operator_strategies\": [ { \"name\": \"o\" } ]\n  }\n}",
+       "r.json:6", "duplicate strategy name 'a'"},
+      {"{\n  \"name\": \"x\",\n  \"tournament\": {\n"
+       "    \"adversary_strategies\": [ { \"name\": \"a\" } ],\n"
+       "    \"operator_strategies\": [ { \"name\": \"o\", \"detection_latency_days\": -1 } ]\n"
+       "  }\n}",
+       "r.json:5", "detection_latency_days: must be non-negative"},
+      {"{\n  \"name\": \"x\",\n  \"tournament\": {\n"
+       "    \"adversary_strategies\": [ { \"name\": \"a\" } ],\n"
+       "    \"operator_strategies\": [ { \"name\": \"o\", \"recrawl_cost_factor\": 0 } ]\n"
+       "  }\n}",
+       "r.json:5", "recrawl_cost_factor: must be positive"},
+      {"{\n  \"name\": \"x\",\n  \"tournament\": {\n    \"adversary_strategies\": [\n"
+       "      { \"name\": \"a\", \"policies\": [\n"
+       "        { \"trigger\": \"outage\", \"action\": \"switch_phase\" }\n      ] }\n"
+       "    ],\n    \"operator_strategies\": [ { \"name\": \"o\" } ]\n  }\n}",
+       "r.json:5", "adversary policies require an adversary pipeline to act on"},
+      {"{\n  \"name\": \"x\",\n  \"tournament\": {\n"
+       "    \"adversary_strategies\": [ { \"name\": \"a\" } ],\n"
+       "    \"operator_strategies\": [ { \"name\": \"o\", \"policies\": [\n"
+       "      { \"trigger\": \"alarm\", \"action\": \"rate_tighten\", \"factor\": 2 }\n"
+       "    ] } ]\n  }\n}",
+       "r.json:6", "rate_tighten factor must be within (0, 1]"},
+      {"{\n  \"name\": \"x\",\n  \"tournament\": {\n"
+       "    \"adversary_strategies\": [ { \"name\": \"a\" } ],\n"
+       "    \"operator_strategies\": [ { \"name\": \"o\" } ],\n    \"rounds\": 3\n  }\n}",
+       "r.json:6", "unknown member"},
+  };
+  for (const Rejection& c : cases) {
+    Json json;
+    std::string error;
+    ASSERT_TRUE(parse_json(c.text, &json, &error)) << c.text << "\n" << error;
+    Spec spec;
+    EXPECT_FALSE(parse_spec(json, "r.json", &spec, &error)) << c.text;
+    EXPECT_NE(error.find(c.expect_location), std::string::npos)
+        << "wanted location '" << c.expect_location << "' in: " << error;
+    EXPECT_NE(error.find(c.expect_substring), std::string::npos)
+        << "wanted '" << c.expect_substring << "' in: " << error;
+  }
+}
+
+// A full tournament spec round-trips: knobs land in the policy config, the
+// strategy tables parse, and the two categorical axes are appended
+// (adversary outermost — the payoff matrix's row-major order).
+TEST(CampaignSpecTest, ParsesTournamentSpecAndAppendsStrategyAxes) {
+  constexpr const char* kTournamentSpec = R"({
+    "name": "duel",
+    "deployment": { "peers": 12, "aus": 2, "duration_years": 0.3, "seed": 5 },
+    "dynamics": { "leave_rate_per_peer_year": 1.0, "mean_downtime_days": 5 },
+    "adversary": [
+      { "kind": "pipe_stoppage", "attack_days": 20, "recuperation_days": 10,
+        "coverage_percent": 50 },
+      { "kind": "brute_force", "defection": "REMAINING", "minion_count": 8 }
+    ],
+    "adversary_policy": { "reaction_latency_hours": 3, "outage_threshold": 0.2 },
+    "tournament": {
+      "payoff": "duel_matrix.csv",
+      "adversary_strategies": [
+        { "name": "static" },
+        { "name": "adaptive", "policies": [
+          { "trigger": "outage", "action": "switch_phase", "phase": 1 },
+          { "trigger": "recovery", "action": "switch_phase", "phase": 0 }
+        ] }
+      ],
+      "operator_strategies": [
+        { "name": "idle" },
+        { "name": "alert", "detection_latency_days": 1, "policies": [
+          { "trigger": "alarm", "action": "au_recrawl" }
+        ] }
+      ]
+    }
+  })";
+  Spec spec;
+  std::string error;
+  ASSERT_TRUE(parse_spec(parse_ok(kTournamentSpec), "duel.json", &spec, &error)) << error;
+  EXPECT_TRUE(spec.tournament);
+  EXPECT_TRUE(spec_has_policies(spec));
+  EXPECT_EQ(spec.payoff_name, "duel_matrix.csv");
+  EXPECT_DOUBLE_EQ(spec.adversary_policy.reaction_latency.to_seconds(), 3.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(spec.adversary_policy.outage_threshold, 0.2);
+  EXPECT_TRUE(spec.adversary_policy.policies.empty());  // knob-only: rules per strategy
+
+  ASSERT_EQ(spec.adversary_strategies.size(), 2u);
+  EXPECT_TRUE(spec.adversary_strategies[0].policies.empty());
+  ASSERT_EQ(spec.adversary_strategies[1].policies.size(), 2u);
+  EXPECT_EQ(spec.adversary_strategies[1].policies[0].trigger,
+            adversary::PolicyTrigger::kOutage);
+  EXPECT_EQ(spec.adversary_strategies[1].policies[0].phase, 1u);
+  ASSERT_EQ(spec.operator_strategies.size(), 2u);
+  EXPECT_TRUE(spec.operator_strategies[0].operators.policies.empty());
+  ASSERT_EQ(spec.operator_strategies[1].operators.policies.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.operator_strategies[1].operators.detection_latency.to_days(), 1.0);
+
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].param, "adversary_strategy");
+  EXPECT_EQ(spec.axes[1].param, "operator_strategy");
+  ASSERT_EQ(spec.axes[0].names.size(), 2u);
+  EXPECT_EQ(spec.axes[0].names[0], "static");
+  EXPECT_EQ(spec.axes[1].names[1], "alert");
+
+  // Compilation expands the 2x2 grid row-major (adversary outermost) and
+  // swaps each cell's rule table / operator config per its coordinates.
+  CompiledCampaign compiled;
+  ASSERT_TRUE(compile_campaign(spec, &compiled, &error)) << error;
+  ASSERT_EQ(compiled.cells.size(), 4u);
+  EXPECT_EQ(compiled.cells[0].label, "static_idle");
+  EXPECT_EQ(compiled.cells[1].label, "static_alert");
+  EXPECT_EQ(compiled.cells[2].label, "adaptive_idle");
+  EXPECT_EQ(compiled.cells[3].label, "adaptive_alert");
+  EXPECT_TRUE(compiled.cells[0].config.adversary_policy.policies.empty());
+  EXPECT_TRUE(compiled.cells[0].config.operators.policies.empty());
+  ASSERT_EQ(compiled.cells[2].config.adversary_policy.policies.size(), 2u);
+  // Strategy rule tables inherit the section knobs.
+  EXPECT_DOUBLE_EQ(compiled.cells[2].config.adversary_policy.outage_threshold, 0.2);
+  ASSERT_EQ(compiled.cells[3].config.operators.policies.size(), 1u);
+  EXPECT_DOUBLE_EQ(compiled.cells[3].config.operators.detection_latency.to_days(), 1.0);
+}
+
 TEST(CampaignSpecTest, RoundTripsThroughManifestVocabulary) {
   // Every axis param the docs promise must be accepted by the parser.
   for (const std::string& param : axis_params()) {

@@ -179,18 +179,25 @@ int main(int argc, char** argv) {
         std::printf("ok   %-28s serial %.3fs (baseline %.3fs %+.0f%%)\n", name.c_str(), cur_s,
                     base_s, base_s > 0.0 ? (cur_s / base_s - 1.0) * 100.0 : 0.0);
       }
-      // Inert tracing-hook bound: an absolute cap on the current report's
-      // own ratio (a baseline diff would let a slow creep ratchet past any
-      // bound one PR at a time).
-      const double hook = number_or(cur, "obs_hook_overhead", 0.0);
-      if (hook > 0.0) {
-        if (hook > 1.0 + hook_tolerance) {
-          std::printf("FAIL %-28s obs hook overhead %.3fx > %.3fx cap\n", name.c_str(), hook,
-                      1.0 + hook_tolerance);
-          ++regressions;
-        } else {
-          std::printf("ok   %-28s obs hook overhead %.3fx (cap %.3fx)\n", name.c_str(), hook,
-                      1.0 + hook_tolerance);
+      // Inert-hook bounds: absolute caps on the current report's own ratios
+      // (a baseline diff would let a slow creep ratchet past any bound one
+      // PR at a time). obs_hook_overhead is the disabled-tracing path,
+      // policy_hook_overhead the installed-but-never-firing PolicyEngine.
+      const struct {
+        const char* key;
+        const char* what;
+      } hooks[] = {{"obs_hook_overhead", "obs"}, {"policy_hook_overhead", "policy"}};
+      for (const auto& h : hooks) {
+        const double hook = number_or(cur, h.key, 0.0);
+        if (hook > 0.0) {
+          if (hook > 1.0 + hook_tolerance) {
+            std::printf("FAIL %-28s %s hook overhead %.3fx > %.3fx cap\n", name.c_str(),
+                        h.what, hook, 1.0 + hook_tolerance);
+            ++regressions;
+          } else {
+            std::printf("ok   %-28s %s hook overhead %.3fx (cap %.3fx)\n", name.c_str(),
+                        h.what, hook, 1.0 + hook_tolerance);
+          }
         }
       }
     }

@@ -77,6 +77,7 @@ bool identical(const experiment::RunResult& a, const experiment::RunResult& b) {
          a.availability_mean == b.availability_mean &&
          a.mean_recovery_days == b.mean_recovery_days &&
          a.operator_interventions == b.operator_interventions &&
+         a.policy_triggers == b.policy_triggers && a.policy_actions == b.policy_actions &&
          a.faults_lost == b.faults_lost && a.faults_burst_dropped == b.faults_burst_dropped &&
          a.faults_duplicated == b.faults_duplicated && a.faults_jittered == b.faults_jittered &&
          a.ack_timeouts == b.ack_timeouts && a.vote_timeouts == b.vote_timeouts &&
@@ -328,6 +329,94 @@ SweepReport time_faults_sweep(const std::string& name, const experiment::BenchPr
   return out;
 }
 
+// Strategy-tournament throughput (docs/adversaries.md): the 2x2 pairing
+// grid the tournament campaigns run — adaptive vs static adversary policies
+// against hands-off vs vigilant operators, over a churning deployment — so
+// future perf PRs track what the policy engine (sensor sweeps, alarm
+// eavesdropping, phase switching) costs per event. The row also bounds the
+// overhead of an inert policy *hook*: one run with no policy table against
+// one with an outage-triggered table over a static (churn-free) population
+// — the rules can never fire, the engine schedules nothing and draws no
+// RNG, so the two runs must produce bit-identical metrics and their
+// wall-clock ratio is the pure cost of having the engine installed.
+SweepReport time_tournament_sweep(const std::string& name,
+                                  const experiment::BenchProfile& profile,
+                                  const experiment::ScenarioConfig& base, unsigned workers) {
+  experiment::ScenarioConfig duel = base;
+  duel.churn.leave_rate_per_peer_year = 1.5;
+  duel.churn.crash_rate_per_peer_year = 0.5;
+  duel.churn.mean_downtime_days = 10.0;
+  adversary::AdversaryPhase stoppage;
+  stoppage.kind = adversary::PhaseKind::kPipeStoppage;
+  stoppage.cadence.attack_duration = sim::SimTime::days(25);
+  stoppage.cadence.recuperation = sim::SimTime::days(20);
+  stoppage.cadence.coverage = 0.6;
+  adversary::AdversaryPhase brute;
+  brute.kind = adversary::PhaseKind::kBruteForce;
+  brute.defection = adversary::DefectionPoint::kRemaining;
+  duel.adversary.pipeline = {stoppage, brute};
+  duel.adversary_policy.reaction_latency = sim::SimTime::hours(6);
+  duel.adversary_policy.cooldown = sim::SimTime::days(3);
+  duel.adversary_policy.outage_threshold = 0.15;
+
+  const std::vector<adversary::AdversaryPolicy> opportunist = {
+      {adversary::PolicyTrigger::kOutage, adversary::PolicyAction::kSwitchPhase, 1, 0.5},
+      {adversary::PolicyTrigger::kRecovery, adversary::PolicyAction::kSwitchPhase, 0, 0.5},
+  };
+  dynamics::OperatorResponseConfig vigilant;
+  vigilant.detection_latency = sim::SimTime::days(1);
+  vigilant.policies = {
+      {dynamics::OperatorTrigger::kAlarm, dynamics::OperatorAction::kRateTighten, 0.5},
+      {dynamics::OperatorTrigger::kRecovery, dynamics::OperatorAction::kRekey, 1.0},
+  };
+
+  std::vector<experiment::ScenarioConfig> grid;
+  std::vector<std::string> labels;
+  const std::pair<const char*, std::vector<adversary::AdversaryPolicy>> adversaries[] = {
+      {"static", {}}, {"opportunist", opportunist}};
+  const std::pair<const char*, dynamics::OperatorResponseConfig> operators[] = {
+      {"handsoff", {}}, {"vigilant", vigilant}};
+  for (const auto& [adv_name, policies] : adversaries) {
+    for (const auto& [op_name, op_config] : operators) {
+      experiment::ScenarioConfig config = duel;
+      config.adversary_policy.policies = policies;
+      config.operators = op_config;
+      for (uint32_t s = 0; s < profile.seeds; ++s) {
+        config.seed = base.seed + s;
+        grid.push_back(config);
+        labels.push_back(name + "/" + adv_name + "_" + op_name + "_s" + std::to_string(s));
+      }
+    }
+  }
+  SweepReport out = time_grid(name, grid, labels, workers);
+
+  // Inert-policy-hook bound over the static deployment.
+  experiment::ScenarioConfig ideal = base;
+  ideal.trace_interval = sim::SimTime::zero();
+  ideal.adversary.pipeline = duel.adversary.pipeline;
+  double start = now_seconds();
+  const experiment::RunResult ideal_result = experiment::run_scenario(ideal);
+  const double ideal_seconds = now_seconds() - start;
+  experiment::ScenarioConfig inert = ideal;
+  inert.adversary_policy = duel.adversary_policy;
+  inert.adversary_policy.policies = opportunist;  // no churn: can never fire
+  start = now_seconds();
+  const experiment::RunResult inert_result = experiment::run_scenario(inert);
+  const double inert_seconds = now_seconds() - start;
+  const bool policy_identical = identical(ideal_result, inert_result);
+  out.identical_metrics = out.identical_metrics && policy_identical;
+  char extra[192];
+  std::snprintf(extra, sizeof(extra),
+                ",\n     \"policy_ideal_seconds\": %.3f, \"policy_inert_seconds\": %.3f, "
+                "\"policy_hook_overhead\": %.3f",
+                ideal_seconds, inert_seconds, inert_seconds / ideal_seconds);
+  out.extra_json = extra;
+  std::printf("# %s: inert-policy-hook overhead %.3fs / %.3fs = %.2fx, identical=%s\n",
+              name.c_str(), inert_seconds, ideal_seconds, inert_seconds / ideal_seconds,
+              policy_identical ? "yes" : "NO");
+  return out;
+}
+
 // --- Substrate micros (PR 3) -------------------------------------------------
 // Dense slot-indexed substrates vs the preserved seed containers, timed over
 // the bench_support op streams — the same streams micro_substrates uses, so
@@ -483,6 +572,7 @@ int main(int argc, char** argv) {
                               workers));
   sweeps.push_back(time_churn_sweep("churn_dynamics", profile, base, workers));
   sweeps.push_back(time_faults_sweep("network_faults", profile, base, workers));
+  sweeps.push_back(time_tournament_sweep("adversary_tournament", profile, base, workers));
 
   // Opt-in large-deployment row: one deployment at (or scaled toward) the
   // 10k-peer x 100-AU x 1-year sharding target, serial then sharded, with
